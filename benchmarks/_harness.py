@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment from DESIGN.md §4 (F1,
+R1-R9, B1-B9).  Besides the pytest-benchmark timing, each test prints
+its series/table and writes it to ``benchmarks/results/<exp>.txt`` so
+EXPERIMENTS.md can reference the measured rows.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from typing import Iterable, Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(exp_id: str, title: str, header: Sequence[str],
+           rows: Iterable[Sequence[object]],
+           notes: str = "") -> str:
+    """Render an aligned table, print it, persist it, and return it."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    header = tuple(str(cell) for cell in header)
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows)) if rows
+        else len(header[i])
+        for i in range(len(header))
+    ]
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width)
+                         for cell, width in zip(cells, widths))
+
+    lines = [f"[{exp_id}] {title}", fmt(header),
+             fmt(["-" * width for width in widths])]
+    lines.extend(fmt(row) for row in rows)
+    if notes:
+        lines.append(f"note: {notes}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{exp_id}.txt").write_text(text + "\n")
+    return text
+
+
+def timed(fn, *args, **kwargs) -> tuple[float, object]:
+    """(elapsed_seconds, result) of one call."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return (time.perf_counter() - start, result)

@@ -1,0 +1,47 @@
+"""B1 — rule-pool scaling: "hundreds of roles ... thousands of rules".
+
+Sweeps the number of roles and reports the generated rule-pool size and
+generation time.  Expected shape (paper §1/§7): rules grow linearly in
+roles with a per-role constant (here 5 core rules per role plus
+constraint rules), so hundreds of roles indeed yield thousands of
+rules.  The timed kernel is engine construction at 100 roles.
+"""
+
+from benchmarks._harness import report, timed
+
+from repro import ActiveRBACEngine
+from repro.workloads import EnterpriseShape, generate_enterprise
+
+SWEEP = (10, 30, 100, 300, 1000)
+
+
+def build(roles: int) -> ActiveRBACEngine:
+    spec = generate_enterprise(EnterpriseShape(
+        roles=roles, users=roles * 2, tree_fanout=4, tree_depth=3,
+        ssd_sets=roles // 10, dsd_sets=roles // 10, seed=42))
+    return ActiveRBACEngine(spec)
+
+
+def test_b1_rule_pool_scales_linearly(benchmark):
+    rows = []
+    measured = {}
+    for roles in SWEEP:
+        elapsed, engine = timed(build, roles)
+        pool = len(engine.rules)
+        measured[roles] = pool
+        rows.append((roles, pool, f"{pool / roles:.2f}",
+                     len(engine.detector), f"{elapsed * 1e3:.1f}"))
+    report(
+        "B1", "rule generation vs number of roles",
+        ("roles", "rules", "rules/role", "events", "gen time (ms)"),
+        rows,
+        notes="expected shape: linear, ~5-6 rules per role; hundreds "
+              "of roles => thousands of rules (paper §1)",
+    )
+    # linear shape: rules/role ratio stable within 20% across the sweep
+    ratios = [measured[r] / r for r in SWEEP]
+    assert max(ratios) / min(ratios) < 1.2
+    # the paper's headline: hundreds of roles -> thousands of rules
+    assert measured[300] >= 1000
+
+    benchmark(build, 100)

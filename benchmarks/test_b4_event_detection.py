@@ -1,0 +1,127 @@
+"""B4 — composite event detection throughput per operator.
+
+Measures the Sentinel+ substrate alone: events/second through each
+Snoop operator (the paper's §3 algebra) and scaling with event-graph
+fan-out.  Expected shape: OR/SEQ/AND are O(1) per occurrence under the
+RECENT context; APERIODIC pays per open window; fan-out (one primitive
+feeding N composites) scales linearly.  The timed kernel is one
+SEQUENCE detection.
+"""
+
+import time
+
+from benchmarks._harness import report
+
+from repro.clock import TimerService, VirtualClock
+from repro.events import EventDetector
+
+EVENTS = 2000
+
+
+def build_detector():
+    detector = EventDetector(TimerService(VirtualClock()))
+    for name in ("E1", "E2", "E3"):
+        detector.define_primitive(name)
+    return detector
+
+
+def drive(detector, stream, repeats=1):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for name in stream:
+            detector.raise_event(name)
+    elapsed = time.perf_counter() - start
+    return len(stream) * repeats / elapsed  # events/s
+
+
+def test_b4_operator_throughput(benchmark):
+    rows = []
+    operators = [
+        ("baseline (no composite)", lambda d: None,
+         ["E1", "E2"] * (EVENTS // 2)),
+        ("OR(E1,E2)", lambda d: d.define_or("X", "E1", "E2"),
+         ["E1", "E2"] * (EVENTS // 2)),
+        ("AND(E1,E2)", lambda d: d.define_and("X", "E1", "E2"),
+         ["E1", "E2"] * (EVENTS // 2)),
+        ("SEQ(E1,E2)", lambda d: d.define_sequence("X", "E1", "E2"),
+         ["E1", "E2"] * (EVENTS // 2)),
+        ("NOT(E1,E2,E3)", lambda d: d.define_not("X", "E1", "E2", "E3"),
+         ["E1", "E3"] * (EVENTS // 2)),
+        ("APERIODIC(E1,E2,E3)",
+         lambda d: d.define_aperiodic("X", "E1", "E2", "E3"),
+         ["E1"] + ["E2"] * (EVENTS - 2) + ["E3"]),
+        ("A*(E1,E2,E3)",
+         lambda d: d.define_aperiodic_star("X", "E1", "E2", "E3"),
+         ["E1"] + ["E2"] * (EVENTS - 2) + ["E3"]),
+    ]
+    for label, define, stream in operators:
+        detector = build_detector()
+        define(detector)
+        detections = []
+        if "X" in detector:
+            detector.subscribe("X", detections.append)
+        rate = drive(detector, stream)
+        rows.append((label, f"{rate / 1e3:.0f}k", len(detections)))
+    report(
+        "B4a", "per-operator throughput (2000-event streams)",
+        ("operator", "events/s", "detections"),
+        rows,
+        notes="expected shape: all operators within a small factor of "
+              "the bare-dispatch baseline under the RECENT context",
+    )
+
+    # fan-out scaling: one primitive feeding N OR nodes
+    fanout_rows = []
+    for fanout in (1, 4, 16, 64):
+        detector = build_detector()
+        for index in range(fanout):
+            detector.define_or(f"X{index}", "E1", "E2")
+        rate = drive(detector, ["E1"] * 500)
+        fanout_rows.append((fanout, f"{rate / 1e3:.0f}k"))
+    report(
+        "B4b", "fan-out scaling: one primitive feeding N composites",
+        ("fan-out", "events/s"), fanout_rows,
+        notes="expected shape: throughput ~ 1/fan-out (linear work "
+              "per subscriber)",
+    )
+
+    detector = build_detector()
+    detector.define_sequence("S", "E1", "E2")
+
+    def seq_pair():
+        detector.raise_event("E1")
+        detector.raise_event("E2")
+
+    benchmark(seq_pair)
+
+
+def test_b4_temporal_operator_exactness(benchmark):
+    """PLUS/PERIODIC under bulk time advancement: N pending countdowns."""
+    rows = []
+    for pending in (10, 100, 1000):
+        detector = build_detector()
+        detector.define_plus("P", "E1", 100.0)
+        fired = []
+        detector.subscribe("P", fired.append)
+        for _ in range(pending):
+            detector.raise_event("E1")
+        start = time.perf_counter()
+        detector.advance_time(100.0)
+        elapsed = time.perf_counter() - start
+        rows.append((pending, len(fired), f"{elapsed * 1e3:.2f}"))
+        assert len(fired) == pending
+    report(
+        "B4c", "PLUS countdown drain: N pending timers",
+        ("pending", "fired", "drain ms"), rows,
+        notes="expected shape: linear drain, every countdown fires "
+              "exactly once at t+delta",
+    )
+
+    detector = build_detector()
+    detector.define_plus("P", "E1", 10.0)
+
+    def arm_and_fire():
+        detector.raise_event("E1")
+        detector.advance_time(10.0)
+
+    benchmark(arm_and_fire)

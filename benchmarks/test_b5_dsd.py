@@ -1,0 +1,103 @@
+"""B5 — dynamic SoD enforcement cost vs constraint load.
+
+Activation latency as the number of DSD sets (and the number of sets
+mentioning the activated role) grows.  Expected shape: the SoD
+registry's role index makes the check proportional to the sets
+*containing the role*, not the total number of sets.  The timed kernel
+is one activate/drop cycle under 50 relevant DSD sets.
+"""
+
+import time
+
+from benchmarks._harness import report
+
+from repro import ActiveRBACEngine
+from repro.policy.spec import PolicySpec
+
+
+def build(relevant_sets: int, irrelevant_sets: int) -> ActiveRBACEngine:
+    spec = PolicySpec(name="dsd-bench")
+    spec.add_role("Hot")
+    # partners for relevant sets (each {Hot, partner_i})
+    for index in range(relevant_sets):
+        spec.add_role(f"P{index:03d}")
+        spec.add_dsd(f"rel{index}", {"Hot", f"P{index:03d}"}, 2)
+    # unrelated sets
+    for index in range(irrelevant_sets):
+        spec.add_role(f"Q{index:03d}a").add_role(f"Q{index:03d}b")
+        spec.add_dsd(f"irr{index}", {f"Q{index:03d}a", f"Q{index:03d}b"}, 2)
+    spec.add_user("u")
+    spec.add_assignment("u", "Hot")
+    return ActiveRBACEngine(spec)
+
+
+def cycle_latency(engine: ActiveRBACEngine, sid: str,
+                  cycles: int = 200) -> float:
+    start = time.perf_counter()
+    for _ in range(cycles):
+        engine.add_active_role(sid, "Hot")
+        engine.drop_active_role(sid, "Hot")
+    return (time.perf_counter() - start) / cycles * 1e6  # us
+
+
+def test_b5_dsd_activation_cost(benchmark):
+    rows = []
+    for relevant, irrelevant in ((0, 0), (5, 0), (50, 0),
+                                 (5, 500), (50, 500)):
+        engine = build(relevant, irrelevant)
+        sid = engine.create_session("u")
+        rows.append((relevant, irrelevant,
+                     f"{cycle_latency(engine, sid):.1f}"))
+    report(
+        "B5", "activate+drop latency vs DSD constraint load",
+        ("sets w/ role", "unrelated sets", "us/cycle"),
+        rows,
+        notes="expected shape: cost tracks the sets containing the "
+              "role; 500 unrelated sets are ~free (role index)",
+    )
+
+    engine = build(50, 0)
+    sid = engine.create_session("u")
+
+    def cycle():
+        engine.add_active_role(sid, "Hot")
+        engine.drop_active_role(sid, "Hot")
+
+    benchmark(cycle)
+
+
+def test_b5_dsd_denial_correctness(benchmark):
+    """The n-of-m semantics at scale: with a 3-of-10 set, exactly two
+    of the set may be active simultaneously."""
+    spec = PolicySpec(name="nofm")
+    members = [f"M{i}" for i in range(10)]
+    for role in members:
+        spec.add_role(role)
+    spec.add_dsd("big", set(members), 3)
+    spec.add_user("u")
+    for role in members:
+        spec.add_assignment("u", role)
+    engine = ActiveRBACEngine(spec)
+    sid = engine.create_session("u")
+    engine.add_active_role(sid, members[0])
+    engine.add_active_role(sid, members[1])
+    from repro.errors import DsdViolationError
+    denied = 0
+    for role in members[2:]:
+        try:
+            engine.add_active_role(sid, role)
+        except DsdViolationError:
+            denied += 1
+    assert denied == 8
+    report("B5b", "n-of-m DSD at the boundary",
+           ("set size", "cardinality n", "active allowed", "denied"),
+           [(10, 3, 2, denied)],
+           notes="paper §2: active in fewer than N of M exclusive roles")
+
+    def boundary_attempt():
+        try:
+            engine.add_active_role(sid, members[5])
+        except DsdViolationError:
+            pass
+
+    benchmark(boundary_attempt)

@@ -1,0 +1,97 @@
+"""B7 — GTRBAC temporal constraint overhead.
+
+(a) periodic role enabling: N roles with daily windows; advance one
+simulated week and count enable/disable transitions and wall time;
+(b) per-user-role duration constraints: N concurrent activations with
+countdowns draining as time advances.  The timed kernel advances one
+simulated day over 50 windowed roles.
+"""
+
+import time
+
+from benchmarks._harness import report
+
+from repro import ActiveRBACEngine
+from repro.gtrbac.constraints import DurationConstraint, EnablingWindow
+from repro.gtrbac.periodic import PeriodicInterval
+from repro.policy.spec import PolicySpec
+
+DAY = 86400.0
+
+
+def windowed_policy(roles: int) -> PolicySpec:
+    spec = PolicySpec(name="windows")
+    interval = PeriodicInterval.daily("08:00", "16:00")
+    for index in range(roles):
+        name = f"W{index:03d}"
+        spec.add_role(name)
+        spec.enabling_windows.append(EnablingWindow(name, interval))
+    return spec
+
+
+def test_b7_periodic_enabling(benchmark):
+    rows = []
+    for roles in (10, 50, 200):
+        engine = ActiveRBACEngine(windowed_policy(roles))
+        start = time.perf_counter()
+        engine.advance_time(7 * DAY)
+        elapsed = (time.perf_counter() - start) * 1e3
+        transitions = len(engine.audit.by_kind("role.enable")) + \
+            len(engine.audit.by_kind("role.disable"))
+        rows.append((roles, transitions, f"{elapsed:.1f}",
+                     f"{elapsed / max(transitions, 1):.3f}"))
+        # exactness: 7 days x 2 boundaries x roles
+        assert transitions == 7 * 2 * roles
+    report(
+        "B7a", "periodic role enabling over one simulated week",
+        ("windowed roles", "transitions", "total ms", "ms/transition"),
+        rows,
+        notes="expected shape: transitions = 14 x roles exactly; cost "
+              "linear in transitions (timer wheel)",
+    )
+
+    engine = ActiveRBACEngine(windowed_policy(50))
+    benchmark(engine.advance_time, DAY)
+
+
+def test_b7_duration_drain(benchmark):
+    rows = []
+    for activations in (10, 100, 500):
+        spec = PolicySpec(name="durations")
+        spec.add_role("Shift")
+        spec.durations.append(DurationConstraint("Shift", 3600.0))
+        for index in range(activations):
+            user = f"u{index:04d}"
+            spec.add_user(user)
+            spec.add_assignment(user, "Shift")
+        engine = ActiveRBACEngine(spec)
+        for index in range(activations):
+            sid = engine.create_session(f"u{index:04d}")
+            engine.add_active_role(sid, "Shift")
+        assert engine.model.active_user_count("Shift") == activations
+        start = time.perf_counter()
+        engine.advance_time(3600.0)
+        elapsed = (time.perf_counter() - start) * 1e3
+        remaining = engine.model.active_user_count("Shift")
+        rows.append((activations, remaining, f"{elapsed:.1f}"))
+        assert remaining == 0
+    report(
+        "B7b", "duration-constraint drain (all countdowns expire)",
+        ("activations", "remaining after delta", "drain ms"), rows,
+        notes="expected shape: every activation deactivated exactly at "
+              "t+delta; linear drain",
+    )
+
+    spec = PolicySpec(name="one")
+    spec.add_role("Shift")
+    spec.durations.append(DurationConstraint("Shift", 60.0))
+    spec.add_user("u")
+    spec.add_assignment("u", "Shift")
+    engine = ActiveRBACEngine(spec)
+    sid = engine.create_session("u")
+
+    def activate_and_expire():
+        engine.add_active_role(sid, "Shift")
+        engine.advance_time(60.0)
+
+    benchmark(activate_and_expire)

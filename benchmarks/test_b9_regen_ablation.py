@@ -1,0 +1,77 @@
+"""B9 — ablation: incremental vs full regeneration crossover.
+
+DESIGN.md calls out incremental (tag-keyed) regeneration as a design
+choice; the alternative is rebuilding the whole pool on any change.  We
+change a growing fraction of a 200-role policy and time both
+strategies.  Expected shape: incremental wins while the changed
+fraction is small and converges to full-regeneration cost as the
+fraction approaches 1 (its bookkeeping makes it slightly worse at
+100%).  The timed kernel regenerates 10% of roles incrementally.
+"""
+
+import time
+
+from benchmarks._harness import report
+
+from repro import ActiveRBACEngine
+from repro.gtrbac.constraints import DurationConstraint
+from repro.synthesis.regenerate import full_regeneration, regenerate_roles
+from repro.workloads import EnterpriseShape, generate_enterprise
+
+ROLES = 200
+
+
+def build() -> ActiveRBACEngine:
+    spec = generate_enterprise(EnterpriseShape(
+        roles=ROLES, users=50, seed=21))
+    return ActiveRBACEngine(spec)
+
+
+def change_fraction(engine: ActiveRBACEngine, fraction: float) -> set[str]:
+    """Give the first N roles a duration constraint (a policy change
+    touching each of them)."""
+    changed = sorted(engine.policy.roles)[:max(1, int(ROLES * fraction))]
+    for role in changed:
+        engine.policy.durations.append(DurationConstraint(role, 3600.0))
+    return set(changed)
+
+
+def test_b9_incremental_vs_full_crossover(benchmark):
+    full_regeneration(build())  # warm caches so row 1 isn't inflated
+    rows = []
+    for fraction in (0.01, 0.05, 0.25, 0.5, 1.0):
+        incremental_engine = build()
+        changed = change_fraction(incremental_engine, fraction)
+        start = time.perf_counter()
+        incr_report = regenerate_roles(incremental_engine, changed)
+        incr_ms = (time.perf_counter() - start) * 1e3
+
+        full_engine = build()
+        change_fraction(full_engine, fraction)
+        start = time.perf_counter()
+        full_report = full_regeneration(full_engine)
+        full_ms = (time.perf_counter() - start) * 1e3
+
+        # both strategies converge to the same pool
+        assert ({rule.name for rule in incremental_engine.rules}
+                == {rule.name for rule in full_engine.rules})
+        rows.append((
+            f"{fraction:.0%}", len(changed),
+            incr_report.rules_touched, f"{incr_ms:.1f}",
+            full_report.rules_touched, f"{full_ms:.1f}",
+            f"{full_ms / incr_ms:.1f}x" if incr_ms else "-",
+        ))
+    report(
+        "B9", "regeneration strategy vs changed policy fraction "
+              f"({ROLES} roles)",
+        ("changed", "roles", "incr rules", "incr ms",
+         "full rules", "full ms", "full/incr"),
+        rows,
+        notes="expected shape: incremental wins at small fractions and "
+              "converges to full-regeneration cost as fraction -> 1; "
+              "resulting pools are identical either way",
+    )
+
+    engine = build()
+    changed = change_fraction(engine, 0.10)
+    benchmark(regenerate_roles, engine, changed)

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Enterprise XYZ: the paper's Section 5 / Figure 1 case study.
+
+Run:  python examples/enterprise_xyz.py
+
+Reproduces the full pipeline the paper describes: the high-level
+policy specification (purchase vs approval departments, static SoD
+between purchase clerk and approval clerk, inherited up the
+hierarchies) is instantiated into the access-specification graph, the
+OWTE rules are generated per role properties, and a policy *change*
+regenerates only the affected rules.
+"""
+
+from repro import ActiveRBACEngine, PolicyGraph, parse_policy
+from repro.errors import SsdViolationError
+from repro.synthesis.regenerate import (
+    PolicyEditor,
+    simulate_manual_edit,
+)
+from repro.gtrbac.periodic import PeriodicInterval
+
+XYZ = """
+policy XYZ {
+  # five roles in two departments (Figure 1)
+  role Clerk; role PC; role PM; role AC; role AM;
+  hierarchy PM > PC > Clerk;   # purchase manager > purchase clerk
+  hierarchy AM > AC > Clerk;   # approval manager > approval clerk
+
+  # the same person placing purchase orders cannot authorize them
+  ssd PurchaseApproval roles PC, AC;
+
+  permission create on purchase_order;
+  permission approve on purchase_order;
+  grant create on purchase_order to PC;
+  grant approve on purchase_order to AC;
+
+  user bob; user carol;
+  assign bob to PM;
+  assign carol to AM;
+}
+"""
+
+
+def main() -> None:
+    spec = parse_policy(XYZ)
+
+    print("=" * 70)
+    print("1. the access-specification graph (Figure 1)")
+    print("=" * 70)
+    graph = PolicyGraph(spec)
+    print(graph.render())
+    print("\ninherited SSD conflicts (bottom-up propagation):")
+    for role in sorted(graph.nodes):
+        partners = graph.effective_ssd_partners(role)
+        if partners:
+            print(f"  {role} conflicts with {sorted(partners)}")
+
+    print()
+    print("=" * 70)
+    print("2. rule generation from the policy")
+    print("=" * 70)
+    engine = ActiveRBACEngine.from_policy(spec)
+    summary = engine.rules.summary()
+    print(f"generated {summary['total']} rules: "
+          f"{summary.get('administrative', 0)} administrative, "
+          f"{summary.get('activity_control', 0)} activity-control, "
+          f"{summary.get('active_security', 0)} active-security")
+    print("\nthe activation rule generated for PC (static SoD + "
+          "hierarchy => AAR2 template):")
+    print(engine.rules.get("AAR2.PC").render())
+
+    print()
+    print("=" * 70)
+    print("3. enforcement")
+    print("=" * 70)
+    bob = engine.create_session("bob")
+    engine.add_active_role(bob, "PM")
+    print("bob (PM) create purchase_order:",
+          engine.check_access(bob, "create", "purchase_order"))
+    print("bob (PM) approve purchase_order:",
+          engine.check_access(bob, "approve", "purchase_order"))
+    try:
+        engine.assign_user("bob", "AC")
+    except SsdViolationError:
+        print("assigning bob to AC: DENIED by inherited static SoD "
+              "(PM is authorized for PC)")
+
+    print()
+    print("=" * 70)
+    print("4. policy change: automatic regeneration vs manual editing")
+    print("=" * 70)
+    manual = simulate_manual_edit(engine, {"PC"})
+    editor = PolicyEditor(engine)
+    report = editor.set_enabling_window(
+        "PC", PeriodicInterval.daily("09:00", "17:00"))
+    print(f"change: give PC a 09:00-17:00 working window")
+    print(f"  automatic: {report.describe()}")
+    print(f"  manual estimate: scan {manual.rules_scanned} rules, edit "
+          f"{manual.rules_edited}, expected errors "
+          f"{manual.expected_errors:.2f}")
+
+
+if __name__ == "__main__":
+    main()

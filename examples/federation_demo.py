@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Distributed access control: two enterprises, one federation.
+
+Run:  python examples/federation_demo.py
+
+Implements the paper's §7 future-work sketch: each enterprise runs its
+own active-rule engine; cross-domain role mappings let HQ staff visit
+the Lab as guest principals, with the Lab's own generated rules (and
+cardinality/temporal/security constraints) applying to visitors.  When
+HQ revokes someone, their guest access evaporates immediately.
+"""
+
+from repro import ActiveRBACEngine, parse_policy
+from repro.federation import Federation, RoleMapping
+
+HQ = """
+policy hq {
+  role Engineer; role Lead;
+  hierarchy Lead > Engineer;
+  user wei; user ana;
+  assign wei to Lead;
+  assign ana to Engineer;
+}
+"""
+
+LAB = """
+policy lab {
+  role Visitor; role Operator max_active_users 1;
+  permission run on reactor;
+  permission read on logs;
+  grant run on reactor to Operator;
+  grant read on logs to Visitor;
+}
+"""
+
+
+def main() -> None:
+    federation = Federation()
+    federation.add_domain("hq",
+                          ActiveRBACEngine.from_policy(parse_policy(HQ)))
+    federation.add_domain("lab",
+                          ActiveRBACEngine.from_policy(parse_policy(LAB)))
+    federation.add_mapping(RoleMapping("hq", "Engineer", "lab", "Visitor"))
+    federation.add_mapping(RoleMapping("hq", "Lead", "lab", "Operator"))
+    print(federation.describe())
+
+    lab = federation.domain("lab")
+
+    print("\n--- ana (hq Engineer) visits the lab ---")
+    ana_sid = federation.visit("hq", "ana", "lab", roles=("Visitor",))
+    print(f"ana@hq reads logs: "
+          f"{lab.check_access(ana_sid, 'read', 'logs')}")
+    print(f"ana@hq runs reactor: "
+          f"{lab.check_access(ana_sid, 'run', 'reactor')} "
+          f"(Engineer maps only to Visitor)")
+
+    print("\n--- wei (hq Lead) takes the Operator console ---")
+    wei_sid = federation.visit("hq", "wei", "lab", roles=("Operator",))
+    print(f"wei@hq runs reactor: "
+          f"{lab.check_access(wei_sid, 'run', 'reactor')}")
+
+    print("\n--- HQ revokes ana while she is mid-session ---")
+    federation.domain("hq").deassign_user("ana", "Engineer")
+    print(f"ana@hq reads logs after revocation: "
+          f"{lab.check_access(ana_sid, 'read', 'logs')}")
+    print("revocation propagated through the federation: guest roles "
+          "deassigned, activations dropped, access denied")
+
+    print("\n--- the lab's own audit saw everything ---")
+    print(lab.audit.report())
+
+
+if __name__ == "__main__":
+    main()

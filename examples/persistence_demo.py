@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Restart recovery: snapshot a live engine, restore, continue.
+
+Run:  python examples/persistence_demo.py
+
+An enforcement point crashes (or is upgraded) mid-day: sessions are
+live, a surgeon's two-hour OR slot is half elapsed.  The snapshot
+captures everything; the restored engine owes exactly the remaining
+hour of the countdown and every decision continues as if nothing
+happened.
+"""
+
+import json
+
+from repro import ActiveRBACEngine, parse_policy
+from repro.persistence import dumps, loads
+
+POLICY = """
+policy ward {
+  role Surgeon; role Nurse;
+  user bob; user nina;
+  assign bob to Surgeon;
+  assign nina to Nurse;
+  permission operate on theatre;
+  grant operate on theatre to Surgeon;
+  duration Surgeon 7200;    # two-hour OR slots
+}
+"""
+
+
+def main() -> None:
+    engine = ActiveRBACEngine.from_policy(parse_policy(POLICY))
+    bob = engine.create_session("bob")
+    engine.add_active_role(bob, "Surgeon")
+    nina = engine.create_session("nina")
+    engine.add_active_role(nina, "Nurse")
+    print("bob activates Surgeon (2h slot); nina activates Nurse")
+
+    engine.advance_time(3600)  # one hour into the slot
+    print(f"t+1h: bob may operate: "
+          f"{engine.check_access(bob, 'operate', 'theatre')}")
+
+    blob = dumps(engine)
+    print(f"\n-- enforcement point goes down; snapshot is "
+          f"{len(blob)} bytes of JSON --")
+    print("snapshot keys:", sorted(json.loads(blob).keys()))
+
+    revived = loads(blob)
+    print("\n-- restored --")
+    print(f"sessions restored: {sorted(revived.model.sessions)}")
+    print(f"bob may operate: "
+          f"{revived.check_access(bob, 'operate', 'theatre')}")
+
+    revived.advance_time(3599)
+    print(f"t+1h59m59s: Surgeon still active: "
+          f"{'Surgeon' in revived.model.session_roles(bob)}")
+    revived.advance_time(1)
+    print(f"t+2h exactly: Surgeon still active: "
+          f"{'Surgeon' in revived.model.session_roles(bob)} "
+          f"(the countdown owed only the remaining hour)")
+    print(f"nina unaffected throughout: "
+          f"{'Nurse' in revived.model.session_roles(nina)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: policy text -> generated rule pool -> enforcement.
+
+Run:  python examples/quickstart.py
+
+Shows the shortest end-to-end path through the library: write an
+enterprise access control policy in the DSL, build the active engine
+(which validates the policy and generates the OWTE rule pool), and
+exercise sessions, activations and access checks.
+"""
+
+from repro import ActiveRBACEngine, parse_policy
+from repro.errors import ActivationDenied, SsdViolationError
+
+POLICY = """
+policy clinic {
+  # roles and the seniority hierarchy (seniors inherit junior perms)
+  role ChiefDoctor; role Doctor; role Nurse;
+  hierarchy ChiefDoctor > Doctor;
+
+  # people
+  user alice;   # chief doctor
+  user bob;     # nurse
+  assign alice to ChiefDoctor;
+  assign bob to Nurse;
+
+  # permissions
+  permission read on patient.dat;
+  permission prescribe on pharmacy;
+  permission triage on er_queue;
+  grant read on patient.dat to Doctor;
+  grant prescribe on pharmacy to Doctor;
+  grant triage on er_queue to Nurse;
+
+  # a nurse cannot moonlight as a doctor (static separation of duty)
+  ssd CareConflict roles Doctor, Nurse;
+}
+"""
+
+
+def main() -> None:
+    engine = ActiveRBACEngine.from_policy(parse_policy(POLICY))
+    print(f"policy loaded: {len(engine.rules)} authorization rules "
+          f"generated for {len(engine.model.roles)} roles")
+
+    # --- alice works a shift ------------------------------------------------
+    session = engine.create_session("alice")
+    engine.add_active_role(session, "ChiefDoctor")
+    print("\nalice activates ChiefDoctor")
+    for operation, obj in [("read", "patient.dat"),
+                           ("prescribe", "pharmacy"),
+                           ("triage", "er_queue")]:
+        allowed = engine.check_access(session, operation, obj)
+        print(f"  alice {operation} {obj}: "
+              f"{'ALLOWED' if allowed else 'DENIED'}")
+
+    # --- bob tries to overreach ----------------------------------------------
+    bob_session = engine.create_session("bob")
+    engine.add_active_role(bob_session, "Nurse")
+    print("\nbob activates Nurse")
+    try:
+        engine.add_active_role(bob_session, "Doctor")
+    except ActivationDenied as exc:
+        print(f"  bob activates Doctor: DENIED ({exc})")
+
+    try:
+        engine.assign_user("bob", "Doctor")
+    except SsdViolationError as exc:
+        print(f"  assigning bob to Doctor: DENIED ({exc})")
+
+    # --- what just happened, per the audit trail -----------------------------
+    print("\naudit summary:")
+    print(engine.audit.report())
+
+    # --- the generated rule behind alice's activation -------------------------
+    print("\nthe generated activation rule for ChiefDoctor:")
+    print(engine.rules.get("AAR2.ChiefDoctor").render())
+
+
+if __name__ == "__main__":
+    main()

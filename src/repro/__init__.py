@@ -1,0 +1,79 @@
+"""repro — Active Authorization Rules for Enforcing RBAC and its Extensions.
+
+A from-scratch reproduction of Adaikkalavan & Chakravarthy (ICDE 2005):
+On-When-Then-Else (OWTE) active authorization rules, automatically
+generated from high-level enterprise policy, enforcing the NIST/ANSI
+RBAC standard and its extensions (Generalized Temporal RBAC,
+control-flow dependencies, privacy- and context-aware constraints) over
+a Sentinel+-style active-object event substrate, with active security
+(threshold monitoring and automatic countermeasures).
+
+Quickstart::
+
+    from repro import ActiveRBACEngine, parse_policy
+
+    POLICY = '''
+    policy demo {
+      role Doctor; role Nurse;
+      user alice;
+      assign alice to Doctor;
+      permission read on patient.dat;
+      grant read on patient.dat to Doctor;
+    }
+    '''
+    engine = ActiveRBACEngine.from_policy(parse_policy(POLICY))
+    session = engine.create_session("alice")
+    engine.add_active_role(session, "Doctor")
+    assert engine.check_access(session, "read", "patient.dat")
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+the reproduced experiments.
+"""
+
+from repro.baselines.direct import DirectRBACEngine
+from repro.clock import TimerService, VirtualClock
+from repro.engine import ActiveRBACEngine
+from repro.errors import (
+    AccessDenied,
+    ActivationDenied,
+    CardinalityExceeded,
+    DsdViolationError,
+    OperationDenied,
+    PolicySyntaxError,
+    PolicyValidationError,
+    ReproError,
+    SsdViolationError,
+)
+from repro.events import ConsumptionMode, EventDetector
+from repro.policy import PolicyGraph, PolicySpec, parse_policy, validate_policy
+from repro.rules import OWTERule, RuleManager
+from repro.synthesis import PolicyEditor, full_regeneration, regenerate_roles
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessDenied",
+    "ActivationDenied",
+    "ActiveRBACEngine",
+    "CardinalityExceeded",
+    "ConsumptionMode",
+    "DirectRBACEngine",
+    "DsdViolationError",
+    "EventDetector",
+    "OWTERule",
+    "OperationDenied",
+    "PolicyEditor",
+    "PolicyGraph",
+    "PolicySpec",
+    "PolicySyntaxError",
+    "PolicyValidationError",
+    "ReproError",
+    "RuleManager",
+    "SsdViolationError",
+    "TimerService",
+    "VirtualClock",
+    "full_regeneration",
+    "parse_policy",
+    "regenerate_roles",
+    "validate_policy",
+]

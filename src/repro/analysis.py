@@ -1,0 +1,228 @@
+"""Policy analysis: explanations, reviews and hygiene reports.
+
+Administrators of rule-based systems ask three questions the raw engine
+does not answer directly:
+
+* **why** was this request denied (:func:`explain_access`,
+  :func:`explain_activation`) — each W-clause check evaluated and
+  reported individually, in rule order;
+* **who can** do what (:func:`who_can`, :func:`permission_matrix`) —
+  the effective entitlement review the NIST economic-impact report
+  motivates RBAC with;
+* **what is stale** (:func:`policy_hygiene`) — unused roles, empty
+  roles, unreachable permissions, redundant role pairs.
+
+Everything here is read-only over the engine/model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine import ActiveRBACEngine
+
+
+@dataclass(frozen=True)
+class Check:
+    """One evaluated condition in an explanation."""
+
+    description: str
+    passed: bool
+
+    def describe(self) -> str:
+        return f"[{'ok' if self.passed else 'FAIL'}] {self.description}"
+
+
+@dataclass
+class Explanation:
+    """The full story of one decision."""
+
+    request: str
+    allowed: bool
+    checks: list[Check] = field(default_factory=list)
+
+    @property
+    def first_failure(self) -> Check | None:
+        return next((c for c in self.checks if not c.passed), None)
+
+    def describe(self) -> str:
+        verdict = "ALLOWED" if self.allowed else "DENIED"
+        lines = [f"{self.request}: {verdict}"]
+        lines.extend("  " + check.describe() for check in self.checks)
+        if not self.allowed and self.first_failure:
+            lines.append(f"  => denied by: {self.first_failure.description}")
+        return "\n".join(lines)
+
+
+def explain_access(engine: "ActiveRBACEngine", session_id: str,
+                   operation: str, obj: str,
+                   purpose: str | None = None) -> Explanation:
+    """Evaluate every checkAccess condition individually (paper Rule 5
+    plus the context/privacy extensions), without side effects."""
+    model = engine.model
+    session = model.sessions.get(session_id)
+    user = session.user if session else None
+    checks = [
+        Check("sessionId IN sessionL", session is not None),
+        Check("user NOT locked", not engine.is_user_locked(user)),
+        Check("operation IN opsL", operation in model.operations),
+        Check("object IN objL", obj in model.objects),
+    ]
+    if session is not None:
+        role_checks = []
+        for role in sorted(session.active_roles):
+            has_perm = model.role_has_permission(role, operation, obj)
+            context_ok = engine.access_context_ok(role)
+            role_checks.append((role, has_perm, context_ok))
+        any_role = any(p and c for _r, p, c in role_checks)
+        detail = ", ".join(
+            f"{role}(perm={'y' if p else 'n'},ctx={'y' if c else 'n'})"
+            for role, p, c in role_checks) or "no active roles"
+        checks.append(Check(
+            f"ForANY active role holds permission with context [{detail}]",
+            any_role))
+    else:
+        checks.append(Check("ForANY active role holds permission", False))
+    privacy_ok, _obligations = engine.privacy_ok(obj, operation, purpose)
+    checks.append(Check(
+        f"objectPolicy({obj!r}, {operation!r}, purpose={purpose!r})",
+        privacy_ok))
+    return Explanation(
+        request=f"checkAccess({session_id!r}, {operation!r}, {obj!r})",
+        allowed=all(c.passed for c in checks),
+        checks=checks,
+    )
+
+
+def explain_activation(engine: "ActiveRBACEngine", session_id: str,
+                       role: str) -> Explanation:
+    """Evaluate every AAR + CC condition individually (paper Rule 3/4)."""
+    model = engine.model
+    session = model.sessions.get(session_id)
+    user = session.user if session else None
+    role_known = role in model.roles
+    checks = [
+        Check("sessionId IN sessionL", session is not None),
+        Check("user NOT locked", not engine.is_user_locked(user)),
+        Check("role IN roleL", role_known),
+    ]
+    if session is not None and role_known:
+        checks.extend([
+            Check(f"{role} NOT IN checkSessionRoles",
+                  role not in session.active_roles),
+            Check(f"roleEnabled({role})", model.is_role_enabled(role)),
+            Check(f"checkAuthorization{role}(user)",
+                  model.is_authorized(user, role)),
+            Check("checkDynamicSoDSet(user, role)",
+                  model.sod.dsd_ok(session.active_roles, role)),
+            Check("prerequisite roles active in session",
+                  engine.prerequisites_ok(session_id, role)),
+            Check("transaction anchor activated",
+                  engine.transaction_anchor_ok(role)),
+            Check("context constraints satisfied",
+                  engine.activation_context_ok(role)),
+            Check(f"Cardinality{role}(INCR) within bound",
+                  engine.role_cardinality_ok(role, user)),
+            Check("activeRoleCount(user) within bound",
+                  engine.user_cardinality_ok(user, role)),
+        ])
+    return Explanation(
+        request=f"addActiveRole({session_id!r}, {role!r})",
+        allowed=all(c.passed for c in checks),
+        checks=checks,
+    )
+
+
+# ---------------------------------------------------------------------------
+# entitlement review
+# ---------------------------------------------------------------------------
+
+def who_can(engine: "ActiveRBACEngine", operation: str,
+            obj: str) -> dict[str, set[str]]:
+    """Users able (when activating the right role) to perform the
+    operation, mapped to the roles that would entitle them."""
+    model = engine.model
+    result: dict[str, set[str]] = {}
+    entitling = model.roles_with_permission(operation, obj)
+    for role in entitling:
+        for user in model.authorized_users(role):
+            result.setdefault(user, set()).add(role)
+    return result
+
+
+def permission_matrix(engine: "ActiveRBACEngine"
+                      ) -> dict[str, set[tuple[str, str]]]:
+    """role -> effective (operation, object) set (hierarchy included)."""
+    model = engine.model
+    return {
+        role: {(p.operation, p.obj)
+               for p in model.role_permissions(role)}
+        for role in model.roles
+    }
+
+
+# ---------------------------------------------------------------------------
+# hygiene
+# ---------------------------------------------------------------------------
+
+@dataclass
+class HygieneReport:
+    """Staleness/redundancy findings over the policy."""
+
+    empty_roles: list[str] = field(default_factory=list)
+    unused_permissions: list[tuple[str, str]] = field(default_factory=list)
+    permissionless_roles: list[str] = field(default_factory=list)
+    redundant_role_pairs: list[tuple[str, str]] = field(
+        default_factory=list)
+    userless_policy: bool = False
+
+    def is_clean(self) -> bool:
+        return not (self.empty_roles or self.unused_permissions
+                    or self.permissionless_roles
+                    or self.redundant_role_pairs)
+
+    def describe(self) -> str:
+        if self.is_clean():
+            return "policy hygiene: clean"
+        lines = ["policy hygiene findings:"]
+        if self.empty_roles:
+            lines.append(f"  roles with no authorized users: "
+                         f"{self.empty_roles}")
+        if self.permissionless_roles:
+            lines.append(f"  roles granting nothing (even via juniors): "
+                         f"{self.permissionless_roles}")
+        if self.unused_permissions:
+            lines.append(f"  permissions granted to no role: "
+                         f"{self.unused_permissions}")
+        if self.redundant_role_pairs:
+            lines.append(f"  role pairs with identical effective "
+                         f"permissions: {self.redundant_role_pairs}")
+        return "\n".join(lines)
+
+
+def policy_hygiene(engine: "ActiveRBACEngine") -> HygieneReport:
+    """Detect stale or redundant policy elements."""
+    model = engine.model
+    report = HygieneReport(userless_policy=not model.users)
+    matrix = permission_matrix(engine)
+    for role in sorted(model.roles):
+        if not model.authorized_users(role):
+            report.empty_roles.append(role)
+        if not matrix[role]:
+            report.permissionless_roles.append(role)
+    granted = {pair for pairs in matrix.values() for pair in pairs}
+    for permission in sorted(model.permissions,
+                             key=lambda p: (p.operation, p.obj)):
+        if (permission.operation, permission.obj) not in granted:
+            report.unused_permissions.append(
+                (permission.operation, permission.obj))
+    roles = sorted(model.roles)
+    for index, first in enumerate(roles):
+        if not matrix[first]:
+            continue
+        for second in roles[index + 1:]:
+            if matrix[first] == matrix[second]:
+                report.redundant_role_pairs.append((first, second))
+    return report

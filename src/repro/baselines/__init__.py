@@ -1,0 +1,20 @@
+"""Baseline enforcement engines the paper argues against.
+
+:class:`~repro.baselines.direct.DirectRBACEngine` is the
+"custom-implemented" comparator: the same RBAC model and the same policy
+semantics, but enforced by hand-coded inline checks — no events, no
+rules, no generation.  It exists for two purposes:
+
+1. **differential testing** — the active engine must make identical
+   decisions (the paper changes the mechanism, not the policy);
+2. **benchmark B3** — the constant-factor cost of rule-based
+   enforcement over direct checks.
+
+Its maintainability is the paper's critique: every constraint family is
+one more hand-written ``if`` inside monolithic methods, and a policy
+change is a code change (simulated in benchmark B2).
+"""
+
+from repro.baselines.direct import DirectRBACEngine
+
+__all__ = ["DirectRBACEngine"]

@@ -1,0 +1,228 @@
+"""Virtual clock and timer scheduling for temporal events.
+
+Sentinel+ detects temporal events — absolute calendar points, relative
+``PLUS(E, delta)`` offsets, and ``PERIODIC`` ticks — against the system
+clock.  For a deterministic, testable reproduction we replace the wall
+clock with a :class:`VirtualClock`: a monotonically advancing simulated
+timeline measured in seconds since a simulated epoch.
+
+A :class:`TimerService` sits on top of the clock and fires callbacks when
+the clock is advanced past their deadlines, in deadline order.  All
+temporal event operators in :mod:`repro.events` schedule through it, so a
+test can write::
+
+    clock = VirtualClock(start=0.0)
+    timers = TimerService(clock)
+    ...
+    clock.advance(7200)          # two simulated hours elapse
+    timers.run_due()             # PLUS(E1, 2h) fires here (paper Rule 2)
+
+The clock also exposes a broken-down calendar view (:meth:`VirtualClock.now_fields`)
+so calendar expressions like ``10:00:00/*/*/*`` (paper Rule 6, footnote 10)
+can be matched against the current simulated instant.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta, timezone
+from typing import Callable
+
+#: Simulated epoch: calendar expressions are interpreted relative to this
+#: instant.  Midnight, Jan 1 2005 UTC — the year the paper was published —
+#: so a fresh clock starts at 00:00:00/01/01/2005.
+SIMULATED_EPOCH = datetime(2005, 1, 1, tzinfo=timezone.utc)
+
+SECONDS_PER_MINUTE = 60
+SECONDS_PER_HOUR = 3600
+SECONDS_PER_DAY = 86400
+
+
+@dataclass(frozen=True, order=True)
+class Timestamp:
+    """An instant on the simulated timeline (seconds since the epoch).
+
+    Ordered, hashable and cheap; every event occurrence carries one.  The
+    SnoopIB interval-based semantics need a total order on occurrence
+    times, which ``seconds`` (a float) plus a tie-breaking ``sequence``
+    number provides: two events raised at the same simulated instant are
+    still ordered by raise order.
+    """
+
+    seconds: float
+    sequence: int = 0
+
+    def __add__(self, delta: float) -> "Timestamp":
+        return Timestamp(self.seconds + delta, self.sequence)
+
+    def to_datetime(self) -> datetime:
+        """Broken-down calendar view of this instant."""
+        return SIMULATED_EPOCH + timedelta(seconds=self.seconds)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_datetime().strftime("%H:%M:%S/%m/%d/%Y")
+
+
+class VirtualClock:
+    """A deterministic simulated clock.
+
+    Time only moves via :meth:`advance` (relative) or :meth:`advance_to`
+    (absolute), and never moves backwards.  :meth:`stamp` mints a unique,
+    totally ordered :class:`Timestamp` for event occurrences.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before the simulated epoch")
+        self._now = float(start)
+        self._counter = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds since the epoch."""
+        return self._now
+
+    def stamp(self) -> Timestamp:
+        """Mint a unique timestamp for the current instant."""
+        return Timestamp(self._now, next(self._counter))
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` (must be >= 0)."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, seconds: float) -> float:
+        """Move the clock forward to an absolute instant (must be >= now)."""
+        if seconds < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: now={self._now}, to={seconds}"
+            )
+        self._now = float(seconds)
+        return self._now
+
+    def now_datetime(self) -> datetime:
+        """The current instant as a calendar datetime."""
+        return SIMULATED_EPOCH + timedelta(seconds=self._now)
+
+    def now_fields(self) -> tuple[int, int, int, int, int, int]:
+        """``(hour, minute, second, month, day, year)`` of the current instant.
+
+        Field order mirrors the paper's ``24h:mi:ss/mm/dd/yyyy`` calendar
+        expression format so matching is positional.
+        """
+        dt = self.now_datetime()
+        return (dt.hour, dt.minute, dt.second, dt.month, dt.day, dt.year)
+
+
+@dataclass(order=True)
+class _Timer:
+    """A scheduled callback, ordered by (deadline, insertion sequence)."""
+
+    deadline: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    timer_id: int = field(default=0, compare=False)
+
+
+class TimerService:
+    """Deadline-ordered timer queue driven by a :class:`VirtualClock`.
+
+    Timers fire when :meth:`run_due` (or :meth:`advance`) observes the
+    clock at/after their deadline.  Callbacks may schedule further timers
+    (e.g. a PERIODIC event re-arming its next tick); those are honoured
+    within the same :meth:`run_due` call if already due.
+    """
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self._clock = clock
+        self._heap: list[_Timer] = []
+        self._sequence = itertools.count()
+        self._by_id: dict[int, _Timer] = {}
+
+    @property
+    def clock(self) -> VirtualClock:
+        return self._clock
+
+    def __len__(self) -> int:
+        return sum(1 for t in self._heap if not t.cancelled)
+
+    def schedule_at(self, deadline: float, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` at absolute simulated time ``deadline``.
+
+        Deadlines in the past fire on the next :meth:`run_due`.  Returns a
+        timer id usable with :meth:`cancel`.
+        """
+        timer = _Timer(deadline, next(self._sequence), callback)
+        timer.timer_id = timer.sequence
+        heapq.heappush(self._heap, timer)
+        self._by_id[timer.timer_id] = timer
+        return timer.timer_id
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` ``delay`` seconds from now (delay >= 0)."""
+        if delay < 0:
+            raise ValueError("timer delay must be non-negative")
+        return self.schedule_at(self._clock.now + delay, callback)
+
+    def cancel(self, timer_id: int) -> bool:
+        """Cancel a pending timer. Returns False if already fired/cancelled."""
+        timer = self._by_id.pop(timer_id, None)
+        if timer is None or timer.cancelled:
+            return False
+        timer.cancelled = True
+        return True
+
+    def next_deadline(self) -> float | None:
+        """Deadline of the earliest pending timer, or None when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].deadline if self._heap else None
+
+    def run_due(self) -> int:
+        """Fire every timer whose deadline is <= the clock's now.
+
+        Fires in deadline order (ties broken by scheduling order) and
+        returns the number of callbacks invoked.
+        """
+        fired = 0
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.deadline > self._clock.now:
+                break
+            heapq.heappop(self._heap)
+            self._by_id.pop(head.timer_id, None)
+            head.callback()
+            fired += 1
+        return fired
+
+    def advance(self, seconds: float) -> int:
+        """Advance the clock by ``seconds``, firing timers as they come due.
+
+        Unlike ``clock.advance(s); timers.run_due()``, this steps the clock
+        *through* each intermediate deadline so that a timer callback that
+        reads ``clock.now`` observes its own deadline — exactly how PLUS and
+        PERIODIC events must see their detection instant (paper §3).
+        Returns the number of callbacks fired.
+        """
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        target = self._clock.now + seconds
+        fired = 0
+        while True:
+            deadline = self.next_deadline()
+            if deadline is None or deadline > target:
+                break
+            if deadline > self._clock.now:
+                self._clock.advance_to(deadline)
+            fired += self.run_due()
+        self._clock.advance_to(target)
+        fired += self.run_due()
+        return fired

@@ -1,0 +1,220 @@
+"""Shared enforcement predicates: the checks both engines agree on.
+
+The active (OWTE-rule) engine and the direct baseline must make
+*identical* decisions — the paper's claim is that rules are a better
+*mechanism*, not a different policy.  Every non-trivial predicate
+therefore lives here, in a mixin both engines inherit; the active engine
+calls them from generated W-clause conditions, the baseline calls them
+inline.  The differential property tests rely on this single source of
+truth only for convenience: each predicate is also unit-tested directly
+against hand-computed expectations.
+
+Expected attributes on the inheriting engine:
+
+* ``model`` — an :class:`~repro.rbac.model.RBACModel`;
+* ``policy`` — a :class:`~repro.policy.spec.PolicySpec`;
+* ``context`` — a :class:`~repro.extensions.context.ContextProvider`;
+* ``privacy`` — a :class:`~repro.extensions.privacy.PrivacyRegistry`;
+* ``clock`` — a :class:`~repro.clock.VirtualClock`;
+* ``locked_users`` — a ``set[str]`` maintained by active security.
+"""
+
+from __future__ import annotations
+
+
+class EnforcementHelpers:
+    """Mixin of pure policy predicates over shared engine state."""
+
+    # -- user status ------------------------------------------------------------
+
+    def is_user_locked(self, user: str | None) -> bool:
+        return user is not None and user in self.locked_users
+
+    # -- activation revalidation ---------------------------------------------------
+
+    def unauthorized_activations(self, user: str | None = None
+                                 ) -> list[tuple[str, str]]:
+        """(session, role) pairs whose activation is no longer
+        authorized — after a deassignment or hierarchy edit, these must
+        be deactivated (paper §1: constraints hold until deactivation).
+        ``user`` narrows the scan to one user's sessions."""
+        stale = []
+        for session_id, session in self.model.sessions.items():
+            if user is not None and session.user != user:
+                continue
+            for role in session.active_roles:
+                if not self.model.is_authorized(session.user, role):
+                    stale.append((session_id, role))
+        return stale
+
+    # -- cardinality (paper Rule 4, scenarios 1 and 2) -----------------------------
+
+    def role_cardinality_ok(self, role: str, user: str) -> bool:
+        """May ``user`` activate ``role`` without exceeding the role's
+        max-active-users bound?  A user already active in the role does
+        not increase the distinct-user count."""
+        limit = self.model.roles[role].max_active_users
+        if limit is None:
+            return True
+        active_users = {
+            s.user for s in self.model.sessions.values()
+            if role in s.active_roles
+        }
+        if user in active_users:
+            return True
+        return len(active_users) < limit
+
+    def user_cardinality_ok(self, user: str, role: str) -> bool:
+        """May ``user`` activate ``role`` without exceeding their
+        max-active-roles bound (counted as distinct roles across all of
+        the user's sessions)?"""
+        spec = self.model.users.get(user)
+        if spec is None or spec.max_active_roles is None:
+            return True
+        active: set[str] = set()
+        for session in self.model.sessions.values():
+            if session.user == user:
+                active |= session.active_roles
+        if role in active:
+            return True
+        return len(active) < spec.max_active_roles
+
+    # -- control-flow dependencies ---------------------------------------------------
+
+    def prerequisites_ok(self, session_id: str, role: str) -> bool:
+        """Every declared prerequisite of ``role`` is active in the
+        session (paper §3: SEQUENCE / prerequisite roles)."""
+        session = self.model.sessions.get(session_id)
+        if session is None:
+            return False
+        return all(
+            p.prerequisite in session.active_roles
+            for p in self.policy.prerequisites if p.role == role
+        )
+
+    def transaction_anchor_ok(self, role: str) -> bool:
+        """Every transaction-activation anchor of ``role`` is currently
+        activated by someone (paper Rule 9)."""
+        return all(
+            self.model.active_user_count(t.anchor_role) > 0
+            for t in self.policy.transactions if t.dependent_role == role
+        )
+
+    def transaction_dependents_of(self, anchor: str) -> list[str]:
+        return [
+            t.dependent_role for t in self.policy.transactions
+            if t.anchor_role == anchor
+        ]
+
+    # -- GTRBAC ---------------------------------------------------------------------
+
+    def disabling_sod_ok(self, role: str) -> bool:
+        """May ``role`` be disabled now?  For every disabling-time SoD
+        set containing it whose interval contains the current instant,
+        every *other* role of the set must still be enabled (paper
+        Rule 6: deny when the partner is already disabled)."""
+        now = self.clock.now
+        for constraint in self.policy.disabling_sod:
+            if role not in constraint.roles:
+                continue
+            if not constraint.interval.contains(now):
+                continue
+            for other in constraint.roles:
+                if other == role:
+                    continue
+                if other in self.model.roles and \
+                        not self.model.roles[other].enabled:
+                    return False
+        return True
+
+    def duration_for(self, role: str, user: str) -> float | None:
+        """The activation duration applying to (user, role): a per-user
+        constraint wins over the role-wide one (paper Rule 7 is
+        per-user)."""
+        role_wide: float | None = None
+        for constraint in self.policy.durations:
+            if constraint.role != role:
+                continue
+            if constraint.user == user:
+                return constraint.delta
+            if constraint.user is None:
+                role_wide = constraint.delta
+        return role_wide
+
+    # -- context-aware constraints ------------------------------------------------------
+
+    def activation_context_ok(self, role: str) -> bool:
+        """Every ``applies_to='activate'`` context constraint on the
+        role holds in the current context."""
+        return all(
+            c.satisfied(self.context)
+            for c in self.policy.context_constraints
+            if c.role == role and c.applies_to == "activate"
+        )
+
+    def access_context_ok(self, role: str) -> bool:
+        """Every ``applies_to='access'`` context constraint on the role
+        holds — e.g. deny protected file access on an insecure network."""
+        return all(
+            c.satisfied(self.context)
+            for c in self.policy.context_constraints
+            if c.role == role and c.applies_to == "access"
+        )
+
+    # -- the composite access decision (paper Rule 5 + extensions) ----------------------
+
+    def access_roles_ok(self, session_id: str, operation: str,
+                        obj: str) -> bool:
+        """The For-ANY clause of Rule 5, context-aware: at least one
+        active role of the session holds the permission *and* satisfies
+        its access-context constraints."""
+        session = self.model.sessions.get(session_id)
+        if session is None:
+            return False
+        return any(
+            self.model.role_has_permission(role, operation, obj)
+            and self.access_context_ok(role)
+            for role in session.active_roles
+        )
+
+    def privacy_ok(self, obj: str, operation: str,
+                   purpose: str | None) -> tuple[bool, tuple[str, ...]]:
+        """Privacy-aware check: ``(allowed, obligations)``."""
+        return self.privacy.compliant(obj, operation, purpose)
+
+    def can_activate(self, session_id: str, role: str) -> tuple[bool, str]:
+        """The full activation decision: ``(allowed, reason)``.
+
+        This is the conjunction the generated AAR + CC rules evaluate,
+        in the same order; the baseline calls it directly.  ``reason``
+        is the paper-style denial message for the first failing check
+        (empty on success).
+        """
+        model = self.model
+        session = model.sessions.get(session_id)
+        if session is None:
+            return (False, "unknown session")
+        user = session.user
+        if self.is_user_locked(user):
+            return (False, "user locked by active security")
+        if role not in model.roles:
+            return (False, "unknown role")
+        if role in session.active_roles:
+            return (False, "role already active in session")
+        if not model.roles[role].enabled:
+            return (False, "role not enabled")
+        if not model.is_authorized(user, role):
+            return (False, "Access Denied Cannot Activate")
+        if not model.sod.dsd_ok(session.active_roles, role):
+            return (False, "dynamic SoD violation")
+        if not self.prerequisites_ok(session_id, role):
+            return (False, "prerequisite role not active")
+        if not self.transaction_anchor_ok(role):
+            return (False, "anchor role not activated")
+        if not self.activation_context_ok(role):
+            return (False, "context constraint not satisfied")
+        if not self.role_cardinality_ok(role, user):
+            return (False, "Maximum Number of Roles Reached")
+        if not self.user_cardinality_ok(user, role):
+            return (False, "Maximum Number of Roles Reached")
+        return (True, "")

@@ -1,0 +1,529 @@
+"""The active enforcement engine: RBAC operations become events,
+generated OWTE rules enforce.
+
+This is the paper's architecture end-to-end (Sections 4 and 5):
+
+1. every externally visible operation (``create_session``,
+   ``add_active_role``, ``check_access``, assignment, role
+   enable/disable) **raises a primitive event** into the Sentinel+-style
+   detector;
+2. the OWTE rules generated from the enterprise policy are subscribed to
+   those events; their W clauses evaluate the constraints, their THEN
+   branches commit the state change (and cascade further events, e.g.
+   ``addSessionRole.R`` -> cardinality rule -> ``roleActivated.R``),
+   their ELSE branches deny by raising typed
+   :class:`~repro.errors.AccessDenied` errors and a denial event for the
+   active-security monitor;
+3. temporal constraints ride composite events (PLUS countdowns,
+   calendar-window timers) on the shared virtual clock.
+
+If active security disables the rules for an operation, the engine
+**fails closed**: with no rule committing the change (or granting the
+access decision), the operation is denied — the paper's "block access
+requests" countermeasure.
+
+Use :func:`ActiveRBACEngine.from_policy` for the full pipeline (policy
+-> validation -> model -> generated rule pool), or construct an empty
+engine and administer it imperatively.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.clock import TimerService, VirtualClock
+from repro.enforcement import EnforcementHelpers
+from repro.errors import (
+    ActivationDenied,
+    DeactivationDenied,
+    OperationDenied,
+    ReproError,
+    UnknownRoleError,
+)
+from repro.events.detector import EventDetector
+from repro.extensions.context import ContextProvider
+from repro.extensions.privacy import PrivacyRegistry
+from repro.policy.spec import PolicySpec, build_model
+from repro.rules.manager import RuleManager
+from repro.rules.rule import RuleOutcome
+from repro.security.audit import AuditLog
+from repro.security.monitor import ActiveSecurityMonitor
+
+
+class ActiveRBACEngine(EnforcementHelpers):
+    """RBAC enforcement through generated active authorization rules."""
+
+    def __init__(self, policy: PolicySpec | None = None,
+                 clock: VirtualClock | None = None,
+                 max_cascade_depth: int = 64,
+                 audit_capacity: int = 100_000) -> None:
+        self.clock = clock or VirtualClock()
+        self.timers = TimerService(self.clock)
+        self.detector = EventDetector(self.timers)
+        self.rules = RuleManager(self.detector, engine=self,
+                                 max_cascade_depth=max_cascade_depth)
+        self.audit = AuditLog(self.clock, capacity=audit_capacity)
+        self.context = ContextProvider()
+        self.context.attach(self.detector)
+        self.privacy = PrivacyRegistry()
+        self.monitor = ActiveSecurityMonitor(self)
+        self.policy = policy.clone() if policy is not None else PolicySpec()
+        self.model = build_model(self.policy)
+        self.locked_users: set[str] = set()
+
+        self._session_seq = itertools.count(1)
+        self._activation_seq = itertools.count(1)
+        #: (session_id, role) -> activation id of the *current* activation;
+        #: duration-expiry rules compare against it so a stale PLUS timer
+        #: never deactivates a later re-activation.
+        self.current_activation: dict[tuple[str, str], int] = {}
+        #: (session_id, role) -> simulated start time of the current
+        #: activation (persistence re-arms remaining durations from it)
+        self.activation_started: dict[tuple[str, str], float] = {}
+        #: decision slot for checkAccess (None outside a check)
+        self._decision: bool | None = None
+
+        # privacy registry from the policy
+        for purpose, parent in self.policy.purposes:
+            self.privacy.purposes.add(purpose, parent)
+        for object_policy in self.policy.object_policies:
+            self.privacy.add_policy(object_policy)
+
+        # generate the rule pool from the policy
+        from repro.synthesis.generator import RuleGenerator
+        self.generator = RuleGenerator(self)
+        self.generator.generate_all()
+
+        # threshold policies -> active security monitor
+        for threshold in self.policy.threshold_policies:
+            self.monitor.add_policy(threshold)
+
+        self.rules.observe(self._record_rule_firing)
+
+    @classmethod
+    def from_policy(cls, policy: PolicySpec,
+                    clock: VirtualClock | None = None,
+                    validate: bool = True) -> "ActiveRBACEngine":
+        """Validate a policy and build the engine from it."""
+        if validate:
+            from repro.policy.validator import validate_policy
+            validate_policy(policy, raise_on_error=True)
+        return cls(policy=policy, clock=clock)
+
+    # ======================================================================
+    # time
+    # ======================================================================
+
+    def advance_time(self, seconds: float) -> int:
+        """Advance the simulated clock, firing temporal events/rules.
+
+        Denials raised by timer-driven rules (e.g. a window-close
+        disable vetoed by a disabling-time SoD) are audited and
+        swallowed — a timer has no requester to report the error to.
+        Returns timer callbacks fired.
+        """
+        return self.timers.advance(seconds)
+
+    # ======================================================================
+    # administration (direct model edits + audit; assignments go via rules)
+    # ======================================================================
+
+    def add_user(self, name: str, max_active_roles: int | None = None) -> None:
+        self.model.add_user(name, max_active_roles)
+        self.policy.add_user(name, max_active_roles)
+        self.audit.record("admin.add_user", user=name)
+
+    def delete_user(self, name: str) -> None:
+        self.model.delete_user(name)
+        self.policy.users.pop(name, None)
+        self.policy.assignments = [
+            (u, r) for u, r in self.policy.assignments if u != name
+        ]
+        self.locked_users.discard(name)
+        self.audit.record("admin.delete_user", user=name)
+
+    def add_role(self, name: str, max_active_users: int | None = None) -> None:
+        """Add a role and generate its localized rule set."""
+        self.model.add_role(name, max_active_users)
+        self.policy.add_role(name, max_active_users)
+        self.generator.generate_role_rules(name)
+        self.audit.record("admin.add_role", role=name)
+
+    def delete_role(self, name: str) -> None:
+        """Delete a role everywhere.
+
+        Constraints mentioning the role are scrubbed from the policy;
+        cross-role rules that involved it (disabling-time SoD partners,
+        CFD pairs, transaction anchors) are retired together with the
+        role's own rules, and the *partner* roles' rules are
+        regenerated from the scrubbed policy — otherwise a partner
+        would silently lose its DR/ER/AAR rule.
+        """
+        from repro.synthesis.regenerate import (
+            affected_roles,
+            regenerate_roles,
+        )
+        partners = affected_roles(self, {name}) - {name}
+        self.model.delete_role(name)
+        policy = self.policy
+        policy.roles.pop(name, None)
+        policy.hierarchy = [e for e in policy.hierarchy if name not in e]
+        policy.assignments = [
+            (u, r) for u, r in policy.assignments if r != name
+        ]
+        policy.grants = [g for g in policy.grants if g[0] != name]
+        policy.prerequisites = [
+            p for p in policy.prerequisites
+            if name not in (p.role, p.prerequisite)
+        ]
+        policy.post_conditions = [
+            p for p in policy.post_conditions
+            if name not in (p.trigger_role, p.required_role)
+        ]
+        policy.transactions = [
+            t for t in policy.transactions
+            if name not in (t.dependent_role, t.anchor_role)
+        ]
+        policy.durations = [d for d in policy.durations if d.role != name]
+        policy.enabling_windows = [
+            w for w in policy.enabling_windows if w.role != name
+        ]
+        policy.context_constraints = [
+            c for c in policy.context_constraints if c.role != name
+        ]
+        from repro.gtrbac.constraints import DisablingTimeSoD
+        scrubbed_sod = []
+        for constraint in policy.disabling_sod:
+            if name not in constraint.roles:
+                scrubbed_sod.append(constraint)
+                continue
+            remaining = constraint.roles - {name}
+            if len(remaining) >= 2:
+                scrubbed_sod.append(DisablingTimeSoD(
+                    constraint.name, remaining, constraint.interval))
+        policy.disabling_sod = scrubbed_sod
+        from repro.policy.spec import SodSetSpec
+        for family in (policy.ssd, policy.dsd):
+            for sod_name in list(family):
+                sod = family[sod_name]
+                if name not in sod.roles:
+                    continue
+                remaining = sod.roles - {name}
+                if len(remaining) >= sod.cardinality:
+                    family[sod_name] = SodSetSpec(
+                        sod.name, remaining, sod.cardinality)
+                else:
+                    del family[sod_name]
+
+        self.generator.remove_role_rules(name)
+        self.generator.remove_role_events(name)
+        regenerate_roles(self, partners & set(policy.roles))
+        self.audit.record("admin.delete_role", role=name)
+
+    def add_permission(self, operation: str, obj: str) -> None:
+        self.model.add_permission(operation, obj)
+        if (operation, obj) not in self.policy.permissions:
+            self.policy.permissions.append((operation, obj))
+
+    def grant_permission(self, role: str, operation: str, obj: str) -> None:
+        self.model.grant_permission(role, operation, obj)
+        self.policy.grants.append((role, operation, obj))
+        self.audit.record("admin.grant", role=role, operation=operation,
+                          object=obj)
+
+    def revoke_permission(self, role: str, operation: str, obj: str) -> None:
+        self.model.revoke_permission(role, operation, obj)
+        try:
+            self.policy.grants.remove((role, operation, obj))
+        except ValueError:
+            pass
+        self.audit.record("admin.revoke", role=role, operation=operation,
+                          object=obj)
+
+    def _regenerate(self, roles: set[str]) -> None:
+        """Regenerate the rules of roles whose relationship flags may
+        have changed (hierarchy participation selects the AAR variant,
+        DSD membership adds the checkDynamicSoDSet condition)."""
+        from repro.synthesis.regenerate import regenerate_roles
+        regenerate_roles(self, roles & set(self.policy.roles))
+
+    def add_inheritance(self, senior: str, junior: str) -> None:
+        self.model.add_inheritance(senior, junior)
+        self.policy.add_hierarchy(senior, junior)
+        self.audit.record("admin.add_inheritance", senior=senior,
+                          junior=junior)
+        self._regenerate({senior, junior})
+
+    def delete_inheritance(self, senior: str, junior: str) -> None:
+        self.model.delete_inheritance(senior, junior)
+        try:
+            self.policy.hierarchy.remove((senior, junior))
+        except ValueError:
+            pass
+        self.audit.record("admin.delete_inheritance", senior=senior,
+                          junior=junior)
+        self._regenerate({senior, junior})
+        self.revalidate_activations()
+
+    def create_ssd_set(self, name: str, roles: set[str],
+                       cardinality: int = 2) -> None:
+        self.model.create_ssd_set(name, roles, cardinality)
+        self.policy.add_ssd(name, roles, cardinality)
+        self.audit.record("admin.create_ssd", name=name)
+
+    def create_dsd_set(self, name: str, roles: set[str],
+                       cardinality: int = 2) -> None:
+        self.model.create_dsd_set(name, roles, cardinality)
+        self.policy.add_dsd(name, roles, cardinality)
+        self.audit.record("admin.create_dsd", name=name)
+        self._regenerate(set(roles))
+
+    def assign_user(self, user: str, role: str) -> None:
+        """User-role assignment via the globalized administrative rule
+        (paper scenario 3)."""
+        self.detector.raise_event("assignUser", user=user, role=role)
+        self.policy.add_assignment(user, role)
+
+    def deassign_user(self, user: str, role: str) -> None:
+        self.detector.raise_event("deassignUser", user=user, role=role)
+        try:
+            self.policy.assignments.remove((user, role))
+        except ValueError:
+            pass
+
+    # ======================================================================
+    # sessions and activations (system functions, rule-enforced)
+    # ======================================================================
+
+    def create_session(self, user: str, session_id: str | None = None,
+                       roles: tuple[str, ...] = ()) -> str:
+        """Create a session for ``user``; returns the session id.
+
+        ``roles`` is the ANSI CreateSession initial active role set:
+        each is activated through the generated rules; if any
+        activation is denied the session is torn down and the denial
+        propagates (all-or-nothing, matching the standard's "active
+        role set" precondition).
+
+        Raises :class:`~repro.errors.AccessDenied` when the globalized
+        session rule denies (unknown or locked user, duplicate id).
+        """
+        sid = session_id or f"s{next(self._session_seq)}"
+        self.detector.raise_event("createSession", user=user, sessionId=sid)
+        if sid not in self.model.sessions:
+            raise OperationDenied(
+                "session creation not committed (rules disabled?)"
+            )
+        try:
+            for role in roles:
+                self.add_active_role(sid, role)
+        except ReproError:
+            self.commit_session_delete(sid)
+            raise
+        return sid
+
+    def delete_session(self, session_id: str) -> None:
+        self.detector.raise_event("deleteSession", sessionId=session_id)
+
+    def add_active_role(self, session_id: str, role: str) -> None:
+        """Activate ``role`` in the session (paper Rule 3).
+
+        Raises a typed :class:`~repro.errors.ActivationDenied` from the
+        generated rule's ELSE branch when any constraint fails.
+        """
+        if role not in self.model.roles:
+            raise UnknownRoleError(role)
+        session = self.model.sessions.get(session_id)
+        user = session.user if session is not None else None
+        activation_id = next(self._activation_seq)
+        self.detector.raise_event(
+            f"addActiveRole.{role}", user=user, sessionId=session_id,
+            role=role, activationId=activation_id,
+        )
+        if not self.model.is_active_in_session(session_id, role):
+            raise ActivationDenied(
+                "activation not committed (rules disabled?)"
+            )
+
+    def drop_active_role(self, session_id: str, role: str) -> None:
+        """Deactivate ``role`` in the session."""
+        if role not in self.model.roles:
+            raise UnknownRoleError(role)
+        session = self.model.sessions.get(session_id)
+        user = session.user if session is not None else None
+        self.detector.raise_event(
+            f"dropActiveRole.{role}", user=user, sessionId=session_id,
+            role=role,
+        )
+
+    def check_access(self, session_id: str, operation: str, obj: str,
+                     purpose: str | None = None) -> bool:
+        """The boolean form of paper Rule 5's checkAccess."""
+        try:
+            self.require_access(session_id, operation, obj, purpose)
+            return True
+        except OperationDenied:
+            return False
+
+    def require_access(self, session_id: str, operation: str, obj: str,
+                       purpose: str | None = None) -> None:
+        """Raise :class:`~repro.errors.OperationDenied` unless some
+        active role of the session may perform the operation."""
+        session = self.model.sessions.get(session_id)
+        user = session.user if session is not None else None
+        previous = self._decision
+        self._decision = False
+        try:
+            self.detector.raise_event(
+                "checkAccess", sessionId=session_id, operation=operation,
+                object=obj, purpose=purpose, user=user,
+            )
+            if not self._decision:
+                # fail closed: no rule granted (e.g. CA rule disabled)
+                raise OperationDenied(
+                    "Permission Denied (no rule granted the request)"
+                )
+        finally:
+            self._decision = previous
+
+    # ======================================================================
+    # GTRBAC role status
+    # ======================================================================
+
+    def enable_role(self, role: str) -> None:
+        if role not in self.model.roles:
+            raise UnknownRoleError(role)
+        self.detector.raise_event(f"enableRole.{role}", role=role)
+
+    def disable_role(self, role: str) -> None:
+        """Disable a role; time-based SoD on disabling may deny."""
+        if role not in self.model.roles:
+            raise UnknownRoleError(role)
+        self.detector.raise_event(f"disableRole.{role}", role=role)
+        if self.model.roles[role].enabled:
+            raise DeactivationDenied(
+                "disable not committed (rules disabled?)"
+            )
+
+    # ======================================================================
+    # commit helpers — called ONLY from generated rule actions
+    # ======================================================================
+
+    def grant_decision(self) -> None:
+        """THEN action of the checkAccess rule: allow."""
+        self._decision = True
+
+    def commit_session(self, session_id: str, user: str) -> None:
+        self.model.create_session_record(session_id, user)
+        self.audit.record("session.create", session=session_id, user=user)
+
+    def commit_session_delete(self, session_id: str) -> None:
+        session = self.model.sessions.get(session_id)
+        if session is None:
+            return
+        # deactivate everything first so per-role cleanup rules observe it
+        for role in list(session.active_roles):
+            self.commit_deactivation(session_id, role)
+        self.model.delete_session_record(session_id)
+        self.audit.record("session.delete", session=session_id)
+
+    def commit_activation(self, session_id: str, role: str,
+                          activation_id: int) -> None:
+        self.model.add_session_role_record(session_id, role)
+        self.current_activation[(session_id, role)] = activation_id
+        self.activation_started[(session_id, role)] = self.clock.now
+        self.audit.record("activation.add", session=session_id, role=role)
+
+    def commit_deactivation(self, session_id: str, role: str) -> None:
+        user = self.model.session_user(session_id)
+        self.model.drop_session_role_record(session_id, role)
+        self.current_activation.pop((session_id, role), None)
+        self.activation_started.pop((session_id, role), None)
+        self.audit.record("activation.drop", session=session_id, role=role)
+        self.detector.raise_event(
+            f"roleDeactivated.{role}", sessionId=session_id, role=role,
+            user=user,
+        )
+
+    def commit_assignment(self, user: str, role: str) -> None:
+        self.model.add_assignment_record(user, role)
+        self.audit.record("admin.assign_user", user=user, role=role)
+
+    def commit_deassignment(self, user: str, role: str) -> None:
+        self.model.remove_assignment_record(user, role)
+        self.audit.record("admin.deassign_user", user=user, role=role)
+        self.revalidate_activations(user)
+
+    def revalidate_activations(self, user: str | None = None) -> int:
+        """Deactivate every activation that lost its authorization
+        (after deassignment or hierarchy edits). Returns how many."""
+        stale = self.unauthorized_activations(user)
+        for session_id, role in stale:
+            self.commit_deactivation(session_id, role)
+        return len(stale)
+
+    def commit_role_enabled(self, role: str, enabled: bool) -> None:
+        if not enabled:
+            # Deactivate through commit_deactivation so roleDeactivated
+            # events fire (anchor cleanup, audit) before the flag flips.
+            self.force_deactivate_role(role)
+        self.model.set_role_enabled(role, enabled)
+        self.audit.record("role.enable" if enabled else "role.disable",
+                          role=role)
+
+    # ======================================================================
+    # active-security reactions
+    # ======================================================================
+
+    def force_deactivate_role(self, role: str) -> int:
+        """Drop ``role`` from every session (countermeasure). Returns
+        the number of sessions affected."""
+        if role not in self.model.roles:
+            return 0
+        affected = 0
+        for session_id, session in list(self.model.sessions.items()):
+            if role in session.active_roles:
+                self.commit_deactivation(session_id, role)
+                affected += 1
+        return affected
+
+    def lock_user(self, user: str) -> None:
+        """Lock a user out: sessions destroyed, further requests denied."""
+        self.locked_users.add(user)
+        for session_id in list(self.model.user_sessions(user)) \
+                if user in self.model.users else []:
+            self.commit_session_delete(session_id)
+        self.audit.record("security.lock_user", user=user)
+
+    def unlock_user(self, user: str) -> None:
+        self.locked_users.discard(user)
+        self.audit.record("security.unlock_user", user=user)
+
+    # ======================================================================
+    # internals
+    # ======================================================================
+
+    def _record_rule_firing(self, rule, occurrence, outcome, error) -> None:
+        if outcome is RuleOutcome.ELSE or error is not None:
+            self.audit.record(
+                "rule.else", rule=rule.name, event=occurrence.event,
+                error=type(error).__name__ if error else None,
+            )
+
+    def safe_raise(self, event: str, **params) -> None:
+        """Raise an event from a timer callback, auditing (not
+        propagating) access-control denials — timers have no requester."""
+        try:
+            self.detector.raise_event(event, **params)
+        except ReproError as exc:
+            self.audit.record("timer.denied", event=event,
+                              error=type(exc).__name__, message=str(exc))
+
+    def stats(self) -> dict[str, int]:
+        """Combined model/detector/rule-pool counters."""
+        combined = dict(self.model.stats())
+        combined.update({f"events_{k}": v
+                         for k, v in self.detector.stats().items()})
+        combined["rules"] = len(self.rules)
+        combined["audit_entries"] = len(self.audit)
+        return combined

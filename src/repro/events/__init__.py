@@ -1,0 +1,38 @@
+"""Sentinel+ event substrate: primitive events, Snoop composite operators,
+parameter (consumption) contexts and the event detector.
+
+This package reproduces the active-capability layer the paper builds on
+(Sections 3 and 5): an event detector that receives primitive event
+notifications from reactive objects, composes them with the Snoop/SnoopIB
+operator algebra (AND, OR, NOT, SEQUENCE, PLUS, APERIODIC, PERIODIC and
+their cumulative variants) and signals subscribed OWTE rules.
+
+Typical usage::
+
+    from repro.clock import VirtualClock, TimerService
+    from repro.events import EventDetector, ConsumptionMode
+
+    clock = VirtualClock()
+    detector = EventDetector(TimerService(clock))
+    detector.define_primitive("E1")
+    detector.define_primitive("E2")
+    detector.define_sequence("S", "E1", "E2")
+    detector.subscribe("S", lambda occ: print("detected", occ))
+    detector.raise_event("E1", user="bob")
+    detector.raise_event("E2", file="patient.dat")   # S fires here
+"""
+
+from repro.events.calendar import CalendarExpression
+from repro.events.consumption import ConsumptionMode
+from repro.events.detector import EventDetector
+from repro.events.occurrence import Occurrence
+from repro.events.reactive import ReactiveObject, primitive_event
+
+__all__ = [
+    "CalendarExpression",
+    "ConsumptionMode",
+    "EventDetector",
+    "Occurrence",
+    "ReactiveObject",
+    "primitive_event",
+]

@@ -1,0 +1,220 @@
+"""Calendar expressions: the paper's ``24h:mi:ss/mm/dd/yyyy`` notation.
+
+Rule 6 (footnote 10) writes *10 a.m. every day* as ``[10:00:00/*/*/*]``
+with the general form ``24h:mi:ss/mm/dd/yyyy``; a ``*`` in a field matches
+every value of that field.  A :class:`CalendarExpression` parses that
+notation, tests whether a given instant matches, and — crucially for the
+timer-driven detector — computes the *next* matching instant after a given
+time so absolute temporal events can be scheduled on the
+:class:`~repro.clock.TimerService`.
+
+The hour field is written ``24h`` in the paper's grammar but is just the
+0-23 hour; we accept 1- or 2-digit numbers in every time field.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+from repro.clock import SIMULATED_EPOCH
+from repro.errors import CalendarExpressionError
+
+#: Field order in the textual form (matches VirtualClock.now_fields()).
+_FIELDS = ("hour", "minute", "second", "month", "day", "year")
+
+_FIELD_RANGES = {
+    "hour": (0, 23),
+    "minute": (0, 59),
+    "second": (0, 59),
+    "month": (1, 12),
+    "day": (1, 31),
+    "year": (1970, 9999),
+}
+
+
+def _parse_field(name: str, text: str) -> int | None:
+    """Parse one field: ``*`` -> None (wildcard), else a bounded integer."""
+    text = text.strip()
+    if text == "*":
+        return None
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise CalendarExpressionError(
+            f"calendar field {name!r} must be an integer or '*', got {text!r}"
+        ) from exc
+    low, high = _FIELD_RANGES[name]
+    if not low <= value <= high:
+        raise CalendarExpressionError(
+            f"calendar field {name!r} out of range [{low}, {high}]: {value}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class CalendarExpression:
+    """A parsed ``hh:mm:ss/mm/dd/yyyy`` pattern with ``*`` wildcards.
+
+    ``None`` in a field means wildcard.  Use :meth:`parse` to build one
+    from the paper's textual notation.
+    """
+
+    hour: int | None
+    minute: int | None
+    second: int | None
+    month: int | None
+    day: int | None
+    year: int | None
+
+    @classmethod
+    def parse(cls, text: str) -> "CalendarExpression":
+        """Parse ``"10:00:00/*/*/*"`` style notation.
+
+        The date part may be partially omitted: ``"10:00:00"`` is
+        shorthand for ``"10:00:00/*/*/*"``.
+        """
+        text = text.strip()
+        if text.startswith("[") and text.endswith("]"):
+            text = text[1:-1].strip()
+        parts = text.split("/")
+        time_part = parts[0]
+        date_parts = parts[1:]
+        if len(date_parts) > 3:
+            raise CalendarExpressionError(
+                f"too many '/'-separated fields in {text!r} "
+                "(expected hh:mm:ss/mm/dd/yyyy)"
+            )
+        date_parts += ["*"] * (3 - len(date_parts))
+
+        time_fields = time_part.split(":")
+        if len(time_fields) != 3:
+            raise CalendarExpressionError(
+                f"time part of {text!r} must be hh:mm:ss, got {time_part!r}"
+            )
+
+        values = [
+            _parse_field(name, raw)
+            for name, raw in zip(_FIELDS, time_fields + date_parts)
+        ]
+        return cls(*values)
+
+    def __str__(self) -> str:
+        def show(value: int | None, width: int = 2) -> str:
+            return "*" if value is None else f"{value:0{width}d}"
+
+        return (
+            f"{show(self.hour)}:{show(self.minute)}:{show(self.second)}"
+            f"/{show(self.month)}/{show(self.day)}/{show(self.year, 4)}"
+        )
+
+    # -- matching -----------------------------------------------------------
+
+    def matches_datetime(self, dt: datetime) -> bool:
+        """Does the instant ``dt`` match this pattern?"""
+        checks = (
+            (self.hour, dt.hour),
+            (self.minute, dt.minute),
+            (self.second, dt.second),
+            (self.month, dt.month),
+            (self.day, dt.day),
+            (self.year, dt.year),
+        )
+        return all(want is None or want == have for want, have in checks)
+
+    def matches_seconds(self, seconds: float) -> bool:
+        """Does the simulated instant (seconds since epoch) match?"""
+        return self.matches_datetime(
+            SIMULATED_EPOCH + timedelta(seconds=seconds)
+        )
+
+    # -- scheduling ---------------------------------------------------------
+
+    def next_after(self, seconds: float, horizon_days: int = 366 * 12
+                   ) -> float | None:
+        """Earliest matching instant strictly after ``seconds``.
+
+        Returns simulated seconds since the epoch, or ``None`` when no
+        match exists within ``horizon_days`` (e.g. a fully pinned date in
+        the past).  The search walks candidate instants coarsely (by day,
+        then within the day by the pinned time fields) instead of
+        second-by-second, so daily patterns cost a handful of iterations.
+        """
+        # Clamp to microsecond resolution *downward*: datetime would
+        # otherwise round 431999.9999999999 up to the next exact second
+        # and "strictly after" would skip a valid match at that second.
+        seconds = math.floor(seconds * 1e6) / 1e6
+        start = SIMULATED_EPOCH + timedelta(seconds=seconds)
+        # Begin at the next whole second strictly after `seconds`.
+        candidate = (start + timedelta(seconds=1)).replace(microsecond=0)
+        if candidate <= start:
+            candidate += timedelta(seconds=1)
+        limit = candidate + timedelta(days=horizon_days)
+
+        while candidate < limit:
+            matched_day = (
+                (self.year is None or candidate.year == self.year)
+                and (self.month is None or candidate.month == self.month)
+                and (self.day is None or candidate.day == self.day)
+            )
+            if not matched_day:
+                candidate = (candidate + timedelta(days=1)).replace(
+                    hour=0, minute=0, second=0
+                )
+                continue
+            in_day = self._next_time_in_day(candidate)
+            if in_day is not None:
+                return (in_day - SIMULATED_EPOCH).total_seconds()
+            candidate = (candidate + timedelta(days=1)).replace(
+                hour=0, minute=0, second=0
+            )
+        return None
+
+    def _next_time_in_day(self, start: datetime) -> datetime | None:
+        """Earliest instant >= ``start`` on the same calendar day whose
+        time-of-day fields match, or None if none remains that day."""
+        hours = [self.hour] if self.hour is not None else range(24)
+        minutes = [self.minute] if self.minute is not None else range(60)
+        seconds_ = [self.second] if self.second is not None else range(60)
+
+        for hour in hours:
+            if hour < start.hour:
+                continue
+            for minute in minutes:
+                if hour == start.hour and minute < start.minute:
+                    continue
+                for second in seconds_:
+                    if (hour == start.hour and minute == start.minute
+                            and second < start.second):
+                        continue
+                    return start.replace(
+                        hour=hour, minute=minute, second=second
+                    )
+        return None
+
+
+def parse_time_of_day(text: str) -> float:
+    """Parse ``"HH:MM"`` or ``"HH:MM:SS"`` into seconds past midnight.
+
+    Convenience used by the policy DSL for shift times like the paper's
+    *day doctor 8 a.m. to 4 p.m.* example.
+    """
+    parts = text.strip().split(":")
+    if len(parts) not in (2, 3):
+        raise CalendarExpressionError(
+            f"time of day must be HH:MM or HH:MM:SS, got {text!r}"
+        )
+    try:
+        numbers = [int(p) for p in parts]
+    except ValueError as exc:
+        raise CalendarExpressionError(
+            f"non-numeric time of day: {text!r}"
+        ) from exc
+    while len(numbers) < 3:
+        numbers.append(0)
+    hour, minute, second = numbers
+    if not (0 <= hour <= 23 and 0 <= minute <= 59 and 0 <= second <= 59):
+        raise CalendarExpressionError(f"time of day out of range: {text!r}")
+    return hour * 3600 + minute * 60 + second

@@ -1,0 +1,136 @@
+"""Parameter (consumption) contexts for composite event detection.
+
+When a binary operator such as ``SEQUENCE(E1, E2)`` can pair a terminator
+occurrence with *several* buffered initiator occurrences, Snoop's
+*parameter contexts* decide which pairings are produced and which buffered
+occurrences are consumed:
+
+* **RECENT** — only the most recent initiator participates; it keeps
+  initiating until a newer initiator replaces it; terminators are consumed.
+  (Sentinel's default, and the right context for authorization rules where
+  only the latest request matters.)
+* **CHRONICLE** — initiator and terminator are paired in FIFO order and
+  both are consumed; every occurrence participates in exactly one
+  detection.  (Right for request/response style auditing.)
+* **CONTINUOUS** — every buffered initiator starts its own window; one
+  terminator detects one composite event per open window and consumes all
+  of them.  (Sliding windows.)
+* **CUMULATIVE** — all buffered initiators are folded into a single
+  detection when the terminator arrives; all are consumed.  (Batching.)
+* **UNRESTRICTED** — nothing is ever consumed; all valid combinations are
+  produced.  Unbounded memory; exposed for completeness and for the B8
+  ablation benchmark.
+
+The :class:`InitiatorBuffer` here encapsulates those five policies over a
+buffer of occurrences, so each operator implements only its pairing
+predicate and delegates retention/consumption decisions.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Iterable
+
+from repro.events.occurrence import Occurrence
+
+
+class ConsumptionMode(enum.Enum):
+    """Snoop parameter context governing occurrence reuse."""
+
+    RECENT = "recent"
+    CHRONICLE = "chronicle"
+    CONTINUOUS = "continuous"
+    CUMULATIVE = "cumulative"
+    UNRESTRICTED = "unrestricted"
+
+    @classmethod
+    def parse(cls, text: "str | ConsumptionMode") -> "ConsumptionMode":
+        """Accept either a member or its lowercase name."""
+        if isinstance(text, ConsumptionMode):
+            return text
+        try:
+            return cls(text.strip().lower())
+        except ValueError as exc:
+            valid = ", ".join(m.value for m in cls)
+            raise ValueError(
+                f"unknown consumption mode {text!r}; expected one of: {valid}"
+            ) from exc
+
+
+class InitiatorBuffer:
+    """A buffer of initiator occurrences obeying one consumption mode.
+
+    Operators call :meth:`add` when an initiator-side occurrence arrives
+    and :meth:`take_matches` when a terminator-side occurrence arrives.
+    ``take_matches`` returns the *groups* of initiators to combine with the
+    terminator — one group per detection — and consumes according to the
+    mode:
+
+    ========== ===============================  =========================
+    mode       groups returned                  consumed afterwards
+    ========== ===============================  =========================
+    RECENT     ``[[most recent eligible]]``     nothing (initiator stays)
+    CHRONICLE  ``[[oldest eligible]]``          that initiator
+    CONTINUOUS one group per eligible, oldest   all eligible initiators
+               first: ``[[i1], [i2], ...]``
+    CUMULATIVE ``[[i1, i2, ...]]`` (one group)  all eligible initiators
+    UNRESTRICTED one group per eligible         nothing
+    ========== ===============================  =========================
+    """
+
+    def __init__(self, mode: ConsumptionMode) -> None:
+        self.mode = mode
+        self._buffer: list[Occurrence] = []
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self) -> Iterable[Occurrence]:
+        return iter(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+    def peek_all(self) -> list[Occurrence]:
+        """Non-consuming view of the buffered occurrences (oldest first)."""
+        return list(self._buffer)
+
+    def add(self, occurrence: Occurrence) -> None:
+        """Buffer an initiator occurrence per the retention policy."""
+        if self.mode is ConsumptionMode.RECENT:
+            # Only the most recent initiator is ever eligible.
+            self._buffer.clear()
+        self._buffer.append(occurrence)
+
+    def take_matches(
+        self,
+        eligible: Callable[[Occurrence], bool] = lambda occ: True,
+    ) -> list[list[Occurrence]]:
+        """Pair buffered initiators with an arriving terminator.
+
+        ``eligible`` filters initiators (e.g. SEQUENCE requires the
+        initiator to end strictly before the terminator starts).  Returns
+        the constituent groups, one per composite detection, and consumes
+        buffered occurrences per the mode's policy.
+        """
+        candidates = [occ for occ in self._buffer if eligible(occ)]
+        if not candidates:
+            return []
+
+        mode = self.mode
+        if mode is ConsumptionMode.RECENT:
+            return [[candidates[-1]]]
+        if mode is ConsumptionMode.CHRONICLE:
+            oldest = candidates[0]
+            self._buffer.remove(oldest)
+            return [[oldest]]
+        if mode is ConsumptionMode.CONTINUOUS:
+            for occ in candidates:
+                self._buffer.remove(occ)
+            return [[occ] for occ in candidates]
+        if mode is ConsumptionMode.CUMULATIVE:
+            for occ in candidates:
+                self._buffer.remove(occ)
+            return [candidates]
+        # UNRESTRICTED: everything pairs, nothing is consumed.
+        return [[occ] for occ in candidates]

@@ -1,0 +1,324 @@
+"""The event detector: Sentinel+'s central dispatch component.
+
+"Sentinel includes an event detector that is responsible for processing
+all the notifications from different objects and eventually signaling to
+the rules that some event has occurred, triggering them" (paper §5).
+
+The :class:`EventDetector` owns
+
+* the registry of named events (primitive, composite, temporal),
+* the event graph (composite nodes wired beneath their constituents),
+* listener subscriptions (the rule manager subscribes here), and
+* dispatch: when a node emits an occurrence, listeners are notified and
+  the occurrence is propagated to parent operator nodes.
+
+Dispatch is synchronous and depth-first: an action that raises a further
+event (cascaded rules, paper §3) is processed immediately, in raise order.
+Cascade-depth protection lives in the rule manager, which is the only
+component that re-enters the detector.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.clock import TimerService, VirtualClock
+from repro.errors import DuplicateEventError, EventError, UnknownEventError
+from repro.events.calendar import CalendarExpression
+from repro.events.composite import (
+    OPERATOR_FACTORIES,
+    AbsoluteNode,
+    AndNode,
+    AperiodicNode,
+    AperiodicStarNode,
+    EventNode,
+    NotNode,
+    OperatorNode,
+    OrNode,
+    PeriodicNode,
+    PeriodicStarNode,
+    PlusNode,
+    PrimitiveEventNode,
+    SequenceNode,
+)
+from repro.events.consumption import ConsumptionMode
+from repro.events.occurrence import Occurrence
+
+Listener = Callable[[Occurrence], None]
+
+
+class EventDetector:
+    """Registry + dispatch hub for the event graph.
+
+    Create one per engine, sharing a :class:`TimerService` (and hence a
+    :class:`VirtualClock`) with every temporal component.
+    """
+
+    def __init__(self, timers: TimerService | None = None) -> None:
+        if timers is None:
+            timers = TimerService(VirtualClock())
+        self.timers = timers
+        self._nodes: dict[str, EventNode] = {}
+        self._listeners: dict[str, list[Listener]] = {}
+        self._global_listeners: list[Listener] = []
+        self._raised_count = 0
+        self._detected_count = 0
+
+    # -- clock plumbing ------------------------------------------------------
+
+    @property
+    def clock(self) -> VirtualClock:
+        return self.timers.clock
+
+    def advance_time(self, seconds: float) -> int:
+        """Advance simulated time, firing due temporal events.
+
+        Returns the number of timer callbacks that fired.
+        """
+        return self.timers.advance(seconds)
+
+    # -- registry ------------------------------------------------------------
+
+    def _register(self, node: EventNode) -> EventNode:
+        if node.name in self._nodes:
+            raise DuplicateEventError(
+                f"event {node.name!r} is already defined"
+            )
+        self._nodes[node.name] = node
+        return node
+
+    def _node(self, name: str) -> EventNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise UnknownEventError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def names(self) -> Iterator[str]:
+        return iter(self._nodes)
+
+    def node(self, name: str) -> EventNode:
+        """Public node lookup (read-only use: inspection, window queries)."""
+        return self._node(name)
+
+    def undefine(self, name: str) -> None:
+        """Remove an event that nothing depends on.
+
+        Used by rule regeneration when a role (and its events) disappears.
+        Refuses to remove an event that still feeds composite events.
+        """
+        node = self._node(name)
+        if node.parents:
+            parents = ", ".join(p.name for p, _ in node.parents)
+            raise EventError(
+                f"cannot undefine {name!r}: still feeds composite "
+                f"event(s) {parents}"
+            )
+        if isinstance(node, OperatorNode):
+            for child in node.children():
+                child.parents = [
+                    (p, s) for p, s in child.parents if p is not node
+                ]
+        node.detach()
+        del self._nodes[name]
+        self._listeners.pop(name, None)
+
+    # -- event definition ----------------------------------------------------
+
+    def define_primitive(self, name: str) -> PrimitiveEventNode:
+        """Define a primitive (simple) event."""
+        node = PrimitiveEventNode(self, name)
+        self._register(node)
+        return node
+
+    def ensure_primitive(self, name: str) -> PrimitiveEventNode:
+        """Define the primitive event if absent; return its node."""
+        if name in self._nodes:
+            node = self._nodes[name]
+            if not isinstance(node, PrimitiveEventNode):
+                raise EventError(
+                    f"event {name!r} exists but is not primitive"
+                )
+            return node
+        return self.define_primitive(name)
+
+    def define_or(self, name: str, *children: str,
+                  mode: ConsumptionMode | str = ConsumptionMode.RECENT
+                  ) -> OrNode:
+        if len(children) < 2:
+            raise EventError("OR needs at least two constituent events")
+        node = OrNode(self, name, tuple(self._node(c) for c in children),
+                      ConsumptionMode.parse(mode))
+        self._register(node)
+        return node
+
+    def define_and(self, name: str, left: str, right: str,
+                   mode: ConsumptionMode | str = ConsumptionMode.RECENT
+                   ) -> AndNode:
+        node = AndNode(self, name, (self._node(left), self._node(right)),
+                       ConsumptionMode.parse(mode))
+        self._register(node)
+        return node
+
+    def define_sequence(self, name: str, first: str, second: str,
+                        mode: ConsumptionMode | str = ConsumptionMode.RECENT
+                        ) -> SequenceNode:
+        node = SequenceNode(self, name,
+                            (self._node(first), self._node(second)),
+                            ConsumptionMode.parse(mode))
+        self._register(node)
+        return node
+
+    def define_not(self, name: str, opener: str, forbidden: str,
+                   closer: str,
+                   mode: ConsumptionMode | str = ConsumptionMode.RECENT
+                   ) -> NotNode:
+        node = NotNode(self, name,
+                       (self._node(opener), self._node(forbidden),
+                        self._node(closer)),
+                       ConsumptionMode.parse(mode))
+        self._register(node)
+        return node
+
+    def define_aperiodic(self, name: str, opener: str, middle: str,
+                         closer: str,
+                         mode: ConsumptionMode | str = ConsumptionMode.RECENT
+                         ) -> AperiodicNode:
+        node = AperiodicNode(self, name,
+                             (self._node(opener), self._node(middle),
+                              self._node(closer)),
+                             ConsumptionMode.parse(mode))
+        self._register(node)
+        return node
+
+    def define_aperiodic_star(self, name: str, opener: str, middle: str,
+                              closer: str) -> AperiodicStarNode:
+        node = AperiodicStarNode(self, name,
+                                 (self._node(opener), self._node(middle),
+                                  self._node(closer)))
+        self._register(node)
+        return node
+
+    def define_periodic(self, name: str, opener: str, period: float,
+                        closer: str) -> PeriodicNode:
+        node = PeriodicNode(self, name,
+                            (self._node(opener), self._node(closer)),
+                            period)
+        self._register(node)
+        return node
+
+    def define_periodic_star(self, name: str, opener: str, period: float,
+                             closer: str) -> PeriodicStarNode:
+        node = PeriodicStarNode(self, name,
+                                (self._node(opener), self._node(closer)),
+                                period)
+        self._register(node)
+        return node
+
+    def define_plus(self, name: str, source: str, delta: float) -> PlusNode:
+        node = PlusNode(self, name, (self._node(source),), delta)
+        self._register(node)
+        return node
+
+    def define_absolute(self, name: str,
+                        expression: CalendarExpression | str) -> AbsoluteNode:
+        if isinstance(expression, str):
+            expression = CalendarExpression.parse(expression)
+        node = AbsoluteNode(self, name, expression)
+        self._register(node)
+        return node
+
+    def define_composite(self, name: str, operator: str, *children: str,
+                         mode: ConsumptionMode | str = ConsumptionMode.RECENT
+                         ) -> OperatorNode:
+        """Generic definition by operator name (used by the policy DSL)."""
+        operator = operator.upper()
+        factory = OPERATOR_FACTORIES.get(operator)
+        if factory is None:
+            valid = ", ".join(sorted(OPERATOR_FACTORIES))
+            raise EventError(
+                f"unknown operator {operator!r}; expected one of: {valid}"
+            )
+        child_nodes = tuple(self._node(c) for c in children)
+        node = factory(self, name, child_nodes, ConsumptionMode.parse(mode))
+        self._register(node)
+        return node
+
+    # -- subscriptions & dispatch ---------------------------------------------
+
+    def subscribe(self, name: str, listener: Listener) -> None:
+        """Call ``listener(occurrence)`` on every detection of ``name``."""
+        self._node(name)  # validate existence
+        self._listeners.setdefault(name, []).append(listener)
+
+    def unsubscribe(self, name: str, listener: Listener) -> bool:
+        listeners = self._listeners.get(name, [])
+        try:
+            listeners.remove(listener)
+            return True
+        except ValueError:
+            return False
+
+    def subscribe_all(self, listener: Listener) -> None:
+        """Observe every detection (used by the audit log)."""
+        self._global_listeners.append(listener)
+
+    def raise_event(self, name: str, /, **params: Any) -> Occurrence:
+        """Signal a primitive event occurrence with keyword parameters.
+
+        ``name`` is positional-only so parameters may themselves be
+        called ``name`` (e.g. the ``context.update`` external event).
+        """
+        node = self._node(name)
+        if not isinstance(node, PrimitiveEventNode):
+            raise EventError(
+                f"only primitive events can be raised; {name!r} is "
+                f"{type(node).__name__}"
+            )
+        self._raised_count += 1
+        return node.signal(params)
+
+    def dispatch(self, node: EventNode, occurrence: Occurrence) -> None:
+        """Fan an occurrence out to listeners, observers and parents.
+
+        Listener order: rule listeners for the event first (registration
+        order — the rule manager layers priority on top), then global
+        observers, then parent operator nodes.  Synchronous: cascaded
+        raises complete before this call returns.
+        """
+        self._detected_count += 1
+        for listener in list(self._listeners.get(node.name, ())):
+            listener(occurrence)
+        for listener in self._global_listeners:
+            listener(occurrence)
+        for parent, slot in node.parents:
+            if parent.name in self._nodes:  # skip detached/undefined parents
+                parent.on_child(slot, occurrence)
+
+    # -- maintenance / introspection ------------------------------------------
+
+    def reset_state(self) -> None:
+        """Clear every node's buffered partial detections (not definitions)."""
+        for node in self._nodes.values():
+            node.reset()
+
+    def stats(self) -> dict[str, int]:
+        """Counters for benchmarking: events raised and detections made."""
+        return {
+            "defined": len(self._nodes),
+            "raised": self._raised_count,
+            "detected": self._detected_count,
+        }
+
+    def graph_edges(self) -> list[tuple[str, str]]:
+        """(child, parent) edges of the event graph, for inspection."""
+        edges = []
+        for node in self._nodes.values():
+            for parent, _slot in node.parents:
+                edges.append((node.name, parent.name))
+        return edges

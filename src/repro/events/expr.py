@@ -1,0 +1,267 @@
+"""Fluent event-expression builder over the Snoop algebra.
+
+The detector's ``define_*`` methods require naming every intermediate
+event.  For complex expressions — the paper's Rule 6 builds
+``Aperiodic([StartD], Aperiodic([10:00], OR(ET1, ET2), [17:00]),
+[EndD])`` — a composable expression API is more natural::
+
+    from repro.events.expr import E, aperiodic
+
+    et3 = E("roleDisableNurse") | E("roleDisableDoctor")
+    et5 = aperiodic(E("DailyStart"), et3, E("DailyEnd"))
+    et4 = aperiodic(E("YearStart"), et5, E("YearEnd"))
+    name = et4.define(detector, "ET4")     # defines the whole tree
+
+Operators:
+
+=====================  ====================================
+``a | b``              OR(a, b)
+``a & b``              AND(a, b)
+``a >> b``             SEQUENCE(a, b)
+``a.then(b)``          SEQUENCE(a, b) (method form)
+``a.plus(delta)``      PLUS(a, delta)
+``negation(a, b, c)``  NOT(a, b, c) — b absent between a and c
+``aperiodic(a, b, c)`` APERIODIC — b inside [a, c) windows
+``aperiodic_star``     A* — fold of b's, detected at c
+``periodic(a, t, c)``  PERIODIC — tick every t inside [a, c)
+=====================  ====================================
+
+``define`` names only the root; anonymous subexpressions get stable
+derived names (``<root>#1``, ``<root>#2``, ... in definition order) and
+are reused if already defined — defining the same tree twice under the
+same root name is an error (events are unique), but sharing a named
+primitive between trees is the normal case.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.events.consumption import ConsumptionMode
+from repro.events.detector import EventDetector
+
+
+class Expr:
+    """Base class for event expressions (immutable trees)."""
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return OrExpr((self, _coerce(other)))
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return AndExpr(self, _coerce(other))
+
+    def __rshift__(self, other: "Expr") -> "Expr":
+        return SeqExpr(self, _coerce(other))
+
+    def then(self, other: "Expr") -> "Expr":
+        """SEQUENCE(self, other) — method form of ``>>``."""
+        return SeqExpr(self, _coerce(other))
+
+    def plus(self, delta: float) -> "Expr":
+        """PLUS(self, delta): fire ``delta`` seconds after self."""
+        return PlusExpr(self, float(delta))
+
+    def define(self, detector: EventDetector, name: str,
+               mode: ConsumptionMode | str = ConsumptionMode.RECENT
+               ) -> str:
+        """Define this expression tree in the detector; returns ``name``.
+
+        Subexpressions are defined bottom-up with derived names;
+        primitives are ensured (created if absent).
+        """
+        mode = ConsumptionMode.parse(mode)
+        counter = itertools.count(1)
+
+        def derive() -> str:
+            return f"{name}#{next(counter)}"
+
+        return self._define(detector, name, mode, derive)
+
+    def _define(self, detector, name, mode, derive) -> str:
+        raise NotImplementedError
+
+
+def _coerce(value: "Expr | str") -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, str):
+        return E(value)
+    raise TypeError(f"cannot use {value!r} as an event expression")
+
+
+@dataclass(frozen=True)
+class E(Expr):
+    """A named (usually primitive) event leaf.
+
+    Referencing an already-defined composite by name is allowed: the
+    leaf simply resolves to that node.
+    """
+
+    name: str
+
+    def _define(self, detector, name, mode, derive) -> str:
+        if self.name not in detector:
+            detector.ensure_primitive(self.name)
+        # a leaf used as a tree root under a different name -> alias
+        # via a 2-ary OR is surprising; just reject
+        if name != self.name:
+            raise ValueError(
+                f"cannot define leaf {self.name!r} under a different "
+                f"name {name!r}; wrap it in an operator")
+        return self.name
+
+    def _resolve(self, detector, derive, mode) -> str:
+        if self.name not in detector:
+            detector.ensure_primitive(self.name)
+        return self.name
+
+
+class _Composite(Expr):
+    def _resolve(self, detector, derive, mode) -> str:
+        return self._define(detector, derive(), mode, derive)
+
+    @staticmethod
+    def _child(child: Expr, detector, derive, mode) -> str:
+        return child._resolve(detector, derive, mode)
+
+
+@dataclass(frozen=True)
+class OrExpr(_Composite):
+    children: tuple[Expr, ...]
+
+    def __or__(self, other: "Expr") -> "Expr":
+        # flatten chains: a | b | c -> OR(a, b, c)
+        return OrExpr((*self.children, _coerce(other)))
+
+    def _define(self, detector, name, mode, derive) -> str:
+        names = [self._child(c, detector, derive, mode)
+                 for c in self.children]
+        detector.define_or(name, *names, mode=mode)
+        return name
+
+
+@dataclass(frozen=True)
+class AndExpr(_Composite):
+    left: Expr
+    right: Expr
+
+    def _define(self, detector, name, mode, derive) -> str:
+        detector.define_and(
+            name,
+            self._child(self.left, detector, derive, mode),
+            self._child(self.right, detector, derive, mode),
+            mode=mode)
+        return name
+
+
+@dataclass(frozen=True)
+class SeqExpr(_Composite):
+    first: Expr
+    second: Expr
+
+    def _define(self, detector, name, mode, derive) -> str:
+        detector.define_sequence(
+            name,
+            self._child(self.first, detector, derive, mode),
+            self._child(self.second, detector, derive, mode),
+            mode=mode)
+        return name
+
+
+@dataclass(frozen=True)
+class PlusExpr(_Composite):
+    source: Expr
+    delta: float
+
+    def _define(self, detector, name, mode, derive) -> str:
+        detector.define_plus(
+            name, self._child(self.source, detector, derive, mode),
+            self.delta)
+        return name
+
+
+@dataclass(frozen=True)
+class NotExpr(_Composite):
+    opener: Expr
+    forbidden: Expr
+    closer: Expr
+
+    def _define(self, detector, name, mode, derive) -> str:
+        detector.define_not(
+            name,
+            self._child(self.opener, detector, derive, mode),
+            self._child(self.forbidden, detector, derive, mode),
+            self._child(self.closer, detector, derive, mode),
+            mode=mode)
+        return name
+
+
+@dataclass(frozen=True)
+class AperiodicExpr(_Composite):
+    opener: Expr
+    middle: Expr
+    closer: Expr
+    star: bool = field(default=False)
+
+    def _define(self, detector, name, mode, derive) -> str:
+        opener = self._child(self.opener, detector, derive, mode)
+        middle = self._child(self.middle, detector, derive, mode)
+        closer = self._child(self.closer, detector, derive, mode)
+        if self.star:
+            detector.define_aperiodic_star(name, opener, middle, closer)
+        else:
+            detector.define_aperiodic(name, opener, middle, closer,
+                                      mode=mode)
+        return name
+
+
+@dataclass(frozen=True)
+class PeriodicExpr(_Composite):
+    opener: Expr
+    period: float
+    closer: Expr
+    star: bool = field(default=False)
+
+    def _define(self, detector, name, mode, derive) -> str:
+        opener = self._child(self.opener, detector, derive, mode)
+        closer = self._child(self.closer, detector, derive, mode)
+        if self.star:
+            detector.define_periodic_star(name, opener, self.period,
+                                          closer)
+        else:
+            detector.define_periodic(name, opener, self.period, closer)
+        return name
+
+
+def negation(opener: Expr | str, forbidden: Expr | str,
+             closer: Expr | str) -> Expr:
+    """NOT: closer after opener with no intervening forbidden event."""
+    return NotExpr(_coerce(opener), _coerce(forbidden), _coerce(closer))
+
+
+def aperiodic(opener: Expr | str, middle: Expr | str,
+              closer: Expr | str) -> Expr:
+    """APERIODIC: each middle inside an [opener, closer) window."""
+    return AperiodicExpr(_coerce(opener), _coerce(middle),
+                         _coerce(closer))
+
+
+def aperiodic_star(opener: Expr | str, middle: Expr | str,
+                   closer: Expr | str) -> Expr:
+    """A*: accumulate middles; one detection at closer."""
+    return AperiodicExpr(_coerce(opener), _coerce(middle),
+                         _coerce(closer), star=True)
+
+
+def periodic(opener: Expr | str, period: float,
+             closer: Expr | str) -> Expr:
+    """PERIODIC: a tick every ``period`` seconds inside the window."""
+    return PeriodicExpr(_coerce(opener), float(period), _coerce(closer))
+
+
+def periodic_star(opener: Expr | str, period: float,
+                  closer: Expr | str) -> Expr:
+    """P*: count ticks silently; one detection at closer."""
+    return PeriodicExpr(_coerce(opener), float(period), _coerce(closer),
+                        star=True)

@@ -1,0 +1,111 @@
+"""Event occurrences: the values that flow through the event graph.
+
+An :class:`Occurrence` records one detection of a (primitive or composite)
+event: the event's name, the interval over which it occurred, the
+parameters it carries, and — for composite events — the constituent
+occurrences it was built from.
+
+SnoopIB (the paper's own event language, [1] in its references) gives every
+event an *interval* ``[start, end]`` rather than a point: a primitive event
+occupies the degenerate interval ``[t, t]`` while ``SEQUENCE(E1, E2)``
+spans from E1's start to E2's end.  Interval semantics are what make nested
+sequences unambiguous, so we keep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.clock import Timestamp
+
+
+@dataclass(frozen=True)
+class Occurrence:
+    """One detection of an event.
+
+    Attributes:
+        event: name of the detected event.
+        start: timestamp of the earliest constituent (interval begin).
+        end: timestamp of the detection instant (interval end).
+        params: parameters carried by the occurrence.  For composite
+            events this is the merge of all constituent parameter sets;
+            when two constituents carry the same key the *later* one wins,
+            which matches Sentinel's "most recent binding" convention.
+        constituents: constituent occurrences (empty for primitives).
+    """
+
+    event: str
+    start: Timestamp
+    end: Timestamp
+    params: Mapping[str, Any] = field(default_factory=dict)
+    constituents: tuple["Occurrence", ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"occurrence of {self.event!r} ends ({self.end}) before "
+                f"it starts ({self.start})"
+            )
+
+    @property
+    def is_primitive(self) -> bool:
+        return not self.constituents
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Parameter lookup with a default (dict.get semantics)."""
+        return self.params.get(key, default)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.params[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.params
+
+    def leaves(self) -> Iterator["Occurrence"]:
+        """Yield the primitive occurrences underlying this one, in order."""
+        if self.is_primitive:
+            yield self
+            return
+        for child in self.constituents:
+            yield from child.leaves()
+
+    def flatten(self) -> dict[str, Any]:
+        """The merged parameter dictionary as a plain dict."""
+        return dict(self.params)
+
+    def describe(self) -> str:
+        """Human-readable one-line rendering (used by the audit log)."""
+        parts = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params.items()))
+        return f"{self.event}@[{self.start.seconds:g},{self.end.seconds:g}]({parts})"
+
+
+def merge_params(*occurrences: Occurrence) -> dict[str, Any]:
+    """Merge parameters of several occurrences, later occurrences winning.
+
+    Occurrences are merged in end-timestamp order so that "later wins"
+    refers to event time, not argument position.
+    """
+    merged: dict[str, Any] = {}
+    for occ in sorted(occurrences, key=lambda o: o.end):
+        merged.update(occ.params)
+    return merged
+
+
+def compose(event: str, constituents: tuple[Occurrence, ...],
+            detection: Timestamp) -> Occurrence:
+    """Build a composite occurrence from its constituents.
+
+    The interval spans from the earliest constituent start to the
+    detection instant; parameters are the event-time-ordered merge.
+    """
+    if not constituents:
+        raise ValueError("composite occurrence needs at least one constituent")
+    start = min(c.start for c in constituents)
+    return Occurrence(
+        event=event,
+        start=start,
+        end=detection,
+        params=merge_params(*constituents),
+        constituents=constituents,
+    )

@@ -1,0 +1,119 @@
+"""Reactive objects: Sentinel's primitive-event interface for methods.
+
+"In Sentinel, a reactive object is an object that has traditional object
+definition plus an event interface ... The event interface lets the object
+designate some or all of reactive object methods as primitive event
+generators" (paper §5).
+
+A :class:`ReactiveObject` subclass marks methods with the
+:func:`primitive_event` decorator; invoking a marked method raises a
+primitive event named ``<EventPrefix>.<method>`` (or an explicit name)
+into the object's detector, carrying the call's keyword-visible arguments
+as event parameters — the ``U -> F(PA1, ..., PAn)`` form from paper §3.
+
+Example::
+
+    class FileServer(ReactiveObject):
+        @primitive_event()
+        def open_file(self, user, filename):
+            return f"{user} opened {filename}"
+
+    server = FileServer(detector, event_prefix="fs")
+    server.open_file("Bob", "patient.dat")   # raises event "fs.open_file"
+
+Events are raised *before* the method body runs ("begin" modifier in
+Sentinel terms) so authorization rules can veto the call by raising
+:class:`~repro.errors.AccessDenied` from their ELSE branch — the method
+body then never executes.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+from typing import Any, Callable, TypeVar
+
+from repro.events.detector import EventDetector
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+_EVENT_ATTR = "_repro_primitive_event"
+
+
+def primitive_event(name: str | None = None) -> Callable[[F], F]:
+    """Mark a :class:`ReactiveObject` method as a primitive event generator.
+
+    ``name`` overrides the default event name (``<prefix>.<method>``).
+    The decorated method raises its event with the bound call arguments as
+    parameters, then executes normally.
+    """
+
+    def decorate(method: F) -> F:
+        signature = inspect.signature(method)
+
+        @functools.wraps(method)
+        def wrapper(self: "ReactiveObject", *args: Any, **kwargs: Any) -> Any:
+            bound = signature.bind(self, *args, **kwargs)
+            bound.apply_defaults()
+            params = {
+                key: value for key, value in bound.arguments.items()
+                if key != "self"
+            }
+            event_name = name or f"{self.event_prefix}.{method.__name__}"
+            self.detector.raise_event(event_name, **params)
+            return method(self, *args, **kwargs)
+
+        setattr(wrapper, _EVENT_ATTR, name or True)
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+class ReactiveObject:
+    """Base class whose decorated methods generate primitive events.
+
+    On construction, every :func:`primitive_event`-decorated method's
+    event is registered with the detector (idempotently), so rules can
+    subscribe before the first invocation.
+    """
+
+    def __init__(self, detector: EventDetector, event_prefix: str = "") -> None:
+        self.detector = detector
+        self.event_prefix = event_prefix or type(self).__name__
+        for attr_name in dir(type(self)):
+            attr = getattr(type(self), attr_name, None)
+            marker = getattr(attr, _EVENT_ATTR, None)
+            if marker is None:
+                continue
+            event_name = (marker if isinstance(marker, str)
+                          else f"{self.event_prefix}.{attr_name}")
+            detector.ensure_primitive(event_name)
+
+    def event_names(self) -> list[str]:
+        """Names of the primitive events this object can generate."""
+        names = []
+        for attr_name in dir(type(self)):
+            attr = getattr(type(self), attr_name, None)
+            marker = getattr(attr, _EVENT_ATTR, None)
+            if marker is None:
+                continue
+            names.append(marker if isinstance(marker, str)
+                         else f"{self.event_prefix}.{attr_name}")
+        return sorted(names)
+
+
+class NotifiableObject:
+    """An object capable of being informed of event occurrences (paper §5).
+
+    Thin adapter: subclasses override :meth:`notify` and are subscribed to
+    events of interest via :meth:`listen_to`.
+    """
+
+    def __init__(self, detector: EventDetector) -> None:
+        self.detector = detector
+
+    def listen_to(self, event_name: str) -> None:
+        self.detector.subscribe(event_name, self.notify)
+
+    def notify(self, occurrence: Any) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError

@@ -1,0 +1,38 @@
+"""RBAC extensions beyond the ANSI standard (paper §4.3.2 and §4.4).
+
+* :mod:`repro.extensions.cfd` — control-flow dependency constraints:
+  post-condition dependencies (Rule 8), prerequisite roles, and
+  transaction-based activation (Rule 9);
+* :mod:`repro.extensions.context` — context-aware constraints: named
+  context variables fed by external events (locations from sensors,
+  network security state) and predicates over them;
+* :mod:`repro.extensions.privacy` — privacy-aware RBAC: purposes, a
+  purpose hierarchy, and object policies binding (purpose, operation,
+  object) with conditions and obligations;
+* :mod:`repro.extensions.cardinality` — cardinality constraint
+  descriptors (max users active in a role, max roles active per user).
+"""
+
+from repro.extensions.cardinality import (
+    RoleCardinality,
+    UserCardinality,
+)
+from repro.extensions.cfd import (
+    PostConditionDependency,
+    PrerequisiteRole,
+    TransactionActivation,
+)
+from repro.extensions.context import ContextProvider, ContextConstraint
+from repro.extensions.privacy import ObjectPolicy, PurposeTree
+
+__all__ = [
+    "ContextConstraint",
+    "ContextProvider",
+    "ObjectPolicy",
+    "PostConditionDependency",
+    "PrerequisiteRole",
+    "PurposeTree",
+    "RoleCardinality",
+    "TransactionActivation",
+    "UserCardinality",
+]

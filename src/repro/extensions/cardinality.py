@@ -1,0 +1,56 @@
+"""Cardinality constraint descriptors (paper Rule 4 and §4.3 scenarios).
+
+Two shapes:
+
+* :class:`RoleCardinality` — *localized*: "role Programmer can be
+  activated only by five users at a time" (scenario 2, Rule 4);
+* :class:`UserCardinality` — *specialized*: "user Jane should be
+  restricted to a maximum of five active roles at a time" (scenario 1).
+
+The live counters are derived from session state
+(:meth:`repro.rbac.model.RBACModel.active_user_count` /
+:meth:`~repro.rbac.model.RBACModel.active_role_count`) rather than kept
+as separate INCR/DECR counters as in the paper's ``CardinalityR1``
+function — deriving them cannot drift from the sessions, and the
+generated rules read identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RoleCardinality:
+    """At most ``max_users`` distinct users active in ``role`` at once."""
+
+    role: str
+    max_users: int
+
+    def __post_init__(self) -> None:
+        if self.max_users < 1:
+            raise ValueError(
+                f"role cardinality must be >= 1, got {self.max_users}"
+            )
+
+    def describe(self) -> str:
+        return (f"at most {self.max_users} user(s) active in "
+                f"role {self.role!r}")
+
+
+@dataclass(frozen=True)
+class UserCardinality:
+    """At most ``max_roles`` distinct roles active for ``user`` at once."""
+
+    user: str
+    max_roles: int
+
+    def __post_init__(self) -> None:
+        if self.max_roles < 1:
+            raise ValueError(
+                f"user cardinality must be >= 1, got {self.max_roles}"
+            )
+
+    def describe(self) -> str:
+        return (f"user {self.user!r} active in at most "
+                f"{self.max_roles} role(s)")

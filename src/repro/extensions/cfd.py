@@ -1,0 +1,97 @@
+"""Control-flow dependency (CFD) constraints.
+
+"Control flow dependency constraints often occur in task oriented
+systems and are stricter forms of dependency constraints" (paper
+§4.3.2, citing Joshi et al., SACMAT 2003).  Three forms appear in the
+paper and all three are implemented as declarative descriptors the rule
+generator expands:
+
+* **post-condition dependency** (Rule 8): *if role SysAdmin is enabled
+  then role SysAudit must also be enabled, otherwise both should not be
+  enabled* — an atomic pair of enablings with rollback;
+* **prerequisite roles** (§3, SEQUENCE): *a user should be active in
+  role A to activate role B*;
+* **transaction-based activation** (Rule 9, APERIODIC): role
+  "JuniorEmp" may be activated only while role "Manager" is activated,
+  and is deactivated when the manager window closes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PostConditionDependency:
+    """If ``trigger_role`` is enabled, ``required_role`` must be enabled.
+
+    Enabling ``trigger_role`` cascades an enable of ``required_role``;
+    when the cascade fails (required role cannot be enabled), the
+    trigger role's enabling is rolled back and the request is denied —
+    paper Rule 8's "otherwise both the roles should not be enabled".
+    """
+
+    trigger_role: str
+    required_role: str
+
+    def __post_init__(self) -> None:
+        if self.trigger_role == self.required_role:
+            raise ValueError(
+                "post-condition dependency cannot be reflexive: "
+                f"{self.trigger_role!r}"
+            )
+
+    def describe(self) -> str:
+        return (f"enabling {self.trigger_role!r} requires enabling "
+                f"{self.required_role!r} (atomic)")
+
+
+@dataclass(frozen=True)
+class PrerequisiteRole:
+    """Activating ``role`` in a session requires ``prerequisite`` to be
+    active in that same session.
+
+    The paper specifies this with the SEQUENCE operator ("E1 should
+    occur before E2"); operationally the generated W clause checks that
+    the prerequisite is in the session's active role set at activation
+    time, which is the session-state reading of that sequence.
+    """
+
+    role: str
+    prerequisite: str
+
+    def __post_init__(self) -> None:
+        if self.role == self.prerequisite:
+            raise ValueError(
+                f"role {self.role!r} cannot be its own prerequisite"
+            )
+
+    def describe(self) -> str:
+        return (f"activating {self.role!r} requires {self.prerequisite!r} "
+                f"active in the same session")
+
+
+@dataclass(frozen=True)
+class TransactionActivation:
+    """``dependent_role`` may be active only while ``anchor_role`` is
+    activated (by anyone); deactivating the last anchor deactivates
+    every dependent activation.
+
+    Paper Rule 9: the Manager's activation opens an APERIODIC window;
+    JuniorEmp activations are admitted only inside it; the window's
+    termination (Manager deactivated) deactivates JuniorEmp everywhere.
+    """
+
+    dependent_role: str
+    anchor_role: str
+
+    def __post_init__(self) -> None:
+        if self.dependent_role == self.anchor_role:
+            raise ValueError(
+                "transaction-based activation cannot be reflexive: "
+                f"{self.dependent_role!r}"
+            )
+
+    def describe(self) -> str:
+        return (f"{self.dependent_role!r} active only while "
+                f"{self.anchor_role!r} is activated")

@@ -1,0 +1,135 @@
+"""Context-aware constraints: external events feeding named variables.
+
+The paper (§3, §4.2) uses external events — "based on the data from
+sensors", locations, network security — to drive access decisions:
+*when the user is in the insecure network then the protected file
+access should be denied*.
+
+:class:`ContextProvider` is the bridge: it holds a dictionary of named
+context variables, and (optionally) keeps them updated from external
+events raised into the detector (``context.update`` with ``name`` and
+``value`` parameters), mimicking Sentinel's external monitoring module.
+:class:`ContextConstraint` is the declarative descriptor the generator
+turns into W-clause conditions.
+"""
+
+from __future__ import annotations
+
+import enum
+import operator
+from dataclasses import dataclass
+from typing import Any
+
+from repro.events.detector import EventDetector
+from repro.events.occurrence import Occurrence
+
+#: The primitive event name the provider listens on.
+CONTEXT_UPDATE_EVENT = "context.update"
+
+
+class ContextOp(enum.Enum):
+    """Comparison operators available in context predicates."""
+
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    IN = "in"
+    NOT_IN = "not in"
+
+    def apply(self, left: Any, right: Any) -> bool:
+        table = {
+            ContextOp.EQ: operator.eq,
+            ContextOp.NE: operator.ne,
+            ContextOp.LT: operator.lt,
+            ContextOp.LE: operator.le,
+            ContextOp.GT: operator.gt,
+            ContextOp.GE: operator.ge,
+        }
+        if self in table:
+            try:
+                return bool(table[self](left, right))
+            except TypeError:
+                return False
+        if self is ContextOp.IN:
+            return left in right
+        return left not in right  # NOT_IN
+
+
+class ContextProvider:
+    """Named context variables, updatable directly or via external events.
+
+    Wire to a detector to receive Sentinel-style external events::
+
+        provider = ContextProvider()
+        provider.attach(detector)                     # defines the event
+        detector.raise_event("context.update",
+                             name="network", value="insecure")
+        provider.get("network")                       # -> "insecure"
+    """
+
+    def __init__(self, initial: dict[str, Any] | None = None) -> None:
+        self._values: dict[str, Any] = dict(initial or {})
+        self._update_count = 0
+
+    def attach(self, detector: EventDetector) -> None:
+        """Subscribe to ``context.update`` external events."""
+        detector.ensure_primitive(CONTEXT_UPDATE_EVENT)
+        detector.subscribe(CONTEXT_UPDATE_EVENT, self._on_update)
+
+    def _on_update(self, occurrence: Occurrence) -> None:
+        name = occurrence.get("name")
+        if name is None:
+            return
+        self.set(str(name), occurrence.get("value"))
+
+    def set(self, name: str, value: Any) -> None:
+        self._values[name] = value
+        self._update_count += 1
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self._values.get(name, default)
+
+    def snapshot(self) -> dict[str, Any]:
+        return dict(self._values)
+
+    @property
+    def update_count(self) -> int:
+        return self._update_count
+
+
+@dataclass(frozen=True)
+class ContextConstraint:
+    """A predicate over one context variable, gating one role's use.
+
+    ``applies_to`` selects what is gated: ``"activate"`` (role
+    activation) or ``"access"`` (checkAccess through that role).  The
+    paper's pervasive-computing example — deny protected file access on
+    an insecure network — is::
+
+        ContextConstraint(role="FileUser", variable="network",
+                          op=ContextOp.EQ, value="secure",
+                          applies_to="access")
+    """
+
+    role: str
+    variable: str
+    op: ContextOp
+    value: Any
+    applies_to: str = "activate"
+
+    def __post_init__(self) -> None:
+        if self.applies_to not in ("activate", "access"):
+            raise ValueError(
+                f"applies_to must be 'activate' or 'access', "
+                f"got {self.applies_to!r}"
+            )
+
+    def satisfied(self, provider: ContextProvider) -> bool:
+        return self.op.apply(provider.get(self.variable), self.value)
+
+    def describe(self) -> str:
+        return (f"context[{self.variable!r}] {self.op.value} "
+                f"{self.value!r} (for {self.applies_to} of {self.role!r})")

@@ -1,0 +1,201 @@
+"""Distributed access control across enterprise domains.
+
+The paper's future work (§7): "It will be interesting to explore ...
+to provide distributed access control for enterprises".  This module
+implements the natural OWTE-flavoured design: a :class:`Federation` of
+named domains (each a full :class:`~repro.engine.ActiveRBACEngine`)
+with explicit **cross-domain role mappings**.
+
+A mapping ``(home_domain, home_role) -> (host_domain, host_role)``
+states: a user *authorized* for ``home_role`` in their home domain may
+work as ``host_role`` in the host domain.  Visiting users get a guest
+principal ``user@home`` in the host domain; guest activations are
+enforced by the host's own generated rules (the guest principal is
+assigned the mapped roles), so every host-side constraint — DSD,
+cardinality, temporal windows, active security — applies to visitors
+exactly as to locals.
+
+Revocation propagates: :meth:`Federation.revalidate_guests` re-checks
+every guest assignment against the *current* home-domain authorization
+and deassigns (which deactivates, cascades included) anything whose
+home justification disappeared — the same "constraints hold until
+deactivation" discipline (paper §1), applied across domains.  The
+federation also subscribes to each home domain's deassignment events,
+so revocation is pushed eagerly, not just on audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.engine import ActiveRBACEngine
+from repro.errors import AdministrationError, ReproError, UnknownRoleError
+
+
+def guest_principal(user: str, home_domain: str) -> str:
+    """The host-side principal name for a visiting user."""
+    return f"{user}@{home_domain}"
+
+
+@dataclass(frozen=True)
+class RoleMapping:
+    """One cross-domain entitlement."""
+
+    home_domain: str
+    home_role: str
+    host_domain: str
+    host_role: str
+
+    def __post_init__(self) -> None:
+        if self.home_domain == self.host_domain:
+            raise ValueError(
+                "a role mapping must cross domains; "
+                f"both sides are {self.home_domain!r}")
+
+    def describe(self) -> str:
+        return (f"{self.home_domain}:{self.home_role} -> "
+                f"{self.host_domain}:{self.host_role}")
+
+
+class Federation:
+    """A registry of domains and the mappings between them."""
+
+    def __init__(self) -> None:
+        self._domains: dict[str, ActiveRBACEngine] = {}
+        self._mappings: list[RoleMapping] = []
+
+    # -- domain management --------------------------------------------------
+
+    def add_domain(self, name: str, engine: ActiveRBACEngine) -> None:
+        if name in self._domains:
+            raise AdministrationError(f"domain {name!r} already exists")
+        self._domains[name] = engine
+        # push-based revocation: watch the home domain's deassignments
+        engine.detector.subscribe(
+            "deassignUser",
+            lambda occurrence, home=name: self._on_home_deassign(
+                home, occurrence))
+
+    def domain(self, name: str) -> ActiveRBACEngine:
+        try:
+            return self._domains[name]
+        except KeyError:
+            raise AdministrationError(f"unknown domain {name!r}") from None
+
+    def domains(self) -> Iterator[str]:
+        return iter(self._domains)
+
+    # -- mappings -------------------------------------------------------------
+
+    def add_mapping(self, mapping: RoleMapping) -> None:
+        """Register a mapping; both sides must exist."""
+        home = self.domain(mapping.home_domain)
+        host = self.domain(mapping.host_domain)
+        if mapping.home_role not in home.model.roles:
+            raise UnknownRoleError(mapping.home_role)
+        if mapping.host_role not in host.model.roles:
+            raise UnknownRoleError(mapping.host_role)
+        self._mappings.append(mapping)
+
+    def mappings_for(self, home_domain: str,
+                     host_domain: str) -> list[RoleMapping]:
+        return [m for m in self._mappings
+                if m.home_domain == home_domain
+                and m.host_domain == host_domain]
+
+    # -- guest lifecycle ----------------------------------------------------------
+
+    def entitled_host_roles(self, home_domain: str, user: str,
+                            host_domain: str) -> set[str]:
+        """Host roles the user's *current* home authorization entitles."""
+        home = self.domain(home_domain)
+        if user not in home.model.users:
+            return set()
+        return {
+            m.host_role
+            for m in self.mappings_for(home_domain, host_domain)
+            if home.model.is_authorized(user, m.home_role)
+        }
+
+    def visit(self, home_domain: str, user: str, host_domain: str,
+              roles: tuple[str, ...] = ()) -> str:
+        """Open a guest session for ``user`` in ``host_domain``.
+
+        The guest principal is created (if absent) and assigned every
+        entitled host role through the host's administrative rules;
+        then a session is created with the requested initial role set.
+        Raises :class:`~repro.errors.AdministrationError` when nothing
+        entitles the user to visit.
+        """
+        entitled = self.entitled_host_roles(home_domain, user, host_domain)
+        if not entitled:
+            raise AdministrationError(
+                f"user {user!r} of domain {home_domain!r} has no "
+                f"entitlements in domain {host_domain!r}")
+        host = self.domain(host_domain)
+        principal = guest_principal(user, home_domain)
+        if principal not in host.model.users:
+            host.add_user(principal)
+        for role in sorted(entitled):
+            if not host.model.is_assigned(principal, role):
+                host.assign_user(principal, role)
+        return host.create_session(principal, roles=roles)
+
+    # -- revocation propagation -------------------------------------------------------
+
+    def revalidate_guests(self) -> int:
+        """Re-check every guest assignment against current home
+        authorization; deassign stale ones.  Returns assignments
+        removed."""
+        removed = 0
+        for host_name, host in self._domains.items():
+            for principal in list(host.model.users):
+                user, at, home_name = principal.partition("@")
+                if not at or home_name not in self._domains:
+                    continue
+                entitled = self.entitled_host_roles(home_name, user,
+                                                    host_name)
+                for role in list(host.model.assigned_roles(principal)):
+                    if role not in entitled:
+                        try:
+                            host.deassign_user(principal, role)
+                            removed += 1
+                        except ReproError:  # pragma: no cover - defensive
+                            pass
+        return removed
+
+    def _on_home_deassign(self, home_name: str, occurrence) -> None:
+        """Eager revocation when a home domain deassigns a user."""
+        user = occurrence.get("user")
+        if user is None:
+            return
+        for host_name, host in self._domains.items():
+            if host_name == home_name:
+                continue
+            principal = guest_principal(str(user), home_name)
+            if principal not in host.model.users:
+                continue
+            entitled = self.entitled_host_roles(home_name, str(user),
+                                                host_name)
+            for role in list(host.model.assigned_roles(principal)):
+                if role not in entitled:
+                    try:
+                        host.deassign_user(principal, role)
+                    except ReproError:  # pragma: no cover - defensive
+                        pass
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def describe(self) -> str:
+        lines = [f"federation: {len(self._domains)} domain(s), "
+                 f"{len(self._mappings)} mapping(s)"]
+        for name in sorted(self._domains):
+            engine = self._domains[name]
+            guests = sum(1 for user in engine.model.users if "@" in user)
+            lines.append(f"  {name}: {len(engine.model.roles)} roles, "
+                         f"{len(engine.model.users)} users "
+                         f"({guests} guests)")
+        for mapping in self._mappings:
+            lines.append("  map " + mapping.describe())
+        return "\n".join(lines)

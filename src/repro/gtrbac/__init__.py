@@ -1,0 +1,32 @@
+"""Generalized Temporal RBAC (GTRBAC) constraint support.
+
+The paper (§4.3.2) demonstrates two GTRBAC constraint families on top of
+OWTE rules and we implement the machinery for both, plus the periodic
+role enabling/disabling that GTRBAC is built around:
+
+* **periodic expressions** ``(I, P)`` — an interval ``[begin, end]``
+  bounding an infinite set of periodic instants (e.g. *10 a.m. to 5 p.m.
+  every day*): :class:`~repro.gtrbac.periodic.PeriodicInterval`;
+* **duration constraints** — deactivate a role Δ seconds after
+  activation, globally or per user-role (paper Rule 7):
+  :class:`~repro.gtrbac.constraints.DurationConstraint`;
+* **time-based SoD** — two roles from a set cannot both be disabled
+  inside an interval (paper Rule 6):
+  :class:`~repro.gtrbac.constraints.DisablingTimeSoD`;
+* **role triggers** — enable/disable a role at calendar instants
+  (shift times): :class:`~repro.gtrbac.constraints.EnablingWindow`.
+"""
+
+from repro.gtrbac.constraints import (
+    DisablingTimeSoD,
+    DurationConstraint,
+    EnablingWindow,
+)
+from repro.gtrbac.periodic import PeriodicInterval
+
+__all__ = [
+    "DisablingTimeSoD",
+    "DurationConstraint",
+    "EnablingWindow",
+    "PeriodicInterval",
+]

@@ -1,0 +1,110 @@
+"""GTRBAC constraint descriptors.
+
+These are *declarative* records: the rule generator
+(:mod:`repro.synthesis`) turns each into OWTE rules and temporal events,
+exactly as the paper turns Rule 6/Rule 7 prose into rule + event sets.
+Keeping the descriptors separate from the rules means a policy change
+edits a descriptor and regenerates, instead of hand-editing "low level
+semantic descriptors" (the paper's core maintainability argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gtrbac.periodic import PeriodicInterval
+
+
+@dataclass(frozen=True)
+class DurationConstraint:
+    """Deactivate a role ``delta`` seconds after each activation.
+
+    Paper Rule 7: *Deactivate an activated role after a duration Δ ...
+    like limiting car parking to a fixed number of hours.*  When ``user``
+    is set, the constraint is per user-role (a *specialized* rule is
+    generated); otherwise it applies to every activation of the role
+    (a *localized* rule).
+    """
+
+    role: str
+    delta: float
+    user: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ValueError(
+                f"activation duration must be positive, got {self.delta}"
+            )
+
+    def describe(self) -> str:
+        who = f"user {self.user!r} in " if self.user else ""
+        return f"deactivate {who}role {self.role!r} after {self.delta:g}s"
+
+
+@dataclass(frozen=True)
+class EnablingWindow:
+    """A role is enabled only inside a periodic interval (shift times).
+
+    GTRBAC periodic role enabling: the generator creates timers at every
+    window boundary; the role is enabled while the window contains the
+    current instant and disabled outside it.  The paper's example: *the
+    shift time of role "day doctor" is changed from (8 a.m. to 4 p.m.)
+    to (9 a.m. to 5 p.m.)* — a one-line policy edit, then regeneration.
+    """
+
+    role: str
+    interval: PeriodicInterval
+
+    def describe(self) -> str:
+        return f"role {self.role!r} enabled {self.interval.describe()}"
+
+
+@dataclass(frozen=True)
+class DisablingTimeSoD:
+    """Time-based SoD on *disabling*: within the interval, at most one
+    role from ``roles`` may be disabled at a time.
+
+    Paper Rule 6: *both "Nurse" and "Doctor" roles cannot be disabled at
+    the same time within the interval ([begin, end], P)* — availability
+    constraints: someone must be on duty.  Disabling role X inside the
+    interval is denied when any other role in the set is already
+    disabled.
+    """
+
+    name: str
+    roles: frozenset[str]
+    interval: PeriodicInterval
+
+    def __post_init__(self) -> None:
+        if len(self.roles) < 2:
+            raise ValueError(
+                f"disabling-time SoD {self.name!r} needs >= 2 roles"
+            )
+
+    def describe(self) -> str:
+        return (f"at most one of {sorted(self.roles)} disabled during "
+                f"{self.interval.describe()}")
+
+
+@dataclass
+class TemporalPolicy:
+    """Bundle of every temporal constraint attached to a policy.
+
+    The policy graph stores one of these; regeneration diffs it.
+    """
+
+    durations: list[DurationConstraint] = field(default_factory=list)
+    windows: list[EnablingWindow] = field(default_factory=list)
+    disabling_sod: list[DisablingTimeSoD] = field(default_factory=list)
+
+    def for_role(self, role: str) -> "TemporalPolicy":
+        """The slice of constraints mentioning ``role`` (regeneration)."""
+        return TemporalPolicy(
+            durations=[d for d in self.durations if d.role == role],
+            windows=[w for w in self.windows if w.role == role],
+            disabling_sod=[s for s in self.disabling_sod
+                           if role in s.roles],
+        )
+
+    def is_empty(self) -> bool:
+        return not (self.durations or self.windows or self.disabling_sod)

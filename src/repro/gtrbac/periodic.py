@@ -1,0 +1,208 @@
+"""Periodic expressions: GTRBAC's ``(I, P)`` time structure.
+
+Paper Rule 6: "(I, P) corresponds to ``<[begin, end], P>``, where P is a
+periodic expression denoting an infinite set of periodic time instants,
+and ``[begin, end]`` is a time interval denoting lower and upper bounds
+that are imposed on instants in P."
+
+:class:`PeriodicInterval` models the practically dominant cases — a
+daily time-of-day window, optionally restricted to days of the week
+(GTRBAC's weekly periodic expressions) and bounded by absolute
+``[begin, end]`` instants.  That covers every example in the paper
+(shift times, *10 a.m. to 5 p.m. every day*, *start of year to end of
+year*) plus weekday-only shifts.  Arbitrary calendar patterns remain
+available through :class:`~repro.events.calendar.CalendarExpression`
+absolute events.
+
+All times are simulated seconds since :data:`repro.clock.SIMULATED_EPOCH`
+(which is a midnight, so seconds-of-day arithmetic is exact).  Weekdays
+use Python's convention: Monday = 0 .. Sunday = 6.  A *wrapping* window
+(22:00 -> 06:00) belongs to the day it **starts**: a Monday night shift
+covers Tuesday 03:00.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clock import SECONDS_PER_DAY, SIMULATED_EPOCH
+from repro.events.calendar import parse_time_of_day
+
+#: weekday of the simulated epoch (Jan 1 2005 is a Saturday = 5)
+EPOCH_WEEKDAY = SIMULATED_EPOCH.weekday()
+
+DAY_NAMES = ("mon", "tue", "wed", "thu", "fri", "sat", "sun")
+
+
+def parse_days(names: "list[str] | tuple[str, ...]") -> frozenset[int]:
+    """Parse day names (``mon`` .. ``sun``) to weekday indices."""
+    result = set()
+    for name in names:
+        key = name.strip().lower()[:3]
+        if key not in DAY_NAMES:
+            raise ValueError(
+                f"unknown day name {name!r}; expected one of {DAY_NAMES}")
+        result.add(DAY_NAMES.index(key))
+    return frozenset(result)
+
+
+def weekday_of(seconds: float) -> int:
+    """Weekday (Mon=0) of a simulated instant."""
+    return (EPOCH_WEEKDAY + int(seconds // SECONDS_PER_DAY)) % 7
+
+
+@dataclass(frozen=True)
+class PeriodicInterval:
+    """A recurring window bounded by optional absolute instants.
+
+    Attributes:
+        start_tod: window start, seconds past midnight (inclusive).
+        end_tod: window end, seconds past midnight (exclusive).  When
+            ``end_tod <= start_tod`` the window wraps past midnight
+            into the next day (a night shift: 22:00 -> 06:00); the
+            degenerate ``start_tod == end_tod`` case is a full 24-hour
+            window.
+        days: weekdays (Mon=0..Sun=6) on which a window *starts*, or
+            ``None`` for every day.
+        begin: absolute lower bound in simulated seconds (inclusive),
+            or ``None`` for unbounded.
+        end: absolute upper bound in simulated seconds (exclusive),
+            or ``None`` for unbounded.
+    """
+
+    start_tod: float
+    end_tod: float
+    begin: float | None = None
+    end: float | None = None
+    days: frozenset[int] | None = None
+
+    def __post_init__(self) -> None:
+        for name, value in (("start_tod", self.start_tod),
+                            ("end_tod", self.end_tod)):
+            if not 0 <= value < SECONDS_PER_DAY:
+                raise ValueError(
+                    f"{name} must be within a day [0, 86400), got {value}"
+                )
+        if (self.begin is not None and self.end is not None
+                and self.end <= self.begin):
+            raise ValueError(
+                f"interval bound end ({self.end}) must exceed "
+                f"begin ({self.begin})"
+            )
+        if self.days is not None:
+            if not self.days:
+                raise ValueError("days must be non-empty or None")
+            bad = {d for d in self.days if not 0 <= d <= 6}
+            if bad:
+                raise ValueError(f"weekday indices out of range: {bad}")
+
+    @classmethod
+    def daily(cls, start: str, end: str,
+              begin: float | None = None,
+              bound_end: float | None = None,
+              days: "frozenset[int] | list[str] | None" = None
+              ) -> "PeriodicInterval":
+        """Build from clock-time strings: ``daily("10:00", "17:00")``.
+
+        ``days`` may be weekday indices or day names
+        (``["mon", "fri"]``).
+        """
+        if days is not None and not isinstance(days, frozenset):
+            days = parse_days(list(days))
+        return cls(parse_time_of_day(start), parse_time_of_day(end),
+                   begin, bound_end, days)
+
+    @classmethod
+    def always(cls) -> "PeriodicInterval":
+        """The degenerate window that contains every instant."""
+        return cls(0.0, 0.0, None, None)
+
+    @property
+    def _wraps(self) -> bool:
+        return self.end_tod <= self.start_tod
+
+    def _day_allowed(self, day_index: int) -> bool:
+        if self.days is None:
+            return True
+        return (EPOCH_WEEKDAY + day_index) % 7 in self.days
+
+    def contains(self, now: float) -> bool:
+        """Is the simulated instant inside the periodic window?"""
+        if self.begin is not None and now < self.begin:
+            return False
+        if self.end is not None and now >= self.end:
+            return False
+        tod = now % SECONDS_PER_DAY
+        day = int(now // SECONDS_PER_DAY)
+        if self.start_tod == self.end_tod:
+            in_window = True
+            start_day = day  # 24h window starting at start_tod...
+            if tod < self.start_tod:
+                start_day = day - 1
+        elif not self._wraps:
+            in_window = self.start_tod <= tod < self.end_tod
+            start_day = day
+        else:
+            in_window = tod >= self.start_tod or tod < self.end_tod
+            start_day = day if tod >= self.start_tod else day - 1
+        if not in_window:
+            return False
+        return self._day_allowed(start_day)
+
+    def _breakpoint_candidates(self, anchor: float) -> list[float]:
+        """Instants around ``anchor`` where containment *may* change."""
+        base_day = int(anchor // SECONDS_PER_DAY) - 1
+        instants: list[float] = []
+        for offset in range(10):
+            day = base_day + offset
+            if not self._day_allowed(day):
+                continue
+            instants.append(day * SECONDS_PER_DAY + self.start_tod)
+            if self._wraps or self.start_tod == self.end_tod:
+                instants.append(
+                    (day + 1) * SECONDS_PER_DAY + self.end_tod)
+            else:
+                instants.append(day * SECONDS_PER_DAY + self.end_tod)
+        return instants
+
+    def next_boundary(self, now: float) -> tuple[float, bool]:
+        """The next *containment transition* strictly after ``now``.
+
+        Returns ``(instant, opens)`` where ``opens`` is the containment
+        state from that instant on.  Boundaries where the window closes
+        and instantly re-opens (adjacent allowed days of a wrapping or
+        full-day window) are coalesced away, as are boundaries masked
+        by the absolute ``[begin, end)`` bounds.  ``(inf, False)`` when
+        no transition remains — past the ``end`` bound, or a window
+        that contains every instant (``always()``).
+        """
+        candidates = set(self._breakpoint_candidates(now))
+        if self.begin is not None:
+            candidates.add(self.begin)
+            candidates.update(self._breakpoint_candidates(self.begin))
+        if self.end is not None:
+            candidates.add(self.end)
+        current = self.contains(now)
+        for instant in sorted(c for c in candidates if c > now):
+            state = self.contains(instant)
+            if state != current:
+                return (instant, state)
+        return (float("inf"), False)
+
+    def describe(self) -> str:
+        def tod(seconds: float) -> str:
+            seconds = int(seconds)
+            return (f"{seconds // 3600:02d}:{(seconds % 3600) // 60:02d}"
+                    f":{seconds % 60:02d}")
+
+        text = f"{tod(self.start_tod)}-{tod(self.end_tod)}"
+        if self.days is None:
+            text += " daily"
+        else:
+            names = ",".join(DAY_NAMES[d] for d in sorted(self.days))
+            text += f" on {names}"
+        if self.begin is not None or self.end is not None:
+            begin = "epoch" if self.begin is None else f"{self.begin:g}s"
+            end = "forever" if self.end is None else f"{self.end:g}s"
+            text += f" within [{begin}, {end})"
+        return text

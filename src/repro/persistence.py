@@ -1,0 +1,169 @@
+"""Engine state snapshot and restore (restart recovery).
+
+A production enforcement point must survive restarts without losing
+sessions or temporal state.  :func:`snapshot` captures everything the
+engine needs in a JSON-serialisable dict:
+
+* the policy (rendered as canonical DSL text — the single source the
+  rule pool regenerates from),
+* the simulated clock,
+* sessions with their active roles, activation ids and start times,
+* role enabled/disabled status,
+* locked users and context variables,
+* the session/activation counters.
+
+:func:`restore` rebuilds a fresh :class:`~repro.engine.ActiveRBACEngine`
+from the snapshot: the rule pool is *regenerated* from the policy (not
+serialised — rules are code), sessions are re-created, and activation
+duration countdowns are **re-armed with their remaining time**; a
+countdown that expired while the engine was down deactivates the role
+immediately on restore.
+
+What is deliberately *not* restored:
+
+* the audit log (ship it to durable storage via
+  ``engine.audit.observe``; a restored engine starts a fresh log);
+* active-security sliding windows (conservative reset: a restart
+  re-arms every threshold from zero).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.clock import VirtualClock
+from repro.engine import ActiveRBACEngine
+from repro.policy.dsl import parse_policy, render_policy
+
+SNAPSHOT_VERSION = 1
+
+
+def snapshot(engine: ActiveRBACEngine) -> dict[str, Any]:
+    """Capture the engine's dynamic state as a JSON-serialisable dict."""
+    sessions = []
+    for session_id, session in engine.model.sessions.items():
+        activations = {}
+        for role in session.active_roles:
+            key = (session_id, role)
+            activations[role] = {
+                "activation_id": engine.current_activation.get(key, 0),
+                "started": engine.activation_started.get(
+                    key, engine.clock.now),
+            }
+        sessions.append({
+            "id": session_id,
+            "user": session.user,
+            "activations": activations,
+        })
+    return {
+        "version": SNAPSHOT_VERSION,
+        "policy": render_policy(engine.policy),
+        "clock": engine.clock.now,
+        "sessions": sessions,
+        "role_enabled": {
+            name: role.enabled
+            for name, role in engine.model.roles.items()
+        },
+        "locked_users": sorted(engine.locked_users),
+        "context": {
+            key: value
+            for key, value in engine.context.snapshot().items()
+            if isinstance(value, (str, int, float, bool, type(None)))
+        },
+        "counters": {
+            "session_seq": next(engine._session_seq),
+            "activation_seq": next(engine._activation_seq),
+        },
+    }
+
+
+def dumps(engine: ActiveRBACEngine, **json_kwargs: Any) -> str:
+    """Snapshot as a JSON string."""
+    return json.dumps(snapshot(engine), **json_kwargs)
+
+
+def restore(data: dict[str, Any]) -> ActiveRBACEngine:
+    """Rebuild an engine from a :func:`snapshot` dict."""
+    version = data.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"unsupported snapshot version {version!r} "
+            f"(expected {SNAPSHOT_VERSION})")
+    policy = parse_policy(data["policy"])
+    clock = VirtualClock(start=float(data["clock"]))
+    engine = ActiveRBACEngine(policy, clock=clock)
+
+    # counters resume past the snapshot's high-water marks
+    import itertools
+    counters = data.get("counters", {})
+    engine._session_seq = itertools.count(
+        int(counters.get("session_seq", 1)))
+    engine._activation_seq = itertools.count(
+        int(counters.get("activation_seq", 1)))
+
+    # role status: snapshot values override the windows' initial guess
+    for name, enabled in data.get("role_enabled", {}).items():
+        if name in engine.model.roles:
+            engine.model.roles[name].enabled = bool(enabled)
+
+    engine.locked_users = set(data.get("locked_users", ()))
+    for key, value in data.get("context", {}).items():
+        engine.context.set(key, value)
+
+    now = engine.clock.now
+    for session in data.get("sessions", ()):
+        session_id = session["id"]
+        user = session["user"]
+        if user not in engine.model.users:
+            continue  # user removed from the policy since the snapshot
+        engine.model.create_session_record(session_id, user)
+        for role, info in session["activations"].items():
+            if role not in engine.model.roles:
+                continue
+            activation_id = int(info["activation_id"])
+            started = float(info["started"])
+            engine.model.add_session_role_record(session_id, role)
+            engine.current_activation[(session_id, role)] = activation_id
+            engine.activation_started[(session_id, role)] = started
+            _rearm_duration(engine, session_id, user, role,
+                            activation_id, started, now)
+    engine.audit.record("admin.restore",
+                        sessions=len(data.get("sessions", ())),
+                        clock=now)
+    return engine
+
+
+def loads(text: str) -> ActiveRBACEngine:
+    """Restore from a JSON string."""
+    return restore(json.loads(text))
+
+
+def _rearm_duration(engine: ActiveRBACEngine, session_id: str, user: str,
+                    role: str, activation_id: int, started: float,
+                    now: float) -> None:
+    """Re-arm a duration countdown with its remaining time.
+
+    The original countdown was a PLUS event armed at activation; after a
+    restore only the remainder is owed.  A countdown that already
+    expired while the engine was down deactivates immediately.
+    """
+    delta = engine.duration_for(role, user)
+    if delta is None:
+        return
+    remaining = (started + delta) - now
+
+    def expire() -> None:
+        key = (session_id, role)
+        if engine.current_activation.get(key) != activation_id:
+            return
+        if session_id not in engine.model.sessions:
+            return
+        engine.audit.record("temporal.duration_expired", role=role,
+                            session=session_id)
+        engine.commit_deactivation(session_id, role)
+
+    if remaining <= 0:
+        expire()
+    else:
+        engine.timers.schedule_after(remaining, expire)

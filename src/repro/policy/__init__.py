@@ -1,0 +1,33 @@
+"""High-level policy specification: spec objects, DSL, graph, validator.
+
+The paper's RBAC Manager lets administrators specify enterprise access
+control policies at a high level; the system instantiates them into an
+access-specification graph (Figure 1) from which OWTE rules are
+generated.  This package reproduces that pipeline minus the GUI:
+
+* :mod:`repro.policy.spec` — :class:`~repro.policy.spec.PolicySpec`,
+  the complete declarative policy (what the GUI's widgets collect);
+* :mod:`repro.policy.dsl` — a textual policy language that parses to a
+  :class:`~repro.policy.spec.PolicySpec` (the GUI substitute);
+* :mod:`repro.policy.graph` — the access-specification graph: role
+  nodes with relationship flags and child->parent subscriber pointers,
+  exactly as Figure 1 describes;
+* :mod:`repro.policy.validator` — consistency checking (the paper's
+  "advanced consistency checking mechanisms" future work, §5).
+"""
+
+from repro.policy.dsl import parse_policy
+from repro.policy.graph import PolicyGraph, RoleNode
+from repro.policy.spec import PolicySpec, RoleSpec, UserSpec, build_model
+from repro.policy.validator import validate_policy
+
+__all__ = [
+    "PolicyGraph",
+    "PolicySpec",
+    "RoleNode",
+    "RoleSpec",
+    "UserSpec",
+    "build_model",
+    "parse_policy",
+    "validate_policy",
+]

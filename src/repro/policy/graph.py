@@ -1,0 +1,140 @@
+"""The access-specification graph: Figure 1's data structure.
+
+"All the nodes represent an instance of entity R (i.e., roles) ...
+Flags corresponding to relationships (i.e., hierarchy, static SoD
+relations, and active security constraints) are stored in the node ...
+Parent nodes are connected to the child nodes when there is a
+hierarchical relationship and static SoD constraints are represented as
+a dashed line between two nodes.  Each node has an internal subscriber
+list that is used to point to the parent node.  This pointer allow the
+child nodes to identify their parent nodes when the list of authorized
+users is required.  On the other hand, constraints can be propagated in
+a bottom up manner using the pointers." (paper §5)
+
+A :class:`PolicyGraph` is derived from a :class:`~repro.policy.spec.PolicySpec`
+(the system generates the pointers; users never specify them).  It is
+the structure the rule generator conceptually walks; we keep it explicit
+both for fidelity and because its rendering *is* the reproduction of
+Figure 1 (see ``benchmarks/test_fig1_xyz.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.policy.spec import PolicySpec
+
+
+@dataclass
+class RoleNode:
+    """One role node with its relationship flags and subscriber list."""
+
+    name: str
+    #: relationship flags, exactly the Figure 1 set plus the extension
+    #: families this reproduction supports
+    flags: dict[str, bool] = field(default_factory=dict)
+    #: child -> parent subscriber pointers ("internal subscriber list")
+    subscribers: list[str] = field(default_factory=list)
+    #: immediate children (parent -> child solid edges)
+    children: list[str] = field(default_factory=list)
+    #: dashed static-SoD edges incident to this node
+    ssd_partners: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        set_flags = sorted(k for k, v in self.flags.items() if v)
+        parts = [f"node {self.name}"]
+        if set_flags:
+            parts.append("flags={" + ", ".join(set_flags) + "}")
+        if self.subscribers:
+            parts.append("parents->" + ",".join(sorted(self.subscribers)))
+        if self.ssd_partners:
+            parts.append("ssd--" + ",".join(sorted(self.ssd_partners)))
+        return " ".join(parts)
+
+
+class PolicyGraph:
+    """The instantiated policy: role nodes, edges, flags, pointers."""
+
+    def __init__(self, spec: PolicySpec) -> None:
+        self.spec = spec
+        self.nodes: dict[str, RoleNode] = {}
+        self._build()
+
+    def _build(self) -> None:
+        spec = self.spec
+        for name in spec.roles:
+            self.nodes[name] = RoleNode(
+                name=name, flags=spec.role_constraints_summary(name))
+        for senior, junior in spec.hierarchy:
+            # solid edge parent -> child; subscriber pointer child -> parent
+            if senior in self.nodes and junior in self.nodes:
+                self.nodes[senior].children.append(junior)
+                self.nodes[junior].subscribers.append(senior)
+        for sod in spec.ssd.values():
+            members = sorted(sod.roles)
+            for role in members:
+                if role not in self.nodes:
+                    continue
+                partners = [m for m in members if m != role]
+                self.nodes[role].ssd_partners.extend(partners)
+        # propagate SSD flags bottom-up along the subscriber pointers:
+        # "PM inherits the static SoD constraints from PC" (paper §5)
+        changed = True
+        while changed:
+            changed = False
+            for node in self.nodes.values():
+                if not node.flags.get("static_sod"):
+                    continue
+                for parent in node.subscribers:
+                    parent_node = self.nodes[parent]
+                    if not parent_node.flags.get("static_sod_inherited"):
+                        parent_node.flags["static_sod_inherited"] = True
+                        changed = True
+
+    # -- queries ---------------------------------------------------------------
+
+    def node(self, name: str) -> RoleNode:
+        return self.nodes[name]
+
+    def roots(self) -> list[str]:
+        """Roles with no parents (hierarchy tops)."""
+        return sorted(
+            name for name, node in self.nodes.items() if not node.subscribers
+        )
+
+    def effective_ssd_partners(self, role: str) -> set[str]:
+        """SSD partners including those inherited from juniors: a user
+        of ``role`` is authorized for all its juniors, so their SSD
+        partners constrain ``role`` too (enterprise XYZ: PM inherits
+        PC's conflict with AC)."""
+        partners: set[str] = set(self.nodes[role].ssd_partners)
+        for junior in self._juniors(role):
+            partners.update(self.nodes[junior].ssd_partners)
+        partners.discard(role)
+        return partners
+
+    def _juniors(self, role: str) -> set[str]:
+        result: set[str] = set()
+        stack = list(self.nodes[role].children)
+        while stack:
+            node = stack.pop()
+            if node in result:
+                continue
+            result.add(node)
+            stack.extend(self.nodes[node].children)
+        return result
+
+    def render(self) -> str:
+        """A textual rendering of the Figure 1 graph."""
+        lines = [f"policy {self.spec.name!r}: "
+                 f"{len(self.nodes)} role node(s)"]
+        for name in sorted(self.nodes):
+            lines.append("  " + self.nodes[name].describe())
+        edges = [f"{s} -> {j}" for s, j in sorted(self.spec.hierarchy)]
+        if edges:
+            lines.append("  hierarchy edges: " + "; ".join(edges))
+        for sod in self.spec.ssd.values():
+            lines.append(
+                f"  ssd {sod.name}: {{" + ", ".join(sorted(sod.roles))
+                + f"}} n={sod.cardinality} (dashed)")
+        return "\n".join(lines)

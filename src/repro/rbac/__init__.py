@@ -1,0 +1,37 @@
+"""NIST/ANSI RBAC reference model (INCITS 359-2004).
+
+The four model components of the standard (paper §2):
+
+1. **Core RBAC** — users, roles, permissions (operation, object pairs),
+   sessions, user-role assignment (UA) and permission-role assignment
+   (PA): :mod:`repro.rbac.model`.
+2. **Hierarchical RBAC** — a partial order over roles where senior roles
+   acquire the permissions of their juniors and junior roles acquire the
+   user membership of their seniors: :mod:`repro.rbac.hierarchy`.
+3. **Static SoD** — constraints on user-role *assignment*:
+   :mod:`repro.rbac.sod`.
+4. **Dynamic SoD** — constraints on simultaneous *activation* within a
+   session: :mod:`repro.rbac.sod`.
+
+:class:`~repro.rbac.model.RBACModel` is the single authoritative state
+shared by both enforcement engines: the active (OWTE-rule) engine mutates
+it from generated rule actions, and the direct baseline engine mutates it
+from inline checks.  Keeping one model is what lets the differential
+property tests assert the two engines always agree.
+"""
+
+from repro.rbac.hierarchy import RoleHierarchy
+from repro.rbac.model import Permission, RBACModel, Role, Session, User
+from repro.rbac.sod import DsdConstraint, SodRegistry, SsdConstraint
+
+__all__ = [
+    "DsdConstraint",
+    "Permission",
+    "RBACModel",
+    "Role",
+    "RoleHierarchy",
+    "Session",
+    "SodRegistry",
+    "SsdConstraint",
+    "User",
+]

@@ -1,0 +1,190 @@
+"""Role hierarchies: a partial order of seniority between roles.
+
+"A hierarchy is mathematically a partial order defining a seniority
+relation between roles, whereby senior roles acquire the permissions of
+their juniors, and junior roles acquire the user membership of their
+seniors" (ANSI INCITS 359-2004, quoted in paper §2).
+
+The hierarchy stores the *immediate* inheritance relation and derives the
+transitive closure on demand.  Both **general** hierarchies (arbitrary
+partial orders) and **limited** hierarchies (each role restricted to at
+most one immediate descendant, i.e. inverted trees) are supported; the
+mode is chosen at construction.
+
+Terminology used throughout (matching the standard):
+
+* ``senior >> junior`` — the senior *inherits* the junior;
+* seniors of R — roles above R (that acquire R's permissions);
+* juniors of R — roles below R (whose permissions R acquires).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.errors import (
+    HierarchyCycleError,
+    HierarchyError,
+    LimitedHierarchyError,
+)
+
+
+class RoleHierarchy:
+    """Mutable partial order over role names.
+
+    Roles are added implicitly by :meth:`add_role` (the model calls it)
+    and related with :meth:`add_inheritance` / :meth:`delete_inheritance`.
+    Transitive queries (:meth:`seniors`, :meth:`juniors`) return the
+    proper closure — the role itself is excluded; use the ``*_inclusive``
+    variants when the reflexive closure is wanted (the standard's
+    authorized-users / authorized-permissions definitions are reflexive).
+    """
+
+    def __init__(self, limited: bool = False) -> None:
+        self.limited = limited
+        #: immediate seniors: _up[r] = roles that directly inherit r
+        self._up: dict[str, set[str]] = {}
+        #: immediate juniors: _down[r] = roles r directly inherits
+        self._down: dict[str, set[str]] = {}
+        #: memoized transitive closures, invalidated on any mutation;
+        #: key is (role, direction) where direction is "up"/"down"
+        self._closure_cache: dict[tuple[str, str], frozenset[str]] = {}
+
+    def _invalidate(self) -> None:
+        self._closure_cache.clear()
+
+    # -- membership ------------------------------------------------------------
+
+    def add_role(self, role: str) -> None:
+        self._up.setdefault(role, set())
+        self._down.setdefault(role, set())
+
+    def remove_role(self, role: str) -> None:
+        """Remove a role and every edge touching it."""
+        for senior in self._up.pop(role, set()):
+            self._down[senior].discard(role)
+        for junior in self._down.pop(role, set()):
+            self._up[junior].discard(role)
+        self._invalidate()
+
+    def __contains__(self, role: str) -> bool:
+        return role in self._up
+
+    def roles(self) -> Iterator[str]:
+        return iter(self._up)
+
+    # -- edges -------------------------------------------------------------------
+
+    def add_inheritance(self, senior: str, junior: str) -> None:
+        """Establish ``senior >> junior`` (AddInheritance in the standard).
+
+        Rejects self-loops, edges that would create a cycle (the relation
+        must stay a partial order), duplicate edges, and — in limited
+        mode — a second immediate descendant for ``senior``.
+        """
+        self._require(senior)
+        self._require(junior)
+        if senior == junior:
+            raise HierarchyCycleError(senior, junior)
+        if junior in self._down[senior]:
+            raise HierarchyError(
+                f"inheritance {senior!r} -> {junior!r} already exists"
+            )
+        # A cycle appears iff the would-be junior is already senior to us.
+        if senior in self._descend(junior, self._down):
+            raise HierarchyCycleError(senior, junior)
+        if self.limited and self._down[senior]:
+            existing = next(iter(self._down[senior]))
+            raise LimitedHierarchyError(
+                f"limited hierarchy: {senior!r} already has immediate "
+                f"descendant {existing!r}"
+            )
+        self._down[senior].add(junior)
+        self._up[junior].add(senior)
+        self._invalidate()
+
+    def delete_inheritance(self, senior: str, junior: str) -> None:
+        """Remove the *immediate* edge ``senior >> junior``."""
+        self._require(senior)
+        self._require(junior)
+        if junior not in self._down[senior]:
+            raise HierarchyError(
+                f"no immediate inheritance {senior!r} -> {junior!r}"
+            )
+        self._down[senior].remove(junior)
+        self._up[junior].remove(senior)
+        self._invalidate()
+
+    def immediate_seniors(self, role: str) -> set[str]:
+        self._require(role)
+        return set(self._up[role])
+
+    def immediate_juniors(self, role: str) -> set[str]:
+        self._require(role)
+        return set(self._down[role])
+
+    # -- closures ------------------------------------------------------------------
+
+    def seniors(self, role: str) -> set[str]:
+        """All roles strictly senior to ``role`` (transitive, memoized)."""
+        self._require(role)
+        key = (role, "up")
+        cached = self._closure_cache.get(key)
+        if cached is None:
+            cached = frozenset(self._descend(role, self._up))
+            self._closure_cache[key] = cached
+        return set(cached)
+
+    def juniors(self, role: str) -> set[str]:
+        """All roles strictly junior to ``role`` (transitive, memoized)."""
+        self._require(role)
+        key = (role, "down")
+        cached = self._closure_cache.get(key)
+        if cached is None:
+            cached = frozenset(self._descend(role, self._down))
+            self._closure_cache[key] = cached
+        return set(cached)
+
+    def seniors_inclusive(self, role: str) -> set[str]:
+        result = self.seniors(role)
+        result.add(role)
+        return result
+
+    def juniors_inclusive(self, role: str) -> set[str]:
+        result = self.juniors(role)
+        result.add(role)
+        return result
+
+    def is_senior(self, senior: str, junior: str) -> bool:
+        """Does ``senior >> junior`` hold in the transitive relation?"""
+        if senior not in self._up:
+            return False
+        return junior in self.juniors(senior)
+
+    def edges(self) -> list[tuple[str, str]]:
+        """Every immediate (senior, junior) edge, sorted for determinism."""
+        return sorted(
+            (senior, junior)
+            for senior, juniors in self._down.items()
+            for junior in juniors
+        )
+
+    # -- internals -------------------------------------------------------------------
+
+    def _require(self, role: str) -> None:
+        if role not in self._up:
+            raise HierarchyError(f"role {role!r} not in hierarchy")
+
+    @staticmethod
+    def _descend(start: str, adjacency: dict[str, set[str]]) -> set[str]:
+        """BFS transitive closure from ``start`` along ``adjacency``."""
+        seen: set[str] = set()
+        queue = deque(adjacency.get(start, ()))
+        while queue:
+            node = queue.popleft()
+            if node in seen:
+                continue
+            seen.add(node)
+            queue.extend(adjacency.get(node, ()))
+        return seen

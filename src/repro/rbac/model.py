@@ -1,0 +1,599 @@
+"""Core RBAC state: the authoritative model both engines share.
+
+Implements the ANSI INCITS 359-2004 functional specification:
+
+* **administrative commands** — ``add_user``, ``delete_user``,
+  ``add_role``, ``delete_role``, ``assign_user``, ``deassign_user``,
+  ``grant_permission``, ``revoke_permission``, ``add_inheritance``,
+  ``delete_inheritance``, SSD/DSD set management;
+* **supporting system functions** — session records
+  (``create_session_record`` etc.) as *unchecked* state transitions: the
+  enforcement engines (active rules or the direct baseline) perform the
+  checks and then call these to commit;
+* **review functions** — ``assigned_users``, ``authorized_users``,
+  ``role_permissions``, ``session_roles`` and friends;
+* **predicates** — the pure checks the paper's generated rule conditions
+  call (``checkAssignedR1``, ``checkAuthorizationR1``,
+  ``checkDynamicSoDSet``, ``checkPermissions``, ...).
+
+Administrative commands *do* validate (e.g. ``assign_user`` refuses an
+SSD violation) because the standard defines them as total functions over
+consistent states; the paper's administrative rules wrap them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import (
+    AdministrationError,
+    DuplicateEntityError,
+    SsdViolationError,
+    UnknownPermissionError,
+    UnknownRoleError,
+    UnknownSessionError,
+    UnknownUserError,
+)
+from repro.rbac.hierarchy import RoleHierarchy
+from repro.rbac.sod import SodRegistry
+
+
+@dataclass(frozen=True)
+class Permission:
+    """An approval to perform ``operation`` on ``obj`` (PRMS in the spec)."""
+
+    operation: str
+    obj: str
+
+    def __str__(self) -> str:
+        return f"({self.operation}, {self.obj})"
+
+
+@dataclass
+class User:
+    """An instance of entity U: a human or user agent (paper §4.1).
+
+    ``max_active_roles`` carries the *specialized* cardinality constraint
+    of paper scenario 1 ("Jane restricted to five active roles"); ``None``
+    means unconstrained.
+    """
+
+    name: str
+    max_active_roles: int | None = None
+    attributes: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class Role:
+    """An instance of entity R: a job function (paper §4.1).
+
+    ``max_active_users`` carries the *localized* cardinality constraint
+    of paper scenario 2 ("Programmer activated by at most five users").
+    ``enabled`` is the GTRBAC role status: a disabled role cannot be
+    activated in any session (it stays assigned).
+    """
+
+    name: str
+    max_active_users: int | None = None
+    enabled: bool = True
+    attributes: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class Session:
+    """A user's session with its active role set (paper footnote 9)."""
+
+    session_id: str
+    user: str
+    active_roles: set[str] = field(default_factory=set)
+
+
+class RBACModel:
+    """The shared RBAC state machine.
+
+    ``hierarchy_limited=True`` selects limited hierarchies (at most one
+    immediate descendant per role).
+    """
+
+    def __init__(self, hierarchy_limited: bool = False) -> None:
+        self.users: dict[str, User] = {}
+        self.roles: dict[str, Role] = {}
+        self.operations: set[str] = set()
+        self.objects: set[str] = set()
+        self.permissions: set[Permission] = set()
+        #: user-role assignment relation UA
+        self._ua: dict[str, set[str]] = {}
+        #: permission-role assignment relation PA (role -> permissions)
+        self._pa: dict[str, set[Permission]] = {}
+        self.hierarchy = RoleHierarchy(limited=hierarchy_limited)
+        self.sod = SodRegistry()
+        self.sessions: dict[str, Session] = {}
+
+    # ======================================================================
+    # administrative commands
+    # ======================================================================
+
+    def add_user(self, name: str, max_active_roles: int | None = None) -> User:
+        if name in self.users:
+            raise DuplicateEntityError(f"user {name!r} already exists")
+        user = User(name, max_active_roles)
+        self.users[name] = user
+        self._ua[name] = set()
+        return user
+
+    def delete_user(self, name: str) -> None:
+        """Delete a user; their sessions are destroyed (ANSI semantics)."""
+        self._require_user(name)
+        for session_id in [
+            sid for sid, s in self.sessions.items() if s.user == name
+        ]:
+            del self.sessions[session_id]
+        del self._ua[name]
+        del self.users[name]
+
+    def add_role(self, name: str, max_active_users: int | None = None,
+                 enabled: bool = True) -> Role:
+        if name in self.roles:
+            raise DuplicateEntityError(f"role {name!r} already exists")
+        role = Role(name, max_active_users, enabled)
+        self.roles[name] = role
+        self._pa[name] = set()
+        self.hierarchy.add_role(name)
+        return role
+
+    def delete_role(self, name: str) -> None:
+        """Delete a role everywhere: UA, PA, hierarchy, SoD, sessions."""
+        self._require_role(name)
+        for assigned in self._ua.values():
+            assigned.discard(name)
+        del self._pa[name]
+        self.hierarchy.remove_role(name)
+        self.sod.remove_role(name)
+        for session in self.sessions.values():
+            session.active_roles.discard(name)
+        del self.roles[name]
+
+    def add_operation(self, operation: str) -> None:
+        self.operations.add(operation)
+
+    def add_object(self, obj: str) -> None:
+        self.objects.add(obj)
+
+    def add_permission(self, operation: str, obj: str) -> Permission:
+        """Register a permission (operation, object); idempotent."""
+        self.operations.add(operation)
+        self.objects.add(obj)
+        permission = Permission(operation, obj)
+        self.permissions.add(permission)
+        return permission
+
+    def assign_user(self, user: str, role: str) -> None:
+        """AssignUser: establish UA(user, role), preserving SSD.
+
+        With hierarchies, SSD applies to the *authorized* role set: the
+        assignment is refused when the user would become authorized for
+        a violating combination.
+        """
+        self._require_user(user)
+        self._require_role(role)
+        if role in self._ua[user]:
+            raise AdministrationError(
+                f"user {user!r} is already assigned to role {role!r}"
+            )
+        authorized = self.authorized_roles(user)
+        gained = self.hierarchy.juniors_inclusive(role) - authorized
+        candidate = authorized | gained
+        violations = self.sod.ssd_violations(candidate)
+        if violations:
+            names = ", ".join(v.name for v in violations)
+            raise SsdViolationError(
+                f"assigning {role!r} to {user!r} violates SSD "
+                f"constraint(s): {names}",
+                constraint=violations[0].name, user=user,
+                roles=violations[0].roles,
+            )
+        self._ua[user].add(role)
+
+    def deassign_user(self, user: str, role: str) -> None:
+        """DeassignUser: remove UA(user, role).
+
+        Every active role the user is no longer *authorized* for is
+        deactivated — not just ``role``: a junior activated under this
+        assignment's authority loses its justification too ("all the
+        constraints that are satisfied by a user when activating a role
+        should hold TRUE until the role is deactivated", paper §1).
+        """
+        self._require_user(user)
+        self._require_role(role)
+        if role not in self._ua[user]:
+            raise AdministrationError(
+                f"user {user!r} is not assigned to role {role!r}"
+            )
+        self._ua[user].remove(role)
+        for session in self.sessions.values():
+            if session.user != user:
+                continue
+            for active in list(session.active_roles):
+                if not self.is_authorized(user, active):
+                    session.active_roles.discard(active)
+
+    def grant_permission(self, role: str, operation: str, obj: str) -> None:
+        """GrantPermission: establish PA(permission, role)."""
+        self._require_role(role)
+        permission = Permission(operation, obj)
+        if permission not in self.permissions:
+            raise UnknownPermissionError(permission)
+        if permission in self._pa[role]:
+            raise AdministrationError(
+                f"role {role!r} already holds permission {permission}"
+            )
+        self._pa[role].add(permission)
+
+    def revoke_permission(self, role: str, operation: str, obj: str) -> None:
+        self._require_role(role)
+        permission = Permission(operation, obj)
+        if permission not in self._pa[role]:
+            raise AdministrationError(
+                f"role {role!r} does not hold permission {permission}"
+            )
+        self._pa[role].remove(permission)
+
+    def add_inheritance(self, senior: str, junior: str) -> None:
+        """AddInheritance: senior >> junior, preserving SSD consistency.
+
+        The edge is rejected when it would put any user's authorized
+        role set in violation of an SSD constraint (hierarchical SSD,
+        ANSI §6.3) — e.g. enterprise XYZ's PM inherits the SSD of PC.
+        Only users *authorized for the senior side* can be affected
+        (they are exactly those who acquire the junior's closure), so
+        the check scans those, not the whole user population.
+        """
+        self.hierarchy.add_inheritance(senior, junior)
+        problems = self.sod.check_consistency(
+            self.authorized_roles, self.authorized_users(senior)
+        )
+        if problems:
+            self.hierarchy.delete_inheritance(senior, junior)
+            raise SsdViolationError(
+                f"inheritance {senior!r} -> {junior!r} rejected: "
+                + "; ".join(problems)
+            )
+
+    def delete_inheritance(self, senior: str, junior: str) -> None:
+        self.hierarchy.delete_inheritance(senior, junior)
+
+    # -- SoD set administration (delegates, with role validation) --------------
+
+    def create_ssd_set(self, name: str, roles: Iterable[str],
+                       cardinality: int) -> None:
+        """CreateSsdSet: the new constraint must hold for current state."""
+        roles = list(roles)
+        for role in roles:
+            self._require_role(role)
+        constraint = self.sod.create_ssd(name, roles, cardinality)
+        problems = [
+            user for user in self.users
+            if constraint.violated_by(self.authorized_roles(user))
+        ]
+        if problems:
+            self.sod.delete_ssd(name)
+            raise SsdViolationError(
+                f"SSD set {name!r} rejected: already violated by "
+                f"user(s) {sorted(problems)}", constraint=name,
+            )
+
+    def delete_ssd_set(self, name: str) -> None:
+        self.sod.delete_ssd(name)
+
+    def create_dsd_set(self, name: str, roles: Iterable[str],
+                       cardinality: int) -> None:
+        roles = list(roles)
+        for role in roles:
+            self._require_role(role)
+        self.sod.create_dsd(name, roles, cardinality)
+
+    def delete_dsd_set(self, name: str) -> None:
+        self.sod.delete_dsd(name)
+
+    # ======================================================================
+    # supporting system functions (unchecked state transitions)
+    # ======================================================================
+    # The enforcement engine — generated OWTE rules or the direct baseline
+    # — performs the W-clause checks and then commits via these.
+
+    def create_session_record(self, session_id: str, user: str) -> Session:
+        self._require_user(user)
+        if session_id in self.sessions:
+            raise DuplicateEntityError(
+                f"session {session_id!r} already exists"
+            )
+        session = Session(session_id, user)
+        self.sessions[session_id] = session
+        return session
+
+    def delete_session_record(self, session_id: str) -> None:
+        self._require_session(session_id)
+        del self.sessions[session_id]
+
+    def add_session_role_record(self, session_id: str, role: str) -> None:
+        """Commit a role activation (paper: ``addSessionRoleR1``)."""
+        session = self._require_session(session_id)
+        self._require_role(role)
+        session.active_roles.add(role)
+
+    def drop_session_role_record(self, session_id: str, role: str) -> None:
+        """Commit a role deactivation (paper: ``removeSessionRoleR1``)."""
+        session = self._require_session(session_id)
+        session.active_roles.discard(role)
+
+    def add_assignment_record(self, user: str, role: str) -> None:
+        """Commit a user-role assignment *without* re-validating SSD.
+
+        The generated administrative rule's W clause has already checked
+        SSD (``ssd_allows_assignment``); this is its THEN commit.
+        """
+        self._require_user(user)
+        self._require_role(role)
+        self._ua[user].add(role)
+
+    def remove_assignment_record(self, user: str, role: str) -> None:
+        """Commit a deassignment: UA removal only.
+
+        Session cleanup is the enforcement engine's job — it must
+        deactivate not just this role but every active role the user is
+        *no longer authorized for* (activating a junior under a senior
+        assignment), and it must do so through its own deactivation
+        path so cascades (anchor cleanup, events, audit) fire.
+        """
+        self._require_user(user)
+        self._ua[user].discard(role)
+
+    def ssd_allows_assignment(self, user: str, role: str) -> bool:
+        """Predicate form of the AssignUser SSD check (rule W clause)."""
+        if user not in self.users or role not in self.roles:
+            return False
+        authorized = self.authorized_roles(user)
+        candidate = authorized | self.hierarchy.juniors_inclusive(role)
+        return not self.sod.ssd_violations(candidate)
+
+    # ======================================================================
+    # review functions
+    # ======================================================================
+
+    def assigned_users(self, role: str) -> set[str]:
+        """AssignedUsers: users with a direct UA to ``role``."""
+        self._require_role(role)
+        return {u for u, roles in self._ua.items() if role in roles}
+
+    def assigned_roles(self, user: str) -> set[str]:
+        """AssignedRoles: roles with a direct UA from ``user``."""
+        self._require_user(user)
+        return set(self._ua[user])
+
+    def authorized_users(self, role: str) -> set[str]:
+        """AuthorizedUsers: users assigned to ``role`` or any senior of it.
+
+        "Junior roles acquire the user membership of their seniors."
+        """
+        self._require_role(role)
+        roles = self.hierarchy.seniors_inclusive(role)
+        return {
+            u for u, assigned in self._ua.items()
+            if assigned.intersection(roles)
+        }
+
+    def authorized_roles(self, user: str) -> set[str]:
+        """AuthorizedRoles: assigned roles plus everything junior to them."""
+        self._require_user(user)
+        result: set[str] = set()
+        for role in self._ua[user]:
+            result |= self.hierarchy.juniors_inclusive(role)
+        return result
+
+    def role_permissions(self, role: str) -> set[Permission]:
+        """RolePermissions: direct PA plus permissions of all juniors.
+
+        "Senior roles acquire the permissions of their juniors."
+        """
+        self._require_role(role)
+        result: set[Permission] = set()
+        for member in self.hierarchy.juniors_inclusive(role):
+            result |= self._pa.get(member, set())
+        return result
+
+    def direct_role_permissions(self, role: str) -> set[Permission]:
+        self._require_role(role)
+        return set(self._pa[role])
+
+    def user_permissions(self, user: str) -> set[Permission]:
+        """UserPermissions: union over the user's authorized roles."""
+        result: set[Permission] = set()
+        for role in self.authorized_roles(user):
+            result |= self._pa.get(role, set())
+        return result
+
+    def session_roles(self, session_id: str) -> set[str]:
+        """SessionRoles (paper: ``getSessionRoles``)."""
+        return set(self._require_session(session_id).active_roles)
+
+    def session_user(self, session_id: str) -> str:
+        return self._require_session(session_id).user
+
+    def session_permissions(self, session_id: str) -> set[Permission]:
+        """SessionPermissions: union over the session's active roles
+        (each active role contributes its hierarchical permissions)."""
+        session = self._require_session(session_id)
+        result: set[Permission] = set()
+        for role in session.active_roles:
+            result |= self.role_permissions(role)
+        return result
+
+    def user_sessions(self, user: str) -> set[str]:
+        """Sessions owned by the user (paper: ``checkUserSessions``)."""
+        self._require_user(user)
+        return {
+            sid for sid, s in self.sessions.items() if s.user == user
+        }
+
+    def role_operations_on_object(self, role: str, obj: str) -> set[str]:
+        """RoleOperationsOnObject (advanced review, ANSI §6.3.16)."""
+        return {
+            p.operation for p in self.role_permissions(role) if p.obj == obj
+        }
+
+    def user_operations_on_object(self, user: str, obj: str) -> set[str]:
+        """UserOperationsOnObject (advanced review, ANSI §6.3.17)."""
+        return {
+            p.operation for p in self.user_permissions(user) if p.obj == obj
+        }
+
+    def roles_with_permission(self, operation: str, obj: str) -> set[str]:
+        """PermissionRoles (advanced review): every role holding the
+        permission, directly or through a junior."""
+        permission = Permission(operation, obj)
+        holders = {
+            role for role, perms in self._pa.items()
+            if permission in perms
+        }
+        result = set(holders)
+        for role in holders:
+            result |= self.hierarchy.seniors(role)
+        return result
+
+    def users_with_permission(self, operation: str, obj: str) -> set[str]:
+        """PermissionUsers (advanced review): every user authorized for
+        some role that holds the permission."""
+        users: set[str] = set()
+        for role in self.roles_with_permission(operation, obj):
+            users |= self.authorized_users(role)
+        return users
+
+    def active_user_count(self, role: str) -> int:
+        """How many *distinct users* currently have ``role`` active
+        (paper Rule 4's ``CardinalityR1`` counter)."""
+        self._require_role(role)
+        return len({
+            s.user for s in self.sessions.values()
+            if role in s.active_roles
+        })
+
+    def active_role_count(self, user: str) -> int:
+        """How many distinct roles the user has active across sessions."""
+        self._require_user(user)
+        roles: set[str] = set()
+        for session in self.sessions.values():
+            if session.user == user:
+                roles |= session.active_roles
+        return len(roles)
+
+    # ======================================================================
+    # predicates used by generated rule conditions
+    # ======================================================================
+
+    def is_user(self, user: str) -> bool:
+        """Paper condition ``user IN userL``."""
+        return user in self.users
+
+    def is_session(self, session_id: str) -> bool:
+        """Paper condition ``sessionId IN sessionL``."""
+        return session_id in self.sessions
+
+    def owns_session(self, user: str, session_id: str) -> bool:
+        """Paper condition ``sessionId IN checkUserSessions(user)``."""
+        session = self.sessions.get(session_id)
+        return session is not None and session.user == user
+
+    def is_assigned(self, user: str, role: str) -> bool:
+        """Paper condition ``checkAssignedR1(user)`` (core RBAC)."""
+        return role in self._ua.get(user, set())
+
+    def is_authorized(self, user: str, role: str) -> bool:
+        """Paper condition ``checkAuthorizationR1(user)`` (hierarchies):
+        the user is assigned to the role *or any of its senior roles*."""
+        assigned = self._ua.get(user, set())
+        if role in assigned:
+            return True
+        return bool(assigned & self.hierarchy.seniors(role))
+
+    def is_active_in_session(self, session_id: str, role: str) -> bool:
+        """Paper condition ``R1 IN checkSessionRoles``."""
+        session = self.sessions.get(session_id)
+        return session is not None and role in session.active_roles
+
+    def dsd_allows_activation(self, session_id: str, role: str) -> bool:
+        """Paper condition ``checkDynamicSoDSet(user, R1)``."""
+        session = self.sessions.get(session_id)
+        if session is None:
+            return False
+        return self.sod.dsd_ok(session.active_roles, role)
+
+    def role_has_permission(self, role: str, operation: str,
+                            obj: str) -> bool:
+        """Paper condition ``checkPermissions(operation, object, role)``
+        — hierarchical: the role or any of its juniors holds it."""
+        return Permission(operation, obj) in self.role_permissions(role)
+
+    def session_can_perform(self, session_id: str, operation: str,
+                            obj: str) -> bool:
+        """The For-ANY loop of paper Rule 5: at least one active role of
+        the session holds the permission."""
+        session = self.sessions.get(session_id)
+        if session is None:
+            return False
+        return any(
+            self.role_has_permission(role, operation, obj)
+            for role in session.active_roles
+        )
+
+    def is_role_enabled(self, role: str) -> bool:
+        """GTRBAC role status."""
+        self._require_role(role)
+        return self.roles[role].enabled
+
+    def set_role_enabled(self, role: str, enabled: bool) -> None:
+        """GTRBAC enable/disable commit. Disabling deactivates the role
+        in every session (constraints must hold until deactivation,
+        paper §1)."""
+        self._require_role(role)
+        self.roles[role].enabled = enabled
+        if not enabled:
+            for session in self.sessions.values():
+                session.active_roles.discard(role)
+
+    # ======================================================================
+    # internals
+    # ======================================================================
+
+    def _require_user(self, name: str) -> User:
+        try:
+            return self.users[name]
+        except KeyError:
+            raise UnknownUserError(name) from None
+
+    def _require_role(self, name: str) -> Role:
+        try:
+            return self.roles[name]
+        except KeyError:
+            raise UnknownRoleError(name) from None
+
+    def _require_session(self, session_id: str) -> Session:
+        try:
+            return self.sessions[session_id]
+        except KeyError:
+            raise UnknownSessionError(session_id) from None
+
+    # -- inspection ---------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "users": len(self.users),
+            "roles": len(self.roles),
+            "permissions": len(self.permissions),
+            "sessions": len(self.sessions),
+            "ua_pairs": sum(len(r) for r in self._ua.values()),
+            "pa_pairs": sum(len(p) for p in self._pa.values()),
+            "hierarchy_edges": len(self.hierarchy.edges()),
+            "ssd_sets": sum(1 for _ in self.sod.ssd_sets()),
+            "dsd_sets": sum(1 for _ in self.sod.dsd_sets()),
+        }

@@ -1,0 +1,36 @@
+"""OWTE (On-When-Then-Else) active authorization rules.
+
+The paper's enhancement of ECA rules (§3): a rule names an event ("O"),
+a conjunction of conditions ("W"), actions run when every condition holds
+("T"), and *alternative actions* run when any condition fails ("E") — the
+branch that makes denial a first-class outcome in authorization.
+
+:mod:`repro.rules.rule` defines the rule objects and execution context;
+:mod:`repro.rules.manager` defines the rule pool that subscribes rules to
+the event detector, orders them by priority, guards cascade depth, and
+supports the classification (administrative / activity-control /
+active-security) and granularity (specialized / localized / globalized)
+taxonomy of §4.3.
+"""
+
+from repro.rules.manager import RuleManager
+from repro.rules.rule import (
+    Action,
+    Condition,
+    Granularity,
+    OWTERule,
+    RuleClass,
+    RuleContext,
+    RuleOutcome,
+)
+
+__all__ = [
+    "Action",
+    "Condition",
+    "Granularity",
+    "OWTERule",
+    "RuleClass",
+    "RuleContext",
+    "RuleManager",
+    "RuleOutcome",
+]

@@ -1,0 +1,245 @@
+"""The rule pool: registration, triggering, priorities and cascades.
+
+"All the active authorization rules that are generated form a *rule
+pool*" (paper §4.3).  The :class:`RuleManager` owns that pool:
+
+* it subscribes one dispatcher per event to the
+  :class:`~repro.events.detector.EventDetector`;
+* on detection it fires the enabled rules for that event in priority
+  order (higher priority first, insertion order breaking ties);
+* actions may raise further events (cascaded / nested rules); the
+  manager tracks cascade depth and raises
+  :class:`~repro.errors.RuleCascadeError` past a configurable limit;
+* rules can be enabled/disabled individually, by classification, by
+  granularity, or by tag — active security "disables certain critical
+  authorization rules" through exactly this interface;
+* every firing is reported to registered observers (the audit log).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.errors import (
+    DuplicateRuleError,
+    ReproError,
+    RuleCascadeError,
+    UnknownRuleError,
+)
+from repro.events.detector import EventDetector
+from repro.events.occurrence import Occurrence
+from repro.rules.rule import (
+    Granularity,
+    OWTERule,
+    RuleClass,
+    RuleContext,
+    RuleOutcome,
+)
+
+#: observer signature: (rule, occurrence, outcome, error-or-None)
+FiringObserver = Callable[[OWTERule, Occurrence, RuleOutcome, Exception | None], None]
+
+
+class RuleManager:
+    """Registry and execution engine for the OWTE rule pool."""
+
+    def __init__(self, detector: EventDetector, engine: Any = None,
+                 max_cascade_depth: int = 64) -> None:
+        self.detector = detector
+        self.engine = engine
+        self.max_cascade_depth = max_cascade_depth
+        self._rules: dict[str, OWTERule] = {}
+        self._by_event: dict[str, list[OWTERule]] = {}
+        #: inverted index (tag key, tag value) -> rule names, so
+        #: tag-scoped removal/toggles do not scan the whole pool
+        self._by_tag: dict[tuple[str, str], set[str]] = {}
+        self._dispatchers: dict[str, Callable[[Occurrence], None]] = {}
+        self._observers: list[FiringObserver] = []
+        self._depth = 0
+
+    # -- pool management -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._rules
+
+    def __iter__(self) -> Iterator[OWTERule]:
+        return iter(self._rules.values())
+
+    def get(self, name: str) -> OWTERule:
+        try:
+            return self._rules[name]
+        except KeyError:
+            raise UnknownRuleError(name) from None
+
+    def add(self, rule: OWTERule) -> OWTERule:
+        """Add a rule to the pool and subscribe it to its event."""
+        if rule.name in self._rules:
+            raise DuplicateRuleError(
+                f"rule {rule.name!r} already exists in the pool"
+            )
+        self._rules[rule.name] = rule
+        for item in rule.tags.items():
+            self._by_tag.setdefault(item, set()).add(rule.name)
+        bucket = self._by_event.setdefault(rule.event, [])
+        bucket.append(rule)
+        # Stable sort preserves insertion order among equal priorities.
+        bucket.sort(key=lambda r: -r.priority)
+        if rule.event not in self._dispatchers:
+            dispatcher = self._make_dispatcher(rule.event)
+            self._dispatchers[rule.event] = dispatcher
+            self.detector.subscribe(rule.event, dispatcher)
+        return rule
+
+    def remove(self, name: str) -> OWTERule:
+        """Remove a rule; the event subscription stays (cheap, inert)."""
+        rule = self.get(name)
+        del self._rules[name]
+        for item in rule.tags.items():
+            bucket = self._by_tag.get(item)
+            if bucket is not None:
+                bucket.discard(name)
+        self._by_event[rule.event].remove(rule)
+        return rule
+
+    def _names_matching_tags(self, tags: dict[str, str]) -> set[str]:
+        """Rule names whose tags contain every (key, value) pair, via
+        the inverted index (no full-pool scan)."""
+        if not tags:
+            return set(self._rules)
+        buckets = [self._by_tag.get(item, set()) for item in tags.items()]
+        smallest = min(buckets, key=len)
+        return {
+            name for name in smallest
+            if all(name in bucket for bucket in buckets)
+        }
+
+    def remove_by_tags(self, **tags: str) -> list[OWTERule]:
+        """Remove every rule whose tags match; returns the removed rules.
+
+        This is the primitive regeneration builds on: drop all rules
+        generated for one policy element, then regenerate them.
+        """
+        doomed = [self._rules[name]
+                  for name in sorted(self._names_matching_tags(tags))]
+        for rule in doomed:
+            self.remove(rule.name)
+        return doomed
+
+    # -- queries ---------------------------------------------------------------
+
+    def rules_for_event(self, event: str) -> list[OWTERule]:
+        return list(self._by_event.get(event, ()))
+
+    def by_classification(self, classification: RuleClass) -> list[OWTERule]:
+        return [r for r in self._rules.values()
+                if r.classification is classification]
+
+    def by_granularity(self, granularity: Granularity) -> list[OWTERule]:
+        return [r for r in self._rules.values()
+                if r.granularity is granularity]
+
+    def by_tags(self, **tags: str) -> list[OWTERule]:
+        return [self._rules[name]
+                for name in sorted(self._names_matching_tags(tags))]
+
+    def summary(self) -> dict[str, int]:
+        """Pool composition counters (used by benches and EXPERIMENTS.md)."""
+        counts: dict[str, int] = {"total": len(self._rules)}
+        for rule in self._rules.values():
+            counts[rule.classification.value] = (
+                counts.get(rule.classification.value, 0) + 1)
+            counts[rule.granularity.value] = (
+                counts.get(rule.granularity.value, 0) + 1)
+        return counts
+
+    # -- enable / disable --------------------------------------------------------
+
+    def enable(self, name: str) -> None:
+        self.get(name).enabled = True
+
+    def disable(self, name: str) -> None:
+        self.get(name).enabled = False
+
+    def set_enabled_by_tags(self, enabled: bool, **tags: str) -> int:
+        """Bulk toggle; returns how many rules changed state."""
+        changed = 0
+        for name in self._names_matching_tags(tags):
+            rule = self._rules[name]
+            if rule.enabled != enabled:
+                rule.enabled = enabled
+                changed += 1
+        return changed
+
+    def set_enabled_by_classification(self, classification: RuleClass,
+                                      enabled: bool) -> int:
+        changed = 0
+        for rule in self.by_classification(classification):
+            if rule.enabled != enabled:
+                rule.enabled = enabled
+                changed += 1
+        return changed
+
+    # -- firing ------------------------------------------------------------------
+
+    def observe(self, observer: FiringObserver) -> None:
+        """Register an observer called after every rule firing."""
+        self._observers.append(observer)
+
+    def raise_cascaded(self, event: str, **params: Any) -> None:
+        """Raise an event from inside a rule action (cascaded rules)."""
+        self.detector.raise_event(event, **params)
+
+    def _make_dispatcher(self, event: str) -> Callable[[Occurrence], None]:
+        def dispatch(occurrence: Occurrence) -> None:
+            self._fire_rules(event, occurrence)
+
+        return dispatch
+
+    def _fire_rules(self, event: str, occurrence: Occurrence) -> None:
+        if self._depth >= self.max_cascade_depth:
+            raise RuleCascadeError(
+                f"cascade depth {self._depth} exceeded limit "
+                f"{self.max_cascade_depth} while firing rules for {event!r}"
+            )
+        self._depth += 1
+        try:
+            # Snapshot: a rule that adds/removes rules mid-firing does not
+            # perturb this round.
+            for rule in list(self._by_event.get(event, ())):
+                if not rule.enabled or rule.name not in self._rules:
+                    continue
+                ctx = RuleContext(occurrence=occurrence, rule=rule,
+                                  manager=self, engine=self.engine)
+                outcome = RuleOutcome.ERROR
+                error: Exception | None = None
+                try:
+                    outcome = rule.execute(ctx)
+                except ReproError as exc:
+                    # Expected veto path (AccessDenied & co): observers see
+                    # an ELSE with the error attached, then it propagates.
+                    outcome = RuleOutcome.ELSE
+                    error = exc
+                    raise
+                finally:
+                    for observer in self._observers:
+                        observer(rule, occurrence, outcome, error)
+        finally:
+            self._depth -= 1
+
+    # -- rendering ----------------------------------------------------------------
+
+    def render_pool(self) -> str:
+        """Every rule pretty-printed, grouped by classification."""
+        blocks = []
+        for classification in RuleClass:
+            rules = self.by_classification(classification)
+            if not rules:
+                continue
+            blocks.append(f"-- {classification.value} rules "
+                          f"({len(rules)}) --")
+            blocks.extend(rule.render() for rule in
+                          sorted(rules, key=lambda r: r.name))
+        return "\n\n".join(blocks)

@@ -1,0 +1,225 @@
+"""OWTE rule objects: On-When-Then-Else authorization rules.
+
+A rule has five components (paper §3):
+
+1. a name,
+2. **O**n — the event whose detection triggers it,
+3. **W**hen — conditions ``<C1, ..., Cn>`` evaluated on the occurrence,
+4. **T**hen — actions ``<A1, ..., An>`` run when every condition is TRUE,
+5. **E**lse — alternative actions ``<AA1, ..., AAn>`` run when any
+   condition is FALSE.  "Alternative actions are critical in
+   authorization management of data" — they are where denials happen.
+
+Conditions and actions are named callables over a :class:`RuleContext`,
+so generated rules can be pretty-printed in the paper's RULE [...] layout
+(see :meth:`OWTERule.render`) and audited by name.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.events.occurrence import Occurrence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rules.manager import RuleManager
+
+
+class RuleClass(enum.Enum):
+    """The three kinds of rules in the pool (paper §4.3).
+
+    * ADMINISTRATIVE — used with high-level specification of access
+      control policies (assignments, grants, hierarchy edits);
+    * ACTIVITY_CONTROL — control the activities instances of U can
+      perform (activation, access checks, cardinality, temporal);
+    * ACTIVE_SECURITY — monitor state changes and take preventive
+      measures (alert thresholds, automatic disabling).
+    """
+
+    ADMINISTRATIVE = "administrative"
+    ACTIVITY_CONTROL = "activity_control"
+    ACTIVE_SECURITY = "active_security"
+
+
+class Granularity(enum.Enum):
+    """Rule granularities (paper §4.3).
+
+    * SPECIALIZED — specific to one instance of U (e.g. "Jane at most
+      five active roles");
+    * LOCALIZED — specific to one role, created from role properties
+      (e.g. "Programmer activated by at most five users");
+    * GLOBALIZED — not specific to any role; one rule invoked with
+      different parameters (e.g. every user-role assignment).
+    """
+
+    SPECIALIZED = "specialized"
+    LOCALIZED = "localized"
+    GLOBALIZED = "globalized"
+
+
+class RuleOutcome(enum.Enum):
+    """What a firing did: the THEN branch, the ELSE branch, or an error."""
+
+    THEN = "then"
+    ELSE = "else"
+    ERROR = "error"
+
+
+@dataclass
+class RuleContext:
+    """Everything a condition/action can see while a rule fires.
+
+    Attributes:
+        occurrence: the triggering event occurrence (parameters included).
+        rule: the firing rule.
+        manager: the rule manager (for raising cascaded events, disabling
+            rules, ...).
+        engine: the enclosing enforcement engine, when one exists; typed
+            ``Any`` because rules are engine-agnostic.
+        scratch: per-firing mutable storage shared between the W clause
+            and the T/E clauses (e.g. a condition caches the roles it
+            already fetched so an action need not re-query).
+    """
+
+    occurrence: Occurrence
+    rule: "OWTERule"
+    manager: "RuleManager"
+    engine: Any = None
+    scratch: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def params(self) -> dict[str, Any]:
+        return dict(self.occurrence.params)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.occurrence.get(key, default)
+
+    def raise_event(self, name: str, **params: Any) -> None:
+        """Raise a cascaded event (the manager enforces depth limits)."""
+        self.manager.raise_cascaded(name, **params)
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A named predicate over the rule context (one ``Ci`` of the W clause)."""
+
+    description: str
+    predicate: Callable[[RuleContext], bool]
+
+    def __call__(self, ctx: RuleContext) -> bool:
+        return bool(self.predicate(ctx))
+
+
+@dataclass(frozen=True)
+class Action:
+    """A named effect over the rule context (one ``Ai`` / ``AAi``)."""
+
+    description: str
+    effect: Callable[[RuleContext], None]
+
+    def __call__(self, ctx: RuleContext) -> None:
+        self.effect(ctx)
+
+
+def condition(description: str
+              ) -> Callable[[Callable[[RuleContext], bool]], Condition]:
+    """Decorator sugar: ``@condition("user IN userL")`` over a predicate."""
+
+    def wrap(predicate: Callable[[RuleContext], bool]) -> Condition:
+        return Condition(description, predicate)
+
+    return wrap
+
+
+def action(description: str
+           ) -> Callable[[Callable[[RuleContext], None]], Action]:
+    """Decorator sugar: ``@action("addSessionRole(sessionId)")``."""
+
+    def wrap(effect: Callable[[RuleContext], None]) -> Action:
+        return Action(description, effect)
+
+    return wrap
+
+
+@dataclass
+class OWTERule:
+    """One On-When-Then-Else authorization rule.
+
+    Attributes:
+        name: unique rule name within the pool (``AAR_1``, ``CC_1``, ...).
+        event: name of the triggering event (the ON clause).
+        conditions: the W clause — every condition must return TRUE for
+            the THEN branch; an empty list means ``When TRUE``.
+        actions: the T clause.
+        alt_actions: the E clause; actions here typically raise
+            :class:`~repro.errors.AccessDenied` subclasses.
+        priority: rules on the same event fire in descending priority
+            (ties broken by insertion order).
+        classification / granularity: the paper's taxonomy, used for
+            pool queries and bulk enable/disable.
+        tags: free-form attribution (``{"role": "PC", "user": "Bob"}``)
+            so regeneration can find all rules generated for one policy
+            element.
+        enabled: disabled rules never fire (active security toggles this).
+    """
+
+    name: str
+    event: str
+    conditions: Sequence[Condition] = ()
+    actions: Sequence[Action] = ()
+    alt_actions: Sequence[Action] = ()
+    priority: int = 0
+    classification: RuleClass = RuleClass.ACTIVITY_CONTROL
+    granularity: Granularity = Granularity.GLOBALIZED
+    tags: dict[str, str] = field(default_factory=dict)
+    enabled: bool = True
+    fired_count: int = 0
+    then_count: int = 0
+    else_count: int = 0
+
+    def evaluate_conditions(self, ctx: RuleContext) -> bool:
+        """The W clause: conjunction, short-circuiting on first FALSE."""
+        return all(cond(ctx) for cond in self.conditions)
+
+    def execute(self, ctx: RuleContext) -> RuleOutcome:
+        """Fire the rule: W, then T or E.
+
+        Exceptions from actions propagate to the caller — an ELSE action
+        raising :class:`~repro.errors.AccessDenied` is precisely how a
+        request is vetoed.
+        """
+        self.fired_count += 1
+        if self.evaluate_conditions(ctx):
+            self.then_count += 1
+            for act in self.actions:
+                act(ctx)
+            return RuleOutcome.THEN
+        self.else_count += 1
+        for alt in self.alt_actions:
+            alt(ctx)
+        return RuleOutcome.ELSE
+
+    def render(self) -> str:
+        """Pretty-print in the paper's RULE [ name ON ... ] layout."""
+        lines = [f"RULE [ {self.name}", f"    ON    {self.event}"]
+        if self.conditions:
+            conjunction = " &&\n          ".join(
+                f"({c.description})" for c in self.conditions
+            )
+            lines.append(f"    WHEN  {conjunction}")
+        else:
+            lines.append("    WHEN  TRUE")
+        if self.actions:
+            lines.append("    THEN  " + "; ".join(
+                a.description for a in self.actions))
+        if self.alt_actions:
+            lines.append("    ELSE  " + "; ".join(
+                a.description for a in self.alt_actions))
+        lines.append("]")
+        return "\n".join(lines)
+
+    def matches_tags(self, **tags: str) -> bool:
+        """True when every given tag matches this rule's tags."""
+        return all(self.tags.get(key) == value for key, value in tags.items())

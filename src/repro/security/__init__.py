@@ -1,0 +1,33 @@
+"""Active security: monitoring, alerting and automatic countermeasures.
+
+"Taking timely actions based on the state changes of the underlying
+system over a period of time and alerting the administrator regarding
+the malicious activities will complement the access control system"
+(paper §1).  The motivating example: *when access requests by
+unauthorized roles for some files are more than a certain number of
+times within a duration, an internal security alert is triggered and
+some critical authorization rules are disabled and the administrators
+are alerted.*
+
+* :class:`~repro.security.audit.AuditLog` — the append-only record of
+  every event detection, rule firing and enforcement decision;
+* :class:`~repro.security.monitor.ActiveSecurityMonitor` — sliding-
+  window violation counters with threshold policies whose reactions are
+  the paper's list: generate reports and alert administrators,
+  deactivate roles, disable rules, block access requests.
+"""
+
+from repro.security.audit import AuditEntry, AuditLog
+from repro.security.monitor import (
+    ActiveSecurityMonitor,
+    SecurityAlert,
+    ThresholdPolicy,
+)
+
+__all__ = [
+    "ActiveSecurityMonitor",
+    "AuditEntry",
+    "AuditLog",
+    "SecurityAlert",
+    "ThresholdPolicy",
+]

@@ -1,0 +1,45 @@
+"""Automatic synthesis of OWTE rules from high-level policy.
+
+"OWTE rules are **not** created manually by administrators" (paper
+§4.3): the generator instantiates the policy into events and rules —
+the paper's Section 5 pipeline (policy graph -> rule pool) — and the
+regeneration module re-derives only the affected rules when the policy
+changes (the day-doctor shift example).
+
+* :mod:`repro.synthesis.templates` — one builder per rule shape the
+  paper shows (AAR1..AAR4, CC, DAR, ER/DR, TSOD, ASEC, the globalized
+  administrative and checkAccess rules);
+* :mod:`repro.synthesis.generator` — orchestrates event definition and
+  rule generation per role, with tag-based attribution for regeneration;
+* :mod:`repro.synthesis.regenerate` — policy editing + incremental
+  regeneration, plus the full-regeneration and simulated-manual-editing
+  comparators used by benchmarks B2/B9.
+"""
+
+from repro.synthesis.generator import RuleGenerator
+from repro.synthesis.regenerate import (
+    PolicyEditor,
+    RegenerationReport,
+    full_regeneration,
+    regenerate_roles,
+    simulate_manual_edit,
+)
+from repro.synthesis.verify import (
+    Finding,
+    Severity,
+    render_findings,
+    verify_rule_pool,
+)
+
+__all__ = [
+    "Finding",
+    "PolicyEditor",
+    "RegenerationReport",
+    "RuleGenerator",
+    "Severity",
+    "full_regeneration",
+    "regenerate_roles",
+    "render_findings",
+    "simulate_manual_edit",
+    "verify_rule_pool",
+]

@@ -1,0 +1,239 @@
+"""The rule generator: policy -> events + OWTE rule pool.
+
+"Once the policies are specified, they are instantiated and the rules
+are generated" (paper §5).  For each role the generator
+
+1. defines the role's primitive events (``addActiveRole.R``,
+   ``addSessionRole.R``, ``roleActivated.R``, ...);
+2. reads the role's relationship flags off the policy (the Figure 1
+   node flags: hierarchy, static SoD, dynamic SoD, cardinality,
+   temporal, CFD, context) and instantiates the matching templates —
+   AAR variant 1..4, CC, DAR, ER, DR;
+3. defines the temporal composite events (PLUS countdowns for duration
+   constraints) and their TSOD rules;
+4. schedules the GTRBAC enabling-window timers;
+5. adds cross-role rules (transaction-anchor cleanup) under the tags of
+   every involved role, so regeneration retires them with either role.
+
+Everything is deterministic: same policy -> same events, rule names and
+order — which is what lets :mod:`repro.synthesis.regenerate` dedupe
+cross-role rules by name during incremental regeneration.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.synthesis import templates
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine import ActiveRBACEngine
+
+#: primitive events defined per role
+ROLE_EVENTS = (
+    "addActiveRole", "addSessionRole", "roleActivated",
+    "dropActiveRole", "roleDeactivated",
+    "enableRole", "disableRole", "roleEnabled", "roleDisabled",
+)
+
+#: globalized primitive events
+GLOBAL_EVENTS = (
+    "createSession", "deleteSession", "assignUser", "deassignUser",
+    "checkAccess", "accessDenied", "activationDenied",
+)
+
+
+class RuleGenerator:
+    """Generates and maintains the OWTE rule pool for one engine."""
+
+    def __init__(self, engine: "ActiveRBACEngine") -> None:
+        self.engine = engine
+        #: composite events created per role (undefined on regeneration)
+        self._role_composites: dict[str, list[str]] = {}
+        #: enabling-window timer ids per role (cancelled on regeneration)
+        self._role_timers: dict[str, set[int]] = {}
+        self.generation_count = 0
+
+    # -- full generation ----------------------------------------------------------
+
+    def generate_all(self) -> int:
+        """Generate the global rules plus every role's rules.
+
+        Returns the number of rules in the pool afterwards.
+        """
+        self.generate_global_rules()
+        for role in sorted(self.engine.policy.roles):
+            self.generate_role_rules(role)
+        return len(self.engine.rules)
+
+    def generate_global_rules(self) -> None:
+        detector = self.engine.detector
+        for event in GLOBAL_EVENTS:
+            detector.ensure_primitive(event)
+        rules = self.engine.rules
+        for builder in (
+            templates.build_create_session_rule,
+            templates.build_delete_session_rule,
+            templates.build_assign_user_rule,
+            templates.build_deassign_user_rule,
+            templates.build_check_access_rule,
+        ):
+            rule = builder(self.engine)
+            if rule.name not in rules:
+                rules.add(rule)
+
+    # -- per-role generation ----------------------------------------------------------
+
+    def ensure_role_events(self, role: str) -> None:
+        detector = self.engine.detector
+        for prefix in ROLE_EVENTS:
+            detector.ensure_primitive(f"{prefix}.{role}")
+
+    def generate_role_rules(self, role: str) -> list[str]:
+        """Generate every rule for one role; returns the rule names added.
+
+        Idempotent per rule name: a cross-role rule already present
+        (added while generating a partner role) is left in place.
+        """
+        engine = self.engine
+        policy = engine.policy
+        rules = engine.rules
+        self.ensure_role_events(role)
+        added: list[str] = []
+
+        def install(rule) -> None:
+            if rule.name not in rules:
+                rules.add(rule)
+                added.append(rule.name)
+
+        in_hierarchy = policy.role_in_hierarchy(role)
+        in_dsd = policy.role_in_dsd(role)
+        has_prerequisites = any(
+            p.role == role for p in policy.prerequisites)
+        is_dependent = any(
+            t.dependent_role == role for t in policy.transactions)
+        has_context = any(
+            c.role == role and c.applies_to == "activate"
+            for c in policy.context_constraints)
+
+        install(templates.build_activation_rule(
+            engine, role, in_hierarchy, in_dsd, has_prerequisites,
+            is_dependent, has_context))
+        max_users = policy.roles[role].max_active_users \
+            if role in policy.roles else None
+        install(templates.build_commit_rule(engine, role, max_users))
+        install(templates.build_deactivation_rule(engine, role))
+
+        required_partners = sorted(
+            p.required_role for p in policy.post_conditions
+            if p.trigger_role == role)
+        install(templates.build_enable_rule(engine, role,
+                                            required_partners))
+
+        sod_partners = sorted({
+            other
+            for constraint in policy.disabling_sod if role in constraint.roles
+            for other in constraint.roles if other != role
+        })
+        install(templates.build_disable_rule(engine, role, sod_partners))
+
+        self._generate_duration_rules(role, install)
+        self._schedule_enabling_windows(role)
+
+        dependents = sorted(engine.transaction_dependents_of(role))
+        if dependents:
+            install(templates.build_anchor_cleanup_rule(
+                engine, role, dependents))
+
+        self.generation_count += 1
+        return added
+
+    def _generate_duration_rules(self, role: str, install) -> None:
+        """Duration constraints -> PLUS events + TSOD rules.
+
+        One role-wide constraint plus any number of per-user ones; each
+        gets its own primitive start event and PLUS composite.
+        """
+        engine = self.engine
+        detector = engine.detector
+        composites = self._role_composites.setdefault(role, [])
+        for constraint in engine.policy.durations:
+            if constraint.role != role:
+                continue
+            suffix = f".{constraint.user}" if constraint.user else ""
+            start_event = f"durationStart.{role}{suffix}"
+            plus_event = f"durationExpired.{role}{suffix}"
+            detector.ensure_primitive(start_event)
+            if plus_event not in detector:
+                detector.define_plus(plus_event, start_event,
+                                     constraint.delta)
+                composites.append(plus_event)
+            install(templates.build_duration_rule(
+                engine, role, constraint.user))
+
+    def _schedule_enabling_windows(self, role: str) -> None:
+        """GTRBAC periodic enabling: boundary timers raising the role's
+        enable/disable events (which run through the ER/DR rules)."""
+        engine = self.engine
+        windows = [w for w in engine.policy.enabling_windows
+                   if w.role == role]
+        if not windows:
+            return
+        window = windows[-1]  # the latest declaration wins
+        timer_ids = self._role_timers.setdefault(role, set())
+
+        # initial status: enabled iff the window contains "now"
+        now = engine.clock.now
+        engine.model.set_role_enabled(role, window.interval.contains(now))
+
+        def schedule_next() -> None:
+            instant, opens = window.interval.next_boundary(engine.clock.now)
+            if instant == float("inf"):
+                return
+            timer_id = engine.timers.schedule_at(
+                instant, lambda: fire(opens))
+            timer_ids.add(timer_id)
+
+        def fire(opens: bool) -> None:
+            event = ("enableRole" if opens else "disableRole")
+            engine.safe_raise(f"{event}.{role}", role=role)
+            schedule_next()
+
+        schedule_next()
+
+    # -- removal (regeneration support) ----------------------------------------------
+
+    def remove_role_rules(self, role: str) -> list[str]:
+        """Retire everything generated for ``role``: its rules (including
+        cross-role rules involving it), its composite temporal events,
+        and its window timers.  Returns removed rule names."""
+        engine = self.engine
+        removed = engine.rules.remove_by_tags(**{f"role:{role}": "1"})
+        for event in reversed(self._role_composites.pop(role, [])):
+            if event in engine.detector:
+                engine.detector.undefine(event)
+        for timer_id in self._role_timers.pop(role, set()):
+            engine.timers.cancel(timer_id)
+        return [r.name for r in removed]
+
+    def remove_role_events(self, role: str) -> list[str]:
+        """Undefine the role's primitive events (role deletion only —
+        regeneration keeps them).  Events still feeding composites
+        (e.g. hand-defined ones) are left in place."""
+        detector = self.engine.detector
+        removed = []
+        for prefix in ROLE_EVENTS:
+            name = f"{prefix}.{role}"
+            if name not in detector:
+                continue
+            if detector.node(name).parents:
+                continue  # a composite still depends on it
+            detector.undefine(name)
+            removed.append(name)
+        # per-user duration start events follow the same pattern
+        for name in list(detector.names()):
+            if name.startswith(f"durationStart.{role}") \
+                    and not detector.node(name).parents:
+                detector.undefine(name)
+                removed.append(name)
+        return removed

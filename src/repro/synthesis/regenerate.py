@@ -1,0 +1,273 @@
+"""Policy change and rule regeneration.
+
+"When there is a change in the policy ... it can be easily changed in
+the high level specification and the corresponding rules can be
+regenerated ... With current systems and models it is a cumbersome
+process as all the low level semantic descriptions have to be changed
+manually.  When there are thousands of rules, it is highly error prone
+to change them manually." (paper §5)
+
+Three strategies are implemented — they are the subjects of benchmarks
+B2 and B9:
+
+* :func:`regenerate_roles` — **incremental**: retire and re-derive only
+  the rules of the changed roles (closing over cross-role rules via
+  their ``role:*`` tags);
+* :func:`full_regeneration` — rebuild the entire pool from the policy;
+* :func:`simulate_manual_edit` — a cost model of an administrator
+  hand-editing rules in a pool (scan + edit + error probability), the
+  comparison point for the paper's maintainability argument.
+
+:class:`PolicyEditor` is the administrator-facing API: each method is
+one high-level policy change (the day-doctor shift change is
+``set_enabling_window``), updating the spec/model and triggering
+incremental regeneration, and returning a :class:`RegenerationReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.extensions.cfd import (
+    PostConditionDependency,
+    PrerequisiteRole,
+    TransactionActivation,
+)
+from repro.extensions.context import ContextConstraint
+from repro.gtrbac.constraints import (
+    DisablingTimeSoD,
+    DurationConstraint,
+    EnablingWindow,
+)
+from repro.gtrbac.periodic import PeriodicInterval
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine import ActiveRBACEngine
+
+
+@dataclass
+class RegenerationReport:
+    """What one regeneration touched."""
+
+    seed_roles: set[str] = field(default_factory=set)
+    affected_roles: set[str] = field(default_factory=set)
+    removed_rules: list[str] = field(default_factory=list)
+    added_rules: list[str] = field(default_factory=list)
+
+    @property
+    def rules_touched(self) -> int:
+        return len(set(self.removed_rules) | set(self.added_rules))
+
+    def describe(self) -> str:
+        return (f"regenerated {sorted(self.affected_roles)}: "
+                f"-{len(self.removed_rules)} / +{len(self.added_rules)} "
+                f"rule(s)")
+
+
+def affected_roles(engine: "ActiveRBACEngine",
+                   seeds: Iterable[str]) -> set[str]:
+    """Close a seed role set over cross-role rules.
+
+    A rule tagged with several ``role:*`` keys (disabling-time SoD,
+    post-condition CFD, transaction anchors) ties its roles together:
+    removing it for one role requires regenerating the others too.
+    """
+    affected = set(seeds)
+    frontier = set(seeds)
+    while frontier:
+        role = frontier.pop()
+        for rule in engine.rules.by_tags(**{f"role:{role}": "1"}):
+            for key in rule.tags:
+                if key.startswith("role:"):
+                    other = key[len("role:"):]
+                    if other not in affected:
+                        affected.add(other)
+                        frontier.add(other)
+    return affected
+
+
+def regenerate_roles(engine: "ActiveRBACEngine",
+                     seeds: Iterable[str]) -> RegenerationReport:
+    """Incrementally regenerate the rules of the seed roles (plus any
+    cross-role partners)."""
+    report = RegenerationReport(seed_roles=set(seeds))
+    report.affected_roles = affected_roles(engine, report.seed_roles)
+    for role in sorted(report.affected_roles):
+        report.removed_rules.extend(engine.generator.remove_role_rules(role))
+    for role in sorted(report.affected_roles):
+        if role in engine.policy.roles:
+            report.added_rules.extend(
+                engine.generator.generate_role_rules(role))
+    engine.audit.record("admin.regenerate",
+                        roles=sorted(report.affected_roles),
+                        removed=len(report.removed_rules),
+                        added=len(report.added_rules))
+    return report
+
+
+def full_regeneration(engine: "ActiveRBACEngine") -> RegenerationReport:
+    """Rebuild the whole pool from the policy (the naive strategy)."""
+    report = RegenerationReport(seed_roles=set(engine.policy.roles))
+    report.affected_roles = set(engine.policy.roles)
+    for role in sorted(engine.policy.roles):
+        report.removed_rules.extend(engine.generator.remove_role_rules(role))
+    for role in sorted(engine.policy.roles):
+        report.added_rules.extend(engine.generator.generate_role_rules(role))
+    return report
+
+
+@dataclass
+class ManualEditEstimate:
+    """Cost model of an administrator editing rules by hand (B2).
+
+    The administrator must *find* the rules to change among the whole
+    pool (``rules_scanned``), edit each (``rules_edited``), and has a
+    per-edit error probability; ``expected_errors`` is the expectation.
+    The paper's point is qualitative ("highly error prone"); this model
+    makes the scaling comparable on a chart.
+    """
+
+    pool_size: int
+    rules_scanned: int
+    rules_edited: int
+    error_rate_per_edit: float
+
+    @property
+    def expected_errors(self) -> float:
+        return self.rules_edited * self.error_rate_per_edit
+
+    @property
+    def effort_units(self) -> float:
+        """Scan effort (1 unit per rule read) + edit effort (10 units
+        per rule changed): a simple, stated cost model."""
+        return self.rules_scanned + 10.0 * self.rules_edited
+
+
+def simulate_manual_edit(engine: "ActiveRBACEngine",
+                         seeds: Iterable[str],
+                         error_rate_per_edit: float = 0.05
+                         ) -> ManualEditEstimate:
+    """Estimate the manual cost of the change that
+    :func:`regenerate_roles` would perform automatically."""
+    roles = affected_roles(engine, set(seeds))
+    to_edit = {
+        rule.name
+        for role in roles
+        for rule in engine.rules.by_tags(**{f"role:{role}": "1"})
+    }
+    return ManualEditEstimate(
+        pool_size=len(engine.rules),
+        rules_scanned=len(engine.rules),
+        rules_edited=len(to_edit),
+        error_rate_per_edit=error_rate_per_edit,
+    )
+
+
+class PolicyEditor:
+    """High-level policy changes with automatic incremental regeneration.
+
+    Every method edits the engine's :class:`~repro.policy.spec.PolicySpec`
+    (and the model where the change has static state), then regenerates
+    the affected roles' rules, returning the report.
+    """
+
+    def __init__(self, engine: "ActiveRBACEngine") -> None:
+        self.engine = engine
+
+    # -- temporal ------------------------------------------------------------
+
+    def set_enabling_window(self, role: str, interval: PeriodicInterval
+                            ) -> RegenerationReport:
+        """Change a role's shift (the paper's day-doctor example)."""
+        policy = self.engine.policy
+        policy.enabling_windows = [
+            w for w in policy.enabling_windows if w.role != role
+        ]
+        policy.enabling_windows.append(EnablingWindow(role, interval))
+        return regenerate_roles(self.engine, {role})
+
+    def clear_enabling_window(self, role: str) -> RegenerationReport:
+        policy = self.engine.policy
+        policy.enabling_windows = [
+            w for w in policy.enabling_windows if w.role != role
+        ]
+        self.engine.model.set_role_enabled(role, True)
+        return regenerate_roles(self.engine, {role})
+
+    def set_duration(self, role: str, delta: float,
+                     user: str | None = None) -> RegenerationReport:
+        policy = self.engine.policy
+        policy.durations = [
+            d for d in policy.durations
+            if not (d.role == role and d.user == user)
+        ]
+        policy.durations.append(DurationConstraint(role, delta, user))
+        return regenerate_roles(self.engine, {role})
+
+    def clear_duration(self, role: str,
+                       user: str | None = None) -> RegenerationReport:
+        policy = self.engine.policy
+        policy.durations = [
+            d for d in policy.durations
+            if not (d.role == role and d.user == user)
+        ]
+        return regenerate_roles(self.engine, {role})
+
+    def add_disabling_sod(self, constraint: DisablingTimeSoD
+                          ) -> RegenerationReport:
+        self.engine.policy.disabling_sod.append(constraint)
+        return regenerate_roles(self.engine, set(constraint.roles))
+
+    def remove_disabling_sod(self, name: str) -> RegenerationReport:
+        policy = self.engine.policy
+        doomed = [c for c in policy.disabling_sod if c.name == name]
+        policy.disabling_sod = [
+            c for c in policy.disabling_sod if c.name != name
+        ]
+        roles: set[str] = set()
+        for constraint in doomed:
+            roles |= constraint.roles
+        return regenerate_roles(self.engine, roles)
+
+    # -- control-flow dependencies -----------------------------------------------
+
+    def add_prerequisite(self, role: str, prerequisite: str
+                         ) -> RegenerationReport:
+        self.engine.policy.prerequisites.append(
+            PrerequisiteRole(role, prerequisite))
+        return regenerate_roles(self.engine, {role})
+
+    def add_post_condition(self, trigger_role: str, required_role: str
+                           ) -> RegenerationReport:
+        self.engine.policy.post_conditions.append(
+            PostConditionDependency(trigger_role, required_role))
+        return regenerate_roles(self.engine, {trigger_role, required_role})
+
+    def add_transaction(self, dependent_role: str, anchor_role: str
+                        ) -> RegenerationReport:
+        self.engine.policy.transactions.append(
+            TransactionActivation(dependent_role, anchor_role))
+        return regenerate_roles(self.engine, {dependent_role, anchor_role})
+
+    # -- cardinality ----------------------------------------------------------------
+
+    def set_role_cardinality(self, role: str, max_users: int | None
+                             ) -> RegenerationReport:
+        policy = self.engine.policy
+        policy.add_role(role, max_users)
+        self.engine.model.roles[role].max_active_users = max_users
+        return regenerate_roles(self.engine, {role})
+
+    def set_user_max_roles(self, user: str, max_roles: int | None) -> None:
+        """Specialized per-user cardinality: evaluated through a model
+        lookup in the CC rules, so no regeneration is needed."""
+        self.engine.policy.add_user(user, max_roles)
+        self.engine.model.users[user].max_active_roles = max_roles
+
+    # -- context ---------------------------------------------------------------------
+
+    def add_context_constraint(self, constraint: ContextConstraint
+                               ) -> RegenerationReport:
+        self.engine.policy.context_constraints.append(constraint)
+        return regenerate_roles(self.engine, {constraint.role})

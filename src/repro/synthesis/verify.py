@@ -1,0 +1,224 @@
+"""Static verification of a generated rule pool.
+
+The paper's future work (§7): "the generated rules should be
+verified".  This module implements that pass: given an engine, it
+checks structural well-formedness of the pool and its event graph
+without firing anything.
+
+Checks (each yields a :class:`Finding` with severity ``error`` or
+``warning``):
+
+* **dangling events** — a rule subscribed to an event the detector does
+  not define (it can never fire);
+* **orphan role events** — a defined per-role request event
+  (``addActiveRole.R`` / ``addSessionRole.R`` / ``dropActiveRole.R``)
+  with *no* enabled rule: requests on it would fail closed, which is
+  intended only under an active-security lockout;
+* **duplicate handlers** — two enabled rules with THEN branches on the
+  same commit event for the same role (double-commit risk);
+* **cascade cycles** — a cycle in the static rule-cascade graph
+  (rule A's actions raise an event that triggers rule B whose actions
+  raise A's event, ...): at runtime this would hit the cascade-depth
+  limit;
+* **disabled rules** — informational: rules currently disabled (e.g.
+  by active security), listed so administrators can review lockouts;
+* **tag hygiene** — a rule tagged ``role:X`` where X is not in the
+  policy (stale attribution after a role deletion).
+
+Static cascade edges are derived from rule *names and events* following
+the generator's conventions plus an optional per-rule ``raises`` tag
+(comma-separated event names) for hand-written rules.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine import ActiveRBACEngine
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verification finding."""
+
+    severity: Severity
+    check: str
+    subject: str
+    message: str
+
+    def describe(self) -> str:
+        return f"[{self.severity.value}] {self.check}({self.subject}): " \
+               f"{self.message}"
+
+
+#: events the generator's rule actions are known to raise, keyed by the
+#: rule-name prefix (static approximation of the THEN closures)
+_KNOWN_RAISES = {
+    "AAR": lambda role: [f"addSessionRole.{role}"],
+    "CC": lambda role: [f"roleActivated.{role}"],
+    "DAR": lambda role: [f"roleDeactivated.{role}"],
+    "ER": lambda role: [f"roleEnabled.{role}"],
+    "DR": lambda role: [f"roleDisabled.{role}"],
+}
+
+
+def _static_raises(rule) -> list[str]:
+    """Events a rule's actions may raise (static approximation)."""
+    explicit = rule.tags.get("raises")
+    if explicit:
+        return [name.strip() for name in explicit.split(",") if name.strip()]
+    prefix, _, remainder = rule.name.partition(".")
+    prefix = prefix.rstrip("0123456789")  # AAR1 -> AAR
+    builder = _KNOWN_RAISES.get(prefix)
+    if builder is None or not remainder:
+        return []
+    role = remainder.split(".")[0]
+    return builder(role)
+
+
+def verify_rule_pool(engine: "ActiveRBACEngine") -> list[Finding]:
+    """Run every static check; returns findings (empty = clean)."""
+    findings: list[Finding] = []
+    findings.extend(_check_dangling_events(engine))
+    findings.extend(_check_orphan_role_events(engine))
+    findings.extend(_check_duplicate_commits(engine))
+    findings.extend(_check_cascade_cycles(engine))
+    findings.extend(_check_disabled_rules(engine))
+    findings.extend(_check_tag_hygiene(engine))
+    return findings
+
+
+def errors_only(findings: Iterable[Finding]) -> list[Finding]:
+    return [f for f in findings if f.severity is Severity.ERROR]
+
+
+def render_findings(findings: Iterable[Finding]) -> str:
+    findings = list(findings)
+    if not findings:
+        return "rule pool verification: clean"
+    lines = [f"rule pool verification: {len(findings)} finding(s)"]
+    lines.extend("  " + finding.describe() for finding in findings)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# individual checks
+# ---------------------------------------------------------------------------
+
+def _check_dangling_events(engine) -> list[Finding]:
+    findings = []
+    for rule in engine.rules:
+        if rule.event not in engine.detector:
+            findings.append(Finding(
+                Severity.ERROR, "dangling-event", rule.name,
+                f"subscribed to undefined event {rule.event!r}; the "
+                f"rule can never fire"))
+    return findings
+
+
+_REQUEST_PREFIXES = ("addActiveRole.", "addSessionRole.",
+                     "dropActiveRole.")
+
+
+def _check_orphan_role_events(engine) -> list[Finding]:
+    findings = []
+    for event in engine.detector.names():
+        if not event.startswith(_REQUEST_PREFIXES):
+            continue
+        handlers = [rule for rule in engine.rules.rules_for_event(event)
+                    if rule.enabled]
+        if not handlers:
+            findings.append(Finding(
+                Severity.WARNING, "orphan-request-event", event,
+                "no enabled rule handles this request event; requests "
+                "will fail closed"))
+    return findings
+
+
+def _check_duplicate_commits(engine) -> list[Finding]:
+    findings = []
+    for event in engine.detector.names():
+        if not event.startswith("addSessionRole."):
+            continue
+        committers = [
+            rule for rule in engine.rules.rules_for_event(event)
+            if rule.enabled and rule.tags.get("kind") == "commit"
+        ]
+        if len(committers) > 1:
+            names = ", ".join(rule.name for rule in committers)
+            findings.append(Finding(
+                Severity.ERROR, "duplicate-commit", event,
+                f"{len(committers)} commit rules on one commit event "
+                f"({names}): activations would double-commit"))
+    return findings
+
+
+def _check_cascade_cycles(engine) -> list[Finding]:
+    # build the static event -> event cascade graph through rules
+    graph: dict[str, set[str]] = {}
+    for rule in engine.rules:
+        if not rule.enabled:
+            continue
+        targets = [event for event in _static_raises(rule)
+                   if event in engine.detector]
+        if targets:
+            graph.setdefault(rule.event, set()).update(targets)
+    # also follow composite-event edges (child feeding parent)
+    for child, parent in engine.detector.graph_edges():
+        graph.setdefault(child, set()).add(parent)
+
+    findings = []
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: dict[str, int] = {}
+
+    def visit(node: str, path: list[str]) -> None:
+        color[node] = GREY
+        path.append(node)
+        for succ in sorted(graph.get(node, ())):
+            state = color.get(succ, WHITE)
+            if state == GREY:
+                cycle = path[path.index(succ):] + [succ]
+                findings.append(Finding(
+                    Severity.ERROR, "cascade-cycle", succ,
+                    "static cascade cycle: " + " -> ".join(cycle)))
+            elif state == WHITE:
+                visit(succ, path)
+        path.pop()
+        color[node] = BLACK
+
+    for node in sorted(graph):
+        if color.get(node, WHITE) == WHITE:
+            visit(node, [])
+    return findings
+
+
+def _check_disabled_rules(engine) -> list[Finding]:
+    return [
+        Finding(Severity.INFO, "disabled-rule", rule.name,
+                "rule is currently disabled")
+        for rule in engine.rules if not rule.enabled
+    ]
+
+
+def _check_tag_hygiene(engine) -> list[Finding]:
+    findings = []
+    known_roles = set(engine.policy.roles)
+    for rule in engine.rules:
+        for key in rule.tags:
+            if key.startswith("role:"):
+                role = key[len("role:"):]
+                if role not in known_roles:
+                    findings.append(Finding(
+                        Severity.WARNING, "stale-role-tag", rule.name,
+                        f"tagged for role {role!r} which is not in the "
+                        f"policy"))
+    return findings

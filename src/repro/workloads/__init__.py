@@ -1,0 +1,21 @@
+"""Synthetic enterprise workloads for tests and benchmarks.
+
+The paper reports no traces; its scale claims are parametric ("large
+enterprises have hundreds of roles, which requires thousands of rules").
+:mod:`repro.workloads.generator` builds deterministic synthetic
+enterprises — role forests, SoD sets, user populations, permission
+matrices — and request streams over them, parameterised by the knobs
+each benchmark sweeps.
+"""
+
+from repro.workloads.generator import (
+    EnterpriseShape,
+    generate_enterprise,
+    generate_request_stream,
+)
+
+__all__ = [
+    "EnterpriseShape",
+    "generate_enterprise",
+    "generate_request_stream",
+]

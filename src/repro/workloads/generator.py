@@ -1,0 +1,207 @@
+"""Deterministic synthetic enterprise and request-stream generators.
+
+All randomness flows from an explicit seed through :class:`random.Random`
+so every benchmark run and test case is reproducible.
+
+:func:`generate_enterprise` builds a :class:`~repro.policy.spec.PolicySpec`
+shaped by :class:`EnterpriseShape`:
+
+* roles arranged as a forest of seniority trees (``tree_fanout`` wide,
+  ``tree_depth`` deep — enterprise org charts are shallow and wide);
+* users assigned to a few roles each, respecting SSD;
+* permissions spread over operations x objects, granted along the
+  trees so hierarchy inheritance matters;
+* SSD/DSD sets drawn from sibling roles (conflicts-of-interest arise
+  between peers: purchase clerk vs approval clerk).
+
+:func:`generate_request_stream` emits a deterministic operation mix
+(session churn, activations, access checks) to drive either engine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.policy.spec import PolicySpec
+
+
+@dataclass(frozen=True)
+class EnterpriseShape:
+    """Knobs for the synthetic enterprise generator."""
+
+    roles: int = 50
+    users: int = 100
+    tree_fanout: int = 4
+    tree_depth: int = 3
+    assignments_per_user: int = 2
+    operations: int = 4
+    objects: int = 30
+    grants_per_role: int = 3
+    ssd_sets: int = 2
+    dsd_sets: int = 2
+    sod_set_size: int = 2
+    role_cardinality_fraction: float = 0.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.roles < 1 or self.users < 1:
+            raise ValueError("need at least one role and one user")
+        if self.tree_fanout < 1 or self.tree_depth < 1:
+            raise ValueError("tree fanout/depth must be >= 1")
+        if not 0.0 <= self.role_cardinality_fraction <= 1.0:
+            raise ValueError("role_cardinality_fraction must be in [0,1]")
+
+
+def _role_name(index: int) -> str:
+    return f"R{index:04d}"
+
+
+def generate_enterprise(shape: EnterpriseShape) -> PolicySpec:
+    """Build a policy spec for the given shape (deterministic in seed)."""
+    rng = random.Random(shape.seed)
+    spec = PolicySpec(name=f"synthetic-{shape.roles}r-{shape.users}u")
+
+    roles = [_role_name(i) for i in range(shape.roles)]
+    for index, role in enumerate(roles):
+        max_users = None
+        if rng.random() < shape.role_cardinality_fraction:
+            max_users = rng.randint(1, 5)
+        spec.add_role(role, max_users)
+
+    # forest of seniority trees: parent of node i (within a tree block)
+    # is (i - 1) // fanout; trees are `tree_size` nodes each.
+    tree_size = sum(shape.tree_fanout ** d for d in range(shape.tree_depth))
+    blocks: list[list[str]] = []
+    for start in range(0, shape.roles, tree_size):
+        block = roles[start:start + tree_size]
+        blocks.append(block)
+        for offset in range(1, len(block)):
+            parent = block[(offset - 1) // shape.tree_fanout]
+            child = block[offset]
+            # parent is SENIOR to child: seniors inherit junior perms
+            spec.add_hierarchy(parent, child)
+
+    # SoD sets span *different* trees (enterprise-XYZ style: purchase
+    # clerk vs approval clerk).  A set within one subtree would conflict
+    # with the hierarchy: the common senior is authorized for every
+    # member.  When fewer trees than the set size exist, no static sets
+    # are generated.
+    def cross_tree_members(index: int) -> set[str] | None:
+        if len(blocks) < shape.sod_set_size:
+            return None
+        chosen_blocks = [
+            blocks[(index + i) % len(blocks)]
+            for i in range(shape.sod_set_size)
+        ]
+        return {rng.choice(block) for block in chosen_blocks}
+
+    for index in range(shape.ssd_sets):
+        members = cross_tree_members(index)
+        if members is None or len(members) < shape.sod_set_size:
+            continue
+        spec.add_ssd(f"ssd{index}", members, 2)
+    for index in range(shape.dsd_sets):
+        members = cross_tree_members(index + shape.ssd_sets)
+        if members is None or len(members) < shape.sod_set_size:
+            continue
+        spec.add_dsd(f"dsd{index}", members, 2)
+
+    # permissions and grants
+    operations = [f"op{i}" for i in range(shape.operations)]
+    objects = [f"obj{i:04d}" for i in range(shape.objects)]
+    for role in roles:
+        for _ in range(shape.grants_per_role):
+            operation = rng.choice(operations)
+            obj = rng.choice(objects)
+            if (role, operation, obj) not in spec.grants:
+                spec.add_grant(role, operation, obj)
+
+    # users: assigned to a few roles each, avoiding SSD conflicts by
+    # retrying; deterministic given the seed.  The check uses the
+    # authorized closure (role + all juniors), matching the model's
+    # hierarchical SSD semantics.
+    ssd_sets = [s.roles for s in spec.ssd.values()]
+    children_of: dict[str, list[str]] = {}
+    for senior, junior in spec.hierarchy:
+        children_of.setdefault(senior, []).append(junior)
+
+    def juniors_inclusive(role: str) -> set[str]:
+        closure = {role}
+        stack = list(children_of.get(role, ()))
+        while stack:
+            node = stack.pop()
+            if node in closure:
+                continue
+            closure.add(node)
+            stack.extend(children_of.get(node, ()))
+        return closure
+
+    def violates_ssd(assigned: set[str], candidate: str) -> bool:
+        authorized: set[str] = set()
+        for role in assigned | {candidate}:
+            authorized |= juniors_inclusive(role)
+        return any(len(authorized & sod) >= 2 for sod in ssd_sets)
+
+    for index in range(shape.users):
+        user = f"u{index:04d}"
+        spec.add_user(user)
+        assigned: set[str] = set()
+        attempts = 0
+        while (len(assigned) < shape.assignments_per_user
+               and attempts < 20 * shape.assignments_per_user):
+            attempts += 1
+            candidate = rng.choice(roles)
+            if candidate in assigned or violates_ssd(assigned, candidate):
+                continue
+            assigned.add(candidate)
+            spec.add_assignment(user, candidate)
+    return spec
+
+
+@dataclass(frozen=True)
+class Request:
+    """One operation in a request stream."""
+
+    kind: str  # "create_session" | "activate" | "drop" | "check" | "end"
+    user: str = ""
+    role: str = ""
+    operation: str = ""
+    obj: str = ""
+
+
+def generate_request_stream(spec: PolicySpec, length: int,
+                            seed: int = 11,
+                            mix: tuple[float, float, float] = (0.2, 0.2, 0.6)
+                            ) -> Iterator[Request]:
+    """A deterministic stream of session/activation/access requests.
+
+    ``mix`` = (session churn, activation churn, access checks) weights.
+    Roles and objects are drawn from the spec; some requests reference
+    roles the user is not assigned to, producing realistic denials.
+    """
+    rng = random.Random(seed)
+    users = sorted(spec.users)
+    roles = sorted(spec.roles)
+    perms = spec.permissions or [("op0", "obj0000")]
+    assigned: dict[str, list[str]] = {}
+    for user, role in spec.assignments:
+        assigned.setdefault(user, []).append(role)
+    churn, activation, _check = mix
+    for _ in range(length):
+        user = rng.choice(users)
+        draw = rng.random()
+        if draw < churn:
+            yield Request("create_session", user=user)
+        elif draw < churn + activation:
+            own = assigned.get(user)
+            # 70% of activation attempts target an assigned role
+            if own and rng.random() < 0.7:
+                role = rng.choice(own)
+            else:
+                role = rng.choice(roles)
+            yield Request("activate", user=user, role=role)
+        else:
+            operation, obj = rng.choice(perms)
+            yield Request("check", user=user, operation=operation, obj=obj)

@@ -1,0 +1,206 @@
+"""Integration: active engine surface beyond the paper's worked rules."""
+
+import pytest
+
+from repro import ActiveRBACEngine, parse_policy
+from repro.errors import (
+    AdministrationError,
+    DuplicateEntityError,
+    OperationDenied,
+    SecurityLockout,
+    UnknownRoleError,
+    UnknownSessionError,
+    UnknownUserError,
+)
+
+POLICY = """
+policy engine {
+  role A; role B;
+  user bob; user carol;
+  assign bob to A;
+  permission read on doc;
+  grant read on doc to A;
+}
+"""
+
+
+@pytest.fixture
+def engine():
+    return ActiveRBACEngine.from_policy(parse_policy(POLICY))
+
+
+class TestSessions:
+    def test_session_ids_unique(self, engine):
+        first = engine.create_session("bob")
+        second = engine.create_session("bob")
+        assert first != second
+
+    def test_explicit_session_id(self, engine):
+        assert engine.create_session("bob", session_id="mine") == "mine"
+
+    def test_duplicate_session_id_denied(self, engine):
+        engine.create_session("bob", session_id="mine")
+        with pytest.raises(DuplicateEntityError):
+            engine.create_session("carol", session_id="mine")
+
+    def test_unknown_user_denied(self, engine):
+        with pytest.raises(UnknownUserError):
+            engine.create_session("ghost")
+
+    def test_delete_session_deactivates_roles(self, engine):
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "A")
+        engine.delete_session(sid)
+        assert sid not in engine.model.sessions
+        # roleDeactivated was cascaded (audit saw the drop)
+        assert engine.audit.matching(session=sid, role="A")
+
+    def test_delete_unknown_session(self, engine):
+        with pytest.raises(UnknownSessionError):
+            engine.delete_session("ghost")
+
+
+class TestAssignmentRules:
+    def test_assign_through_administrative_rule(self, engine):
+        engine.assign_user("carol", "B")
+        assert engine.model.is_assigned("carol", "B")
+        assert engine.audit.by_kind("admin.assign_user")
+
+    def test_assign_unknown_entities(self, engine):
+        with pytest.raises(UnknownUserError):
+            engine.assign_user("ghost", "A")
+        with pytest.raises(UnknownRoleError):
+            engine.assign_user("bob", "ghost")
+
+    def test_double_assignment_denied(self, engine):
+        with pytest.raises(AdministrationError):
+            engine.assign_user("bob", "A")
+
+    def test_deassign(self, engine):
+        engine.deassign_user("bob", "A")
+        assert not engine.model.is_assigned("bob", "A")
+        with pytest.raises(AdministrationError):
+            engine.deassign_user("bob", "A")
+
+    def test_deassign_deactivates(self, engine):
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "A")
+        engine.deassign_user("bob", "A")
+        assert "A" not in engine.model.session_roles(sid)
+
+
+class TestFailClosed:
+    def test_disabled_activation_rule_fails_closed(self, engine):
+        sid = engine.create_session("bob")
+        engine.rules.disable("AAR1.A")
+        from repro.errors import ActivationDenied
+        with pytest.raises(ActivationDenied,
+                           match="not committed"):
+            engine.add_active_role(sid, "A")
+
+    def test_disabled_commit_rule_fails_closed(self, engine):
+        sid = engine.create_session("bob")
+        engine.rules.disable("CC.A")
+        from repro.errors import ActivationDenied
+        with pytest.raises(ActivationDenied):
+            engine.add_active_role(sid, "A")
+
+    def test_disabled_session_rule_fails_closed(self, engine):
+        engine.rules.disable("GR.createSession")
+        with pytest.raises(OperationDenied):
+            engine.create_session("bob")
+
+    def test_disabled_check_access_rule_denies(self, engine):
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "A")
+        assert engine.check_access(sid, "read", "doc")
+        engine.rules.disable("CA.checkAccess")
+        assert not engine.check_access(sid, "read", "doc")
+
+
+class TestLocking:
+    def test_locked_user_cannot_create_sessions(self, engine):
+        engine.lock_user("bob")
+        with pytest.raises(SecurityLockout):
+            engine.create_session("bob")
+
+    def test_lock_destroys_sessions(self, engine):
+        sid = engine.create_session("bob")
+        engine.lock_user("bob")
+        assert sid not in engine.model.sessions
+
+    def test_locked_user_denied_access(self, engine):
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "A")
+        engine.locked_users.add("bob")  # lock without deleting session
+        assert not engine.check_access(sid, "read", "doc")
+
+    def test_unlock_restores(self, engine):
+        engine.lock_user("bob")
+        engine.unlock_user("bob")
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "A")
+        assert engine.check_access(sid, "read", "doc")
+
+
+class TestDynamicAdministration:
+    def test_add_role_then_use(self, engine):
+        engine.add_role("New")
+        engine.assign_user("carol", "New")
+        engine.add_permission("write", "doc")
+        engine.grant_permission("New", "write", "doc")
+        sid = engine.create_session("carol")
+        engine.add_active_role(sid, "New")
+        assert engine.check_access(sid, "write", "doc")
+
+    def test_delete_role_denies_everything(self, engine):
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "A")
+        engine.delete_role("A")
+        assert not engine.check_access(sid, "read", "doc")
+        with pytest.raises(UnknownRoleError):
+            engine.add_active_role(sid, "A")
+
+    def test_delete_user(self, engine):
+        sid = engine.create_session("bob")
+        engine.delete_user("bob")
+        assert sid not in engine.model.sessions
+        assert "bob" not in engine.policy.users
+
+    def test_revoke_permission(self, engine):
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "A")
+        engine.revoke_permission("A", "read", "doc")
+        assert not engine.check_access(sid, "read", "doc")
+
+    def test_inheritance_administration(self, engine):
+        engine.add_inheritance("B", "A")
+        sid = engine.create_session("carol")
+        engine.assign_user("carol", "B")
+        engine.add_active_role(sid, "B")
+        assert engine.check_access(sid, "read", "doc")  # B inherits A
+        engine.delete_inheritance("B", "A")
+        assert not engine.check_access(sid, "read", "doc")
+
+    def test_create_sod_sets_live(self, engine):
+        engine.create_dsd_set("d", {"A", "B"})
+        engine.assign_user("bob", "B")
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "A")
+        from repro.errors import DsdViolationError
+        # DSD is enforced through the (regenerated?) AAR rule only if
+        # the rule knows about it; dynamic set creation regenerates
+        # nothing, but can_activate checks the model directly, so the
+        # deny path still fires with the right type.
+        with pytest.raises(DsdViolationError):
+            engine.detector.raise_event(
+                "addActiveRole.B", user="bob", sessionId=sid, role="B",
+                activationId=12345)
+
+
+class TestStats:
+    def test_stats_aggregate(self, engine):
+        stats = engine.stats()
+        assert stats["rules"] == len(engine.rules)
+        assert stats["users"] == 2
+        assert "events_defined" in stats

@@ -1,0 +1,124 @@
+"""Integration: the paper's active security loop end to end.
+
+The §1 motivating example: repeated access requests for protected files
+trip an internal security alert; critical authorization rules are
+disabled and administrators alerted — all without human intervention.
+"""
+
+import pytest
+
+from repro import ActiveRBACEngine, parse_policy
+
+POLICY = """
+policy fortress {
+  role Analyst; role Admin;
+  user alice; user mallory; user root;
+  assign alice to Analyst;
+  assign root to Admin;
+  permission read on secret.dat;
+  permission read on public.dat;
+  grant read on secret.dat to Admin;
+  grant read on public.dat to Analyst;
+  threshold FileProbe event accessDenied group_by user count 3
+            window 300 lock_user lockout 600;
+  threshold GlobalFlood event accessDenied group_by global count 10
+            window 60;
+}
+"""
+
+
+@pytest.fixture
+def engine():
+    return ActiveRBACEngine.from_policy(parse_policy(POLICY))
+
+
+class TestPaperScenario:
+    def test_probe_locks_the_prober_only(self, engine):
+        alice_sid = engine.create_session("alice")
+        engine.add_active_role(alice_sid, "Analyst")
+        mallory_sid = engine.create_session("mallory")
+        for _ in range(3):
+            assert not engine.check_access(mallory_sid, "read",
+                                           "secret.dat")
+        assert "mallory" in engine.locked_users
+        # legitimate traffic unaffected
+        assert engine.check_access(alice_sid, "read", "public.dat")
+
+    def test_lockout_expires_automatically(self, engine):
+        sid = engine.create_session("mallory")
+        for _ in range(3):
+            engine.check_access(sid, "read", "secret.dat")
+        assert "mallory" in engine.locked_users
+        engine.advance_time(601)
+        assert "mallory" not in engine.locked_users
+
+    def test_alert_carries_reactions_and_notifies_admins(self, engine):
+        alerts = []
+        engine.monitor.notify_admins(alerts.append)
+        sid = engine.create_session("mallory")
+        for _ in range(3):
+            engine.check_access(sid, "read", "secret.dat")
+        assert len(alerts) == 1
+        assert any("locked user 'mallory'" in reaction
+                   for reaction in alerts[0].reactions)
+
+    def test_report_generation_from_audit(self, engine):
+        sid = engine.create_session("mallory")
+        for _ in range(3):
+            engine.check_access(sid, "read", "secret.dat")
+        report = engine.audit.report()
+        assert "security.alert: 1" in report
+        assert "decision.deny" in report
+
+    def test_alert_event_can_trigger_custom_rules(self, engine):
+        """Administrators attach further OWTE rules to securityAlert."""
+        from repro.rules.rule import Action, OWTERule
+        escalations = []
+        engine.rules.add(OWTERule(
+            name="Escalate", event="securityAlert",
+            actions=[Action("page the CISO",
+                            lambda ctx: escalations.append(
+                                ctx.get("policy")))],
+        ))
+        sid = engine.create_session("mallory")
+        for _ in range(3):
+            engine.check_access(sid, "read", "secret.dat")
+        assert escalations == ["FileProbe"]
+
+    def test_global_flood_threshold_independent(self, engine):
+        # 10 denials across *different* users within 60s trips the
+        # global policy (each user stays under their own threshold).
+        for index in range(5):
+            engine.add_user(f"probe{index}")
+        sids = [engine.create_session(f"probe{index}")
+                for index in range(5)]
+        for wave in range(2):
+            for sid in sids:
+                engine.check_access(sid, "read", "secret.dat")
+        flood_alerts = [a for a in engine.monitor.alerts
+                        if a.policy == "GlobalFlood"]
+        assert len(flood_alerts) == 1
+
+
+class TestCountermeasureInteractions:
+    def test_locked_user_sessions_fail_closed_midstream(self, engine):
+        """A user locked while holding a session loses access at the
+        next request — constraints 'hold TRUE until deactivation'."""
+        sid = engine.create_session("alice")
+        engine.add_active_role(sid, "Analyst")
+        assert engine.check_access(sid, "read", "public.dat")
+        # alice probes the secret file herself
+        for _ in range(3):
+            engine.check_access(sid, "read", "secret.dat")
+        assert "alice" in engine.locked_users
+        assert not engine.check_access(sid, "read", "public.dat")
+
+    def test_denial_streams_are_per_policy_event(self, engine):
+        """activationDenied events do not count toward accessDenied
+        thresholds."""
+        from repro.errors import ActivationDenied
+        sid = engine.create_session("mallory")
+        for _ in range(5):
+            with pytest.raises(ActivationDenied):
+                engine.add_active_role(sid, "Admin")
+        assert engine.monitor.alerts == []

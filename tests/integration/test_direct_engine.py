@@ -1,0 +1,176 @@
+"""Integration: the direct (inline-check) baseline engine behaves like
+the active engine across every constraint family."""
+
+import pytest
+
+from repro import DirectRBACEngine, parse_policy
+from repro.errors import (
+    ActivationDenied,
+    CardinalityExceeded,
+    DeactivationDenied,
+    DsdViolationError,
+    DuplicateEntityError,
+    PrerequisiteNotMetError,
+    SecurityLockout,
+    SsdViolationError,
+    UnknownRoleError,
+    UnknownUserError,
+)
+
+POLICY = """
+policy baseline {
+  role PM; role PC; role Clerk; role AC;
+  role Limited max_active_users 1;
+  role Timed; role Nurse; role Doctor;
+  role Manager; role JuniorEmp;
+  user bob; user carol; user amy;
+  hierarchy PM > PC > Clerk;
+  ssd conflict roles PC, AC;
+  dsd exclusive roles Manager, Nurse;
+  permission create on po;
+  grant create on po to PC;
+  assign bob to PM;
+  assign carol to AC;
+  assign bob to Limited;
+  assign carol to Limited;
+  assign bob to Timed;
+  assign bob to Manager;
+  assign carol to JuniorEmp;
+  assign bob to Nurse; assign bob to Doctor;
+  prerequisite Doctor requires Nurse;
+  transaction JuniorEmp during Manager;
+  duration Timed 1000;
+  disabling_sod cov roles Nurse, Doctor daily 10:00 to 17:00;
+}
+"""
+
+
+@pytest.fixture
+def engine():
+    return DirectRBACEngine(parse_policy(POLICY))
+
+
+class TestCoreBehaviour:
+    def test_session_lifecycle(self, engine):
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "PM")
+        assert engine.check_access(sid, "create", "po")
+        engine.delete_session(sid)
+        assert sid not in engine.model.sessions
+
+    def test_errors_match_active_engine_types(self, engine):
+        with pytest.raises(UnknownUserError):
+            engine.create_session("ghost")
+        engine.create_session("bob", session_id="x")
+        with pytest.raises(DuplicateEntityError):
+            engine.create_session("carol", session_id="x")
+        with pytest.raises(UnknownRoleError):
+            engine.add_active_role("x", "ghost")
+        with pytest.raises(ActivationDenied):
+            engine.add_active_role("x", "AC")  # bob not assigned AC
+        with pytest.raises(DeactivationDenied):
+            engine.drop_active_role("x", "PM")  # not active
+
+    def test_hierarchy_authorization(self, engine):
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "PC")  # authorized via PM
+        assert engine.check_access(sid, "create", "po")
+
+    def test_ssd_on_assignment(self, engine):
+        with pytest.raises(SsdViolationError):
+            engine.assign_user("bob", "AC")  # bob authorized for PC
+
+    def test_dsd_on_activation(self, engine):
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "Nurse")
+        with pytest.raises(DsdViolationError):
+            engine.add_active_role(sid, "Manager")
+
+    def test_cardinality(self, engine):
+        s_bob = engine.create_session("bob")
+        engine.add_active_role(s_bob, "Limited")
+        s_carol = engine.create_session("carol")
+        with pytest.raises(CardinalityExceeded):
+            engine.add_active_role(s_carol, "Limited")
+
+    def test_locked_user(self, engine):
+        engine.locked_users.add("bob")
+        with pytest.raises(SecurityLockout):
+            engine.create_session("bob")
+
+
+class TestTemporalBehaviour:
+    def test_duration_expiry(self, engine):
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "Timed")
+        engine.advance_time(999)
+        assert "Timed" in engine.model.session_roles(sid)
+        engine.advance_time(1)
+        assert "Timed" not in engine.model.session_roles(sid)
+
+    def test_duration_guard_against_stale_timer(self, engine):
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "Timed")
+        engine.advance_time(500)
+        engine.drop_active_role(sid, "Timed")
+        engine.add_active_role(sid, "Timed")
+        engine.advance_time(600)  # stale timer would fire at t=1000
+        assert "Timed" in engine.model.session_roles(sid)
+
+    def test_disabling_sod(self, engine):
+        engine.advance_time(12 * 3600)
+        engine.disable_role("Doctor")
+        with pytest.raises(DeactivationDenied):
+            engine.disable_role("Nurse")
+
+    def test_enabling_window(self):
+        engine = DirectRBACEngine(parse_policy("""
+        policy windows {
+          role Day; user u; assign u to Day;
+          enable Day daily 08:00 to 16:00;
+        }"""))
+        sid = engine.create_session("u")
+        with pytest.raises(ActivationDenied):
+            engine.add_active_role(sid, "Day")  # midnight
+        engine.advance_time(9 * 3600)
+        engine.add_active_role(sid, "Day")
+        engine.advance_time(8 * 3600)  # 17:00
+        assert "Day" not in engine.model.session_roles(sid)
+
+
+class TestCfdBehaviour:
+    def test_prerequisite(self, engine):
+        sid = engine.create_session("bob")
+        with pytest.raises(PrerequisiteNotMetError):
+            engine.add_active_role(sid, "Doctor")
+        engine.add_active_role(sid, "Nurse")
+        engine.add_active_role(sid, "Doctor")
+
+    def test_transaction_window(self, engine):
+        kid = engine.create_session("carol")
+        with pytest.raises(PrerequisiteNotMetError):
+            engine.add_active_role(kid, "JuniorEmp")
+        boss = engine.create_session("bob")
+        engine.add_active_role(boss, "Manager")
+        engine.add_active_role(kid, "JuniorEmp")
+        engine.drop_active_role(boss, "Manager")
+        assert "JuniorEmp" not in engine.model.session_roles(kid)
+
+    def test_post_condition(self):
+        engine = DirectRBACEngine(parse_policy("""
+        policy cfd { role SysAdmin; role SysAudit;
+                     require SysAudit when enabling SysAdmin; }"""))
+        engine.model.set_role_enabled("SysAdmin", False)
+        engine.model.set_role_enabled("SysAudit", False)
+        engine.enable_role("SysAdmin")
+        assert engine.model.is_role_enabled("SysAudit")
+
+
+class TestDenialLog:
+    def test_denials_recorded(self, engine):
+        sid = engine.create_session("carol")
+        assert not engine.check_access(sid, "create", "po")
+        with pytest.raises(ActivationDenied):
+            engine.add_active_role(sid, "PM")
+        kinds = [kind for _time, kind, _reason in engine.denials]
+        assert kinds == ["access", "activation"]

@@ -1,0 +1,215 @@
+"""Integration: one simulated week at a hospital using every constraint
+family at once — the cross-feature interaction lock.
+
+Constraints in play simultaneously:
+
+* weekly enabling windows (ER staff on weekdays only),
+* per-user and role-wide activation durations,
+* transaction-based activation (residents only while an attending is on),
+* prerequisite roles and dynamic SoD,
+* disabling-time SoD on ward coverage,
+* context-gated access (sterile field),
+* privacy purposes on patient records,
+* an active-security threshold watching for probing.
+
+The simulated epoch (Jan 1 2005) is a Saturday; day 2 is Monday.
+"""
+
+import pytest
+
+from repro import ActiveRBACEngine, parse_policy
+from repro.clock import SECONDS_PER_DAY as DAY
+from repro.clock import SECONDS_PER_HOUR as H
+from repro.errors import (
+    ActivationDenied,
+    DeactivationDenied,
+    PrerequisiteNotMetError,
+    RoleNotEnabledError,
+    SecurityLockout,
+)
+
+POLICY = """
+policy hospital_week {
+  role Attending; role Resident; role Pharmacist;
+  role ErStaff; role Surgeon;
+  role Nurse; role Doctor;
+
+  user dr_lee; user res_kim; user ph_roy; user mallory;
+
+  assign dr_lee to Attending;
+  assign dr_lee to Surgeon;
+  assign dr_lee to ErStaff;
+  assign res_kim to Resident;
+  assign res_kim to ErStaff;
+  assign ph_roy to Pharmacist;
+
+  permission read on patient.record;
+  permission dispense on pharmacy;
+  permission operate on theatre;
+  grant read on patient.record to Resident;
+  grant read on patient.record to Attending;
+  grant dispense on pharmacy to Pharmacist;
+  grant operate on theatre to Surgeon;
+
+  # residents work only under an attending (Rule 9)
+  transaction Resident during Attending;
+
+  # the ER desk is staffed on weekdays 08:00-18:00 only
+  enable ErStaff daily 08:00 to 18:00 on mon, tue, wed, thu, fri;
+
+  # surgeons book two-hour theatre slots
+  duration Surgeon 7200;
+
+  # a pharmacist cannot also be a resident in one session
+  dsd dispensing roles Pharmacist, Resident;
+
+  # ward coverage: Nurse/Doctor not both disabled during the day
+  disabling_sod coverage roles Nurse, Doctor daily 08:00 to 20:00;
+
+  # theatre access requires a sterile field
+  context Surgeon requires sterile == "yes";
+
+  # privacy: patient records only for treatment
+  purpose healthcare;
+  purpose treatment under healthcare;
+  object_policy read on patient.record for treatment;
+
+  # probing detector
+  threshold probes event accessDenied group_by user count 3
+            window 3600 lock_user lockout 7200;
+}
+"""
+
+
+@pytest.fixture
+def hospital():
+    return ActiveRBACEngine.from_policy(parse_policy(POLICY))
+
+
+class TestWeekendSaturday:
+    def test_er_desk_closed_on_saturday(self, hospital):
+        sid = hospital.create_session("res_kim")
+        hospital.advance_time(10 * H)  # Saturday 10:00
+        with pytest.raises(RoleNotEnabledError):
+            hospital.add_active_role(sid, "ErStaff")
+
+    def test_resident_needs_attending_even_on_weekend(self, hospital):
+        sid = hospital.create_session("res_kim")
+        with pytest.raises(PrerequisiteNotMetError):
+            hospital.add_active_role(sid, "Resident")
+
+
+class TestMondayShift:
+    def advance_to_monday_nine(self, hospital):
+        hospital.advance_time(2 * DAY + 9 * H)
+
+    def test_full_morning_flow(self, hospital):
+        self.advance_to_monday_nine(hospital)
+        lee = hospital.create_session("dr_lee")
+        hospital.add_active_role(lee, "Attending")
+        hospital.add_active_role(lee, "ErStaff")  # weekday window open
+
+        kim = hospital.create_session("res_kim")
+        hospital.add_active_role(kim, "Resident")  # attending present
+        # privacy: purpose required for the record
+        assert not hospital.check_access(kim, "read", "patient.record")
+        assert hospital.check_access(kim, "read", "patient.record",
+                                     purpose="treatment")
+
+        # attending leaves: resident cascades out (Rule 9)
+        hospital.drop_active_role(lee, "Attending")
+        assert "Resident" not in hospital.model.session_roles(kim)
+
+    def test_surgeon_slot_requires_sterile_field_and_expires(
+            self, hospital):
+        self.advance_to_monday_nine(hospital)
+        lee = hospital.create_session("dr_lee")
+        with pytest.raises(ActivationDenied):
+            hospital.add_active_role(lee, "Surgeon")  # context unset
+        hospital.context.set("sterile", "yes")
+        hospital.add_active_role(lee, "Surgeon")
+        assert hospital.check_access(lee, "operate", "theatre")
+        hospital.advance_time(2 * H)  # slot expires
+        assert "Surgeon" not in hospital.model.session_roles(lee)
+        assert not hospital.check_access(lee, "operate", "theatre")
+
+    def test_dispensing_dsd(self, hospital):
+        self.advance_to_monday_nine(hospital)
+        hospital.assign_user("ph_roy", "Resident")
+        lee = hospital.create_session("dr_lee")
+        hospital.add_active_role(lee, "Attending")
+        roy = hospital.create_session("ph_roy")
+        hospital.add_active_role(roy, "Pharmacist")
+        from repro.errors import DsdViolationError
+        with pytest.raises(DsdViolationError):
+            hospital.add_active_role(roy, "Resident")
+
+    def test_ward_coverage_sod_daytime(self, hospital):
+        self.advance_to_monday_nine(hospital)
+        hospital.disable_role("Nurse")
+        with pytest.raises(DeactivationDenied):
+            hospital.disable_role("Doctor")
+        hospital.advance_time(12 * H)  # 21:00: outside coverage hours
+        hospital.disable_role("Doctor")
+
+    def test_er_desk_closes_at_six(self, hospital):
+        self.advance_to_monday_nine(hospital)
+        kim = hospital.create_session("res_kim")
+        hospital.add_active_role(kim, "ErStaff")
+        hospital.advance_time(9 * H)  # 18:00
+        assert "ErStaff" not in hospital.model.session_roles(kim)
+
+
+class TestSecurityWatch:
+    def test_mallory_probing_gets_locked_then_released(self, hospital):
+        hospital.advance_time(2 * DAY + 9 * H)
+        sid = hospital.create_session("mallory")
+        for _ in range(3):
+            assert not hospital.check_access(sid, "read",
+                                             "patient.record",
+                                             purpose="treatment")
+        assert "mallory" in hospital.locked_users
+        with pytest.raises(SecurityLockout):
+            hospital.create_session("mallory")
+        hospital.advance_time(2 * H + 1)
+        assert "mallory" not in hospital.locked_users
+
+    def test_legitimate_staff_unaffected_by_lockout(self, hospital):
+        hospital.advance_time(2 * DAY + 9 * H)
+        mallory = hospital.create_session("mallory")
+        for _ in range(3):
+            hospital.check_access(mallory, "read", "patient.record")
+        lee = hospital.create_session("dr_lee")
+        hospital.add_active_role(lee, "Attending")
+        assert hospital.check_access(lee, "read", "patient.record",
+                                     purpose="treatment")
+
+
+class TestWholeWeekAccounting:
+    def test_er_window_transitions_exactly(self, hospital):
+        hospital.advance_time(9 * DAY)  # through Sunday next week
+        enables = len(hospital.audit.by_kind("role.enable"))
+        disables = len(hospital.audit.by_kind("role.disable"))
+        # five weekdays in the first full week
+        assert enables == 5
+        assert disables == 5
+
+    def test_verifier_clean_on_the_full_policy(self, hospital):
+        from repro.synthesis.verify import errors_only, verify_rule_pool
+        assert errors_only(verify_rule_pool(hospital)) == []
+
+    def test_snapshot_restore_midweek(self, hospital):
+        from repro.persistence import dumps, loads
+        hospital.advance_time(2 * DAY + 9 * H)
+        hospital.context.set("sterile", "yes")
+        lee = hospital.create_session("dr_lee")
+        hospital.add_active_role(lee, "Surgeon")
+        hospital.advance_time(1 * H)
+        revived = loads(dumps(hospital))
+        revived.advance_time(1 * H)  # slot had one hour left
+        assert "Surgeon" not in revived.model.session_roles(lee)
+        # ER window machinery still alive after restore
+        kim = revived.create_session("res_kim")
+        revived.add_active_role(kim, "ErStaff")
+        revived.advance_time(7 * H)  # 18:00
+        assert "ErStaff" not in revived.model.session_roles(kim)

@@ -1,0 +1,158 @@
+"""Integration: failure injection — misbehaving rules and actions.
+
+Active systems must stay consistent when a rule's action throws, when
+cascades collide, or when administrators inject broken rules next to
+the generated pool.  These tests inject faults and assert the engine's
+state stays coherent (no half-committed activations, counters intact).
+"""
+
+import pytest
+
+from repro import ActiveRBACEngine, parse_policy
+from repro.errors import ReproError, RuleCascadeError
+from repro.rules.rule import Action, Condition, OWTERule
+
+POLICY = """
+policy chaos {
+  role A; role B;
+  user bob;
+  assign bob to A; assign bob to B;
+  permission read on doc;
+  grant read on doc to A;
+}
+"""
+
+
+@pytest.fixture
+def engine():
+    return ActiveRBACEngine.from_policy(parse_policy(POLICY))
+
+
+class TestThrowingActions:
+    def test_non_repro_exception_in_injected_rule_propagates(self, engine):
+        engine.rules.add(OWTERule(
+            name="Chaos", event="addActiveRole.A", priority=100,
+            actions=[Action("boom", lambda ctx: 1 / 0)],
+        ))
+        sid = engine.create_session("bob")
+        with pytest.raises(ZeroDivisionError):
+            engine.add_active_role(sid, "A")
+        # the activation never committed (chaos fired before AAR)
+        assert "A" not in engine.model.session_roles(sid)
+        # the engine keeps working once the bad rule is removed
+        engine.rules.remove("Chaos")
+        engine.add_active_role(sid, "A")
+        assert "A" in engine.model.session_roles(sid)
+
+    def test_observer_exception_does_not_corrupt_depth(self, engine):
+        """Even when a rule errors, cascade depth unwinds, so later
+        operations do not hit a phantom depth limit."""
+        engine.rules.add(OWTERule(
+            name="Chaos", event="addActiveRole.B", priority=100,
+            actions=[Action("boom", lambda ctx: 1 / 0)],
+        ))
+        sid = engine.create_session("bob")
+        for _ in range(80):  # more than max_cascade_depth attempts
+            with pytest.raises(ZeroDivisionError):
+                engine.add_active_role(sid, "B")
+        engine.rules.remove("Chaos")
+        engine.add_active_role(sid, "B")
+
+    def test_condition_exception_counts_as_error_not_else(self, engine):
+        log = []
+        engine.rules.observe(
+            lambda rule, occurrence, outcome, error:
+            log.append((rule.name, outcome.value)))
+        engine.rules.add(OWTERule(
+            name="BadCond", event="checkAccess", priority=100,
+            conditions=[Condition("boom", lambda ctx: 1 / 0)],
+        ))
+        sid = engine.create_session("bob")
+        log.clear()
+        with pytest.raises(ZeroDivisionError):
+            engine.check_access(sid, "read", "doc")
+        assert ("BadCond", "error") in log
+
+
+class TestCascadeBombs:
+    def test_self_cascading_rule_hits_depth_limit(self, engine):
+        engine.detector.define_primitive("loop")
+        engine.rules.add(OWTERule(
+            name="Loop", event="loop",
+            actions=[Action("again",
+                            lambda ctx: ctx.raise_event("loop"))],
+        ))
+        with pytest.raises(RuleCascadeError):
+            engine.detector.raise_event("loop")
+        # normal operation unaffected afterwards
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "A")
+
+    def test_mutual_cascade_detected_by_static_verifier(self, engine):
+        from repro.synthesis.verify import verify_rule_pool
+        engine.detector.define_primitive("ping")
+        engine.detector.define_primitive("pong")
+        engine.rules.add(OWTERule(
+            name="Ping", event="ping", tags={"raises": "pong"},
+            actions=[Action("pong", lambda ctx: ctx.raise_event("pong"))]))
+        engine.rules.add(OWTERule(
+            name="Pong", event="pong", tags={"raises": "ping"},
+            actions=[Action("ping", lambda ctx: ctx.raise_event("ping"))]))
+        findings = verify_rule_pool(engine)
+        assert any(f.check == "cascade-cycle" for f in findings)
+
+
+class TestSabotagedCommit:
+    def test_commit_rule_replaced_with_noop_fails_closed(self, engine):
+        """If an attacker replaces the commit rule with a no-op, the
+        engine reports the activation as not committed instead of
+        pretending success."""
+        engine.rules.remove("CC.A")
+        engine.rules.add(OWTERule(
+            name="CC.A", event="addSessionRole.A",
+            actions=[Action("do nothing", lambda ctx: None)],
+            tags={"role:A": "1", "kind": "commit"},
+        ))
+        sid = engine.create_session("bob")
+        from repro.errors import ActivationDenied
+        with pytest.raises(ActivationDenied, match="not committed"):
+            engine.add_active_role(sid, "A")
+
+    def test_half_open_state_never_observable(self, engine):
+        """A throwing THEN in the commit rule must not leave the model
+        half-committed: the model record is the last step."""
+        engine.rules.remove("CC.A")
+
+        def bad_commit(ctx):
+            raise RuntimeError("disk full")
+
+        engine.rules.add(OWTERule(
+            name="CC.A", event="addSessionRole.A",
+            actions=[Action("fail", bad_commit)],
+            tags={"role:A": "1", "kind": "commit"},
+        ))
+        sid = engine.create_session("bob")
+        with pytest.raises(RuntimeError):
+            engine.add_active_role(sid, "A")
+        assert "A" not in engine.model.session_roles(sid)
+        assert (sid, "A") not in engine.current_activation
+
+
+class TestTimerFaults:
+    def test_denied_timer_action_is_audited_not_raised(self, engine):
+        """A window-close disable vetoed by a rule is swallowed by
+        safe_raise and audited."""
+        engine.detector.define_primitive("nothing")
+
+        def deny(ctx):
+            raise ReproError("vetoed")
+
+        engine.rules.add(OWTERule(
+            name="Veto", event="disableRole.A", priority=100,
+            actions=[Action("veto", deny)],
+        ))
+        engine.timers.schedule_after(
+            10.0, lambda: engine.safe_raise("disableRole.A", role="A"))
+        engine.advance_time(11.0)  # must not raise
+        assert engine.audit.by_kind("timer.denied")
+        assert engine.model.is_role_enabled("A")

@@ -1,0 +1,431 @@
+"""Integration tests: the paper's worked Rules 1-9, scenario for scenario.
+
+Each test class reproduces one numbered rule from the paper with the
+exact behaviour its prose describes (allow / deny / force-close /
+cascade), running end-to-end through the active engine or, for Rules 1-2
+which predate the RBAC mapping, through the raw event/rule substrate.
+"""
+
+import pytest
+
+from repro import ActiveRBACEngine, parse_policy
+from repro.clock import TimerService, VirtualClock
+from repro.errors import (
+    AccessDenied,
+    ActivationDenied,
+    CardinalityExceeded,
+    DeactivationDenied,
+    OperationDenied,
+    PrerequisiteNotMetError,
+)
+from repro.events import EventDetector
+from repro.rules import RuleManager
+from repro.rules.rule import Action, Condition, OWTERule
+
+
+class TestRule1SimpleEvent:
+    """Rule 1: Bob opens patient.dat with vi; checkaccess gates it."""
+
+    def setup_method(self):
+        self.detector = EventDetector(TimerService(VirtualClock()))
+        self.manager = RuleManager(self.detector)
+        self.detector.define_primitive("vi")
+        self.opened = []
+        self.allowed_users = {"Bob"}
+
+        def checkaccess(ctx):
+            return (ctx.get("user") in self.allowed_users
+                    and ctx.get("file") == "patient.dat")
+
+        def open_file(ctx):
+            self.opened.append((ctx.get("user"), ctx.get("file")))
+
+        def deny(ctx):
+            raise AccessDenied("insufficient privileges")
+
+        self.manager.add(OWTERule(
+            name="R_1", event="vi",
+            conditions=[Condition(
+                "checkaccess(Bob, patient.dat) IS TRUE", checkaccess)],
+            actions=[Action("allow opening patient.dat", open_file)],
+            alt_actions=[Action(
+                'raise error "insufficient privileges"', deny)],
+        ))
+
+    def test_authorized_open_allowed(self):
+        self.detector.raise_event("vi", user="Bob", file="patient.dat")
+        assert self.opened == [("Bob", "patient.dat")]
+
+    def test_unauthorized_open_denied(self):
+        with pytest.raises(AccessDenied, match="insufficient privileges"):
+            self.detector.raise_event("vi", user="Mallory",
+                                      file="patient.dat")
+        assert self.opened == []
+
+
+class TestRule2PlusEvent:
+    """Rule 2: force-close patient.dat 2 hours after Bob opened it."""
+
+    def setup_method(self):
+        self.detector = EventDetector(TimerService(VirtualClock()))
+        self.manager = RuleManager(self.detector)
+        self.detector.define_primitive("E1")  # Bob -> vi(patient.dat)
+        self.detector.define_plus("E2", "E1", 2 * 3600)
+        self.closed = []
+        self.manager.add(OWTERule(
+            name="C_1", event="E2",
+            actions=[Action("Closefile",
+                            lambda ctx: self.closed.append(
+                                ctx.get("file")))],
+        ))
+
+    def test_file_closed_exactly_after_two_hours(self):
+        self.detector.raise_event("E1", user="Bob", file="patient.dat")
+        self.detector.advance_time(2 * 3600 - 1)
+        assert self.closed == []
+        self.detector.advance_time(1)
+        assert self.closed == ["patient.dat"]
+
+
+@pytest.fixture
+def rule3_engine():
+    return ActiveRBACEngine.from_policy(parse_policy("""
+    policy rule3 {
+      role R1; role Senior; role Partner;
+      user alice; user mallory; user hier; user dyn;
+      hierarchy Senior > R1;
+      assign alice to R1;
+      assign hier to Senior;
+      assign dyn to R1;
+      assign dyn to Partner;
+      dsd pair roles R1, Partner;
+    }
+    """))
+
+
+class TestRule3AddActiveRole:
+    """Rule 3 / AAR1-AAR4: activate R1 with the property-matched rule."""
+
+    def test_assigned_user_activates(self, rule3_engine):
+        sid = rule3_engine.create_session("alice")
+        rule3_engine.add_active_role(sid, "R1")
+        assert "R1" in rule3_engine.model.session_roles(sid)
+
+    def test_unassigned_user_denied(self, rule3_engine):
+        sid = rule3_engine.create_session("mallory")
+        with pytest.raises(ActivationDenied):
+            rule3_engine.add_active_role(sid, "R1")
+
+    def test_senior_assignment_authorizes_junior(self, rule3_engine):
+        """AAR2: checkAuthorization allows activating R1 when assigned
+        to its senior role."""
+        sid = rule3_engine.create_session("hier")
+        rule3_engine.add_active_role(sid, "R1")
+        assert "R1" in rule3_engine.model.session_roles(sid)
+
+    def test_double_activation_denied(self, rule3_engine):
+        sid = rule3_engine.create_session("alice")
+        rule3_engine.add_active_role(sid, "R1")
+        with pytest.raises(ActivationDenied):
+            rule3_engine.add_active_role(sid, "R1")
+
+    def test_dynamic_sod_denies_second_exclusive_role(self, rule3_engine):
+        """AAR3/AAR4: checkDynamicSoDSet."""
+        sid = rule3_engine.create_session("dyn")
+        rule3_engine.add_active_role(sid, "R1")
+        from repro.errors import DsdViolationError
+        with pytest.raises(DsdViolationError):
+            rule3_engine.add_active_role(sid, "Partner")
+
+    def test_wrong_session_owner_denied(self, rule3_engine):
+        rule3_engine.create_session("alice", session_id="owned")
+        # raising the activation event with a mismatched user parameter
+        # (the paper's sessionId IN checkUserSessions(user) condition)
+        with pytest.raises(ActivationDenied):
+            rule3_engine.detector.raise_event(
+                "addActiveRole.R1", user="mallory", sessionId="owned",
+                role="R1", activationId=999)
+
+
+class TestRule4Cardinality:
+    """Rule 4 / CC1: at most five users active in R1 at a time."""
+
+    @pytest.fixture
+    def engine(self):
+        return ActiveRBACEngine.from_policy(parse_policy("""
+        policy rule4 {
+          role R1 max_active_users 5;
+          user u0; user u1; user u2; user u3; user u4; user u5;
+          assign u0 to R1; assign u1 to R1; assign u2 to R1;
+          assign u3 to R1; assign u4 to R1; assign u5 to R1;
+        }
+        """))
+
+    def test_sixth_user_denied(self, engine):
+        sessions = {}
+        for i in range(5):
+            sessions[i] = engine.create_session(f"u{i}")
+            engine.add_active_role(sessions[i], "R1")
+        sixth = engine.create_session("u5")
+        with pytest.raises(CardinalityExceeded,
+                           match="Maximum Number of Roles Reached"):
+            engine.add_active_role(sixth, "R1")
+
+    def test_deactivation_frees_a_slot(self, engine):
+        """'CardinalityR1' with DECR: dropping one admits a new user."""
+        sessions = {}
+        for i in range(5):
+            sessions[i] = engine.create_session(f"u{i}")
+            engine.add_active_role(sessions[i], "R1")
+        engine.drop_active_role(sessions[0], "R1")
+        sixth = engine.create_session("u5")
+        engine.add_active_role(sixth, "R1")  # admitted now
+        assert engine.model.active_user_count("R1") == 5
+
+    def test_same_user_two_sessions_counts_once(self, engine):
+        first = engine.create_session("u0")
+        second = engine.create_session("u0")
+        engine.add_active_role(first, "R1")
+        engine.add_active_role(second, "R1")
+        assert engine.model.active_user_count("R1") == 1
+
+
+class TestRule5CheckAccess:
+    """Rule 5 / CA1: allow iff some active role holds the permission."""
+
+    @pytest.fixture
+    def engine(self):
+        return ActiveRBACEngine.from_policy(parse_policy("""
+        policy rule5 {
+          role Reader; role Writer;
+          user bob;
+          assign bob to Reader;
+          assign bob to Writer;
+          permission read on file.dat;
+          permission write on file.dat;
+          grant read on file.dat to Reader;
+          grant write on file.dat to Writer;
+        }
+        """))
+
+    def test_active_role_grants(self, engine):
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "Reader")
+        assert engine.check_access(sid, "read", "file.dat")
+
+    def test_assigned_but_inactive_role_does_not_grant(self, engine):
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "Reader")
+        assert not engine.check_access(sid, "write", "file.dat")
+
+    def test_unknown_operation_or_object_denied(self, engine):
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "Reader")
+        assert not engine.check_access(sid, "execute", "file.dat")
+        assert not engine.check_access(sid, "read", "ghost.dat")
+
+    def test_unknown_session_denied(self, engine):
+        assert not engine.check_access("ghost", "read", "file.dat")
+
+    def test_require_access_raises_permission_denied(self, engine):
+        sid = engine.create_session("bob")
+        with pytest.raises(OperationDenied, match="Permission Denied"):
+            engine.require_access(sid, "read", "file.dat")
+
+
+class TestRule6DisablingTimeSoD:
+    """Rule 6 / TSOD1: Nurse and Doctor cannot both be disabled within
+    10:00-17:00."""
+
+    @pytest.fixture
+    def engine(self):
+        return ActiveRBACEngine.from_policy(parse_policy("""
+        policy rule6 {
+          role Nurse; role Doctor;
+          disabling_sod Coverage roles Nurse, Doctor daily 10:00 to 17:00;
+        }
+        """))
+
+    def test_second_disable_denied_inside_interval(self, engine):
+        engine.advance_time(12 * 3600)  # noon
+        engine.disable_role("Doctor")
+        with pytest.raises(
+                DeactivationDenied,
+                match="Denied as partner role Already Disabled"):
+            engine.disable_role("Nurse")
+        assert engine.model.is_role_enabled("Nurse")
+
+    def test_both_disable_fine_outside_interval(self, engine):
+        engine.advance_time(20 * 3600)  # 20:00, outside (I, P)
+        engine.disable_role("Doctor")
+        engine.disable_role("Nurse")
+        assert not engine.model.is_role_enabled("Nurse")
+        assert not engine.model.is_role_enabled("Doctor")
+
+    def test_reenabling_partner_unblocks(self, engine):
+        engine.advance_time(12 * 3600)
+        engine.disable_role("Doctor")
+        engine.enable_role("Doctor")
+        engine.disable_role("Nurse")  # Doctor is back: allowed
+        assert not engine.model.is_role_enabled("Nurse")
+
+
+class TestRule7DurationDeactivation:
+    """Rule 7 / AAR5+TSOD2: deactivate Bob's R3 after duration delta."""
+
+    @pytest.fixture
+    def engine(self):
+        return ActiveRBACEngine.from_policy(parse_policy("""
+        policy rule7 {
+          role R3;
+          user bob; user carol;
+          assign bob to R3; assign carol to R3;
+          duration R3 3600 for bob;
+        }
+        """))
+
+    def test_bob_deactivated_after_delta(self, engine):
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "R3")
+        engine.advance_time(3599)
+        assert "R3" in engine.model.session_roles(sid)
+        engine.advance_time(1)
+        assert "R3" not in engine.model.session_roles(sid)
+
+    def test_constraint_is_per_user(self, engine):
+        """Rule 7 restricts duration 'on a per user-role basis'."""
+        sid = engine.create_session("carol")
+        engine.add_active_role(sid, "R3")
+        engine.advance_time(10 * 3600)
+        assert "R3" in engine.model.session_roles(sid)
+
+    def test_early_deactivation_cancels_countdown(self, engine):
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "R3")
+        engine.advance_time(1000)
+        engine.drop_active_role(sid, "R3")
+        engine.add_active_role(sid, "R3")  # re-activate: fresh countdown
+        engine.advance_time(2600)  # old timer would fire at 3600 total
+        assert "R3" in engine.model.session_roles(sid)
+        engine.advance_time(1000)  # new countdown expires at 4600
+        assert "R3" not in engine.model.session_roles(sid)
+
+    def test_plus_event_only_starts_after_activation(self, engine):
+        """Paper: 'event ET5 cannot be used to start the PLUS event ET7
+        as ET7 should be started only after the role R3 is activated' —
+        a *denied* activation must not arm the countdown."""
+        sid = engine.create_session("bob")
+        engine.model.set_role_enabled("R3", False)
+        with pytest.raises(ActivationDenied):
+            engine.add_active_role(sid, "R3")
+        engine.model.set_role_enabled("R3", True)
+        engine.add_active_role(sid, "R3")
+        engine.advance_time(1800)
+        assert "R3" in engine.model.session_roles(sid)  # only one timer
+        engine.advance_time(1800)
+        assert "R3" not in engine.model.session_roles(sid)
+
+
+class TestRule8PostConditionCfd:
+    """Rule 8 / CFD1+CFD2: enabling SysAdmin must also enable SysAudit,
+    atomically."""
+
+    @pytest.fixture
+    def engine(self):
+        engine = ActiveRBACEngine.from_policy(parse_policy("""
+        policy rule8 {
+          role SysAdmin; role SysAudit;
+          require SysAudit when enabling SysAdmin;
+        }
+        """))
+        engine.model.set_role_enabled("SysAdmin", False)
+        engine.model.set_role_enabled("SysAudit", False)
+        return engine
+
+    def test_enabling_trigger_enables_partner(self, engine):
+        engine.enable_role("SysAdmin")
+        assert engine.model.is_role_enabled("SysAdmin")
+        assert engine.model.is_role_enabled("SysAudit")
+
+    def test_partner_failure_rolls_back_trigger(self, engine):
+        # sabotage the partner's enable rule (active security would do
+        # this): SysAudit can no longer be enabled
+        engine.rules.disable("ER.SysAudit")
+        with pytest.raises(ActivationDenied, match="Cannot Activate"):
+            engine.enable_role("SysAdmin")
+        assert not engine.model.is_role_enabled("SysAdmin")
+        assert not engine.model.is_role_enabled("SysAudit")
+
+    def test_partner_alone_can_be_enabled(self, engine):
+        engine.enable_role("SysAudit")
+        assert engine.model.is_role_enabled("SysAudit")
+        assert not engine.model.is_role_enabled("SysAdmin")
+
+
+class TestRule9TransactionActivation:
+    """Rule 9 / ASEC1-3: JuniorEmp active only while Manager is."""
+
+    @pytest.fixture
+    def engine(self):
+        return ActiveRBACEngine.from_policy(parse_policy("""
+        policy rule9 {
+          role Manager; role JuniorEmp;
+          user boss; user kid; user kid2;
+          assign boss to Manager;
+          assign kid to JuniorEmp;
+          assign kid2 to JuniorEmp;
+          transaction JuniorEmp during Manager;
+        }
+        """))
+
+    def test_junior_denied_before_manager_activates(self, engine):
+        sid = engine.create_session("kid")
+        with pytest.raises(PrerequisiteNotMetError,
+                           match="anchor role not activated"):
+            engine.add_active_role(sid, "JuniorEmp")
+
+    def test_junior_allowed_inside_manager_window(self, engine):
+        boss_sid = engine.create_session("boss")
+        engine.add_active_role(boss_sid, "Manager")
+        kid_sid = engine.create_session("kid")
+        engine.add_active_role(kid_sid, "JuniorEmp")
+        assert "JuniorEmp" in engine.model.session_roles(kid_sid)
+
+    def test_manager_deactivation_cascades(self, engine):
+        """'if the role Manager is deactivated, then role JuniorEmp
+        should also be deactivated'."""
+        boss_sid = engine.create_session("boss")
+        engine.add_active_role(boss_sid, "Manager")
+        kid_sid = engine.create_session("kid")
+        kid2_sid = engine.create_session("kid2")
+        engine.add_active_role(kid_sid, "JuniorEmp")
+        engine.add_active_role(kid2_sid, "JuniorEmp")
+        engine.drop_active_role(boss_sid, "Manager")
+        assert "JuniorEmp" not in engine.model.session_roles(kid_sid)
+        assert "JuniorEmp" not in engine.model.session_roles(kid2_sid)
+
+    def test_window_reopens_on_reactivation(self, engine):
+        boss_sid = engine.create_session("boss")
+        engine.add_active_role(boss_sid, "Manager")
+        engine.drop_active_role(boss_sid, "Manager")
+        kid_sid = engine.create_session("kid")
+        with pytest.raises(PrerequisiteNotMetError):
+            engine.add_active_role(kid_sid, "JuniorEmp")
+        engine.add_active_role(boss_sid, "Manager")
+        engine.add_active_role(kid_sid, "JuniorEmp")
+        assert "JuniorEmp" in engine.model.session_roles(kid_sid)
+
+    def test_second_manager_keeps_window_open(self, engine):
+        engine.add_user("boss2")
+        engine.assign_user("boss2", "Manager")
+        s1 = engine.create_session("boss")
+        s2 = engine.create_session("boss2")
+        engine.add_active_role(s1, "Manager")
+        engine.add_active_role(s2, "Manager")
+        kid_sid = engine.create_session("kid")
+        engine.add_active_role(kid_sid, "JuniorEmp")
+        engine.drop_active_role(s1, "Manager")
+        # one manager still active: JuniorEmp survives
+        assert "JuniorEmp" in engine.model.session_roles(kid_sid)
+        engine.drop_active_role(s2, "Manager")
+        assert "JuniorEmp" not in engine.model.session_roles(kid_sid)

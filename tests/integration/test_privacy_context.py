@@ -1,0 +1,129 @@
+"""Integration: privacy-aware and context-aware enforcement flows."""
+
+import pytest
+
+from repro import ActiveRBACEngine, parse_policy
+
+PRIVACY_POLICY = """
+policy hospital {
+  role Doctor; role Marketer;
+  user alice; user spammer;
+  assign alice to Doctor;
+  assign spammer to Marketer;
+  permission read on patient.dat;
+  permission read on brochure.txt;
+  grant read on patient.dat to Doctor;
+  grant read on patient.dat to Marketer;
+  grant read on brochure.txt to Marketer;
+  purpose healthcare;
+  purpose treatment under healthcare;
+  purpose emergency under treatment;
+  purpose marketing;
+  object_policy read on patient.dat for treatment obliges notify-patient;
+}
+"""
+
+
+@pytest.fixture
+def hospital():
+    return ActiveRBACEngine.from_policy(parse_policy(PRIVACY_POLICY))
+
+
+class TestPrivacyAwareAccess:
+    def test_access_with_covered_purpose(self, hospital):
+        sid = hospital.create_session("alice")
+        hospital.add_active_role(sid, "Doctor")
+        assert hospital.check_access(sid, "read", "patient.dat",
+                                     purpose="treatment")
+        assert hospital.check_access(sid, "read", "patient.dat",
+                                     purpose="emergency")
+
+    def test_access_without_purpose_denied_on_regulated_object(
+            self, hospital):
+        sid = hospital.create_session("alice")
+        hospital.add_active_role(sid, "Doctor")
+        assert not hospital.check_access(sid, "read", "patient.dat")
+
+    def test_wrong_purpose_denied_despite_rbac_grant(self, hospital):
+        """RBAC alone would allow the marketer (granted read on
+        patient.dat); the object policy's purpose binding denies it."""
+        sid = hospital.create_session("spammer")
+        hospital.add_active_role(sid, "Marketer")
+        assert not hospital.check_access(sid, "read", "patient.dat",
+                                         purpose="marketing")
+
+    def test_unregulated_object_ignores_purpose(self, hospital):
+        sid = hospital.create_session("spammer")
+        hospital.add_active_role(sid, "Marketer")
+        assert hospital.check_access(sid, "read", "brochure.txt")
+        assert hospital.check_access(sid, "read", "brochure.txt",
+                                     purpose="marketing")
+
+    def test_obligations_recorded_on_allow(self, hospital):
+        sid = hospital.create_session("alice")
+        hospital.add_active_role(sid, "Doctor")
+        hospital.check_access(sid, "read", "patient.dat",
+                              purpose="treatment")
+        owed = hospital.audit.by_kind("obligation.owed")
+        assert len(owed) == 1
+        assert owed[0].detail["obligation"] == "notify-patient"
+
+    def test_denied_purpose_leaves_no_obligation(self, hospital):
+        sid = hospital.create_session("alice")
+        hospital.add_active_role(sid, "Doctor")
+        hospital.check_access(sid, "read", "patient.dat",
+                              purpose="marketing")
+        assert hospital.audit.by_kind("obligation.owed") == []
+
+
+CONTEXT_POLICY = """
+policy pervasive {
+  role FieldAgent;
+  user bob;
+  assign bob to FieldAgent;
+  permission read on protected.dat;
+  grant read on protected.dat to FieldAgent;
+  context FieldAgent requires network == "secure" for access;
+  context FieldAgent requires location == "hq";
+}
+"""
+
+
+@pytest.fixture
+def pervasive():
+    engine = ActiveRBACEngine.from_policy(parse_policy(CONTEXT_POLICY))
+    return engine
+
+
+class TestContextAwareEnforcement:
+    def test_activation_requires_location(self, pervasive):
+        from repro.errors import ActivationDenied
+        sid = pervasive.create_session("bob")
+        with pytest.raises(ActivationDenied):
+            pervasive.add_active_role(sid, "FieldAgent")
+        pervasive.context.set("location", "hq")
+        pervasive.add_active_role(sid, "FieldAgent")
+        assert "FieldAgent" in pervasive.model.session_roles(sid)
+
+    def test_access_denied_on_insecure_network(self, pervasive):
+        """Paper §3: 'when the user is in the insecure network then the
+        protected file access should be denied'."""
+        pervasive.context.set("location", "hq")
+        sid = pervasive.create_session("bob")
+        pervasive.add_active_role(sid, "FieldAgent")
+        pervasive.context.set("network", "insecure")
+        assert not pervasive.check_access(sid, "read", "protected.dat")
+        pervasive.context.set("network", "secure")
+        assert pervasive.check_access(sid, "read", "protected.dat")
+
+    def test_external_events_drive_context(self, pervasive):
+        """Sentinel's external monitoring module: sensor events update
+        the context, flipping decisions without any API call."""
+        pervasive.context.set("location", "hq")
+        pervasive.context.set("network", "secure")
+        sid = pervasive.create_session("bob")
+        pervasive.add_active_role(sid, "FieldAgent")
+        assert pervasive.check_access(sid, "read", "protected.dat")
+        pervasive.detector.raise_event(
+            "context.update", name="network", value="insecure")
+        assert not pervasive.check_access(sid, "read", "protected.dat")

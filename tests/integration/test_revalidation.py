@@ -1,0 +1,91 @@
+"""Integration: activations are revalidated when their justification
+disappears (paper §1: "all the constraints that are satisfied by an
+user when activating a role should hold TRUE until the role is
+deactivated. When any one of the constraints become FALSE before
+deactivation, then that role should be deactivated.").
+
+Regression suite for the authorization-leak class the differential
+property tests originally caught: activating a junior role under a
+senior assignment, then removing the senior assignment (or the
+hierarchy edge), must deactivate the junior activation in *both*
+engines.
+"""
+
+import pytest
+
+from repro import ActiveRBACEngine, DirectRBACEngine, parse_policy
+
+POLICY = """
+policy reval {
+  role Senior; role Junior; role Other;
+  user bob;
+  hierarchy Senior > Junior;
+  assign bob to Senior;
+  assign bob to Other;
+  permission read on doc;
+  grant read on doc to Junior;
+}
+"""
+
+
+@pytest.fixture(params=["active", "direct"])
+def engine(request):
+    spec = parse_policy(POLICY)
+    if request.param == "active":
+        return ActiveRBACEngine.from_policy(spec)
+    return DirectRBACEngine(spec)
+
+
+class TestDeassignmentRevalidation:
+    def test_deassigning_senior_deactivates_junior(self, engine):
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "Junior")   # authorized via Senior
+        engine.add_active_role(sid, "Other")
+        engine.deassign_user("bob", "Senior")
+        assert "Junior" not in engine.model.session_roles(sid)
+        # the independently-assigned role survives
+        assert "Other" in engine.model.session_roles(sid)
+
+    def test_deassigned_role_itself_deactivated(self, engine):
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "Senior")
+        engine.deassign_user("bob", "Senior")
+        assert "Senior" not in engine.model.session_roles(sid)
+
+    def test_access_lost_with_the_activation(self, engine):
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "Junior")
+        assert engine.check_access(sid, "read", "doc")
+        engine.deassign_user("bob", "Senior")
+        assert not engine.check_access(sid, "read", "doc")
+
+
+class TestHierarchyEditRevalidation:
+    def test_deleting_edge_deactivates_dependent_activation(self, engine):
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "Junior")
+        engine.delete_inheritance("Senior", "Junior")
+        assert "Junior" not in engine.model.session_roles(sid)
+
+    def test_unrelated_activations_survive_edge_deletion(self, engine):
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "Senior")
+        engine.add_active_role(sid, "Other")
+        engine.delete_inheritance("Senior", "Junior")
+        assert engine.model.session_roles(sid) == {"Senior", "Other"}
+
+
+class TestActiveEngineCascades:
+    def test_revalidation_fires_deactivation_events(self):
+        """The active engine's revalidation goes through
+        commit_deactivation, so roleDeactivated cascades fire (anchor
+        cleanup etc.) and the audit records the drop."""
+        engine = ActiveRBACEngine.from_policy(parse_policy(POLICY))
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "Junior")
+        seen = []
+        engine.detector.subscribe("roleDeactivated.Junior",
+                                  lambda occurrence: seen.append(1))
+        engine.deassign_user("bob", "Senior")
+        assert seen == [1]
+        assert engine.audit.matching(session=sid, role="Junior")

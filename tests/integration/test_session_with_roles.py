@@ -1,0 +1,63 @@
+"""Integration: ANSI CreateSession with an initial active role set."""
+
+import pytest
+
+from repro import ActiveRBACEngine, DirectRBACEngine, parse_policy
+from repro.errors import ActivationDenied, DsdViolationError
+
+POLICY = """
+policy sessions {
+  role A; role B; role X;
+  user bob;
+  assign bob to A; assign bob to B; assign bob to X;
+  dsd pair roles A, B;
+}
+"""
+
+
+@pytest.fixture(params=["active", "direct"])
+def engine(request):
+    spec = parse_policy(POLICY)
+    if request.param == "active":
+        return ActiveRBACEngine.from_policy(spec)
+    return DirectRBACEngine(spec)
+
+
+class TestCreateSessionWithRoles:
+    def test_initial_role_set_activated(self, engine):
+        sid = engine.create_session("bob", roles=("A", "X"))
+        assert engine.model.session_roles(sid) == {"A", "X"}
+
+    def test_all_or_nothing_on_dsd_violation(self, engine):
+        with pytest.raises(DsdViolationError):
+            engine.create_session("bob", session_id="atomic",
+                                  roles=("A", "B"))
+        assert "atomic" not in engine.model.sessions
+
+    def test_all_or_nothing_on_unassigned_role(self, engine):
+        engine.add_role("Foreign")
+        with pytest.raises(ActivationDenied):
+            engine.create_session("bob", session_id="atomic",
+                                  roles=("A", "Foreign"))
+        assert "atomic" not in engine.model.sessions
+
+    def test_empty_role_set_is_the_default(self, engine):
+        sid = engine.create_session("bob")
+        assert engine.model.session_roles(sid) == set()
+
+    def test_engines_agree(self):
+        spec = parse_policy(POLICY)
+        active = ActiveRBACEngine.from_policy(spec)
+        direct = DirectRBACEngine(spec)
+        for roles in (("A",), ("A", "B"), ("A", "X"), ("B", "X")):
+            outcomes = []
+            for engine in (active, direct):
+                try:
+                    sid = engine.create_session(
+                        "bob", session_id="probe", roles=roles)
+                    outcomes.append(
+                        ("ok", frozenset(engine.model.session_roles(sid))))
+                    engine.delete_session(sid)
+                except Exception as exc:  # noqa: BLE001 - comparison
+                    outcomes.append(("err", type(exc).__name__))
+            assert outcomes[0] == outcomes[1], roles

@@ -1,0 +1,99 @@
+"""Integration: enterprise XYZ (paper §5, Figure 1) end to end."""
+
+import pytest
+
+from repro.errors import ActivationDenied, SsdViolationError
+from repro.policy.graph import PolicyGraph
+
+
+class TestXyzStructure:
+    def test_policy_parses_to_figure_one_graph(self, xyz_spec):
+        graph = PolicyGraph(xyz_spec)
+        assert set(graph.nodes) == {"Clerk", "PC", "PM", "AC", "AM"}
+        assert graph.node("PC").subscribers == ["PM"]
+        assert graph.node("PC").ssd_partners == ["AC"]
+        assert graph.node("PM").flags.get("static_sod_inherited")
+
+    def test_rule_pool_generated_per_role_properties(self, xyz_engine):
+        # every XYZ role takes part in a hierarchy -> AAR2 everywhere
+        for role in ("Clerk", "PC", "PM", "AC", "AM"):
+            assert f"AAR2.{role}" in xyz_engine.rules
+        assert len(xyz_engine.rules) == 5 * 5 + 5  # role suites + global
+
+
+class TestXyzSsdSemantics:
+    def test_pm_user_cannot_gain_am_or_ac(self, xyz_engine):
+        """'a user assigned to the role PM cannot be assigned to the
+        roles AM or AC' (via inherited SSD from PC)."""
+        with pytest.raises(SsdViolationError):
+            xyz_engine.assign_user("bob", "AC")
+        with pytest.raises(SsdViolationError):
+            xyz_engine.assign_user("bob", "AM")
+
+    def test_ac_user_cannot_gain_pm_or_pc(self, xyz_engine):
+        with pytest.raises(SsdViolationError):
+            xyz_engine.assign_user("carol", "PC")
+        with pytest.raises(SsdViolationError):
+            xyz_engine.assign_user("carol", "PM")
+
+    def test_clerk_user_may_join_either_side(self, xyz_engine):
+        xyz_engine.assign_user("dave", "PC")  # clerk + PC is fine
+        assert xyz_engine.model.is_assigned("dave", "PC")
+
+
+class TestXyzOperations:
+    def test_purchase_flow(self, xyz_engine):
+        sid = xyz_engine.create_session("bob")
+        xyz_engine.add_active_role(sid, "PM")
+        # PM inherits PC's create and Clerk's read
+        assert xyz_engine.check_access(sid, "create", "purchase_order")
+        assert xyz_engine.check_access(sid, "read", "ledger")
+        # but never AC's approve
+        assert not xyz_engine.check_access(sid, "approve",
+                                           "purchase_order")
+
+    def test_approval_flow(self, xyz_engine):
+        sid = xyz_engine.create_session("carol")
+        xyz_engine.add_active_role(sid, "AC")
+        assert xyz_engine.check_access(sid, "approve", "purchase_order")
+        assert not xyz_engine.check_access(sid, "create",
+                                           "purchase_order")
+
+    def test_clerk_scope(self, xyz_engine):
+        sid = xyz_engine.create_session("dave")
+        xyz_engine.add_active_role(sid, "Clerk")
+        assert xyz_engine.check_access(sid, "read", "ledger")
+        assert not xyz_engine.check_access(sid, "create",
+                                           "purchase_order")
+
+    def test_bob_can_activate_junior_roles(self, xyz_engine):
+        sid = xyz_engine.create_session("bob")
+        xyz_engine.add_active_role(sid, "PC")
+        xyz_engine.add_active_role(sid, "Clerk")
+        assert xyz_engine.model.session_roles(sid) == {"PC", "Clerk"}
+
+    def test_carol_cannot_activate_purchase_roles(self, xyz_engine):
+        sid = xyz_engine.create_session("carol")
+        for role in ("PC", "PM"):
+            with pytest.raises(ActivationDenied):
+                xyz_engine.add_active_role(sid, role)
+
+    def test_audit_trail_captures_decisions(self, xyz_engine):
+        sid = xyz_engine.create_session("bob")
+        xyz_engine.add_active_role(sid, "PM")
+        xyz_engine.check_access(sid, "create", "purchase_order")
+        xyz_engine.check_access(sid, "approve", "purchase_order")
+        assert len(xyz_engine.audit.by_kind("decision.allow")) == 1
+        assert len(xyz_engine.audit.by_kind("decision.deny")) == 1
+
+    def test_differential_against_direct_baseline(self, xyz_engine,
+                                                  xyz_direct):
+        """Spot-check: both engines agree on a scripted scenario."""
+        for engine in (xyz_engine, xyz_direct):
+            sid = engine.create_session("bob", session_id="s-bob")
+            engine.add_active_role(sid, "PM")
+        for operation, obj in (("create", "purchase_order"),
+                               ("approve", "purchase_order"),
+                               ("read", "ledger")):
+            assert (xyz_engine.check_access("s-bob", operation, obj)
+                    == xyz_direct.check_access("s-bob", operation, obj))

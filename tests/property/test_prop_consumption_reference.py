@@ -1,0 +1,86 @@
+"""Property: InitiatorBuffer matches an executable reference model.
+
+The buffer implements five retention/consumption policies; this test
+re-implements each policy as the most naive possible list program and
+checks both agree on random add/match interleavings.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clock import Timestamp
+from repro.events.consumption import ConsumptionMode, InitiatorBuffer
+from repro.events.occurrence import Occurrence
+
+
+def occ(index: int) -> Occurrence:
+    return Occurrence(f"e{index}", Timestamp(float(index), index),
+                      Timestamp(float(index), index))
+
+
+class ReferenceBuffer:
+    """Deliberately naive re-statement of the documented semantics."""
+
+    def __init__(self, mode: ConsumptionMode) -> None:
+        self.mode = mode
+        self.items: list[Occurrence] = []
+
+    def add(self, item: Occurrence) -> None:
+        if self.mode is ConsumptionMode.RECENT:
+            self.items = [item]
+        else:
+            self.items = self.items + [item]
+
+    def take(self, eligible) -> list[list[Occurrence]]:
+        candidates = [i for i in self.items if eligible(i)]
+        if not candidates:
+            return []
+        if self.mode is ConsumptionMode.RECENT:
+            return [[candidates[-1]]]
+        if self.mode is ConsumptionMode.CHRONICLE:
+            chosen = candidates[0]
+            self.items = [i for i in self.items if i is not chosen]
+            return [[chosen]]
+        if self.mode is ConsumptionMode.CONTINUOUS:
+            self.items = [i for i in self.items if i not in candidates]
+            return [[c] for c in candidates]
+        if self.mode is ConsumptionMode.CUMULATIVE:
+            self.items = [i for i in self.items if i not in candidates]
+            return [candidates]
+        return [[c] for c in candidates]  # UNRESTRICTED
+
+
+#: an operation is ("add",) or ("take", parity_filter)
+operations = st.lists(
+    st.one_of(
+        st.just(("add",)),
+        st.tuples(st.just("take"), st.sampled_from([0, 1, 2])),
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=operations, mode=st.sampled_from(list(ConsumptionMode)))
+def test_buffer_matches_reference(ops, mode):
+    buffer = InitiatorBuffer(mode)
+    reference = ReferenceBuffer(mode)
+    counter = 0
+    for op in ops:
+        if op[0] == "add":
+            item = occ(counter)
+            counter += 1
+            buffer.add(item)
+            reference.add(item)
+        else:
+            modulus = op[1]
+            if modulus == 0:
+                def eligible(item):
+                    return True
+            else:
+                def eligible(item, m=modulus):
+                    return int(item.start.seconds) % (m + 1) == 0
+            assert buffer.take_matches(eligible) == reference.take(eligible)
+    assert buffer.peek_all() == reference.items

@@ -1,0 +1,126 @@
+"""Property: the DSL front-end is total — any input either parses or
+raises :class:`~repro.errors.PolicySyntaxError`, never anything else.
+
+Administrators feed this parser by hand; a stray ValueError or
+IndexError on malformed input would be a bug.  We fuzz by mutating a
+valid policy (deleting spans, duplicating spans, swapping characters)
+and by feeding arbitrary printable garbage.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PolicySyntaxError
+from repro.policy.dsl import parse_policy
+
+SEED_POLICY = """
+policy full {
+  limited_hierarchy;
+  role A max_active_users 3; role B; role C;
+  user u max_active_roles 2;
+  hierarchy A > B;
+  ssd s roles B, C cardinality 2;
+  dsd d roles A, C;
+  permission read on obj1;
+  grant read on obj1 to A;
+  assign u to A;
+  prerequisite C requires B;
+  require C when enabling A;
+  transaction B during A;
+  duration A 100 for u;
+  enable B daily 08:00 to 16:00;
+  disabling_sod cov roles A, C daily 10:00 to 17:00;
+  context A requires network == "secure" for access;
+  purpose p1; purpose p2 under p1;
+  object_policy read on obj1 for p2 obliges notify;
+  threshold t event activationDenied group_by role count 3 window 30;
+}
+"""
+
+
+def parse_is_total(text: str) -> None:
+    try:
+        parse_policy(text)
+    except PolicySyntaxError:
+        pass  # the only acceptable failure mode
+
+
+class TestMutationFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(start=st.integers(0, len(SEED_POLICY) - 1),
+           length=st.integers(1, 40))
+    def test_deleting_a_span_never_crashes(self, start, length):
+        mutated = SEED_POLICY[:start] + SEED_POLICY[start + length:]
+        parse_is_total(mutated)
+
+    @settings(max_examples=200, deadline=None)
+    @given(start=st.integers(0, len(SEED_POLICY) - 1),
+           length=st.integers(1, 30),
+           target=st.integers(0, len(SEED_POLICY) - 1))
+    def test_duplicating_a_span_never_crashes(self, start, length,
+                                              target):
+        span = SEED_POLICY[start:start + length]
+        mutated = SEED_POLICY[:target] + span + SEED_POLICY[target:]
+        parse_is_total(mutated)
+
+    @settings(max_examples=200, deadline=None)
+    @given(position=st.integers(0, len(SEED_POLICY) - 1),
+           replacement=st.characters(
+               min_codepoint=32, max_codepoint=126))
+    def test_flipping_a_character_never_crashes(self, position,
+                                                replacement):
+        mutated = (SEED_POLICY[:position] + replacement
+                   + SEED_POLICY[position + 1:])
+        parse_is_total(mutated)
+
+
+class TestGarbageFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(text=st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+        max_size=200))
+    def test_arbitrary_printable_garbage(self, text):
+        parse_is_total(text)
+
+    @settings(max_examples=100, deadline=None)
+    @given(text=st.text(max_size=100))
+    def test_arbitrary_unicode_garbage(self, text):
+        parse_is_total(text)
+
+
+class TestBadDescriptorValues:
+    """Constructor validation surfaces as located syntax errors."""
+
+    def test_zero_duration(self):
+        with pytest_raises_syntax("duration must be positive"):
+            parse_policy("policy p { role A; duration A 0; }")
+
+    def test_single_role_disabling_sod(self):
+        with pytest_raises_syntax("needs >= 2 roles"):
+            parse_policy(
+                "policy p { role A; disabling_sod d roles A "
+                "daily 08:00 to 16:00; }")
+
+    def test_bad_time_of_day(self):
+        with pytest_raises_syntax("out of range"):
+            parse_policy(
+                "policy p { role A; enable A daily 25:00 to 26:00; }")
+
+    def test_zero_threshold(self):
+        with pytest_raises_syntax("threshold must be >= 1"):
+            parse_policy(
+                "policy p { threshold t count 0 window 10; }")
+
+
+import contextlib  # noqa: E402
+
+import pytest  # noqa: E402
+
+
+@contextlib.contextmanager
+def pytest_raises_syntax(fragment: str):
+    with pytest.raises(PolicySyntaxError) as excinfo:
+        yield
+    assert fragment in str(excinfo.value)

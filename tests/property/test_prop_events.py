@@ -1,0 +1,145 @@
+"""Properties of the Snoop event algebra on random streams."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clock import TimerService, VirtualClock
+from repro.events import ConsumptionMode, EventDetector
+
+#: a random stream is a list of (event_name, gap_seconds) pairs
+streams = st.lists(
+    st.tuples(st.sampled_from(["E1", "E2", "E3"]),
+              st.floats(min_value=0.0, max_value=10.0)),
+    min_size=0, max_size=40,
+)
+
+
+def build(*composites):
+    detector = EventDetector(TimerService(VirtualClock()))
+    for name in ("E1", "E2", "E3"):
+        detector.define_primitive(name)
+    hits = {}
+    for define in composites:
+        name = define(detector)
+        hits[name] = []
+        detector.subscribe(name, hits[name].append)
+    return detector, hits
+
+
+def play(detector, stream):
+    for name, gap in stream:
+        detector.advance_time(gap)
+        detector.raise_event(name)
+
+
+class TestSequenceProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(stream=streams)
+    def test_recent_seq_detects_iff_e1_precedes_e2(self, stream):
+        detector, hits = build(
+            lambda d: d.define_sequence("S", "E1", "E2").name)
+        play(detector, stream)
+        # reference: in recent mode, S fires on each E2 with at least
+        # one prior E1 (the most recent initiator keeps initiating)
+        expected = 0
+        seen_e1 = False
+        for name, _gap in stream:
+            if name == "E1":
+                seen_e1 = True
+            elif name == "E2" and seen_e1:
+                expected += 1
+        assert len(hits["S"]) == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(stream=streams)
+    def test_every_detection_interval_ordered(self, stream):
+        detector, hits = build(
+            lambda d: d.define_sequence("S", "E1", "E2").name)
+        play(detector, stream)
+        for occurrence in hits["S"]:
+            first, second = occurrence.constituents
+            assert first.end < second.start
+            assert occurrence.start <= occurrence.end
+
+
+class TestChronicleConservation:
+    @settings(max_examples=100, deadline=None)
+    @given(stream=streams)
+    def test_chronicle_and_detections_conserve_occurrences(self, stream):
+        """In chronicle mode every constituent is used exactly once:
+        #detections == min(#E1, #E2)."""
+        detector, hits = build(
+            lambda d: d.define_and("A", "E1", "E2",
+                                   mode="chronicle").name)
+        play(detector, stream)
+        count_e1 = sum(1 for name, _ in stream if name == "E1")
+        count_e2 = sum(1 for name, _ in stream if name == "E2")
+        assert len(hits["A"]) == min(count_e1, count_e2)
+
+
+class TestOrCount:
+    @settings(max_examples=100, deadline=None)
+    @given(stream=streams)
+    def test_or_fires_once_per_constituent(self, stream):
+        detector, hits = build(
+            lambda d: d.define_or("O", "E1", "E2").name)
+        play(detector, stream)
+        expected = sum(1 for name, _ in stream if name in ("E1", "E2"))
+        assert len(hits["O"]) == expected
+
+
+class TestAperiodicWindowing:
+    @settings(max_examples=100, deadline=None)
+    @given(stream=streams)
+    def test_aperiodic_counts_middles_inside_windows(self, stream):
+        detector, hits = build(
+            lambda d: d.define_aperiodic("AP", "E1", "E2", "E3").name)
+        play(detector, stream)
+        expected = 0
+        window_open = False
+        for name, _gap in stream:
+            if name == "E1":
+                window_open = True
+            elif name == "E3":
+                window_open = False
+            elif name == "E2" and window_open:
+                expected += 1
+        assert len(hits["AP"]) == expected
+
+
+class TestPlusExactness:
+    @settings(max_examples=60, deadline=None)
+    @given(gaps=st.lists(st.floats(min_value=0.1, max_value=100.0),
+                         min_size=1, max_size=10),
+           delta=st.floats(min_value=0.5, max_value=50.0))
+    def test_plus_fires_once_per_source_at_exact_offset(self, gaps, delta):
+        detector = EventDetector(TimerService(VirtualClock()))
+        detector.define_primitive("E1")
+        detector.define_plus("P", "E1", delta)
+        hits = []
+        detector.subscribe("P", hits.append)
+        raise_times = []
+        for gap in gaps:
+            detector.advance_time(gap)
+            raise_times.append(detector.clock.now)
+            detector.raise_event("E1")
+        detector.advance_time(delta + max(gaps) + 1.0)
+        assert len(hits) == len(gaps)
+        for occurrence, raised_at in zip(hits, sorted(raise_times)):
+            assert occurrence.end.seconds == \
+                   __import__("pytest").approx(raised_at + delta)
+
+
+class TestDetectorDeterminism:
+    @settings(max_examples=50, deadline=None)
+    @given(stream=streams, mode=st.sampled_from(list(ConsumptionMode)))
+    def test_replay_is_identical(self, stream, mode):
+        def run():
+            detector, hits = build(
+                lambda d: d.define_and("A", "E1", "E2", mode=mode).name)
+            play(detector, stream)
+            return [occurrence.describe() for occurrence in hits["A"]]
+
+        assert run() == run()

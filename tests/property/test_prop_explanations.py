@@ -1,0 +1,71 @@
+"""Property: analysis explanations always agree with the engine.
+
+:func:`repro.analysis.explain_access` / ``explain_activation`` must
+predict exactly what the engine decides, in any reachable state —
+otherwise the explanation tool would lie to administrators.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ActiveRBACEngine
+from repro.analysis import explain_access, explain_activation
+from repro.errors import ReproError
+from repro.workloads import EnterpriseShape, generate_enterprise
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(shape_seed=st.integers(0, 1000), walk_seed=st.integers(0, 1000))
+def test_explanations_match_engine(shape_seed, walk_seed):
+    spec = generate_enterprise(EnterpriseShape(
+        roles=12, users=8, ssd_sets=1, dsd_sets=2,
+        role_cardinality_fraction=0.4, seed=shape_seed))
+    engine = ActiveRBACEngine(spec)
+    rng = random.Random(walk_seed)
+    users = sorted(spec.users)
+    roles = sorted(spec.roles)
+    sessions = []
+
+    for step in range(60):
+        draw = rng.random()
+        if draw < 0.25 or not sessions:
+            sid = f"s{step}"
+            try:
+                engine.create_session(rng.choice(users), session_id=sid)
+                sessions.append(sid)
+            except ReproError:
+                pass
+        elif draw < 0.6:
+            sid = rng.choice(sessions)
+            role = rng.choice(roles)
+            predicted = explain_activation(engine, sid, role).allowed
+            try:
+                engine.add_active_role(sid, role)
+                actual = True
+            except ReproError:
+                actual = False
+            assert predicted == actual, (
+                f"activation prediction diverged for {role} in {sid}: "
+                f"{explain_activation(engine, sid, role).describe()}")
+        elif draw < 0.9:
+            sid = rng.choice(sessions)
+            operation, obj = rng.choice(
+                spec.permissions or [("op", "obj")])
+            predicted = explain_access(engine, sid, operation,
+                                       obj).allowed
+            actual = engine.check_access(sid, operation, obj)
+            assert predicted == actual, (
+                f"access prediction diverged: "
+                f"{explain_access(engine, sid, operation, obj).describe()}")
+        else:
+            sid = rng.choice(sessions)
+            role = rng.choice(roles)
+            try:
+                engine.drop_active_role(sid, role)
+            except ReproError:
+                pass

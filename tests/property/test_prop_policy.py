@@ -1,0 +1,164 @@
+"""Properties of the policy layer: DSL round-trips, validator
+consistency with the model, calendar scheduling, regeneration fixpoints.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ActiveRBACEngine, parse_policy
+from repro.events.calendar import CalendarExpression
+from repro.policy.dsl import render_policy
+from repro.policy.validator import validate_policy
+from repro.synthesis.regenerate import full_regeneration
+from repro.workloads import EnterpriseShape, generate_enterprise
+
+shapes = st.builds(
+    EnterpriseShape,
+    roles=st.integers(3, 40),
+    users=st.integers(1, 30),
+    tree_fanout=st.integers(1, 4),
+    tree_depth=st.integers(1, 3),
+    assignments_per_user=st.integers(1, 3),
+    ssd_sets=st.integers(0, 3),
+    dsd_sets=st.integers(0, 3),
+    role_cardinality_fraction=st.floats(0.0, 1.0),
+    seed=st.integers(0, 100_000),
+)
+
+
+class TestGeneratedPolicies:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(shape=shapes)
+    def test_generated_enterprises_always_validate(self, shape):
+        assert validate_policy(generate_enterprise(shape)) == []
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(shape=shapes)
+    def test_dsl_round_trip_on_generated_policies(self, shape):
+        spec = generate_enterprise(shape)
+        reparsed = parse_policy(render_policy(spec))
+        assert reparsed.roles == spec.roles
+        assert reparsed.users == spec.users
+        assert reparsed.hierarchy == spec.hierarchy
+        assert reparsed.ssd == spec.ssd
+        assert reparsed.dsd == spec.dsd
+        assert reparsed.grants == spec.grants
+        assert reparsed.assignments == spec.assignments
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(shape=shapes)
+    def test_rule_pool_size_is_deterministic(self, shape):
+        spec = generate_enterprise(shape)
+        first = ActiveRBACEngine(spec)
+        second = ActiveRBACEngine(spec)
+        assert {rule.name for rule in first.rules} == \
+               {rule.name for rule in second.rules}
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(shape=shapes)
+    def test_full_regeneration_is_a_fixpoint(self, shape):
+        engine = ActiveRBACEngine(generate_enterprise(shape))
+        before = {rule.name for rule in engine.rules}
+        full_regeneration(engine)
+        assert {rule.name for rule in engine.rules} == before
+
+
+class TestCalendarProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(hour=st.one_of(st.none(), st.integers(0, 23)),
+           minute=st.one_of(st.none(), st.integers(0, 59)),
+           second=st.one_of(st.none(), st.integers(0, 59)),
+           start=st.floats(min_value=0, max_value=30 * 86400))
+    def test_next_after_returns_matching_future_instant(
+            self, hour, minute, second, start):
+        expr = CalendarExpression(hour, minute, second, None, None, None)
+        instant = expr.next_after(start)
+        assert instant is not None
+        assert instant > start
+        assert expr.matches_seconds(instant)
+
+    @settings(max_examples=50, deadline=None)
+    @given(hour=st.integers(0, 23), start=st.floats(0, 10 * 86400))
+    def test_no_earlier_match_exists_for_daily_pattern(self, hour, start):
+        expr = CalendarExpression(hour, 0, 0, None, None, None)
+        instant = expr.next_after(start)
+        # the previous daily occurrence is <= start
+        previous = instant - 86400
+        assert previous <= start
+
+    @settings(max_examples=50, deadline=None)
+    @given(text=st.sampled_from([
+        "10:00:00/*/*/*", "*:30:00/*/*/*", "00:00:00/01/15/*",
+        "23:59:59/*/*/*", "*:*:00/*/*/*",
+    ]))
+    def test_parse_str_round_trip(self, text):
+        expr = CalendarExpression.parse(text)
+        assert CalendarExpression.parse(str(expr)) == expr
+
+
+class TestPeriodicIntervalProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(start=st.integers(0, 86399), end=st.integers(0, 86399),
+           now=st.floats(0, 10 * 86400))
+    def test_next_boundary_flips_containment(self, start, end, now):
+        from repro.gtrbac.periodic import PeriodicInterval
+        interval = PeriodicInterval(float(start), float(end))
+        if start == end:
+            return  # full-day window: no boundaries
+        inside_now = interval.contains(now)
+        instant, opens = interval.next_boundary(now)
+        assert instant > now
+        # immediately after an opening boundary the window contains the
+        # instant; after a closing boundary it does not
+        assert interval.contains(instant) == opens
+        # and containment is constant between now and the boundary
+        midpoint = (now + instant) / 2
+        if now < midpoint < instant:  # guard float-degenerate midpoints
+            assert interval.contains(midpoint) == inside_now
+
+
+class TestVerifierOnGeneratedPolicies:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(shape=shapes)
+    def test_generated_pools_always_verify_clean(self, shape):
+        from repro.synthesis.verify import errors_only, verify_rule_pool
+        engine = ActiveRBACEngine(generate_enterprise(shape))
+        assert errors_only(verify_rule_pool(engine)) == []
+
+
+class TestWeeklyIntervalProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(start=st.integers(0, 86399), end=st.integers(0, 86399),
+           days=st.frozensets(st.integers(0, 6), min_size=1, max_size=7),
+           now=st.floats(0, 20 * 86400))
+    def test_weekly_boundary_flips_containment(self, start, end, days,
+                                               now):
+        from repro.gtrbac.periodic import PeriodicInterval
+        interval = PeriodicInterval(float(start), float(end), days=days)
+        inside_now = interval.contains(now)
+        instant, opens = interval.next_boundary(now)
+        if instant == float("inf"):
+            return
+        assert instant > now
+        epsilon = 1e-6
+        assert interval.contains(instant + epsilon) == opens or \
+            interval.contains(instant) == opens
+        midpoint = (now + instant) / 2
+        if now < midpoint < instant:  # guard float-degenerate midpoints
+            assert interval.contains(midpoint) == inside_now
+
+    @settings(max_examples=100, deadline=None)
+    @given(days=st.frozensets(st.integers(0, 6), min_size=1, max_size=7),
+           now=st.floats(0, 20 * 86400))
+    def test_containment_respects_day_set(self, days, now):
+        from repro.gtrbac.periodic import PeriodicInterval, weekday_of
+        interval = PeriodicInterval(9 * 3600.0, 17 * 3600.0, days=days)
+        if interval.contains(now):
+            assert weekday_of(now) in days

@@ -1,0 +1,127 @@
+"""Properties: RBAC model invariants hold in every reachable state.
+
+* the hierarchy stays a strict partial order (irreflexive, transitive,
+  antisymmetric);
+* no user's authorized role set ever violates an SSD constraint;
+* no session's active role set ever violates a DSD constraint;
+* cardinality bounds are never exceeded;
+* active roles are always authorized and enabled.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ActiveRBACEngine
+from repro.errors import ReproError
+from repro.workloads import EnterpriseShape, generate_enterprise
+
+
+def random_walk(engine, seed, steps=60):
+    """Drive the engine through random operations, ignoring denials."""
+    rng = random.Random(seed)
+    users = sorted(engine.policy.users)
+    roles = sorted(engine.policy.roles)
+    sessions = []
+    for step in range(steps):
+        draw = rng.random()
+        try:
+            if draw < 0.2 or not sessions:
+                sid = engine.create_session(rng.choice(users),
+                                            session_id=f"s{step}")
+                sessions.append(sid)
+            elif draw < 0.55:
+                engine.add_active_role(rng.choice(sessions),
+                                       rng.choice(roles))
+            elif draw < 0.65:
+                engine.drop_active_role(rng.choice(sessions),
+                                        rng.choice(roles))
+            elif draw < 0.75:
+                engine.assign_user(rng.choice(users), rng.choice(roles))
+            elif draw < 0.8:
+                engine.deassign_user(rng.choice(users), rng.choice(roles))
+            elif draw < 0.9:
+                role = rng.choice(roles)
+                if rng.random() < 0.5:
+                    engine.disable_role(role)
+                else:
+                    engine.enable_role(role)
+            else:
+                engine.advance_time(rng.choice([1.0, 300.0]))
+        except ReproError:
+            pass
+    return engine
+
+
+def check_invariants(engine):
+    model = engine.model
+    # hierarchy: strict partial order
+    for role in model.roles:
+        juniors = model.hierarchy.juniors(role)
+        assert role not in juniors, "irreflexive"
+        for junior in juniors:
+            assert role not in model.hierarchy.juniors(junior), \
+                "antisymmetric"
+            # transitivity is by construction (BFS closure); spot-check
+            assert model.hierarchy.juniors(junior) <= juniors
+
+    # SSD over authorized roles
+    for user in model.users:
+        authorized = model.authorized_roles(user)
+        for constraint in model.sod.ssd_sets():
+            assert not constraint.violated_by(authorized), (
+                f"user {user} violates SSD {constraint.name}")
+
+    # DSD over session active sets
+    for sid, session in model.sessions.items():
+        for constraint in model.sod.dsd_sets():
+            assert not constraint.violated_by(session.active_roles), (
+                f"session {sid} violates DSD {constraint.name}")
+        # active roles authorized and enabled
+        for role in session.active_roles:
+            assert model.is_authorized(session.user, role)
+            assert model.roles[role].enabled
+
+    # cardinality bounds
+    for name, role in model.roles.items():
+        if role.max_active_users is not None:
+            assert model.active_user_count(name) <= role.max_active_users
+    for name, user in model.users.items():
+        if user.max_active_roles is not None:
+            assert model.active_role_count(name) <= user.max_active_roles
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(shape_seed=st.integers(0, 10_000), walk_seed=st.integers(0, 10_000))
+def test_invariants_after_random_walk(shape_seed, walk_seed):
+    spec = generate_enterprise(EnterpriseShape(
+        roles=15, users=10, tree_fanout=3, tree_depth=2,
+        ssd_sets=2, dsd_sets=2, role_cardinality_fraction=0.4,
+        seed=shape_seed))
+    engine = ActiveRBACEngine(spec)
+    random_walk(engine, walk_seed)
+    check_invariants(engine)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(walk_seed=st.integers(0, 10_000))
+def test_invariants_with_specialized_cardinality(walk_seed):
+    from repro.policy import parse_policy
+    spec = parse_policy("""
+    policy tight {
+      role A max_active_users 1; role B; role C;
+      user u0 max_active_roles 1; user u1; user u2;
+      assign u0 to A; assign u0 to B;
+      assign u1 to A; assign u1 to C;
+      assign u2 to B; assign u2 to C;
+      dsd x roles B, C;
+    }
+    """)
+    engine = ActiveRBACEngine(spec)
+    random_walk(engine, walk_seed, steps=50)
+    check_invariants(engine)

@@ -1,0 +1,173 @@
+"""Unit tests for policy analysis: explanations, reviews, hygiene."""
+
+import pytest
+
+from repro import ActiveRBACEngine, parse_policy
+from repro.analysis import (
+    explain_access,
+    explain_activation,
+    permission_matrix,
+    policy_hygiene,
+    who_can,
+)
+
+POLICY = """
+policy analysed {
+  role Lead; role Dev; role Intern; role Ghost; role Twin;
+  hierarchy Lead > Dev;
+  user wei; user ana;
+  assign wei to Lead;
+  assign ana to Intern;
+  permission push on repo;
+  permission read on repo;
+  permission unused on nowhere;
+  grant push on repo to Dev;
+  grant read on repo to Intern;
+  grant push on repo to Twin;
+  grant read on repo to Twin;
+  dsd pair roles Dev, Intern;
+}
+"""
+
+
+@pytest.fixture
+def engine():
+    return ActiveRBACEngine.from_policy(parse_policy(POLICY))
+
+
+class TestExplainAccess:
+    def test_allowed_explanation(self, engine):
+        sid = engine.create_session("wei")
+        engine.add_active_role(sid, "Dev")
+        explanation = explain_access(engine, sid, "push", "repo")
+        assert explanation.allowed
+        assert all(check.passed for check in explanation.checks)
+        assert "ALLOWED" in explanation.describe()
+
+    def test_denied_pinpoints_missing_activation(self, engine):
+        sid = engine.create_session("wei")  # nothing active
+        explanation = explain_access(engine, sid, "push", "repo")
+        assert not explanation.allowed
+        failure = explanation.first_failure
+        assert "ForANY active role" in failure.description
+        assert "no active roles" in failure.description
+
+    def test_denied_pinpoints_unknown_operation(self, engine):
+        sid = engine.create_session("wei")
+        explanation = explain_access(engine, sid, "fly", "repo")
+        assert explanation.first_failure.description == "operation IN opsL"
+
+    def test_denied_pinpoints_unknown_session(self, engine):
+        explanation = explain_access(engine, "ghost", "push", "repo")
+        assert explanation.first_failure.description == \
+            "sessionId IN sessionL"
+
+    def test_role_detail_shows_per_role_status(self, engine):
+        sid = engine.create_session("ana")
+        engine.add_active_role(sid, "Intern")
+        explanation = explain_access(engine, sid, "push", "repo")
+        failure = explanation.first_failure
+        assert "Intern(perm=n" in failure.description
+
+    def test_privacy_check_included(self, engine):
+        engine.privacy.purposes.add("research")
+        from repro.extensions.privacy import ObjectPolicy
+        engine.privacy.add_policy(ObjectPolicy("repo", "read", "research"))
+        sid = engine.create_session("ana")
+        engine.add_active_role(sid, "Intern")
+        denied = explain_access(engine, sid, "read", "repo")
+        assert not denied.allowed
+        assert "objectPolicy" in denied.first_failure.description
+        allowed = explain_access(engine, sid, "read", "repo",
+                                 purpose="research")
+        assert allowed.allowed
+
+    def test_explanation_matches_engine_decision(self, engine):
+        sid = engine.create_session("wei")
+        engine.add_active_role(sid, "Dev")
+        for operation, obj in (("push", "repo"), ("read", "repo"),
+                               ("fly", "moon")):
+            assert explain_access(engine, sid, operation, obj).allowed \
+                == engine.check_access(sid, operation, obj)
+
+
+class TestExplainActivation:
+    def test_allowed(self, engine):
+        sid = engine.create_session("wei")
+        explanation = explain_activation(engine, sid, "Dev")
+        assert explanation.allowed
+
+    def test_unauthorized_pinpointed(self, engine):
+        sid = engine.create_session("ana")
+        explanation = explain_activation(engine, sid, "Lead")
+        assert not explanation.allowed
+        assert "checkAuthorizationLead" in \
+            explanation.first_failure.description
+
+    def test_dsd_pinpointed(self, engine):
+        engine.assign_user("ana", "Dev")
+        sid = engine.create_session("ana")
+        engine.add_active_role(sid, "Intern")
+        explanation = explain_activation(engine, sid, "Dev")
+        assert "checkDynamicSoDSet" in \
+            explanation.first_failure.description
+
+    def test_disabled_role_pinpointed(self, engine):
+        engine.disable_role("Dev")
+        sid = engine.create_session("wei")
+        explanation = explain_activation(engine, sid, "Dev")
+        assert "roleEnabled" in explanation.first_failure.description
+
+    def test_matches_engine_decision(self, engine):
+        from repro.errors import ReproError
+        sid = engine.create_session("ana")
+        for role in ("Intern", "Lead", "Dev", "Ghost"):
+            predicted = explain_activation(engine, sid, role).allowed
+            try:
+                engine.add_active_role(sid, role)
+                actual = True
+                engine.drop_active_role(sid, role)
+            except ReproError:
+                actual = False
+            assert predicted == actual, role
+
+
+class TestWhoCan:
+    def test_hierarchy_included(self, engine):
+        pushers = who_can(engine, "push", "repo")
+        assert "wei" in pushers
+        assert pushers["wei"] >= {"Dev", "Lead"}
+        assert "ana" not in pushers
+
+    def test_unknown_permission_nobody(self, engine):
+        assert who_can(engine, "fly", "moon") == {}
+
+    def test_permission_matrix_effective(self, engine):
+        matrix = permission_matrix(engine)
+        assert ("push", "repo") in matrix["Lead"]  # via Dev
+        assert matrix["Ghost"] == set()
+
+
+class TestHygiene:
+    def test_findings(self, engine):
+        report = policy_hygiene(engine)
+        assert "Ghost" in report.empty_roles
+        assert "Ghost" in report.permissionless_roles
+        assert ("unused", "nowhere") in report.unused_permissions
+        # Lead inherits exactly Dev's permissions and adds none of its
+        # own: an effectively redundant pair
+        assert ("Dev", "Lead") in report.redundant_role_pairs
+        assert "Twin" in report.empty_roles  # nobody authorized
+        assert not report.is_clean()
+        text = report.describe()
+        assert "Ghost" in text and "nowhere" in text
+
+    def test_clean_policy(self):
+        engine = ActiveRBACEngine.from_policy(parse_policy("""
+        policy clean {
+          role A; user u; assign u to A;
+          permission read on doc; grant read on doc to A;
+        }"""))
+        report = policy_hygiene(engine)
+        assert report.is_clean()
+        assert report.describe() == "policy hygiene: clean"

@@ -1,0 +1,89 @@
+"""Unit tests for the audit log."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.security.audit import AuditLog
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+class TestRecording:
+    def test_record_carries_time_and_detail(self, clock):
+        log = AuditLog(clock)
+        clock.advance(5.0)
+        entry = log.record("decision.allow", user="bob")
+        assert entry.time == 5.0
+        assert entry.detail == {"user": "bob"}
+        assert len(log) == 1
+
+    def test_capacity_evicts_oldest(self, clock):
+        log = AuditLog(clock, capacity=3)
+        for i in range(5):
+            log.record("k", n=i)
+        assert len(log) == 3
+        assert [e.detail["n"] for e in log] == [2, 3, 4]
+        assert log.dropped == 2
+
+    def test_capacity_must_be_positive(self, clock):
+        with pytest.raises(ValueError):
+            AuditLog(clock, capacity=0)
+
+    def test_observers_called(self, clock):
+        log = AuditLog(clock)
+        seen = []
+        log.observe(seen.append)
+        log.record("security.alert", policy="p")
+        assert len(seen) == 1
+        assert seen[0].kind == "security.alert"
+
+
+class TestQueries:
+    @pytest.fixture
+    def log(self, clock):
+        log = AuditLog(clock)
+        log.record("decision.allow", user="bob")
+        clock.advance(10.0)
+        log.record("decision.deny", user="carol")
+        log.record("decision.deny", user="bob")
+        clock.advance(10.0)
+        log.record("admin.assign_user", user="bob", role="PC")
+        return log
+
+    def test_by_kind_prefix(self, log):
+        assert len(log.by_kind("decision")) == 3
+        assert len(log.by_kind("decision.deny")) == 2
+        assert len(log.by_kind("admin")) == 1
+        # prefix is dotted: "deci" must not match
+        assert log.by_kind("deci") == []
+
+    def test_matching_detail(self, log):
+        assert len(log.matching(user="bob")) == 3
+        assert len(log.matching(user="bob", role="PC")) == 1
+        assert log.matching(user="ghost") == []
+
+    def test_since(self, log):
+        assert len(log.since(10.0)) == 3
+        assert len(log.since(20.0)) == 1
+
+    def test_tail(self, log):
+        assert [e.kind for e in log.tail(2)] == [
+            "decision.deny", "admin.assign_user"]
+
+    def test_counts_by_kind(self, log):
+        counts = log.counts_by_kind()
+        assert counts["decision.deny"] == 2
+        assert counts["decision.allow"] == 1
+
+    def test_report_renders_counts(self, log):
+        report = log.report()
+        assert "4 entr(ies)" in report
+        assert "decision.deny: 2" in report
+
+    def test_describe_entry(self, log):
+        entry = log.tail(1)[0]
+        assert "admin.assign_user" in entry.describe()
+        assert "role='PC'" in entry.describe()

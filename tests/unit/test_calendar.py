@@ -1,0 +1,130 @@
+"""Unit tests for calendar expressions (the paper's hh:mm:ss/mm/dd/yyyy)."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.errors import CalendarExpressionError
+from repro.events.calendar import CalendarExpression, parse_time_of_day
+
+
+class TestParsing:
+    def test_paper_daily_ten_am(self):
+        expr = CalendarExpression.parse("10:00:00/*/*/*")
+        assert expr.hour == 10
+        assert expr.minute == 0
+        assert expr.second == 0
+        assert expr.month is None
+        assert expr.day is None
+        assert expr.year is None
+
+    def test_bracketed_form_accepted(self):
+        expr = CalendarExpression.parse("[17:00:00/*/*/*]")
+        assert expr.hour == 17
+
+    def test_fully_pinned_date(self):
+        expr = CalendarExpression.parse("09:30:00/02/14/2005")
+        assert (expr.month, expr.day, expr.year) == (2, 14, 2005)
+
+    def test_date_part_optional(self):
+        expr = CalendarExpression.parse("08:00:00")
+        assert expr.month is None and expr.day is None and expr.year is None
+
+    def test_wildcard_hour(self):
+        expr = CalendarExpression.parse("*:15:00/*/*/*")
+        assert expr.hour is None
+        assert expr.minute == 15
+
+    def test_round_trip_str(self):
+        text = "10:00:00/*/*/*"
+        assert str(CalendarExpression.parse(text)) == text
+
+    @pytest.mark.parametrize("bad", [
+        "25:00:00/*/*/*",     # hour out of range
+        "10:61:00/*/*/*",     # minute out of range
+        "10:00/*/*/*",        # missing seconds
+        "10:00:00/13/*/*",    # month out of range
+        "10:00:00/*/32/*",    # day out of range
+        "10:00:00/*/*/*/*",   # too many fields
+        "aa:00:00/*/*/*",     # non-numeric
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(CalendarExpressionError):
+            CalendarExpression.parse(bad)
+
+
+class TestMatching:
+    def test_matches_exact_instant(self):
+        expr = CalendarExpression.parse("10:00:00/*/*/*")
+        assert expr.matches_seconds(10 * SECONDS_PER_HOUR)
+        assert not expr.matches_seconds(10 * SECONDS_PER_HOUR + 1)
+
+    def test_matches_every_day(self):
+        expr = CalendarExpression.parse("10:00:00/*/*/*")
+        for day in range(5):
+            instant = day * SECONDS_PER_DAY + 10 * SECONDS_PER_HOUR
+            assert expr.matches_seconds(instant)
+
+    def test_pinned_date_matches_only_that_date(self):
+        expr = CalendarExpression.parse("00:00:00/01/02/2005")
+        jan_second = SECONDS_PER_DAY  # Jan 2 2005 midnight
+        assert expr.matches_seconds(jan_second)
+        assert not expr.matches_seconds(2 * SECONDS_PER_DAY)
+
+    def test_matches_datetime_wildcards(self):
+        expr = CalendarExpression.parse("*:00:00/*/*/*")
+        dt = datetime(2010, 6, 15, 13, 0, 0, tzinfo=timezone.utc)
+        assert expr.matches_datetime(dt)
+
+
+class TestNextAfter:
+    def test_next_daily_occurrence_today(self):
+        expr = CalendarExpression.parse("10:00:00/*/*/*")
+        assert expr.next_after(0.0) == 10 * SECONDS_PER_HOUR
+
+    def test_next_daily_occurrence_rolls_to_tomorrow(self):
+        expr = CalendarExpression.parse("10:00:00/*/*/*")
+        after = 11 * SECONDS_PER_HOUR
+        assert expr.next_after(after) == SECONDS_PER_DAY + 10 * SECONDS_PER_HOUR
+
+    def test_strictly_after(self):
+        expr = CalendarExpression.parse("10:00:00/*/*/*")
+        at_ten = 10 * SECONDS_PER_HOUR
+        assert expr.next_after(at_ten) == SECONDS_PER_DAY + at_ten
+
+    def test_pinned_date_in_past_returns_none(self):
+        expr = CalendarExpression.parse("00:00:00/01/01/2005")
+        assert expr.next_after(SECONDS_PER_DAY) is None
+
+    def test_pinned_future_date(self):
+        expr = CalendarExpression.parse("00:00:00/01/03/2005")
+        assert expr.next_after(0.0) == 2 * SECONDS_PER_DAY
+
+    def test_every_minute_pattern(self):
+        expr = CalendarExpression.parse("*:*:30/*/*/*")
+        assert expr.next_after(0.0) == 30.0
+        assert expr.next_after(30.0) == 90.0
+
+    def test_successive_occurrences_are_increasing(self):
+        expr = CalendarExpression.parse("06:30:00/*/*/*")
+        instant = 0.0
+        seen = []
+        for _ in range(3):
+            instant = expr.next_after(instant)
+            seen.append(instant)
+        assert seen == sorted(seen)
+        assert all(expr.matches_seconds(s) for s in seen)
+
+
+class TestParseTimeOfDay:
+    def test_hh_mm(self):
+        assert parse_time_of_day("08:30") == 8 * 3600 + 30 * 60
+
+    def test_hh_mm_ss(self):
+        assert parse_time_of_day("23:59:59") == 86399
+
+    @pytest.mark.parametrize("bad", ["8", "25:00", "10:60", "x:y", "10:00:00:00"])
+    def test_malformed(self, bad):
+        with pytest.raises(CalendarExpressionError):
+            parse_time_of_day(bad)

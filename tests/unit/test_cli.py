@@ -1,0 +1,156 @@
+"""Unit tests for the CLI."""
+
+import pytest
+
+from repro.cli import main
+
+GOOD = """
+policy demo {
+  role A; role B;
+  user u;
+  hierarchy A > B;
+  assign u to A;
+  permission read on doc;
+  grant read on doc to B;
+}
+"""
+
+BAD_SYNTAX = "policy broken { role ; }"
+
+INVALID = """
+policy invalid {
+  role A;
+  hierarchy A > A;
+}
+"""
+
+
+@pytest.fixture
+def policy_file(tmp_path):
+    def write(text):
+        path = tmp_path / "policy.rbac"
+        path.write_text(text)
+        return str(path)
+
+    return write
+
+
+class TestCheck:
+    def test_clean_policy(self, policy_file, capsys):
+        assert main(["check", policy_file(GOOD)]) == 0
+        out = capsys.readouterr().out
+        assert "valid" in out
+        assert "verification: clean" in out
+        assert "generated" in out
+
+    def test_invalid_policy(self, policy_file, capsys):
+        assert main(["check", policy_file(INVALID)]) == 1
+        out = capsys.readouterr().out
+        assert "validation issue" in out
+
+    def test_syntax_error(self, policy_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", policy_file(BAD_SYNTAX)])
+        assert excinfo.value.code == 1
+        assert "syntax error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", "/nonexistent/policy.rbac"])
+        assert excinfo.value.code == 2
+
+
+class TestGraph:
+    def test_graph_renders(self, policy_file, capsys):
+        assert main(["graph", policy_file(GOOD)]) == 0
+        out = capsys.readouterr().out
+        assert "role node(s)" in out
+        assert "A -> B" in out
+
+
+class TestRules:
+    def test_whole_pool(self, policy_file, capsys):
+        assert main(["rules", policy_file(GOOD)]) == 0
+        out = capsys.readouterr().out
+        assert "RULE [ AAR2.A" in out
+        assert "CA.checkAccess" in out
+
+    def test_single_role(self, policy_file, capsys):
+        assert main(["rules", policy_file(GOOD), "--role", "A"]) == 0
+        out = capsys.readouterr().out
+        assert "AAR2.A" in out
+        assert "AAR2.B" not in out
+
+    def test_unknown_role(self, policy_file, capsys):
+        assert main(["rules", policy_file(GOOD), "--role", "Zed"]) == 1
+
+
+class TestSimulate:
+    def test_simulation_summary(self, policy_file, capsys):
+        code = main(["simulate", policy_file(GOOD),
+                     "--requests", "200", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulated 200 requests" in out
+        assert "allowed:" in out
+        assert "audit report" in out
+
+    def test_simulation_deterministic(self, policy_file, capsys):
+        path = policy_file(GOOD)
+        main(["simulate", path, "--requests", "100", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["simulate", path, "--requests", "100", "--seed", "5"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestFmt:
+    def test_fmt_round_trips(self, policy_file, tmp_path, capsys):
+        assert main(["fmt", policy_file(GOOD)]) == 0
+        rendered = capsys.readouterr().out
+        # the canonical form parses back and is a fixpoint
+        path = tmp_path / "canonical.rbac"
+        path.write_text(rendered)
+        assert main(["fmt", str(path)]) == 0
+        assert capsys.readouterr().out == rendered
+
+
+class TestHygiene:
+    CLEAN = """
+    policy clean {
+      role A; user u; assign u to A;
+      permission read on doc; grant read on doc to A;
+    }
+    """
+    DIRTY = """
+    policy dirty {
+      role A; role Ghost; user u; assign u to A;
+      permission read on doc; grant read on doc to A;
+      permission unused on nowhere;
+    }
+    """
+
+    def test_clean_policy_exit_zero(self, policy_file, capsys):
+        assert main(["hygiene", policy_file(self.CLEAN)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_dirty_policy_exit_one(self, policy_file, capsys):
+        assert main(["hygiene", policy_file(self.DIRTY)]) == 1
+        out = capsys.readouterr().out
+        assert "Ghost" in out
+        assert "nowhere" in out
+
+    def test_who_can(self, policy_file, capsys):
+        assert main(["hygiene", policy_file(self.CLEAN),
+                     "--who-can", "read:doc"]) == 0
+        out = capsys.readouterr().out
+        assert "u (via A)" in out
+
+    def test_who_can_nobody(self, policy_file, capsys):
+        main(["hygiene", policy_file(self.CLEAN),
+              "--who-can", "fly:moon"])
+        assert "nobody can fly on moon" in capsys.readouterr().out
+
+    def test_who_can_bad_format(self, policy_file, capsys):
+        assert main(["hygiene", policy_file(self.CLEAN),
+                     "--who-can", "nodcolon"]) == 2

@@ -1,0 +1,165 @@
+"""Unit tests for the virtual clock and timer service."""
+
+import pytest
+
+from repro.clock import SIMULATED_EPOCH, Timestamp, TimerService, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now == 0.0
+
+    def test_starts_at_given_offset(self):
+        assert VirtualClock(start=100.0).now == 100.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            VirtualClock(start=-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = VirtualClock()
+        clock.advance(5.0)
+        clock.advance(2.5)
+        assert clock.now == 7.5
+
+    def test_advance_rejects_negative(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_advance_to_absolute(self):
+        clock = VirtualClock()
+        clock.advance_to(42.0)
+        assert clock.now == 42.0
+
+    def test_advance_to_rejects_past(self):
+        clock = VirtualClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+
+    def test_stamps_are_unique_and_ordered(self):
+        clock = VirtualClock()
+        first = clock.stamp()
+        second = clock.stamp()
+        assert first < second
+        assert first.seconds == second.seconds
+        clock.advance(1.0)
+        third = clock.stamp()
+        assert second < third
+
+    def test_now_datetime_at_epoch(self):
+        assert VirtualClock().now_datetime() == SIMULATED_EPOCH
+
+    def test_now_fields_order_matches_calendar_notation(self):
+        clock = VirtualClock()
+        clock.advance(10 * 3600 + 30 * 60 + 15)  # 10:30:15 on Jan 1 2005
+        assert clock.now_fields() == (10, 30, 15, 1, 1, 2005)
+
+
+class TestTimestamp:
+    def test_addition_shifts_seconds(self):
+        stamp = Timestamp(10.0, 3)
+        shifted = stamp + 5.0
+        assert shifted.seconds == 15.0
+        assert shifted.sequence == 3
+
+    def test_rendering_matches_paper_notation(self):
+        stamp = Timestamp(10 * 3600)  # 10:00:00 on Jan 1 2005
+        assert str(stamp) == "10:00:00/01/01/2005"
+
+
+class TestTimerService:
+    def test_fires_in_deadline_order(self):
+        timers = TimerService(VirtualClock())
+        fired = []
+        timers.schedule_after(10.0, lambda: fired.append("late"))
+        timers.schedule_after(5.0, lambda: fired.append("early"))
+        timers.advance(20.0)
+        assert fired == ["early", "late"]
+
+    def test_tie_broken_by_scheduling_order(self):
+        timers = TimerService(VirtualClock())
+        fired = []
+        timers.schedule_after(5.0, lambda: fired.append("first"))
+        timers.schedule_after(5.0, lambda: fired.append("second"))
+        timers.advance(5.0)
+        assert fired == ["first", "second"]
+
+    def test_does_not_fire_before_deadline(self):
+        timers = TimerService(VirtualClock())
+        fired = []
+        timers.schedule_after(10.0, lambda: fired.append(1))
+        timers.advance(9.999)
+        assert fired == []
+        timers.advance(0.001)
+        assert fired == [1]
+
+    def test_cancel_prevents_firing(self):
+        timers = TimerService(VirtualClock())
+        fired = []
+        timer_id = timers.schedule_after(5.0, lambda: fired.append(1))
+        assert timers.cancel(timer_id) is True
+        timers.advance(10.0)
+        assert fired == []
+
+    def test_cancel_twice_returns_false(self):
+        timers = TimerService(VirtualClock())
+        timer_id = timers.schedule_after(5.0, lambda: None)
+        assert timers.cancel(timer_id) is True
+        assert timers.cancel(timer_id) is False
+
+    def test_cancel_after_firing_returns_false(self):
+        timers = TimerService(VirtualClock())
+        timer_id = timers.schedule_after(1.0, lambda: None)
+        timers.advance(2.0)
+        assert timers.cancel(timer_id) is False
+
+    def test_callback_observes_its_own_deadline(self):
+        clock = VirtualClock()
+        timers = TimerService(clock)
+        seen = []
+        timers.schedule_after(7.0, lambda: seen.append(clock.now))
+        timers.advance(100.0)
+        assert seen == [7.0]
+        assert clock.now == 100.0
+
+    def test_callback_may_reschedule_within_advance(self):
+        clock = VirtualClock()
+        timers = TimerService(clock)
+        ticks = []
+
+        def tick():
+            ticks.append(clock.now)
+            if len(ticks) < 4:
+                timers.schedule_after(10.0, tick)
+
+        timers.schedule_after(10.0, tick)
+        timers.advance(35.0)
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_negative_delay_rejected(self):
+        timers = TimerService(VirtualClock())
+        with pytest.raises(ValueError):
+            timers.schedule_after(-1.0, lambda: None)
+
+    def test_len_counts_pending_only(self):
+        timers = TimerService(VirtualClock())
+        timers.schedule_after(5.0, lambda: None)
+        cancelled = timers.schedule_after(6.0, lambda: None)
+        timers.cancel(cancelled)
+        assert len(timers) == 1
+
+    def test_next_deadline_skips_cancelled(self):
+        timers = TimerService(VirtualClock())
+        first = timers.schedule_after(1.0, lambda: None)
+        timers.schedule_after(2.0, lambda: None)
+        timers.cancel(first)
+        assert timers.next_deadline() == 2.0
+
+    def test_past_deadline_fires_on_run_due(self):
+        clock = VirtualClock(start=100.0)
+        timers = TimerService(clock)
+        fired = []
+        timers.schedule_at(50.0, lambda: fired.append(1))
+        assert timers.run_due() == 1
+        assert fired == [1]

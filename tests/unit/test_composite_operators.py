@@ -1,0 +1,288 @@
+"""Unit tests for the Snoop composite operator semantics (paper §3)."""
+
+import pytest
+
+from repro.clock import TimerService, VirtualClock
+from repro.events import ConsumptionMode, EventDetector
+
+
+@pytest.fixture
+def det():
+    detector = EventDetector(TimerService(VirtualClock()))
+    for name in ("E1", "E2", "E3"):
+        detector.define_primitive(name)
+    return detector
+
+
+def collect(detector, name):
+    hits = []
+    detector.subscribe(name, hits.append)
+    return hits
+
+
+class TestOr:
+    def test_fires_on_either_child(self, det):
+        det.define_or("O", "E1", "E2")
+        hits = collect(det, "O")
+        det.raise_event("E1")
+        det.raise_event("E2")
+        assert len(hits) == 2
+
+    def test_carries_child_params(self, det):
+        det.define_or("O", "E1", "E2")
+        hits = collect(det, "O")
+        det.raise_event("E2", role="Nurse")
+        assert hits[0].get("role") == "Nurse"
+
+    def test_supports_more_than_two_children(self, det):
+        det.define_or("O", "E1", "E2", "E3")
+        hits = collect(det, "O")
+        for name in ("E1", "E2", "E3"):
+            det.raise_event(name)
+        assert len(hits) == 3
+
+    def test_requires_two_children(self, det):
+        from repro.errors import EventError
+        with pytest.raises(EventError):
+            det.define_or("O", "E1")
+
+
+class TestAnd:
+    def test_fires_once_both_occur_any_order(self, det):
+        det.define_and("A", "E1", "E2")
+        hits = collect(det, "A")
+        det.raise_event("E2")
+        det.raise_event("E1")
+        assert len(hits) == 1
+
+    def test_recent_initiator_keeps_initiating(self, det):
+        det.define_and("A", "E1", "E2")
+        hits = collect(det, "A")
+        det.raise_event("E1")
+        det.raise_event("E2")
+        det.raise_event("E2")  # E1 still initiates (recent context)
+        assert len(hits) == 2
+
+    def test_merged_params(self, det):
+        det.define_and("A", "E1", "E2")
+        hits = collect(det, "A")
+        det.raise_event("E1", a=1)
+        det.raise_event("E2", b=2)
+        assert hits[0].flatten() == {"a": 1, "b": 2}
+
+    def test_chronicle_consumes_both_sides(self, det):
+        det.define_and("A", "E1", "E2", mode="chronicle")
+        hits = collect(det, "A")
+        det.raise_event("E1")
+        det.raise_event("E2")
+        det.raise_event("E2")  # no E1 left
+        assert len(hits) == 1
+
+
+class TestSequence:
+    def test_order_matters(self, det):
+        det.define_sequence("S", "E1", "E2")
+        hits = collect(det, "S")
+        det.raise_event("E2")  # terminator with no initiator: nothing
+        assert hits == []
+        det.raise_event("E1")
+        det.raise_event("E2")
+        assert len(hits) == 1
+
+    def test_interval_spans_initiator_to_terminator(self, det):
+        det.define_sequence("S", "E1", "E2")
+        hits = collect(det, "S")
+        first = det.raise_event("E1")
+        det.clock.advance(10)
+        second = det.raise_event("E2")
+        assert hits[0].start == first.start
+        assert hits[0].end == second.end
+
+    def test_simultaneous_events_still_ordered_by_raise(self, det):
+        # Two raises at the same simulated instant: sequence numbers
+        # order them, so E1-then-E2 detects.
+        det.define_sequence("S", "E1", "E2")
+        hits = collect(det, "S")
+        det.raise_event("E1")
+        det.raise_event("E2")
+        assert len(hits) == 1
+
+    def test_nested_sequences(self, det):
+        det.define_sequence("S1", "E1", "E2")
+        det.define_sequence("S2", "S1", "E3")
+        hits = collect(det, "S2")
+        det.raise_event("E1")
+        det.raise_event("E2")
+        det.raise_event("E3")
+        assert len(hits) == 1
+        assert [l.event for l in hits[0].leaves()] == ["E1", "E2", "E3"]
+
+
+class TestNot:
+    def test_detects_when_middle_absent(self, det):
+        det.define_not("N", "E1", "E2", "E3")
+        hits = collect(det, "N")
+        det.raise_event("E1")
+        det.raise_event("E3")
+        assert len(hits) == 1
+
+    def test_contaminated_window_does_not_detect(self, det):
+        det.define_not("N", "E1", "E2", "E3")
+        hits = collect(det, "N")
+        det.raise_event("E1")
+        det.raise_event("E2")
+        det.raise_event("E3")
+        assert hits == []
+
+    def test_fresh_window_after_contamination(self, det):
+        det.define_not("N", "E1", "E2", "E3")
+        hits = collect(det, "N")
+        det.raise_event("E1")
+        det.raise_event("E2")
+        det.raise_event("E1")  # fresh clean window (recent mode)
+        det.raise_event("E3")
+        assert len(hits) == 1
+
+
+class TestAperiodic:
+    def test_middle_only_detected_inside_window(self, det):
+        det.define_aperiodic("AP", "E1", "E2", "E3")
+        hits = collect(det, "AP")
+        det.raise_event("E2")  # before window: nothing
+        det.raise_event("E1")  # open
+        det.raise_event("E2")
+        det.raise_event("E2")
+        det.raise_event("E3")  # close
+        det.raise_event("E2")  # after window: nothing
+        assert len(hits) == 2
+
+    def test_window_not_consumed_by_detection(self, det):
+        det.define_aperiodic("AP", "E1", "E2", "E3")
+        hits = collect(det, "AP")
+        det.raise_event("E1")
+        for _ in range(5):
+            det.raise_event("E2")
+        assert len(hits) == 5
+
+    def test_window_open_property(self, det):
+        node = det.define_aperiodic("AP", "E1", "E2", "E3")
+        assert not node.window_open
+        det.raise_event("E1")
+        assert node.window_open
+        det.raise_event("E3")
+        assert not node.window_open
+
+    def test_params_merge_opener_and_middle(self, det):
+        det.define_aperiodic("AP", "E1", "E2", "E3")
+        hits = collect(det, "AP")
+        det.raise_event("E1", window="w1")
+        det.raise_event("E2", item="x")
+        assert hits[0].flatten() == {"window": "w1", "item": "x"}
+
+
+class TestAperiodicStar:
+    def test_single_detection_at_close_with_accumulated(self, det):
+        det.define_aperiodic_star("APS", "E1", "E2", "E3")
+        hits = collect(det, "APS")
+        det.raise_event("E1")
+        det.raise_event("E2", n=1)
+        det.raise_event("E2", n=2)
+        assert hits == []
+        det.raise_event("E3")
+        assert len(hits) == 1
+        assert len(hits[0].constituents) == 4  # opener + 2 middles + closer
+
+    def test_empty_window_still_detects(self, det):
+        det.define_aperiodic_star("APS", "E1", "E2", "E3")
+        hits = collect(det, "APS")
+        det.raise_event("E1")
+        det.raise_event("E3")
+        assert len(hits) == 1
+
+    def test_close_without_open_is_silent(self, det):
+        det.define_aperiodic_star("APS", "E1", "E2", "E3")
+        hits = collect(det, "APS")
+        det.raise_event("E3")
+        assert hits == []
+
+
+class TestPlus:
+    def test_fires_exactly_after_delta(self, det):
+        det.define_plus("P", "E1", 100.0)
+        hits = collect(det, "P")
+        det.raise_event("E1", user="bob")
+        det.advance_time(99.9)
+        assert hits == []
+        det.advance_time(0.1)
+        assert len(hits) == 1
+        assert hits[0].get("user") == "bob"
+
+    def test_overlapping_countdowns_independent(self, det):
+        det.define_plus("P", "E1", 100.0)
+        hits = collect(det, "P")
+        det.raise_event("E1", n=1)
+        det.advance_time(50.0)
+        det.raise_event("E1", n=2)
+        det.advance_time(50.0)
+        assert [h.get("n") for h in hits] == [1]
+        det.advance_time(50.0)
+        assert [h.get("n") for h in hits] == [1, 2]
+
+    def test_cancel_pending(self, det):
+        node = det.define_plus("P", "E1", 100.0)
+        hits = collect(det, "P")
+        det.raise_event("E1")
+        assert node.cancel_pending() == 1
+        det.advance_time(200.0)
+        assert hits == []
+
+    def test_negative_delta_rejected(self, det):
+        with pytest.raises(ValueError):
+            det.define_plus("P", "E1", -1.0)
+
+
+class TestPeriodic:
+    def test_ticks_between_open_and_close(self, det):
+        det.define_periodic("PD", "E1", 10.0, "E3")
+        hits = collect(det, "PD")
+        det.raise_event("E1")
+        det.advance_time(35.0)
+        assert [h.get("tick") for h in hits] == [1, 2, 3]
+        det.raise_event("E3")
+        det.advance_time(50.0)
+        assert len(hits) == 3
+
+    def test_no_ticks_before_open(self, det):
+        det.define_periodic("PD", "E1", 10.0, "E3")
+        hits = collect(det, "PD")
+        det.advance_time(100.0)
+        assert hits == []
+
+    def test_nonpositive_period_rejected(self, det):
+        with pytest.raises(ValueError):
+            det.define_periodic("PD", "E1", 0.0, "E3")
+
+
+class TestPeriodicStar:
+    def test_reports_tick_count_at_close(self, det):
+        det.define_periodic_star("PS", "E1", 10.0, "E3")
+        hits = collect(det, "PS")
+        det.raise_event("E1")
+        det.advance_time(45.0)
+        det.raise_event("E3")
+        assert len(hits) == 1
+        assert hits[0].get("ticks") == 4
+
+
+class TestAbsolute:
+    def test_daily_firing(self, det):
+        det.define_absolute("TenAM", "10:00:00/*/*/*")
+        hits = collect(det, "TenAM")
+        det.advance_time(86400 * 3)
+        assert len(hits) == 3
+
+    def test_carries_instant_param(self, det):
+        det.define_absolute("TenAM", "10:00:00/*/*/*")
+        hits = collect(det, "TenAM")
+        det.advance_time(86400)
+        assert hits[0].get("instant") == 10 * 3600

@@ -1,0 +1,113 @@
+"""Unit tests for declarative constraint descriptors (GTRBAC, CFD,
+cardinality)."""
+
+import pytest
+
+from repro.extensions.cardinality import RoleCardinality, UserCardinality
+from repro.extensions.cfd import (
+    PostConditionDependency,
+    PrerequisiteRole,
+    TransactionActivation,
+)
+from repro.gtrbac.constraints import (
+    DisablingTimeSoD,
+    DurationConstraint,
+    EnablingWindow,
+    TemporalPolicy,
+)
+from repro.gtrbac.periodic import PeriodicInterval
+
+
+class TestDurationConstraint:
+    def test_role_wide(self):
+        constraint = DurationConstraint("R3", 7200.0)
+        assert constraint.user is None
+        assert "R3" in constraint.describe()
+
+    def test_per_user(self):
+        constraint = DurationConstraint("R3", 7200.0, user="bob")
+        assert "bob" in constraint.describe()
+
+    @pytest.mark.parametrize("delta", [0.0, -5.0])
+    def test_nonpositive_delta_rejected(self, delta):
+        with pytest.raises(ValueError):
+            DurationConstraint("R3", delta)
+
+
+class TestEnablingWindow:
+    def test_describe_includes_interval(self):
+        window = EnablingWindow("DayDoctor",
+                                PeriodicInterval.daily("08:00", "16:00"))
+        assert "DayDoctor" in window.describe()
+        assert "08:00:00-16:00:00" in window.describe()
+
+
+class TestDisablingTimeSoD:
+    def test_requires_two_roles(self):
+        with pytest.raises(ValueError):
+            DisablingTimeSoD("c", frozenset({"Nurse"}),
+                             PeriodicInterval.always())
+
+    def test_describe(self):
+        constraint = DisablingTimeSoD(
+            "coverage", frozenset({"Nurse", "Doctor"}),
+            PeriodicInterval.daily("10:00", "17:00"))
+        assert "Doctor" in constraint.describe()
+        assert "Nurse" in constraint.describe()
+
+
+class TestTemporalPolicy:
+    def test_for_role_slices(self):
+        policy = TemporalPolicy(
+            durations=[DurationConstraint("A", 10.0),
+                       DurationConstraint("B", 20.0)],
+            windows=[EnablingWindow("A", PeriodicInterval.always())],
+            disabling_sod=[DisablingTimeSoD(
+                "c", frozenset({"A", "C"}), PeriodicInterval.always())],
+        )
+        slice_a = policy.for_role("A")
+        assert len(slice_a.durations) == 1
+        assert len(slice_a.windows) == 1
+        assert len(slice_a.disabling_sod) == 1
+        slice_b = policy.for_role("B")
+        assert len(slice_b.durations) == 1
+        assert slice_b.windows == [] and slice_b.disabling_sod == []
+
+    def test_is_empty(self):
+        assert TemporalPolicy().is_empty()
+        assert not TemporalPolicy(
+            durations=[DurationConstraint("A", 1.0)]).is_empty()
+
+
+class TestCfdDescriptors:
+    def test_post_condition_not_reflexive(self):
+        with pytest.raises(ValueError):
+            PostConditionDependency("SysAdmin", "SysAdmin")
+        dep = PostConditionDependency("SysAdmin", "SysAudit")
+        assert "SysAudit" in dep.describe()
+
+    def test_prerequisite_not_reflexive(self):
+        with pytest.raises(ValueError):
+            PrerequisiteRole("A", "A")
+        pre = PrerequisiteRole("Doctor", "Nurse")
+        assert "Nurse" in pre.describe()
+
+    def test_transaction_not_reflexive(self):
+        with pytest.raises(ValueError):
+            TransactionActivation("Manager", "Manager")
+        txn = TransactionActivation("JuniorEmp", "Manager")
+        assert "Manager" in txn.describe()
+
+
+class TestCardinalityDescriptors:
+    def test_role_cardinality(self):
+        constraint = RoleCardinality("Programmer", 5)
+        assert "5" in constraint.describe()
+        with pytest.raises(ValueError):
+            RoleCardinality("Programmer", 0)
+
+    def test_user_cardinality(self):
+        constraint = UserCardinality("jane", 5)
+        assert "jane" in constraint.describe()
+        with pytest.raises(ValueError):
+            UserCardinality("jane", 0)

@@ -1,0 +1,107 @@
+"""Unit tests for Snoop parameter (consumption) contexts."""
+
+import pytest
+
+from repro.clock import Timestamp
+from repro.events.consumption import ConsumptionMode, InitiatorBuffer
+from repro.events.occurrence import Occurrence
+
+
+def occ(name, at):
+    return Occurrence(name, Timestamp(at, int(at)), Timestamp(at, int(at)))
+
+
+class TestConsumptionModeParse:
+    def test_parse_by_name(self):
+        assert ConsumptionMode.parse("recent") is ConsumptionMode.RECENT
+        assert ConsumptionMode.parse("CHRONICLE") is ConsumptionMode.CHRONICLE
+
+    def test_parse_passthrough(self):
+        assert ConsumptionMode.parse(
+            ConsumptionMode.CUMULATIVE) is ConsumptionMode.CUMULATIVE
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError):
+            ConsumptionMode.parse("nonsense")
+
+
+def fill(buffer, count=3):
+    events = [occ(f"e{i}", float(i)) for i in range(count)]
+    for event in events:
+        buffer.add(event)
+    return events
+
+
+class TestRecent:
+    def test_only_most_recent_kept(self):
+        buffer = InitiatorBuffer(ConsumptionMode.RECENT)
+        events = fill(buffer)
+        assert buffer.peek_all() == [events[-1]]
+
+    def test_initiator_not_consumed_on_match(self):
+        buffer = InitiatorBuffer(ConsumptionMode.RECENT)
+        events = fill(buffer)
+        first = buffer.take_matches()
+        second = buffer.take_matches()
+        assert first == [[events[-1]]]
+        assert second == [[events[-1]]]  # keeps initiating (Snoop recent)
+
+
+class TestChronicle:
+    def test_fifo_pairing_consumes(self):
+        buffer = InitiatorBuffer(ConsumptionMode.CHRONICLE)
+        events = fill(buffer)
+        assert buffer.take_matches() == [[events[0]]]
+        assert buffer.take_matches() == [[events[1]]]
+        assert buffer.take_matches() == [[events[2]]]
+        assert buffer.take_matches() == []
+
+
+class TestContinuous:
+    def test_one_group_per_open_window_all_consumed(self):
+        buffer = InitiatorBuffer(ConsumptionMode.CONTINUOUS)
+        events = fill(buffer)
+        groups = buffer.take_matches()
+        assert groups == [[events[0]], [events[1]], [events[2]]]
+        assert buffer.take_matches() == []
+
+
+class TestCumulative:
+    def test_single_group_with_everything(self):
+        buffer = InitiatorBuffer(ConsumptionMode.CUMULATIVE)
+        events = fill(buffer)
+        assert buffer.take_matches() == [events]
+        assert buffer.take_matches() == []
+
+
+class TestUnrestricted:
+    def test_nothing_consumed(self):
+        buffer = InitiatorBuffer(ConsumptionMode.UNRESTRICTED)
+        events = fill(buffer)
+        first = buffer.take_matches()
+        second = buffer.take_matches()
+        assert first == [[e] for e in events]
+        assert second == first
+
+
+class TestEligibility:
+    def test_filter_applies_before_pairing(self):
+        buffer = InitiatorBuffer(ConsumptionMode.CHRONICLE)
+        events = fill(buffer)
+        groups = buffer.take_matches(
+            eligible=lambda event: event.start.seconds >= 1.0)
+        assert groups == [[events[1]]]
+        # event 0 was ineligible and must remain buffered
+        assert events[0] in buffer.peek_all()
+
+    def test_no_eligible_returns_empty_without_consuming(self):
+        buffer = InitiatorBuffer(ConsumptionMode.CONTINUOUS)
+        fill(buffer)
+        assert buffer.take_matches(eligible=lambda event: False) == []
+        assert len(buffer) == 3
+
+    def test_clear_empties(self):
+        buffer = InitiatorBuffer(ConsumptionMode.CHRONICLE)
+        fill(buffer)
+        buffer.clear()
+        assert len(buffer) == 0

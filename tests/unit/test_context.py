@@ -1,0 +1,91 @@
+"""Unit tests for context-aware constraints and the context provider."""
+
+import pytest
+
+from repro.clock import TimerService, VirtualClock
+from repro.events import EventDetector
+from repro.extensions.context import (
+    CONTEXT_UPDATE_EVENT,
+    ContextConstraint,
+    ContextOp,
+    ContextProvider,
+)
+
+
+class TestContextOp:
+    @pytest.mark.parametrize("op,left,right,expected", [
+        (ContextOp.EQ, "secure", "secure", True),
+        (ContextOp.EQ, "insecure", "secure", False),
+        (ContextOp.NE, "insecure", "secure", True),
+        (ContextOp.LT, 3, 5, True),
+        (ContextOp.LE, 5, 5, True),
+        (ContextOp.GT, 5, 3, True),
+        (ContextOp.GE, 2, 3, False),
+        (ContextOp.IN, "ward", ["ward", "icu"], True),
+        (ContextOp.NOT_IN, "lobby", ["ward", "icu"], True),
+    ])
+    def test_apply(self, op, left, right, expected):
+        assert op.apply(left, right) is expected
+
+    def test_type_mismatch_is_false_not_error(self):
+        assert ContextOp.LT.apply(None, 5) is False
+        assert ContextOp.GE.apply("text", 5) is False
+
+
+class TestContextProvider:
+    def test_direct_set_get(self):
+        provider = ContextProvider({"network": "secure"})
+        assert provider.get("network") == "secure"
+        provider.set("network", "insecure")
+        assert provider.get("network") == "insecure"
+        assert provider.update_count == 1
+
+    def test_missing_returns_default(self):
+        provider = ContextProvider()
+        assert provider.get("ghost") is None
+        assert provider.get("ghost", "fallback") == "fallback"
+
+    def test_updates_via_external_events(self):
+        detector = EventDetector(TimerService(VirtualClock()))
+        provider = ContextProvider()
+        provider.attach(detector)
+        detector.raise_event(CONTEXT_UPDATE_EVENT,
+                             name="location", value="icu")
+        assert provider.get("location") == "icu"
+
+    def test_update_event_without_name_ignored(self):
+        detector = EventDetector(TimerService(VirtualClock()))
+        provider = ContextProvider()
+        provider.attach(detector)
+        detector.raise_event(CONTEXT_UPDATE_EVENT, value="orphan")
+        assert provider.snapshot() == {}
+
+    def test_snapshot_is_a_copy(self):
+        provider = ContextProvider({"a": 1})
+        snap = provider.snapshot()
+        snap["a"] = 99
+        assert provider.get("a") == 1
+
+
+class TestContextConstraint:
+    def test_satisfied_against_provider(self):
+        provider = ContextProvider({"network": "secure"})
+        constraint = ContextConstraint(
+            role="FileUser", variable="network",
+            op=ContextOp.EQ, value="secure", applies_to="access")
+        assert constraint.satisfied(provider)
+        provider.set("network", "insecure")
+        assert not constraint.satisfied(provider)
+
+    def test_applies_to_validation(self):
+        with pytest.raises(ValueError):
+            ContextConstraint(role="R", variable="v",
+                              op=ContextOp.EQ, value=1,
+                              applies_to="everything")
+
+    def test_describe(self):
+        constraint = ContextConstraint(
+            role="FileUser", variable="network",
+            op=ContextOp.EQ, value="secure")
+        text = constraint.describe()
+        assert "network" in text and "secure" in text

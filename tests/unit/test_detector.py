@@ -1,0 +1,190 @@
+"""Unit tests for the event detector registry and dispatch."""
+
+import pytest
+
+from repro.clock import TimerService, VirtualClock
+from repro.errors import DuplicateEventError, EventError, UnknownEventError
+from repro.events import EventDetector
+
+
+@pytest.fixture
+def det():
+    return EventDetector(TimerService(VirtualClock()))
+
+
+class TestRegistry:
+    def test_define_and_contains(self, det):
+        det.define_primitive("E1")
+        assert "E1" in det
+        assert "E2" not in det
+        assert len(det) == 1
+
+    def test_duplicate_rejected(self, det):
+        det.define_primitive("E1")
+        with pytest.raises(DuplicateEventError):
+            det.define_primitive("E1")
+
+    def test_ensure_primitive_idempotent(self, det):
+        first = det.ensure_primitive("E1")
+        second = det.ensure_primitive("E1")
+        assert first is second
+
+    def test_ensure_primitive_refuses_composites(self, det):
+        det.define_primitive("E1")
+        det.define_primitive("E2")
+        det.define_or("O", "E1", "E2")
+        with pytest.raises(EventError):
+            det.ensure_primitive("O")
+
+    def test_unknown_event_raises(self, det):
+        with pytest.raises(UnknownEventError):
+            det.raise_event("ghost")
+        with pytest.raises(UnknownEventError):
+            det.subscribe("ghost", lambda occurrence: None)
+
+    def test_composite_cannot_be_raised(self, det):
+        det.define_primitive("E1")
+        det.define_primitive("E2")
+        det.define_or("O", "E1", "E2")
+        with pytest.raises(EventError):
+            det.raise_event("O")
+
+    def test_default_detector_builds_own_timers(self):
+        detector = EventDetector()
+        detector.define_primitive("E1")
+        assert detector.clock.now == 0.0
+
+
+class TestUndefine:
+    def test_undefine_leaf(self, det):
+        det.define_primitive("E1")
+        det.undefine("E1")
+        assert "E1" not in det
+
+    def test_undefine_refuses_when_feeding_composite(self, det):
+        det.define_primitive("E1")
+        det.define_primitive("E2")
+        det.define_or("O", "E1", "E2")
+        with pytest.raises(EventError):
+            det.undefine("E1")
+
+    def test_undefine_composite_detaches_children(self, det):
+        det.define_primitive("E1")
+        det.define_primitive("E2")
+        det.define_or("O", "E1", "E2")
+        det.undefine("O")
+        # children no longer reference the removed node
+        assert det.graph_edges() == []
+        det.raise_event("E1")  # must not crash
+
+    def test_can_redefine_after_undefine(self, det):
+        det.define_primitive("E1")
+        det.define_plus("P", "E1", 5.0)
+        det.undefine("P")
+        det.define_plus("P", "E1", 10.0)
+        hits = []
+        det.subscribe("P", hits.append)
+        det.raise_event("E1")
+        det.advance_time(7.0)
+        assert hits == []  # old 5s PLUS is gone
+        det.advance_time(3.0)
+        assert len(hits) == 1
+
+
+class TestDispatch:
+    def test_listeners_called_in_subscription_order(self, det):
+        det.define_primitive("E1")
+        order = []
+        det.subscribe("E1", lambda occurrence: order.append("a"))
+        det.subscribe("E1", lambda occurrence: order.append("b"))
+        det.raise_event("E1")
+        assert order == ["a", "b"]
+
+    def test_unsubscribe(self, det):
+        det.define_primitive("E1")
+        hits = []
+        det.subscribe("E1", hits.append)
+        assert det.unsubscribe("E1", hits.append) is True
+        assert det.unsubscribe("E1", hits.append) is False
+        det.raise_event("E1")
+        assert hits == []
+
+    def test_global_listener_sees_composites_too(self, det):
+        det.define_primitive("E1")
+        det.define_primitive("E2")
+        det.define_sequence("S", "E1", "E2")
+        seen = []
+        det.subscribe_all(lambda occurrence: seen.append(occurrence.event))
+        det.raise_event("E1")
+        det.raise_event("E2")
+        assert seen == ["E1", "E2", "S"]
+
+    def test_stats_count_raised_and_detected(self, det):
+        det.define_primitive("E1")
+        det.define_primitive("E2")
+        det.define_or("O", "E1", "E2")
+        det.raise_event("E1")
+        stats = det.stats()
+        assert stats["raised"] == 1
+        assert stats["detected"] == 2  # E1 and O
+        assert stats["defined"] == 3
+
+    def test_graph_edges(self, det):
+        det.define_primitive("E1")
+        det.define_primitive("E2")
+        det.define_sequence("S", "E1", "E2")
+        assert sorted(det.graph_edges()) == [("E1", "S"), ("E2", "S")]
+
+    def test_reset_state_clears_partial_detections(self, det):
+        det.define_primitive("E1")
+        det.define_primitive("E2")
+        det.define_sequence("S", "E1", "E2")
+        hits = []
+        det.subscribe("S", hits.append)
+        det.raise_event("E1")
+        det.reset_state()
+        det.raise_event("E2")
+        assert hits == []
+
+    def test_event_feeding_multiple_parents(self, det):
+        det.define_primitive("E1")
+        det.define_primitive("E2")
+        det.define_or("O", "E1", "E2")
+        det.define_and("A", "E1", "E2")
+        or_hits, and_hits = [], []
+        det.subscribe("O", or_hits.append)
+        det.subscribe("A", and_hits.append)
+        det.raise_event("E1")
+        det.raise_event("E2")
+        assert len(or_hits) == 2
+        assert len(and_hits) == 1
+
+
+class TestUndefineTemporalNodes:
+    def test_undefined_absolute_event_never_fires(self, det):
+        det.define_absolute("TenAM", "10:00:00/*/*/*")
+        ghosts = []
+        det.subscribe_all(lambda occurrence: ghosts.append(
+            occurrence.event))
+        det.undefine("TenAM")
+        det.advance_time(86400 * 2)
+        assert ghosts == []
+
+    def test_undefined_plus_event_never_fires(self, det):
+        det.define_primitive("E1")
+        det.define_plus("P", "E1", 10.0)
+        det.raise_event("E1")
+        det.undefine("P")
+        seen = []
+        det.subscribe_all(lambda occurrence: seen.append(
+            occurrence.event))
+        det.advance_time(20.0)
+        assert "P" not in seen
+
+    def test_reset_state_rearms_absolute(self, det):
+        det.define_absolute("TenAM", "10:00:00/*/*/*")
+        hits = []
+        det.subscribe("TenAM", hits.append)
+        det.reset_state()  # reset (not detach) must keep it armed
+        det.advance_time(86400)
+        assert len(hits) == 1

@@ -1,0 +1,149 @@
+"""Unit tests for the shared enforcement predicates (both engines)."""
+
+import pytest
+
+from repro import ActiveRBACEngine, parse_policy
+from repro.extensions.context import ContextConstraint, ContextOp
+
+POLICY = """
+policy helpers {
+  role Programmer max_active_users 2;
+  role Nurse; role Doctor; role Manager; role JuniorEmp;
+  role FileUser;
+  user jane max_active_roles 2;
+  user bob; user amy;
+  assign jane to Programmer;
+  assign jane to Nurse;
+  assign jane to Doctor;
+  assign bob to Programmer;
+  assign amy to Programmer;
+  assign bob to Manager;
+  assign bob to JuniorEmp;
+  assign bob to FileUser;
+  prerequisite Doctor requires Nurse;
+  transaction JuniorEmp during Manager;
+  disabling_sod cov roles Nurse, Doctor daily 10:00 to 17:00;
+  duration Programmer 1000;
+  duration Programmer 500 for jane;
+  context FileUser requires network == "secure";
+}
+"""
+
+
+@pytest.fixture
+def engine():
+    return ActiveRBACEngine.from_policy(parse_policy(POLICY))
+
+
+class TestCardinalityHelpers:
+    def test_role_cardinality_counts_distinct_users(self, engine):
+        s_bob = engine.create_session("bob")
+        s_amy = engine.create_session("amy")
+        engine.add_active_role(s_bob, "Programmer")
+        assert engine.role_cardinality_ok("Programmer", "amy")
+        engine.add_active_role(s_amy, "Programmer")
+        assert not engine.role_cardinality_ok("Programmer", "jane")
+        # a user already active does not count again
+        assert engine.role_cardinality_ok("Programmer", "bob")
+
+    def test_user_cardinality(self, engine):
+        sid = engine.create_session("jane")
+        engine.add_active_role(sid, "Programmer")
+        engine.context.set("ignored", 0)
+        engine.add_active_role(sid, "Nurse")
+        assert not engine.user_cardinality_ok("jane", "Doctor")
+        assert engine.user_cardinality_ok("jane", "Nurse")  # already active
+        assert engine.user_cardinality_ok("bob", "Nurse")   # no limit
+
+    def test_unknown_user_unlimited(self, engine):
+        assert engine.user_cardinality_ok("ghost", "Nurse")
+
+
+class TestCfdHelpers:
+    def test_prerequisites_ok(self, engine):
+        sid = engine.create_session("jane")
+        assert not engine.prerequisites_ok(sid, "Doctor")
+        engine.add_active_role(sid, "Nurse")
+        assert engine.prerequisites_ok(sid, "Doctor")
+        assert engine.prerequisites_ok(sid, "Programmer")  # none declared
+        assert not engine.prerequisites_ok("ghost", "Doctor")
+
+    def test_transaction_anchor_ok(self, engine):
+        assert not engine.transaction_anchor_ok("JuniorEmp")
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "Manager")
+        assert engine.transaction_anchor_ok("JuniorEmp")
+        assert engine.transaction_anchor_ok("Nurse")  # not a dependent
+
+    def test_transaction_dependents_of(self, engine):
+        assert engine.transaction_dependents_of("Manager") == ["JuniorEmp"]
+        assert engine.transaction_dependents_of("Nurse") == []
+
+
+class TestTemporalHelpers:
+    def test_disabling_sod_inside_interval(self, engine):
+        engine.advance_time(12 * 3600)  # noon: interval 10:00-17:00
+        assert engine.disabling_sod_ok("Nurse")  # Doctor still enabled
+        engine.model.set_role_enabled("Doctor", False)
+        assert not engine.disabling_sod_ok("Nurse")
+
+    def test_disabling_sod_outside_interval(self, engine):
+        engine.model.set_role_enabled("Doctor", False)
+        assert engine.disabling_sod_ok("Nurse")  # midnight: no constraint
+
+    def test_duration_for_prefers_per_user(self, engine):
+        assert engine.duration_for("Programmer", "jane") == 500.0
+        assert engine.duration_for("Programmer", "bob") == 1000.0
+        assert engine.duration_for("Nurse", "bob") is None
+
+
+class TestContextHelpers:
+    def test_activation_context_defaults_unsatisfied(self, engine):
+        # 'network' unset -> EQ 'secure' is false
+        assert not engine.activation_context_ok("FileUser")
+        engine.context.set("network", "secure")
+        assert engine.activation_context_ok("FileUser")
+        assert engine.activation_context_ok("Nurse")  # unconstrained
+
+    def test_access_context_separate_family(self, engine):
+        engine.policy.context_constraints.append(ContextConstraint(
+            "FileUser", "network", ContextOp.EQ, "secure",
+            applies_to="access"))
+        engine.context.set("network", "insecure")
+        assert not engine.access_context_ok("FileUser")
+        engine.context.set("network", "secure")
+        assert engine.access_context_ok("FileUser")
+
+
+class TestCanActivateReasons:
+    def test_reason_strings(self, engine):
+        sid = engine.create_session("jane")
+        assert engine.can_activate("ghost", "Nurse") == (
+            False, "unknown session")
+        assert engine.can_activate(sid, "ghost") == (False, "unknown role")
+        ok, reason = engine.can_activate(sid, "Doctor")
+        assert not ok and reason == "prerequisite role not active"
+        engine.add_active_role(sid, "Nurse")
+        assert engine.can_activate(sid, "Doctor") == (True, "")
+        engine.add_active_role(sid, "Doctor")
+        assert engine.can_activate(sid, "Doctor") == (
+            False, "role already active in session")
+        ok, reason = engine.can_activate(sid, "Programmer")
+        assert not ok and reason == "Maximum Number of Roles Reached"
+
+    def test_locked_user_reason(self, engine):
+        sid = engine.create_session("bob")
+        engine.locked_users.add("bob")
+        ok, reason = engine.can_activate(sid, "Manager")
+        assert not ok and "locked" in reason
+
+    def test_disabled_role_reason(self, engine):
+        sid = engine.create_session("bob")
+        engine.model.set_role_enabled("Manager", False)
+        ok, reason = engine.can_activate(sid, "Manager")
+        assert not ok and reason == "role not enabled"
+
+    def test_unauthorized_reason(self, engine):
+        sid = engine.create_session("amy")
+        ok, reason = engine.can_activate(sid, "Manager")
+        assert not ok and reason == "Access Denied Cannot Activate"

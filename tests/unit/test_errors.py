@@ -1,0 +1,102 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_cls", [
+        errors.AdministrationError,
+        errors.AccessDenied,
+        errors.EventError,
+        errors.RuleError,
+        errors.PolicyError,
+        errors.SynthesisError,
+    ])
+    def test_all_families_derive_from_repro_error(self, error_cls):
+        assert issubclass(error_cls, errors.ReproError)
+
+    @pytest.mark.parametrize("error_cls", [
+        errors.ActivationDenied,
+        errors.DeactivationDenied,
+        errors.OperationDenied,
+        errors.DsdViolationError,
+        errors.CardinalityExceeded,
+        errors.RoleNotEnabledError,
+        errors.PrerequisiteNotMetError,
+        errors.SecurityLockout,
+    ])
+    def test_denials_are_access_denied(self, error_cls):
+        assert issubclass(error_cls, errors.AccessDenied)
+
+    def test_dsd_and_cardinality_are_activation_denials(self):
+        assert issubclass(errors.DsdViolationError,
+                          errors.ActivationDenied)
+        assert issubclass(errors.CardinalityExceeded,
+                          errors.ActivationDenied)
+
+    def test_ssd_violation_is_administrative(self):
+        assert issubclass(errors.SsdViolationError,
+                          errors.AdministrationError)
+        assert not issubclass(errors.SsdViolationError,
+                              errors.AccessDenied)
+
+
+class TestPayloads:
+    def test_access_denied_carries_rule(self):
+        error = errors.AccessDenied("no", rule="CA.checkAccess")
+        assert error.rule == "CA.checkAccess"
+        assert str(error) == "no"
+
+    def test_unknown_entity_errors_carry_names(self):
+        assert errors.UnknownUserError("bob").user == "bob"
+        assert errors.UnknownRoleError("PC").role == "PC"
+        assert errors.UnknownSessionError("s1").session_id == "s1"
+        assert errors.UnknownEventError("E1").name == "E1"
+        assert errors.UnknownRuleError("R1").name == "R1"
+
+    def test_hierarchy_cycle_carries_edge(self):
+        error = errors.HierarchyCycleError("a", "b")
+        assert (error.senior, error.junior) == ("a", "b")
+        assert "cycle" in str(error)
+
+    def test_ssd_violation_payload(self):
+        error = errors.SsdViolationError(
+            "bad", constraint="s1", user="bob",
+            roles=frozenset({"PC", "AC"}))
+        assert error.constraint == "s1"
+        assert error.user == "bob"
+        assert error.roles == frozenset({"PC", "AC"})
+
+    def test_policy_syntax_error_location(self):
+        error = errors.PolicySyntaxError("bad token", line=3, column=7)
+        assert error.line == 3 and error.column == 7
+        assert "line 3" in str(error)
+
+    def test_policy_syntax_error_without_location(self):
+        error = errors.PolicySyntaxError("bad")
+        assert "line" not in str(error)
+
+    def test_policy_validation_error_aggregates(self):
+        error = errors.PolicyValidationError(["first", "second"])
+        assert error.issues == ["first", "second"]
+        assert "first" in str(error) and "second" in str(error)
+
+    def test_unknown_permission_reprs_permission(self):
+        from repro.rbac.model import Permission
+        error = errors.UnknownPermissionError(Permission("read", "doc"))
+        assert "read" in str(error)
+
+
+class TestCatchability:
+    def test_one_base_catches_everything(self):
+        for error in (
+            errors.ActivationDenied("x"),
+            errors.HierarchyCycleError("a", "b"),
+            errors.PolicySyntaxError("x"),
+            errors.RuleCascadeError("x"),
+            errors.CalendarExpressionError("x"),
+        ):
+            with pytest.raises(errors.ReproError):
+                raise error

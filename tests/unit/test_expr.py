@@ -1,0 +1,166 @@
+"""Unit tests for the fluent event-expression builder."""
+
+import pytest
+
+from repro.clock import TimerService, VirtualClock
+from repro.events import EventDetector
+from repro.events.expr import (
+    E,
+    aperiodic,
+    aperiodic_star,
+    negation,
+    periodic,
+    periodic_star,
+)
+
+
+@pytest.fixture
+def det():
+    detector = EventDetector(TimerService(VirtualClock()))
+    for name in ("E1", "E2", "E3"):
+        detector.define_primitive(name)
+    return detector
+
+
+def collect(det, name):
+    hits = []
+    det.subscribe(name, hits.append)
+    return hits
+
+
+class TestOperators:
+    def test_or(self, det):
+        (E("E1") | E("E2")).define(det, "O")
+        hits = collect(det, "O")
+        det.raise_event("E1")
+        det.raise_event("E2")
+        assert len(hits) == 2
+
+    def test_or_chain_flattens(self, det):
+        expr = E("E1") | E("E2") | E("E3")
+        expr.define(det, "O")
+        hits = collect(det, "O")
+        for name in ("E1", "E2", "E3"):
+            det.raise_event(name)
+        assert len(hits) == 3
+        # flattened: exactly one composite defined
+        assert len(det) == 4
+
+    def test_and(self, det):
+        (E("E1") & E("E2")).define(det, "A")
+        hits = collect(det, "A")
+        det.raise_event("E2")
+        det.raise_event("E1")
+        assert len(hits) == 1
+
+    def test_sequence_shift_operator(self, det):
+        (E("E1") >> E("E2")).define(det, "S")
+        hits = collect(det, "S")
+        det.raise_event("E2")
+        det.raise_event("E1")
+        det.raise_event("E2")
+        assert len(hits) == 1
+
+    def test_then_method(self, det):
+        E("E1").then(E("E2")).define(det, "S")
+        hits = collect(det, "S")
+        det.raise_event("E1")
+        det.raise_event("E2")
+        assert len(hits) == 1
+
+    def test_plus(self, det):
+        E("E1").plus(100).define(det, "P")
+        hits = collect(det, "P")
+        det.raise_event("E1")
+        det.advance_time(100)
+        assert len(hits) == 1
+
+    def test_negation(self, det):
+        negation("E1", "E2", "E3").define(det, "N")
+        hits = collect(det, "N")
+        det.raise_event("E1")
+        det.raise_event("E3")
+        det.raise_event("E1")
+        det.raise_event("E2")
+        det.raise_event("E3")
+        assert len(hits) == 1
+
+    def test_aperiodic_and_star(self, det):
+        aperiodic("E1", "E2", "E3").define(det, "AP")
+        aperiodic_star("E1", "E2", "E3").define(det, "APS")
+        ap, aps = collect(det, "AP"), collect(det, "APS")
+        det.raise_event("E1")
+        det.raise_event("E2")
+        det.raise_event("E2")
+        det.raise_event("E3")
+        assert len(ap) == 2
+        assert len(aps) == 1
+
+    def test_periodic_and_star(self, det):
+        periodic("E1", 10.0, "E3").define(det, "PD")
+        periodic_star("E1", 10.0, "E3").define(det, "PS")
+        pd, ps = collect(det, "PD"), collect(det, "PS")
+        det.raise_event("E1")
+        det.advance_time(25.0)
+        det.raise_event("E3")
+        assert len(pd) == 2
+        assert len(ps) == 1 and ps[0].get("ticks") == 2
+
+
+class TestComposition:
+    def test_nested_expression_auto_names(self, det):
+        """SEQ(OR(E1,E2), E3): the OR gets a derived name."""
+        ((E("E1") | E("E2")) >> E("E3")).define(det, "root")
+        hits = collect(det, "root")
+        det.raise_event("E2")
+        det.raise_event("E3")
+        assert len(hits) == 1
+        assert "root#1" in det  # the anonymous OR
+
+    def test_paper_rule6_event_tree(self, det):
+        """The paper's ET4 = Aperiodic(Start, Aperiodic(DailyOpen,
+        OR(ET1, ET2), DailyClose), End) builds and detects."""
+        for name in ("ET1", "ET2", "DailyOpen", "DailyClose",
+                     "Start", "End"):
+            det.ensure_primitive(name)
+        et3 = E("ET1") | E("ET2")
+        et5 = aperiodic(E("DailyOpen"), et3, E("DailyClose"))
+        et4 = aperiodic(E("Start"), et5, E("End"))
+        et4.define(det, "ET4")
+        hits = collect(det, "ET4")
+        det.raise_event("ET1")          # both windows closed: nothing
+        det.raise_event("Start")        # outer window opens
+        det.raise_event("ET1")          # inner window closed: nothing
+        assert hits == []
+        det.raise_event("DailyOpen")    # inner window opens
+        det.raise_event("ET1")          # inside both windows
+        det.raise_event("ET2")
+        assert len(hits) == 2
+        det.raise_event("DailyClose")
+        det.raise_event("ET2")          # inner closed again
+        assert len(hits) == 2
+        det.raise_event("End")
+
+    def test_string_coercion(self, det):
+        ("E1" | E("E2")) if False else (E("E1") | "E2")
+        expr = E("E1") | "E2"
+        expr.define(det, "O")
+        hits = collect(det, "O")
+        det.raise_event("E2")
+        assert len(hits) == 1
+
+    def test_primitives_created_on_demand(self, det):
+        (E("fresh1") >> E("fresh2")).define(det, "S")
+        assert "fresh1" in det and "fresh2" in det
+
+    def test_leaf_cannot_be_renamed(self, det):
+        with pytest.raises(ValueError):
+            E("E1").define(det, "alias")
+
+    def test_leaf_define_under_own_name(self, det):
+        assert E("E9").define(det, "E9") == "E9"
+        assert "E9" in det
+
+    def test_type_error_on_bad_operand(self, det):
+        with pytest.raises(TypeError):
+            E("E1") | 42  # type: ignore[operator]

@@ -1,0 +1,170 @@
+"""Unit tests for rule generation from policy (templates + generator)."""
+
+import pytest
+
+from repro import ActiveRBACEngine, parse_policy
+from repro.rules.rule import Granularity, RuleClass
+
+
+def engine_for(policy_text):
+    return ActiveRBACEngine.from_policy(parse_policy(policy_text))
+
+
+class TestGlobalRules:
+    def test_global_rules_present_in_empty_policy(self):
+        engine = ActiveRBACEngine()
+        names = {rule.name for rule in engine.rules}
+        assert {"GR.createSession", "GR.deleteSession", "GR.assignUser",
+                "GR.deassignUser", "CA.checkAccess"} <= names
+
+    def test_global_rules_globalized_taxonomy(self):
+        engine = ActiveRBACEngine()
+        for rule in engine.rules:
+            assert rule.granularity is Granularity.GLOBALIZED
+        assert engine.rules.get("GR.assignUser").classification \
+            is RuleClass.ADMINISTRATIVE
+        assert engine.rules.get("CA.checkAccess").classification \
+            is RuleClass.ACTIVITY_CONTROL
+
+
+class TestAarVariants:
+    def test_aar1_core(self):
+        engine = engine_for("policy p { role Solo; }")
+        assert "AAR1.Solo" in engine.rules
+        text = engine.rules.get("AAR1.Solo").render()
+        assert "checkAssignedSolo" in text
+        assert "checkDynamicSoDSet" not in text
+
+    def test_aar2_hierarchy(self):
+        engine = engine_for(
+            "policy p { role A; role B; hierarchy A > B; }")
+        assert "AAR2.A" in engine.rules
+        assert "checkAuthorizationA" in engine.rules.get("AAR2.A").render()
+
+    def test_aar3_dsd_only(self):
+        engine = engine_for(
+            "policy p { role A; role B; dsd d roles A, B; }")
+        rule = engine.rules.get("AAR3.A")
+        text = rule.render()
+        assert "checkDynamicSoDSet" in text
+        assert "checkAssignedA" in text
+
+    def test_aar4_dsd_with_hierarchy(self):
+        engine = engine_for("""
+        policy p { role A; role B; role C;
+                   hierarchy A > C; dsd d roles A, B; }""")
+        text = engine.rules.get("AAR4.A").render()
+        assert "checkAuthorizationA" in text
+        assert "checkDynamicSoDSet" in text
+
+    def test_ssd_alone_uses_aar1(self):
+        # static SoD is enforced at assignment; activation uses AAR1/AAR2
+        engine = engine_for(
+            "policy p { role A; role B; ssd s roles A, B; }")
+        assert "AAR1.A" in engine.rules
+
+
+class TestPerRoleRuleSet:
+    def test_standard_rule_suite_per_role(self):
+        engine = engine_for("policy p { role A; }")
+        for name in ("AAR1.A", "CC.A", "DAR.A", "ER.A", "DR.A"):
+            assert name in engine.rules, name
+
+    def test_rules_tagged_with_role(self):
+        engine = engine_for("policy p { role A; }")
+        tagged = engine.rules.by_tags(**{"role:A": "1"})
+        assert len(tagged) == 5
+
+    def test_role_events_defined(self):
+        engine = engine_for("policy p { role A; }")
+        for prefix in ("addActiveRole", "addSessionRole", "roleActivated",
+                       "dropActiveRole", "roleDeactivated", "enableRole",
+                       "disableRole", "roleEnabled", "roleDisabled"):
+            assert f"{prefix}.A" in engine.detector
+
+    def test_duration_creates_plus_event_and_tsod_rule(self):
+        engine = engine_for(
+            "policy p { role R3; duration R3 7200; }")
+        assert "durationExpired.R3" in engine.detector
+        assert "TSOD.R3" in engine.rules
+        assert engine.rules.get("TSOD.R3").granularity \
+            is Granularity.LOCALIZED
+
+    def test_per_user_duration_specialized(self):
+        engine = engine_for("""
+        policy p { role R3; user bob; duration R3 7200 for bob; }""")
+        assert "durationExpired.R3.bob" in engine.detector
+        rule = engine.rules.get("TSOD.R3.bob")
+        assert rule.granularity is Granularity.SPECIALIZED
+
+    def test_anchor_cleanup_rule_tagged_cross_role(self):
+        engine = engine_for("""
+        policy p { role JuniorEmp; role Manager;
+                   transaction JuniorEmp during Manager; }""")
+        rule = engine.rules.get("ASEC.Manager")
+        assert rule.classification is RuleClass.ACTIVE_SECURITY
+        assert rule.matches_tags(**{"role:Manager": "1"})
+        assert rule.matches_tags(**{"role:JuniorEmp": "1"})
+
+    def test_disable_rule_tagged_with_sod_partners(self):
+        engine = engine_for("""
+        policy p { role Nurse; role Doctor;
+                   disabling_sod cov roles Nurse, Doctor
+                       daily 10:00 to 17:00; }""")
+        rule = engine.rules.get("DR.Nurse")
+        assert rule.matches_tags(**{"role:Doctor": "1"})
+
+    def test_generation_is_idempotent_by_name(self):
+        engine = engine_for("policy p { role A; }")
+        before = len(engine.rules)
+        added = engine.generator.generate_role_rules("A")
+        assert added == []
+        assert len(engine.rules) == before
+
+
+class TestRemoveRoleRules:
+    def test_remove_retires_rules_and_composites(self):
+        engine = engine_for(
+            "policy p { role R3; duration R3 7200; }")
+        removed = engine.generator.remove_role_rules("R3")
+        assert "TSOD.R3" in removed
+        assert "durationExpired.R3" not in engine.detector
+        assert engine.rules.by_tags(**{"role:R3": "1"}) == []
+
+    def test_remove_cancels_window_timers(self):
+        engine = engine_for("""
+        policy p { role D; enable D daily 08:00 to 16:00; }""")
+        pending_before = len(engine.timers)
+        assert pending_before >= 1
+        engine.generator.remove_role_rules("D")
+        assert len(engine.timers) == pending_before - 1
+
+    def test_dynamic_add_role_generates_rules(self):
+        engine = ActiveRBACEngine()
+        engine.add_role("New")
+        assert "AAR1.New" in engine.rules
+        assert "addActiveRole.New" in engine.detector
+
+    def test_delete_role_removes_rules(self):
+        engine = engine_for("policy p { role A; }")
+        engine.delete_role("A")
+        assert engine.rules.by_tags(**{"role:A": "1"}) == []
+        assert "A" not in engine.model.roles
+
+
+class TestRuleRendering:
+    def test_pool_renders_paper_style(self):
+        engine = engine_for("policy p { role R1; }")
+        text = engine.rules.render_pool()
+        assert "RULE [ AAR1.R1" in text
+        assert "user IN userL" in text
+        assert "Access Denied Cannot Activate" in text
+
+    def test_rule_counts_scale_with_constraints(self):
+        plain = engine_for("policy p { role A; }")
+        rich = engine_for("""
+        policy p { role A; user u;
+                   duration A 100; duration A 50 for u; }""")
+        plain_count = len(plain.rules.by_tags(**{"role:A": "1"}))
+        rich_count = len(rich.rules.by_tags(**{"role:A": "1"}))
+        assert rich_count == plain_count + 2  # two TSOD rules

@@ -1,0 +1,78 @@
+"""Unit tests for the access-specification graph (Figure 1)."""
+
+import pytest
+
+from repro.policy.dsl import parse_policy
+from repro.policy.graph import PolicyGraph
+
+XYZ = """
+policy XYZ {
+  role Clerk; role PC; role PM; role AC; role AM;
+  hierarchy PM > PC > Clerk;
+  hierarchy AM > AC > Clerk;
+  ssd PurchaseApproval roles PC, AC;
+}
+"""
+
+
+@pytest.fixture
+def graph():
+    return PolicyGraph(parse_policy(XYZ))
+
+
+class TestFigureOneStructure:
+    def test_one_node_per_role(self, graph):
+        assert set(graph.nodes) == {"Clerk", "PC", "PM", "AC", "AM"}
+
+    def test_subscriber_pointers_child_to_parent(self, graph):
+        """'Each node has an internal subscriber list that is used to
+        point to the parent node.'"""
+        assert graph.node("PC").subscribers == ["PM"]
+        assert sorted(graph.node("Clerk").subscribers) == ["AC", "PC"]
+        assert graph.node("PM").subscribers == []
+
+    def test_children_solid_edges(self, graph):
+        assert graph.node("PM").children == ["PC"]
+        assert graph.node("PC").children == ["Clerk"]
+
+    def test_ssd_dashed_edges(self, graph):
+        assert graph.node("PC").ssd_partners == ["AC"]
+        assert graph.node("AC").ssd_partners == ["PC"]
+        assert graph.node("PM").ssd_partners == []
+
+    def test_flags_set_from_relationships(self, graph):
+        pc_flags = graph.node("PC").flags
+        assert pc_flags["hierarchy"] and pc_flags["static_sod"]
+        pm_flags = graph.node("PM").flags
+        assert pm_flags["hierarchy"] and not pm_flags["static_sod"]
+
+    def test_ssd_flag_propagates_bottom_up(self, graph):
+        """'PM inherits the static SoD constraints from PC' — the
+        propagation walks the subscriber pointers upward."""
+        assert graph.node("PM").flags.get("static_sod_inherited")
+        assert graph.node("AM").flags.get("static_sod_inherited")
+        assert not graph.node("Clerk").flags.get("static_sod_inherited")
+
+    def test_roots(self, graph):
+        assert graph.roots() == ["AM", "PM"]
+
+    def test_effective_ssd_partners_inherited(self, graph):
+        """A user assigned PM is authorized for PC, so PM conflicts
+        with AC (and AM with PC)."""
+        assert graph.effective_ssd_partners("PM") == {"AC"}
+        assert graph.effective_ssd_partners("AM") == {"PC"}
+        assert graph.effective_ssd_partners("Clerk") == set()
+
+    def test_render_mentions_structure(self, graph):
+        text = graph.render()
+        assert "5 role node(s)" in text
+        assert "PM -> PC" in text
+        assert "ssd PurchaseApproval" in text
+        assert "(dashed)" in text
+
+    def test_node_describe(self, graph):
+        text = graph.node("PC").describe()
+        assert "node PC" in text
+        assert "hierarchy" in text
+        assert "parents->PM" in text
+        assert "ssd--AC" in text

@@ -1,0 +1,141 @@
+"""Unit tests for role hierarchies (partial order of seniority)."""
+
+import pytest
+
+from repro.errors import (
+    HierarchyCycleError,
+    HierarchyError,
+    LimitedHierarchyError,
+)
+from repro.rbac.hierarchy import RoleHierarchy
+
+
+@pytest.fixture
+def xyz():
+    """PM > PC > Clerk and AM > AC > Clerk (enterprise XYZ, Figure 1)."""
+    hierarchy = RoleHierarchy()
+    for role in ("PM", "PC", "AM", "AC", "Clerk"):
+        hierarchy.add_role(role)
+    hierarchy.add_inheritance("PM", "PC")
+    hierarchy.add_inheritance("PC", "Clerk")
+    hierarchy.add_inheritance("AM", "AC")
+    hierarchy.add_inheritance("AC", "Clerk")
+    return hierarchy
+
+
+class TestEdges:
+    def test_immediate_relations(self, xyz):
+        assert xyz.immediate_juniors("PM") == {"PC"}
+        assert xyz.immediate_seniors("Clerk") == {"PC", "AC"}
+
+    def test_self_loop_rejected(self, xyz):
+        with pytest.raises(HierarchyCycleError):
+            xyz.add_inheritance("PM", "PM")
+
+    def test_cycle_rejected(self, xyz):
+        with pytest.raises(HierarchyCycleError):
+            xyz.add_inheritance("Clerk", "PM")
+
+    def test_long_cycle_rejected(self):
+        hierarchy = RoleHierarchy()
+        for role in "abcd":
+            hierarchy.add_role(role)
+        hierarchy.add_inheritance("a", "b")
+        hierarchy.add_inheritance("b", "c")
+        hierarchy.add_inheritance("c", "d")
+        with pytest.raises(HierarchyCycleError):
+            hierarchy.add_inheritance("d", "a")
+
+    def test_duplicate_edge_rejected(self, xyz):
+        with pytest.raises(HierarchyError):
+            xyz.add_inheritance("PM", "PC")
+
+    def test_unknown_role_rejected(self, xyz):
+        with pytest.raises(HierarchyError):
+            xyz.add_inheritance("PM", "ghost")
+
+    def test_delete_inheritance(self, xyz):
+        xyz.delete_inheritance("PM", "PC")
+        assert "PC" not in xyz.juniors("PM")
+        with pytest.raises(HierarchyError):
+            xyz.delete_inheritance("PM", "PC")
+
+    def test_delete_requires_immediate_edge(self, xyz):
+        # PM >> Clerk holds transitively but is not an immediate edge
+        with pytest.raises(HierarchyError):
+            xyz.delete_inheritance("PM", "Clerk")
+
+    def test_edges_sorted(self, xyz):
+        assert xyz.edges() == [("AC", "Clerk"), ("AM", "AC"),
+                               ("PC", "Clerk"), ("PM", "PC")]
+
+
+class TestClosures:
+    def test_juniors_transitive(self, xyz):
+        assert xyz.juniors("PM") == {"PC", "Clerk"}
+        assert xyz.juniors("Clerk") == set()
+
+    def test_seniors_transitive(self, xyz):
+        assert xyz.seniors("Clerk") == {"PC", "PM", "AC", "AM"}
+        assert xyz.seniors("PM") == set()
+
+    def test_inclusive_variants(self, xyz):
+        assert "PM" in xyz.seniors_inclusive("PM")
+        assert "Clerk" in xyz.juniors_inclusive("Clerk")
+
+    def test_is_senior(self, xyz):
+        assert xyz.is_senior("PM", "Clerk")
+        assert not xyz.is_senior("Clerk", "PM")
+        assert not xyz.is_senior("PM", "AM")
+        assert not xyz.is_senior("PM", "PM")  # strict
+
+    def test_diamond_shape(self):
+        hierarchy = RoleHierarchy()
+        for role in ("top", "left", "right", "bottom"):
+            hierarchy.add_role(role)
+        hierarchy.add_inheritance("top", "left")
+        hierarchy.add_inheritance("top", "right")
+        hierarchy.add_inheritance("left", "bottom")
+        hierarchy.add_inheritance("right", "bottom")
+        assert hierarchy.juniors("top") == {"left", "right", "bottom"}
+        assert hierarchy.seniors("bottom") == {"left", "right", "top"}
+
+
+class TestRemoval:
+    def test_remove_role_detaches_edges(self, xyz):
+        xyz.remove_role("PC")
+        assert "PC" not in xyz
+        assert xyz.juniors("PM") == set()
+        assert "PC" not in xyz.seniors("Clerk")
+
+    def test_removed_role_queries_raise(self, xyz):
+        xyz.remove_role("PC")
+        with pytest.raises(HierarchyError):
+            xyz.juniors("PC")
+
+
+class TestLimitedHierarchy:
+    def test_single_immediate_descendant_enforced(self):
+        hierarchy = RoleHierarchy(limited=True)
+        for role in ("a", "b", "c"):
+            hierarchy.add_role(role)
+        hierarchy.add_inheritance("a", "b")
+        with pytest.raises(LimitedHierarchyError):
+            hierarchy.add_inheritance("a", "c")
+
+    def test_chains_allowed(self):
+        hierarchy = RoleHierarchy(limited=True)
+        for role in ("a", "b", "c"):
+            hierarchy.add_role(role)
+        hierarchy.add_inheritance("a", "b")
+        hierarchy.add_inheritance("b", "c")
+        assert hierarchy.juniors("a") == {"b", "c"}
+
+    def test_multiple_parents_allowed_in_limited_mode(self):
+        # limited restricts descendants (inverted tree), not ascendants
+        hierarchy = RoleHierarchy(limited=True)
+        for role in ("a", "b", "c"):
+            hierarchy.add_role(role)
+        hierarchy.add_inheritance("a", "c")
+        hierarchy.add_inheritance("b", "c")
+        assert hierarchy.immediate_seniors("c") == {"a", "b"}

@@ -1,0 +1,140 @@
+"""Unit tests for the ANSI review functions and rule-condition predicates."""
+
+import pytest
+
+from repro.rbac.model import Permission, RBACModel
+
+
+@pytest.fixture
+def model():
+    """Enterprise XYZ shape with assignments and one session."""
+    m = RBACModel()
+    for user in ("bob", "carol", "dave"):
+        m.add_user(user)
+    for role in ("PM", "PC", "AM", "AC", "Clerk"):
+        m.add_role(role)
+    m.add_inheritance("PM", "PC")
+    m.add_inheritance("PC", "Clerk")
+    m.add_inheritance("AM", "AC")
+    m.add_inheritance("AC", "Clerk")
+    m.add_permission("create", "purchase_order")
+    m.add_permission("approve", "purchase_order")
+    m.add_permission("read", "ledger")
+    m.grant_permission("PC", "create", "purchase_order")
+    m.grant_permission("AC", "approve", "purchase_order")
+    m.grant_permission("Clerk", "read", "ledger")
+    m.assign_user("bob", "PM")
+    m.assign_user("carol", "AC")
+    m.assign_user("dave", "Clerk")
+    m.create_session_record("s1", "bob")
+    m.add_session_role_record("s1", "PM")
+    return m
+
+
+class TestReviewFunctions:
+    def test_assigned_users(self, model):
+        assert model.assigned_users("PM") == {"bob"}
+        assert model.assigned_users("Clerk") == {"dave"}
+
+    def test_authorized_users_includes_seniors_members(self, model):
+        # junior roles acquire the user membership of their seniors
+        assert model.authorized_users("Clerk") == {"bob", "carol", "dave"}
+        assert model.authorized_users("PC") == {"bob"}
+        assert model.authorized_users("AM") == set()
+
+    def test_assigned_roles(self, model):
+        assert model.assigned_roles("bob") == {"PM"}
+
+    def test_authorized_roles_includes_juniors(self, model):
+        assert model.authorized_roles("bob") == {"PM", "PC", "Clerk"}
+        assert model.authorized_roles("dave") == {"Clerk"}
+
+    def test_user_permissions_via_hierarchy(self, model):
+        perms = model.user_permissions("bob")
+        assert Permission("create", "purchase_order") in perms
+        assert Permission("read", "ledger") in perms
+        assert Permission("approve", "purchase_order") not in perms
+
+    def test_session_permissions_from_active_roles(self, model):
+        perms = model.session_permissions("s1")
+        assert Permission("create", "purchase_order") in perms
+        assert Permission("read", "ledger") in perms
+
+    def test_session_permissions_empty_when_no_roles(self, model):
+        model.create_session_record("s2", "carol")
+        assert model.session_permissions("s2") == set()
+
+    def test_user_sessions(self, model):
+        assert model.user_sessions("bob") == {"s1"}
+        assert model.user_sessions("carol") == set()
+
+    def test_role_operations_on_object(self, model):
+        assert model.role_operations_on_object("PM", "purchase_order") == \
+            {"create"}
+        assert model.role_operations_on_object("PM", "ledger") == {"read"}
+        assert model.role_operations_on_object("AC", "purchase_order") == \
+            {"approve"}
+
+    def test_user_operations_on_object(self, model):
+        assert model.user_operations_on_object("carol", "purchase_order") \
+            == {"approve"}
+        assert model.user_operations_on_object("dave", "purchase_order") \
+            == set()
+
+
+class TestRulePredicates:
+    def test_is_authorized_via_senior_assignment(self, model):
+        assert model.is_authorized("bob", "PC")
+        assert model.is_authorized("bob", "PM")
+        assert not model.is_authorized("bob", "AC")
+        assert not model.is_authorized("dave", "PC")
+
+    def test_is_assigned_is_direct_only(self, model):
+        assert model.is_assigned("bob", "PM")
+        assert not model.is_assigned("bob", "PC")
+
+    def test_role_has_permission_hierarchical(self, model):
+        assert model.role_has_permission("PM", "create", "purchase_order")
+        assert model.role_has_permission("PM", "read", "ledger")
+        assert not model.role_has_permission("PM", "approve",
+                                             "purchase_order")
+
+    def test_session_can_perform(self, model):
+        assert model.session_can_perform("s1", "create", "purchase_order")
+        assert not model.session_can_perform("s1", "approve",
+                                             "purchase_order")
+        assert not model.session_can_perform("ghost", "read", "ledger")
+
+    def test_dsd_allows_activation(self, model):
+        model.create_dsd_set("d", {"PM", "AM"}, 2)
+        assert model.dsd_allows_activation("s1", "PC")
+        assert not model.dsd_allows_activation("s1", "AM")
+        assert not model.dsd_allows_activation("ghost", "PC")
+
+    def test_is_user_is_session(self, model):
+        assert model.is_user("bob") and not model.is_user("ghost")
+        assert model.is_session("s1") and not model.is_session("ghost")
+
+    def test_is_active_in_session(self, model):
+        assert model.is_active_in_session("s1", "PM")
+        assert not model.is_active_in_session("s1", "PC")
+        assert not model.is_active_in_session("ghost", "PM")
+
+
+class TestAdvancedPermissionReview:
+    def test_roles_with_permission_includes_seniors(self, model):
+        roles = model.roles_with_permission("create", "purchase_order")
+        assert roles == {"PC", "PM"}
+
+    def test_roles_with_permission_bottom_grant(self, model):
+        roles = model.roles_with_permission("read", "ledger")
+        assert roles == {"Clerk", "PC", "PM", "AC", "AM"}
+
+    def test_roles_with_unknown_permission_empty(self, model):
+        assert model.roles_with_permission("fly", "moon") == set()
+
+    def test_users_with_permission(self, model):
+        users = model.users_with_permission("create", "purchase_order")
+        assert users == {"bob"}
+        everyone = model.users_with_permission("read", "ledger")
+        assert everyone == {"bob", "carol", "dave"}

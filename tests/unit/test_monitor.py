@@ -1,0 +1,246 @@
+"""Unit tests for the active security monitor (thresholds and reactions)."""
+
+import pytest
+
+from repro import ActiveRBACEngine, parse_policy
+from repro.security.monitor import SecurityAlert, ThresholdPolicy
+
+POLICY = """
+policy monitored {
+  role Guard; role Secret;
+  user mallory; user alice;
+  assign alice to Guard;
+  permission read on vault;
+  grant read on vault to Guard;
+}
+"""
+
+
+@pytest.fixture
+def engine():
+    return ActiveRBACEngine.from_policy(parse_policy(POLICY))
+
+
+class TestThresholdPolicyValidation:
+    def test_valid_policy(self):
+        policy = ThresholdPolicy(name="p", threshold=3, window=10.0)
+        assert "3" in policy.describe()
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdPolicy(name="p", event="somethingElse")
+
+    def test_nonpositive_values_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdPolicy(name="p", threshold=0)
+        with pytest.raises(ValueError):
+            ThresholdPolicy(name="p", window=0.0)
+
+    def test_tags_helper_shape(self):
+        frozen = ThresholdPolicy.tags({"kind": "checkAccess"},
+                                      {"role:PC": "1"})
+        assert frozen == ((("kind", "checkAccess"),), (("role:PC", "1"),))
+
+
+class TestCounting:
+    def test_alert_fires_at_threshold_within_window(self, engine):
+        engine.monitor.add_policy(ThresholdPolicy(
+            name="probe", threshold=3, window=60.0, group_by="user"))
+        sid = engine.create_session("mallory")
+        for _ in range(2):
+            assert not engine.check_access(sid, "read", "vault")
+        assert engine.monitor.alerts == []
+        assert not engine.check_access(sid, "read", "vault")
+        assert len(engine.monitor.alerts) == 1
+        alert = engine.monitor.alerts[0]
+        assert alert.policy == "probe"
+        assert alert.group == "mallory"
+
+    def test_denials_outside_window_do_not_accumulate(self, engine):
+        engine.monitor.add_policy(ThresholdPolicy(
+            name="probe", threshold=3, window=60.0, group_by="user"))
+        sid = engine.create_session("mallory")
+        engine.check_access(sid, "read", "vault")
+        engine.advance_time(61.0)
+        engine.check_access(sid, "read", "vault")
+        engine.advance_time(61.0)
+        engine.check_access(sid, "read", "vault")
+        assert engine.monitor.alerts == []
+
+    def test_groups_counted_independently(self, engine):
+        engine.monitor.add_policy(ThresholdPolicy(
+            name="probe", threshold=3, window=60.0, group_by="user"))
+        mallory = engine.create_session("mallory")
+        alice = engine.create_session("alice")
+        engine.check_access(mallory, "read", "vault")
+        engine.check_access(mallory, "read", "vault")
+        engine.check_access(alice, "write", "vault")  # different group
+        assert engine.monitor.alerts == []
+        assert engine.monitor.window_count("probe", "mallory") == 2
+        assert engine.monitor.window_count("probe", "alice") == 1
+
+    def test_window_rearms_after_alert(self, engine):
+        engine.monitor.add_policy(ThresholdPolicy(
+            name="probe", threshold=2, window=60.0, group_by="user"))
+        sid = engine.create_session("mallory")
+        engine.check_access(sid, "read", "vault")
+        engine.check_access(sid, "read", "vault")
+        assert len(engine.monitor.alerts) == 1
+        engine.check_access(sid, "read", "vault")
+        assert len(engine.monitor.alerts) == 1  # count restarted
+        engine.check_access(sid, "read", "vault")
+        assert len(engine.monitor.alerts) == 2
+
+    def test_global_grouping(self, engine):
+        engine.monitor.add_policy(ThresholdPolicy(
+            name="any", threshold=2, window=60.0, group_by=None))
+        mallory = engine.create_session("mallory")
+        alice = engine.create_session("alice")
+        engine.check_access(mallory, "read", "vault")
+        engine.check_access(alice, "write", "vault")
+        assert len(engine.monitor.alerts) == 1
+
+
+class TestReactions:
+    def test_lock_user_reaction(self, engine):
+        engine.monitor.add_policy(ThresholdPolicy(
+            name="probe", threshold=2, window=60.0, group_by="user",
+            lock_users=True))
+        sid = engine.create_session("mallory")
+        engine.check_access(sid, "read", "vault")
+        engine.check_access(sid, "read", "vault")
+        assert "mallory" in engine.locked_users
+        assert sid not in engine.model.sessions  # sessions destroyed
+        # further sessions refused
+        from repro.errors import SecurityLockout
+        with pytest.raises(SecurityLockout):
+            engine.create_session("mallory")
+
+    def test_lockout_expires(self, engine):
+        engine.monitor.add_policy(ThresholdPolicy(
+            name="probe", threshold=2, window=60.0, group_by="user",
+            lock_users=True, lockout_duration=300.0))
+        sid = engine.create_session("mallory")
+        engine.check_access(sid, "read", "vault")
+        engine.check_access(sid, "read", "vault")
+        assert "mallory" in engine.locked_users
+        engine.advance_time(301.0)
+        assert "mallory" not in engine.locked_users
+        engine.create_session("mallory")  # allowed again
+
+    def test_disable_rules_reaction_blocks_access(self, engine):
+        engine.monitor.add_policy(ThresholdPolicy(
+            name="shutdown", threshold=2, window=60.0, group_by=None,
+            disable_rule_tags=ThresholdPolicy.tags(
+                {"kind": "checkAccess"})))
+        mallory = engine.create_session("mallory")
+        alice = engine.create_session("alice")
+        engine.add_active_role(alice, "Guard")
+        assert engine.check_access(alice, "read", "vault")
+        engine.check_access(mallory, "read", "vault")
+        engine.check_access(mallory, "read", "vault")
+        # the CA rule is now disabled: the engine fails closed even for
+        # the legitimate user ("block access requests")
+        assert not engine.check_access(alice, "read", "vault")
+
+    def test_disable_rules_reenabled_after_lockout(self, engine):
+        engine.monitor.add_policy(ThresholdPolicy(
+            name="shutdown", threshold=2, window=60.0, group_by=None,
+            disable_rule_tags=ThresholdPolicy.tags({"kind": "checkAccess"}),
+            lockout_duration=120.0))
+        alice = engine.create_session("alice")
+        engine.add_active_role(alice, "Guard")
+        mallory = engine.create_session("mallory")
+        engine.check_access(mallory, "read", "vault")
+        engine.check_access(mallory, "read", "vault")
+        assert not engine.check_access(alice, "read", "vault")
+        engine.advance_time(121.0)
+        assert engine.check_access(alice, "read", "vault")
+
+    def test_deactivate_roles_reaction(self, engine):
+        engine.monitor.add_policy(ThresholdPolicy(
+            name="evict", threshold=2, window=60.0, group_by=None,
+            deactivate_roles=("Guard",)))
+        alice = engine.create_session("alice")
+        engine.add_active_role(alice, "Guard")
+        mallory = engine.create_session("mallory")
+        engine.check_access(mallory, "read", "vault")
+        engine.check_access(mallory, "read", "vault")
+        assert "Guard" not in engine.model.session_roles(alice)
+
+    def test_admin_channel_notified(self, engine):
+        engine.monitor.add_policy(ThresholdPolicy(
+            name="probe", threshold=1, window=60.0, group_by="user"))
+        notified: list[SecurityAlert] = []
+        engine.monitor.notify_admins(notified.append)
+        sid = engine.create_session("mallory")
+        engine.check_access(sid, "read", "vault")
+        assert len(notified) == 1
+        assert notified[0].policy == "probe"
+
+    def test_alert_raises_security_event_for_further_rules(self, engine):
+        engine.monitor.add_policy(ThresholdPolicy(
+            name="probe", threshold=1, window=60.0, group_by="user"))
+        seen = []
+        engine.detector.subscribe("securityAlert",
+                                  lambda occurrence: seen.append(
+                                      occurrence.get("policy")))
+        sid = engine.create_session("mallory")
+        engine.check_access(sid, "read", "vault")
+        assert seen == ["probe"]
+
+    def test_alert_recorded_in_audit(self, engine):
+        engine.monitor.add_policy(ThresholdPolicy(
+            name="probe", threshold=1, window=60.0, group_by="user"))
+        sid = engine.create_session("mallory")
+        engine.check_access(sid, "read", "vault")
+        alerts = engine.audit.by_kind("security.alert")
+        assert len(alerts) == 1
+        assert alerts[0].detail["policy"] == "probe"
+
+    def test_activation_denials_counted_separately(self, engine):
+        engine.monitor.add_policy(ThresholdPolicy(
+            name="act", event="activationDenied", threshold=2,
+            window=60.0, group_by="user"))
+        sid = engine.create_session("mallory")
+        from repro.errors import ActivationDenied
+        for _ in range(2):
+            with pytest.raises(ActivationDenied):
+                engine.add_active_role(sid, "Secret")
+        assert len(engine.monitor.alerts) == 1
+
+
+class TestGroupingDimensions:
+    def test_group_by_object(self, engine):
+        """Paper §1: 'access requests ... for some files' — the counter
+        can key on the object parameter."""
+        engine.monitor.add_policy(ThresholdPolicy(
+            name="hotfile", threshold=2, window=60.0, group_by="object"))
+        mallory = engine.create_session("mallory")
+        alice = engine.create_session("alice")
+        # two different users probing the same object trip the alert
+        engine.check_access(mallory, "read", "vault")
+        engine.check_access(alice, "write", "vault")
+        assert len(engine.monitor.alerts) == 1
+        assert engine.monitor.alerts[0].group == "vault"
+
+    def test_group_by_role_on_activation_denials(self, engine):
+        engine.monitor.add_policy(ThresholdPolicy(
+            name="hotrole", event="activationDenied", threshold=2,
+            window=60.0, group_by="role"))
+        from repro.errors import ActivationDenied
+        mallory = engine.create_session("mallory")
+        alice = engine.create_session("alice")
+        for sid in (mallory, alice):
+            with pytest.raises(ActivationDenied):
+                engine.add_active_role(sid, "Secret")
+        assert len(engine.monitor.alerts) == 1
+        assert engine.monitor.alerts[0].group == "Secret"
+
+    def test_missing_group_parameter_counts_as_none_group(self, engine):
+        engine.monitor.add_policy(ThresholdPolicy(
+            name="odd", threshold=1, window=60.0,
+            group_by="nonexistent_param"))
+        sid = engine.create_session("mallory")
+        engine.check_access(sid, "read", "vault")
+        assert engine.monitor.alerts[0].group is None

@@ -1,0 +1,75 @@
+"""Unit tests for event occurrences and parameter merging."""
+
+import pytest
+
+from repro.clock import Timestamp
+from repro.events.occurrence import Occurrence, compose, merge_params
+
+
+def occ(name, start, end=None, **params):
+    start_ts = Timestamp(start, int(start * 10))
+    end_ts = Timestamp(end if end is not None else start,
+                       int((end if end is not None else start) * 10) + 1)
+    return Occurrence(name, start_ts, end_ts, params)
+
+
+class TestOccurrence:
+    def test_primitive_has_no_constituents(self):
+        event = occ("E1", 1.0, user="bob")
+        assert event.is_primitive
+        assert event["user"] == "bob"
+        assert "user" in event
+        assert event.get("missing", 42) == 42
+
+    def test_interval_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            Occurrence("bad", Timestamp(5.0, 1), Timestamp(1.0, 0))
+
+    def test_leaves_of_primitive_is_itself(self):
+        event = occ("E1", 1.0)
+        assert list(event.leaves()) == [event]
+
+    def test_leaves_of_composite_in_order(self):
+        left = occ("E1", 1.0)
+        right = occ("E2", 2.0)
+        parent = compose("S", (left, right), Timestamp(2.0, 5))
+        assert [leaf.event for leaf in parent.leaves()] == ["E1", "E2"]
+
+    def test_describe_mentions_params(self):
+        event = occ("E1", 1.0, user="bob")
+        assert "E1" in event.describe()
+        assert "user='bob'" in event.describe()
+
+
+class TestMergeParams:
+    def test_later_occurrence_wins(self):
+        early = occ("E1", 1.0, who="early", only_early=1)
+        late = occ("E2", 2.0, who="late")
+        merged = merge_params(early, late)
+        assert merged == {"who": "late", "only_early": 1}
+
+    def test_merge_is_event_time_ordered_not_arg_ordered(self):
+        early = occ("E1", 1.0, who="early")
+        late = occ("E2", 2.0, who="late")
+        assert merge_params(late, early)["who"] == "late"
+
+
+class TestCompose:
+    def test_interval_spans_constituents(self):
+        left = occ("E1", 1.0)
+        right = occ("E2", 5.0)
+        detection = Timestamp(5.0, 99)
+        parent = compose("S", (left, right), detection)
+        assert parent.start == left.start
+        assert parent.end == detection
+        assert not parent.is_primitive
+
+    def test_requires_constituents(self):
+        with pytest.raises(ValueError):
+            compose("S", (), Timestamp(0.0))
+
+    def test_params_merged(self):
+        left = occ("E1", 1.0, a=1)
+        right = occ("E2", 2.0, b=2)
+        parent = compose("S", (left, right), Timestamp(2.0, 9))
+        assert parent.flatten() == {"a": 1, "b": 2}

@@ -1,0 +1,192 @@
+"""Unit tests: operator x consumption-mode matrix and edge cases.
+
+The main operator tests cover RECENT (the default); this module pins
+the semantics of SEQUENCE and AND under every context, plus edge cases
+(zero-delta PLUS, reopened PERIODIC windows, NOT under chronicle,
+interval nesting).
+"""
+
+import pytest
+
+from repro.clock import TimerService, VirtualClock
+from repro.events import ConsumptionMode, EventDetector
+
+
+@pytest.fixture
+def det():
+    detector = EventDetector(TimerService(VirtualClock()))
+    for name in ("E1", "E2", "E3"):
+        detector.define_primitive(name)
+    return detector
+
+
+def collect(det, name):
+    hits = []
+    det.subscribe(name, hits.append)
+    return hits
+
+
+def play(det, *names):
+    for name in names:
+        det.raise_event(name)
+
+
+class TestSequenceModeMatrix:
+    STREAM = ("E1", "E1", "E2", "E2")  # two initiators, two terminators
+
+    def run(self, det, mode):
+        det.define_sequence("S", "E1", "E2", mode=mode)
+        hits = collect(det, "S")
+        play(det, *self.STREAM)
+        return hits
+
+    def test_recent(self, det):
+        # most recent E1 pairs with each E2: 2 detections, both with
+        # the second E1
+        hits = self.run(det, "recent")
+        assert len(hits) == 2
+        starts = {occurrence.constituents[0].start for occurrence in hits}
+        assert len(starts) == 1  # always the same (latest) initiator
+
+    def test_chronicle(self, det):
+        # FIFO pairing: (E1a,E2a), (E1b,E2b)
+        hits = self.run(det, "chronicle")
+        assert len(hits) == 2
+        first, second = hits
+        assert first.constituents[0].end < second.constituents[0].end
+
+    def test_continuous(self, det):
+        # first E2 pairs with both open initiators and consumes them;
+        # second E2 finds nothing
+        hits = self.run(det, "continuous")
+        assert len(hits) == 2
+
+    def test_cumulative(self, det):
+        # first E2 folds both initiators into one detection
+        hits = self.run(det, "cumulative")
+        assert len(hits) == 1
+        assert len(hits[0].constituents) == 3  # two E1s + the E2
+
+    def test_unrestricted(self, det):
+        # every E2 pairs with every earlier E1: 2 + 2
+        hits = self.run(det, "unrestricted")
+        assert len(hits) == 4
+
+
+class TestAndModeMatrix:
+    def test_chronicle_balanced(self, det):
+        det.define_and("A", "E1", "E2", mode="chronicle")
+        hits = collect(det, "A")
+        play(det, "E1", "E1", "E2", "E2", "E2")
+        assert len(hits) == 2  # min(#E1, #E2)
+
+    def test_cumulative_folds(self, det):
+        det.define_and("A", "E1", "E2", mode="cumulative")
+        hits = collect(det, "A")
+        play(det, "E1", "E1", "E1", "E2")
+        assert len(hits) == 1
+        assert len(hits[0].constituents) == 4
+
+    def test_unrestricted_retains_terminators(self, det):
+        det.define_and("A", "E1", "E2", mode="unrestricted")
+        hits = collect(det, "A")
+        play(det, "E1", "E2")   # pair
+        play(det, "E1")         # pairs with retained E2
+        assert len(hits) == 2
+
+
+class TestNotEdgeCases:
+    def test_chronicle_windows_independent(self, det):
+        det.define_not("N", "E1", "E2", "E3", mode="chronicle")
+        hits = collect(det, "N")
+        play(det, "E1", "E1", "E3", "E3")
+        assert len(hits) == 2  # each window clean, FIFO-paired
+
+    def test_contamination_applies_to_all_open_windows(self, det):
+        det.define_not("N", "E1", "E2", "E3", mode="chronicle")
+        hits = collect(det, "N")
+        play(det, "E1", "E1", "E2", "E3", "E3")
+        assert hits == []  # E2 poisoned both windows
+
+    def test_terminator_without_window_is_silent(self, det):
+        det.define_not("N", "E1", "E2", "E3")
+        hits = collect(det, "N")
+        play(det, "E3", "E2", "E3")
+        assert hits == []
+
+
+class TestTemporalEdgeCases:
+    def test_plus_zero_delta_fires_on_next_advance(self, det):
+        det.define_plus("P", "E1", 0.0)
+        hits = collect(det, "P")
+        det.raise_event("E1")
+        assert hits == []  # timers fire on advancement, not inline
+        det.advance_time(0.0)
+        assert len(hits) == 1
+
+    def test_periodic_reopen_after_close(self, det):
+        det.define_periodic("PD", "E1", 10.0, "E3")
+        hits = collect(det, "PD")
+        det.raise_event("E1")
+        det.advance_time(15.0)        # tick 1
+        det.raise_event("E3")
+        det.advance_time(50.0)        # closed: nothing
+        det.raise_event("E1")
+        det.advance_time(10.0)        # tick 1 of new window
+        assert [h.get("tick") for h in hits] == [1, 1]
+
+    def test_second_opener_ignored_while_running(self, det):
+        det.define_periodic("PD", "E1", 10.0, "E3")
+        hits = collect(det, "PD")
+        det.raise_event("E1")
+        det.advance_time(5.0)
+        det.raise_event("E1")  # ignored: window already open
+        det.advance_time(5.0)
+        assert len(hits) == 1  # the original cadence held
+
+    def test_periodic_star_without_close_never_fires(self, det):
+        det.define_periodic_star("PS", "E1", 10.0, "E3")
+        hits = collect(det, "PS")
+        det.raise_event("E1")
+        det.advance_time(100.0)
+        assert hits == []
+
+    def test_plus_interval_spans_source_to_expiry(self, det):
+        det.define_plus("P", "E1", 30.0)
+        hits = collect(det, "P")
+        det.advance_time(5.0)
+        det.raise_event("E1")
+        det.advance_time(30.0)
+        (occurrence,) = hits
+        assert occurrence.start.seconds == 5.0
+        assert occurrence.end.seconds == 35.0
+
+
+class TestNestedComposites:
+    def test_sequence_of_and(self, det):
+        det.define_and("A", "E1", "E2")
+        det.define_sequence("S", "A", "E3")
+        hits = collect(det, "S")
+        play(det, "E1", "E2", "E3")
+        assert len(hits) == 1
+        leaves = [leaf.event for leaf in hits[0].leaves()]
+        assert sorted(leaves) == ["E1", "E2", "E3"]
+
+    def test_and_arrival_order_does_not_break_sequence(self, det):
+        # A detects at E1-then-E2 or E2-then-E1; either way A's
+        # interval must precede E3 for S to fire
+        det.define_and("A", "E1", "E2")
+        det.define_sequence("S", "A", "E3")
+        hits = collect(det, "S")
+        play(det, "E3")          # before A: nothing later
+        play(det, "E2", "E1")    # A detects here
+        play(det, "E3")
+        assert len(hits) == 1
+
+    def test_plus_of_sequence(self, det):
+        det.define_sequence("S", "E1", "E2")
+        det.define_plus("P", "S", 60.0)
+        hits = collect(det, "P")
+        play(det, "E1", "E2")
+        det.advance_time(60.0)
+        assert len(hits) == 1

@@ -1,0 +1,107 @@
+"""Unit tests for GTRBAC periodic intervals (I, P)."""
+
+import pytest
+
+from repro.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.gtrbac.periodic import PeriodicInterval
+
+H = SECONDS_PER_HOUR
+DAY = SECONDS_PER_DAY
+
+
+class TestConstruction:
+    def test_daily_from_strings(self):
+        interval = PeriodicInterval.daily("10:00", "17:00")
+        assert interval.start_tod == 10 * H
+        assert interval.end_tod == 17 * H
+
+    def test_out_of_range_tod_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicInterval(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            PeriodicInterval(0.0, DAY)
+
+    def test_bounds_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            PeriodicInterval(0.0, 3600.0, begin=100.0, end=50.0)
+
+    def test_describe(self):
+        interval = PeriodicInterval.daily("10:00", "17:00")
+        assert "10:00:00-17:00:00 daily" in interval.describe()
+
+
+class TestContains:
+    def test_simple_daytime_window(self):
+        interval = PeriodicInterval.daily("10:00", "17:00")
+        assert not interval.contains(9 * H)
+        assert interval.contains(10 * H)          # inclusive start
+        assert interval.contains(13 * H)
+        assert not interval.contains(17 * H)      # exclusive end
+        assert not interval.contains(20 * H)
+
+    def test_window_repeats_daily(self):
+        interval = PeriodicInterval.daily("10:00", "17:00")
+        for day in range(4):
+            assert interval.contains(day * DAY + 12 * H)
+            assert not interval.contains(day * DAY + 3 * H)
+
+    def test_wrapping_night_shift(self):
+        interval = PeriodicInterval.daily("22:00", "06:00")
+        assert interval.contains(23 * H)
+        assert interval.contains(2 * H)
+        assert not interval.contains(12 * H)
+
+    def test_full_day_window(self):
+        interval = PeriodicInterval.always()
+        assert interval.contains(0.0)
+        assert interval.contains(13 * H)
+
+    def test_absolute_bounds_respected(self):
+        interval = PeriodicInterval(10 * H, 17 * H,
+                                    begin=2 * DAY, end=4 * DAY)
+        assert not interval.contains(12 * H)           # before begin
+        assert interval.contains(2 * DAY + 12 * H)     # inside
+        assert not interval.contains(4 * DAY + 12 * H)  # after end
+
+
+class TestNextBoundary:
+    def test_before_window_opens(self):
+        interval = PeriodicInterval.daily("10:00", "17:00")
+        instant, opens = interval.next_boundary(8 * H)
+        assert (instant, opens) == (10 * H, True)
+
+    def test_inside_window_closes(self):
+        interval = PeriodicInterval.daily("10:00", "17:00")
+        instant, opens = interval.next_boundary(12 * H)
+        assert (instant, opens) == (17 * H, False)
+
+    def test_after_window_rolls_to_tomorrow(self):
+        interval = PeriodicInterval.daily("10:00", "17:00")
+        instant, opens = interval.next_boundary(18 * H)
+        assert (instant, opens) == (DAY + 10 * H, True)
+
+    def test_strictly_after(self):
+        interval = PeriodicInterval.daily("10:00", "17:00")
+        instant, opens = interval.next_boundary(10 * H)
+        assert (instant, opens) == (17 * H, False)
+
+    def test_no_boundary_after_end_bound(self):
+        interval = PeriodicInterval(10 * H, 17 * H, end=DAY)
+        instant, _opens = interval.next_boundary(2 * DAY)
+        assert instant == float("inf")
+
+    def test_boundaries_alternate(self):
+        interval = PeriodicInterval.daily("10:00", "17:00")
+        instant, opens = 0.0, None
+        states = []
+        for _ in range(6):
+            instant, opens = interval.next_boundary(instant)
+            states.append(opens)
+        assert states == [True, False, True, False, True, False]
+
+    def test_wrapping_window_boundaries(self):
+        interval = PeriodicInterval.daily("22:00", "06:00")
+        instant, opens = interval.next_boundary(12 * H)
+        assert (instant, opens) == (22 * H, True)
+        instant, opens = interval.next_boundary(23 * H)
+        assert (instant, opens) == (DAY + 6 * H, False)

@@ -1,0 +1,124 @@
+"""Unit tests for privacy-aware RBAC: purposes and object policies."""
+
+import pytest
+
+from repro.extensions.privacy import ObjectPolicy, PrivacyRegistry, PurposeTree
+
+
+@pytest.fixture
+def purposes():
+    tree = PurposeTree()
+    tree.add("healthcare")
+    tree.add("treatment", parent="healthcare")
+    tree.add("billing", parent="healthcare")
+    tree.add("emergency", parent="treatment")
+    tree.add("marketing")
+    return tree
+
+
+class TestPurposeTree:
+    def test_membership(self, purposes):
+        assert "treatment" in purposes
+        assert "ghost" not in purposes
+        assert sorted(purposes.purposes()) == [
+            "billing", "emergency", "healthcare", "marketing", "treatment"]
+
+    def test_duplicate_rejected(self, purposes):
+        with pytest.raises(ValueError):
+            purposes.add("treatment")
+
+    def test_unknown_parent_rejected(self, purposes):
+        with pytest.raises(ValueError):
+            purposes.add("x", parent="ghost")
+
+    def test_ancestors_inclusive(self, purposes):
+        assert purposes.ancestors_inclusive("emergency") == {
+            "emergency", "treatment", "healthcare"}
+        assert purposes.ancestors_inclusive("marketing") == {"marketing"}
+
+    def test_descendants_inclusive(self, purposes):
+        assert purposes.descendants_inclusive("healthcare") == {
+            "healthcare", "treatment", "billing", "emergency"}
+
+    def test_unknown_purpose_queries_raise(self, purposes):
+        with pytest.raises(ValueError):
+            purposes.ancestors_inclusive("ghost")
+        with pytest.raises(ValueError):
+            purposes.descendants_inclusive("ghost")
+
+    def test_covers_downward_only(self, purposes):
+        assert purposes.covers("healthcare", "emergency")
+        assert purposes.covers("treatment", "treatment")
+        assert not purposes.covers("emergency", "healthcare")
+        assert not purposes.covers("marketing", "treatment")
+        assert not purposes.covers("ghost", "treatment")
+
+
+@pytest.fixture
+def registry(purposes):
+    reg = PrivacyRegistry(purposes=purposes)
+    reg.add_policy(ObjectPolicy("patient.dat", "read", "treatment",
+                                obligations=("notify-owner",)))
+    reg.add_policy(ObjectPolicy("patient.dat", "write", "emergency"))
+    return reg
+
+
+class TestPrivacyRegistry:
+    def test_unregulated_object_allowed_without_purpose(self, registry):
+        allowed, obligations = registry.compliant("public.txt", "read", None)
+        assert allowed and obligations == ()
+
+    def test_regulated_object_requires_purpose(self, registry):
+        allowed, _ = registry.compliant("patient.dat", "read", None)
+        assert not allowed
+
+    def test_unknown_purpose_denied(self, registry):
+        allowed, _ = registry.compliant("patient.dat", "read", "ghost")
+        assert not allowed
+
+    def test_covered_purpose_allowed_with_obligations(self, registry):
+        allowed, obligations = registry.compliant(
+            "patient.dat", "read", "emergency")  # under treatment
+        assert allowed
+        assert obligations == ("notify-owner",)
+
+    def test_exact_purpose_allowed(self, registry):
+        allowed, _ = registry.compliant("patient.dat", "read", "treatment")
+        assert allowed
+
+    def test_too_general_purpose_denied(self, registry):
+        # policy grants 'treatment'; requesting under the broader
+        # 'healthcare' purpose is NOT covered
+        allowed, _ = registry.compliant("patient.dat", "read", "healthcare")
+        assert not allowed
+
+    def test_operation_mismatch_denied(self, registry):
+        # write is only allowed for 'emergency'
+        allowed, _ = registry.compliant("patient.dat", "write", "treatment")
+        assert not allowed
+        allowed, _ = registry.compliant("patient.dat", "write", "emergency")
+        assert allowed
+
+    def test_regulated_object_any_operation(self, registry):
+        # 'delete' has no policy but the object is regulated -> denied
+        allowed, _ = registry.compliant("patient.dat", "delete", "treatment")
+        assert not allowed
+
+    def test_policy_with_unknown_purpose_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.add_policy(ObjectPolicy("x", "read", "ghost"))
+
+    def test_is_regulated(self, registry):
+        assert registry.is_regulated("patient.dat")
+        assert not registry.is_regulated("public.txt")
+
+    def test_add_purposes_bulk(self):
+        registry = PrivacyRegistry()
+        registry.add_purposes([("a", None), ("b", "a")])
+        assert registry.purposes.covers("a", "b")
+
+    def test_policies_for(self, registry):
+        policies = registry.policies_for("patient.dat", "read")
+        assert len(policies) == 1
+        assert policies[0].purpose == "treatment"
+        assert "notify-owner" in policies[0].describe()

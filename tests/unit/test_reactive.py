@@ -1,0 +1,111 @@
+"""Unit tests for reactive objects (Sentinel's event interface)."""
+
+import pytest
+
+from repro.clock import TimerService, VirtualClock
+from repro.errors import AccessDenied
+from repro.events import EventDetector, ReactiveObject, primitive_event
+from repro.events.reactive import NotifiableObject
+
+
+class FileServer(ReactiveObject):
+    """Example reactive object: opening a file raises an event."""
+
+    def __init__(self, detector):
+        super().__init__(detector, event_prefix="fs")
+        self.opened = []
+
+    @primitive_event()
+    def open_file(self, user, filename):
+        self.opened.append((user, filename))
+        return f"{user}:{filename}"
+
+    @primitive_event(name="vi")
+    def edit(self, user, filename="scratch.txt"):
+        return "edited"
+
+    def plain_method(self):
+        return "no event"
+
+
+@pytest.fixture
+def det():
+    return EventDetector(TimerService(VirtualClock()))
+
+
+class TestReactiveObject:
+    def test_events_registered_at_construction(self, det):
+        server = FileServer(det)
+        assert "fs.open_file" in det
+        assert "vi" in det
+        assert server.event_names() == ["fs.open_file", "vi"]
+
+    def test_invocation_raises_event_with_bound_args(self, det):
+        server = FileServer(det)
+        hits = []
+        det.subscribe("fs.open_file", hits.append)
+        result = server.open_file("Bob", "patient.dat")
+        assert result == "Bob:patient.dat"
+        assert hits[0].params == {"user": "Bob", "filename": "patient.dat"}
+
+    def test_defaults_are_bound(self, det):
+        server = FileServer(det)
+        hits = []
+        det.subscribe("vi", hits.append)
+        server.edit("Bob")
+        assert hits[0].params == {"user": "Bob",
+                                  "filename": "scratch.txt"}
+
+    def test_event_raised_before_body_so_rules_can_veto(self, det):
+        server = FileServer(det)
+
+        def veto(occurrence):
+            raise AccessDenied("insufficient privileges")
+
+        det.subscribe("fs.open_file", veto)
+        with pytest.raises(AccessDenied):
+            server.open_file("Mallory", "patient.dat")
+        assert server.opened == []  # method body never ran
+
+    def test_plain_methods_generate_no_events(self, det):
+        server = FileServer(det)
+        seen = []
+        det.subscribe_all(lambda occurrence: seen.append(occurrence.event))
+        server.plain_method()
+        assert seen == []
+
+    def test_two_instances_share_event_definitions(self, det):
+        FileServer(det)
+        FileServer(det)  # ensure_primitive keeps this idempotent
+        assert "fs.open_file" in det
+
+    def test_default_prefix_is_class_name(self, det):
+        class Printer(ReactiveObject):
+            @primitive_event()
+            def print_doc(self, doc):
+                return doc
+
+        printer = Printer(det)
+        assert "Printer.print_doc" in det
+        hits = []
+        det.subscribe("Printer.print_doc", hits.append)
+        printer.print_doc("report")
+        assert hits[0].params == {"doc": "report"}
+
+
+class TestNotifiableObject:
+    def test_notify_receives_occurrences(self, det):
+        det.define_primitive("E1")
+
+        class Recorder(NotifiableObject):
+            def __init__(self, detector):
+                super().__init__(detector)
+                self.seen = []
+
+            def notify(self, occurrence):
+                self.seen.append(occurrence.event)
+
+        recorder = Recorder(det)
+        recorder.listen_to("E1")
+        det.raise_event("E1")
+        assert recorder.seen == ["E1"]

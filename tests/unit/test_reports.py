@@ -1,0 +1,128 @@
+"""Unit tests for PERIODIC-driven monitoring reports."""
+
+import pytest
+
+from repro import ActiveRBACEngine, parse_policy
+from repro.security.reports import PeriodicReporter
+
+POLICY = """
+policy watched {
+  role A;
+  user bob; user mallory;
+  assign bob to A;
+  permission read on doc;
+  grant read on doc to A;
+}
+"""
+
+
+@pytest.fixture
+def engine():
+    return ActiveRBACEngine.from_policy(parse_policy(POLICY))
+
+
+class TestLifecycle:
+    def test_interval_must_be_positive(self, engine):
+        with pytest.raises(ValueError):
+            PeriodicReporter(engine, 0.0)
+
+    def test_no_reports_before_start(self, engine):
+        reporter = PeriodicReporter(engine, 60.0)
+        engine.advance_time(600.0)
+        assert reporter.reports == []
+
+    def test_reports_every_interval_while_running(self, engine):
+        reporter = PeriodicReporter(engine, 60.0)
+        reporter.start()
+        engine.advance_time(185.0)
+        assert [r.tick for r in reporter.reports] == [1, 2, 3]
+
+    def test_stop_ends_the_stream(self, engine):
+        reporter = PeriodicReporter(engine, 60.0)
+        reporter.start()
+        engine.advance_time(125.0)
+        reporter.stop()
+        engine.advance_time(600.0)
+        assert len(reporter.reports) == 2
+
+    def test_start_is_idempotent(self, engine):
+        reporter = PeriodicReporter(engine, 60.0)
+        reporter.start()
+        reporter.start()
+        engine.advance_time(60.0)
+        assert len(reporter.reports) == 1
+
+    def test_restart_after_stop(self, engine):
+        reporter = PeriodicReporter(engine, 60.0)
+        reporter.start()
+        engine.advance_time(60.0)
+        reporter.stop()
+        reporter.start()
+        engine.advance_time(60.0)
+        assert len(reporter.reports) == 2
+
+
+class TestReportContents:
+    def test_report_counts_window_activity(self, engine):
+        reporter = PeriodicReporter(engine, 60.0)
+        reporter.start()
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "A")
+        engine.check_access(sid, "read", "doc")
+        mallory_sid = engine.create_session("mallory")
+        engine.check_access(mallory_sid, "read", "doc")  # denied
+        engine.advance_time(60.0)
+        (report,) = reporter.reports
+        assert report.denials == 1
+        assert report.counts.get("decision.allow") == 1
+        assert report.counts.get("session.create") == 2
+
+    def test_windows_do_not_overlap(self, engine):
+        reporter = PeriodicReporter(engine, 60.0)
+        reporter.start()
+        sid = engine.create_session("bob")
+        engine.advance_time(60.0)  # report 1 covers the session.create
+        engine.advance_time(60.0)  # report 2 covers nothing new
+        first, second = reporter.reports
+        assert first.counts.get("session.create") == 1
+        assert "session.create" not in second.counts
+
+    def test_reports_delivered_to_channels(self, engine):
+        reporter = PeriodicReporter(engine, 60.0)
+        received = []
+        reporter.deliver_to(received.append)
+        reporter.start()
+        engine.advance_time(120.0)
+        assert [r.tick for r in received] == [1, 2]
+
+    def test_report_recorded_in_audit(self, engine):
+        reporter = PeriodicReporter(engine, 60.0)
+        reporter.start()
+        engine.advance_time(60.0)
+        assert engine.audit.by_kind("security.report")
+
+    def test_describe(self, engine):
+        reporter = PeriodicReporter(engine, 60.0)
+        reporter.start()
+        engine.create_session("bob")
+        engine.advance_time(60.0)
+        text = reporter.reports[0].describe()
+        assert "monitoring report #1" in text
+        assert "session.create: 1" in text
+
+    def test_alert_count_included(self, engine):
+        from repro.security.monitor import ThresholdPolicy
+        engine.monitor.add_policy(ThresholdPolicy(
+            name="p", threshold=1, window=30.0, group_by="user"))
+        reporter = PeriodicReporter(engine, 60.0)
+        reporter.start()
+        sid = engine.create_session("mallory")
+        engine.check_access(sid, "read", "doc")
+        engine.advance_time(60.0)
+        assert reporter.reports[0].alerts == 1
+
+    def test_rule_is_active_security_class(self, engine):
+        from repro.rules.rule import RuleClass
+        PeriodicReporter(engine, 60.0)
+        rule = engine.rules.get("ASEC.periodicReport")
+        assert rule.classification is RuleClass.ACTIVE_SECURITY

@@ -1,0 +1,267 @@
+"""Unit tests for the rule pool manager: priorities, cascades, toggles."""
+
+import pytest
+
+from repro.clock import TimerService, VirtualClock
+from repro.errors import (
+    AccessDenied,
+    DuplicateRuleError,
+    RuleCascadeError,
+    UnknownRuleError,
+)
+from repro.events import EventDetector
+from repro.rules import RuleManager
+from repro.rules.rule import (
+    Action,
+    Condition,
+    Granularity,
+    OWTERule,
+    RuleClass,
+    RuleOutcome,
+)
+
+
+@pytest.fixture
+def det():
+    detector = EventDetector(TimerService(VirtualClock()))
+    for name in ("E1", "E2", "E3"):
+        detector.define_primitive(name)
+    return detector
+
+
+@pytest.fixture
+def mgr(det):
+    return RuleManager(det)
+
+
+def simple_rule(name, event, log, priority=0, enabled=True, **kwargs):
+    return OWTERule(
+        name=name, event=event, priority=priority, enabled=enabled,
+        actions=[Action("log", lambda ctx: log.append(name))], **kwargs)
+
+
+class TestPool:
+    def test_add_and_get(self, mgr):
+        log = []
+        rule = simple_rule("R1", "E1", log)
+        mgr.add(rule)
+        assert len(mgr) == 1
+        assert "R1" in mgr
+        assert mgr.get("R1") is rule
+
+    def test_duplicate_name_rejected(self, mgr):
+        log = []
+        mgr.add(simple_rule("R1", "E1", log))
+        with pytest.raises(DuplicateRuleError):
+            mgr.add(simple_rule("R1", "E2", log))
+
+    def test_unknown_rule_raises(self, mgr):
+        with pytest.raises(UnknownRuleError):
+            mgr.get("ghost")
+        with pytest.raises(UnknownRuleError):
+            mgr.remove("ghost")
+
+    def test_remove_stops_firing(self, mgr, det):
+        log = []
+        mgr.add(simple_rule("R1", "E1", log))
+        mgr.remove("R1")
+        det.raise_event("E1")
+        assert log == []
+
+    def test_remove_by_tags(self, mgr):
+        log = []
+        mgr.add(simple_rule("R1", "E1", log, tags={"role:PC": "1"}))
+        mgr.add(simple_rule("R2", "E1", log, tags={"role:AC": "1"}))
+        removed = mgr.remove_by_tags(**{"role:PC": "1"})
+        assert [r.name for r in removed] == ["R1"]
+        assert len(mgr) == 1
+
+
+class TestFiring:
+    def test_rule_fires_on_event(self, mgr, det):
+        log = []
+        mgr.add(simple_rule("R1", "E1", log))
+        det.raise_event("E1")
+        det.raise_event("E2")
+        assert log == ["R1"]
+
+    def test_multiple_rules_priority_order(self, mgr, det):
+        log = []
+        mgr.add(simple_rule("low", "E1", log, priority=0))
+        mgr.add(simple_rule("high", "E1", log, priority=10))
+        det.raise_event("E1")
+        assert log == ["high", "low"]
+
+    def test_equal_priority_insertion_order(self, mgr, det):
+        log = []
+        mgr.add(simple_rule("first", "E1", log))
+        mgr.add(simple_rule("second", "E1", log))
+        det.raise_event("E1")
+        assert log == ["first", "second"]
+
+    def test_disabled_rule_skipped(self, mgr, det):
+        log = []
+        mgr.add(simple_rule("R1", "E1", log, enabled=False))
+        det.raise_event("E1")
+        assert log == []
+        mgr.enable("R1")
+        det.raise_event("E1")
+        assert log == ["R1"]
+
+    def test_else_branch_fires_alt_actions(self, mgr, det):
+        log = []
+        mgr.add(OWTERule(
+            name="R1", event="E1",
+            conditions=[Condition("never", lambda ctx: False)],
+            actions=[Action("then", lambda ctx: log.append("then"))],
+            alt_actions=[Action("else", lambda ctx: log.append("else"))],
+        ))
+        det.raise_event("E1")
+        assert log == ["else"]
+
+    def test_veto_exception_propagates_to_raiser(self, mgr, det):
+        mgr.add(OWTERule(
+            name="R1", event="E1",
+            conditions=[Condition("never", lambda ctx: False)],
+            alt_actions=[Action("deny", lambda ctx: (_ for _ in ()).throw(
+                AccessDenied("no")))],
+        ))
+        with pytest.raises(AccessDenied):
+            det.raise_event("E1")
+
+    def test_rule_added_mid_firing_not_run_this_round(self, mgr, det):
+        log = []
+
+        def add_rule(ctx):
+            if "late" not in mgr:
+                mgr.add(simple_rule("late", "E1", log))
+            log.append("adder")
+
+        mgr.add(OWTERule(name="adder", event="E1",
+                         actions=[Action("add", add_rule)]))
+        det.raise_event("E1")
+        assert log == ["adder"]
+        det.raise_event("E1")
+        assert log == ["adder", "adder", "late"]
+
+
+class TestCascades:
+    def test_action_raising_event_triggers_nested_rules(self, mgr, det):
+        log = []
+        mgr.add(OWTERule(
+            name="R1", event="E1",
+            actions=[Action("cascade",
+                            lambda ctx: ctx.raise_event("E2", hop=1))]))
+        mgr.add(simple_rule("R2", "E2", log))
+        det.raise_event("E1")
+        assert log == ["R2"]
+
+    def test_cascade_depth_limit(self, det):
+        mgr = RuleManager(det, max_cascade_depth=5)
+        mgr.add(OWTERule(
+            name="loop", event="E1",
+            actions=[Action("again", lambda ctx: ctx.raise_event("E1"))]))
+        with pytest.raises(RuleCascadeError):
+            det.raise_event("E1")
+
+    def test_depth_resets_after_cascade(self, det):
+        mgr = RuleManager(det, max_cascade_depth=3)
+        log = []
+        mgr.add(OWTERule(
+            name="hop", event="E1",
+            actions=[Action("to E2", lambda ctx: ctx.raise_event("E2"))]))
+        mgr.add(simple_rule("leaf", "E2", log))
+        det.raise_event("E1")
+        det.raise_event("E1")
+        assert log == ["leaf", "leaf"]
+
+
+class TestQueriesAndToggles:
+    def _populate(self, mgr):
+        log = []
+        mgr.add(simple_rule("a", "E1", log,
+                            classification=RuleClass.ADMINISTRATIVE,
+                            granularity=Granularity.GLOBALIZED,
+                            tags={"role:PC": "1"}))
+        mgr.add(simple_rule("b", "E1", log,
+                            classification=RuleClass.ACTIVITY_CONTROL,
+                            granularity=Granularity.LOCALIZED,
+                            tags={"role:PC": "1", "kind": "activation"}))
+        mgr.add(simple_rule("c", "E2", log,
+                            classification=RuleClass.ACTIVE_SECURITY,
+                            granularity=Granularity.SPECIALIZED))
+        return log
+
+    def test_by_classification(self, mgr):
+        self._populate(mgr)
+        names = [r.name for r in
+                 mgr.by_classification(RuleClass.ACTIVE_SECURITY)]
+        assert names == ["c"]
+
+    def test_by_granularity(self, mgr):
+        self._populate(mgr)
+        names = [r.name for r in mgr.by_granularity(Granularity.LOCALIZED)]
+        assert names == ["b"]
+
+    def test_by_tags(self, mgr):
+        self._populate(mgr)
+        names = sorted(r.name for r in mgr.by_tags(**{"role:PC": "1"}))
+        assert names == ["a", "b"]
+
+    def test_set_enabled_by_tags(self, mgr, det):
+        log = self._populate(mgr)
+        changed = mgr.set_enabled_by_tags(False, **{"role:PC": "1"})
+        assert changed == 2
+        det.raise_event("E1")
+        assert log == []
+        assert mgr.set_enabled_by_tags(True, **{"role:PC": "1"}) == 2
+
+    def test_set_enabled_by_classification(self, mgr):
+        self._populate(mgr)
+        changed = mgr.set_enabled_by_classification(
+            RuleClass.ACTIVITY_CONTROL, False)
+        assert changed == 1
+        assert not mgr.get("b").enabled
+
+    def test_summary(self, mgr):
+        self._populate(mgr)
+        summary = mgr.summary()
+        assert summary["total"] == 3
+        assert summary["administrative"] == 1
+        assert summary["localized"] == 1
+
+    def test_render_pool_groups_by_classification(self, mgr):
+        self._populate(mgr)
+        text = mgr.render_pool()
+        assert "-- administrative rules (1) --" in text
+        assert "-- active_security rules (1) --" in text
+
+
+class TestObservers:
+    def test_observer_sees_outcomes(self, mgr, det):
+        seen = []
+        mgr.observe(lambda rule, occurrence, outcome, error:
+                    seen.append((rule.name, outcome, error)))
+        mgr.add(OWTERule(
+            name="R1", event="E1",
+            conditions=[Condition("flip",
+                                  lambda ctx: ctx.get("ok", False))]))
+        det.raise_event("E1", ok=True)
+        det.raise_event("E1", ok=False)
+        assert seen[0] == ("R1", RuleOutcome.THEN, None)
+        assert seen[1] == ("R1", RuleOutcome.ELSE, None)
+
+    def test_observer_sees_denial_error(self, mgr, det):
+        seen = []
+        mgr.observe(lambda rule, occurrence, outcome, error:
+                    seen.append((outcome, type(error).__name__
+                                 if error else None)))
+        mgr.add(OWTERule(
+            name="R1", event="E1",
+            conditions=[Condition("never", lambda ctx: False)],
+            alt_actions=[Action("deny", lambda ctx: (_ for _ in ()).throw(
+                AccessDenied("no")))],
+        ))
+        with pytest.raises(AccessDenied):
+            det.raise_event("E1")
+        assert seen == [(RuleOutcome.ELSE, "AccessDenied")]

@@ -1,0 +1,176 @@
+"""Unit tests for OWTE rule objects."""
+
+import pytest
+
+from repro.clock import Timestamp
+from repro.events.occurrence import Occurrence
+from repro.rules.rule import (
+    Action,
+    Condition,
+    Granularity,
+    OWTERule,
+    RuleClass,
+    RuleContext,
+    RuleOutcome,
+    action,
+    condition,
+)
+
+
+def make_occurrence(**params):
+    return Occurrence("E", Timestamp(0.0, 0), Timestamp(0.0, 1), params)
+
+
+def make_ctx(rule, **params):
+    return RuleContext(occurrence=make_occurrence(**params), rule=rule,
+                       manager=None)
+
+
+class TestOWTERule:
+    def test_then_branch_on_all_true(self):
+        log = []
+        rule = OWTERule(
+            name="R", event="E",
+            conditions=[Condition("c1", lambda ctx: True),
+                        Condition("c2", lambda ctx: True)],
+            actions=[Action("a1", lambda ctx: log.append("a1")),
+                     Action("a2", lambda ctx: log.append("a2"))],
+            alt_actions=[Action("aa", lambda ctx: log.append("aa"))],
+        )
+        outcome = rule.execute(make_ctx(rule))
+        assert outcome is RuleOutcome.THEN
+        assert log == ["a1", "a2"]
+        assert rule.then_count == 1 and rule.else_count == 0
+
+    def test_else_branch_on_any_false(self):
+        log = []
+        rule = OWTERule(
+            name="R", event="E",
+            conditions=[Condition("c1", lambda ctx: True),
+                        Condition("c2", lambda ctx: False)],
+            actions=[Action("a", lambda ctx: log.append("a"))],
+            alt_actions=[Action("aa1", lambda ctx: log.append("aa1")),
+                         Action("aa2", lambda ctx: log.append("aa2"))],
+        )
+        assert rule.execute(make_ctx(rule)) is RuleOutcome.ELSE
+        assert log == ["aa1", "aa2"]
+
+    def test_empty_conditions_mean_when_true(self):
+        log = []
+        rule = OWTERule(name="R", event="E",
+                        actions=[Action("a", lambda ctx: log.append(1))])
+        assert rule.execute(make_ctx(rule)) is RuleOutcome.THEN
+        assert log == [1]
+
+    def test_conditions_short_circuit(self):
+        evaluated = []
+
+        def first(ctx):
+            evaluated.append("first")
+            return False
+
+        def second(ctx):
+            evaluated.append("second")
+            return True
+
+        rule = OWTERule(name="R", event="E",
+                        conditions=[Condition("1", first),
+                                    Condition("2", second)])
+        rule.execute(make_ctx(rule))
+        assert evaluated == ["first"]
+
+    def test_context_exposes_occurrence_params(self):
+        rule = OWTERule(name="R", event="E")
+        ctx = make_ctx(rule, user="bob")
+        assert ctx.get("user") == "bob"
+        assert ctx.params == {"user": "bob"}
+        assert ctx.get("missing") is None
+
+    def test_scratch_shared_between_condition_and_action(self):
+        results = []
+
+        def check(ctx):
+            ctx.scratch["token"] = 42
+            return True
+
+        rule = OWTERule(
+            name="R", event="E",
+            conditions=[Condition("c", check)],
+            actions=[Action("a", lambda ctx:
+                            results.append(ctx.scratch["token"]))],
+        )
+        rule.execute(make_ctx(rule))
+        assert results == [42]
+
+    def test_action_exception_propagates(self):
+        rule = OWTERule(
+            name="R", event="E",
+            conditions=[Condition("c", lambda ctx: False)],
+            alt_actions=[Action("boom", lambda ctx: 1 / 0)],
+        )
+        with pytest.raises(ZeroDivisionError):
+            rule.execute(make_ctx(rule))
+        assert rule.else_count == 1
+
+    def test_render_matches_paper_layout(self):
+        rule = OWTERule(
+            name="AAR_1", event="E2",
+            conditions=[Condition("user IN userL", lambda ctx: True),
+                        Condition("sessionId IN sessionL",
+                                  lambda ctx: True)],
+            actions=[Action("addSessionRoleR1(sessionId)",
+                            lambda ctx: None)],
+            alt_actions=[Action(
+                'raise error "Access Denied Cannot Activate"',
+                lambda ctx: None)],
+        )
+        text = rule.render()
+        assert text.startswith("RULE [ AAR_1")
+        assert "ON    E2" in text
+        assert "(user IN userL) &&" in text
+        assert "THEN  addSessionRoleR1(sessionId)" in text
+        assert 'ELSE  raise error "Access Denied Cannot Activate"' in text
+        assert text.endswith("]")
+
+    def test_render_when_true_for_no_conditions(self):
+        rule = OWTERule(name="C_1", event="PLUS_E",
+                        actions=[Action("Closefile", lambda ctx: None)])
+        assert "WHEN  TRUE" in rule.render()
+
+    def test_matches_tags(self):
+        rule = OWTERule(name="R", event="E",
+                        tags={"role:PC": "1", "kind": "activation"})
+        assert rule.matches_tags(**{"role:PC": "1"})
+        assert rule.matches_tags(kind="activation")
+        assert not rule.matches_tags(kind="commit")
+        assert not rule.matches_tags(**{"role:AC": "1"})
+
+    def test_default_taxonomy(self):
+        rule = OWTERule(name="R", event="E")
+        assert rule.classification is RuleClass.ACTIVITY_CONTROL
+        assert rule.granularity is Granularity.GLOBALIZED
+
+
+class TestDecorators:
+    def test_condition_decorator(self):
+        @condition("x > 0")
+        def positive(ctx):
+            return ctx.get("x", 0) > 0
+
+        assert isinstance(positive, Condition)
+        assert positive.description == "x > 0"
+        rule = OWTERule(name="R", event="E", conditions=[positive])
+        assert positive(make_ctx(rule, x=1)) is True
+        assert positive(make_ctx(rule, x=-1)) is False
+
+    def test_action_decorator(self):
+        log = []
+
+        @action("log it")
+        def log_it(ctx):
+            log.append(ctx.get("x"))
+
+        assert isinstance(log_it, Action)
+        rule = OWTERule(name="R", event="E", actions=[log_it])
+        rule.execute(make_ctx(rule, x=9))
+        assert log == [9]

@@ -1,0 +1,103 @@
+"""Unit tests for policy specification objects and the model builder."""
+
+import pytest
+
+from repro.extensions.cfd import PrerequisiteRole, TransactionActivation
+from repro.gtrbac.constraints import DurationConstraint, EnablingWindow
+from repro.gtrbac.periodic import PeriodicInterval
+from repro.policy.spec import PolicySpec, build_model
+
+
+@pytest.fixture
+def spec():
+    s = PolicySpec(name="demo")
+    s.add_role("PM").add_role("PC").add_role("AC").add_role("Clerk")
+    s.add_user("bob").add_user("carol")
+    s.add_hierarchy("PM", "PC").add_hierarchy("PC", "Clerk")
+    s.add_ssd("conflict", {"PC", "AC"})
+    s.add_dsd("dyn", {"PM", "AC"})
+    s.add_grant("PC", "create", "purchase_order")
+    s.add_assignment("bob", "PM")
+    return s
+
+
+class TestBuilders:
+    def test_add_grant_registers_permission(self, spec):
+        assert ("create", "purchase_order") in spec.permissions
+        assert ("PC", "create", "purchase_order") in spec.grants
+
+    def test_chaining(self):
+        s = PolicySpec().add_role("A").add_user("u").add_hierarchy("A", "A")
+        assert "A" in s.roles and "u" in s.users
+
+    def test_role_flags(self, spec):
+        assert spec.role_in_hierarchy("PM")
+        assert not spec.role_in_hierarchy("AC")
+        assert spec.role_in_ssd("AC")
+        assert not spec.role_in_ssd("PM")
+        assert spec.role_in_dsd("PM")
+        assert not spec.role_in_dsd("PC")
+
+    def test_constraints_summary_flags(self, spec):
+        spec.durations.append(DurationConstraint("PC", 100.0))
+        spec.prerequisites.append(PrerequisiteRole("AC", "Clerk"))
+        summary_pc = spec.role_constraints_summary("PC")
+        assert summary_pc["hierarchy"] and summary_pc["static_sod"]
+        assert summary_pc["temporal"] and not summary_pc["cfd"]
+        summary_ac = spec.role_constraints_summary("AC")
+        assert summary_ac["cfd"] and not summary_ac["temporal"]
+
+    def test_clone_isolated(self, spec):
+        clone = spec.clone()
+        clone.add_role("Extra")
+        clone.assignments.append(("carol", "AC"))
+        assert "Extra" not in spec.roles
+        assert ("carol", "AC") not in spec.assignments
+
+    def test_transaction_flag(self, spec):
+        spec.transactions.append(TransactionActivation("PC", "PM"))
+        assert spec.role_constraints_summary("PC")["cfd"]
+        assert spec.role_constraints_summary("PM")["cfd"]
+
+
+class TestBuildModel:
+    def test_state_loaded(self, spec):
+        model = build_model(spec)
+        assert set(model.users) == {"bob", "carol"}
+        assert set(model.roles) == {"PM", "PC", "AC", "Clerk"}
+        assert model.is_assigned("bob", "PM")
+        assert model.hierarchy.is_senior("PM", "Clerk")
+        assert model.role_has_permission("PM", "create", "purchase_order")
+        assert not model.sod.ssd_ok({"PC"}, "AC")
+        assert not model.sod.dsd_ok({"PM"}, "AC")
+
+    def test_cardinalities_loaded(self):
+        s = PolicySpec()
+        s.add_role("Programmer", max_active_users=5)
+        s.add_user("jane", max_active_roles=5)
+        model = build_model(s)
+        assert model.roles["Programmer"].max_active_users == 5
+        assert model.users["jane"].max_active_roles == 5
+
+    def test_limited_hierarchy_propagates(self):
+        s = PolicySpec(hierarchy_limited=True)
+        s.add_role("a").add_role("b").add_role("c")
+        s.add_hierarchy("a", "b")
+        s.add_hierarchy("a", "c")
+        from repro.errors import LimitedHierarchyError
+        with pytest.raises(LimitedHierarchyError):
+            build_model(s)
+
+    def test_invalid_assignment_fails_build(self, spec):
+        spec.add_assignment("carol", "AC")
+        spec.add_assignment("carol", "PC")  # violates SSD {PC, AC}
+        from repro.errors import SsdViolationError
+        with pytest.raises(SsdViolationError):
+            build_model(spec)
+
+    def test_windows_not_applied_by_build(self, spec):
+        # enabling windows are enforced by the engines, not by build_model
+        spec.enabling_windows.append(
+            EnablingWindow("PC", PeriodicInterval.daily("08:00", "16:00")))
+        model = build_model(spec)
+        assert model.is_role_enabled("PC")

@@ -1,0 +1,123 @@
+"""Golden tests: generated rules render in the paper's textual style.
+
+The paper presents its rules as ``RULE [ name ON ... WHEN ... THEN ...
+ELSE ... ]`` listings with conditions like ``user IN userL`` and
+``checkAssignedR1(user) IS TRUE``.  These tests pin the rendered text of
+one instance of every template so the condition vocabulary stays
+recognisably the paper's.
+"""
+
+import pytest
+
+from repro import ActiveRBACEngine, parse_policy
+
+POLICY = """
+policy golden {
+  role R1; role Senior; role Partner; role Dep; role Anchor;
+  role Twin; role Audit;
+  user bob;
+  hierarchy Senior > R1;
+  dsd pair roles R1, Partner;
+  role Limited max_active_users 5;
+  duration R1 7200;
+  duration R1 3600 for bob;
+  transaction Dep during Anchor;
+  disabling_sod cov roles Twin, Audit daily 10:00 to 17:00;
+  require Audit when enabling Twin;
+  prerequisite Dep requires R1;
+  context Dep requires location == "office";
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return ActiveRBACEngine.from_policy(parse_policy(POLICY))
+
+
+def rendered(engine, name):
+    return engine.rules.get(name).render()
+
+
+class TestActivationRuleText:
+    def test_aar4_full_condition_vocabulary(self, engine):
+        text = rendered(engine, "AAR4.R1")
+        for fragment in (
+            "RULE [ AAR4.R1",
+            "ON    addActiveRole.R1",
+            "(user IN userL)",
+            "(sessionId IN sessionL)",
+            "(sessionId IN checkUserSessions(user))",
+            "(R1 NOT IN checkSessionRoles(user))",
+            "(checkAuthorizationR1(user) IS TRUE)",
+            "(checkDynamicSoDSet(user, R1) IS TRUE)",
+            "THEN  addSessionRoleR1(sessionId)",
+            'ELSE  raise error "Access Denied Cannot Activate"',
+        ):
+            assert fragment in text, fragment
+
+    def test_aar1_uses_check_assigned(self, engine):
+        text = rendered(engine, "AAR1.Anchor")
+        assert "checkAssignedAnchor(user) IS TRUE" in text
+        assert "checkAuthorization" not in text
+
+    def test_prerequisite_and_anchor_and_context_conditions(self, engine):
+        text = rendered(engine, "AAR1.Dep")
+        assert "prerequisiteRoles(Dep) active in session" in text
+        assert "anchorRole(Dep) currently activated" in text
+        assert "contextConstraints(Dep, activate) satisfied" in text
+
+
+class TestCommitRuleText:
+    def test_cardinality_condition_mirrors_paper(self, engine):
+        text = rendered(engine, "CC.Limited")
+        assert "Cardinality" in text and "INCR" in text
+        assert 'raise error "Maximum Number of Roles Reached"' in text
+
+    def test_plain_commit_has_user_bound_only(self, engine):
+        text = rendered(engine, "CC.Anchor")
+        assert "activeRoleCount(user) < maxActiveRoles(user)" in text
+        assert "INCR" not in text
+
+
+class TestTemporalAndCfdText:
+    def test_duration_rules_exist_for_both_scopes(self, engine):
+        role_wide = rendered(engine, "TSOD.R1")
+        per_user = rendered(engine, "TSOD.R1.bob")
+        assert "ON    durationExpired.R1" in role_wide
+        assert "ON    durationExpired.R1.bob" in per_user
+        assert "deactivateRoleR1(sessionId)" in role_wide
+
+    def test_disable_rule_mentions_partner_and_interval(self, engine):
+        text = rendered(engine, "DR.Twin")
+        assert "checkActive(Audit) IS TRUE within (I, P)" in text
+        assert 'raise error "Denied as partner Already Disabled"' in text
+
+    def test_enable_rule_mentions_cfd_partner(self, engine):
+        text = rendered(engine, "ER.Twin")
+        assert "enableRoleTwin()" in text
+        assert "enableRoleAudit()" in text
+
+    def test_anchor_cleanup_rule(self, engine):
+        text = rendered(engine, "ASEC.Anchor")
+        assert "activeUserCount(Anchor) == 0" in text
+        assert "deactivate Dep" in text
+
+
+class TestGlobalRuleText:
+    def test_check_access_for_any_clause(self, engine):
+        text = rendered(engine, "CA.checkAccess")
+        assert "ForANY role IN getSessionRoles(sessionId)" in text
+        assert "checkPermissions(operation, object, role) IS TRUE" in text
+        assert 'ELSE  raise error "Permission Denied"' in text
+
+    def test_assign_user_rule(self, engine):
+        text = rendered(engine, "GR.assignUser")
+        assert "checkStaticSoD(user, role) IS TRUE" in text
+        assert "role NOT IN assignedRoles(user)" in text
+
+    def test_pool_rendering_groups(self, engine):
+        pool = engine.rules.render_pool()
+        assert "-- administrative rules" in pool
+        assert "-- activity_control rules" in pool
+        assert "-- active_security rules" in pool

@@ -1,0 +1,193 @@
+"""Unit tests for policy consistency checking."""
+
+import pytest
+
+from repro.errors import PolicyValidationError
+from repro.extensions.cfd import (
+    PostConditionDependency,
+    PrerequisiteRole,
+    TransactionActivation,
+)
+from repro.extensions.context import ContextConstraint, ContextOp
+from repro.extensions.privacy import ObjectPolicy
+from repro.gtrbac.constraints import (
+    DisablingTimeSoD,
+    DurationConstraint,
+    EnablingWindow,
+)
+from repro.gtrbac.periodic import PeriodicInterval
+from repro.policy.spec import PolicySpec, SodSetSpec
+from repro.policy.validator import validate_policy
+
+
+def base_spec():
+    spec = PolicySpec(name="t")
+    for role in ("A", "B", "C"):
+        spec.add_role(role)
+    spec.add_user("u")
+    return spec
+
+
+class TestCleanPolicies:
+    def test_empty_policy_valid(self):
+        assert validate_policy(PolicySpec()) == []
+
+    def test_well_formed_policy_valid(self):
+        spec = base_spec()
+        spec.add_hierarchy("A", "B")
+        spec.add_ssd("s", {"B", "C"})
+        spec.add_grant("A", "read", "x")
+        spec.add_assignment("u", "A")
+        assert validate_policy(spec) == []
+
+
+class TestReferentialIntegrity:
+    def test_hierarchy_unknown_role(self):
+        spec = base_spec()
+        spec.add_hierarchy("A", "Ghost")
+        issues = validate_policy(spec)
+        assert any("Ghost" in issue for issue in issues)
+
+    def test_assignment_unknown_user(self):
+        spec = base_spec()
+        spec.add_assignment("ghost", "A")
+        assert any("ghost" in issue for issue in validate_policy(spec))
+
+    def test_grant_undeclared_permission(self):
+        spec = base_spec()
+        spec.grants.append(("A", "read", "x"))  # bypass add_grant
+        assert any("undeclared permission" in issue
+                   for issue in validate_policy(spec))
+
+    def test_constraints_unknown_roles(self):
+        spec = base_spec()
+        spec.prerequisites.append(PrerequisiteRole("A", "Ghost"))
+        spec.post_conditions.append(PostConditionDependency("Ghost2", "A"))
+        spec.transactions.append(TransactionActivation("A", "Ghost3"))
+        spec.durations.append(DurationConstraint("Ghost4", 10.0))
+        spec.context_constraints.append(ContextConstraint(
+            "Ghost5", "v", ContextOp.EQ, 1))
+        issues = validate_policy(spec)
+        for ghost in ("Ghost", "Ghost2", "Ghost3", "Ghost4", "Ghost5"):
+            assert any(ghost in issue for issue in issues)
+
+
+class TestHierarchyChecks:
+    def test_cycle_detected(self):
+        spec = base_spec()
+        spec.add_hierarchy("A", "B")
+        spec.add_hierarchy("B", "C")
+        spec.add_hierarchy("C", "A")
+        issues = validate_policy(spec)
+        assert any("cycle" in issue for issue in issues)
+
+    def test_self_loop_detected(self):
+        spec = base_spec()
+        spec.add_hierarchy("A", "A")
+        assert any("self-loop" in issue for issue in validate_policy(spec))
+
+    def test_limited_mode_fanout(self):
+        spec = base_spec()
+        spec.hierarchy_limited = True
+        spec.add_hierarchy("A", "B")
+        spec.add_hierarchy("A", "C")
+        assert any("limited hierarchy" in issue
+                   for issue in validate_policy(spec))
+
+
+class TestSodChecks:
+    def test_bad_cardinality(self):
+        spec = base_spec()
+        spec.ssd["s"] = SodSetSpec("s", frozenset({"A", "B"}), 3)
+        assert any("cardinality" in issue for issue in validate_policy(spec))
+
+    def test_ssd_hierarchy_conflict(self):
+        # A >> B and SSD {A, B}: anyone assigned A is authorized for
+        # both members -> unsatisfiable.
+        spec = base_spec()
+        spec.add_hierarchy("A", "B")
+        spec.add_ssd("s", {"A", "B"})
+        issues = validate_policy(spec)
+        assert any("conflicts with the hierarchy" in issue
+                   for issue in issues)
+
+    def test_assignment_ssd_violation(self):
+        spec = base_spec()
+        spec.add_ssd("s", {"A", "B"})
+        spec.add_assignment("u", "A")
+        spec.add_assignment("u", "B")
+        assert any("violate SSD" in issue for issue in validate_policy(spec))
+
+    def test_inherited_assignment_violation(self):
+        spec = base_spec()
+        spec.add_hierarchy("A", "B")      # assigning A authorizes B
+        spec.add_ssd("s", {"B", "C"})
+        spec.add_assignment("u", "A")
+        spec.add_assignment("u", "C")
+        assert any("violate SSD" in issue for issue in validate_policy(spec))
+
+
+class TestCfdChecks:
+    def test_prerequisite_cycle(self):
+        spec = base_spec()
+        spec.prerequisites.append(PrerequisiteRole("A", "B"))
+        spec.prerequisites.append(PrerequisiteRole("B", "A"))
+        assert any("prerequisite roles form a cycle" in issue
+                   for issue in validate_policy(spec))
+
+    def test_transaction_cycle(self):
+        spec = base_spec()
+        spec.transactions.append(TransactionActivation("A", "B"))
+        spec.transactions.append(TransactionActivation("B", "A"))
+        assert any("anchors form a cycle" in issue
+                   for issue in validate_policy(spec))
+
+
+class TestTemporalChecks:
+    def test_duplicate_enabling_windows_flagged(self):
+        spec = base_spec()
+        interval = PeriodicInterval.daily("08:00", "16:00")
+        spec.enabling_windows.append(EnablingWindow("A", interval))
+        spec.enabling_windows.append(EnablingWindow("A", interval))
+        assert any("multiple enabling windows" in issue
+                   for issue in validate_policy(spec))
+
+    def test_disabling_sod_unknown_role(self):
+        spec = base_spec()
+        spec.disabling_sod.append(DisablingTimeSoD(
+            "d", frozenset({"A", "Ghost"}), PeriodicInterval.always()))
+        assert any("Ghost" in issue for issue in validate_policy(spec))
+
+
+class TestPrivacyChecks:
+    def test_undeclared_parent_purpose(self):
+        spec = base_spec()
+        spec.purposes.append(("child", "ghost-parent"))
+        assert any("ghost-parent" in issue
+                   for issue in validate_policy(spec))
+
+    def test_object_policy_unknown_purpose(self):
+        spec = base_spec()
+        spec.object_policies.append(ObjectPolicy("x", "read", "ghost"))
+        assert any("ghost" in issue for issue in validate_policy(spec))
+
+
+class TestRaiseMode:
+    def test_raises_aggregated(self):
+        spec = base_spec()
+        spec.add_hierarchy("A", "A")
+        spec.add_assignment("ghost", "A")
+        with pytest.raises(PolicyValidationError) as excinfo:
+            validate_policy(spec, raise_on_error=True)
+        assert len(excinfo.value.issues) >= 2
+
+    def test_no_raise_when_clean(self):
+        assert validate_policy(base_spec(), raise_on_error=True) == []
+
+    def test_cardinality_sanity(self):
+        spec = base_spec()
+        spec.add_role("Bad", max_active_users=0)
+        spec.add_user("bad", max_active_roles=0)
+        issues = validate_policy(spec)
+        assert any("max_active_users" in issue for issue in issues)
+        assert any("max_active_roles" in issue for issue in issues)

@@ -1,0 +1,118 @@
+"""Unit tests for static rule-pool verification (paper future work §7)."""
+
+import pytest
+
+from repro import ActiveRBACEngine, parse_policy
+from repro.rules.rule import Action, OWTERule
+from repro.synthesis.verify import (
+    Severity,
+    errors_only,
+    render_findings,
+    verify_rule_pool,
+)
+
+POLICY = """
+policy v {
+  role A; role B;
+  user u;
+  assign u to A;
+}
+"""
+
+
+@pytest.fixture
+def engine():
+    return ActiveRBACEngine.from_policy(parse_policy(POLICY))
+
+
+class TestCleanPool:
+    def test_generated_pool_verifies_clean(self, engine):
+        findings = verify_rule_pool(engine)
+        assert errors_only(findings) == []
+        assert render_findings([]) == "rule pool verification: clean"
+
+    def test_xyz_pool_verifies_clean(self, xyz_engine):
+        assert errors_only(verify_rule_pool(xyz_engine)) == []
+
+    def test_constraint_heavy_pool_verifies_clean(self):
+        engine = ActiveRBACEngine.from_policy(parse_policy("""
+        policy heavy {
+          role M; role J; role N; role D; role T; user u;
+          transaction J during M;
+          disabling_sod c roles N, D daily 10:00 to 17:00;
+          duration T 100;
+          require D when enabling N;
+          prerequisite J requires T;
+        }"""))
+        assert errors_only(verify_rule_pool(engine)) == []
+
+
+class TestFindings:
+    def test_orphan_request_event_after_rule_disable(self, engine):
+        engine.rules.disable("AAR1.A")
+        findings = verify_rule_pool(engine)
+        orphans = [f for f in findings if f.check == "orphan-request-event"]
+        assert any(f.subject == "addActiveRole.A" for f in orphans)
+        infos = [f for f in findings if f.check == "disabled-rule"]
+        assert any(f.subject == "AAR1.A" for f in infos)
+
+    def test_duplicate_commit_detected(self, engine):
+        engine.rules.add(OWTERule(
+            name="CC2.A", event="addSessionRole.A",
+            actions=[Action("commit again", lambda ctx: None)],
+            tags={"kind": "commit", "role:A": "1"},
+        ))
+        findings = verify_rule_pool(engine)
+        duplicates = [f for f in findings if f.check == "duplicate-commit"]
+        assert len(duplicates) == 1
+        assert duplicates[0].severity is Severity.ERROR
+
+    def test_cascade_cycle_detected(self, engine):
+        engine.detector.define_primitive("ping")
+        engine.detector.define_primitive("pong")
+        engine.rules.add(OWTERule(
+            name="Ping", event="ping",
+            actions=[Action("raise pong",
+                            lambda ctx: ctx.raise_event("pong"))],
+            tags={"raises": "pong"},
+        ))
+        engine.rules.add(OWTERule(
+            name="Pong", event="pong",
+            actions=[Action("raise ping",
+                            lambda ctx: ctx.raise_event("ping"))],
+            tags={"raises": "ping"},
+        ))
+        findings = verify_rule_pool(engine)
+        cycles = [f for f in findings if f.check == "cascade-cycle"]
+        assert cycles
+        assert "ping" in cycles[0].message and "pong" in cycles[0].message
+
+    def test_stale_role_tag_detected(self, engine):
+        engine.rules.add(OWTERule(
+            name="Stale", event="checkAccess",
+            tags={"role:Ghost": "1"},
+        ))
+        findings = verify_rule_pool(engine)
+        stale = [f for f in findings if f.check == "stale-role-tag"]
+        assert stale and stale[0].subject == "Stale"
+
+    def test_dangling_event_detected(self, engine):
+        # build a rule bound to an event, then undefine the event
+        engine.detector.define_primitive("temp")
+        engine.rules.add(OWTERule(name="Dangler", event="temp"))
+        engine.detector.undefine("temp")
+        findings = verify_rule_pool(engine)
+        dangling = [f for f in findings if f.check == "dangling-event"]
+        assert dangling and dangling[0].severity is Severity.ERROR
+
+    def test_render_findings_lists_each(self, engine):
+        engine.rules.disable("AAR1.A")
+        text = render_findings(verify_rule_pool(engine))
+        assert "finding(s)" in text
+        assert "orphan-request-event" in text
+
+    def test_no_false_cycle_from_commit_chain(self, engine):
+        """addActiveRole -> addSessionRole -> roleActivated is a DAG,
+        not a cycle."""
+        findings = verify_rule_pool(engine)
+        assert not [f for f in findings if f.check == "cascade-cycle"]

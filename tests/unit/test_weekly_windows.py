@@ -1,0 +1,132 @@
+"""Unit tests for weekly (day-of-week) periodic intervals."""
+
+import pytest
+
+from repro import ActiveRBACEngine, parse_policy
+from repro.clock import SECONDS_PER_DAY as DAY
+from repro.clock import SECONDS_PER_HOUR as H
+from repro.gtrbac.periodic import (
+    EPOCH_WEEKDAY,
+    PeriodicInterval,
+    parse_days,
+    weekday_of,
+)
+
+# the simulated epoch (Jan 1 2005) is a Saturday
+assert EPOCH_WEEKDAY == 5
+
+
+class TestParseDays:
+    def test_names_and_prefixes(self):
+        assert parse_days(["mon", "Tuesday", "WED"]) == frozenset({0, 1, 2})
+
+    def test_unknown_day_rejected(self):
+        with pytest.raises(ValueError):
+            parse_days(["funday"])
+
+    def test_weekday_of(self):
+        assert weekday_of(0.0) == 5            # Saturday
+        assert weekday_of(DAY) == 6            # Sunday
+        assert weekday_of(2 * DAY) == 0        # Monday
+
+
+class TestWeeklyContains:
+    def test_weekday_only_window(self):
+        weekdays = PeriodicInterval.daily(
+            "09:00", "17:00", days=["mon", "tue", "wed", "thu", "fri"])
+        assert not weekdays.contains(12 * H)            # Saturday noon
+        assert not weekdays.contains(DAY + 12 * H)      # Sunday noon
+        assert weekdays.contains(2 * DAY + 12 * H)      # Monday noon
+        assert not weekdays.contains(2 * DAY + 8 * H)   # Monday 08:00
+
+    def test_wrapping_window_belongs_to_start_day(self):
+        # Monday night shift 22:00 -> 06:00 covers Tuesday 03:00
+        monday_night = PeriodicInterval.daily("22:00", "06:00",
+                                              days=["mon"])
+        assert monday_night.contains(2 * DAY + 23 * H)   # Mon 23:00
+        assert monday_night.contains(3 * DAY + 3 * H)    # Tue 03:00
+        assert not monday_night.contains(3 * DAY + 23 * H)  # Tue 23:00
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicInterval(0.0, 3600.0, days=frozenset())
+        with pytest.raises(ValueError):
+            PeriodicInterval(0.0, 3600.0, days=frozenset({7}))
+
+    def test_describe_mentions_days(self):
+        interval = PeriodicInterval.daily("09:00", "17:00",
+                                          days=["fri", "mon"])
+        assert "on mon,fri" in interval.describe()
+
+
+class TestWeeklyBoundaries:
+    def test_boundary_skips_disallowed_days(self):
+        monday = PeriodicInterval.daily("09:00", "17:00", days=["mon"])
+        # from Saturday epoch, the next boundary is Monday 09:00
+        instant, opens = monday.next_boundary(0.0)
+        assert (instant, opens) == (2 * DAY + 9 * H, True)
+        instant, opens = monday.next_boundary(2 * DAY + 10 * H)
+        assert (instant, opens) == (2 * DAY + 17 * H, False)
+        # then a whole week passes
+        instant, opens = monday.next_boundary(2 * DAY + 18 * H)
+        assert (instant, opens) == (9 * DAY + 9 * H, True)
+
+    def test_boundaries_alternate_across_weeks(self):
+        monday = PeriodicInterval.daily("09:00", "17:00", days=["mon"])
+        instant, states = 0.0, []
+        for _ in range(6):
+            instant, opens = monday.next_boundary(instant)
+            states.append(opens)
+        assert states == [True, False] * 3
+
+
+class TestWeeklyEngineIntegration:
+    POLICY = """
+    policy weekly {
+      role WeekdayOps;
+      user bob;
+      assign bob to WeekdayOps;
+      enable WeekdayOps daily 09:00 to 17:00 on mon, tue, wed, thu, fri;
+    }
+    """
+
+    def test_weekend_disabled_weekday_enabled(self):
+        from repro.errors import ActivationDenied
+        engine = ActiveRBACEngine.from_policy(parse_policy(self.POLICY))
+        sid = engine.create_session("bob")
+        engine.advance_time(12 * H)  # Saturday noon
+        with pytest.raises(ActivationDenied):
+            engine.add_active_role(sid, "WeekdayOps")
+        engine.advance_time(2 * DAY)  # Monday noon
+        engine.add_active_role(sid, "WeekdayOps")
+        assert "WeekdayOps" in engine.model.session_roles(sid)
+        engine.advance_time(5 * H)  # Monday 17:00: window closes
+        assert "WeekdayOps" not in engine.model.session_roles(sid)
+
+    def test_transition_count_over_one_week(self):
+        engine = ActiveRBACEngine.from_policy(parse_policy(self.POLICY))
+        engine.advance_time(7 * DAY)
+        enables = len(engine.audit.by_kind("role.enable"))
+        disables = len(engine.audit.by_kind("role.disable"))
+        assert enables == 5 and disables == 5  # one week of weekdays
+
+    def test_dsl_round_trip_preserves_days(self):
+        from repro.policy.dsl import render_policy
+        spec = parse_policy(self.POLICY)
+        reparsed = parse_policy(render_policy(spec))
+        assert reparsed.enabling_windows == spec.enabling_windows
+
+    def test_weekly_disabling_sod(self):
+        from repro.errors import DeactivationDenied
+        engine = ActiveRBACEngine.from_policy(parse_policy("""
+        policy cov {
+          role A; role B;
+          disabling_sod c roles A, B daily 00:00 to 23:59 on sat;
+        }"""))
+        engine.disable_role("A")          # Saturday: constraint active
+        with pytest.raises(DeactivationDenied):
+            engine.disable_role("B")
+        engine.enable_role("A")
+        engine.advance_time(2 * DAY)      # Monday
+        engine.disable_role("A")
+        engine.disable_role("B")          # allowed: not Saturday
