@@ -48,3 +48,21 @@ def timed(fn, *args, **kwargs) -> tuple[float, object]:
     start = time.perf_counter()
     result = fn(*args, **kwargs)
     return (time.perf_counter() - start, result)
+
+
+def profiled(fn, *args, registry=None, label: str = "",
+             **kwargs) -> tuple[object, object]:
+    """Run ``fn`` under an observability :class:`~repro.obs.Profiler`.
+
+    Returns ``(profiler, result)``: the profiler carries wall time plus
+    the delta of every metric series that moved (pass
+    ``registry=engine.obs.metrics``), so a benchmark can report not
+    just "how long" but "how many events/rule firings per iteration".
+    """
+    from repro.obs import Profiler
+
+    profiler = Profiler(registry=registry,
+                        label=label or getattr(fn, "__name__", "block"))
+    with profiler:
+        result = fn(*args, **kwargs)
+    return profiler, result

@@ -45,6 +45,7 @@ from repro.errors import (
     SsdViolationError,
 )
 from repro.events import ConsumptionMode, EventDetector
+from repro.obs import MetricsRegistry, ObsHub, Profiler, Tracer
 from repro.policy import PolicyGraph, PolicySpec, parse_policy, validate_policy
 from repro.rules import OWTERule, RuleManager
 from repro.synthesis import PolicyEditor, full_regeneration, regenerate_roles
@@ -60,17 +61,21 @@ __all__ = [
     "DirectRBACEngine",
     "DsdViolationError",
     "EventDetector",
+    "MetricsRegistry",
     "OWTERule",
+    "ObsHub",
     "OperationDenied",
     "PolicyEditor",
     "PolicyGraph",
     "PolicySpec",
     "PolicySyntaxError",
     "PolicyValidationError",
+    "Profiler",
     "ReproError",
     "RuleManager",
     "SsdViolationError",
     "TimerService",
+    "Tracer",
     "VirtualClock",
     "full_regeneration",
     "parse_policy",

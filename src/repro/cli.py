@@ -2,11 +2,17 @@
 
 Usage (also via ``python -m repro``)::
 
-    repro-rbac check policy.rbac            # parse + validate + verify
+    repro-rbac check policy.rbac [--trace]  # parse + validate + verify
     repro-rbac graph policy.rbac            # the Figure 1 graph
     repro-rbac rules policy.rbac [--role R] # generated OWTE rules
-    repro-rbac simulate policy.rbac --requests 1000 --seed 7
+    repro-rbac simulate policy.rbac --requests 1000 --seed 7 [--trace]
+    repro-rbac metrics policy.rbac          # simulate + dump metrics
     repro-rbac fmt policy.rbac              # canonical DSL rendering
+
+``--trace`` turns on the structured tracer and prints span trees for
+denied operations ("explain why this request was denied"); ``metrics``
+drives the same synthetic stream as ``simulate`` and dumps the metrics
+registry in Prometheus text and/or JSON.
 
 Exit status: 0 on success/clean, 1 on validation or verification
 errors, 2 on usage/IO errors.
@@ -42,6 +48,27 @@ def _load(path: str):
         raise SystemExit(1)
 
 
+def _print_traces(engine, header: str = "traces") -> None:
+    """Render captured span trees: denied operations first (the
+    "explain the denial" view), else the most recent roots."""
+    tracer = engine.obs.tracer
+    denied = tracer.render_forest(only_errors=True, limit=5)
+    if denied:
+        shown = sum(1 for r in tracer.roots() if r.has_error())
+        print(f"--- {header}: {len(tracer)} captured, "
+              f"{shown} denied (showing up to 5) ---")
+        print(denied)
+    elif len(tracer):
+        print(f"--- {header}: {len(tracer)} captured, none denied "
+              f"(showing up to 3) ---")
+        print(tracer.render_forest(limit=3))
+    else:
+        print(f"--- {header}: nothing captured ---")
+    if tracer.dropped:
+        print(f"({tracer.dropped} older trace(s) dropped by the "
+              f"capacity bound)")
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     spec = _load(args.policy)
     issues = validate_policy(spec)
@@ -57,7 +84,32 @@ def cmd_check(args: argparse.Namespace) -> int:
     print(render_findings(findings))
     print(f"generated {len(engine.rules)} rules, "
           f"{len(engine.detector)} events")
+    if getattr(args, "trace", False):
+        _probe_with_trace(engine, spec)
     return 1 if errors_only(findings) else 0
+
+
+def _probe_with_trace(engine, spec) -> None:
+    """Drive one live probe (session + activation + access checks) with
+    the tracer on, then print the span trees — a dynamic complement to
+    the static pool verification."""
+    engine.obs.tracer.enabled = True
+    try:
+        if spec.assignments:
+            user, role = spec.assignments[0]
+            sid = engine.create_session(user)
+            engine.add_active_role(sid, role)
+            for operation, obj in spec.permissions[:3]:
+                engine.check_access(sid, operation, obj)
+            # one guaranteed denial so the trace shows the ELSE path
+            engine.check_access(sid, "__probe_op__", "__probe_obj__")
+        else:
+            print("(no assignments in policy; nothing to probe)")
+    except ReproError as exc:
+        print(f"(probe stopped on {type(exc).__name__}: {exc})")
+    finally:
+        engine.obs.tracer.enabled = False
+    _print_traces(engine, header="probe traces")
 
 
 def cmd_graph(args: argparse.Namespace) -> int:
@@ -83,15 +135,16 @@ def cmd_rules(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_simulate(args: argparse.Namespace) -> int:
+def _drive_stream(engine, spec, requests: int,
+                  seed: int) -> tuple[int, int, int]:
+    """Run the synthetic request stream against an engine; returns
+    ``(allowed, denied, rejected_with_error)``.  Shared by ``simulate``
+    and ``metrics``."""
     from repro.workloads import generate_request_stream
 
-    spec = _load(args.policy)
-    engine = ActiveRBACEngine(spec)
     sessions: dict[str, str] = {}
     allowed = denied = errors = 0
-    for request in generate_request_stream(spec, args.requests,
-                                           seed=args.seed):
+    for request in generate_request_stream(spec, requests, seed=seed):
         try:
             if request.kind == "create_session":
                 sessions[request.user] = engine.create_session(
@@ -115,6 +168,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                     denied += 1
         except ReproError:
             errors += 1
+    return allowed, denied, errors
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    spec = _load(args.policy)
+    engine = ActiveRBACEngine(spec)
+    if args.trace:
+        engine.obs.tracer.enabled = True
+    allowed, denied, errors = _drive_stream(engine, spec,
+                                            args.requests, args.seed)
     print(f"simulated {args.requests} requests over policy "
           f"{spec.name!r}")
     print(f"  allowed: {allowed}  denied: {denied}  "
@@ -122,6 +185,26 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"  detector: {engine.detector.stats()}")
     print()
     print(engine.audit.report())
+    if args.trace:
+        print()
+        _print_traces(engine)
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Drive the simulated stream, then dump the metrics registry."""
+    spec = _load(args.policy)
+    engine = ActiveRBACEngine(spec)
+    allowed, denied, errors = _drive_stream(engine, spec,
+                                            args.requests, args.seed)
+    print(f"# simulated {args.requests} requests over policy "
+          f"{spec.name!r} (allowed={allowed} denied={denied} "
+          f"errors={errors})")
+    registry = engine.obs.metrics
+    if args.format in ("prom", "both"):
+        print(registry.render_prometheus(), end="")
+    if args.format in ("json", "both"):
+        print(registry.render_json_text())
     return 0
 
 
@@ -166,6 +249,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="validate a policy and verify its "
                                 "generated rule pool")
     check.add_argument("policy")
+    check.add_argument("--trace", action="store_true",
+                       help="also run a traced live probe and print "
+                            "its span trees")
     check.set_defaults(fn=cmd_check)
 
     graph = sub.add_parser("graph",
@@ -183,7 +269,21 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("policy")
     simulate.add_argument("--requests", type=int, default=1000)
     simulate.add_argument("--seed", type=int, default=7)
+    simulate.add_argument("--trace", action="store_true",
+                          help="record span trees and print the denied "
+                               "operations' traces")
     simulate.set_defaults(fn=cmd_simulate)
+
+    metrics = sub.add_parser(
+        "metrics", help="drive the simulated stream and dump the "
+                        "metrics registry")
+    metrics.add_argument("policy")
+    metrics.add_argument("--requests", type=int, default=1000)
+    metrics.add_argument("--seed", type=int, default=7)
+    metrics.add_argument("--format", choices=("prom", "json", "both"),
+                         default="both",
+                         help="exposition format (default: both)")
+    metrics.set_defaults(fn=cmd_metrics)
 
     fmt = sub.add_parser("fmt", help="canonical DSL rendering")
     fmt.add_argument("policy")

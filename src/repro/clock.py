@@ -143,6 +143,9 @@ class TimerService:
         self._heap: list[_Timer] = []
         self._sequence = itertools.count()
         self._by_id: dict[int, _Timer] = {}
+        #: optional observability hook invoked once per fired callback
+        #: (the engine wires ``ObsHub.timer_fired`` here)
+        self.on_fire: Callable[[], None] | None = None
 
     @property
     def clock(self) -> VirtualClock:
@@ -199,6 +202,8 @@ class TimerService:
                 break
             heapq.heappop(self._heap)
             self._by_id.pop(head.timer_id, None)
+            if self.on_fire is not None:
+                self.on_fire()
             head.callback()
             fired += 1
         return fired

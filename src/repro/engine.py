@@ -30,6 +30,7 @@ engine and administer it imperatively.
 from __future__ import annotations
 
 import itertools
+import time
 
 from repro.clock import TimerService, VirtualClock
 from repro.enforcement import EnforcementHelpers
@@ -43,6 +44,7 @@ from repro.errors import (
 from repro.events.detector import EventDetector
 from repro.extensions.context import ContextProvider
 from repro.extensions.privacy import PrivacyRegistry
+from repro.obs import ObsHub
 from repro.policy.spec import PolicySpec, build_model
 from repro.rules.manager import RuleManager
 from repro.rules.rule import RuleOutcome
@@ -56,13 +58,24 @@ class ActiveRBACEngine(EnforcementHelpers):
     def __init__(self, policy: PolicySpec | None = None,
                  clock: VirtualClock | None = None,
                  max_cascade_depth: int = 64,
-                 audit_capacity: int = 100_000) -> None:
+                 audit_capacity: int = 100_000,
+                 obs: ObsHub | None = None) -> None:
         self.clock = clock or VirtualClock()
         self.timers = TimerService(self.clock)
         self.detector = EventDetector(self.timers)
         self.rules = RuleManager(self.detector, engine=self,
                                  max_cascade_depth=max_cascade_depth)
         self.audit = AuditLog(self.clock, capacity=audit_capacity)
+        # Observability hub: metrics default-on, tracer off until
+        # enabled (``engine.obs.tracer.enabled = True``).  Wired through
+        # every pipeline hook point; see docs/ARCHITECTURE.md.
+        self.obs = obs if obs is not None else ObsHub()
+        self.detector.obs = self.obs
+        self.rules.obs = self.obs
+        self.timers.on_fire = self.obs.timer_fired
+        self.obs.attach_detector(self.detector)
+        self.obs.attach_rules(self.rules)
+        self.obs.attach_audit_log(self.audit)
         self.context = ContextProvider()
         self.context.attach(self.detector)
         self.privacy = PrivacyRegistry()
@@ -122,6 +135,7 @@ class ActiveRBACEngine(EnforcementHelpers):
         swallowed — a timer has no requester to report the error to.
         Returns timer callbacks fired.
         """
+        self.obs.clock_advanced()
         return self.timers.advance(seconds)
 
     # ======================================================================
@@ -224,6 +238,8 @@ class ActiveRBACEngine(EnforcementHelpers):
         self.model.add_permission(operation, obj)
         if (operation, obj) not in self.policy.permissions:
             self.policy.permissions.append((operation, obj))
+        self.audit.record("admin.add_permission", operation=operation,
+                          object=obj)
 
     def grant_permission(self, role: str, operation: str, obj: str) -> None:
         self.model.grant_permission(role, operation, obj)
@@ -373,18 +389,23 @@ class ActiveRBACEngine(EnforcementHelpers):
         user = session.user if session is not None else None
         previous = self._decision
         self._decision = False
+        granted = False
+        start = time.perf_counter_ns()
         try:
             self.detector.raise_event(
                 "checkAccess", sessionId=session_id, operation=operation,
                 object=obj, purpose=purpose, user=user,
             )
-            if not self._decision:
+            granted = bool(self._decision)
+            if not granted:
                 # fail closed: no rule granted (e.g. CA rule disabled)
                 raise OperationDenied(
                     "Permission Denied (no rule granted the request)"
                 )
         finally:
             self._decision = previous
+            self.obs.access_decision(granted,
+                                     time.perf_counter_ns() - start)
 
     # ======================================================================
     # GTRBAC role status
@@ -415,6 +436,7 @@ class ActiveRBACEngine(EnforcementHelpers):
 
     def commit_session(self, session_id: str, user: str) -> None:
         self.model.create_session_record(session_id, user)
+        self.obs.session_changed("create")
         self.audit.record("session.create", session=session_id, user=user)
 
     def commit_session_delete(self, session_id: str) -> None:
@@ -425,6 +447,7 @@ class ActiveRBACEngine(EnforcementHelpers):
         for role in list(session.active_roles):
             self.commit_deactivation(session_id, role)
         self.model.delete_session_record(session_id)
+        self.obs.session_changed("delete")
         self.audit.record("session.delete", session=session_id)
 
     def commit_activation(self, session_id: str, role: str,
@@ -432,6 +455,7 @@ class ActiveRBACEngine(EnforcementHelpers):
         self.model.add_session_role_record(session_id, role)
         self.current_activation[(session_id, role)] = activation_id
         self.activation_started[(session_id, role)] = self.clock.now
+        self.obs.activation_changed("add")
         self.audit.record("activation.add", session=session_id, role=role)
 
     def commit_deactivation(self, session_id: str, role: str) -> None:
@@ -439,6 +463,7 @@ class ActiveRBACEngine(EnforcementHelpers):
         self.model.drop_session_role_record(session_id, role)
         self.current_activation.pop((session_id, role), None)
         self.activation_started.pop((session_id, role), None)
+        self.obs.activation_changed("drop")
         self.audit.record("activation.drop", session=session_id, role=role)
         self.detector.raise_event(
             f"roleDeactivated.{role}", sessionId=session_id, role=role,
@@ -519,11 +544,20 @@ class ActiveRBACEngine(EnforcementHelpers):
             self.audit.record("timer.denied", event=event,
                               error=type(exc).__name__, message=str(exc))
 
-    def stats(self) -> dict[str, int]:
-        """Combined model/detector/rule-pool counters."""
-        combined = dict(self.model.stats())
+    def stats(self) -> dict[str, int | float]:
+        """Combined model/detector/rule-pool counters, merged with the
+        observability registry snapshot.
+
+        Metric-registry series keep their own namespace: every merged
+        key starts with ``obs.`` (histograms contribute ``.count`` /
+        ``.sum`` / ``.mean`` sub-keys), so existing consumers of the
+        legacy keys are unaffected while CLI/examples surface the
+        richer counters without any API change.
+        """
+        combined: dict[str, int | float] = dict(self.model.stats())
         combined.update({f"events_{k}": v
                          for k, v in self.detector.stats().items()})
         combined["rules"] = len(self.rules)
         combined["audit_entries"] = len(self.audit)
+        combined.update(self.obs.metrics.snapshot_flat(prefix="obs."))
         return combined

@@ -49,6 +49,14 @@ class EventNode:
     detector, which fans it out to rule listeners and parent operators.
     """
 
+    #: True only on PrimitiveEventNode — read by the detector's dispatch
+    #: to fold raise-counting into the single per-dispatch obs hook.
+    is_primitive = False
+
+    #: per-node cache of bound metric children, set lazily by
+    #: ObsHub.bind_node on first dispatch (None until then)
+    obs_pair = None
+
     def __init__(self, detector: "EventDetector", name: str) -> None:
         self.detector = detector
         self.name = name
@@ -90,6 +98,8 @@ class PrimitiveEventNode(EventNode):
     F(PA1, ..., PAn)`` in the paper's notation — as well as any other
     domain-specific occurrence of interest.
     """
+
+    is_primitive = True
 
     def signal(self, params: dict) -> Occurrence:
         stamp = self.detector.clock.stamp()

@@ -63,6 +63,9 @@ class EventDetector:
         self._global_listeners: list[Listener] = []
         self._raised_count = 0
         self._detected_count = 0
+        #: optional :class:`~repro.obs.hub.ObsHub`; the engine wires one
+        #: in.  When None, raise/dispatch run the bare (seed) path.
+        self.obs = None
 
     # -- clock plumbing ------------------------------------------------------
 
@@ -268,6 +271,15 @@ class EventDetector:
         """Observe every detection (used by the audit log)."""
         self._global_listeners.append(listener)
 
+    def fanout(self, name: str) -> int:
+        """How many listeners a dispatch of ``name`` reaches right now
+        (event listeners plus global observers) — the observability
+        hub derives the fan-out distribution from this at collect
+        time instead of paying a histogram update per dispatch."""
+        listeners = self._listeners.get(name)
+        return ((len(listeners) if listeners else 0)
+                + len(self._global_listeners))
+
     def raise_event(self, name: str, /, **params: Any) -> Occurrence:
         """Signal a primitive event occurrence with keyword parameters.
 
@@ -281,7 +293,29 @@ class EventDetector:
                 f"{type(node).__name__}"
             )
         self._raised_count += 1
-        return node.signal(params)
+        obs = self.obs
+        if obs is None:
+            return node.signal(params)
+        if not node.enabled:
+            # signal() will not dispatch, so the raise must be counted
+            # here; the normal path counts it in dispatch (event_flow).
+            obs.event_raised(name)
+        tracer = obs.tracer
+        if not (obs.enabled and tracer.enabled):
+            return node.signal(params)
+        # A raise while another span is open is a cascade (a rule action
+        # re-entered the detector); otherwise it is an external root.
+        span = tracer.start(
+            name, "cascade" if tracer.in_flight else "event",
+            params=dict(params),
+        )
+        try:
+            return node.signal(params)
+        except Exception as exc:
+            span.set_error(exc)
+            raise
+        finally:
+            tracer.end(span)
 
     def dispatch(self, node: EventNode, occurrence: Occurrence) -> None:
         """Fan an occurrence out to listeners, observers and parents.
@@ -292,7 +326,20 @@ class EventDetector:
         raises complete before this call returns.
         """
         self._detected_count += 1
-        for listener in list(self._listeners.get(node.name, ())):
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            # inline counter bumps (see ObsHub.bind_node): dispatch is
+            # the hottest call in the engine and a hook call per event
+            # alone is measurable against the smoke-test budget
+            pair = node.obs_pair
+            if pair is None:
+                pair = obs.bind_node(node)
+            child = pair[0]
+            if child is not None:
+                child._value += 1
+            pair[1]._value += 1
+        listeners = self._listeners.get(node.name)
+        for listener in list(listeners or ()):
             listener(occurrence)
         for listener in self._global_listeners:
             listener(occurrence)

@@ -1,0 +1,39 @@
+"""repro.obs — observability for the active-rule enforcement pipeline.
+
+Three pillars (see docs/ARCHITECTURE.md, Observability):
+
+* :mod:`repro.obs.metrics` — zero-dependency counters, gauges and
+  ns-resolution histograms with Prometheus-text and JSON exposition;
+* :mod:`repro.obs.trace` — structured span trees over the event→rule
+  cascade ("explain why this request was denied");
+* :mod:`repro.obs.profile` — a :class:`Profiler` context manager the
+  benchmarks wrap around hot loops.
+
+:class:`~repro.obs.hub.ObsHub` bundles a registry and a tracer and is
+what the engine wires through the pipeline's hook points.
+"""
+
+from repro.obs.hub import ObsHub
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_NS,
+    DEPTH_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import Profiler
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_NS",
+    "DEPTH_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsHub",
+    "Profiler",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,441 @@
+"""Zero-dependency metrics primitives: counters, gauges, histograms.
+
+The enforcement pipeline is instrumented with a small, Prometheus-shaped
+metric vocabulary so that "every operation becomes an event cascade" is
+an observable fact rather than a claim: events raised by name, rule
+firings by outcome, condition/action latencies at nanosecond resolution
+(``time.perf_counter_ns``), cascade depths, access decisions.
+
+Design constraints (see docs/ARCHITECTURE.md, Observability):
+
+* **zero dependencies** — plain dicts and lists, no prometheus_client;
+* **cheap on the hot path** — a labeled counter increment is one dict
+  lookup plus an integer add; histograms use :func:`bisect.bisect_left`
+  over a small tuple of bucket bounds;
+* **two exposition formats** — Prometheus text (`render_prometheus`)
+  and JSON (`render_json`), plus a flat snapshot
+  (:meth:`MetricsRegistry.snapshot_flat`) that
+  :meth:`repro.engine.ActiveRBACEngine.stats` merges under the ``obs.``
+  key prefix.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Any, Iterator, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_NS",
+    "DEPTH_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds for nanosecond latencies:
+#: 1us .. 1s in a 1/2.5/5 ladder.  Chosen so a sub-microsecond guard
+#: check and a multi-millisecond rule cascade land in different buckets.
+DEFAULT_LATENCY_BUCKETS_NS: tuple[float, ...] = (
+    1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+    100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000, 10_000_000,
+    50_000_000, 100_000_000, 500_000_000, 1_000_000_000,
+)
+
+#: Bucket bounds for small integer distributions (cascade depth,
+#: listener fan-out).
+DEPTH_BUCKETS: tuple[float, ...] = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64)
+
+
+def _escape_label_value(value: str) -> str:
+    """Prometheus text-format label value escaping."""
+    return (value.replace("\\", "\\\\")
+                 .replace("\n", "\\n")
+                 .replace('"', '\\"'))
+
+
+def _format_value(value: float) -> str:
+    """Render ints without a trailing ``.0`` (Prometheus-friendly)."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+class _Metric:
+    """Base class: name, help text, and the labeled-children registry.
+
+    A metric either carries label names (then it is a *family* and all
+    reads/writes go through :meth:`labels`) or it does not (then it is a
+    single time series and is written directly).
+    """
+
+    kind = "untyped"
+
+    # __slots__ throughout: metric series are touched on the enforcement
+    # hot path (millions of increments/observations per benchmark run),
+    # and slot access is measurably cheaper than __dict__ lookups.
+    __slots__ = ("name", "help", "label_names", "_children")
+
+    def __init__(self, name: str, help: str = "",
+                 label_names: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._children: dict[tuple[str, ...], "_Metric"] = {}
+
+    def _new_child(self) -> "_Metric":
+        return type(self)(self.name, self.help)
+
+    def labels(self, *values: Any) -> "_Metric":
+        """The child series for one label-value combination (created on
+        first use).  Values are coerced to ``str``."""
+        if not self.label_names:
+            raise ValueError(
+                f"metric {self.name!r} has no labels; write it directly")
+        if len(values) != len(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} expects {len(self.label_names)} "
+                f"label value(s) ({', '.join(self.label_names)}), "
+                f"got {len(values)}")
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._new_child()
+        return child
+
+    def _check_unlabeled(self) -> None:
+        if self.label_names:
+            raise ValueError(
+                f"metric {self.name!r} is labeled "
+                f"({', '.join(self.label_names)}); use .labels(...)")
+
+    def series(self) -> Iterator[tuple[dict[str, str], "_Metric"]]:
+        """Yield ``(label_dict, series)`` pairs, one per time series."""
+        if self.label_names:
+            for key in sorted(self._children):
+                yield dict(zip(self.label_names, key)), self._children[key]
+        else:
+            yield {}, self
+
+    def reset(self) -> None:
+        """Zero this metric and every child series *in place* — child
+        objects stay registered, so references cached by hot paths
+        (e.g. the ObsHub's per-event child caches) remain live."""
+        for child in self._children.values():
+            child._reset_values()
+        self._reset_values()
+
+    def _reset_values(self) -> None:  # overridden
+        pass
+
+
+class Counter(_Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, help: str = "",
+                 label_names: Sequence[str] = ()) -> None:
+        super().__init__(name, help, label_names)
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self._check_unlabeled()
+        self._value += amount
+
+    def total(self) -> int:
+        """Sum across every child series (the family total)."""
+        if not self.label_names:
+            return self._value
+        return sum(child.value for _labels, child in self.series())
+
+    def _reset_values(self) -> None:
+        self._value = 0
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (pool sizes, pending timers)."""
+
+    kind = "gauge"
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, help: str = "",
+                 label_names: Sequence[str] = ()) -> None:
+        super().__init__(name, help, label_names)
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        self._check_unlabeled()
+        self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self._check_unlabeled()
+        self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self._check_unlabeled()
+        self._value -= amount
+
+    def _reset_values(self) -> None:
+        self._value = 0.0
+
+
+class Histogram(_Metric):
+    """Bucketed distribution with count/sum/min/max.
+
+    ``buckets`` are the finite upper bounds; an implicit ``+Inf`` bucket
+    catches overflow.  Bucket counts are *non-cumulative* internally and
+    cumulated only at render time (Prometheus semantics).
+    """
+
+    kind = "histogram"
+    __slots__ = ("bounds", "_counts", "_sum")
+
+    def __init__(self, name: str, help: str = "",
+                 label_names: Sequence[str] = (),
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_NS
+                 ) -> None:
+        super().__init__(name, help, label_names)
+        bounds = tuple(sorted(set(float(b) for b in buckets)))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+
+    def _new_child(self) -> "Histogram":
+        return Histogram(self.name, self.help, buckets=self.bounds)
+
+    def observe(self, value: float) -> None:
+        # Two mutations per observation — the total count is derived
+        # from the bucket array at read time, so the hot path stays a
+        # bisect + two adds (the ObsHub inlines this body).
+        if self.label_names:
+            self._check_unlabeled()
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self._sum += value
+
+    @property
+    def count(self) -> int:
+        return sum(self._counts)
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def mean(self) -> float:
+        count = sum(self._counts)
+        return self._sum / count if count else 0.0
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at +Inf."""
+        out = []
+        running = 0
+        for bound, n in zip(self.bounds, self._counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self._counts[-1]))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the
+        bucket holding the q-th observation); 0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        count = sum(self._counts)
+        if not count:
+            return 0.0
+        rank = q * count
+        running = 0
+        for bound, n in zip(self.bounds, self._counts):
+            running += n
+            if running >= rank:
+                return bound
+        return float("inf")  # q-th observation is in the overflow bucket
+
+    def _reset_values(self) -> None:
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+
+
+class MetricsRegistry:
+    """Named registry of metrics with dual exposition formats.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: registering
+    the same name twice returns the existing metric (and raises if the
+    kind or labels disagree), so independent components can share one
+    registry without coordination.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._collectors: list = []
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[_Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str) -> _Metric:
+        return self._metrics[name]
+
+    def _register(self, cls, name: str, help: str,
+                  label_names: Sequence[str], **kwargs) -> Any:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if (type(existing) is not cls
+                    or existing.label_names != tuple(label_names)):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind} with labels {existing.label_names}")
+            return existing
+        metric = cls(name, help, label_names, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                label_names: Sequence[str] = ()) -> Counter:
+        return self._register(Counter, name, help, label_names)
+
+    def gauge(self, name: str, help: str = "",
+              label_names: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help, label_names)
+
+    def histogram(self, name: str, help: str = "",
+                  label_names: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_NS
+                  ) -> Histogram:
+        return self._register(Histogram, name, help, label_names,
+                              buckets=buckets)
+
+    def reset(self) -> None:
+        """Zero every metric (definitions stay registered)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def add_collector(self, fn) -> None:
+        """Register a zero-arg callable run before every exposition
+        (Prometheus collector style): series whose truth lives
+        elsewhere — e.g. audit-record counts kept by the audit log —
+        are filled in here instead of paying a hook on the hot path.
+        Collectors must be idempotent (they run on every render)."""
+        self._collectors.append(fn)
+
+    def collect(self) -> None:
+        """Run every registered collector (exposition calls this)."""
+        for fn in self._collectors:
+            fn()
+
+    # -- exposition ----------------------------------------------------------
+
+    @staticmethod
+    def _label_str(labels: dict[str, str]) -> str:
+        if not labels:
+            return ""
+        inner = ",".join(f'{k}="{_escape_label_value(v)}"'
+                         for k, v in labels.items())
+        return "{" + inner + "}"
+
+    def render_prometheus(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        self.collect()
+        lines: list[str] = []
+        for metric in self._metrics.values():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for labels, series in metric.series():
+                if isinstance(series, Histogram):
+                    for bound, cumulative in series.cumulative_buckets():
+                        le = "+Inf" if bound == float("inf") \
+                            else _format_value(bound)
+                        bucket_labels = dict(labels, le=le)
+                        lines.append(
+                            f"{metric.name}_bucket"
+                            f"{self._label_str(bucket_labels)} {cumulative}")
+                    lines.append(f"{metric.name}_sum"
+                                 f"{self._label_str(labels)} "
+                                 f"{_format_value(series.sum)}")
+                    lines.append(f"{metric.name}_count"
+                                 f"{self._label_str(labels)} {series.count}")
+                else:
+                    lines.append(f"{metric.name}"
+                                 f"{self._label_str(labels)} "
+                                 f"{_format_value(series.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def render_json(self) -> dict[str, Any]:
+        """The registry as a JSON-ready dict: one entry per metric with
+        its type, help and every series."""
+        self.collect()
+        out: dict[str, Any] = {}
+        for metric in self._metrics.values():
+            entries: list[dict[str, Any]] = []
+            for labels, series in metric.series():
+                if isinstance(series, Histogram):
+                    entries.append({
+                        "labels": labels,
+                        "count": series.count,
+                        "sum": series.sum,
+                        "mean": series.mean(),
+                        "buckets": [
+                            {"le": ("+Inf" if bound == float("inf")
+                                    else bound),
+                             "count": cumulative}
+                            for bound, cumulative
+                            in series.cumulative_buckets()
+                        ],
+                    })
+                else:
+                    entries.append({"labels": labels,
+                                    "value": series.value})
+            out[metric.name] = {
+                "type": metric.kind,
+                "help": metric.help,
+                "series": entries,
+            }
+        return out
+
+    def render_json_text(self, indent: int = 2) -> str:
+        return json.dumps(self.render_json(), indent=indent,
+                          sort_keys=True)
+
+    def snapshot_flat(self, prefix: str = "") -> dict[str, float]:
+        """Flattened ``{key: number}`` view for stats() merging.
+
+        Keys are ``<prefix><name>`` for plain series and
+        ``<prefix><name>{k=v,...}`` for labeled ones; histograms
+        contribute ``.count``, ``.sum`` and ``.mean`` sub-keys.
+        """
+        self.collect()
+        flat: dict[str, float] = {}
+        for metric in self._metrics.values():
+            for labels, series in metric.series():
+                key = prefix + metric.name
+                if labels:
+                    inner = ",".join(f"{k}={v}" for k, v in labels.items())
+                    key += "{" + inner + "}"
+                if isinstance(series, Histogram):
+                    flat[key + ".count"] = series.count
+                    flat[key + ".sum"] = series.sum
+                    flat[key + ".mean"] = series.mean()
+                else:
+                    flat[key] = series.value
+        return flat

@@ -1,0 +1,241 @@
+"""Structured tracing: span trees over the event→rule cascade.
+
+Every *external* ``raise_event`` becomes a **root span**; rule firings
+and cascaded raises that happen while it is being processed become
+nested child spans.  The result is exactly the paper's "operation as an
+event cascade" made visible::
+
+    addActiveRole.Doctor (event) 41.2us  !ActivationDenied
+      AAR2.Doctor (rule) outcome=else 37.8us  !ActivationDenied: ...
+
+which answers the operational question "explain why this request was
+denied": the root event, every rule evaluated on the way down, the
+branch each took, and the typed error that vetoed it.
+
+The tracer is **off by default** — when ``enabled`` is False,
+instrumented code never constructs a span (the guard is a single
+attribute read).  When on, completed root spans are kept in a bounded
+ring (oldest dropped first) so long simulations cannot grow without
+bound.  Spans time themselves with ``time.perf_counter_ns``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One timed node in a trace tree.
+
+    ``kind`` describes what the span wraps: ``"event"`` (a root
+    ``raise_event``), ``"cascade"`` (a nested raise from a rule action),
+    ``"rule"`` (one OWTE rule firing), or anything a caller chooses for
+    ad-hoc spans.  ``attrs`` carries structured context (event
+    parameters, rule outcome); ``error``/``error_message`` record the
+    typed denial that aborted the span, if any.
+    """
+
+    __slots__ = ("name", "kind", "attrs", "children",
+                 "start_ns", "end_ns", "error", "error_message")
+
+    def __init__(self, name: str, kind: str = "event",
+                 attrs: dict[str, Any] | None = None) -> None:
+        self.name = name
+        self.kind = kind
+        self.attrs: dict[str, Any] = attrs if attrs is not None else {}
+        self.children: list["Span"] = []
+        self.start_ns = time.perf_counter_ns()
+        self.end_ns: int | None = None
+        self.error: str | None = None
+        self.error_message: str | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def finish(self) -> None:
+        if self.end_ns is None:
+            self.end_ns = time.perf_counter_ns()
+
+    def set_error(self, exc: BaseException) -> None:
+        self.error = type(exc).__name__
+        self.error_message = str(exc)
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def duration_ns(self) -> int:
+        if self.end_ns is None:
+            return 0
+        return self.end_ns - self.start_ns
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def has_error(self) -> bool:
+        """True when this span or any descendant recorded an error."""
+        return any(span.error is not None for span in self.walk())
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant (or self) with the given name."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    # -- export --------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "duration_ns": self.duration_ns,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.error is not None:
+            out["error"] = self.error
+            out["error_message"] = self.error_message
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def render(self, indent: int = 0) -> str:
+        """Indented text tree rooted at this span."""
+        pad = "  " * indent
+        parts = [f"{pad}{self.name} ({self.kind})"]
+        for key, value in self.attrs.items():
+            parts.append(f"{key}={value!r}" if isinstance(value, str)
+                         else f"{key}={value}")
+        parts.append(f"{self.duration_ns / 1000:.1f}us")
+        if self.error is not None:
+            parts.append(f"!{self.error}: {self.error_message}")
+        lines = [" ".join(parts)]
+        lines.extend(child.render(indent + 1) for child in self.children)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, kind={self.kind!r}, "
+                f"children={len(self.children)}, error={self.error!r})")
+
+
+class Tracer:
+    """Span factory + bounded store of completed root spans.
+
+    Nesting is tracked with an explicit stack: a span started while
+    another is open becomes its child.  Dispatch in this codebase is
+    synchronous and depth-first (see ``EventDetector.dispatch``), so a
+    stack models it exactly.
+    """
+
+    def __init__(self, capacity: int = 256, enabled: bool = False) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be positive")
+        self.enabled = enabled
+        self.capacity = capacity
+        self._roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._dropped = 0
+
+    # -- span lifecycle ------------------------------------------------------
+
+    @property
+    def in_flight(self) -> bool:
+        """True while at least one span is open."""
+        return bool(self._stack)
+
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    def start(self, name: str, kind: str = "event",
+              **attrs: Any) -> Span:
+        """Open a span (child of the current span, else a new root)."""
+        span = Span(name, kind, attrs or None)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            if len(self._roots) >= self.capacity:
+                overflow = len(self._roots) - self.capacity + 1
+                del self._roots[:overflow]
+                self._dropped += overflow
+            self._roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span, error: BaseException | None = None) -> None:
+        """Close a span; pops the stack down through it (defensive
+        against a child left open by an exception)."""
+        if error is not None and span.error is None:
+            span.set_error(error)
+        span.finish()
+        if span not in self._stack:  # already ended: no-op on the stack
+            return
+        while self._stack:
+            top = self._stack.pop()
+            top.finish()
+            if top is span:
+                break
+
+    @contextmanager
+    def span(self, name: str, kind: str = "event",
+             **attrs: Any) -> Iterator[Span]:
+        """``with tracer.span("checkAccess"):`` convenience wrapper that
+        records any escaping exception as the span's error."""
+        opened = self.start(name, kind, **attrs)
+        try:
+            yield opened
+        except BaseException as exc:
+            opened.set_error(exc)
+            raise
+        finally:
+            self.end(opened)
+
+    # -- store ---------------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Root spans evicted by the capacity bound."""
+        return self._dropped
+
+    def roots(self) -> list[Span]:
+        return list(self._roots)
+
+    def __len__(self) -> int:
+        return len(self._roots)
+
+    def clear(self) -> None:
+        self._roots.clear()
+        self._stack.clear()
+        self._dropped = 0
+
+    # -- export --------------------------------------------------------------
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [root.to_dict() for root in self._roots]
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dicts(), indent=indent)
+
+    def render_forest(self, only_errors: bool = False,
+                      limit: int | None = None) -> str:
+        """Indented text trees for captured roots.
+
+        ``only_errors`` keeps just the traces where some span recorded
+        an error (the "explain the denial" view); ``limit`` keeps the
+        most recent N after filtering.
+        """
+        roots = self._roots
+        if only_errors:
+            roots = [r for r in roots if r.has_error()]
+        if limit is not None:
+            roots = roots[-limit:]
+        return "\n\n".join(root.render() for root in roots)

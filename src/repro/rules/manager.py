@@ -56,6 +56,10 @@ class RuleManager:
         self._dispatchers: dict[str, Callable[[Occurrence], None]] = {}
         self._observers: list[FiringObserver] = []
         self._depth = 0
+        #: optional :class:`~repro.obs.hub.ObsHub` (wired by the engine):
+        #: outcome counters, W/T/E latency histograms, cascade depth,
+        #: and per-firing trace spans.
+        self.obs = None
 
     # -- pool management -------------------------------------------------------
 
@@ -205,6 +209,20 @@ class RuleManager:
                 f"{self.max_cascade_depth} while firing rules for {event!r}"
             )
         self._depth += 1
+        obs = self.obs
+        if obs is not None and not obs.enabled:
+            obs = None
+        if obs is not None:
+            # inline depth-1 fast path (see ObsHub.cascade_entered —
+            # almost every dispatch enters at depth 1)
+            depth = self._depth
+            if depth == 1:
+                obs._cascade_shallow += 1
+            else:
+                obs.cascade_entered(depth)
+            tracing = obs.tracer.enabled
+        else:
+            tracing = False
         try:
             # Snapshot: a rule that adds/removes rules mid-firing does not
             # perturb this round.
@@ -215,8 +233,21 @@ class RuleManager:
                                   manager=self, engine=self.engine)
                 outcome = RuleOutcome.ERROR
                 error: Exception | None = None
+                timed = False
+                if obs is not None:
+                    # systematic sampling of the W/T/E latency
+                    # histograms: every timing_interval-th firing is
+                    # timed (inline — this runs once per firing)
+                    tick = obs._timing_tick - 1
+                    if tick > 0:
+                        obs._timing_tick = tick
+                    else:
+                        obs._timing_tick = obs.timing_interval
+                        timed = True
+                span = obs.tracer.start(rule.name, "rule", event=event) \
+                    if tracing else None
                 try:
-                    outcome = rule.execute(ctx)
+                    outcome = rule.execute(ctx, timed)
                 except ReproError as exc:
                     # Expected veto path (AccessDenied & co): observers see
                     # an ELSE with the error attached, then it propagates.
@@ -224,6 +255,21 @@ class RuleManager:
                     error = exc
                     raise
                 finally:
+                    if obs is not None:
+                        if error is not None:
+                            # inline typed-error count (the deny path
+                            # comes through here on every veto)
+                            child = obs._error_cache.get(
+                                (rule.name, type(error)))
+                            if child is None:
+                                child = obs.bind_error(rule.name, error)
+                            child._value += 1
+                        if timed:
+                            obs.rule_timing(rule.name, rule.last_cond_ns,
+                                            rule.last_act_ns)
+                    if span is not None:
+                        span.set_attr("outcome", outcome.value)
+                        obs.tracer.end(span, error)
                     for observer in self._observers:
                         observer(rule, occurrence, outcome, error)
         finally:

@@ -18,6 +18,7 @@ so generated rules can be pretty-printed in the paper's RULE [...] layout
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
@@ -178,28 +179,57 @@ class OWTERule:
     fired_count: int = 0
     then_count: int = 0
     else_count: int = 0
+    #: perf_counter_ns durations of the most recent timed firing
+    #: (set by execute(..., timed=True); the manager feeds them to
+    #: ObsHub.rule_timing after the firing settles)
+    last_cond_ns: int = 0
+    last_act_ns: int = 0
 
     def evaluate_conditions(self, ctx: RuleContext) -> bool:
         """The W clause: conjunction, short-circuiting on first FALSE."""
         return all(cond(ctx) for cond in self.conditions)
 
-    def execute(self, ctx: RuleContext) -> RuleOutcome:
+    def execute(self, ctx: RuleContext, timed: bool = False) -> RuleOutcome:
         """Fire the rule: W, then T or E.
 
         Exceptions from actions propagate to the caller — an ELSE action
         raising :class:`~repro.errors.AccessDenied` is precisely how a
         request is vetoed.
+
+        With ``timed=True`` the W clause and the taken branch are timed
+        separately (``perf_counter_ns``) into ``last_cond_ns`` /
+        ``last_act_ns`` for the manager to hand to the observability
+        hub.  Timing lands even when an action raises — the denial path
+        is the one worth measuring.
         """
         self.fired_count += 1
-        if self.evaluate_conditions(ctx):
-            self.then_count += 1
-            for act in self.actions:
-                act(ctx)
-            return RuleOutcome.THEN
-        self.else_count += 1
-        for alt in self.alt_actions:
-            alt(ctx)
-        return RuleOutcome.ELSE
+        if not timed:
+            if self.evaluate_conditions(ctx):
+                self.then_count += 1
+                for act in self.actions:
+                    act(ctx)
+                return RuleOutcome.THEN
+            self.else_count += 1
+            for alt in self.alt_actions:
+                alt(ctx)
+            return RuleOutcome.ELSE
+
+        start = time.perf_counter_ns()
+        matched = self.evaluate_conditions(ctx)
+        mid = time.perf_counter_ns()
+        self.last_cond_ns = mid - start
+        try:
+            if matched:
+                self.then_count += 1
+                for act in self.actions:
+                    act(ctx)
+                return RuleOutcome.THEN
+            self.else_count += 1
+            for alt in self.alt_actions:
+                alt(ctx)
+            return RuleOutcome.ELSE
+        finally:
+            self.last_act_ns = time.perf_counter_ns() - mid
 
     def render(self) -> str:
         """Pretty-print in the paper's RULE [ name ON ... ] layout."""

@@ -49,6 +49,7 @@ class AuditLog:
         self._entries: list[AuditEntry] = []
         self._dropped = 0
         self._observers: list[Callable[[AuditEntry], None]] = []
+        self._kind_counts: dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -66,6 +67,7 @@ class AuditLog:
 
     def record(self, kind: str, **detail: Any) -> AuditEntry:
         entry = AuditEntry(self._clock.now, kind, detail)
+        self._kind_counts[kind] = self._kind_counts.get(kind, 0) + 1
         self._entries.append(entry)
         if len(self._entries) > self._capacity:
             overflow = len(self._entries) - self._capacity
@@ -98,10 +100,11 @@ class AuditLog:
         return [e for e in self._entries if e.time >= time]
 
     def counts_by_kind(self) -> dict[str, int]:
-        counts: dict[str, int] = {}
-        for entry in self._entries:
-            counts[entry.kind] = counts.get(entry.kind, 0) + 1
-        return counts
+        """Records ever made per kind, maintained incrementally — unlike
+        the entry list, counts are NOT decremented when the capacity
+        bound evicts old entries (the ``repro_audit_records_total``
+        metric reads this at collect time)."""
+        return dict(self._kind_counts)
 
     def report(self, since: float = 0.0) -> str:
         """A human-readable activity report (the paper's "generate

@@ -1,0 +1,283 @@
+"""Unit tests for the metrics registry: counter/gauge/histogram math,
+exposition formats, and the engine's stats() merge."""
+
+import json
+
+import pytest
+
+from repro import ActiveRBACEngine, parse_policy
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS_NS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Profiler,
+)
+
+POLICY = """
+policy demo {
+  role A; role B;
+  user u;
+  hierarchy A > B;
+  assign u to A;
+  permission read on doc;
+  grant read on doc to B;
+}
+"""
+
+
+class TestCounter:
+    def test_basic_increment(self):
+        c = Counter("hits_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("hits_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labeled_children_and_family_total(self):
+        c = Counter("hits_total", label_names=("kind",))
+        c.labels("a").inc()
+        c.labels("a").inc()
+        c.labels("b").inc(3)
+        assert c.labels("a").value == 2
+        assert c.labels("b").value == 3
+        assert c.total() == 5
+
+    def test_labeled_counter_rejects_direct_write(self):
+        c = Counter("hits_total", label_names=("kind",))
+        with pytest.raises(ValueError):
+            c.inc()
+
+    def test_unlabeled_counter_rejects_labels(self):
+        with pytest.raises(ValueError):
+            Counter("hits_total").labels("a")
+
+    def test_label_arity_checked(self):
+        c = Counter("hits_total", label_names=("a", "b"))
+        with pytest.raises(ValueError):
+            c.labels("only-one")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(2.5)
+        g.dec()
+        assert g.value == 11.5
+
+
+class TestHistogram:
+    def test_observation_math(self):
+        h = Histogram("lat_ns", buckets=(10, 100, 1000))
+        for value in (5, 50, 500, 5000):
+            h.observe(value)
+        assert h.count == 4
+        assert h.sum == 5555
+        assert h.mean() == pytest.approx(5555 / 4)
+
+    def test_cumulative_buckets(self):
+        h = Histogram("lat_ns", buckets=(10, 100, 1000))
+        for value in (5, 50, 500, 5000):
+            h.observe(value)
+        assert h.cumulative_buckets() == [
+            (10, 1), (100, 2), (1000, 3), (float("inf"), 4)]
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        # le semantics: an observation equal to the bound counts in it
+        h = Histogram("lat_ns", buckets=(10, 100))
+        h.observe(10)
+        assert h.cumulative_buckets()[0] == (10, 1)
+
+    def test_quantile_estimate(self):
+        h = Histogram("lat_ns", buckets=(10, 100, 1000))
+        for value in (1, 2, 3, 50, 500):
+            h.observe(value)
+        assert h.quantile(0.5) == 10     # 3 of 5 in the first bucket
+        assert h.quantile(1.0) == 1000
+        assert Histogram("e", buckets=(1,)).quantile(0.5) == 0.0
+
+    def test_default_buckets_cover_ns_latencies(self):
+        assert DEFAULT_LATENCY_BUCKETS_NS[0] == 1_000
+        assert DEFAULT_LATENCY_BUCKETS_NS[-1] == 1_000_000_000
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        r = MetricsRegistry()
+        a = r.counter("x_total", "help")
+        b = r.counter("x_total")
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        r = MetricsRegistry()
+        r.counter("x_total")
+        with pytest.raises(ValueError):
+            r.gauge("x_total")
+
+    def test_label_conflict_rejected(self):
+        r = MetricsRegistry()
+        r.counter("x_total", label_names=("a",))
+        with pytest.raises(ValueError):
+            r.counter("x_total", label_names=("b",))
+
+    def test_prometheus_text_format(self):
+        r = MetricsRegistry()
+        r.counter("req_total", "requests", ("kind",)).labels("x").inc(2)
+        r.histogram("lat_ns", "latency", buckets=(100, 1000)).observe(50)
+        text = r.render_prometheus()
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{kind="x"} 2' in text
+        assert "# TYPE lat_ns histogram" in text
+        assert 'lat_ns_bucket{le="100"} 1' in text
+        assert 'lat_ns_bucket{le="+Inf"} 1' in text
+        assert "lat_ns_sum 50" in text
+        assert "lat_ns_count 1" in text
+
+    def test_prometheus_label_escaping(self):
+        r = MetricsRegistry()
+        r.counter("c_total", "", ("v",)).labels('he said "hi"\n').inc()
+        text = r.render_prometheus()
+        assert r'he said \"hi\"\n' in text
+
+    def test_json_round_trips(self):
+        r = MetricsRegistry()
+        r.counter("req_total", "requests", ("kind",)).labels("x").inc(2)
+        r.histogram("lat_ns", buckets=(100,)).observe(10)
+        data = json.loads(r.render_json_text())
+        assert data["req_total"]["type"] == "counter"
+        assert data["req_total"]["series"][0] == {
+            "labels": {"kind": "x"}, "value": 2}
+        hist = data["lat_ns"]["series"][0]
+        assert hist["count"] == 1 and hist["sum"] == 10
+
+    def test_snapshot_flat(self):
+        r = MetricsRegistry()
+        r.counter("req_total", "", ("kind",)).labels("x").inc(2)
+        r.histogram("lat_ns", buckets=(100,)).observe(10)
+        flat = r.snapshot_flat(prefix="obs.")
+        assert flat["obs.req_total{kind=x}"] == 2
+        assert flat["obs.lat_ns.count"] == 1
+        assert flat["obs.lat_ns.sum"] == 10
+
+    def test_reset_zeroes_but_keeps_definitions(self):
+        r = MetricsRegistry()
+        c = r.counter("req_total")
+        c.inc(5)
+        r.reset()
+        assert "req_total" in r
+        assert r.counter("req_total").value == 0
+
+
+class TestEngineStatsMerge:
+    """Satellite: engine.stats() merges the registry snapshot under a
+    pinned key namespace so existing callers see richer counters with
+    no API change."""
+
+    def test_legacy_keys_survive_and_obs_keys_are_namespaced(self):
+        engine = ActiveRBACEngine.from_policy(parse_policy(POLICY))
+        sid = engine.create_session("u")
+        engine.add_active_role(sid, "A")
+        engine.check_access(sid, "read", "doc")
+        stats = engine.stats()
+        # legacy namespace intact
+        for key in ("events_raised", "events_detected", "rules",
+                    "audit_entries"):
+            assert key in stats
+        # every new key lives under the obs. prefix
+        new_keys = [k for k in stats if k.startswith("obs.")]
+        assert new_keys, "registry snapshot missing from stats()"
+        legacy = {k for k in stats if not k.startswith("obs.")}
+        baseline = ActiveRBACEngine.from_policy(parse_policy(POLICY))
+        assert legacy == {k for k in baseline.stats()
+                          if not k.startswith("obs.")}
+        # the merged counters reflect real activity
+        assert stats["obs.repro_events_raised_total{event=checkAccess}"] == 1
+        assert stats["obs.repro_check_access_total{decision=grant}"] == 1
+        assert stats[
+            "obs.repro_check_access_ns{decision=grant}.count"] == 1
+
+    def test_disabled_hub_contributes_nothing(self):
+        engine = ActiveRBACEngine.from_policy(parse_policy(POLICY))
+        engine.obs.enabled = False
+        engine.obs.metrics.reset()
+        sid = engine.create_session("u")
+        engine.check_access(sid, "read", "doc")
+        moved = {k: v for k, v in engine.obs.metrics
+                 .snapshot_flat().items() if v}
+        assert moved == {}
+        assert sid in engine.model.sessions  # behaviour unchanged
+
+
+class TestPipelineCounters:
+    def test_simulated_traffic_moves_every_pillar(self):
+        engine = ActiveRBACEngine.from_policy(parse_policy(POLICY))
+        engine.obs.set_timing_interval(1)  # time every firing (no sampling)
+        sid = engine.create_session("u")
+        engine.add_active_role(sid, "A")
+        engine.check_access(sid, "read", "doc")      # grant
+        engine.check_access(sid, "write", "doc")     # deny
+        hub = engine.obs
+        # fan-out, cascade fast path and audit mirrors are collect-time
+        # series — fold them before asserting
+        hub.metrics.collect()
+        assert hub.events_raised.total() > 0
+        assert hub.events_detected.total() > 0
+        assert hub.rule_firings.total() > 0
+        assert hub.decisions.labels("grant").value == 1
+        assert hub.decisions.labels("deny").value == 1
+        assert hub.condition_ns.labels("CA.checkAccess").count == 2
+        assert hub.action_ns.labels("CA.checkAccess").count == 2
+        assert hub.cascade_depth.count > 0
+        assert hub.session_churn.labels("create").value == 1
+        assert hub.activation_churn.labels("add").value == 1
+        assert hub.listener_fanout.count > 0
+        assert hub.listener_dispatch.value > 0
+        assert hub.audit_records.total() == len(engine.audit)
+
+    def test_else_outcome_and_error_counted(self):
+        engine = ActiveRBACEngine.from_policy(parse_policy(POLICY))
+        sid = engine.create_session("u")
+        assert not engine.check_access(sid, "read", "doc")  # no role
+        hub = engine.obs
+        hub.metrics.collect()  # firing counts are mirrored from the pool
+        assert hub.rule_firings.labels("CA.checkAccess", "else").value == 1
+        assert hub.rule_errors.labels(
+            "CA.checkAccess", "OperationDenied").value == 1
+
+    def test_timer_callbacks_counted(self):
+        engine = ActiveRBACEngine.from_policy(parse_policy(POLICY))
+        fired = {"n": 0}
+        engine.timers.schedule_after(5, lambda: fired.__setitem__(
+            "n", fired["n"] + 1))
+        engine.advance_time(10)
+        assert fired["n"] == 1
+        assert engine.obs.timer_callbacks.value == 1
+        assert engine.obs.clock_advances.value == 1
+
+
+class TestProfiler:
+    def test_captures_wall_time_and_metric_delta(self):
+        engine = ActiveRBACEngine.from_policy(parse_policy(POLICY))
+        sid = engine.create_session("u")
+        engine.add_active_role(sid, "A")
+        with Profiler(registry=engine.obs.metrics, label="loop") as prof:
+            for _ in range(10):
+                engine.check_access(sid, "read", "doc")
+        assert prof.elapsed_ns > 0
+        delta = prof.delta()
+        assert delta["repro_check_access_total{decision=grant}"] == 10
+        assert "loop" in prof.report()
+        assert "repro_check_access_ns" in prof.report()
+
+    def test_without_registry_is_a_stopwatch(self):
+        with Profiler() as prof:
+            pass
+        assert prof.elapsed_ns >= 0
+        assert prof.delta() == {}
+        assert "no metric movement" in prof.report()

@@ -1,0 +1,187 @@
+"""Unit tests for the structured tracer: span nesting across the
+addActiveRole → addSessionRole (cardinality) → roleActivated cascade,
+ELSE-branch spans carrying typed denial errors, and exports."""
+
+import json
+
+import pytest
+
+from repro import ActiveRBACEngine, parse_policy
+from repro.errors import ActivationDenied, CardinalityExceeded
+from repro.obs import Span, Tracer
+
+POLICY = """
+policy demo {
+  role A max_active_users 1; role B;
+  user u; user v;
+  assign u to A;
+  assign v to A;
+  permission read on doc;
+  grant read on doc to A;
+}
+"""
+
+
+def traced_engine(policy: str = POLICY) -> ActiveRBACEngine:
+    engine = ActiveRBACEngine.from_policy(parse_policy(policy))
+    engine.obs.tracer.enabled = True
+    return engine
+
+
+class TestSpanPrimitives:
+    def test_nesting_via_stack(self):
+        tracer = Tracer(enabled=True)
+        root = tracer.start("outer")
+        child = tracer.start("inner", "rule")
+        tracer.end(child)
+        tracer.end(root)
+        assert tracer.roots() == [root]
+        assert root.children == [child]
+        assert not tracer.in_flight
+
+    def test_span_context_manager_records_error(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with tracer.span("op") as span:
+                raise RuntimeError("boom")
+        assert span.error == "RuntimeError"
+        assert span.error_message == "boom"
+        assert span.end_ns is not None
+
+    def test_capacity_bound_drops_oldest(self):
+        tracer = Tracer(capacity=2, enabled=True)
+        for i in range(4):
+            with tracer.span(f"r{i}"):
+                pass
+        assert [r.name for r in tracer.roots()] == ["r2", "r3"]
+        assert tracer.dropped == 2
+
+    def test_end_pops_abandoned_children(self):
+        tracer = Tracer(enabled=True)
+        root = tracer.start("outer")
+        tracer.start("leaked")
+        tracer.end(root)  # must close the leaked child too
+        assert not tracer.in_flight
+
+    def test_walk_find_and_has_error(self):
+        root = Span("a")
+        child = Span("b", "rule")
+        root.children.append(child)
+        child.set_error(ValueError("x"))
+        assert [s.name for s in root.walk()] == ["a", "b"]
+        assert root.find("b") is child
+        assert root.has_error()
+
+
+class TestCascadeSpans:
+    def test_activation_cascade_nests_three_levels(self):
+        """addActiveRole.A → AAR rule → addSessionRole.A cascade →
+        CC (cardinality) rule → roleActivated.A cascade."""
+        engine = traced_engine()
+        sid = engine.create_session("u")
+        engine.add_active_role(sid, "A")
+        roots = engine.obs.tracer.roots()
+        root = next(r for r in roots if r.name == "addActiveRole.A")
+        assert root.kind == "event"
+        aar = root.children[0]
+        assert aar.kind == "rule"
+        assert aar.name.startswith("AAR")
+        assert aar.attrs["outcome"] == "then"
+        cascade = aar.find("addSessionRole.A")
+        assert cascade is not None and cascade.kind == "cascade"
+        cc = cascade.find("CC.A")
+        assert cc is not None and cc.attrs["outcome"] == "then"
+        activated = cc.find("roleActivated.A")
+        assert activated is not None and activated.kind == "cascade"
+
+    def test_else_branch_span_carries_typed_denial(self):
+        engine = traced_engine()
+        sid = engine.create_session("u")
+        engine.add_active_role(sid, "A")
+        other = engine.create_session("v")
+        with pytest.raises(CardinalityExceeded):
+            # role A caps at one active user: the CC rule's ELSE vetoes
+            engine.add_active_role(other, "A")
+        root = engine.obs.tracer.roots()[-1]
+        assert root.name == "addActiveRole.A"
+        assert root.error == "CardinalityExceeded"
+        cc = root.find("CC.A")
+        assert cc is not None
+        assert cc.attrs["outcome"] == "else"
+        assert cc.error == "CardinalityExceeded"
+        assert "Maximum Number of Roles" in cc.error_message
+
+    def test_unassigned_activation_denied_at_the_aar_rule(self):
+        engine = traced_engine()
+        sid = engine.create_session("v")
+        engine.obs.tracer.clear()
+        with pytest.raises(ActivationDenied):
+            engine.add_active_role(sid, "B")  # v is not assigned to B
+        root = engine.obs.tracer.roots()[0]
+        rule_spans = [s for s in root.walk() if s.kind == "rule"]
+        assert rule_spans, "no rule span recorded for the denial"
+        assert any(s.attrs.get("outcome") == "else" for s in rule_spans)
+        assert root.error == "ActivationDenied"
+
+    def test_denied_check_access_trace_is_explainable(self):
+        engine = traced_engine()
+        sid = engine.create_session("u")
+        engine.obs.tracer.clear()
+        assert not engine.check_access(sid, "read", "doc")
+        root = engine.obs.tracer.roots()[0]
+        assert root.name == "checkAccess"
+        ca = root.find("CA.checkAccess")
+        assert ca.attrs["outcome"] == "else"
+        assert ca.error == "OperationDenied"
+        # the denial event cascaded for the active-security monitor
+        assert root.find("accessDenied").kind == "cascade"
+
+
+class TestTracerToggling:
+    def test_disabled_tracer_records_nothing(self):
+        engine = ActiveRBACEngine.from_policy(parse_policy(POLICY))
+        sid = engine.create_session("u")
+        engine.add_active_role(sid, "A")
+        assert len(engine.obs.tracer) == 0
+
+    def test_hub_disable_trumps_tracer_enable(self):
+        engine = ActiveRBACEngine.from_policy(parse_policy(POLICY))
+        engine.obs.enabled = False
+        engine.obs.tracer.enabled = True
+        engine.create_session("u")
+        assert len(engine.obs.tracer) == 0
+
+
+class TestExports:
+    def test_json_export(self):
+        engine = traced_engine()
+        sid = engine.create_session("u")
+        engine.add_active_role(sid, "A")
+        data = json.loads(engine.obs.tracer.to_json())
+        names = [root["name"] for root in data]
+        assert "addActiveRole.A" in names
+        activation = data[names.index("addActiveRole.A")]
+        assert activation["children"][0]["kind"] == "rule"
+        assert activation["children"][0]["attrs"]["outcome"] == "then"
+        assert activation["duration_ns"] > 0
+
+    def test_text_tree_render(self):
+        engine = traced_engine()
+        sid = engine.create_session("u")
+        engine.obs.tracer.clear()
+        assert not engine.check_access(sid, "read", "doc")
+        tree = engine.obs.tracer.render_forest(only_errors=True)
+        lines = tree.splitlines()
+        assert lines[0].startswith("checkAccess (event)")
+        assert any(line.startswith("  CA.checkAccess (rule)")
+                   for line in lines)
+        assert "outcome='else'" in tree
+        assert "!OperationDenied" in tree
+
+    def test_render_forest_limit(self):
+        tracer = Tracer(enabled=True)
+        for i in range(5):
+            with tracer.span(f"r{i}"):
+                pass
+        text = tracer.render_forest(limit=2)
+        assert "r3" in text and "r4" in text and "r0" not in text
