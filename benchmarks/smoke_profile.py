@@ -1,11 +1,15 @@
 #!/usr/bin/env python3
-"""Benchmark smoke: bound instrumentation overhead on the B3 hot path.
+"""Benchmark smoke: bound the pipeline's wrapper costs on the B3 hot path.
 
 Runs the B3 check-access kernel (one session, one active role, repeated
-``check_access``) on the same engine in both observability states —
-hub enabled (metrics default-on) and disabled — and asserts the
-enabled/disabled overhead stays under the budget (default 10%,
-``OBS_OVERHEAD_BUDGET`` env var overrides).
+``check_access``) on the same engine in two on/off comparisons:
+
+* **observability** — hub enabled (metrics default-on) vs disabled;
+  budget 10% (``OBS_OVERHEAD_BUDGET`` env var overrides);
+* **fault containment** — ``rules.containment`` on (deadline probes +
+  the fail-closed except path, the production default) vs off (the raw
+  seed behaviour); the kernel is fault-free, so this measures the
+  wrappers alone.  Budget 5% (``CONTAINMENT_OVERHEAD_BUDGET``).
 
 Measurement methodology (shared machines drift by 2-3x mid-run, so a
 naive all-enabled-then-all-disabled comparison measures the load shift,
@@ -22,8 +26,8 @@ not the instrumentation):
 * **one retry** — a failing verdict is re-measured once with double
   the rounds before failing the job.
 
-Exit status 0 when within budget, 1 otherwise.  Run from the repo
-root::
+Exit status 0 when every comparison is within budget, 1 otherwise.
+Run from the repo root::
 
     PYTHONPATH=src python benchmarks/smoke_profile.py
 """
@@ -43,7 +47,7 @@ from repro import ActiveRBACEngine  # noqa: E402
 from repro.workloads import EnterpriseShape, generate_enterprise  # noqa: E402
 
 CHECKS = 50         # checkAccess calls per timed round (sub-quantum)
-ROUNDS = 120        # alternating enabled/disabled round pairs
+ROUNDS = 120        # alternating on/off round pairs
 
 
 def build_engine() -> tuple[ActiveRBACEngine, str, str, str]:
@@ -62,32 +66,62 @@ def kernel(engine, sid, operation, obj, checks: int = CHECKS) -> None:
         engine.check_access(sid, operation, obj)
 
 
-def timed_round(engine, sid, operation, obj, enabled: bool) -> float:
-    """One short kernel round in the given hub state, in us/check."""
-    engine.obs.enabled = enabled
+def set_obs(engine, on: bool) -> None:
+    engine.obs.enabled = on
+
+
+def set_containment(engine, on: bool) -> None:
+    engine.rules.containment = on
+
+
+def timed_round(engine, sid, operation, obj, set_state, on: bool) -> float:
+    """One short kernel round in the given state, in us/check."""
+    set_state(engine, on)
     start = time.perf_counter_ns()
     kernel(engine, sid, operation, obj)
     return (time.perf_counter_ns() - start) / CHECKS / 1000
 
 
-def measure_overhead(engine, sid, operation, obj,
+def measure_overhead(engine, sid, operation, obj, set_state,
                      rounds: int = ROUNDS) -> tuple[float, float, float]:
-    """Interleaved rounds -> (enabled_us, disabled_us, overhead)."""
-    timed_round(engine, sid, operation, obj, True)    # warm both states
-    timed_round(engine, sid, operation, obj, False)
-    enabled, disabled = [], []
+    """Interleaved rounds -> (on_us, off_us, overhead)."""
+    timed_round(engine, sid, operation, obj, set_state, True)  # warm both
+    timed_round(engine, sid, operation, obj, set_state, False)
+    on_times, off_times = [], []
     for _ in range(rounds):
-        enabled.append(timed_round(engine, sid, operation, obj, True))
-        disabled.append(timed_round(engine, sid, operation, obj, False))
-    base = min(disabled)
-    gap_minmin = min(enabled) - base
-    gap_paired = statistics.median(e - d for e, d in zip(enabled, disabled))
+        on_times.append(
+            timed_round(engine, sid, operation, obj, set_state, True))
+        off_times.append(
+            timed_round(engine, sid, operation, obj, set_state, False))
+    set_state(engine, True)  # leave the engine in the production state
+    base = min(off_times)
+    gap_minmin = min(on_times) - base
+    gap_paired = statistics.median(
+        on - off for on, off in zip(on_times, off_times))
     gap = min(gap_minmin, gap_paired)
     return base + gap, base, gap / base
 
 
+def check_budget(engine, sid, operation, obj, set_state,
+                 label: str, budget: float) -> bool:
+    """Measure one on/off comparison against its budget, retrying once."""
+    for attempt, rounds in enumerate((ROUNDS, ROUNDS * 2)):
+        on_us, off_us, overhead = measure_overhead(
+            engine, sid, operation, obj, set_state, rounds)
+        print(f"B3 checkAccess hot path [{label}]: on {on_us:.2f} "
+              f"us/op, off {off_us:.2f} us/op -> overhead "
+              f"{overhead:+.1%} (budget {budget:.0%})")
+        if overhead <= budget:
+            return True
+        if attempt == 0:
+            print("over budget; re-measuring with more rounds...")
+    return False
+
+
 def main() -> int:
-    budget = float(os.environ.get("OBS_OVERHEAD_BUDGET", "0.10"))
+    obs_budget = float(os.environ.get("OBS_OVERHEAD_BUDGET", "0.10"))
+    containment_budget = float(
+        os.environ.get("CONTAINMENT_OVERHEAD_BUDGET", "0.05"))
     engine, sid, operation, obj = build_engine()
 
     engine.obs.enabled = True
@@ -97,19 +131,24 @@ def main() -> int:
     print(prof.report())
     print()
 
-    for attempt, rounds in enumerate((ROUNDS, ROUNDS * 2)):
-        enabled_us, disabled_us, overhead = measure_overhead(
-            engine, sid, operation, obj, rounds)
-        print(f"B3 checkAccess hot path: instrumented {enabled_us:.2f} "
-              f"us/op, bare {disabled_us:.2f} us/op -> overhead "
-              f"{overhead:+.1%} (budget {budget:.0%})")
-        if overhead <= budget:
-            print("OK")
-            return 0
-        if attempt == 0:
-            print("over budget; re-measuring with more rounds...")
-    print("FAIL: instrumentation overhead exceeds budget", file=sys.stderr)
-    return 1
+    ok = True
+    if not check_budget(engine, sid, operation, obj, set_obs,
+                        "obs hub", obs_budget):
+        print("FAIL: instrumentation overhead exceeds budget",
+              file=sys.stderr)
+        ok = False
+
+    # containment is measured with the hub in its default-on state so
+    # the comparison isolates the containment wrappers alone
+    engine.obs.enabled = True
+    if not check_budget(engine, sid, operation, obj, set_containment,
+                        "fault containment", containment_budget):
+        print("FAIL: containment overhead exceeds budget", file=sys.stderr)
+        ok = False
+
+    if ok:
+        print("OK")
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -62,9 +62,9 @@ def main() -> None:
     engine = ActiveRBACEngine.from_policy(spec)
     summary = engine.rules.summary()
     print(f"generated {summary['total']} rules: "
-          f"{summary.get('administrative', 0)} administrative, "
-          f"{summary.get('activity_control', 0)} activity-control, "
-          f"{summary.get('active_security', 0)} active-security")
+          f"{summary.get('class.administrative', 0)} administrative, "
+          f"{summary.get('class.activity_control', 0)} activity-control, "
+          f"{summary.get('class.active_security', 0)} active-security")
     print("\nthe activation rule generated for PC (static SoD + "
           "hierarchy => AAR2 template):")
     print(engine.rules.get("AAR2.PC").render())

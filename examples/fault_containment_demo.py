@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Fault containment walkthrough: fail-closed denies, quarantine,
+timed re-arm, and deadline budgets.
+
+A third-party "compliance" rule with a divide-by-zero bug is added
+next to the generated pool. The demo shows that:
+
+1. the bug never escapes raw — each fault surfaces as a typed
+   ``RuleExecutionError`` deny and an audit record;
+2. after three consecutive faults the circuit breaker quarantines the
+   rule, the engine reports ``degraded``, and service continues;
+3. the virtual clock re-arms the rule after the configured cool-off;
+4. a *stalled* clause is caught by the per-check deadline budget.
+
+Run from the repo root::
+
+    PYTHONPATH=src python examples/fault_containment_demo.py
+"""
+
+from repro import ActiveRBACEngine, FailurePolicy, parse_policy
+from repro.errors import RuleExecutionError
+from repro.rules.rule import Action, OWTERule
+
+POLICY = """
+policy treasury {
+  role Treasurer;
+  user tia;
+  assign tia to Treasurer;
+  permission approve on payments;
+  grant approve on payments to Treasurer;
+}
+"""
+
+
+def main() -> None:
+    engine = ActiveRBACEngine.from_policy(
+        parse_policy(POLICY),
+        failure_policy=FailurePolicy(quarantine_threshold=3,
+                                     rearm_after=300.0),
+        check_deadline=5.0)
+    sid = engine.create_session("tia")
+    engine.add_active_role(sid, "Treasurer")
+
+    print("=" * 70)
+    print("1. a buggy enforcement rule fails closed")
+    print("=" * 70)
+    engine.rules.add(OWTERule(
+        name="BuggyCompliance", event="checkAccess", priority=50,
+        actions=[Action("ratio check", lambda ctx: 1 / 0)],
+    ))
+    try:
+        engine.require_access(sid, "approve", "payments")
+    except RuleExecutionError as exc:
+        print(f"typed deny: {exc}")
+        print(f"  clause={exc.clause!r} original={exc.original!r}")
+    print("last audit record:",
+          engine.audit.by_kind("rule.fault")[-1].describe())
+
+    print()
+    print("=" * 70)
+    print("2. three consecutive faults trip the circuit breaker")
+    print("=" * 70)
+    for attempt in (2, 3):
+        allowed = engine.check_access(sid, "approve", "payments")
+        print(f"attempt {attempt}: allowed={allowed}")
+    rule = engine.rules.get("BuggyCompliance")
+    print(f"quarantined={rule.quarantined} "
+          f"(streak hit {rule.consecutive_faults})")
+    print("health:", engine.health()["status"],
+          engine.health()["quarantined"])
+    print("with the buggy rule quarantined, service continues:")
+    print("  allowed =", engine.check_access(sid, "approve", "payments"))
+
+    print()
+    print("=" * 70)
+    print("3. the cool-off re-arms the rule on the virtual clock")
+    print("=" * 70)
+    engine.advance_time(301.0)
+    rule = engine.rules.get("BuggyCompliance")
+    print(f"after 301s: quarantined={rule.quarantined} "
+          f"enabled={rule.enabled}")
+    print("re-arm audit:",
+          engine.audit.by_kind("rule.rearm")[-1].describe())
+    engine.rules.remove("BuggyCompliance")  # fix deployed
+
+    print()
+    print("=" * 70)
+    print("4. a stalled clause is caught by the deadline budget")
+    print("=" * 70)
+
+    def stalls(ctx) -> None:
+        # model of a hung clause: 30 simulated seconds pass
+        ctx.engine.clock.advance(30.0)
+
+    engine.rules.add(OWTERule(
+        name="SlowCompliance", event="checkAccess", priority=50,
+        actions=[Action("slow scan", stalls)],
+    ))
+    allowed = engine.check_access(sid, "approve", "payments")
+    print(f"stalled check (budget 5s): allowed={allowed}")
+    print("deadline audit:",
+          engine.audit.by_kind("deadline.exceeded")[-1].describe())
+    print()
+    print("final health:", engine.health())
+
+
+if __name__ == "__main__":
+    main()

@@ -31,18 +31,23 @@ the reproduced experiments.
 """
 
 from repro.baselines.direct import DirectRBACEngine
-from repro.clock import TimerService, VirtualClock
+from repro.clock import Deadline, TimerService, VirtualClock
+from repro.containment import FailurePolicy, retry_transient
 from repro.engine import ActiveRBACEngine
 from repro.errors import (
     AccessDenied,
     ActivationDenied,
     CardinalityExceeded,
+    DeadlineExceeded,
     DsdViolationError,
     OperationDenied,
     PolicySyntaxError,
     PolicyValidationError,
     ReproError,
+    RetryExhausted,
+    RuleExecutionError,
     SsdViolationError,
+    TransientError,
 )
 from repro.events import ConsumptionMode, EventDetector
 from repro.obs import MetricsRegistry, ObsHub, Profiler, Tracer
@@ -58,9 +63,12 @@ __all__ = [
     "ActiveRBACEngine",
     "CardinalityExceeded",
     "ConsumptionMode",
+    "Deadline",
+    "DeadlineExceeded",
     "DirectRBACEngine",
     "DsdViolationError",
     "EventDetector",
+    "FailurePolicy",
     "MetricsRegistry",
     "OWTERule",
     "ObsHub",
@@ -72,13 +80,17 @@ __all__ = [
     "PolicyValidationError",
     "Profiler",
     "ReproError",
+    "RetryExhausted",
+    "RuleExecutionError",
     "RuleManager",
     "SsdViolationError",
     "TimerService",
     "Tracer",
+    "TransientError",
     "VirtualClock",
     "full_regeneration",
     "parse_policy",
     "regenerate_roles",
+    "retry_transient",
     "validate_policy",
 ]

@@ -8,6 +8,7 @@ Usage (also via ``python -m repro``)::
     repro-rbac simulate policy.rbac --requests 1000 --seed 7 [--trace]
     repro-rbac metrics policy.rbac          # simulate + dump metrics
     repro-rbac fmt policy.rbac              # canonical DSL rendering
+    repro-rbac health policy.rbac [--chaos-seed N]  # degradation summary
 
 ``--trace`` turns on the structured tracer and prints span trees for
 denied operations ("explain why this request was denied"); ``metrics``
@@ -213,6 +214,42 @@ def cmd_fmt(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_health(args: argparse.Namespace) -> int:
+    """Drive the synthetic stream, then print the degradation summary.
+
+    With ``--chaos-seed`` a deterministic fault schedule is injected
+    into the highest-priority checkAccess rule first, demonstrating
+    fail-closed containment and quarantine on a live policy.
+    Exit status: 0 when the engine reports ``ok``, 1 when degraded.
+    """
+    import json as _json
+
+    spec = _load(args.policy)
+    engine = ActiveRBACEngine(spec)
+    chaos = None
+    if args.chaos_seed is not None:
+        from repro.testing.faults import FaultInjector
+
+        chaos = FaultInjector(seed=args.chaos_seed, clock=engine.clock)
+        victims = engine.rules.rules_for_event("checkAccess")
+        if victims:
+            point = chaos.instrument_rule(victims[0], clause="then")
+            chaos.arm(point, error=ZeroDivisionError, rate=args.chaos_rate)
+    try:
+        allowed, denied, errors = _drive_stream(engine, spec,
+                                                args.requests, args.seed)
+    finally:
+        if chaos is not None:
+            chaos.restore()
+    health = engine.health()
+    health["stream"] = {"allowed": allowed, "denied": denied,
+                        "rejected_with_error": errors}
+    if chaos is not None:
+        health["chaos"] = chaos.summary()
+    print(_json.dumps(health, indent=2, sort_keys=True))
+    return 0 if health["status"] == "ok" else 1
+
+
 def cmd_hygiene(args: argparse.Namespace) -> int:
     from repro.analysis import policy_hygiene, who_can
 
@@ -288,6 +325,20 @@ def build_parser() -> argparse.ArgumentParser:
     fmt = sub.add_parser("fmt", help="canonical DSL rendering")
     fmt.add_argument("policy")
     fmt.set_defaults(fn=cmd_fmt)
+
+    health = sub.add_parser(
+        "health", help="drive the simulated stream and print the "
+                       "engine degradation summary (exit 1 if degraded)")
+    health.add_argument("policy")
+    health.add_argument("--requests", type=int, default=1000)
+    health.add_argument("--seed", type=int, default=7)
+    health.add_argument("--chaos-seed", type=int, default=None,
+                        help="inject a deterministic fault schedule "
+                             "into a checkAccess rule first")
+    health.add_argument("--chaos-rate", type=float, default=0.2,
+                        help="per-call fault probability under "
+                             "--chaos-seed (default: 0.2)")
+    health.set_defaults(fn=cmd_health)
 
     hygiene = sub.add_parser(
         "hygiene", help="staleness/redundancy report, optional "

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
 from datetime import datetime, timedelta, timezone
 from typing import Callable
@@ -116,6 +117,70 @@ class VirtualClock:
         """
         dt = self.now_datetime()
         return (dt.hour, dt.minute, dt.second, dt.month, dt.day, dt.year)
+
+
+class Deadline:
+    """A per-operation time budget over the virtual and/or wall clock.
+
+    An access check (or any pipeline stage) carries one of these so a
+    pathological rule condition cannot stall enforcement indefinitely:
+    the rule manager probes :meth:`check` before each firing, and the
+    engine probes once more after dispatch, denying the whole check
+    (:class:`~repro.errors.DeadlineExceeded`) when either budget is
+    exhausted.
+
+    * the **virtual** budget is measured on a :class:`VirtualClock`, so
+      simulated stalls (a fault-injected "hang" that advances the
+      clock) are detected deterministically;
+    * the **wall** budget is measured on a monotonic real-time source
+      (injectable for tests), catching genuine CPU stalls.
+
+    Either budget may be ``None`` (unbounded on that axis).
+    """
+
+    __slots__ = ("clock", "expires_at", "wall_expires_at", "_wall")
+
+    def __init__(self, clock: VirtualClock | None = None,
+                 virtual_budget: float | None = None,
+                 wall_budget: float | None = None,
+                 wall: Callable[[], float] = time.monotonic) -> None:
+        if virtual_budget is not None and clock is None:
+            raise ValueError("a virtual budget needs a VirtualClock")
+        self.clock = clock
+        self._wall = wall
+        self.expires_at = (None if virtual_budget is None
+                           else clock.now + virtual_budget)
+        self.wall_expires_at = (None if wall_budget is None
+                                else wall() + wall_budget)
+
+    def exceeded(self) -> str | None:
+        """The budget axis that tripped (``virtual``/``wall``), or None."""
+        if (self.expires_at is not None
+                and self.clock.now > self.expires_at):
+            return "virtual"
+        if (self.wall_expires_at is not None
+                and self._wall() > self.wall_expires_at):
+            return "wall"
+        return None
+
+    def remaining(self) -> float | None:
+        """Tightest remaining budget in seconds (None when unbounded)."""
+        candidates = []
+        if self.expires_at is not None:
+            candidates.append(self.expires_at - self.clock.now)
+        if self.wall_expires_at is not None:
+            candidates.append(self.wall_expires_at - self._wall())
+        return min(candidates) if candidates else None
+
+    def check(self, what: str = "") -> None:
+        """Raise :class:`~repro.errors.DeadlineExceeded` if expired."""
+        reason = self.exceeded()
+        if reason is not None:
+            from repro.errors import DeadlineExceeded
+            suffix = f" before {what!r}" if what else ""
+            raise DeadlineExceeded(
+                f"deadline exceeded ({reason} budget){suffix}",
+                reason=reason)
 
 
 @dataclass(order=True)

@@ -32,13 +32,16 @@ from __future__ import annotations
 import itertools
 import time
 
-from repro.clock import TimerService, VirtualClock
+from repro.clock import Deadline, TimerService, VirtualClock
+from repro.containment import FailurePolicy
 from repro.enforcement import EnforcementHelpers
 from repro.errors import (
     ActivationDenied,
+    DeadlineExceeded,
     DeactivationDenied,
     OperationDenied,
     ReproError,
+    RuleExecutionError,
     UnknownRoleError,
 )
 from repro.events.detector import EventDetector
@@ -59,12 +62,19 @@ class ActiveRBACEngine(EnforcementHelpers):
                  clock: VirtualClock | None = None,
                  max_cascade_depth: int = 64,
                  audit_capacity: int = 100_000,
-                 obs: ObsHub | None = None) -> None:
+                 obs: ObsHub | None = None,
+                 failure_policy: FailurePolicy | None = None,
+                 check_deadline: float | None = None) -> None:
         self.clock = clock or VirtualClock()
         self.timers = TimerService(self.clock)
         self.detector = EventDetector(self.timers)
         self.rules = RuleManager(self.detector, engine=self,
-                                 max_cascade_depth=max_cascade_depth)
+                                 max_cascade_depth=max_cascade_depth,
+                                 failure_policy=failure_policy)
+        #: default per-check virtual-clock deadline budget in simulated
+        #: seconds (None = unbounded); callers can still pass an
+        #: explicit :class:`~repro.clock.Deadline` to require_access.
+        self.check_deadline = check_deadline
         self.audit = AuditLog(self.clock, capacity=audit_capacity)
         # Observability hub: metrics default-on, tracer off until
         # enabled (``engine.obs.tracer.enabled = True``).  Wired through
@@ -116,12 +126,17 @@ class ActiveRBACEngine(EnforcementHelpers):
     @classmethod
     def from_policy(cls, policy: PolicySpec,
                     clock: VirtualClock | None = None,
-                    validate: bool = True) -> "ActiveRBACEngine":
-        """Validate a policy and build the engine from it."""
+                    validate: bool = True,
+                    **kwargs: Any) -> "ActiveRBACEngine":
+        """Validate a policy and build the engine from it.
+
+        Extra keyword arguments (``failure_policy``, ``check_deadline``,
+        ...) are forwarded to the constructor.
+        """
         if validate:
             from repro.policy.validator import validate_policy
             validate_policy(policy, raise_on_error=True)
-        return cls(policy=policy, clock=clock)
+        return cls(policy=policy, clock=clock, **kwargs)
 
     # ======================================================================
     # time
@@ -373,22 +388,45 @@ class ActiveRBACEngine(EnforcementHelpers):
         )
 
     def check_access(self, session_id: str, operation: str, obj: str,
-                     purpose: str | None = None) -> bool:
-        """The boolean form of paper Rule 5's checkAccess."""
+                     purpose: str | None = None,
+                     deadline: Deadline | None = None) -> bool:
+        """The boolean form of paper Rule 5's checkAccess.
+
+        All three deny shapes — no rule granted, a fail-closed rule
+        fault, a blown deadline budget — come back as False; other
+        typed errors (e.g. a SecurityLockout countermeasure) still
+        propagate.
+        """
         try:
-            self.require_access(session_id, operation, obj, purpose)
+            self.require_access(session_id, operation, obj, purpose,
+                                deadline=deadline)
             return True
-        except OperationDenied:
+        except (OperationDenied, RuleExecutionError, DeadlineExceeded):
             return False
 
     def require_access(self, session_id: str, operation: str, obj: str,
-                       purpose: str | None = None) -> None:
+                       purpose: str | None = None,
+                       deadline: Deadline | None = None) -> None:
         """Raise :class:`~repro.errors.OperationDenied` unless some
-        active role of the session may perform the operation."""
+        active role of the session may perform the operation.
+
+        ``deadline`` (or the engine-wide ``check_deadline`` budget)
+        bounds the whole check: the rule manager probes it before each
+        firing, and it is probed once more after dispatch — a check
+        that stalled past its budget is denied
+        (:class:`~repro.errors.DeadlineExceeded`) even if a rule
+        granted, so a pathological condition cannot stall the pipeline
+        into an unbounded grant.
+        """
         session = self.model.sessions.get(session_id)
         user = session.user if session is not None else None
+        if deadline is None and self.check_deadline is not None:
+            deadline = Deadline(self.clock,
+                                virtual_budget=self.check_deadline)
         previous = self._decision
+        previous_deadline = self.rules.deadline
         self._decision = False
+        self.rules.deadline = deadline
         granted = False
         start = time.perf_counter_ns()
         try:
@@ -396,14 +434,27 @@ class ActiveRBACEngine(EnforcementHelpers):
                 "checkAccess", sessionId=session_id, operation=operation,
                 object=obj, purpose=purpose, user=user,
             )
+            if deadline is not None:
+                reason = deadline.exceeded()
+                if reason is not None:
+                    raise DeadlineExceeded(
+                        f"checkAccess exceeded its {reason} deadline "
+                        f"budget; denied", reason=reason)
             granted = bool(self._decision)
             if not granted:
                 # fail closed: no rule granted (e.g. CA rule disabled)
                 raise OperationDenied(
                     "Permission Denied (no rule granted the request)"
                 )
+        except DeadlineExceeded as exc:
+            self.obs.deadline_hit(exc.reason)
+            self.audit.record("deadline.exceeded", operation=operation,
+                              object=obj, session=session_id,
+                              reason=exc.reason)
+            raise
         finally:
             self._decision = previous
+            self.rules.deadline = previous_deadline
             self.obs.access_decision(granted,
                                      time.perf_counter_ns() - start)
 
@@ -543,6 +594,29 @@ class ActiveRBACEngine(EnforcementHelpers):
         except ReproError as exc:
             self.audit.record("timer.denied", event=event,
                               error=type(exc).__name__, message=str(exc))
+
+    def health(self) -> dict[str, object]:
+        """Degradation summary for operators (and `repro-rbac health`).
+
+        ``status`` is ``degraded`` while any rule sits in quarantine —
+        a persistent loss of enforcement/advisory coverage — and ``ok``
+        otherwise; the counters surface transient fault activity
+        (contained clause faults, observer faults, blown deadlines,
+        transient-I/O retries) so a fleet can alert on them.
+        """
+        quarantined = sorted(r.name for r in self.rules.quarantined_rules())
+        return {
+            "status": "degraded" if quarantined else "ok",
+            "rules": len(self.rules),
+            "rules_enabled": sum(1 for r in self.rules if r.enabled),
+            "quarantined": quarantined,
+            "rule_faults": sum(r.fault_count for r in self.rules),
+            "observer_faults": self.rules.observer_faults,
+            "deadline_exceeded": int(self.obs.deadline_exceeded.total()),
+            "transient_retries": int(self.obs.transient_retries.total()),
+            "audit_dropped": self.audit.dropped,
+            "locked_users": sorted(self.locked_users),
+        }
 
     def stats(self) -> dict[str, int | float]:
         """Combined model/detector/rule-pool counters, merged with the

@@ -145,6 +145,69 @@ class SecurityLockout(AccessDenied):
     """Active security disabled the rule/resource after repeated violations."""
 
 
+class RuleExecutionError(AccessDenied):
+    """A rule's W/T/E clause raised an *unexpected* (non-ReproError)
+    exception and the failure policy is fail-closed for that rule.
+
+    Enforcement must stay sound under arbitrary runtime faults: a broken
+    clause can never be allowed to look like a grant, so the rule
+    manager wraps the raw exception in this typed deny.  ``original``
+    is the wrapped exception (also chained via ``__cause__``) and
+    ``clause`` names the OWTE clause that faulted (``when`` / ``then``
+    / ``else``).
+    """
+
+    def __init__(self, message: str, rule: str = "", clause: str = "",
+                 original: BaseException | None = None) -> None:
+        super().__init__(message, rule)
+        self.clause = clause
+        self.original = original
+
+
+class DeadlineExceeded(AccessDenied):
+    """An access check blew its deadline budget and is denied.
+
+    Raised either mid-pipeline (before the next rule fires) or by
+    ``require_access`` after dispatch — a check that stalled past its
+    budget is denied even if some rule granted it, so a pathological
+    condition cannot stall the pipeline into an unbounded grant.
+    ``reason`` says which budget tripped (``virtual`` or ``wall``).
+    """
+
+    def __init__(self, message: str, rule: str = "",
+                 reason: str = "") -> None:
+        super().__init__(message, rule)
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------------
+# Infrastructure / transient faults
+# ---------------------------------------------------------------------------
+
+class TransientError(ReproError):
+    """A retryable infrastructure fault (I/O hiccup, unreachable domain).
+
+    Raised by persistence and federation transports to signal that the
+    operation may succeed if retried; :func:`repro.containment.retry_transient`
+    catches it (and ``OSError``) with bounded backoff.
+    """
+
+
+class RetryExhausted(ReproError):
+    """A bounded retry loop used up every attempt.
+
+    ``last`` is the final attempt's exception (also chained via
+    ``__cause__``); ``attempts`` is how many were made.
+    """
+
+    def __init__(self, attempts: int, last: BaseException) -> None:
+        super().__init__(
+            f"operation failed after {attempts} attempt(s): "
+            f"{type(last).__name__}: {last}")
+        self.attempts = attempts
+        self.last = last
+
+
 # ---------------------------------------------------------------------------
 # Event algebra errors
 # ---------------------------------------------------------------------------

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro.containment import retry_transient
 from repro.engine import ActiveRBACEngine
 from repro.errors import AdministrationError, ReproError, UnknownRoleError
 
@@ -61,9 +62,16 @@ class RoleMapping:
 class Federation:
     """A registry of domains and the mappings between them."""
 
-    def __init__(self) -> None:
+    def __init__(self, lookup_attempts: int = 3,
+                 lookup_backoff: float = 0.0) -> None:
         self._domains: dict[str, ActiveRBACEngine] = {}
         self._mappings: list[RoleMapping] = []
+        #: retry budget for home-domain authorization lookups — in a
+        #: real deployment these are remote calls and may fail
+        #: transiently; exhaustion surfaces as RetryExhausted to the
+        #: caller rather than silently granting or revoking.
+        self.lookup_attempts = lookup_attempts
+        self.lookup_backoff = lookup_backoff
 
     # -- domain management --------------------------------------------------
 
@@ -106,16 +114,39 @@ class Federation:
 
     # -- guest lifecycle ----------------------------------------------------------
 
+    def _home_is_authorized(self, home: ActiveRBACEngine, user: str,
+                            role: str) -> bool:
+        """One home-domain authorization lookup.
+
+        Factored out as the federation's transient-fault point: in a
+        distributed deployment this is a remote call, so the harness
+        patches this method to simulate partial outages.
+        """
+        return home.model.is_authorized(user, role)
+
     def entitled_host_roles(self, home_domain: str, user: str,
                             host_domain: str) -> set[str]:
-        """Host roles the user's *current* home authorization entitles."""
+        """Host roles the user's *current* home authorization entitles.
+
+        Each home-domain lookup is retried ``lookup_attempts`` times
+        with bounded backoff; a home domain that stays unreachable
+        raises :class:`~repro.errors.RetryExhausted` (fail closed: no
+        guess about entitlements is made).
+        """
         home = self.domain(home_domain)
         if user not in home.model.users:
             return set()
         return {
             m.host_role
             for m in self.mappings_for(home_domain, host_domain)
-            if home.model.is_authorized(user, m.home_role)
+            if retry_transient(
+                lambda role=m.home_role:
+                self._home_is_authorized(home, user, role),
+                attempts=self.lookup_attempts,
+                base_delay=self.lookup_backoff,
+                on_retry=lambda attempt, exc:
+                home.obs.retry_attempted("federation.lookup"),
+            )
         }
 
     def visit(self, home_domain: str, user: str, host_domain: str,

@@ -79,6 +79,26 @@ class ObsHub:
             "repro_rule_cascade_depth",
             "rule-firing cascade depth per dispatch",
             buckets=DEPTH_BUCKETS)
+        # -- fault containment ----------------------------------------------
+        self.rule_faults = m.counter(
+            "repro_rule_faults_total",
+            "unexpected (non-ReproError) clause exceptions contained by "
+            "the rule manager, by rule and exception type",
+            ("rule", "error"))
+        self.quarantines = m.counter(
+            "repro_rule_quarantines_total",
+            "rules quarantined by the per-rule circuit breaker, by rule",
+            ("rule",))
+        self.deadline_exceeded = m.counter(
+            "repro_deadline_exceeded_total",
+            "access checks denied because a deadline budget tripped, "
+            "by budget axis", ("reason",))
+        self.observer_errors = m.counter(
+            "repro_observer_errors_total",
+            "firing-observer callbacks that raised (contained)")
+        self.transient_retries = m.counter(
+            "repro_transient_retries_total",
+            "transient-fault retry attempts, by call site", ("site",))
         # -- timers / clock -------------------------------------------------
         self.timer_callbacks = m.counter(
             "repro_timer_callbacks_total",
@@ -241,6 +261,28 @@ class ObsHub:
         h = self.cascade_depth
         h._counts[0] = self._cascade_shallow
         h._sum = self._cascade_deep_sum + self._cascade_shallow
+
+    def rule_fault(self, rule_name: str, error: Exception) -> None:
+        """Count one contained clause fault (cold path — faults are
+        exceptional, so no child caching needed)."""
+        if self.enabled:
+            self.rule_faults.labels(rule_name, type(error).__name__).inc()
+
+    def rule_quarantined(self, rule_name: str) -> None:
+        if self.enabled:
+            self.quarantines.labels(rule_name).inc()
+
+    def deadline_hit(self, reason: str) -> None:
+        if self.enabled:
+            self.deadline_exceeded.labels(reason or "unknown").inc()
+
+    def observer_fault(self) -> None:
+        if self.enabled:
+            self.observer_errors._value += 1
+
+    def retry_attempted(self, site: str) -> None:
+        if self.enabled:
+            self.transient_retries.labels(site).inc()
 
     def timer_fired(self) -> None:
         if self.enabled:

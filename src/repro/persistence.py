@@ -30,9 +30,11 @@ What is deliberately *not* restored:
 from __future__ import annotations
 
 import json
+import os
 from typing import Any
 
 from repro.clock import VirtualClock
+from repro.containment import retry_transient
 from repro.engine import ActiveRBACEngine
 from repro.policy.dsl import parse_policy, render_policy
 
@@ -137,6 +139,43 @@ def restore(data: dict[str, Any]) -> ActiveRBACEngine:
 def loads(text: str) -> ActiveRBACEngine:
     """Restore from a JSON string."""
     return restore(json.loads(text))
+
+
+def _write_payload(path: str, payload: str) -> None:
+    """Atomically write the snapshot payload (tmp file + rename).
+
+    Module-level so tests and the fault-injection harness can patch it
+    as a transient-failure point.
+    """
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    os.replace(tmp, path)
+
+
+def save(engine: ActiveRBACEngine, path: str, *,
+         attempts: int = 3, **json_kwargs: Any) -> None:
+    """Snapshot the engine to ``path`` with bounded retry.
+
+    The write is atomic (tmp + ``os.replace``) and retried on
+    :class:`~repro.errors.TransientError` / ``OSError`` with bounded
+    backoff; retries are counted on the engine's observability hub
+    under the ``persistence.write`` site.  Exhaustion raises
+    :class:`~repro.errors.RetryExhausted`.
+    """
+    payload = dumps(engine, **json_kwargs)
+    retry_transient(
+        lambda: _write_payload(path, payload),
+        attempts=attempts,
+        on_retry=lambda attempt, exc:
+        engine.obs.retry_attempted("persistence.write"),
+    )
+
+
+def load(path: str) -> ActiveRBACEngine:
+    """Restore an engine from a snapshot file written by :func:`save`."""
+    with open(path, encoding="utf-8") as handle:
+        return loads(handle.read())
 
 
 def _rearm_duration(engine: ActiveRBACEngine, session_id: str, user: str,

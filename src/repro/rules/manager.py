@@ -13,17 +13,28 @@ pool*" (paper §4.3).  The :class:`RuleManager` owns that pool:
 * rules can be enabled/disabled individually, by classification, by
   granularity, or by tag — active security "disables certain critical
   authorization rules" through exactly this interface;
-* every firing is reported to registered observers (the audit log).
+* every firing is reported to registered observers (the audit log);
+* execution is **fault-contained**: an unexpected (non-``ReproError``)
+  exception from a rule's W/T/E clause never escapes raw.  Per the
+  :class:`~repro.containment.FailurePolicy` it is either converted
+  into a typed :class:`~repro.errors.RuleExecutionError` deny (fail
+  closed — the default for enforcement-class rules) or contained and
+  skipped (fail open — advisory/active-security rules); repeated
+  faults trip a per-rule circuit breaker that quarantines the rule,
+  and an optional :class:`~repro.clock.Deadline` bounds the whole
+  firing pipeline.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Iterator
 
+from repro.containment import FailurePolicy
 from repro.errors import (
     DuplicateRuleError,
     ReproError,
     RuleCascadeError,
+    RuleExecutionError,
     UnknownRuleError,
 )
 from repro.events.detector import EventDetector
@@ -39,12 +50,16 @@ from repro.rules.rule import (
 #: observer signature: (rule, occurrence, outcome, error-or-None)
 FiringObserver = Callable[[OWTERule, Occurrence, RuleOutcome, Exception | None], None]
 
+#: tag stamped on quarantined rules so tag queries/reports see them
+QUARANTINE_TAG = "quarantined"
+
 
 class RuleManager:
     """Registry and execution engine for the OWTE rule pool."""
 
     def __init__(self, detector: EventDetector, engine: Any = None,
-                 max_cascade_depth: int = 64) -> None:
+                 max_cascade_depth: int = 64,
+                 failure_policy: FailurePolicy | None = None) -> None:
         self.detector = detector
         self.engine = engine
         self.max_cascade_depth = max_cascade_depth
@@ -60,6 +75,21 @@ class RuleManager:
         #: outcome counters, W/T/E latency histograms, cascade depth,
         #: and per-firing trace spans.
         self.obs = None
+        #: failure semantics for unexpected clause exceptions
+        self.failure_policy = (failure_policy if failure_policy is not None
+                               else FailurePolicy())
+        #: escape hatch for the benchmark smoke job: False restores the
+        #: seed raw-escape behaviour (no deadline probes, faults
+        #: propagate unwrapped) so the containment wrapper's own cost
+        #: can be measured on the fault-free path.
+        self.containment = True
+        #: optional :class:`~repro.clock.Deadline` for the *current*
+        #: dispatch (a slot, like the engine's decision slot): checked
+        #: before each rule fires so a stalled pipeline denies instead
+        #: of running unbounded.
+        self.deadline = None
+        #: observer callbacks that raised (contained, counted)
+        self.observer_faults = 0
 
     # -- pool management -------------------------------------------------------
 
@@ -98,14 +128,28 @@ class RuleManager:
         return rule
 
     def remove(self, name: str) -> OWTERule:
-        """Remove a rule; the event subscription stays (cheap, inert)."""
+        """Remove a rule, dropping emptied index buckets.
+
+        When the last rule for an event goes, the manager's dispatcher
+        is unsubscribed from the detector too — a pool that churns
+        rules (regeneration, chaos tests) must not accumulate dead
+        dispatchers that fire into empty buckets forever.
+        """
         rule = self.get(name)
         del self._rules[name]
         for item in rule.tags.items():
             bucket = self._by_tag.get(item)
             if bucket is not None:
                 bucket.discard(name)
-        self._by_event[rule.event].remove(rule)
+                if not bucket:
+                    del self._by_tag[item]
+        event_bucket = self._by_event[rule.event]
+        event_bucket.remove(rule)
+        if not event_bucket:
+            del self._by_event[rule.event]
+            dispatcher = self._dispatchers.pop(rule.event, None)
+            if dispatcher is not None:
+                self.detector.unsubscribe(rule.event, dispatcher)
         return rule
 
     def _names_matching_tags(self, tags: dict[str, str]) -> set[str]:
@@ -150,13 +194,22 @@ class RuleManager:
                 for name in sorted(self._names_matching_tags(tags))]
 
     def summary(self) -> dict[str, int]:
-        """Pool composition counters (used by benches and EXPERIMENTS.md)."""
+        """Pool composition counters (used by benches and EXPERIMENTS.md).
+
+        Keys are namespaced (``class.<value>`` / ``granularity.<value>``)
+        so a classification and a granularity that happen to share a
+        ``.value`` can never silently merge into one counter.
+        """
         counts: dict[str, int] = {"total": len(self._rules)}
+        quarantined = 0
         for rule in self._rules.values():
-            counts[rule.classification.value] = (
-                counts.get(rule.classification.value, 0) + 1)
-            counts[rule.granularity.value] = (
-                counts.get(rule.granularity.value, 0) + 1)
+            class_key = "class." + rule.classification.value
+            counts[class_key] = counts.get(class_key, 0) + 1
+            gran_key = "granularity." + rule.granularity.value
+            counts[gran_key] = counts.get(gran_key, 0) + 1
+            if rule.quarantined:
+                quarantined += 1
+        counts["quarantined"] = quarantined
         return counts
 
     # -- enable / disable --------------------------------------------------------
@@ -185,6 +238,73 @@ class RuleManager:
                 rule.enabled = enabled
                 changed += 1
         return changed
+
+    # -- quarantine (per-rule circuit breaker) -----------------------------------
+
+    def quarantine(self, name: str, reason: str = "manual") -> OWTERule:
+        """Quarantine a rule: disable it, tag it, audit it, count it.
+
+        The rule stops firing until :meth:`rearm` (manual) or — when
+        the failure policy sets ``rearm_after`` — a virtual-clock timer
+        re-arms it.  Idempotent while already quarantined.
+        """
+        rule = self.get(name)
+        if rule.quarantined:
+            return rule
+        rule.enabled = False
+        rule.quarantined = True
+        rule.quarantine_epoch += 1
+        rule.tags[QUARANTINE_TAG] = "1"
+        self._by_tag.setdefault((QUARANTINE_TAG, "1"), set()).add(name)
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            obs.rule_quarantined(name)
+        audit = getattr(self.engine, "audit", None)
+        if audit is not None:
+            audit.record("rule.quarantine", rule=name, reason=reason)
+        rearm_after = self.failure_policy.rearm_after
+        if rearm_after is not None:
+            epoch = rule.quarantine_epoch
+            self.detector.timers.schedule_after(
+                rearm_after, lambda: self._timed_rearm(name, epoch))
+        return rule
+
+    def rearm(self, name: str, mode: str = "manual") -> bool:
+        """Re-enable a quarantined rule with a reset fault streak.
+
+        Returns False when the rule is not quarantined (including a
+        rule that was re-armed already).
+        """
+        rule = self.get(name)
+        if not rule.quarantined:
+            return False
+        rule.quarantined = False
+        rule.enabled = True
+        rule.consecutive_faults = 0
+        if rule.tags.pop(QUARANTINE_TAG, None) is not None:
+            bucket = self._by_tag.get((QUARANTINE_TAG, "1"))
+            if bucket is not None:
+                bucket.discard(name)
+                if not bucket:
+                    del self._by_tag[(QUARANTINE_TAG, "1")]
+        audit = getattr(self.engine, "audit", None)
+        if audit is not None:
+            audit.record("rule.rearm", rule=name, mode=mode)
+        return True
+
+    def _timed_rearm(self, name: str, epoch: int) -> None:
+        """Timer callback: re-arm iff this quarantine is still current
+        (the rule may have been removed, manually re-armed, or
+        re-quarantined — a later epoch — since the timer was armed)."""
+        rule = self._rules.get(name)
+        if (rule is None or not rule.quarantined
+                or rule.quarantine_epoch != epoch):
+            return
+        self.rearm(name, mode="timed")
+
+    def quarantined_rules(self) -> list[OWTERule]:
+        """Currently quarantined rules (health/report surface)."""
+        return [r for r in self._rules.values() if r.quarantined]
 
     # -- firing ------------------------------------------------------------------
 
@@ -223,12 +343,18 @@ class RuleManager:
             tracing = obs.tracer.enabled
         else:
             tracing = False
+        containment = self.containment
+        deadline = self.deadline if containment else None
         try:
             # Snapshot: a rule that adds/removes rules mid-firing does not
             # perturb this round.
             for rule in list(self._by_event.get(event, ())):
                 if not rule.enabled or rule.name not in self._rules:
                     continue
+                if deadline is not None:
+                    # a stalled pipeline denies (DeadlineExceeded is an
+                    # AccessDenied: it rides the veto path below)
+                    deadline.check(rule.name)
                 ctx = RuleContext(occurrence=occurrence, rule=rule,
                                   manager=self, engine=self.engine)
                 outcome = RuleOutcome.ERROR
@@ -248,12 +374,26 @@ class RuleManager:
                     if tracing else None
                 try:
                     outcome = rule.execute(ctx, timed)
+                    if rule.consecutive_faults:
+                        # breaker resets on any clean firing
+                        rule.consecutive_faults = 0
                 except ReproError as exc:
                     # Expected veto path (AccessDenied & co): observers see
                     # an ELSE with the error attached, then it propagates.
                     outcome = RuleOutcome.ELSE
                     error = exc
                     raise
+                except Exception as exc:  # noqa: BLE001 — containment boundary
+                    error = exc
+                    if not containment:
+                        raise  # benchmark/raw mode: seed behaviour
+                    wrapped = self._contain(rule, occurrence,
+                                            ctx.clause, exc)
+                    if wrapped is not None:
+                        # fail closed: the fault becomes a typed deny
+                        error = wrapped
+                        raise wrapped from exc
+                    # fail open: contained; the next rule still fires
                 finally:
                     if obs is not None:
                         if error is not None:
@@ -271,9 +411,62 @@ class RuleManager:
                         span.set_attr("outcome", outcome.value)
                         obs.tracer.end(span, error)
                     for observer in self._observers:
-                        observer(rule, occurrence, outcome, error)
+                        try:
+                            observer(rule, occurrence, outcome, error)
+                        except Exception as obs_exc:  # noqa: BLE001
+                            # observers are advisory: contain, count,
+                            # keep notifying the rest
+                            self._observer_fault(rule, occurrence,
+                                                 obs_exc)
         finally:
             self._depth -= 1
+
+    def _contain(self, rule: OWTERule, occurrence: Occurrence,
+                 clause: str, exc: Exception) -> RuleExecutionError | None:
+        """Record one clause fault; maybe quarantine; decide the verdict.
+
+        Returns the typed deny to raise (fail-closed) or None when the
+        failure policy says this rule fails open.
+        """
+        rule.fault_count += 1
+        rule.consecutive_faults += 1
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            obs.rule_fault(rule.name, exc)
+        audit = getattr(self.engine, "audit", None)
+        if audit is not None:
+            audit.record("rule.fault", rule=rule.name,
+                         event=occurrence.event, clause=clause,
+                         error=type(exc).__name__, message=str(exc))
+        policy = self.failure_policy
+        if (policy.quarantine_threshold
+                and rule.consecutive_faults >= policy.quarantine_threshold
+                and not rule.quarantined):
+            self.quarantine(
+                rule.name,
+                reason=f"{rule.consecutive_faults} consecutive fault(s)")
+        if policy.fails_open(rule):
+            return None
+        return RuleExecutionError(
+            f"rule {rule.name!r} {clause} clause failed "
+            f"({type(exc).__name__}: {exc}); denied by fail-closed policy",
+            rule=rule.name, clause=clause, original=exc)
+
+    def _observer_fault(self, rule: OWTERule, occurrence: Occurrence,
+                        exc: Exception) -> None:
+        """A firing observer raised: log + count, never propagate."""
+        self.observer_faults += 1
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            obs.observer_fault()
+        audit = getattr(self.engine, "audit", None)
+        if audit is not None:
+            try:
+                audit.record("observer.fault", rule=rule.name,
+                             event=occurrence.event,
+                             error=type(exc).__name__)
+            except Exception:  # noqa: BLE001 — the audit log itself faulted
+                pass
 
     # -- rendering ----------------------------------------------------------------
 

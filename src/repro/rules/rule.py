@@ -82,6 +82,10 @@ class RuleContext:
         scratch: per-firing mutable storage shared between the W clause
             and the T/E clauses (e.g. a condition caches the roles it
             already fetched so an action need not re-query).
+        clause: which OWTE clause is currently executing (``when`` /
+            ``then`` / ``else``); maintained by :meth:`OWTERule.execute`
+            so the manager can attribute a fault to the clause that
+            raised it.
     """
 
     occurrence: Occurrence
@@ -89,6 +93,7 @@ class RuleContext:
     manager: "RuleManager"
     engine: Any = None
     scratch: dict[str, Any] = field(default_factory=dict)
+    clause: str = "when"
 
     @property
     def params(self) -> dict[str, Any]:
@@ -179,6 +184,15 @@ class OWTERule:
     fired_count: int = 0
     then_count: int = 0
     else_count: int = 0
+    #: fault-containment state (see rules/manager.py): total clause
+    #: faults, the consecutive-fault streak feeding the circuit
+    #: breaker, whether the rule is currently quarantined, and an
+    #: epoch that invalidates stale timed re-arms after a manual
+    #: re-arm + re-quarantine.
+    fault_count: int = 0
+    consecutive_faults: int = 0
+    quarantined: bool = False
+    quarantine_epoch: int = 0
     #: perf_counter_ns durations of the most recent timed firing
     #: (set by execute(..., timed=True); the manager feeds them to
     #: ObsHub.rule_timing after the firing settles)
@@ -205,10 +219,12 @@ class OWTERule:
         self.fired_count += 1
         if not timed:
             if self.evaluate_conditions(ctx):
+                ctx.clause = "then"
                 self.then_count += 1
                 for act in self.actions:
                     act(ctx)
                 return RuleOutcome.THEN
+            ctx.clause = "else"
             self.else_count += 1
             for alt in self.alt_actions:
                 alt(ctx)
@@ -220,10 +236,12 @@ class OWTERule:
         self.last_cond_ns = mid - start
         try:
             if matched:
+                ctx.clause = "then"
                 self.then_count += 1
                 for act in self.actions:
                     act(ctx)
                 return RuleOutcome.THEN
+            ctx.clause = "else"
             self.else_count += 1
             for alt in self.alt_actions:
                 alt(ctx)

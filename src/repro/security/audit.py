@@ -50,6 +50,9 @@ class AuditLog:
         self._dropped = 0
         self._observers: list[Callable[[AuditEntry], None]] = []
         self._kind_counts: dict[str, int] = {}
+        #: observer callbacks that raised — a broken report shipper
+        #: must never turn an audited operation into a failed one
+        self.observer_faults = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -74,7 +77,10 @@ class AuditLog:
             del self._entries[:overflow]
             self._dropped += overflow
         for observer in self._observers:
-            observer(entry)
+            try:
+                observer(entry)
+            except Exception:  # noqa: BLE001 — containment boundary
+                self.observer_faults += 1
         return entry
 
     # -- queries -----------------------------------------------------------------

@@ -1,0 +1,11 @@
+"""Test-support utilities shipped with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness used by the chaos suite and the ``repro-rbac health --chaos``
+demo; it lives in the package (not under ``tests/``) so downstream
+users can chaos-test their own policies.
+"""
+
+from repro.testing.faults import FaultInjector
+
+__all__ = ["FaultInjector"]

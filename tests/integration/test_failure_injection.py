@@ -2,15 +2,24 @@
 
 Active systems must stay consistent when a rule's action throws, when
 cascades collide, or when administrators inject broken rules next to
-the generated pool.  These tests inject faults and assert the engine's
-state stays coherent (no half-committed activations, counters intact).
+the generated pool.  These tests inject faults and assert the engine
+*fails closed*: an unexpected exception in an enforcement-class rule
+becomes a typed :class:`~repro.errors.RuleExecutionError` deny (never
+a raw ``ZeroDivisionError`` escaping to the caller), repeated faults
+quarantine the rule, and the engine keeps serving afterwards.
 """
 
 import pytest
 
 from repro import ActiveRBACEngine, parse_policy
-from repro.errors import ReproError, RuleCascadeError
-from repro.rules.rule import Action, Condition, OWTERule
+from repro.containment import FailurePolicy
+from repro.errors import (
+    AccessDenied,
+    ReproError,
+    RuleCascadeError,
+    RuleExecutionError,
+)
+from repro.rules.rule import Action, Condition, OWTERule, RuleClass
 
 POLICY = """
 policy chaos {
@@ -29,14 +38,23 @@ def engine():
 
 
 class TestThrowingActions:
-    def test_non_repro_exception_in_injected_rule_propagates(self, engine):
+    def test_injected_fault_becomes_typed_deny(self, engine):
+        """Fail-closed: the raw ZeroDivisionError is wrapped in a
+        RuleExecutionError (an AccessDenied) instead of escaping."""
         engine.rules.add(OWTERule(
             name="Chaos", event="addActiveRole.A", priority=100,
             actions=[Action("boom", lambda ctx: 1 / 0)],
         ))
         sid = engine.create_session("bob")
-        with pytest.raises(ZeroDivisionError):
+        with pytest.raises(RuleExecutionError) as excinfo:
             engine.add_active_role(sid, "A")
+        assert isinstance(excinfo.value, AccessDenied)
+        assert excinfo.value.rule == "Chaos"
+        assert excinfo.value.clause == "then"
+        assert isinstance(excinfo.value.original, ZeroDivisionError)
+        # the fault is audited with clause attribution
+        faults = engine.audit.by_kind("rule.fault")
+        assert faults and faults[-1].detail["rule"] == "Chaos"
         # the activation never committed (chaos fired before AAR)
         assert "A" not in engine.model.session_roles(sid)
         # the engine keeps working once the bad rule is removed
@@ -44,21 +62,32 @@ class TestThrowingActions:
         engine.add_active_role(sid, "A")
         assert "A" in engine.model.session_roles(sid)
 
-    def test_observer_exception_does_not_corrupt_depth(self, engine):
-        """Even when a rule errors, cascade depth unwinds, so later
-        operations do not hit a phantom depth limit."""
+    def test_repeated_faults_quarantine_then_engine_recovers(self, engine):
+        """After N consecutive faults the breaker quarantines the rule;
+        cascade depth unwinds each time, and once quarantined the
+        engine serves the operation again without manual cleanup."""
+        threshold = engine.rules.failure_policy.quarantine_threshold
         engine.rules.add(OWTERule(
             name="Chaos", event="addActiveRole.B", priority=100,
             actions=[Action("boom", lambda ctx: 1 / 0)],
         ))
         sid = engine.create_session("bob")
-        for _ in range(80):  # more than max_cascade_depth attempts
-            with pytest.raises(ZeroDivisionError):
+        for _ in range(threshold):
+            with pytest.raises(RuleExecutionError):
                 engine.add_active_role(sid, "B")
-        engine.rules.remove("Chaos")
+        assert engine.rules.get("Chaos").quarantined
+        assert engine.audit.by_kind("rule.quarantine")
+        assert engine.health()["status"] == "degraded"
+        # quarantined rule no longer fires: the operation succeeds
         engine.add_active_role(sid, "B")
+        assert "B" in engine.model.session_roles(sid)
+        # manual re-arm restores the chaos rule (and the denials)
+        assert engine.rules.rearm("Chaos")
+        engine.drop_active_role(sid, "B")
+        with pytest.raises(RuleExecutionError):
+            engine.add_active_role(sid, "B")
 
-    def test_condition_exception_counts_as_error_not_else(self, engine):
+    def test_condition_exception_denies_and_counts_as_error(self, engine):
         log = []
         engine.rules.observe(
             lambda rule, occurrence, outcome, error:
@@ -69,9 +98,91 @@ class TestThrowingActions:
         ))
         sid = engine.create_session("bob")
         log.clear()
-        with pytest.raises(ZeroDivisionError):
-            engine.check_access(sid, "read", "doc")
+        # fail closed: the faulting W clause denies the check
+        assert engine.check_access(sid, "read", "doc") is False
         assert ("BadCond", "error") in log
+        with pytest.raises(RuleExecutionError) as excinfo:
+            engine.require_access(sid, "read", "doc")
+        assert excinfo.value.clause == "when"
+
+    def test_fail_open_class_contains_and_continues(self, engine):
+        """An active-security rule fault is contained: later rules on
+        the same event still fire and the request is not denied."""
+        engine.rules.add(OWTERule(
+            name="BrokenMonitor", event="checkAccess", priority=100,
+            classification=RuleClass.ACTIVE_SECURITY,
+            actions=[Action("boom", lambda ctx: 1 / 0)],
+        ))
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "A")
+        assert engine.check_access(sid, "read", "doc") is True
+        assert engine.rules.get("BrokenMonitor").fault_count == 1
+
+    def test_advisory_tag_forces_fail_open(self, engine):
+        engine.rules.add(OWTERule(
+            name="AdvisoryChaos", event="checkAccess", priority=100,
+            tags={"advisory": "1"},
+            actions=[Action("boom", lambda ctx: 1 / 0)],
+        ))
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "A")
+        assert engine.check_access(sid, "read", "doc") is True
+
+    def test_raw_mode_restores_seed_behaviour(self, engine):
+        """containment=False is the benchmark escape hatch: faults
+        escape unwrapped, exactly the seed semantics."""
+        engine.rules.containment = False
+        engine.rules.add(OWTERule(
+            name="Chaos", event="addActiveRole.A", priority=100,
+            actions=[Action("boom", lambda ctx: 1 / 0)],
+        ))
+        sid = engine.create_session("bob")
+        with pytest.raises(ZeroDivisionError):
+            engine.add_active_role(sid, "A")
+
+
+class TestTimedRearm:
+    def test_quarantine_rearms_on_the_virtual_clock(self):
+        engine = ActiveRBACEngine.from_policy(
+            parse_policy(POLICY),
+            failure_policy=FailurePolicy(quarantine_threshold=2,
+                                         rearm_after=60.0))
+        engine.rules.add(OWTERule(
+            name="Flaky", event="addActiveRole.A", priority=100,
+            actions=[Action("boom", lambda ctx: 1 / 0)],
+        ))
+        sid = engine.create_session("bob")
+        for _ in range(2):
+            with pytest.raises(RuleExecutionError):
+                engine.add_active_role(sid, "A")
+        assert engine.rules.get("Flaky").quarantined
+        engine.advance_time(61.0)
+        rule = engine.rules.get("Flaky")
+        assert not rule.quarantined and rule.enabled
+        assert engine.audit.matching(mode="timed")
+
+    def test_manual_rearm_cancels_stale_timer(self):
+        """A timed re-arm armed for an old quarantine epoch must not
+        re-enable a rule that was re-armed and re-quarantined since."""
+        engine = ActiveRBACEngine.from_policy(
+            parse_policy(POLICY),
+            failure_policy=FailurePolicy(quarantine_threshold=1,
+                                         rearm_after=60.0))
+        engine.rules.add(OWTERule(
+            name="Flaky", event="addActiveRole.A", priority=100,
+            actions=[Action("boom", lambda ctx: 1 / 0)],
+        ))
+        sid = engine.create_session("bob")
+        with pytest.raises(RuleExecutionError):
+            engine.add_active_role(sid, "A")
+        assert engine.rules.get("Flaky").quarantined
+        engine.rules.rearm("Flaky")  # manual, at t=0
+        with pytest.raises(RuleExecutionError):
+            engine.add_active_role(sid, "A")  # re-quarantined (epoch 2)
+        engine.advance_time(30.0)  # t=30: no timer due yet
+        assert engine.rules.get("Flaky").quarantined
+        engine.advance_time(31.0)  # t=61: epoch-2 timer re-arms it
+        assert not engine.rules.get("Flaky").quarantined
 
 
 class TestCascadeBombs:
@@ -120,7 +231,8 @@ class TestSabotagedCommit:
 
     def test_half_open_state_never_observable(self, engine):
         """A throwing THEN in the commit rule must not leave the model
-        half-committed: the model record is the last step."""
+        half-committed: the typed deny surfaces and the model record
+        never landed."""
         engine.rules.remove("CC.A")
 
         def bad_commit(ctx):
@@ -132,10 +244,41 @@ class TestSabotagedCommit:
             tags={"role:A": "1", "kind": "commit"},
         ))
         sid = engine.create_session("bob")
-        with pytest.raises(RuntimeError):
+        with pytest.raises(RuleExecutionError) as excinfo:
             engine.add_active_role(sid, "A")
+        assert isinstance(excinfo.value.original, RuntimeError)
         assert "A" not in engine.model.session_roles(sid)
         assert (sid, "A") not in engine.current_activation
+
+
+class TestObserverFaults:
+    def test_raising_observer_is_contained_and_rest_still_run(self, engine):
+        seen = []
+
+        def bad_observer(rule, occurrence, outcome, error):
+            raise RuntimeError("observer exploded")
+
+        engine.rules.observe(bad_observer)
+        engine.rules.observe(
+            lambda rule, occurrence, outcome, error:
+            seen.append(rule.name))
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "A")  # must not raise
+        assert "A" in engine.model.session_roles(sid)
+        assert seen  # the later observer still ran
+        assert engine.rules.observer_faults > 0
+        assert engine.audit.by_kind("observer.fault")
+
+    def test_observer_fault_does_not_corrupt_cascade_depth(self, engine):
+        def bad_observer(rule, occurrence, outcome, error):
+            raise RuntimeError("observer exploded")
+
+        engine.rules.observe(bad_observer)
+        sid = engine.create_session("bob")
+        for _ in range(80):  # more than max_cascade_depth operations
+            engine.check_access(sid, "read", "doc")
+        engine.add_active_role(sid, "A")
+        assert engine.check_access(sid, "read", "doc") is True
 
 
 class TestTimerFaults:

@@ -1,0 +1,253 @@
+"""Unit: fault-containment primitives.
+
+FailurePolicy verdicts, bounded retry, deadline budgets, the
+quarantine/re-arm lifecycle on the rule manager, and the audit log's
+own observer containment.
+"""
+
+import pytest
+
+from repro.clock import Deadline, TimerService, VirtualClock
+from repro.containment import ADVISORY_TAG, FailurePolicy, retry_transient
+from repro.errors import (
+    DeadlineExceeded,
+    RetryExhausted,
+    TransientError,
+)
+from repro.events.detector import EventDetector
+from repro.rules.manager import QUARANTINE_TAG, RuleManager
+from repro.rules.rule import Action, OWTERule, RuleClass
+
+
+class TestFailurePolicy:
+    def test_enforcement_classes_fail_closed(self):
+        policy = FailurePolicy()
+        for cls in (RuleClass.ADMINISTRATIVE, RuleClass.ACTIVITY_CONTROL):
+            assert not policy.fails_open(
+                OWTERule(name="r", event="e", classification=cls))
+
+    def test_active_security_fails_open_by_default(self):
+        policy = FailurePolicy()
+        assert policy.fails_open(OWTERule(
+            name="r", event="e",
+            classification=RuleClass.ACTIVE_SECURITY))
+
+    def test_advisory_tag_overrides_classification(self):
+        policy = FailurePolicy()
+        assert policy.fails_open(OWTERule(
+            name="r", event="e", tags={ADVISORY_TAG: "1"},
+            classification=RuleClass.ACTIVITY_CONTROL))
+
+    def test_custom_fail_open_set(self):
+        policy = FailurePolicy(fail_open_classes=frozenset())
+        assert not policy.fails_open(OWTERule(
+            name="r", event="e",
+            classification=RuleClass.ACTIVE_SECURITY))
+
+
+class TestRetryTransient:
+    def test_succeeds_first_try(self):
+        assert retry_transient(lambda: 42) == 42
+
+    def test_retries_transient_then_succeeds(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientError("blip")
+            return "ok"
+
+        retried = []
+        assert retry_transient(
+            flaky, attempts=3,
+            on_retry=lambda n, exc: retried.append(n)) == "ok"
+        assert len(attempts) == 3
+        assert retried == [1, 2]
+
+    def test_exhaustion_raises_retry_exhausted(self):
+        def always_fails():
+            raise TransientError("down")
+
+        with pytest.raises(RetryExhausted) as excinfo:
+            retry_transient(always_fails, attempts=2)
+        assert excinfo.value.attempts == 2
+        assert isinstance(excinfo.value.last, TransientError)
+        assert isinstance(excinfo.value.__cause__, TransientError)
+
+    def test_non_transient_errors_propagate_immediately(self):
+        calls = []
+
+        def fails_hard():
+            calls.append(1)
+            raise ValueError("logic bug")
+
+        with pytest.raises(ValueError):
+            retry_transient(fails_hard, attempts=5)
+        assert len(calls) == 1
+
+    def test_backoff_schedule_is_bounded(self):
+        slept = []
+
+        def always_fails():
+            raise TransientError("down")
+
+        with pytest.raises(RetryExhausted):
+            retry_transient(always_fails, attempts=5, base_delay=0.1,
+                            factor=2.0, max_delay=0.25,
+                            sleep=slept.append)
+        assert slept == [0.1, 0.2, 0.25, 0.25]
+
+    def test_attempts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            retry_transient(lambda: 1, attempts=0)
+
+
+class TestDeadline:
+    def test_virtual_budget_trips_on_clock_advance(self):
+        clock = VirtualClock()
+        deadline = Deadline(clock, virtual_budget=5.0)
+        assert deadline.exceeded() is None
+        clock.advance(6.0)
+        assert deadline.exceeded() == "virtual"
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            deadline.check("ruleX")
+        assert excinfo.value.reason == "virtual"
+        assert "ruleX" in str(excinfo.value)
+
+    def test_wall_budget_uses_injectable_source(self):
+        ticks = [0.0]
+        deadline = Deadline(wall_budget=1.0, wall=lambda: ticks[0])
+        assert deadline.exceeded() is None
+        ticks[0] = 2.0
+        assert deadline.exceeded() == "wall"
+
+    def test_remaining_reports_tightest_budget(self):
+        clock = VirtualClock()
+        ticks = [0.0]
+        deadline = Deadline(clock, virtual_budget=10.0, wall_budget=3.0,
+                            wall=lambda: ticks[0])
+        assert deadline.remaining() == 3.0
+        ticks[0] = 8.0  # wall axis 5s overdrawn, virtual still has 10s
+        assert deadline.remaining() == -5.0
+
+    def test_unbounded_deadline_never_trips(self):
+        deadline = Deadline()
+        assert deadline.exceeded() is None
+        assert deadline.remaining() is None
+        deadline.check()  # no-op
+
+    def test_virtual_budget_requires_clock(self):
+        with pytest.raises(ValueError):
+            Deadline(virtual_budget=1.0)
+
+
+def _manager(**policy_kwargs):
+    clock = VirtualClock()
+    detector = EventDetector(TimerService(clock))
+    detector.define_primitive("e")
+    manager = RuleManager(detector,
+                          failure_policy=FailurePolicy(**policy_kwargs))
+    return clock, detector, manager
+
+
+class TestQuarantineLifecycle:
+    def test_streak_resets_on_clean_firing(self):
+        _, detector, manager = _manager(quarantine_threshold=3)
+        flag = {"boom": True}
+        manager.add(OWTERule(
+            name="Flaky", event="e",
+            actions=[Action("maybe", lambda ctx:
+                            (_ for _ in ()).throw(RuntimeError("x"))
+                            if flag["boom"] else None)]))
+        from repro.errors import RuleExecutionError
+        for _ in range(2):
+            with pytest.raises(RuleExecutionError):
+                detector.raise_event("e")
+        assert manager.get("Flaky").consecutive_faults == 2
+        flag["boom"] = False
+        detector.raise_event("e")  # clean firing
+        assert manager.get("Flaky").consecutive_faults == 0
+        assert not manager.get("Flaky").quarantined
+
+    def test_quarantine_tags_and_disables(self):
+        _, detector, manager = _manager()
+        manager.add(OWTERule(name="R", event="e"))
+        rule = manager.quarantine("R", reason="test")
+        assert rule.quarantined and not rule.enabled
+        assert rule.tags[QUARANTINE_TAG] == "1"
+        assert manager.by_tags(**{QUARANTINE_TAG: "1"}) == [rule]
+        assert manager.quarantined_rules() == [rule]
+        assert manager.summary()["quarantined"] == 1
+        # idempotent
+        epoch = rule.quarantine_epoch
+        manager.quarantine("R")
+        assert rule.quarantine_epoch == epoch
+
+    def test_rearm_clears_tag_and_streak(self):
+        _, _, manager = _manager()
+        manager.add(OWTERule(name="R", event="e"))
+        manager.get("R").consecutive_faults = 5
+        manager.quarantine("R")
+        assert manager.rearm("R") is True
+        rule = manager.get("R")
+        assert rule.enabled and not rule.quarantined
+        assert rule.consecutive_faults == 0
+        assert QUARANTINE_TAG not in rule.tags
+        assert manager.by_tags(**{QUARANTINE_TAG: "1"}) == []
+        # re-arming a healthy rule reports False
+        assert manager.rearm("R") is False
+
+    def test_removed_rule_never_rearmed_by_stale_timer(self):
+        clock, detector, manager = _manager(rearm_after=10.0)
+        manager.add(OWTERule(name="R", event="e"))
+        manager.quarantine("R")
+        manager.remove("R")
+        detector.timers.advance(11.0)  # stale timer fires harmlessly
+        assert "R" not in manager
+
+
+class TestIndexHygiene:
+    def test_remove_unsubscribes_dead_dispatcher(self):
+        _, detector, manager = _manager()
+        manager.add(OWTERule(name="R", event="e"))
+        assert detector.fanout("e") == 1
+        manager.remove("R")
+        assert detector.fanout("e") == 0
+        assert manager.rules_for_event("e") == []
+        # a fresh add re-subscribes cleanly
+        manager.add(OWTERule(name="R2", event="e"))
+        assert detector.fanout("e") == 1
+
+    def test_remove_drops_empty_tag_buckets(self):
+        _, _, manager = _manager()
+        manager.add(OWTERule(name="R", event="e", tags={"k": "v"}))
+        assert manager.by_tags(k="v")
+        manager.remove("R")
+        assert ("k", "v") not in manager._by_tag
+
+    def test_remove_by_tags_cleans_everything(self):
+        _, detector, manager = _manager()
+        detector.define_primitive("e2")
+        manager.add(OWTERule(name="A", event="e", tags={"gen": "1"}))
+        manager.add(OWTERule(name="B", event="e2", tags={"gen": "1"}))
+        removed = manager.remove_by_tags(gen="1")
+        assert [r.name for r in removed] == ["A", "B"]
+        assert len(manager) == 0
+        assert detector.fanout("e") == 0
+        assert detector.fanout("e2") == 0
+
+
+class TestAuditObserverContainment:
+    def test_raising_audit_observer_is_contained(self):
+        from repro.security.audit import AuditLog
+
+        log = AuditLog(VirtualClock())
+        seen = []
+        log.observe(lambda entry: (_ for _ in ()).throw(
+            RuntimeError("shipper down")))
+        log.observe(lambda entry: seen.append(entry.kind))
+        entry = log.record("decision.allow", user="alice")
+        assert entry.kind == "decision.allow"
+        assert seen == ["decision.allow"]  # later observer still ran
+        assert log.observer_faults == 1

@@ -227,8 +227,9 @@ class TestQueriesAndToggles:
         self._populate(mgr)
         summary = mgr.summary()
         assert summary["total"] == 3
-        assert summary["administrative"] == 1
-        assert summary["localized"] == 1
+        assert summary["class.administrative"] == 1
+        assert summary["granularity.localized"] == 1
+        assert summary["quarantined"] == 0
 
     def test_render_pool_groups_by_classification(self, mgr):
         self._populate(mgr)
