@@ -9,7 +9,12 @@ Runs the B3 check-access kernel (one session, one active role, repeated
 * **fault containment** — ``rules.containment`` on (deadline probes +
   the fail-closed except path, the production default) vs off (the raw
   seed behaviour); the kernel is fault-free, so this measures the
-  wrappers alone.  Budget 5% (``CONTAINMENT_OVERHEAD_BUDGET``).
+  wrappers alone.  Budget 5% (``CONTAINMENT_OVERHEAD_BUDGET``);
+* **write-ahead log** — a :class:`repro.wal.Durability` attached vs
+  detached.  ``check_access`` commits nothing, so a fault-free B3
+  check never appends — this comparison bounds the hook probes
+  themselves and polices WAL work creeping onto the read path.
+  Budget 8% (``WAL_OVERHEAD_BUDGET``).
 
 Measurement methodology (shared machines drift by 2-3x mid-run, so a
 naive all-enabled-then-all-disabled comparison measures the load shift,
@@ -35,8 +40,10 @@ Run from the repo root::
 from __future__ import annotations
 
 import os
+import shutil
 import statistics
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, os.path.dirname(__file__))  # for _harness
@@ -44,6 +51,7 @@ sys.path.insert(0, os.path.dirname(__file__))  # for _harness
 from _harness import profiled  # noqa: E402
 
 from repro import ActiveRBACEngine  # noqa: E402
+from repro.wal import Durability  # noqa: E402
 from repro.workloads import EnterpriseShape, generate_enterprise  # noqa: E402
 
 CHECKS = 50         # checkAccess calls per timed round (sub-quantum)
@@ -122,6 +130,7 @@ def main() -> int:
     obs_budget = float(os.environ.get("OBS_OVERHEAD_BUDGET", "0.10"))
     containment_budget = float(
         os.environ.get("CONTAINMENT_OVERHEAD_BUDGET", "0.05"))
+    wal_budget = float(os.environ.get("WAL_OVERHEAD_BUDGET", "0.08"))
     engine, sid, operation, obj = build_engine()
 
     engine.obs.enabled = True
@@ -145,6 +154,26 @@ def main() -> int:
                         "fault containment", containment_budget):
         print("FAIL: containment overhead exceeds budget", file=sys.stderr)
         ok = False
+
+    # WAL: attached vs detached on the same engine.  The fault-free
+    # check kernel commits nothing, so no records are appended — the
+    # budget bounds the engine.wal hook probes and fails the job if
+    # anyone ever puts an append on the check path.
+    engine.obs.enabled = True
+    wal_dir = tempfile.mkdtemp(prefix="smoke-wal-")
+    durability = Durability(engine, wal_dir, batch_size=64)
+
+    def set_wal(engine, on: bool) -> None:
+        engine.wal = durability if on else None
+
+    try:
+        if not check_budget(engine, sid, operation, obj, set_wal,
+                            "write-ahead log", wal_budget):
+            print("FAIL: WAL overhead exceeds budget", file=sys.stderr)
+            ok = False
+    finally:
+        durability.close()
+        shutil.rmtree(wal_dir, ignore_errors=True)
 
     if ok:
         print("OK")

@@ -9,6 +9,7 @@ Usage (also via ``python -m repro``)::
     repro-rbac metrics policy.rbac          # simulate + dump metrics
     repro-rbac fmt policy.rbac              # canonical DSL rendering
     repro-rbac health policy.rbac [--chaos-seed N]  # degradation summary
+    repro-rbac recover state-dir/           # snapshot + WAL replay
 
 ``--trace`` turns on the structured tracer and prints span trees for
 denied operations ("explain why this request was denied"); ``metrics``
@@ -250,6 +251,36 @@ def cmd_health(args: argparse.Namespace) -> int:
     return 0 if health["status"] == "ok" else 1
 
 
+def cmd_recover(args: argparse.Namespace) -> int:
+    """Rebuild an engine from a durability directory (snapshot + WAL).
+
+    Prints the recovery report; with ``--checkpoint`` the replayed
+    tail is folded into a fresh snapshot and the WAL rotated, so the
+    next recovery starts clean.  Exit status: 0 on a clean recovery,
+    1 when a torn tail was truncated (state recovered, but the crash
+    lost unsynced records), 2 when there is nothing to recover.
+    """
+    import json as _json
+
+    from repro import wal as wal_mod
+
+    try:
+        engine, report = wal_mod.recover(args.directory)
+    except FileNotFoundError as exc:
+        print(f"error: no recoverable state in {args.directory}: {exc}",
+              file=sys.stderr)
+        return 2
+    except (ValueError, KeyError) as exc:
+        print(f"error: corrupt durability state: {exc}", file=sys.stderr)
+        return 2
+    if args.checkpoint:
+        durability = wal_mod.Durability(engine, args.directory)
+        durability.close()
+        report["checkpointed"] = True
+    print(_json.dumps(report, indent=2, sort_keys=True))
+    return 1 if report["torn"] else 0
+
+
 def cmd_hygiene(args: argparse.Namespace) -> int:
     from repro.analysis import policy_hygiene, who_can
 
@@ -339,6 +370,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-call fault probability under "
                              "--chaos-seed (default: 0.2)")
     health.set_defaults(fn=cmd_health)
+
+    recover = sub.add_parser(
+        "recover", help="rebuild engine state from a durability "
+                        "directory (newest snapshot + WAL replay)")
+    recover.add_argument("directory",
+                         help="directory holding snapshot.json + wal.log")
+    recover.add_argument("--checkpoint", action="store_true",
+                         help="also fold the replayed tail into a fresh "
+                              "snapshot and rotate the WAL")
+    recover.set_defaults(fn=cmd_recover)
 
     hygiene = sub.add_parser(
         "hygiene", help="staleness/redundancy report, optional "

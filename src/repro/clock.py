@@ -78,7 +78,7 @@ class VirtualClock:
         if start < 0:
             raise ValueError("clock cannot start before the simulated epoch")
         self._now = float(start)
-        self._counter = itertools.count()
+        self._counter = 0
 
     @property
     def now(self) -> float:
@@ -87,7 +87,20 @@ class VirtualClock:
 
     def stamp(self) -> Timestamp:
         """Mint a unique timestamp for the current instant."""
-        return Timestamp(self._now, next(self._counter))
+        stamped = Timestamp(self._now, self._counter)
+        self._counter += 1
+        return stamped
+
+    @property
+    def tiebreak(self) -> int:
+        """The next timestamp sequence number (persistence peeks this)."""
+        return self._counter
+
+    def resume_tiebreak(self, value: int) -> None:
+        """Fast-forward the tie-break counter past a restored state's
+        high-water mark, so fresh stamps order *after* every restored
+        in-flight occurrence at the same instant."""
+        self._counter = max(self._counter, int(value))
 
     def advance(self, seconds: float) -> float:
         """Move the clock forward by ``seconds`` (must be >= 0)."""

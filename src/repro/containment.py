@@ -12,14 +12,19 @@ module holds the policy vocabulary the rule manager enforces with:
   rule;
 * :func:`retry_transient` — bounded retry with exponential backoff for
   transient infrastructure faults (persistence writes, federation
-  lookups).
+  lookups);
+* :func:`fsync_file` / :func:`fsync_dir` — the durability primitives
+  snapshot writes and the write-ahead log build on: an ``os.replace``
+  is only crash-safe once the payload is synced *before* the rename
+  and the directory entry is synced *after* it.
 
-Neither imports the engine, so persistence, federation and the rule
-manager can all share this vocabulary without cycles.
+None imports the engine, so persistence, the WAL, federation and the
+rule manager can all share this vocabulary without cycles.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, TypeVar
 
@@ -105,3 +110,30 @@ def retry_transient(fn: Callable[[], T], *,
             delay = min(delay * factor if delay > 0 else base_delay,
                         max_delay)
     raise AssertionError("unreachable")  # pragma: no cover
+
+
+def fsync_file(fileobj) -> None:
+    """Flush a file object's buffers and fsync it to stable storage."""
+    fileobj.flush()
+    os.fsync(fileobj.fileno())
+
+
+def fsync_dir(path: str) -> None:
+    """fsync a directory so a just-renamed/created entry is durable.
+
+    A power loss after ``os.replace`` but before the directory entry
+    reaches stable storage can resurrect the old file (or leave none);
+    syncing the containing directory closes that window.  Platforms
+    whose directories cannot be opened or fsynced (e.g. Windows) are
+    skipped — the rename itself is still atomic there.
+    """
+    try:
+        fd = os.open(path or ".", os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-specific
+        pass
+    finally:
+        os.close(fd)

@@ -29,7 +29,6 @@ engine and administer it imperatively.
 
 from __future__ import annotations
 
-import itertools
 import time
 
 from repro.clock import Deadline, TimerService, VirtualClock
@@ -53,6 +52,32 @@ from repro.rules.manager import RuleManager
 from repro.rules.rule import RuleOutcome
 from repro.security.audit import AuditLog
 from repro.security.monitor import ActiveSecurityMonitor
+
+
+class MonotonicSequence:
+    """A monotone id allocator that can be *peeked* without consuming.
+
+    Replaces ``itertools.count`` for the engine's session/activation id
+    sequences: persistence snapshots the high-water mark via
+    :attr:`peek` (an ``itertools.count`` can only be read by draining
+    it, which skipped an id per snapshot of a running engine), and the
+    write-ahead log records it so recovered counters resume monotone.
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = int(start)
+
+    def __next__(self) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+    @property
+    def peek(self) -> int:
+        """The next id that will be allocated (not consumed)."""
+        return self._next
 
 
 class ActiveRBACEngine(EnforcementHelpers):
@@ -93,9 +118,17 @@ class ActiveRBACEngine(EnforcementHelpers):
         self.policy = policy.clone() if policy is not None else PolicySpec()
         self.model = build_model(self.policy)
         self.locked_users: set[str] = set()
+        #: optional :class:`~repro.wal.Durability` write-ahead log; when
+        #: attached, every state-mutating commit appends a WAL record so
+        #: enforcement state survives a crash (see repro/wal.py)
+        self.wal = None
+        #: bumped on every policy mutation; the WAL records the epoch
+        #: (with the re-rendered policy) so recovery replays session
+        #: state against the policy that was actually in force
+        self.policy_epoch = 0
 
-        self._session_seq = itertools.count(1)
-        self._activation_seq = itertools.count(1)
+        self._session_seq = MonotonicSequence(1)
+        self._activation_seq = MonotonicSequence(1)
         #: (session_id, role) -> activation id of the *current* activation;
         #: duration-expiry rules compare against it so a stale PLUS timer
         #: never deactivates a later re-activation.
@@ -151,16 +184,39 @@ class ActiveRBACEngine(EnforcementHelpers):
         Returns timer callbacks fired.
         """
         self.obs.clock_advanced()
-        return self.timers.advance(seconds)
+        fired = self.timers.advance(seconds)
+        wal = self.wal
+        if wal is not None:
+            # logged *after* the timers ran: replay folds the target
+            # time into the snapshot clock, and restore re-arms (or
+            # immediately expires) whatever the timers owed
+            wal.log("clock.advance", to=self.clock.now)
+        return fired
 
     # ======================================================================
     # administration (direct model edits + audit; assignments go via rules)
     # ======================================================================
 
+    def _note_policy_change(self) -> None:
+        """Bump the policy epoch and WAL-log the re-rendered policy.
+
+        Replaying a session-level WAL record only makes sense against
+        the policy in force when it was appended; the epoch record
+        carries the full canonical DSL text (policies are small, admin
+        changes rare) so recovery can swap policies mid-replay.
+        """
+        self.policy_epoch += 1
+        wal = self.wal
+        if wal is not None:
+            from repro.policy.dsl import render_policy
+            wal.log("policy.epoch", epoch=self.policy_epoch,
+                    policy=render_policy(self.policy))
+
     def add_user(self, name: str, max_active_roles: int | None = None) -> None:
         self.model.add_user(name, max_active_roles)
         self.policy.add_user(name, max_active_roles)
         self.audit.record("admin.add_user", user=name)
+        self._note_policy_change()
 
     def delete_user(self, name: str) -> None:
         self.model.delete_user(name)
@@ -170,6 +226,7 @@ class ActiveRBACEngine(EnforcementHelpers):
         ]
         self.locked_users.discard(name)
         self.audit.record("admin.delete_user", user=name)
+        self._note_policy_change()
 
     def add_role(self, name: str, max_active_users: int | None = None) -> None:
         """Add a role and generate its localized rule set."""
@@ -177,6 +234,7 @@ class ActiveRBACEngine(EnforcementHelpers):
         self.policy.add_role(name, max_active_users)
         self.generator.generate_role_rules(name)
         self.audit.record("admin.add_role", role=name)
+        self._note_policy_change()
 
     def delete_role(self, name: str) -> None:
         """Delete a role everywhere.
@@ -248,6 +306,7 @@ class ActiveRBACEngine(EnforcementHelpers):
         self.generator.remove_role_events(name)
         regenerate_roles(self, partners & set(policy.roles))
         self.audit.record("admin.delete_role", role=name)
+        self._note_policy_change()
 
     def add_permission(self, operation: str, obj: str) -> None:
         self.model.add_permission(operation, obj)
@@ -255,12 +314,14 @@ class ActiveRBACEngine(EnforcementHelpers):
             self.policy.permissions.append((operation, obj))
         self.audit.record("admin.add_permission", operation=operation,
                           object=obj)
+        self._note_policy_change()
 
     def grant_permission(self, role: str, operation: str, obj: str) -> None:
         self.model.grant_permission(role, operation, obj)
         self.policy.grants.append((role, operation, obj))
         self.audit.record("admin.grant", role=role, operation=operation,
                           object=obj)
+        self._note_policy_change()
 
     def revoke_permission(self, role: str, operation: str, obj: str) -> None:
         self.model.revoke_permission(role, operation, obj)
@@ -270,6 +331,7 @@ class ActiveRBACEngine(EnforcementHelpers):
             pass
         self.audit.record("admin.revoke", role=role, operation=operation,
                           object=obj)
+        self._note_policy_change()
 
     def _regenerate(self, roles: set[str]) -> None:
         """Regenerate the rules of roles whose relationship flags may
@@ -284,6 +346,7 @@ class ActiveRBACEngine(EnforcementHelpers):
         self.audit.record("admin.add_inheritance", senior=senior,
                           junior=junior)
         self._regenerate({senior, junior})
+        self._note_policy_change()
 
     def delete_inheritance(self, senior: str, junior: str) -> None:
         self.model.delete_inheritance(senior, junior)
@@ -295,12 +358,14 @@ class ActiveRBACEngine(EnforcementHelpers):
                           junior=junior)
         self._regenerate({senior, junior})
         self.revalidate_activations()
+        self._note_policy_change()
 
     def create_ssd_set(self, name: str, roles: set[str],
                        cardinality: int = 2) -> None:
         self.model.create_ssd_set(name, roles, cardinality)
         self.policy.add_ssd(name, roles, cardinality)
         self.audit.record("admin.create_ssd", name=name)
+        self._note_policy_change()
 
     def create_dsd_set(self, name: str, roles: set[str],
                        cardinality: int = 2) -> None:
@@ -308,12 +373,14 @@ class ActiveRBACEngine(EnforcementHelpers):
         self.policy.add_dsd(name, roles, cardinality)
         self.audit.record("admin.create_dsd", name=name)
         self._regenerate(set(roles))
+        self._note_policy_change()
 
     def assign_user(self, user: str, role: str) -> None:
         """User-role assignment via the globalized administrative rule
         (paper scenario 3)."""
         self.detector.raise_event("assignUser", user=user, role=role)
         self.policy.add_assignment(user, role)
+        self._note_policy_change()
 
     def deassign_user(self, user: str, role: str) -> None:
         self.detector.raise_event("deassignUser", user=user, role=role)
@@ -321,6 +388,7 @@ class ActiveRBACEngine(EnforcementHelpers):
             self.policy.assignments.remove((user, role))
         except ValueError:
             pass
+        self._note_policy_change()
 
     # ======================================================================
     # sessions and activations (system functions, rule-enforced)
@@ -489,6 +557,10 @@ class ActiveRBACEngine(EnforcementHelpers):
         self.model.create_session_record(session_id, user)
         self.obs.session_changed("create")
         self.audit.record("session.create", session=session_id, user=user)
+        wal = self.wal
+        if wal is not None:
+            wal.log("session.create", id=session_id, user=user,
+                    seq=self._session_seq.peek)
 
     def commit_session_delete(self, session_id: str) -> None:
         session = self.model.sessions.get(session_id)
@@ -500,6 +572,9 @@ class ActiveRBACEngine(EnforcementHelpers):
         self.model.delete_session_record(session_id)
         self.obs.session_changed("delete")
         self.audit.record("session.delete", session=session_id)
+        wal = self.wal
+        if wal is not None:
+            wal.log("session.delete", id=session_id)
 
     def commit_activation(self, session_id: str, role: str,
                           activation_id: int) -> None:
@@ -508,6 +583,11 @@ class ActiveRBACEngine(EnforcementHelpers):
         self.activation_started[(session_id, role)] = self.clock.now
         self.obs.activation_changed("add")
         self.audit.record("activation.add", session=session_id, role=role)
+        wal = self.wal
+        if wal is not None:
+            wal.log("activation.add", session=session_id, role=role,
+                    activation_id=activation_id, started=self.clock.now,
+                    seq=self._activation_seq.peek)
 
     def commit_deactivation(self, session_id: str, role: str) -> None:
         user = self.model.session_user(session_id)
@@ -516,6 +596,9 @@ class ActiveRBACEngine(EnforcementHelpers):
         self.activation_started.pop((session_id, role), None)
         self.obs.activation_changed("drop")
         self.audit.record("activation.drop", session=session_id, role=role)
+        wal = self.wal
+        if wal is not None:
+            wal.log("activation.drop", session=session_id, role=role)
         self.detector.raise_event(
             f"roleDeactivated.{role}", sessionId=session_id, role=role,
             user=user,
@@ -546,6 +629,9 @@ class ActiveRBACEngine(EnforcementHelpers):
         self.model.set_role_enabled(role, enabled)
         self.audit.record("role.enable" if enabled else "role.disable",
                           role=role)
+        wal = self.wal
+        if wal is not None:
+            wal.log("role.status", role=role, enabled=enabled)
 
     # ======================================================================
     # active-security reactions
@@ -570,10 +656,16 @@ class ActiveRBACEngine(EnforcementHelpers):
                 if user in self.model.users else []:
             self.commit_session_delete(session_id)
         self.audit.record("security.lock_user", user=user)
+        wal = self.wal
+        if wal is not None:
+            wal.log("user.lock", user=user)
 
     def unlock_user(self, user: str) -> None:
         self.locked_users.discard(user)
         self.audit.record("security.unlock_user", user=user)
+        wal = self.wal
+        if wal is not None:
+            wal.log("user.unlock", user=user)
 
     # ======================================================================
     # internals

@@ -35,7 +35,7 @@ from typing import TYPE_CHECKING, Callable
 from repro.clock import Timestamp
 from repro.events.calendar import CalendarExpression
 from repro.events.consumption import ConsumptionMode, InitiatorBuffer
-from repro.events.occurrence import Occurrence, compose
+from repro.events.occurrence import Occurrence, compose, from_wire, to_wire
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.events.detector import EventDetector
@@ -86,6 +86,17 @@ class EventNode:
         self-scheduled timers stay cancelled (used by undefine)."""
         self.enabled = False
         self.reset()
+
+    def snapshot_state(self) -> dict | None:
+        """JSON-serialisable partial-detection state, or None when the
+        node holds none (persistence captures non-None states so a
+        restored engine resumes in-flight composite detections)."""
+        return None
+
+    def restore_state(self, data: dict) -> None:
+        """Rebuild buffered partial detections from
+        :meth:`snapshot_state` output (timers are re-armed against the
+        detector's current clock)."""
 
     def describe(self) -> str:
         return f"{type(self).__name__}({self.name})"
@@ -170,6 +181,16 @@ class AndNode(OperatorNode):
         for buffer in self._buffers:
             buffer.clear()
 
+    def snapshot_state(self) -> dict | None:
+        if not any(len(b) for b in self._buffers):
+            return None
+        return {"buffers": [[to_wire(o) for o in b.peek_all()]
+                            for b in self._buffers]}
+
+    def restore_state(self, data: dict) -> None:
+        for buffer, wires in zip(self._buffers, data.get("buffers", ())):
+            buffer.restore(from_wire(w) for w in wires)
+
 
 class SequenceNode(OperatorNode):
     """SEQUENCE(E1, E2): E1 must end strictly before E2 starts.
@@ -198,6 +219,16 @@ class SequenceNode(OperatorNode):
 
     def reset(self) -> None:
         self._initiators.clear()
+
+    def snapshot_state(self) -> dict | None:
+        if not len(self._initiators):
+            return None
+        return {"initiators": [to_wire(o)
+                               for o in self._initiators.peek_all()]}
+
+    def restore_state(self, data: dict) -> None:
+        self._initiators.restore(from_wire(w)
+                                 for w in data.get("initiators", ()))
 
 
 class NotNode(OperatorNode):
@@ -237,6 +268,25 @@ class NotNode(OperatorNode):
     def reset(self) -> None:
         self._initiators.clear()
         self._contaminated.clear()
+
+    def snapshot_state(self) -> dict | None:
+        open_windows = self._initiators.peek_all()
+        if not open_windows:
+            return None
+        # contamination marks are object identities; persist them as a
+        # parallel boolean list and rebuild against the restored objects
+        return {"initiators": [to_wire(o) for o in open_windows],
+                "contaminated": [id(o) in self._contaminated
+                                 for o in open_windows]}
+
+    def restore_state(self, data: dict) -> None:
+        restored = [from_wire(w) for w in data.get("initiators", ())]
+        self._initiators.restore(restored)
+        self._contaminated = {
+            id(occ) for occ, dirty in zip(restored,
+                                          data.get("contaminated", ()))
+            if dirty
+        }
 
 
 class AperiodicNode(OperatorNode):
@@ -284,6 +334,14 @@ class AperiodicNode(OperatorNode):
     def reset(self) -> None:
         self._open.clear()
 
+    def snapshot_state(self) -> dict | None:
+        if not self._open:
+            return None
+        return {"open": [to_wire(o) for o in self._open]}
+
+    def restore_state(self, data: dict) -> None:
+        self._open = [from_wire(w) for w in data.get("open", ())]
+
 
 class AperiodicStarNode(OperatorNode):
     """A*(E1, E2, E3): accumulate E2s in the window; one detection at E3.
@@ -320,6 +378,17 @@ class AperiodicStarNode(OperatorNode):
         self._opener = None
         self._accumulated = []
 
+    def snapshot_state(self) -> dict | None:
+        if self._opener is None:
+            return None
+        return {"opener": to_wire(self._opener),
+                "accumulated": [to_wire(o) for o in self._accumulated]}
+
+    def restore_state(self, data: dict) -> None:
+        self._opener = from_wire(data["opener"])
+        self._accumulated = [from_wire(w)
+                             for w in data.get("accumulated", ())]
+
 
 class PeriodicNode(OperatorNode):
     """PERIODIC(E1, tau, E3): fire every ``tau`` seconds inside [E1, E3).
@@ -338,6 +407,7 @@ class PeriodicNode(OperatorNode):
         self.period = float(period)
         self._opener: Occurrence | None = None
         self._timer_id: int | None = None
+        self._next_fire: float | None = None
         self._tick = 0
 
     def on_child(self, slot: int, occurrence: Occurrence) -> None:
@@ -352,14 +422,19 @@ class PeriodicNode(OperatorNode):
         self._opener = None
 
     def _arm(self) -> None:
-        self._timer_id = self.detector.timers.schedule_after(
-            self.period, self._fire
+        self._arm_at(self.detector.clock.now + self.period)
+
+    def _arm_at(self, deadline: float) -> None:
+        self._next_fire = deadline
+        self._timer_id = self.detector.timers.schedule_at(
+            deadline, self._fire
         )
 
     def _disarm(self) -> None:
         if self._timer_id is not None:
             self.detector.timers.cancel(self._timer_id)
             self._timer_id = None
+            self._next_fire = None
 
     def _fire(self) -> None:
         if self._opener is None:
@@ -376,6 +451,22 @@ class PeriodicNode(OperatorNode):
         self._disarm()
         self._opener = None
         self._tick = 0
+
+    def snapshot_state(self) -> dict | None:
+        if self._opener is None:
+            return None
+        return {"opener": to_wire(self._opener), "tick": self._tick,
+                "next_fire": self._next_fire}
+
+    def restore_state(self, data: dict) -> None:
+        self._disarm()
+        self._opener = from_wire(data["opener"])
+        self._tick = int(data.get("tick", 0))
+        next_fire = data.get("next_fire")
+        if next_fire is not None:
+            # a tick owed from before the restart fires on the next
+            # clock advance; subsequent ticks resume the cadence
+            self._arm_at(float(next_fire))
 
 
 class PeriodicStarNode(OperatorNode):
@@ -413,6 +504,16 @@ class PeriodicStarNode(OperatorNode):
     def reset(self) -> None:
         self._opener = None
 
+    def snapshot_state(self) -> dict | None:
+        if self._opener is None:
+            return None
+        return {"opener": to_wire(self._opener),
+                "opened_at": self._opened_at}
+
+    def restore_state(self, data: dict) -> None:
+        self._opener = from_wire(data["opener"])
+        self._opened_at = float(data.get("opened_at", 0.0))
+
 
 class PlusNode(OperatorNode):
     """PLUS(E1, delta): fires ``delta`` seconds after each E1 occurrence.
@@ -429,21 +530,27 @@ class PlusNode(OperatorNode):
             raise ValueError(f"PLUS delta must be non-negative, got {delta}")
         super().__init__(detector, name, children)
         self.delta = float(delta)
-        self._pending: set[int] = set()
+        #: timer id -> (initiating occurrence, absolute fire deadline);
+        #: the deadline is kept so persistence can re-arm the remaining
+        #: countdowns after a restore
+        self._pending: dict[int, tuple[Occurrence, float]] = {}
 
     def on_child(self, slot: int, occurrence: Occurrence) -> None:
+        self._arm(occurrence, self.detector.clock.now + self.delta)
+
+    def _arm(self, occurrence: Occurrence, deadline: float) -> None:
         timer_box: list[int] = []
 
         def fire() -> None:
-            self._pending.discard(timer_box[0])
+            self._pending.pop(timer_box[0], None)
             stamp = self.detector.clock.stamp()
             self.emit(Occurrence(self.name, occurrence.start, stamp,
                                  dict(occurrence.params),
                                  constituents=(occurrence,)))
 
-        timer_id = self.detector.timers.schedule_after(self.delta, fire)
+        timer_id = self.detector.timers.schedule_at(deadline, fire)
         timer_box.append(timer_id)
-        self._pending.add(timer_id)
+        self._pending[timer_id] = (occurrence, deadline)
 
     def cancel_pending(self) -> int:
         """Cancel every armed countdown (e.g. role deactivated early)."""
@@ -456,6 +563,21 @@ class PlusNode(OperatorNode):
 
     def reset(self) -> None:
         self.cancel_pending()
+
+    def snapshot_state(self) -> dict | None:
+        if not self._pending:
+            return None
+        return {"pending": [
+            {"occurrence": to_wire(occ), "deadline": deadline}
+            for occ, deadline in self._pending.values()
+        ]}
+
+    def restore_state(self, data: dict) -> None:
+        # countdowns that expired while the engine was down fire on the
+        # next clock advance (schedule_at accepts past deadlines)
+        for entry in data.get("pending", ()):
+            self._arm(from_wire(entry["occurrence"]),
+                      float(entry["deadline"]))
 
 
 class AbsoluteNode(EventNode):

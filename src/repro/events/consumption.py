@@ -95,6 +95,10 @@ class InitiatorBuffer:
         """Non-consuming view of the buffered occurrences (oldest first)."""
         return list(self._buffer)
 
+    def restore(self, occurrences: Iterable[Occurrence]) -> None:
+        """Replace the buffered occurrences (persistence restore)."""
+        self._buffer = list(occurrences)
+
     def add(self, occurrence: Occurrence) -> None:
         """Buffer an initiator occurrence per the retention policy."""
         if self.mode is ConsumptionMode.RECENT:

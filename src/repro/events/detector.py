@@ -354,6 +354,38 @@ class EventDetector:
         for node in self._nodes.values():
             node.reset()
 
+    def state_snapshot(self) -> dict[str, dict]:
+        """Partial-detection state of every node that holds any.
+
+        Buffered initiators, open windows and armed countdowns —
+        everything :meth:`reset_state` would discard — rendered
+        JSON-serialisable so persistence can capture in-flight
+        SEQUENCE/PLUS/APERIODIC/... detections across a restart.
+        """
+        state: dict[str, dict] = {}
+        for name, node in self._nodes.items():
+            node_state = node.snapshot_state()
+            if node_state is not None:
+                node_state["kind"] = type(node).__name__
+                state[name] = node_state
+        return state
+
+    def state_restore(self, state: dict[str, dict]) -> int:
+        """Rebuild partial detections from :meth:`state_snapshot` output.
+
+        Nodes absent from the current graph (e.g. a role — and its
+        events — deleted since the snapshot) are skipped, as are nodes
+        whose operator kind changed.  Returns how many nodes restored.
+        """
+        restored = 0
+        for name, node_state in state.items():
+            node = self._nodes.get(name)
+            if node is None or type(node).__name__ != node_state.get("kind"):
+                continue
+            node.restore_state(node_state)
+            restored += 1
+        return restored
+
     def stats(self) -> dict[str, int]:
         """Counters for benchmarking: events raised and detections made."""
         return {

@@ -109,3 +109,35 @@ def compose(event: str, constituents: tuple[Occurrence, ...],
         params=merge_params(*constituents),
         constituents=constituents,
     )
+
+
+def to_wire(occurrence: Occurrence) -> dict[str, Any]:
+    """Render an occurrence as a JSON-serialisable dict.
+
+    Used by persistence to snapshot in-flight partial detections
+    (buffered initiators, open windows, armed countdowns).  Timestamps
+    keep their tie-breaking sequence numbers so the restored total
+    order matches the live one; parameters are kept as-is — event
+    parameters in this engine are scalars (ids, names, counts).
+    """
+    wire: dict[str, Any] = {
+        "event": occurrence.event,
+        "start": [occurrence.start.seconds, occurrence.start.sequence],
+        "end": [occurrence.end.seconds, occurrence.end.sequence],
+        "params": dict(occurrence.params),
+    }
+    if occurrence.constituents:
+        wire["constituents"] = [to_wire(c) for c in occurrence.constituents]
+    return wire
+
+
+def from_wire(data: dict[str, Any]) -> Occurrence:
+    """Rebuild an occurrence from its :func:`to_wire` rendering."""
+    return Occurrence(
+        event=data["event"],
+        start=Timestamp(float(data["start"][0]), int(data["start"][1])),
+        end=Timestamp(float(data["end"][0]), int(data["end"][1])),
+        params=dict(data.get("params", {})),
+        constituents=tuple(from_wire(c)
+                           for c in data.get("constituents", ())),
+    )

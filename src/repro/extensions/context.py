@@ -73,6 +73,10 @@ class ContextProvider:
     def __init__(self, initial: dict[str, Any] | None = None) -> None:
         self._values: dict[str, Any] = dict(initial or {})
         self._update_count = 0
+        #: optional ``(name, value) -> None`` observer invoked after
+        #: every :meth:`set` — the WAL hooks in here so context updates
+        #: survive a crash.
+        self.on_set = None
 
     def attach(self, detector: EventDetector) -> None:
         """Subscribe to ``context.update`` external events."""
@@ -88,6 +92,8 @@ class ContextProvider:
     def set(self, name: str, value: Any) -> None:
         self._values[name] = value
         self._update_count += 1
+        if self.on_set is not None:
+            self.on_set(name, value)
 
     def get(self, name: str, default: Any = None) -> Any:
         return self._values.get(name, default)

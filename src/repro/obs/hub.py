@@ -99,6 +99,22 @@ class ObsHub:
         self.transient_retries = m.counter(
             "repro_transient_retries_total",
             "transient-fault retry attempts, by call site", ("site",))
+        # -- durability (WAL) ----------------------------------------------
+        self.wal_appends = m.counter(
+            "repro_wal_appends_total",
+            "write-ahead-log records appended, by operation", ("op",))
+        self.wal_fsyncs = m.counter(
+            "repro_wal_fsyncs_total",
+            "WAL group-commit fsyncs (batch_size appends share one)")
+        self.wal_replays = m.counter(
+            "repro_wal_records_replayed_total",
+            "WAL records replayed during recovery")
+        self.wal_torn_tails = m.counter(
+            "repro_wal_torn_tail_truncations_total",
+            "recoveries that detected and truncated a torn WAL tail")
+        self.wal_rotations = m.counter(
+            "repro_wal_rotations_total",
+            "WAL rotations (checkpoint compactions)")
         # -- timers / clock -------------------------------------------------
         self.timer_callbacks = m.counter(
             "repro_timer_callbacks_total",
@@ -132,6 +148,7 @@ class ObsHub:
         self._raised_cache: dict = {}
         self._timing_cache: dict = {}
         self._error_cache: dict = {}
+        self._wal_append_cache: dict = {}
         self._grant_count = self.decisions.labels("grant")
         self._deny_count = self.decisions.labels("deny")
         self._grant_ns = self.decision_ns.labels("grant")
@@ -302,6 +319,29 @@ class ObsHub:
                 h = self._deny_ns
             h._counts[bisect_left(h.bounds, elapsed_ns)] += 1
             h._sum += elapsed_ns
+
+    def wal_appended(self, op: str, synced: bool = False) -> None:
+        """Count one WAL append (plus the fsync when this append closed
+        a group-commit batch).  Child caching matters: session churn
+        logs one record per commit on the enforcement path."""
+        if self.enabled:
+            child = self._wal_append_cache.get(op)
+            if child is None:
+                child = self._wal_append_cache[op] = \
+                    self.wal_appends.labels(op)
+            child._value += 1
+            if synced:
+                self.wal_fsyncs._value += 1
+
+    def wal_rotated(self) -> None:
+        if self.enabled:
+            self.wal_rotations._value += 1
+
+    def wal_recovered(self, replayed: int, torn: bool = False) -> None:
+        if self.enabled:
+            self.wal_replays._value += replayed
+            if torn:
+                self.wal_torn_tails._value += 1
 
     def session_changed(self, op: str) -> None:
         if self.enabled:

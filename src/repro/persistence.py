@@ -10,7 +10,13 @@ engine needs in a JSON-serialisable dict:
 * sessions with their active roles, activation ids and start times,
 * role enabled/disabled status,
 * locked users and context variables,
-* the session/activation counters.
+* the session/activation counters (peeked, never consumed — taking a
+  snapshot must not mutate the live engine),
+* in-flight partial detections (buffered SEQUENCE initiators, pending
+  PLUS countdowns, open APERIODIC windows, ...) via
+  :meth:`~repro.events.detector.EventDetector.state_snapshot`,
+* per-rule circuit-breaker state (fault counters, quarantine flags)
+  via :meth:`~repro.rules.manager.RuleManager.state_snapshot`.
 
 :func:`restore` rebuilds a fresh :class:`~repro.engine.ActiveRBACEngine`
 from the snapshot: the rule pool is *regenerated* from the policy (not
@@ -25,6 +31,11 @@ What is deliberately *not* restored:
   ``engine.audit.observe``; a restored engine starts a fresh log);
 * active-security sliding windows (conservative reset: a restart
   re-arms every threshold from zero).
+
+Sessions/activations that reference users or roles removed from the
+policy since the snapshot are *dropped*, but never silently: each drop
+is recorded in the audit log and counted in the ``admin.restore``
+record, so an operator can tell recovery lost state on purpose.
 """
 
 from __future__ import annotations
@@ -34,11 +45,15 @@ import os
 from typing import Any
 
 from repro.clock import VirtualClock
-from repro.containment import retry_transient
+from repro.containment import fsync_dir, fsync_file, retry_transient
 from repro.engine import ActiveRBACEngine
 from repro.policy.dsl import parse_policy, render_policy
 
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
+
+#: snapshot versions :func:`restore` accepts (v1 predates the
+#: ``detector``/``rules``/``policy_epoch`` keys, all optional on read)
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def snapshot(engine: ActiveRBACEngine) -> dict[str, Any]:
@@ -62,6 +77,9 @@ def snapshot(engine: ActiveRBACEngine) -> dict[str, Any]:
         "version": SNAPSHOT_VERSION,
         "policy": render_policy(engine.policy),
         "clock": engine.clock.now,
+        # fresh stamps must order after every restored in-flight
+        # occurrence minted at the same instant
+        "clock_seq": engine.clock.tiebreak,
         "sessions": sessions,
         "role_enabled": {
             name: role.enabled
@@ -74,9 +92,14 @@ def snapshot(engine: ActiveRBACEngine) -> dict[str, Any]:
             if isinstance(value, (str, int, float, bool, type(None)))
         },
         "counters": {
-            "session_seq": next(engine._session_seq),
-            "activation_seq": next(engine._activation_seq),
+            # peek, don't consume: snapshotting a live engine must not
+            # burn ids (the seed drained these with next())
+            "session_seq": engine._session_seq.peek,
+            "activation_seq": engine._activation_seq.peek,
         },
+        "policy_epoch": engine.policy_epoch,
+        "detector": engine.detector.state_snapshot(),
+        "rules": engine.rules.state_snapshot(),
     }
 
 
@@ -88,21 +111,23 @@ def dumps(engine: ActiveRBACEngine, **json_kwargs: Any) -> str:
 def restore(data: dict[str, Any]) -> ActiveRBACEngine:
     """Rebuild an engine from a :func:`snapshot` dict."""
     version = data.get("version")
-    if version != SNAPSHOT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ValueError(
             f"unsupported snapshot version {version!r} "
-            f"(expected {SNAPSHOT_VERSION})")
+            f"(expected one of {SUPPORTED_VERSIONS})")
     policy = parse_policy(data["policy"])
     clock = VirtualClock(start=float(data["clock"]))
+    clock.resume_tiebreak(int(data.get("clock_seq", 0)))
     engine = ActiveRBACEngine(policy, clock=clock)
 
     # counters resume past the snapshot's high-water marks
-    import itertools
+    from repro.engine import MonotonicSequence
     counters = data.get("counters", {})
-    engine._session_seq = itertools.count(
+    engine._session_seq = MonotonicSequence(
         int(counters.get("session_seq", 1)))
-    engine._activation_seq = itertools.count(
+    engine._activation_seq = MonotonicSequence(
         int(counters.get("activation_seq", 1)))
+    engine.policy_epoch = int(data.get("policy_epoch", 0))
 
     # role status: snapshot values override the windows' initial guess
     for name, enabled in data.get("role_enabled", {}).items():
@@ -114,14 +139,26 @@ def restore(data: dict[str, Any]) -> ActiveRBACEngine:
         engine.context.set(key, value)
 
     now = engine.clock.now
+    dropped_sessions = 0
+    dropped_activations = 0
     for session in data.get("sessions", ()):
         session_id = session["id"]
         user = session["user"]
         if user not in engine.model.users:
-            continue  # user removed from the policy since the snapshot
+            # user removed from the policy since the snapshot: the
+            # session cannot be rebuilt, but the loss is audited
+            dropped_sessions += 1
+            engine.audit.record("restore.drop_session",
+                                session=session_id, user=user,
+                                reason="unknown user")
+            continue
         engine.model.create_session_record(session_id, user)
         for role, info in session["activations"].items():
             if role not in engine.model.roles:
+                dropped_activations += 1
+                engine.audit.record("restore.drop_activation",
+                                    session=session_id, role=role,
+                                    reason="unknown role")
                 continue
             activation_id = int(info["activation_id"])
             started = float(info["started"])
@@ -130,8 +167,19 @@ def restore(data: dict[str, Any]) -> ActiveRBACEngine:
             engine.activation_started[(session_id, role)] = started
             _rearm_duration(engine, session_id, user, role,
                             activation_id, started, now)
+
+    # v2 extras: in-flight partial detections and breaker state
+    detector_state = data.get("detector")
+    if detector_state:
+        engine.detector.state_restore(detector_state)
+    rules_state = data.get("rules")
+    if rules_state:
+        engine.rules.state_restore(rules_state)
+
     engine.audit.record("admin.restore",
                         sessions=len(data.get("sessions", ())),
+                        dropped_sessions=dropped_sessions,
+                        dropped_activations=dropped_activations,
                         clock=now)
     return engine
 
@@ -141,8 +189,19 @@ def loads(text: str) -> ActiveRBACEngine:
     return restore(json.loads(text))
 
 
+#: indirection so the crash harness can kill mid-rename (between the
+#: durable tmp file and the visible path) without monkeypatching os
+_replace = os.replace
+
+
 def _write_payload(path: str, payload: str) -> None:
-    """Atomically write the snapshot payload (tmp file + rename).
+    """Crash-safely write the snapshot payload (tmp + fsync + rename).
+
+    The seed's tmp-file + ``os.replace`` was atomic against *readers*
+    but not against power loss: the rename could land while the tmp
+    file's data was still in the page cache, leaving a durable name
+    pointing at garbage.  Order now: write tmp, fsync tmp, rename,
+    fsync the directory (see :func:`repro.containment.fsync_dir`).
 
     Module-level so tests and the fault-injection harness can patch it
     as a transient-failure point.
@@ -150,7 +209,9 @@ def _write_payload(path: str, payload: str) -> None:
     tmp = path + ".tmp"
     with open(tmp, "w", encoding="utf-8") as handle:
         handle.write(payload)
-    os.replace(tmp, path)
+        fsync_file(handle)
+    _replace(tmp, path)
+    fsync_dir(os.path.dirname(os.path.abspath(path)))
 
 
 def save(engine: ActiveRBACEngine, path: str, *,

@@ -262,6 +262,9 @@ class RuleManager:
         audit = getattr(self.engine, "audit", None)
         if audit is not None:
             audit.record("rule.quarantine", rule=name, reason=reason)
+        wal = getattr(self.engine, "wal", None)
+        if wal is not None:
+            wal.log("rule.quarantine", rule=name, reason=reason)
         rearm_after = self.failure_policy.rearm_after
         if rearm_after is not None:
             epoch = rule.quarantine_epoch
@@ -290,6 +293,9 @@ class RuleManager:
         audit = getattr(self.engine, "audit", None)
         if audit is not None:
             audit.record("rule.rearm", rule=name, mode=mode)
+        wal = getattr(self.engine, "wal", None)
+        if wal is not None:
+            wal.log("rule.rearm", rule=name)
         return True
 
     def _timed_rearm(self, name: str, epoch: int) -> None:
@@ -305,6 +311,46 @@ class RuleManager:
     def quarantined_rules(self) -> list[OWTERule]:
         """Currently quarantined rules (health/report surface)."""
         return [r for r in self._rules.values() if r.quarantined]
+
+    def state_snapshot(self) -> list[dict]:
+        """Breaker state worth surviving a restart: one entry per rule
+        with a non-default fault history (snapshot v2 ``rules`` key)."""
+        state = []
+        for rule in self._rules.values():
+            if not (rule.fault_count or rule.quarantined
+                    or rule.quarantine_epoch):
+                continue
+            state.append({
+                "name": rule.name,
+                "fault_count": rule.fault_count,
+                "consecutive_faults": rule.consecutive_faults,
+                "quarantined": rule.quarantined,
+                "quarantine_epoch": rule.quarantine_epoch,
+            })
+        return state
+
+    def state_restore(self, state: list[dict]) -> int:
+        """Re-apply persisted breaker state to the regenerated pool.
+
+        Rules that no longer exist (policy drift between snapshot and
+        restore) are skipped.  Quarantined entries go through
+        :meth:`quarantine` so tagging/audit/obs stay consistent, then
+        the persisted counters overwrite the defaults.  Returns how
+        many rules were restored.
+        """
+        restored = 0
+        for entry in state:
+            rule = self._rules.get(entry.get("name", ""))
+            if rule is None:
+                continue
+            if entry.get("quarantined"):
+                self.quarantine(rule.name, reason="restored")
+            rule.fault_count = int(entry.get("fault_count", 0))
+            rule.consecutive_faults = int(
+                entry.get("consecutive_faults", 0))
+            rule.quarantine_epoch = int(entry.get("quarantine_epoch", 0))
+            restored += 1
+        return restored
 
     # -- firing ------------------------------------------------------------------
 

@@ -34,6 +34,17 @@ from repro.errors import TransientError
 from repro.rules.rule import Action, Condition, OWTERule
 
 
+class SimulatedCrash(BaseException):
+    """A process death injected at a kill-point.
+
+    Deliberately a ``BaseException``: a real crash is not an error any
+    layer can handle, so it must sail past both the rule manager's
+    containment boundary (``except Exception``) and
+    ``retry_transient`` — reaching the test harness exactly the way
+    ``SIGKILL`` would, with all in-memory state abandoned mid-step.
+    """
+
+
 @dataclass
 class FaultPoint:
     """One armed fault point and its call/fire accounting."""

@@ -1,0 +1,423 @@
+"""Write-ahead log and crash recovery for the active-rule engine.
+
+:mod:`repro.persistence` gives the engine restart recovery at snapshot
+granularity: everything since the last :func:`~repro.persistence.save`
+is lost.  This module closes that window with a classic WAL design:
+
+* every state-mutating operation (session create/drop, role
+  activate/deactivate, role enable/disable, context update, user
+  lock/unlock, policy regeneration epoch, rule quarantine/re-arm) is
+  appended to an append-only log *after* it commits in memory;
+* each record is one line — ``crc32 json\\n`` — so a torn tail (the
+  crash landed mid-write) is detected by checksum and truncated, never
+  replayed;
+* fsyncs are batched (group commit): ``batch_size`` appends share one
+  fsync, trading a bounded tail-loss window for throughput;
+* recovery = newest valid snapshot + replay of every record with an
+  LSN past the snapshot's high-water mark, *folded into the snapshot
+  dict* and restored once — replay never re-fires rules;
+* checkpointing writes a fresh snapshot (stamped with the WAL's last
+  LSN) and rotates the log.  A crash between the two leaves stale
+  records whose LSNs the snapshot already covers; recovery skips them.
+
+The :class:`Durability` manager owns the wiring: construct it around a
+live engine and every commit helper starts logging through
+``engine.wal``; :func:`recover` rebuilds an equivalent engine from the
+directory after a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Any
+
+from repro.containment import fsync_dir, fsync_file
+
+SNAPSHOT_FILE = "snapshot.json"
+WAL_FILE = "wal.log"
+
+#: ops :func:`_apply` understands; unknown ops fail recovery loudly
+#: rather than silently dropping a mutation class
+KNOWN_OPS = frozenset({
+    "session.create", "session.delete",
+    "activation.add", "activation.drop",
+    "role.status", "user.lock", "user.unlock",
+    "context.set", "policy.epoch",
+    "rule.quarantine", "rule.rearm", "clock.advance",
+})
+
+
+def encode_record(record: dict[str, Any]) -> bytes:
+    """One WAL line: crc32 of the compact-JSON payload, then the payload."""
+    payload = json.dumps(record, separators=(",", ":"),
+                         sort_keys=True).encode("utf-8")
+    return b"%08x %s\n" % (zlib.crc32(payload), payload)
+
+
+def decode_line(line: bytes) -> dict[str, Any] | None:
+    """Parse one WAL line; None when torn/corrupt (bad CRC, bad JSON,
+    missing newline — a write the crash interrupted)."""
+    if not line.endswith(b"\n"):
+        return None
+    body = line[:-1]
+    if len(body) < 10 or body[8:9] != b" ":
+        return None
+    try:
+        crc = int(body[:8], 16)
+    except ValueError:
+        return None
+    payload = body[9:]
+    if zlib.crc32(payload) != crc:
+        return None
+    try:
+        record = json.loads(payload)
+    except ValueError:
+        return None
+    if not isinstance(record, dict) or not isinstance(
+            record.get("lsn"), int):
+        return None
+    return record
+
+
+def read_wal(path: str, *, repair: bool = False
+             ) -> tuple[list[dict[str, Any]], dict[str, Any]]:
+    """Read every valid record from a WAL file, stopping at the tail.
+
+    Validity is per line (CRC + JSON + integer ``lsn``) *and* global:
+    LSNs must be strictly increasing — a non-monotone LSN means the
+    file was corrupted past what checksums can see, so reading stops
+    there too.  With ``repair=True`` the file is truncated at the
+    first bad byte (torn-tail repair) and fsynced.
+
+    Returns ``(records, report)`` where the report carries ``torn``
+    (bool), ``valid_bytes`` and ``dropped_bytes``.
+    """
+    records: list[dict[str, Any]] = []
+    report: dict[str, Any] = {"torn": False, "valid_bytes": 0,
+                              "dropped_bytes": 0}
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except FileNotFoundError:
+        return records, report
+
+    offset = 0
+    last_lsn = None
+    while offset < len(raw):
+        end = raw.find(b"\n", offset)
+        line = raw[offset:] if end < 0 else raw[offset:end + 1]
+        record = decode_line(line)
+        if record is None or (last_lsn is not None
+                              and record["lsn"] <= last_lsn):
+            break
+        records.append(record)
+        last_lsn = record["lsn"]
+        offset += len(line)
+
+    if offset < len(raw):
+        report["torn"] = True
+        report["dropped_bytes"] = len(raw) - offset
+    report["valid_bytes"] = offset
+    if repair and report["torn"]:
+        with open(path, "r+b") as handle:
+            handle.truncate(offset)
+            fsync_file(handle)
+    return records, report
+
+
+class WriteAheadLog:
+    """The append-only checksummed log file with batched fsync.
+
+    ``batch_size`` appends share one fsync (group commit): a crash can
+    lose at most the last ``batch_size - 1`` appended records, never
+    corrupt earlier ones.  ``batch_size=1`` is strict write-through.
+    """
+
+    def __init__(self, path: str, *, batch_size: int = 8) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.path = path
+        self.batch_size = batch_size
+        # adopt whatever valid prefix an existing log holds (repairing
+        # any torn tail first, so appends land on a clean boundary)
+        existing, _ = read_wal(path, repair=True)
+        self.last_lsn = existing[-1]["lsn"] if existing else 0
+        self.records_kept = len(existing)
+        self._handle = open(path, "ab")
+        self._unsynced = 0
+        self.append_count = 0
+        self.fsync_count = 0
+        self.rotation_count = 0
+
+    def append(self, op: str, data: dict[str, Any], t: float) -> dict:
+        """Append one record; fsync when the batch fills."""
+        record = {"lsn": self.last_lsn + 1, "t": t, "op": op,
+                  "data": data}
+        _write_line(self._handle, encode_record(record))
+        self.last_lsn = record["lsn"]
+        self.append_count += 1
+        self._unsynced += 1
+        if self._unsynced >= self.batch_size:
+            self.sync()
+        return record
+
+    def sync(self) -> bool:
+        """Force buffered records to stable storage; True if it fsynced."""
+        if self._unsynced == 0:
+            self._handle.flush()
+            return False
+        fsync_file(self._handle)
+        self._unsynced = 0
+        self.fsync_count += 1
+        return True
+
+    def rotate(self) -> None:
+        """Truncate the log (checkpoint compaction).  LSNs keep
+        counting — they are global, not per-file, so recovery can
+        order any surviving record against any snapshot."""
+        self._handle.close()
+        self._handle = open(self.path, "wb")
+        fsync_file(self._handle)
+        fsync_dir(os.path.dirname(os.path.abspath(self.path)))
+        self._unsynced = 0
+        self.records_kept = 0
+        self.rotation_count += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self.sync()
+            self._handle.close()
+
+
+def _write_line(handle, line: bytes) -> None:
+    """Single write site for WAL lines.
+
+    Module-level so the crash harness can patch it
+    (``chaos.patch(wal, "_write_line", point)``) to kill the process
+    at an exact record boundary.
+    """
+    handle.write(line)
+
+
+class Durability:
+    """Attach WAL durability to a live engine.
+
+    Wires ``engine.wal`` (the commit helpers in
+    :mod:`repro.engine` / :mod:`repro.rules.manager` check it) and the
+    context provider's ``on_set`` hook, writes an initial checkpoint,
+    and exposes :meth:`checkpoint` / :meth:`close`.
+
+    ``auto_checkpoint`` (records) bounds WAL growth: once that many
+    records accumulate since the last checkpoint, the next
+    :meth:`log` triggers snapshot + rotation automatically.
+    """
+
+    def __init__(self, engine: Any, directory: str, *,
+                 batch_size: int = 8,
+                 auto_checkpoint: int | None = None) -> None:
+        os.makedirs(directory, exist_ok=True)
+        self.engine = engine
+        self.directory = directory
+        self.snapshot_path = os.path.join(directory, SNAPSHOT_FILE)
+        self.wal_path = os.path.join(directory, WAL_FILE)
+        self.auto_checkpoint = auto_checkpoint
+        self.wal = WriteAheadLog(self.wal_path, batch_size=batch_size)
+        self._since_checkpoint = self.wal.records_kept
+        self._in_checkpoint = False
+        engine.wal = self
+        engine.context.on_set = self._on_context_set
+        self.checkpoint()
+
+    # -- logging ---------------------------------------------------------------
+
+    def log(self, op: str, **data: Any) -> dict[str, Any]:
+        """Append one operation record (engine commit helpers call this)."""
+        record = self.wal.append(op, data, self.engine.clock.now)
+        self._since_checkpoint += 1
+        obs = self.engine.obs
+        if obs is not None and obs.enabled:
+            obs.wal_appended(op, synced=self.wal._unsynced == 0)
+        if (self.auto_checkpoint is not None
+                and not self._in_checkpoint
+                and self._since_checkpoint >= self.auto_checkpoint):
+            self.checkpoint()
+        return record
+
+    def _on_context_set(self, name: str, value: Any) -> None:
+        if isinstance(value, (str, int, float, bool, type(None))):
+            self.log("context.set", key=name, value=value)
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Snapshot + rotate: the crash-safe compaction sequence.
+
+        Order matters: (1) fsync the WAL so the snapshot never claims
+        an LSN that is not durable; (2) atomically write the snapshot
+        stamped with that LSN; (3) rotate the log.  A crash after (2)
+        but before (3) leaves records the snapshot already covers —
+        recovery skips them by LSN.
+        """
+        from repro import persistence
+        self._in_checkpoint = True
+        try:
+            self.wal.sync()
+            payload = persistence.snapshot(self.engine)
+            payload["wal"] = {"lsn": self.wal.last_lsn}
+            persistence._write_payload(
+                self.snapshot_path,
+                json.dumps(payload, separators=(",", ":"),
+                           sort_keys=True))
+            self.wal.rotate()
+        finally:
+            self._in_checkpoint = False
+        self._since_checkpoint = 0
+        obs = self.engine.obs
+        if obs is not None and obs.enabled:
+            obs.wal_rotated()
+        self.engine.audit.record("wal.checkpoint",
+                                 lsn=self.wal.last_lsn)
+        return payload
+
+    def close(self) -> None:
+        """Final fsync + detach (the engine keeps running, unlogged)."""
+        self.wal.close()
+        if getattr(self.engine, "wal", None) is self:
+            self.engine.wal = None
+        if self.engine.context.on_set == self._on_context_set:
+            self.engine.context.on_set = None
+
+
+# ==========================================================================
+# recovery: snapshot + WAL replay (fold, then restore once)
+# ==========================================================================
+
+
+def recover(directory: str) -> tuple[Any, dict[str, Any]]:
+    """Rebuild an engine from a :class:`Durability` directory.
+
+    Loads the newest valid snapshot, repairs/reads the WAL, folds every
+    record with ``lsn > snapshot.wal.lsn`` into the snapshot *dict*,
+    and calls :func:`repro.persistence.restore` once on the result.
+    Folding (rather than re-driving a live engine) means replay can
+    never re-fire rules, re-deny, or cascade.
+
+    Returns ``(engine, report)``; the engine has **no** Durability
+    attached — call ``Durability(engine, directory)`` to resume
+    logging (which also checkpoints, folding the replayed tail into a
+    fresh snapshot).
+    """
+    from repro import persistence
+
+    snapshot_path = os.path.join(directory, SNAPSHOT_FILE)
+    with open(snapshot_path, encoding="utf-8") as handle:
+        state = json.load(handle)
+    snapshot_lsn = int(state.get("wal", {}).get("lsn", 0))
+
+    records, wal_report = read_wal(
+        os.path.join(directory, WAL_FILE), repair=True)
+    replayed = 0
+    skipped = 0
+    for record in records:
+        if record["lsn"] <= snapshot_lsn:
+            skipped += 1
+            continue
+        _apply(state, record)
+        replayed += 1
+
+    engine = persistence.restore(state)
+    report = {
+        "snapshot_lsn": snapshot_lsn,
+        "records": len(records),
+        "replayed": replayed,
+        "skipped": skipped,
+        "torn": wal_report["torn"],
+        "dropped_bytes": wal_report["dropped_bytes"],
+        "clock": engine.clock.now,
+        "sessions": len(engine.model.sessions),
+    }
+    obs = engine.obs
+    if obs is not None and obs.enabled:
+        obs.wal_recovered(replayed, torn=wal_report["torn"])
+    engine.audit.record("wal.recover", **report)
+    return engine, report
+
+
+def _apply(state: dict[str, Any], record: dict[str, Any]) -> None:
+    """Fold one WAL record into a snapshot-shaped state dict."""
+    op = record["op"]
+    if op not in KNOWN_OPS:
+        raise ValueError(
+            f"WAL record lsn={record['lsn']} has unknown op {op!r}; "
+            "refusing to recover with a silently-dropped mutation")
+    data = record.get("data", {})
+    # virtual time only moves forward; every record advances the clock
+    state["clock"] = max(float(state.get("clock", 0.0)),
+                         float(record.get("t", 0.0)))
+    sessions = state.setdefault("sessions", [])
+    by_id = {session["id"]: session for session in sessions}
+    counters = state.setdefault("counters", {})
+
+    if op == "session.create":
+        if data["id"] not in by_id:
+            sessions.append({"id": data["id"], "user": data["user"],
+                             "activations": {}})
+        counters["session_seq"] = max(
+            int(counters.get("session_seq", 1)), int(data.get("seq", 1)))
+    elif op == "session.delete":
+        state["sessions"] = [s for s in sessions if s["id"] != data["id"]]
+    elif op == "activation.add":
+        session = by_id.get(data["session"])
+        if session is not None:
+            session["activations"][data["role"]] = {
+                "activation_id": int(data["activation_id"]),
+                "started": float(data["started"]),
+            }
+        counters["activation_seq"] = max(
+            int(counters.get("activation_seq", 1)),
+            int(data.get("seq", 1)))
+    elif op == "activation.drop":
+        session = by_id.get(data["session"])
+        if session is not None:
+            session["activations"].pop(data["role"], None)
+    elif op == "role.status":
+        state.setdefault("role_enabled", {})[data["role"]] = \
+            bool(data["enabled"])
+    elif op == "user.lock":
+        locked = set(state.get("locked_users", ()))
+        locked.add(data["user"])
+        state["locked_users"] = sorted(locked)
+    elif op == "user.unlock":
+        locked = set(state.get("locked_users", ()))
+        locked.discard(data["user"])
+        state["locked_users"] = sorted(locked)
+    elif op == "context.set":
+        state.setdefault("context", {})[data["key"]] = data["value"]
+    elif op == "policy.epoch":
+        # the record carries the full re-rendered policy: replay swaps
+        # the text the rule pool regenerates from, no diffing needed
+        state["policy"] = data["policy"]
+        state["policy_epoch"] = int(data["epoch"])
+    elif op == "rule.quarantine":
+        rules = {entry["name"]: entry
+                 for entry in state.get("rules", ())}
+        entry = rules.setdefault(data["rule"], {
+            "name": data["rule"], "fault_count": 0,
+            "consecutive_faults": 0, "quarantined": False,
+            "quarantine_epoch": 0,
+        })
+        if not entry["quarantined"]:
+            entry["quarantined"] = True
+            entry["quarantine_epoch"] = \
+                int(entry.get("quarantine_epoch", 0)) + 1
+        state["rules"] = list(rules.values())
+    elif op == "rule.rearm":
+        for entry in state.get("rules", ()):
+            if entry.get("name") == data["rule"]:
+                entry["quarantined"] = False
+                entry["consecutive_faults"] = 0
+    elif op == "clock.advance":
+        state["clock"] = max(float(state.get("clock", 0.0)),
+                             float(data["to"]))

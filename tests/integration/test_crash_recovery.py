@@ -1,0 +1,321 @@
+"""Crash-injection harness: kill-points, recovery, and equivalence.
+
+The property under test: for any seeded kill-point in the WAL pipeline,
+``repro.wal.recover`` rebuilds an engine that is *behaviourally
+equivalent* to an uncrashed reference engine driven over the same
+deterministic operation script — identical check_access answers on a
+full probe matrix, identical session/activation state, no SoD
+violation, monotone id counters, quarantines intact.
+
+Crashes are :class:`~repro.testing.faults.SimulatedCrash` (a
+``BaseException``, so it escapes the rule manager's containment exactly
+as SIGKILL would) injected through the shared seeded
+:class:`~repro.testing.faults.FaultInjector`.  After recovery the
+script is *re-run from the interrupted operation*: operations are
+convergent (denials for already-done work are typed errors the driver
+swallows), so the recovered engine must land in the reference state.
+
+The CI chaos job runs this module under several ``CHAOS_SEED`` values;
+locally it defaults to seed 0.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro import ActiveRBACEngine, parse_policy
+from repro import persistence
+from repro import wal as wal_mod
+from repro.errors import ReproError
+from repro.testing.faults import FaultInjector, SimulatedCrash
+from repro.wal import Durability, recover
+
+SEED = int(os.environ.get("CHAOS_SEED", "0"))
+
+POLICY = """
+policy crashy {
+  role A; role B; role C; role D; role Timed;
+  user u1; user u2; user u3;
+  assign u1 to A; assign u1 to C; assign u1 to Timed;
+  assign u2 to B; assign u2 to C; assign u2 to D;
+  assign u3 to A; assign u3 to D;
+  permission read on doc; permission write on doc;
+  grant read on doc to A; grant read on doc to B;
+  grant write on doc to C;
+  dsd Conflict roles C, D;
+  duration Timed 500;
+}
+"""
+
+USERS = ("u1", "u2", "u3")
+ROLES = ("A", "B", "C", "D", "Timed")
+PROBES = (("read", "doc"), ("write", "doc"))
+
+
+def build_ops(seed: int, steps: int = 60) -> list[tuple]:
+    """A deterministic operation script.  Session ids are chosen by the
+    script (not the engine) so the same script can re-reference them on
+    a different engine; time moves via *absolute* targets so a re-run
+    after recovery advances by exactly the remaining delta."""
+    rng = random.Random(f"crash-ops:{seed}")
+    ops: list[tuple] = []
+    sids = ["s_0"]
+    target = 0.0
+    for i in range(steps):
+        draw = rng.random()
+        if draw < 0.18:
+            sid = f"s_{i}"
+            ops.append(("session", sid, rng.choice(USERS)))
+            sids.append(sid)
+        elif draw < 0.45:
+            ops.append(("activate", rng.choice(sids), rng.choice(ROLES)))
+        elif draw < 0.55:
+            ops.append(("drop", rng.choice(sids), rng.choice(ROLES)))
+        elif draw < 0.80:
+            operation, obj = rng.choice(PROBES)
+            ops.append(("check", rng.choice(sids), operation, obj))
+        elif draw < 0.88:
+            target += rng.choice([1.0, 100.0, 400.0])
+            ops.append(("advance_to", target))
+        elif draw < 0.94:
+            ops.append(("lock", rng.choice(USERS)))
+        else:
+            ops.append(("unlock", rng.choice(USERS)))
+    return ops
+
+
+def apply_op(engine: ActiveRBACEngine, op: tuple) -> None:
+    """Run one scripted operation, swallowing typed denials (on a
+    re-run after recovery, already-done work denies — that is the
+    convergence mechanism, not a failure)."""
+    try:
+        kind = op[0]
+        if kind == "session":
+            engine.create_session(op[2], session_id=op[1])
+        elif kind == "activate":
+            engine.add_active_role(op[1], op[2])
+        elif kind == "drop":
+            engine.drop_active_role(op[1], op[2])
+        elif kind == "check":
+            engine.check_access(op[1], op[2], op[3])
+        elif kind == "advance_to":
+            delta = op[1] - engine.clock.now
+            if delta > 0:
+                engine.advance_time(delta)
+        elif kind == "lock":
+            engine.lock_user(op[1])
+        elif kind == "unlock":
+            engine.unlock_user(op[1])
+    except ReproError:
+        pass
+
+
+def run_reference(ops: list[tuple]) -> ActiveRBACEngine:
+    engine = ActiveRBACEngine.from_policy(parse_policy(POLICY))
+    for op in ops:
+        apply_op(engine, op)
+    return engine
+
+
+def probe_matrix(engine: ActiveRBACEngine,
+                 ops: list[tuple]) -> dict[tuple, str]:
+    """check_access answers over every scripted session x permission
+    (the B3 kernel shape); exceptions are part of the answer."""
+    sids = sorted({op[1] for op in ops if op[0] == "session"} | {"s_0"})
+    matrix = {}
+    for sid in sids:
+        for operation, obj in PROBES:
+            try:
+                matrix[(sid, operation, obj)] = str(
+                    engine.check_access(sid, operation, obj))
+            except ReproError as exc:
+                matrix[(sid, operation, obj)] = type(exc).__name__
+    return matrix
+
+
+def fingerprint(engine: ActiveRBACEngine) -> tuple:
+    return (
+        {sid: (s.user, tuple(sorted(s.active_roles)))
+         for sid, s in engine.model.sessions.items()},
+        {name: role.enabled
+         for name, role in engine.model.roles.items()},
+        sorted(engine.locked_users),
+        engine.clock.now,
+    )
+
+
+def assert_invariants(engine: ActiveRBACEngine) -> None:
+    """Safety properties that must hold in any recovered state."""
+    for sid, session in engine.model.sessions.items():
+        active = session.active_roles
+        assert not ({"C", "D"} <= set(active)), \
+            f"DSD violation in recovered session {sid}: {active}"
+        for role in active:
+            assert (sid, role) in engine.current_activation, \
+                f"activation id lost for {sid}/{role}"
+
+
+def crash_run(ops: list[tuple], directory: str, *,
+              kill_at: int) -> tuple[ActiveRBACEngine, dict, int]:
+    """Drive the script with a kill-point at the ``kill_at``-th WAL
+    append; on crash, recover and re-run from the interrupted op.
+    Returns (engine, recovery report, index of the interrupted op)."""
+    engine = ActiveRBACEngine.from_policy(parse_policy(POLICY))
+    durability = Durability(engine, directory, batch_size=1)
+    chaos = FaultInjector(seed=SEED, clock=engine.clock)
+    chaos.arm("wal.append", error=SimulatedCrash, at=[kill_at])
+    chaos.patch(wal_mod, "_write_line", "wal.append")
+    crashed_at = None
+    try:
+        for index, op in enumerate(ops):
+            try:
+                apply_op(engine, op)
+            except SimulatedCrash:
+                crashed_at = index
+                break
+    finally:
+        chaos.restore()
+    assert crashed_at is not None, (
+        f"kill-point never fired (only {chaos.calls('wal.append')} "
+        f"appends); lower kill_at")
+    # abandon the crashed process state: batch_size=1 keeps the file
+    # buffer empty between appends, so closing loses nothing extra
+    durability.wal._handle.close()
+
+    revived, report = recover(directory)
+    resumed = Durability(revived, directory, batch_size=1)
+    try:
+        for op in ops[crashed_at:]:
+            apply_op(revived, op)
+    finally:
+        resumed.close()
+    return revived, report, crashed_at
+
+
+@pytest.mark.parametrize("kill_at", [2 + SEED % 9, 11 + SEED % 7, 23])
+def test_recovery_matches_uncrashed_reference(tmp_path, kill_at):
+    ops = build_ops(SEED)
+    reference = run_reference(ops)
+    revived, report, crashed_at = crash_run(
+        ops, str(tmp_path), kill_at=kill_at)
+
+    assert_invariants(revived)
+    assert fingerprint(revived) == fingerprint(reference)
+    assert probe_matrix(revived, ops) == probe_matrix(reference, ops)
+    assert report["replayed"] + report["skipped"] == report["records"]
+    # audit trail shows the recovery happened
+    assert revived.audit.by_kind("wal.recover")
+
+
+def test_counters_monotone_across_crash(tmp_path):
+    ops = build_ops(SEED)
+    revived, _, _ = crash_run(ops, str(tmp_path), kill_at=5)
+    revived.unlock_user(USERS[0])  # the script may have locked them
+    fresh = revived.create_session(USERS[0])
+    assert fresh not in {op[1] for op in ops if op[0] == "session"}
+    assert fresh not in revived.model.user_sessions(USERS[0]) or \
+        revived.model.sessions[fresh].user == USERS[0]
+
+
+def test_crash_mid_snapshot_replace_keeps_old_snapshot(tmp_path):
+    """Kill between the durable tmp write and the rename: the previous
+    snapshot + full WAL must still recover the complete state."""
+    engine = ActiveRBACEngine.from_policy(parse_policy(POLICY))
+    durability = Durability(engine, str(tmp_path), batch_size=1)
+    sid = engine.create_session("u1")
+    engine.add_active_role(sid, "A")
+
+    chaos = FaultInjector(seed=SEED, clock=engine.clock)
+    chaos.arm("snapshot.replace", error=SimulatedCrash, at=[1])
+    chaos.patch(persistence, "_replace", "snapshot.replace")
+    try:
+        with pytest.raises(SimulatedCrash):
+            durability.checkpoint()
+    finally:
+        chaos.restore()
+    durability.wal._handle.close()
+
+    revived, report = recover(str(tmp_path))
+    assert report["replayed"] > 0  # the WAL still covered everything
+    assert revived.model.session_roles(sid) == {"A"}
+    assert revived.check_access(sid, "read", "doc")
+
+
+def test_crash_between_snapshot_and_rotation_skips_stale(tmp_path):
+    """Kill after the new snapshot landed but before the WAL rotated:
+    every surviving record is covered by the snapshot's LSN stamp and
+    must be skipped, not replayed twice."""
+    engine = ActiveRBACEngine.from_policy(parse_policy(POLICY))
+    durability = Durability(engine, str(tmp_path), batch_size=1)
+    sid = engine.create_session("u1")
+    engine.add_active_role(sid, "A")
+
+    chaos = FaultInjector(seed=SEED, clock=engine.clock)
+    chaos.arm("wal.rotate", error=SimulatedCrash, at=[1])
+    chaos.patch(durability.wal, "rotate", "wal.rotate")
+    try:
+        with pytest.raises(SimulatedCrash):
+            durability.checkpoint()
+    finally:
+        chaos.restore()
+    durability.wal._handle.close()
+
+    revived, report = recover(str(tmp_path))
+    assert report["replayed"] == 0 and report["skipped"] > 0
+    assert revived.model.session_roles(sid) == {"A"}
+
+
+def test_quarantine_survives_crash(tmp_path):
+    """A rule quarantined before the crash must still be quarantined
+    (disabled, tagged) in the recovered engine — a crash must never
+    silently re-arm a circuit breaker."""
+    ops = build_ops(SEED, steps=20)
+    engine = ActiveRBACEngine.from_policy(parse_policy(POLICY))
+    durability = Durability(engine, str(tmp_path), batch_size=1)
+    victim = sorted(rule.name for rule in engine.rules)[SEED % 5]
+    engine.rules.quarantine(victim, reason="chaos")
+
+    chaos = FaultInjector(seed=SEED, clock=engine.clock)
+    chaos.arm("wal.append", error=SimulatedCrash, at=[8])
+    chaos.patch(wal_mod, "_write_line", "wal.append")
+    try:
+        for op in ops:
+            try:
+                apply_op(engine, op)
+            except SimulatedCrash:
+                break
+    finally:
+        chaos.restore()
+    durability.wal._handle.close()
+
+    revived, _ = recover(str(tmp_path))
+    rule = revived.rules.get(victim)
+    assert rule.quarantined and not rule.enabled
+    assert revived.rules.summary()["quarantined"] >= 1
+
+
+def test_torn_tail_across_crash_is_truncated(tmp_path):
+    """A partial final record (the crash landed mid-write) is detected
+    by CRC, truncated, and never replayed."""
+    engine = ActiveRBACEngine.from_policy(parse_policy(POLICY))
+    durability = Durability(engine, str(tmp_path), batch_size=1)
+    sid = engine.create_session("u1")
+    engine.add_active_role(sid, "A")
+    durability.wal._handle.close()
+    # the crash tore the last record in half
+    with open(durability.wal_path, "r+b") as handle:
+        handle.seek(0, os.SEEK_END)
+        handle.truncate(handle.tell() - 7)
+
+    revived, report = recover(str(tmp_path))
+    assert report["torn"] and report["dropped_bytes"] > 0
+    # the torn activation record is gone; the session before it survived
+    assert sid in revived.model.sessions
+    assert "A" not in revived.model.session_roles(sid)
+    assert_invariants(revived)
+    # and a second recovery finds a clean (repaired) log
+    _, report2 = recover(str(tmp_path))
+    assert not report2["torn"]

@@ -32,7 +32,7 @@ class TestSnapshotShape:
         sid = engine.create_session("bob")
         engine.add_active_role(sid, "A")
         text = dumps(engine)
-        assert '"version": 1' in text
+        assert '"version": 2' in text
 
     def test_snapshot_captures_sessions(self, engine):
         sid = engine.create_session("bob")
@@ -120,6 +120,62 @@ class TestDurationRearming:
         assert "Timed" not in revived.model.session_roles(sid)
 
 
+class TestSnapshotPurity:
+    def test_snapshot_does_not_consume_counters(self, engine):
+        """The seed drained the id allocators with next() — two
+        snapshots in a row must agree, and session ids must continue
+        exactly where they would have without any snapshot."""
+        engine.create_session("bob")  # consumes s1
+        first = snapshot(engine)["counters"]
+        second = snapshot(engine)["counters"]
+        assert first == second == {"session_seq": 2,
+                                   "activation_seq": 1}
+        assert engine.create_session("carol") == "s2"
+
+    def test_snapshot_is_pure(self, engine):
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "A")
+        before = dumps(engine)
+        snapshot(engine)
+        assert dumps(engine) == before
+
+
+class TestInFlightDetections:
+    def test_sequence_initiator_survives_round_trip(self, engine):
+        """A buffered SEQUENCE initiator (half a detection) must not
+        be lost: the terminator arriving *after* the restart still
+        completes the composite."""
+        fired = []
+        for eng in (engine,):
+            eng.detector.ensure_primitive("evA")
+            eng.detector.ensure_primitive("evB")
+            eng.detector.define_sequence("seqAB", "evA", "evB")
+        engine.detector.raise_event("evA")  # in-flight half
+        snap = snapshot(engine)
+        assert "seqAB" in snap["detector"]
+
+        revived = restore(snap)
+        revived.detector.ensure_primitive("evA")
+        revived.detector.ensure_primitive("evB")
+        revived.detector.define_sequence("seqAB", "evA", "evB")
+        revived.detector.state_restore(snap["detector"])
+        revived.detector.subscribe("seqAB",
+                                   lambda occ: fired.append(occ))
+        revived.detector.raise_event("evB")
+        assert len(fired) == 1
+
+    def test_plus_countdown_in_snapshot(self, engine):
+        """Duration countdowns are PLUS nodes; an active one shows up
+        in the v2 detector state with its absolute deadline."""
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "Timed")
+        snap = snapshot(engine)
+        plus_states = [s for s in snap["detector"].values()
+                       if s["kind"] == "PlusNode" and s["pending"]]
+        assert plus_states
+        assert plus_states[0]["pending"][0]["deadline"] == 1000.0
+
+
 class TestStalePolicyEntities:
     def test_removed_user_sessions_skipped(self, engine):
         sid = engine.create_session("carol")
@@ -133,3 +189,27 @@ class TestStalePolicyEntities:
     def test_restore_recorded_in_audit(self, engine):
         revived = restore(snapshot(engine))
         assert revived.audit.by_kind("admin.restore")
+
+    def test_dropped_state_is_audited_and_counted(self, engine):
+        """Silently `continue`-ing past removed users/roles hid data
+        loss; every drop is now an audit record and the admin.restore
+        record carries the totals."""
+        sid_gone = engine.create_session("carol")
+        sid_kept = engine.create_session("bob")
+        engine.add_active_role(sid_kept, "Timed")
+        snap = snapshot(engine)
+        snap["policy"] = snap["policy"].replace("user carol;", "")
+        snap["policy"] = snap["policy"].replace("assign carol to B;", "")
+        snap["policy"] = snap["policy"].replace("role Timed;", "")
+        snap["policy"] = snap["policy"].replace(
+            "assign bob to Timed;", "")
+        snap["policy"] = snap["policy"].replace("duration Timed 1000;", "")
+        revived = restore(snap)
+        assert sid_gone not in revived.model.sessions
+        (drop_s,) = revived.audit.by_kind("restore.drop_session")
+        assert drop_s.detail["session"] == sid_gone
+        (drop_a,) = revived.audit.by_kind("restore.drop_activation")
+        assert drop_a.detail["role"] == "Timed"
+        (record,) = revived.audit.by_kind("admin.restore")
+        assert record.detail["dropped_sessions"] == 1
+        assert record.detail["dropped_activations"] == 1

@@ -1,0 +1,322 @@
+"""Unit tests for the write-ahead log: record format, torn tails,
+group commit, rotation, the Durability manager and recovery."""
+
+import json
+import os
+
+import pytest
+
+from repro import ActiveRBACEngine, parse_policy
+from repro.wal import (
+    Durability,
+    WriteAheadLog,
+    decode_line,
+    encode_record,
+    read_wal,
+    recover,
+)
+
+POLICY = """
+policy durable {
+  role A; role B; role Timed;
+  user bob; user carol;
+  assign bob to A; assign bob to Timed;
+  assign carol to B;
+  permission read on doc;
+  grant read on doc to A;
+  duration Timed 1000;
+}
+"""
+
+
+@pytest.fixture
+def engine():
+    return ActiveRBACEngine.from_policy(parse_policy(POLICY))
+
+
+@pytest.fixture
+def durable(engine, tmp_path):
+    durability = Durability(engine, str(tmp_path), batch_size=1)
+    yield engine, durability, str(tmp_path)
+    durability.close()
+
+
+class TestRecordFormat:
+    def test_round_trip(self):
+        record = {"lsn": 7, "t": 1.5, "op": "session.create",
+                  "data": {"id": "s1", "user": "bob", "seq": 2}}
+        assert decode_line(encode_record(record)) == record
+
+    def test_missing_newline_is_torn(self):
+        line = encode_record({"lsn": 1, "t": 0.0, "op": "x", "data": {}})
+        assert decode_line(line[:-1]) is None
+
+    def test_bad_crc_rejected(self):
+        line = bytearray(encode_record(
+            {"lsn": 1, "t": 0.0, "op": "x", "data": {}}))
+        line[-2] ^= 0xFF  # flip a payload byte, CRC now wrong
+        assert decode_line(bytes(line)) is None
+
+    def test_bad_json_and_bad_lsn_rejected(self):
+        import zlib
+        payload = b"not json"
+        assert decode_line(
+            b"%08x %s\n" % (zlib.crc32(payload), payload)) is None
+        payload = json.dumps({"lsn": "seven"}).encode()
+        assert decode_line(
+            b"%08x %s\n" % (zlib.crc32(payload), payload)) is None
+
+
+class TestReadWal:
+    def _write(self, path, records, tail=b""):
+        with open(path, "wb") as handle:
+            for record in records:
+                handle.write(encode_record(record))
+            handle.write(tail)
+
+    def test_reads_valid_records(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wanted = [{"lsn": i, "t": 0.0, "op": "x", "data": {}}
+                  for i in (1, 2, 3)]
+        self._write(path, wanted)
+        records, report = read_wal(path)
+        assert records == wanted
+        assert not report["torn"]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        records, report = read_wal(str(tmp_path / "absent.log"))
+        assert records == [] and not report["torn"]
+
+    def test_torn_tail_detected_and_truncated(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wanted = [{"lsn": 1, "t": 0.0, "op": "x", "data": {}}]
+        self._write(path, wanted, tail=b"deadbeef {half a rec")
+        records, report = read_wal(path, repair=True)
+        assert records == wanted
+        assert report["torn"] and report["dropped_bytes"] == 20
+        # the repair is durable: a second read finds a clean file
+        _, report2 = read_wal(path)
+        assert not report2["torn"]
+        assert os.path.getsize(path) == report["valid_bytes"]
+
+    def test_non_monotone_lsn_stops_reading(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        self._write(path, [
+            {"lsn": 1, "t": 0.0, "op": "x", "data": {}},
+            {"lsn": 1, "t": 0.0, "op": "y", "data": {}},  # replayed lsn
+            {"lsn": 2, "t": 0.0, "op": "z", "data": {}},
+        ])
+        records, report = read_wal(path)
+        assert [r["op"] for r in records] == ["x"]
+        assert report["torn"]
+
+    def test_corruption_mid_file_drops_the_rest(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        good = encode_record({"lsn": 1, "t": 0.0, "op": "x", "data": {}})
+        also_good = encode_record(
+            {"lsn": 2, "t": 0.0, "op": "y", "data": {}})
+        with open(path, "wb") as handle:
+            handle.write(good + b"garbage line\n" + also_good)
+        records, _ = read_wal(path)
+        # the record *after* the corruption is unreachable: lsn order
+        # can no longer be trusted past the first bad byte
+        assert [r["lsn"] for r in records] == [1]
+
+
+class TestWriteAheadLog:
+    def test_group_commit_batches_fsyncs(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path / "wal.log"), batch_size=3)
+        for i in range(7):
+            log.append("x", {"i": i}, 0.0)
+        assert log.append_count == 7
+        assert log.fsync_count == 2  # two full batches, one pending
+        log.close()
+        assert log.fsync_count == 3  # close drains the tail
+
+    def test_reopen_adopts_existing_lsn(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path, batch_size=1)
+        log.append("x", {}, 0.0)
+        log.append("x", {}, 0.0)
+        log.close()
+        reopened = WriteAheadLog(path, batch_size=1)
+        assert reopened.last_lsn == 2
+        record = reopened.append("x", {}, 0.0)
+        assert record["lsn"] == 3
+        reopened.close()
+
+    def test_rotation_truncates_but_keeps_lsn(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path, batch_size=1)
+        log.append("x", {}, 0.0)
+        log.rotate()
+        assert os.path.getsize(path) == 0
+        assert log.append("x", {}, 0.0)["lsn"] == 2
+        log.close()
+
+
+class TestDurability:
+    def test_attaches_and_logs_commits(self, durable):
+        engine, durability, _ = durable
+        assert engine.wal is durability
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "A")
+        engine.lock_user("carol")
+        records, _ = read_wal(durability.wal_path)
+        assert [r["op"] for r in records] == \
+               ["session.create", "activation.add", "user.lock"]
+
+    def test_context_updates_logged(self, durable):
+        engine, durability, _ = durable
+        engine.context.set("site", "hq")
+        records, _ = read_wal(durability.wal_path)
+        assert records[-1]["data"] == {"key": "site", "value": "hq"}
+
+    def test_policy_change_logs_epoch(self, durable):
+        engine, durability, _ = durable
+        engine.add_user("dave")
+        records, _ = read_wal(durability.wal_path)
+        assert records[-1]["op"] == "policy.epoch"
+        assert "user dave" in records[-1]["data"]["policy"]
+
+    def test_checkpoint_rotates_and_stamps_lsn(self, durable):
+        engine, durability, _ = durable
+        engine.create_session("bob")
+        lsn = durability.wal.last_lsn
+        durability.checkpoint()
+        with open(durability.snapshot_path) as handle:
+            snap = json.load(handle)
+        assert snap["wal"]["lsn"] == lsn
+        records, _ = read_wal(durability.wal_path)
+        assert records == []
+
+    def test_auto_checkpoint_bounds_wal_growth(self, engine, tmp_path):
+        durability = Durability(engine, str(tmp_path), batch_size=1,
+                                auto_checkpoint=3)
+        for i in range(8):
+            engine.context.set("k", i)
+        records, _ = read_wal(durability.wal_path)
+        assert len(records) < 8
+        assert durability.wal.rotation_count > 1  # init + auto
+        durability.close()
+
+    def test_close_detaches(self, engine, tmp_path):
+        durability = Durability(engine, str(tmp_path))
+        durability.close()
+        assert engine.wal is None
+        assert engine.context.on_set is None
+        engine.create_session("bob")  # no crash: logging is off
+
+    def test_obs_counters(self, durable):
+        engine, durability, _ = durable
+        engine.create_session("bob")
+        stats = {name: series._value for name, series in
+                 [("appends", engine.obs.wal_appends.labels(
+                     "session.create"))]}
+        assert stats["appends"] == 1
+        assert engine.obs.wal_fsyncs._value >= 1  # batch_size=1
+        assert engine.obs.wal_rotations._value >= 1  # init checkpoint
+
+
+class TestRecover:
+    def test_replays_tail_past_snapshot(self, durable):
+        engine, durability, directory = durable
+        engine.create_session("bob", session_id="s_ck")
+        durability.checkpoint()
+        sid = engine.create_session("bob", session_id="s_tail")
+        engine.add_active_role(sid, "A")
+        revived, report = recover(directory)
+        assert report["skipped"] == 0  # rotation removed covered records
+        assert report["replayed"] >= 2
+        assert set(revived.model.sessions) == {"s_ck", "s_tail"}
+        assert revived.model.session_roles("s_tail") == {"A"}
+        assert revived.check_access("s_tail", "read", "doc")
+        assert revived.audit.by_kind("wal.recover")
+
+    def test_stale_records_skipped_by_lsn(self, durable):
+        engine, durability, directory = durable
+        engine.create_session("bob", session_id="s1")
+        # simulate a crash between snapshot write and rotation: keep a
+        # copy of the covered records, checkpoint, then splice the old
+        # records back in front of the (empty) rotated log
+        with open(durability.wal_path, "rb") as handle:
+            stale = handle.read()
+        durability.checkpoint()
+        durability.wal.close()
+        with open(durability.wal_path, "wb") as handle:
+            handle.write(stale)
+        revived, report = recover(directory)
+        assert report["skipped"] > 0 and report["replayed"] == 0
+        assert set(revived.model.sessions) == {"s1"}
+
+    def test_counters_resume_monotone(self, durable):
+        engine, durability, directory = durable
+        engine.create_session("bob")  # consumes s1
+        high_water = engine._session_seq.peek
+        revived, _ = recover(directory)
+        assert revived._session_seq.peek >= high_water
+        fresh = revived.create_session("carol")
+        assert fresh not in revived.audit.by_kind("nothing") and \
+            fresh != "s1"
+
+    def test_quarantine_survives_recovery(self, durable):
+        engine, durability, directory = durable
+        victim = next(iter(engine.rules)).name
+        engine.rules.quarantine(victim, reason="test")
+        revived, _ = recover(directory)
+        assert revived.rules.get(victim).quarantined
+        assert not revived.rules.get(victim).enabled
+
+    def test_rearm_survives_recovery(self, durable):
+        engine, durability, directory = durable
+        victim = next(iter(engine.rules)).name
+        engine.rules.quarantine(victim, reason="test")
+        engine.rules.rearm(victim)
+        revived, _ = recover(directory)
+        assert not revived.rules.get(victim).quarantined
+
+    def test_clock_advances_replayed(self, durable):
+        engine, durability, directory = durable
+        engine.advance_time(123.0)
+        revived, _ = recover(directory)
+        assert revived.clock.now == 123.0
+
+    def test_duration_countdown_owed_after_recovery(self, durable):
+        engine, durability, directory = durable
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "Timed")
+        engine.advance_time(400.0)
+        revived, _ = recover(directory)
+        revived.advance_time(599.0)
+        assert "Timed" in revived.model.session_roles(sid)
+        revived.advance_time(1.0)
+        assert "Timed" not in revived.model.session_roles(sid)
+
+    def test_torn_tail_truncated_not_replayed(self, durable):
+        engine, durability, directory = durable
+        engine.create_session("bob", session_id="s_good")
+        durability.wal.sync()
+        with open(durability.wal_path, "ab") as handle:
+            handle.write(b"00000000 {\"lsn\": torn")
+        revived, report = recover(directory)
+        assert report["torn"] and report["dropped_bytes"] > 0
+        assert set(revived.model.sessions) == {"s_good"}
+        assert revived.obs.wal_torn_tails._value == 1
+
+    def test_unknown_op_fails_loudly(self, durable):
+        engine, durability, directory = durable
+        durability.wal.append("future.op", {}, 0.0)
+        durability.wal.sync()
+        with pytest.raises(ValueError, match="unknown op"):
+            recover(directory)
+
+    def test_policy_epoch_replay_swaps_policy(self, durable):
+        engine, durability, directory = durable
+        engine.add_user("dave")
+        engine.assign_user("dave", "B")
+        revived, _ = recover(directory)
+        assert "dave" in revived.model.users
+        assert revived.policy_epoch == engine.policy_epoch
+        sid = revived.create_session("dave")
+        revived.add_active_role(sid, "B")
+        assert revived.model.session_roles(sid) == {"B"}
