@@ -16,6 +16,23 @@ Runs the B3 check-access kernel (one session, one active role, repeated
   themselves and polices WAL work creeping onto the read path.
   Budget 8% (``WAL_OVERHEAD_BUDGET``).
 
+Plus two *decision-plane* comparisons (``engine.kernel_enabled`` on vs
+off, i.e. compiled PolicyKernel vs interpreted OWTE pipeline):
+
+* **static-heavy workload** — pure repeated checks; the kernel must be
+  at least 2x faster than the interpreted pipeline
+  (``KERNEL_SPEEDUP_MIN``) or the compile is not paying for itself;
+* **policy-mutation round** — grant + checks + revoke + checks; every
+  mutation bumps the policy epoch and forces a lazy recompile, so this
+  bounds the compile cost amortized over a realistic round.  The
+  kernel may cost at most 5% over interpreted here
+  (``KERNEL_MUTATION_OVERHEAD_BUDGET``).
+
+Both kernel verdicts (and their raw numbers) are also written to
+``benchmarks/results/BENCH_kernel.json`` for CI and EXPERIMENTS.md.
+``--kernel-only`` skips the wrapper-cost legs and runs just the two
+decision-plane comparisons.
+
 Measurement methodology (shared machines drift by 2-3x mid-run, so a
 naive all-enabled-then-all-disabled comparison measures the load shift,
 not the instrumentation):
@@ -39,7 +56,10 @@ Run from the repo root::
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
+import pathlib
 import shutil
 import statistics
 import sys
@@ -56,6 +76,9 @@ from repro.workloads import EnterpriseShape, generate_enterprise  # noqa: E402
 
 CHECKS = 50         # checkAccess calls per timed round (sub-quantum)
 ROUNDS = 120        # alternating on/off round pairs
+MUTATION_CHECKS = 200   # checks after each mutation in a mutation round
+MUTATION_ROUNDS = 40    # alternating on/off mutation round pairs
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def build_engine() -> tuple[ActiveRBACEngine, str, str, str]:
@@ -80,6 +103,10 @@ def set_obs(engine, on: bool) -> None:
 
 def set_containment(engine, on: bool) -> None:
     engine.rules.containment = on
+
+
+def set_kernel(engine, on: bool) -> None:
+    engine.kernel_enabled = on
 
 
 def timed_round(engine, sid, operation, obj, set_state, on: bool) -> float:
@@ -126,12 +153,171 @@ def check_budget(engine, sid, operation, obj, set_state,
     return False
 
 
-def main() -> int:
+def measure_kernel_speedup(engine, sid, operation, obj,
+                           rounds: int = ROUNDS
+                           ) -> tuple[float, float, float]:
+    """Interleaved kernel-on/off rounds -> (on_us, off_us, speedup).
+
+    Same two-estimator discipline as :func:`measure_overhead`, but the
+    verdict is a *speedup* (off/on), so the conservative pick is the
+    smaller estimate.
+    """
+    timed_round(engine, sid, operation, obj, set_kernel, True)  # warm
+    timed_round(engine, sid, operation, obj, set_kernel, False)
+    on_times, off_times = [], []
+    for _ in range(rounds):
+        on_times.append(
+            timed_round(engine, sid, operation, obj, set_kernel, True))
+        off_times.append(
+            timed_round(engine, sid, operation, obj, set_kernel, False))
+    set_kernel(engine, True)
+    on_us, off_us = min(on_times), min(off_times)
+    speedup_minmin = off_us / on_us
+    speedup_paired = statistics.median(
+        off / on for on, off in zip(on_times, off_times))
+    return on_us, off_us, min(speedup_minmin, speedup_paired)
+
+
+def _spare_grant(engine) -> tuple[str, str, str]:
+    """A (role, operation, obj) the policy does not already grant, so a
+    grant/revoke pair leaves the engine exactly where it started."""
+    role = engine.policy.assignments[0][1]
+    held = {(p.operation, p.obj)
+            for p in engine.model.role_permissions(role)}
+    for operation, obj in engine.policy.permissions:
+        if (operation, obj) not in held:
+            return role, operation, obj
+    raise RuntimeError("no spare permission for the mutation round")
+
+
+def timed_mutation_round(engine, sid, operation, obj, grant,
+                         on: bool) -> float:
+    """One policy-mutation round in the given kernel state, in us.
+
+    grant -> checks -> revoke -> checks: each mutation bumps the policy
+    epoch, so with the kernel on the first check after it pays a lazy
+    recompile.  The round time therefore bounds compile cost amortized
+    over a realistic mutate-then-serve cycle.
+    """
+    set_kernel(engine, on)
+    g_role, g_op, g_obj = grant
+    start = time.perf_counter_ns()
+    engine.grant_permission(g_role, g_op, g_obj)
+    kernel(engine, sid, operation, obj, MUTATION_CHECKS)
+    engine.revoke_permission(g_role, g_op, g_obj)
+    kernel(engine, sid, operation, obj, MUTATION_CHECKS)
+    return (time.perf_counter_ns() - start) / 1000
+
+
+def measure_mutation_overhead(engine, sid, operation, obj,
+                              rounds: int = MUTATION_ROUNDS
+                              ) -> tuple[float, float, float]:
+    """Interleaved mutation rounds -> (on_us, off_us, overhead)."""
+    grant = _spare_grant(engine)
+    timed_mutation_round(engine, sid, operation, obj, grant, True)
+    timed_mutation_round(engine, sid, operation, obj, grant, False)
+    on_times, off_times = [], []
+    for _ in range(rounds):
+        on_times.append(timed_mutation_round(
+            engine, sid, operation, obj, grant, True))
+        off_times.append(timed_mutation_round(
+            engine, sid, operation, obj, grant, False))
+    set_kernel(engine, True)
+    base = min(off_times)
+    gap_minmin = min(on_times) - base
+    gap_paired = statistics.median(
+        on - off for on, off in zip(on_times, off_times))
+    gap = min(gap_minmin, gap_paired)
+    return base + gap, base, gap / base
+
+
+def check_kernel(engine, sid, operation, obj,
+                 speedup_min: float, mutation_budget: float) -> bool:
+    """The two decision-plane verdicts + BENCH_kernel.json emission."""
+    ok = True
+    result: dict[str, object] = {
+        "workload": "B3 checkAccess, 100 roles / 100 users, depth 2",
+        "checks_per_round": CHECKS,
+    }
+
+    for attempt, rounds in enumerate((ROUNDS, ROUNDS * 2)):
+        on_us, off_us, speedup = measure_kernel_speedup(
+            engine, sid, operation, obj, rounds)
+        print(f"B3 checkAccess hot path [policy kernel]: compiled "
+              f"{on_us:.2f} us/op, interpreted {off_us:.2f} us/op -> "
+              f"speedup {speedup:.2f}x (minimum {speedup_min:.1f}x)")
+        if speedup >= speedup_min:
+            break
+        if attempt == 0:
+            print("under the floor; re-measuring with more rounds...")
+    else:
+        print("FAIL: kernel speedup under the floor on a static-heavy "
+              "workload", file=sys.stderr)
+        ok = False
+    result["static"] = {
+        "kernel_us_per_check": round(on_us, 3),
+        "interpreted_us_per_check": round(off_us, 3),
+        "speedup": round(speedup, 2),
+        "speedup_min": speedup_min,
+        "pass": speedup >= speedup_min,
+    }
+
+    for attempt, rounds in enumerate((MUTATION_ROUNDS,
+                                      MUTATION_ROUNDS * 2)):
+        mut_on, mut_off, overhead = measure_mutation_overhead(
+            engine, sid, operation, obj, rounds)
+        print(f"policy-mutation round [policy kernel]: compiled "
+              f"{mut_on:.0f} us, interpreted {mut_off:.0f} us -> "
+              f"overhead {overhead:+.1%} "
+              f"(budget {mutation_budget:.0%})")
+        if overhead <= mutation_budget:
+            break
+        if attempt == 0:
+            print("over budget; re-measuring with more rounds...")
+    else:
+        print("FAIL: kernel recompiles exceed the mutation-round "
+              "budget", file=sys.stderr)
+        ok = False
+    result["mutation_round"] = {
+        "checks_per_mutation": MUTATION_CHECKS,
+        "kernel_us_per_round": round(mut_on, 1),
+        "interpreted_us_per_round": round(mut_off, 1),
+        "overhead": round(overhead, 4),
+        "budget": mutation_budget,
+        "pass": overhead <= mutation_budget,
+    }
+
+    result["kernel_build_us"] = round(engine.kernel().build_ns / 1000, 1)
+    result["pass"] = ok
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_kernel.json"
+    path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    return ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--kernel-only", action="store_true",
+                        help="run only the decision-plane comparisons "
+                             "(kernel speedup + mutation-round budget)")
+    args = parser.parse_args(argv)
     obs_budget = float(os.environ.get("OBS_OVERHEAD_BUDGET", "0.10"))
     containment_budget = float(
         os.environ.get("CONTAINMENT_OVERHEAD_BUDGET", "0.05"))
     wal_budget = float(os.environ.get("WAL_OVERHEAD_BUDGET", "0.08"))
+    speedup_min = float(os.environ.get("KERNEL_SPEEDUP_MIN", "2.0"))
+    mutation_budget = float(
+        os.environ.get("KERNEL_MUTATION_OVERHEAD_BUDGET", "0.05"))
     engine, sid, operation, obj = build_engine()
+
+    if args.kernel_only:
+        engine.obs.enabled = True
+        ok = check_kernel(engine, sid, operation, obj,
+                          speedup_min, mutation_budget)
+        if ok:
+            print("OK")
+        return 0 if ok else 1
 
     engine.obs.enabled = True
     prof, _ = profiled(kernel, engine, sid, operation, obj,
@@ -174,6 +360,11 @@ def main() -> int:
     finally:
         durability.close()
         shutil.rmtree(wal_dir, ignore_errors=True)
+
+    engine.obs.enabled = True
+    if not check_kernel(engine, sid, operation, obj,
+                        speedup_min, mutation_budget):
+        ok = False
 
     if ok:
         print("OK")

@@ -50,6 +50,12 @@ from repro.errors import (
     TransientError,
 )
 from repro.events import ConsumptionMode, EventDetector
+from repro.kernel import (
+    KERNEL_DENY,
+    KERNEL_FALLBACK,
+    KERNEL_GRANT,
+    PolicyKernel,
+)
 from repro.obs import MetricsRegistry, ObsHub, Profiler, Tracer
 from repro.policy import PolicyGraph, PolicySpec, parse_policy, validate_policy
 from repro.rules import OWTERule, RuleManager
@@ -69,12 +75,16 @@ __all__ = [
     "DsdViolationError",
     "EventDetector",
     "FailurePolicy",
+    "KERNEL_DENY",
+    "KERNEL_FALLBACK",
+    "KERNEL_GRANT",
     "MetricsRegistry",
     "OWTERule",
     "ObsHub",
     "OperationDenied",
     "PolicyEditor",
     "PolicyGraph",
+    "PolicyKernel",
     "PolicySpec",
     "PolicySyntaxError",
     "PolicyValidationError",

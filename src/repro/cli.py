@@ -10,6 +10,7 @@ Usage (also via ``python -m repro``)::
     repro-rbac fmt policy.rbac              # canonical DSL rendering
     repro-rbac health policy.rbac [--chaos-seed N]  # degradation summary
     repro-rbac recover state-dir/           # snapshot + WAL replay
+    repro-rbac kernel policy.rbac           # compiled decision plane stats
 
 ``--trace`` turns on the structured tracer and prints span trees for
 denied operations ("explain why this request was denied"); ``metrics``
@@ -281,6 +282,44 @@ def cmd_recover(args: argparse.Namespace) -> int:
     return 1 if report["torn"] else 0
 
 
+def cmd_kernel(args: argparse.Namespace) -> int:
+    """Compile the decision plane and print its statistics.
+
+    Builds the engine, compiles the :class:`~repro.kernel.PolicyKernel`
+    eagerly, optionally drives the synthetic request stream (so the
+    kernel-vs-interpreted decision split is populated), and prints one
+    JSON report: compilation stats (interned entities, bitset sizes,
+    static/dynamic rule split, build time), fallback reasons, and the
+    grant/deny/fallback decision counters from the observability hub.
+    Exit status: 0 when the kernel compiled with full coverage, 1 when
+    a coverage gap forces every check through the interpreted pipeline.
+    """
+    import json as _json
+
+    spec = _load(args.policy)
+    engine = ActiveRBACEngine(spec)
+    kernel = engine.kernel()
+    stream = None
+    if args.requests:
+        allowed, denied, errors = _drive_stream(engine, spec,
+                                                args.requests, args.seed)
+        stream = {"requests": args.requests, "allowed": allowed,
+                  "denied": denied, "rejected_with_error": errors}
+        # the stream may have mutated policy-adjacent state; report the
+        # kernel that is actually live after the drive
+        kernel = engine.kernel()
+    report = kernel.stats()
+    decisions = engine.obs.kernel_decisions
+    report["decisions"] = {
+        path: decisions.labels(path).value
+        for path in ("grant", "deny", "fallback")
+    }
+    if stream is not None:
+        report["stream"] = stream
+    print(_json.dumps(report, indent=2, sort_keys=True))
+    return 1 if report["coverage_gap"] else 0
+
+
 def cmd_hygiene(args: argparse.Namespace) -> int:
     from repro.analysis import policy_hygiene, who_can
 
@@ -380,6 +419,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also fold the replayed tail into a fresh "
                               "snapshot and rotate the WAL")
     recover.set_defaults(fn=cmd_recover)
+
+    kernel = sub.add_parser(
+        "kernel", help="compile the decision plane and print its "
+                       "statistics (exit 1 on a coverage gap)")
+    kernel.add_argument("policy")
+    kernel.add_argument("--requests", type=int, default=0,
+                        help="also drive the simulated stream first so "
+                             "the kernel/interpreted decision split is "
+                             "populated (default: 0 = skip)")
+    kernel.add_argument("--seed", type=int, default=7)
+    kernel.set_defaults(fn=cmd_kernel)
 
     hygiene = sub.add_parser(
         "hygiene", help="staleness/redundancy report, optional "

@@ -46,6 +46,7 @@ from repro.errors import (
 from repro.events.detector import EventDetector
 from repro.extensions.context import ContextProvider
 from repro.extensions.privacy import PrivacyRegistry
+from repro.kernel import KERNEL_GRANT, PolicyKernel
 from repro.obs import ObsHub
 from repro.policy.spec import PolicySpec, build_model
 from repro.rules.manager import RuleManager
@@ -112,11 +113,17 @@ class ActiveRBACEngine(EnforcementHelpers):
         self.obs.attach_rules(self.rules)
         self.obs.attach_audit_log(self.audit)
         self.context = ContextProvider()
+        #: decision plane: a per-epoch compiled PolicyKernel answers the
+        #: static majority of checkAccess requests without firing rules;
+        #: compiled lazily (see :meth:`kernel`), never persisted.
+        self.kernel_enabled = True
+        self._kernel = None
         self.context.attach(self.detector)
         self.privacy = PrivacyRegistry()
         self.monitor = ActiveSecurityMonitor(self)
         self.policy = policy.clone() if policy is not None else PolicySpec()
         self.model = build_model(self.policy)
+        self.obs.attach_hierarchy(self.model.hierarchy)
         self.locked_users: set[str] = set()
         #: optional :class:`~repro.wal.Durability` write-ahead log; when
         #: attached, every state-mutating commit appends a WAL record so
@@ -478,6 +485,14 @@ class ActiveRBACEngine(EnforcementHelpers):
         """Raise :class:`~repro.errors.OperationDenied` unless some
         active role of the session may perform the operation.
 
+        The compiled decision plane answers first when it can: a fresh
+        :class:`~repro.kernel.PolicyKernel` resolves the static
+        majority of checks from interned bitsets, falling back to the
+        full interpreted OWTE pipeline for anything the compiler
+        classified dynamic (context-gated roles, privacy-regulated
+        objects, deadlines, diagnostics).  Either path produces the
+        same answers, audit records, and counters.
+
         ``deadline`` (or the engine-wide ``check_deadline`` budget)
         bounds the whole check: the rule manager probes it before each
         firing, and it is probed once more after dispatch — a check
@@ -491,13 +506,37 @@ class ActiveRBACEngine(EnforcementHelpers):
         if deadline is None and self.check_deadline is not None:
             deadline = Deadline(self.clock,
                                 virtual_budget=self.check_deadline)
+        obs = self.obs
+        observers = self.rules._observers
+        if (self.kernel_enabled and deadline is None
+                # full-fidelity diagnostics (trace spans, time-every-
+                # firing sampling) need the interpreted pipeline
+                and not (obs.enabled and (obs.tracer.enabled
+                                          or obs.timing_interval == 1))
+                # extra firing observers see things the kernel skips
+                and len(observers) == 1
+                and observers[0] == self._record_rule_firing):
+            kernel = self._kernel
+            if kernel is None or not kernel.fresh(self):
+                kernel = self.kernel()
+            verdict = kernel.evaluate(session_id, operation, obj)
+            if verdict >= 0:
+                self._commit_kernel_decision(
+                    kernel, verdict == KERNEL_GRANT, session_id,
+                    operation, obj, user)
+                return
+            if obs.enabled:
+                obs._kernel_fallback._value += 1
         previous = self._decision
         previous_deadline = self.rules.deadline
-        self._decision = False
-        self.rules.deadline = deadline
         granted = False
         start = time.perf_counter_ns()
         try:
+            # the decision slot and dispatch deadline are armed inside
+            # the try so a fault between here and dispatch can never
+            # leak a stale decision/deadline into the next check
+            self._decision = False
+            self.rules.deadline = deadline
             self.detector.raise_event(
                 "checkAccess", sessionId=session_id, operation=operation,
                 object=obj, purpose=purpose, user=user,
@@ -523,6 +562,101 @@ class ActiveRBACEngine(EnforcementHelpers):
         finally:
             self._decision = previous
             self.rules.deadline = previous_deadline
+            self.obs.access_decision(granted,
+                                     time.perf_counter_ns() - start)
+
+    # ======================================================================
+    # decision plane (PolicyKernel)
+    # ======================================================================
+
+    def kernel(self) -> "PolicyKernel":
+        """The compiled decision plane for the current policy epoch.
+
+        Compiles lazily and recompiles whenever the validity triple
+        (policy epoch, rule-pool version, detector version) moved —
+        i.e. after any control-plane mutation.  Always returns a fresh
+        kernel; works even with ``kernel_enabled`` off (inspection,
+        CLI stats) since compilation never mutates anything.
+        """
+        kernel = self._kernel
+        if kernel is not None and kernel.fresh(self):
+            return kernel
+        reason = "cold" if kernel is None else kernel.stale_reason(self)
+        kernel = self._kernel = PolicyKernel(self)
+        self.obs.kernel_built(reason, kernel.build_ns)
+        return kernel
+
+    def invalidate_kernel(self) -> None:
+        """Drop the compiled kernel; the next consult recompiles.
+
+        The version triple already catches every mutation that flows
+        through the engine/manager/detector APIs — this is the
+        belt-and-braces hook for callers (regeneration, tests) that
+        rewire things behind those counters.
+        """
+        self._kernel = None
+
+    def _commit_kernel_decision(self, kernel: "PolicyKernel", granted: bool,
+                                session_id: str, operation: str, obj: str,
+                                user: str | None) -> None:
+        """Apply a kernel verdict with interpreted-pipeline parity.
+
+        Mirrors exactly what one checkAccess dispatch through the CA
+        rule would have done: event/dispatch counters, rule branch
+        counters (the collect-time ``repro_rule_firings_total`` mirror
+        reads them), audit records in firing order, the *real*
+        ``accessDenied`` event on deny (active-security counter-
+        measures must see denials and may propagate instead), and the
+        end-to-end decision histogram.
+        """
+        obs = self.obs
+        detector = self.detector
+        ca = kernel._ca
+        start = time.perf_counter_ns()
+        try:
+            # event-substrate parity: one raise, one primitive dispatch
+            detector._raised_count += 1
+            detector._detected_count += 1
+            if obs.enabled:
+                node = kernel._node
+                pair = node.obs_pair
+                if pair is None:
+                    pair = obs.bind_node(node)
+                pair[0]._value += 1
+                pair[1]._value += 1
+                obs._cascade_shallow += 1
+            ca.fired_count += 1
+            if granted:
+                ca.then_count += 1
+                if obs.enabled:
+                    obs._kernel_grant._value += 1
+                self.audit.record("decision.allow", category="access",
+                                  user=user, operation=operation,
+                                  object=obj)
+                return
+            ca.else_count += 1
+            if obs.enabled:
+                obs._kernel_deny._value += 1
+            # E-branch order matters: the denial event fires before the
+            # audit record and the typed error, exactly as the rule's
+            # alt_actions do — a SecurityLockout countermeasure raised
+            # by the cascade propagates instead of OperationDenied
+            detector.raise_event("accessDenied", user=user,
+                                 sessionId=session_id,
+                                 operation=operation, object=obj)
+            self.audit.record("decision.deny", category="access",
+                              user=user, operation=operation, object=obj)
+            error = OperationDenied("Permission Denied", rule=ca.name)
+            if obs.enabled:
+                child = obs._error_cache.get((ca.name, OperationDenied))
+                if child is None:
+                    child = obs.bind_error(ca.name, error)
+                child._value += 1
+            # firing-observer parity (engine._record_rule_firing)
+            self.audit.record("rule.else", rule=ca.name,
+                              event="checkAccess", error="OperationDenied")
+            raise error
+        finally:
             self.obs.access_decision(granted,
                                      time.perf_counter_ns() - start)
 
@@ -708,6 +842,10 @@ class ActiveRBACEngine(EnforcementHelpers):
             "transient_retries": int(self.obs.transient_retries.total()),
             "audit_dropped": self.audit.dropped,
             "locked_users": sorted(self.locked_users),
+            "kernel": ("off" if not self.kernel_enabled
+                       else "cold" if self._kernel is None
+                       else "fresh" if self._kernel.fresh(self)
+                       else "stale"),
         }
 
     def stats(self) -> dict[str, int | float]:
@@ -725,5 +863,9 @@ class ActiveRBACEngine(EnforcementHelpers):
                          for k, v in self.detector.stats().items()})
         combined["rules"] = len(self.rules)
         combined["audit_entries"] = len(self.audit)
+        kernel = self._kernel
+        combined["kernel_enabled"] = int(self.kernel_enabled)
+        combined["kernel_compiled"] = int(
+            kernel is not None and kernel.fresh(self))
         combined.update(self.obs.metrics.snapshot_flat(prefix="obs."))
         return combined

@@ -66,6 +66,10 @@ class EventDetector:
         #: optional :class:`~repro.obs.hub.ObsHub`; the engine wires one
         #: in.  When None, raise/dispatch run the bare (seed) path.
         self.obs = None
+        #: bumped on every graph/listener mutation (define, undefine,
+        #: subscribe, unsubscribe); one leg of the PolicyKernel
+        #: validity triple
+        self.version = 0
 
     # -- clock plumbing ------------------------------------------------------
 
@@ -88,6 +92,7 @@ class EventDetector:
                 f"event {node.name!r} is already defined"
             )
         self._nodes[node.name] = node
+        self.version += 1
         return node
 
     def _node(self, name: str) -> EventNode:
@@ -130,6 +135,7 @@ class EventDetector:
         node.detach()
         del self._nodes[name]
         self._listeners.pop(name, None)
+        self.version += 1
 
     # -- event definition ----------------------------------------------------
 
@@ -258,11 +264,13 @@ class EventDetector:
         """Call ``listener(occurrence)`` on every detection of ``name``."""
         self._node(name)  # validate existence
         self._listeners.setdefault(name, []).append(listener)
+        self.version += 1
 
     def unsubscribe(self, name: str, listener: Listener) -> bool:
         listeners = self._listeners.get(name, [])
         try:
             listeners.remove(listener)
+            self.version += 1
             return True
         except ValueError:
             return False
@@ -270,6 +278,19 @@ class EventDetector:
     def subscribe_all(self, listener: Listener) -> None:
         """Observe every detection (used by the audit log)."""
         self._global_listeners.append(listener)
+        self.version += 1
+
+    def exclusive_listener(self, name: str) -> Listener | None:
+        """The *only* listener a dispatch of ``name`` would reach, or
+        None when there are zero, several, or any global observers.
+        The decision plane uses this to prove the compiled fast path
+        sees everything the interpreted dispatch would do."""
+        if self._global_listeners:
+            return None
+        listeners = self._listeners.get(name)
+        if listeners is None or len(listeners) != 1:
+            return None
+        return listeners[0]
 
     def fanout(self, name: str) -> int:
         """How many listeners a dispatch of ``name`` reaches right now

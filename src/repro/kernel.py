@@ -1,0 +1,377 @@
+"""PolicyKernel: the compiled decision plane.
+
+The engine is split into two layers.  The **control plane** — policy
+edits, rule synthesis/regeneration, WAL logging, quarantine — owns all
+mutation and bumps ``engine.policy_epoch`` (plus the finer-grained
+``RuleManager.version`` / ``EventDetector.version`` counters) on every
+change.  The **data plane** is this module's :class:`PolicyKernel`: an
+immutable artifact compiled once per epoch that answers the static
+majority of ``checkAccess`` decisions without raising an event or
+firing a rule.
+
+What compilation bakes in (Ali & Fernández's static-enforcement view
+of RBAC, specialised to the paper's active-rule engine):
+
+* **interning** — users, roles, operations, objects and (operation,
+  object) permission pairs are mapped to dense integer ids;
+* **hierarchy flattening** — the role hierarchy's reflexive-transitive
+  closure becomes one Python-int bitset per role (``seniors_mask`` /
+  ``juniors_mask``), replacing the repeated BFS walks of
+  :meth:`RoleHierarchy.seniors`;
+* **grant relation** — one permission bitmask per role
+  (``grant_masks``), folding the junior-closure union of
+  :meth:`RBACModel.role_permissions` into a single AND at decision
+  time;
+* **static SoD** — pairwise SSD conflict bitmasks (an analysis
+  artifact: assignment-time enforcement stays in the model);
+* **dispatch table** — the per-event rule lists, so the control plane
+  can audit which rules a given event reaches without re-filtering.
+
+What stays *dynamic* and forces a fallback to the interpreted OWTE
+pipeline (``KERNEL_FALLBACK``): roles gated by access-scoped context
+constraints, privacy-regulated objects (purpose trees and obligations),
+explicit deadlines, full-fidelity diagnostics (tracing, time-every-
+firing sampling), and any entity or rule state the compile did not see.
+The fallback is the correctness anchor — the differential property test
+(`tests/property/test_prop_kernel_equivalence.py`) pins kernel-first
+answers to the interpreted pipeline's across random policies,
+mutations, and recovery.
+
+A kernel never mutates anything and is never persisted: snapshots and
+the WAL carry only the policy source, and recovery recompiles (see
+``persistence.py`` / ``wal.recover``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine import ActiveRBACEngine
+
+#: decision protocol: evaluate() returns one of these plain ints
+KERNEL_GRANT = 1
+KERNEL_DENY = 0
+KERNEL_FALLBACK = -1
+
+#: evaluate() reasons a decision could not be compiled away, keyed for
+#: the stats()/CLI surface (monotonic per-kernel tallies)
+_FALLBACK_KEYS = (
+    "coverage", "rule_state", "unknown_entity", "context_role",
+    "privacy", "stale_privacy",
+)
+
+
+class PolicyKernel:
+    """An immutable compiled view of one policy epoch.
+
+    Build with :meth:`compile` (or the constructor) against a live
+    engine; consult with :meth:`evaluate`.  The kernel holds **no
+    mutable authority state** — sessions, active roles and user locks
+    are read live through the engine reference at decision time, so a
+    kernel only goes stale when the *policy* (or the rule pool / event
+    graph built from it) changes, which the version triple detects.
+    """
+
+    __slots__ = (
+        "engine", "epoch", "rules_version", "detector_version",
+        "user_ids", "role_ids", "op_ids", "obj_ids", "perm_ids",
+        "role_names", "juniors_mask", "seniors_mask", "grant_masks",
+        "context_roles_mask", "regulated_objects", "privacy_len",
+        "ssd_conflicts", "dispatch", "static_rules", "dynamic_rules",
+        "coverage_gap", "build_ns", "fallbacks",
+        "_ca", "_ca_conditions", "_ca_actions", "_ca_alt_actions",
+        "_node", "_sessions", "_grant_by_role",
+    )
+
+    def __init__(self, engine: ActiveRBACEngine) -> None:
+        start = time.perf_counter_ns()
+        model = engine.model
+        hierarchy = model.hierarchy
+
+        self.engine = engine
+        self.epoch = engine.policy_epoch
+        self.rules_version = engine.rules.version
+        self.detector_version = engine.detector.version
+        self._sessions = model.sessions  # live dict, identity-stable
+
+        # -- interning ----------------------------------------------------
+        self.user_ids = {u: i for i, u in enumerate(sorted(model.users))}
+        self.role_ids = {r: i for i, r in enumerate(sorted(model.roles))}
+        self.role_names = sorted(model.roles)
+        self.op_ids = {o: i for i, o in enumerate(sorted(model.operations))}
+        self.obj_ids = {o: i for i, o in enumerate(sorted(model.objects))}
+        self.perm_ids = {
+            (p.operation, p.obj): i
+            for i, p in enumerate(sorted(
+                model.permissions, key=lambda p: (p.operation, p.obj)))
+        }
+
+        # -- hierarchy closure bitsets ------------------------------------
+        # reflexive-transitive closure in both directions; one Python
+        # int per role replaces a BFS walk per authorization question
+        rid = self.role_ids
+        self.juniors_mask = [0] * len(rid)
+        self.seniors_mask = [0] * len(rid)
+        for role, i in rid.items():
+            mask = 0
+            for junior in hierarchy.juniors_inclusive(role):
+                mask |= 1 << rid[junior]
+            self.juniors_mask[i] = mask
+        for role, i in rid.items():
+            bit = 1 << i
+            for j in range(len(self.juniors_mask)):
+                if self.juniors_mask[j] & bit:
+                    self.seniors_mask[i] |= 1 << j
+
+        # -- grant relation: role -> permission bitmask -------------------
+        # role_permissions() already folds the junior closure in, so the
+        # flattening above and this union agree by construction
+        self.grant_masks = [0] * len(rid)
+        for role, i in rid.items():
+            mask = 0
+            for perm in model.role_permissions(role):
+                pid = self.perm_ids.get((perm.operation, perm.obj))
+                if pid is not None:
+                    mask |= 1 << pid
+            self.grant_masks[i] = mask
+        self._grant_by_role = {
+            role: self.grant_masks[i] for role, i in rid.items()}
+
+        # -- dynamic-feature sets -----------------------------------------
+        self.context_roles_mask = 0
+        for constraint in engine.policy.context_constraints:
+            if (constraint.applies_to == "access"
+                    and constraint.role in rid):
+                self.context_roles_mask |= 1 << rid[constraint.role]
+        # privacy: policies are only ever *added* (see
+        # PrivacyRegistry.add_policy), and only new (obj, op) keys grow
+        # the dict — so its length is a sound staleness probe for the
+        # compiled regulated-object set
+        self.regulated_objects = frozenset(
+            key[0] for key in engine.privacy._policies)
+        self.privacy_len = len(engine.privacy._policies)
+
+        # -- static SoD conflicts (analysis artifact) ---------------------
+        self.ssd_conflicts = tuple(
+            (constraint.name,
+             sum(1 << rid[r] for r in constraint.roles if r in rid),
+             constraint.cardinality)
+            for constraint in model.sod.ssd_sets()
+        )
+
+        # -- rule dispatch table + static/dynamic classification ----------
+        from repro.rules.rule import EvalClass
+        self.dispatch = {}
+        self.static_rules = 0
+        self.dynamic_rules = 0
+        for rule in engine.rules:
+            self.dispatch.setdefault(rule.event, []).append(rule.name)
+            if rule.evaluation is EvalClass.STATIC:
+                self.static_rules += 1
+            else:
+                self.dynamic_rules += 1
+        self.dispatch = {
+            event: tuple(names) for event, names in self.dispatch.items()}
+
+        # -- checkAccess fast-path coverage -------------------------------
+        # The kernel may only answer when the interpreted pipeline would
+        # have done exactly one thing: dispatch the checkAccess event to
+        # the rule manager and fire the single static CA rule.  Anything
+        # else on the event (composite parents, extra listeners, extra
+        # rules) is semantics the compile cannot see.
+        self._ca = None
+        self._ca_conditions = ()
+        self._ca_actions = ()
+        self._ca_alt_actions = ()
+        self._node = None
+        self.coverage_gap = self._check_coverage(engine)
+
+        self.fallbacks = dict.fromkeys(_FALLBACK_KEYS, 0)
+        self.build_ns = time.perf_counter_ns() - start
+
+    # -- compilation helpers ----------------------------------------------
+
+    def _check_coverage(self, engine: ActiveRBACEngine) -> str | None:
+        """Why the checkAccess fast path must stay off, or None."""
+        detector = engine.detector
+        rules = engine.rules
+        from repro.rules.rule import EvalClass
+
+        if "checkAccess" not in detector:
+            return "no checkAccess event"
+        if "accessDenied" not in detector:
+            return "no accessDenied event"
+        handlers = rules.rules_for_event("checkAccess")
+        if len(handlers) != 1:
+            return f"{len(handlers)} rules on checkAccess (need exactly 1)"
+        ca = handlers[0]
+        if ca.evaluation is not EvalClass.STATIC:
+            return f"rule {ca.name!r} is classified dynamic"
+        if (tuple(ca.conditions), tuple(ca.actions),
+                tuple(ca.alt_actions)) != ca.clause_baseline:
+            # fault-injection probes (or any clause rewiring) were
+            # live at compile time: only the interpreted path runs them
+            return f"rule {ca.name!r} clauses are instrumented"
+        node = detector.node("checkAccess")
+        if node.parents:
+            return "checkAccess feeds composite events"
+        dispatcher = rules._dispatchers.get("checkAccess")
+        if (dispatcher is None
+                or detector.exclusive_listener("checkAccess")
+                is not dispatcher):
+            return "checkAccess has listeners beyond the rule manager"
+        self._ca = ca
+        self._ca_conditions = ca.conditions
+        self._ca_actions = ca.actions
+        self._ca_alt_actions = ca.alt_actions
+        self._node = node
+        return None
+
+    # -- staleness ---------------------------------------------------------
+
+    def fresh(self, engine: ActiveRBACEngine) -> bool:
+        """Does this kernel still describe the engine's policy state?"""
+        return (engine is self.engine
+                and self.epoch == engine.policy_epoch
+                and self.rules_version == engine.rules.version
+                and self.detector_version == engine.detector.version)
+
+    def stale_reason(self, engine: ActiveRBACEngine) -> str | None:
+        if engine is not self.engine:
+            return "engine"
+        if self.epoch != engine.policy_epoch:
+            return "epoch"
+        if self.rules_version != engine.rules.version:
+            return "rules"
+        if self.detector_version != engine.detector.version:
+            return "detector"
+        return None
+
+    # -- the decision ------------------------------------------------------
+
+    def evaluate(self, session_id: str, operation: str, obj: str) -> int:
+        """Decide one checkAccess request from the compiled view.
+
+        Returns :data:`KERNEL_GRANT`, :data:`KERNEL_DENY`, or
+        :data:`KERNEL_FALLBACK` when the request touches anything the
+        compile classified as dynamic.  Pure: no events, no audit, no
+        counters — the engine wrapper owns side-effect parity.
+        """
+        ca = self._ca
+        if ca is None:
+            self.fallbacks["coverage"] += 1
+            return KERNEL_FALLBACK
+        # Live rule state: quarantine/disable flips without a version
+        # bump mid-dispatch are impossible (quarantine bumps version),
+        # but the fault-injection harness *instruments* clauses by
+        # reassigning the tuples — identity tells us the rule no longer
+        # does what we compiled.
+        if (not ca.enabled or ca.quarantined
+                or ca.conditions is not self._ca_conditions
+                or ca.actions is not self._ca_actions
+                or ca.alt_actions is not self._ca_alt_actions):
+            self.fallbacks["rule_state"] += 1
+            return KERNEL_FALLBACK
+
+        session = self._sessions.get(session_id)
+        if session is None:
+            return KERNEL_DENY
+        if session.user in self.engine.locked_users:
+            return KERNEL_DENY
+
+        pid = self.perm_ids.get((operation, obj))
+        if pid is None:
+            # The version triple keeps the kernel and the permission set
+            # in lockstep through the engine's admin API; a pair the
+            # compile never saw but the model now holds means someone
+            # mutated the model directly — fall back rather than guess.
+            if any(p.operation == operation and p.obj == obj
+                   for p in self.engine.model.permissions):
+                self.fallbacks["unknown_entity"] += 1
+                return KERNEL_FALLBACK
+            return KERNEL_DENY
+
+        bit = 1 << pid
+        ctx_mask = self.context_roles_mask
+        grant = self._grant_by_role
+        saw_dynamic = False
+        granted = False
+        for role in session.active_roles:
+            mask = grant.get(role)
+            if mask is None:
+                # role created after compile: stale view
+                self.fallbacks["unknown_entity"] += 1
+                return KERNEL_FALLBACK
+            if mask & bit:
+                if ctx_mask and (1 << self.role_ids[role]) & ctx_mask:
+                    # context-gated role: only the interpreted predicate
+                    # can say whether the grant stands right now
+                    saw_dynamic = True
+                    continue
+                granted = True
+                break
+        if granted:
+            if len(self.engine.privacy._policies) != self.privacy_len:
+                self.fallbacks["stale_privacy"] += 1
+                return KERNEL_FALLBACK
+            if obj in self.regulated_objects:
+                # purpose compliance + obligations are interpreted
+                self.fallbacks["privacy"] += 1
+                return KERNEL_FALLBACK
+            return KERNEL_GRANT
+        if saw_dynamic:
+            self.fallbacks["context_role"] += 1
+            return KERNEL_FALLBACK
+        return KERNEL_DENY
+
+    # -- static analysis / introspection -----------------------------------
+
+    def authorized_mask(self, role: str) -> int:
+        """Junior-closure bitset for ``role`` (reflexive)."""
+        return self.juniors_mask[self.role_ids[role]]
+
+    def roles_in_mask(self, mask: int) -> list[str]:
+        return [name for name, i in self.role_ids.items() if mask & (1 << i)]
+
+    def ssd_conflict_pairs(self) -> list[tuple[str, str, str]]:
+        """Role pairs that can never be co-authorized under a
+        cardinality-2 SSD set — the classic static conflict matrix."""
+        pairs = []
+        for name, mask, cardinality in self.ssd_conflicts:
+            if cardinality != 2:
+                continue
+            members = self.roles_in_mask(mask)
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    pairs.append((name, a, b))
+        return pairs
+
+    def stats(self) -> dict[str, Any]:
+        """Flat introspection dict for the CLI and engine.stats()."""
+        return {
+            "epoch": self.epoch,
+            "rules_version": self.rules_version,
+            "detector_version": self.detector_version,
+            "build_us": self.build_ns / 1000,
+            "users": len(self.user_ids),
+            "roles": len(self.role_ids),
+            "operations": len(self.op_ids),
+            "objects": len(self.obj_ids),
+            "permissions": len(self.perm_ids),
+            "static_rules": self.static_rules,
+            "dynamic_rules": self.dynamic_rules,
+            "events_dispatched": len(self.dispatch),
+            "context_gated_roles": bin(self.context_roles_mask).count("1"),
+            "regulated_objects": len(self.regulated_objects),
+            "ssd_sets": len(self.ssd_conflicts),
+            "ssd_conflict_pairs": len(self.ssd_conflict_pairs()),
+            "coverage_gap": self.coverage_gap,
+            "fallbacks": dict(self.fallbacks),
+        }
+
+
+def compile_kernel(engine: ActiveRBACEngine) -> PolicyKernel:
+    """Compile the engine's current policy epoch into a kernel."""
+    return PolicyKernel(engine)

@@ -139,6 +139,23 @@ class ObsHub:
         self.audit_records = m.counter(
             "repro_audit_records_total",
             "audit log records by kind", ("kind",))
+        # -- decision plane (PolicyKernel) -----------------------------------
+        self.kernel_builds = m.counter(
+            "repro_kernel_builds_total",
+            "PolicyKernel compilations, by trigger "
+            "(cold/epoch/rules/detector/engine)", ("reason",))
+        self.kernel_build_ns = m.histogram(
+            "repro_kernel_build_ns",
+            "PolicyKernel compile latency in ns")
+        self.kernel_decisions = m.counter(
+            "repro_kernel_decisions_total",
+            "checkAccess decisions by kernel path "
+            "(grant/deny answered compiled; fallback ran interpreted)",
+            ("path",))
+        self.hierarchy_invalidations = m.counter(
+            "repro_hierarchy_closure_invalidations_total",
+            "role-hierarchy closure-cache entries dropped by targeted "
+            "invalidation; mirrored from the hierarchy at collect time")
         # -- hot-path child caches ------------------------------------------
         # labels() coerces and validates on every call; the recording
         # hooks below memoise the child series per label value so the
@@ -153,6 +170,9 @@ class ObsHub:
         self._deny_count = self.decisions.labels("deny")
         self._grant_ns = self.decision_ns.labels("grant")
         self._deny_ns = self.decision_ns.labels("deny")
+        self._kernel_grant = self.kernel_decisions.labels("grant")
+        self._kernel_deny = self.kernel_decisions.labels("deny")
+        self._kernel_fallback = self.kernel_decisions.labels("fallback")
         # -- cascade-depth fast path ----------------------------------------
         # Almost every dispatch enters at depth 1; that case is a plain
         # int increment here and folded into the histogram at collect
@@ -320,6 +340,13 @@ class ObsHub:
             h._counts[bisect_left(h.bounds, elapsed_ns)] += 1
             h._sum += elapsed_ns
 
+    def kernel_built(self, reason: str, elapsed_ns: int) -> None:
+        """Count one PolicyKernel compilation and its latency.  Cold
+        path: builds happen once per policy epoch, not per check."""
+        if self.enabled:
+            self.kernel_builds.labels(reason).inc()
+            self.kernel_build_ns.observe(elapsed_ns)
+
     def wal_appended(self, op: str, synced: bool = False) -> None:
         """Count one WAL append (plus the fsync when this append closed
         a group-commit batch).  Child caching matters: session churn
@@ -399,6 +426,16 @@ class ObsHub:
                 h._sum += fanout * n
                 dispatched += fanout * n
             self.listener_dispatch._value = dispatched
+        self.metrics.add_collector(collect)
+
+    def attach_hierarchy(self, hierarchy) -> None:
+        """Mirror the hierarchy's cumulative closure-cache invalidation
+        count at collect time (the hierarchy maintains the plain int;
+        the mutation path pays nothing for the metric)."""
+        def collect() -> None:
+            if not self.enabled:
+                return
+            self.hierarchy_invalidations._value = hierarchy.invalidations
         self.metrics.add_collector(collect)
 
     def attach_audit_log(self, log) -> None:

@@ -30,7 +30,11 @@ What is deliberately *not* restored:
 * the audit log (ship it to durable storage via
   ``engine.audit.observe``; a restored engine starts a fresh log);
 * active-security sliding windows (conservative reset: a restart
-  re-arms every threshold from zero).
+  re-arms every threshold from zero);
+* the compiled :class:`~repro.kernel.PolicyKernel` — it is derived
+  state (a pure function of the restored policy), never snapshotted;
+  the rebuilt engine recompiles lazily on its first check (or eagerly
+  in :func:`repro.wal.recover`).
 
 Sessions/activations that reference users or roles removed from the
 policy since the snapshot are *dropped*, but never silently: each drop

@@ -47,12 +47,35 @@ class RoleHierarchy:
         self._up: dict[str, set[str]] = {}
         #: immediate juniors: _down[r] = roles r directly inherits
         self._down: dict[str, set[str]] = {}
-        #: memoized transitive closures, invalidated on any mutation;
-        #: key is (role, direction) where direction is "up"/"down"
+        #: memoized transitive closures, invalidated per affected role
+        #: on mutation; key is (role, direction), direction "up"/"down"
         self._closure_cache: dict[tuple[str, str], frozenset[str]] = {}
+        #: cache entries dropped by targeted invalidation, cumulative —
+        #: the obs hub mirrors this into a counter at collect time so
+        #: closure-cache churn under policy mutation is visible
+        self.invalidations = 0
 
-    def _invalidate(self) -> None:
-        self._closure_cache.clear()
+    def _invalidate_edge(self, senior: str, junior: str) -> None:
+        """Drop only the closures an edge (senior, junior) can change.
+
+        An edge between them affects the *up*-closure of ``junior`` and
+        everything below it, and the *down*-closure of ``senior`` and
+        everything above it — closures of unrelated subgraphs survive.
+        Correct for both insertion and removal: the affected sets are
+        computed against whichever adjacency state contains the edge's
+        reachability superset (the caller's ordering does not matter
+        because ``_descend`` from the junior/senior side covers every
+        role whose closure could mention the edge in either state).
+        """
+        cache = self._closure_cache
+        dropped = 0
+        for role in self._descend(junior, self._down) | {junior}:
+            if cache.pop((role, "up"), None) is not None:
+                dropped += 1
+        for role in self._descend(senior, self._up) | {senior}:
+            if cache.pop((role, "down"), None) is not None:
+                dropped += 1
+        self.invalidations += dropped
 
     # -- membership ------------------------------------------------------------
 
@@ -62,11 +85,23 @@ class RoleHierarchy:
 
     def remove_role(self, role: str) -> None:
         """Remove a role and every edge touching it."""
+        seniors = self._up.get(role, set())
+        juniors = self._down.get(role, set())
+        # invalidate while the adjacency still holds the edges, so the
+        # affected sets cover everything that could reach through role
+        for senior in seniors:
+            self._invalidate_edge(senior, role)
+        for junior in juniors:
+            self._invalidate_edge(role, junior)
+        dropped = 0
+        for direction in ("up", "down"):
+            if self._closure_cache.pop((role, direction), None) is not None:
+                dropped += 1
+        self.invalidations += dropped
         for senior in self._up.pop(role, set()):
             self._down[senior].discard(role)
         for junior in self._down.pop(role, set()):
             self._up[junior].discard(role)
-        self._invalidate()
 
     def __contains__(self, role: str) -> bool:
         return role in self._up
@@ -102,7 +137,7 @@ class RoleHierarchy:
             )
         self._down[senior].add(junior)
         self._up[junior].add(senior)
-        self._invalidate()
+        self._invalidate_edge(senior, junior)
 
     def delete_inheritance(self, senior: str, junior: str) -> None:
         """Remove the *immediate* edge ``senior >> junior``."""
@@ -114,7 +149,7 @@ class RoleHierarchy:
             )
         self._down[senior].remove(junior)
         self._up[junior].remove(senior)
-        self._invalidate()
+        self._invalidate_edge(senior, junior)
 
     def immediate_seniors(self, role: str) -> set[str]:
         self._require(role)

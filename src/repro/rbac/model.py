@@ -594,6 +594,7 @@ class RBACModel:
             "ua_pairs": sum(len(r) for r in self._ua.values()),
             "pa_pairs": sum(len(p) for p in self._pa.values()),
             "hierarchy_edges": len(self.hierarchy.edges()),
+            "closure_invalidations": self.hierarchy.invalidations,
             "ssd_sets": sum(1 for _ in self.sod.ssd_sets()),
             "dsd_sets": sum(1 for _ in self.sod.dsd_sets()),
         }

@@ -90,6 +90,13 @@ class RuleManager:
         self.deadline = None
         #: observer callbacks that raised (contained, counted)
         self.observer_faults = 0
+        #: bumped on every pool mutation (add/remove/quarantine/rearm);
+        #: one leg of the PolicyKernel validity triple
+        self.version = 0
+        #: per-event dispatch snapshots, rebuilt lazily after a
+        #: mutation — dispatch and ``rules_for_event`` read these
+        #: instead of copying the priority-sorted bucket every firing
+        self._dispatch_cache: dict[str, tuple[OWTERule, ...]] = {}
 
     # -- pool management -------------------------------------------------------
 
@@ -121,6 +128,8 @@ class RuleManager:
         bucket.append(rule)
         # Stable sort preserves insertion order among equal priorities.
         bucket.sort(key=lambda r: -r.priority)
+        self.version += 1
+        self._dispatch_cache.pop(rule.event, None)
         if rule.event not in self._dispatchers:
             dispatcher = self._make_dispatcher(rule.event)
             self._dispatchers[rule.event] = dispatcher
@@ -145,6 +154,8 @@ class RuleManager:
                     del self._by_tag[item]
         event_bucket = self._by_event[rule.event]
         event_bucket.remove(rule)
+        self.version += 1
+        self._dispatch_cache.pop(rule.event, None)
         if not event_bucket:
             del self._by_event[rule.event]
             dispatcher = self._dispatchers.pop(rule.event, None)
@@ -179,7 +190,21 @@ class RuleManager:
     # -- queries ---------------------------------------------------------------
 
     def rules_for_event(self, event: str) -> list[OWTERule]:
-        return list(self._by_event.get(event, ()))
+        return list(self._dispatch_snapshot(event))
+
+    def _dispatch_snapshot(self, event: str) -> tuple[OWTERule, ...]:
+        """The priority-ordered rules for ``event`` as a cached tuple.
+
+        The seed built a fresh list per dispatch; the cache makes the
+        snapshot free on the hot path and is invalidated (per event)
+        by add/remove and (wholesale) by quarantine/rearm, which flip
+        firing eligibility without moving bucket membership.
+        """
+        cached = self._dispatch_cache.get(event)
+        if cached is None:
+            cached = self._dispatch_cache[event] = tuple(
+                self._by_event.get(event, ()))
+        return cached
 
     def by_classification(self, classification: RuleClass) -> list[OWTERule]:
         return [r for r in self._rules.values()
@@ -254,6 +279,8 @@ class RuleManager:
         rule.enabled = False
         rule.quarantined = True
         rule.quarantine_epoch += 1
+        self.version += 1
+        self._dispatch_cache.pop(rule.event, None)
         rule.tags[QUARANTINE_TAG] = "1"
         self._by_tag.setdefault((QUARANTINE_TAG, "1"), set()).add(name)
         obs = self.obs
@@ -284,6 +311,8 @@ class RuleManager:
         rule.quarantined = False
         rule.enabled = True
         rule.consecutive_faults = 0
+        self.version += 1
+        self._dispatch_cache.pop(rule.event, None)
         if rule.tags.pop(QUARANTINE_TAG, None) is not None:
             bucket = self._by_tag.get((QUARANTINE_TAG, "1"))
             if bucket is not None:
@@ -393,8 +422,9 @@ class RuleManager:
         deadline = self.deadline if containment else None
         try:
             # Snapshot: a rule that adds/removes rules mid-firing does not
-            # perturb this round.
-            for rule in list(self._by_event.get(event, ())):
+            # perturb this round (mutation pops the cache entry, so this
+            # tuple survives unchanged while the next round rebuilds).
+            for rule in self._dispatch_snapshot(event):
                 if not rule.enabled or rule.name not in self._rules:
                     continue
                 if deadline is not None:

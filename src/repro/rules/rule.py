@@ -68,6 +68,26 @@ class RuleOutcome(enum.Enum):
     ERROR = "error"
 
 
+class EvalClass(enum.Enum):
+    """Can the decision plane compile this rule away?
+
+    * STATIC — the rule's W/T/E semantics are a pure function of the
+      policy (assignments, permissions, hierarchy), so a per-epoch
+      compiled :class:`~repro.kernel.PolicyKernel` can answer for it
+      without firing;
+    * DYNAMIC — the rule reads runtime state the compiler cannot see
+      (temporal windows, context variables, privacy purposes, DSD,
+      active-security counters); every occurrence must go through the
+      interpreted pipeline.
+
+    The conservative default is DYNAMIC: an unclassified rule can never
+    be compiled away, only ever slower, never wrong.
+    """
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+
+
 @dataclass
 class RuleContext:
     """Everything a condition/action can see while a rule fires.
@@ -181,6 +201,10 @@ class OWTERule:
     granularity: Granularity = Granularity.GLOBALIZED
     tags: dict[str, str] = field(default_factory=dict)
     enabled: bool = True
+    #: decision-plane classification (see :class:`EvalClass`): STATIC
+    #: rules are eligible for kernel compilation, DYNAMIC rules always
+    #: run interpreted.  Defaults DYNAMIC (safe, never-wrong).
+    evaluation: EvalClass = EvalClass.DYNAMIC
     fired_count: int = 0
     then_count: int = 0
     else_count: int = 0
@@ -198,6 +222,16 @@ class OWTERule:
     #: ObsHub.rule_timing after the firing settles)
     last_cond_ns: int = 0
     last_act_ns: int = 0
+
+    def __post_init__(self) -> None:
+        # Clause fingerprint frozen at construction.  The decision
+        # plane refuses to compile (and falls back at evaluate time)
+        # when the live clause tuples no longer match — which is how
+        # fault-injection probes and any other clause rewiring keep
+        # the interpreted pipeline, where they can actually run.
+        self.clause_baseline = (tuple(self.conditions),
+                                tuple(self.actions),
+                                tuple(self.alt_actions))
 
     def evaluate_conditions(self, ctx: RuleContext) -> bool:
         """The W clause: conjunction, short-circuiting on first FALSE."""

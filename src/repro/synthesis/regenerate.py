@@ -103,6 +103,10 @@ def regenerate_roles(engine: "ActiveRBACEngine",
                         roles=sorted(report.affected_roles),
                         removed=len(report.removed_rules),
                         added=len(report.added_rules))
+    # rule churn already bumps the manager version (one leg of the
+    # kernel validity triple); dropping the kernel here makes the
+    # recompile-on-regeneration contract explicit
+    engine.invalidate_kernel()
     return report
 
 
@@ -114,6 +118,7 @@ def full_regeneration(engine: "ActiveRBACEngine") -> RegenerationReport:
         report.removed_rules.extend(engine.generator.remove_role_rules(role))
     for role in sorted(engine.policy.roles):
         report.added_rules.extend(engine.generator.generate_role_rules(role))
+    engine.invalidate_kernel()
     return report
 
 

@@ -48,6 +48,7 @@ from repro.errors import (
 from repro.rules.rule import (
     Action,
     Condition,
+    EvalClass,
     Granularity,
     OWTERule,
     RuleClass,
@@ -636,4 +637,9 @@ def build_check_access_rule(engine: "ActiveRBACEngine") -> OWTERule:
         classification=RuleClass.ACTIVITY_CONTROL,
         granularity=Granularity.GLOBALIZED,
         tags={"scope": "global", "kind": "checkAccess"},
+        # the W clause is a pure function of the policy for unlocked
+        # users, context-free roles and unregulated objects — exactly
+        # the sub-domain PolicyKernel.evaluate answers; everything
+        # else falls back here at runtime
+        evaluation=EvalClass.STATIC,
     )

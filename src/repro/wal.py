@@ -328,6 +328,12 @@ def recover(directory: str) -> tuple[Any, dict[str, Any]]:
         replayed += 1
 
     engine = persistence.restore(state)
+    # the decision plane is never persisted (compiled state, not
+    # authority state): recompile from the restored policy so the first
+    # post-recovery check does not pay the build, and surface the cost
+    kernel_us = None
+    if engine.kernel_enabled:
+        kernel_us = engine.kernel().build_ns / 1000
     report = {
         "snapshot_lsn": snapshot_lsn,
         "records": len(records),
@@ -337,6 +343,7 @@ def recover(directory: str) -> tuple[Any, dict[str, Any]]:
         "dropped_bytes": wal_report["dropped_bytes"],
         "clock": engine.clock.now,
         "sessions": len(engine.model.sessions),
+        "kernel_rebuild_us": kernel_us,
     }
     obs = engine.obs
     if obs is not None and obs.enabled:

@@ -152,6 +152,31 @@ class TestMetrics:
         assert "# TYPE" not in json_only and '"series"' in json_only
 
 
+class TestKernel:
+    def test_stats_report(self, policy_file, capsys):
+        import json
+        assert main(["kernel", policy_file(GOOD)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["coverage_gap"] is None
+        assert report["roles"] == 2
+        assert report["static_rules"] >= 1
+        assert report["decisions"] == {"grant": 0, "deny": 0,
+                                       "fallback": 0}
+        assert "stream" not in report
+
+    def test_stream_populates_decision_split(self, policy_file,
+                                             capsys):
+        import json
+        code = main(["kernel", policy_file(GOOD),
+                     "--requests", "200", "--seed", "3"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["stream"]["requests"] == 200
+        answered = (report["decisions"]["grant"]
+                    + report["decisions"]["deny"])
+        assert answered > 0
+
+
 class TestCheckTrace:
     def test_check_trace_prints_probe_spans(self, policy_file, capsys):
         assert main(["check", policy_file(GOOD), "--trace"]) == 0
