@@ -33,6 +33,13 @@ Both kernel verdicts (and their raw numbers) are also written to
 ``--kernel-only`` skips the wrapper-cost legs and runs just the two
 decision-plane comparisons.
 
+Plus one *provenance* comparison (``engine.flight.enabled`` on vs off
+with the kernel path live): the flight-recorder ring append on every
+decision may cost at most 3% (``PROVENANCE_OVERHEAD_BUDGET``) over a
+recorder-free check.  Written to
+``benchmarks/results/BENCH_provenance.json``; ``--provenance-only``
+runs just this leg (the CI gate).
+
 Measurement methodology (shared machines drift by 2-3x mid-run, so a
 naive all-enabled-then-all-disabled comparison measures the load shift,
 not the instrumentation):
@@ -107,6 +114,10 @@ def set_containment(engine, on: bool) -> None:
 
 def set_kernel(engine, on: bool) -> None:
     engine.kernel_enabled = on
+
+
+def set_flight(engine, on: bool) -> None:
+    engine.flight.enabled = on
 
 
 def timed_round(engine, sid, operation, obj, set_state, on: bool) -> float:
@@ -296,11 +307,56 @@ def check_kernel(engine, sid, operation, obj,
     return ok
 
 
+def check_provenance(engine, sid, operation, obj,
+                     budget: float) -> bool:
+    """Flight-recorder on/off on the kernel path + BENCH_provenance.json.
+
+    The kernel fast path is the cheapest check in the system, so the
+    flight-recorder tuple append is proportionally at its worst here —
+    if it fits the budget on this path it fits everywhere.
+    """
+    set_kernel(engine, True)
+    ok = True
+    for attempt, rounds in enumerate((ROUNDS, ROUNDS * 2)):
+        on_us, off_us, overhead = measure_overhead(
+            engine, sid, operation, obj, set_flight, rounds)
+        print(f"B3 checkAccess hot path [flight recorder]: on "
+              f"{on_us:.2f} us/op, off {off_us:.2f} us/op -> overhead "
+              f"{overhead:+.1%} (budget {budget:.0%})")
+        if overhead <= budget:
+            break
+        if attempt == 0:
+            print("over budget; re-measuring with more rounds...")
+    else:
+        print("FAIL: flight-recorder overhead exceeds the provenance "
+              "budget", file=sys.stderr)
+        ok = False
+    result = {
+        "workload": "B3 checkAccess, 100 roles / 100 users, depth 2, "
+                    "kernel path",
+        "checks_per_round": CHECKS,
+        "flight_on_us_per_check": round(on_us, 3),
+        "flight_off_us_per_check": round(off_us, 3),
+        "overhead": round(overhead, 4),
+        "budget": budget,
+        "capacity": engine.flight.capacity,
+        "pass": ok,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_provenance.json"
+    path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    return ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--kernel-only", action="store_true",
                         help="run only the decision-plane comparisons "
                              "(kernel speedup + mutation-round budget)")
+    parser.add_argument("--provenance-only", action="store_true",
+                        help="run only the flight-recorder overhead "
+                             "comparison on the kernel path")
     args = parser.parse_args(argv)
     obs_budget = float(os.environ.get("OBS_OVERHEAD_BUDGET", "0.10"))
     containment_budget = float(
@@ -309,7 +365,17 @@ def main(argv: list[str] | None = None) -> int:
     speedup_min = float(os.environ.get("KERNEL_SPEEDUP_MIN", "2.0"))
     mutation_budget = float(
         os.environ.get("KERNEL_MUTATION_OVERHEAD_BUDGET", "0.05"))
+    provenance_budget = float(
+        os.environ.get("PROVENANCE_OVERHEAD_BUDGET", "0.03"))
     engine, sid, operation, obj = build_engine()
+
+    if args.provenance_only:
+        engine.obs.enabled = True
+        ok = check_provenance(engine, sid, operation, obj,
+                              provenance_budget)
+        if ok:
+            print("OK")
+        return 0 if ok else 1
 
     if args.kernel_only:
         engine.obs.enabled = True
@@ -364,6 +430,11 @@ def main(argv: list[str] | None = None) -> int:
     engine.obs.enabled = True
     if not check_kernel(engine, sid, operation, obj,
                         speedup_min, mutation_budget):
+        ok = False
+
+    engine.obs.enabled = True
+    if not check_provenance(engine, sid, operation, obj,
+                            provenance_budget):
         ok = False
 
     if ok:

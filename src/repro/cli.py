@@ -11,6 +11,9 @@ Usage (also via ``python -m repro``)::
     repro-rbac health policy.rbac [--chaos-seed N]  # degradation summary
     repro-rbac recover state-dir/           # snapshot + WAL replay
     repro-rbac kernel policy.rbac           # compiled decision plane stats
+    repro-rbac explain policy.rbac USER OPERATION OBJECT  # derivation
+    repro-rbac flightrec policy.rbac        # drive + dump flight recorder
+    repro-rbac obs top policy.rbac          # hottest / slowest rules
 
 ``--trace`` turns on the structured tracer and prints span trees for
 denied operations ("explain why this request was denied"); ``metrics``
@@ -314,10 +317,134 @@ def cmd_kernel(args: argparse.Namespace) -> int:
         path: decisions.labels(path).value
         for path in ("grant", "deny", "fallback")
     }
+    # the fallback-reason taxonomy split (cumulative across recompiles,
+    # including engine-level bypasses; kernel.stats()["fallbacks"] is
+    # the per-kernel view of the kernel-internal subset)
+    report["fallback_reasons"] = {
+        labels["reason"]: child.value
+        for labels, child in engine.obs.kernel_fallbacks.series()
+    }
     if stream is not None:
         report["stream"] = stream
     print(_json.dumps(report, indent=2, sort_keys=True))
     return 1 if report["coverage_gap"] else 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Explain one access decision: build the engine, stand up a
+    session for the user (activating ``--roles``, default: every
+    assigned role, best-effort), and print the derivation —
+    permission → role → hierarchy chain, context gates, privacy,
+    serving path and fallback reason.  Exit status mirrors the
+    verdict: 0 granted, 1 denied.
+    """
+    import json as _json
+
+    spec = _load(args.policy)
+    engine = ActiveRBACEngine(spec)
+    if args.user not in engine.model.users:
+        print(f"error: unknown user {args.user!r}", file=sys.stderr)
+        return 2
+    sid = engine.create_session(args.user)
+    roles = (args.roles.split(",") if args.roles
+             else sorted(engine.model.assigned_roles(args.user)))
+    skipped = []
+    for role in roles:
+        try:
+            engine.add_active_role(sid, role.strip())
+        except ReproError as exc:
+            skipped.append((role.strip(), type(exc).__name__))
+    explanation = engine.explain(sid, args.operation, args.object,
+                                 purpose=args.purpose)
+    if args.json:
+        payload = explanation.to_dict()
+        if skipped:
+            payload["activation_skipped"] = [
+                {"role": role, "error": error} for role, error in skipped]
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(explanation.describe())
+        for role, error in skipped:
+            print(f"  (could not activate {role}: {error})")
+    return 0 if explanation.allowed else 1
+
+
+def cmd_flightrec(args: argparse.Namespace) -> int:
+    """Drive the simulated stream with the flight recorder on, then
+    dump the ring (JSON file + audit entry) and print a summary: the
+    kernel/interpreted decision split, the fallback-reason taxonomy,
+    and the most recent records.
+    """
+    import json as _json
+
+    from repro.obs import FlightRecorder
+
+    spec = _load(args.policy)
+    engine = ActiveRBACEngine(spec)
+    if args.capacity:
+        engine.flight = FlightRecorder(capacity=args.capacity)
+    allowed, denied, errors = _drive_stream(engine, spec,
+                                            args.requests, args.seed)
+    path = engine.dump_flight("cli.flightrec", directory=args.out)
+    records = engine.flight.snapshot()
+    by_path: dict[str, int] = {}
+    firings = 0
+    for record in records:
+        if record["kind"] == "decision":
+            by_path[record["path"]] = by_path.get(record["path"], 0) + 1
+        else:
+            firings += 1
+    summary = {
+        "stream": {"requests": args.requests, "allowed": allowed,
+                   "denied": denied, "rejected_with_error": errors},
+        "recorded": {"entries": len(records),
+                     "total_seen": engine.flight.seq,
+                     "capacity": engine.flight.capacity,
+                     "decisions_by_path": by_path,
+                     "rule_firings": firings},
+        "fallback_reasons": {
+            labels["reason"]: child.value
+            for labels, child in engine.obs.kernel_fallbacks.series()},
+        "dump": path,
+    }
+    print(_json.dumps(summary, indent=2, sort_keys=True))
+    if args.tail:
+        print(f"--- last {args.tail} records ---")
+        for record in engine.flight.tail(args.tail):
+            print(_json.dumps(record, sort_keys=True))
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """``obs top``: hottest rules by firing count and slowest rules by
+    latency p99, from the metrics registry after driving the simulated
+    stream.  Timing sampling is forced to every firing (which also
+    routes checks through the interpreted pipeline) so the latency
+    histograms cover every rule that fired.
+    """
+    spec = _load(args.policy)
+    engine = ActiveRBACEngine(spec)
+    engine.obs.set_timing_interval(1)  # full-fidelity rule timing
+    _drive_stream(engine, spec, args.requests, args.seed)
+
+    hottest = sorted(
+        ((rule.name, rule.then_count + rule.else_count)
+         for rule in engine.rules),
+        key=lambda row: -row[1])[:args.top]
+    print(f"hottest rules by firings (top {args.top}):")
+    for name, count in hottest:
+        if not count:
+            break
+        print(f"  {count:8d}  {name}")
+
+    print(f"slowest rules by p99 latency (top {args.top}, "
+          f"bucket-resolution):")
+    for name, samples, cond_p99, act_p99 in \
+            engine.obs.rule_latency_profile(args.top):
+        print(f"  cond {cond_p99 / 1000:8.1f} us  "
+              f"action {act_p99 / 1000:8.1f} us  "
+              f"({samples} samples)  {name}")
+    return 0
 
 
 def cmd_hygiene(args: argparse.Namespace) -> int:
@@ -430,6 +557,53 @@ def build_parser() -> argparse.ArgumentParser:
                              "populated (default: 0 = skip)")
     kernel.add_argument("--seed", type=int, default=7)
     kernel.set_defaults(fn=cmd_kernel)
+
+    explain = sub.add_parser(
+        "explain", help="explain one access decision: the permission "
+                        "derivation, serving path, and deny cause "
+                        "(exit 1 when denied)")
+    explain.add_argument("policy")
+    explain.add_argument("user")
+    explain.add_argument("operation")
+    explain.add_argument("object")
+    explain.add_argument("--roles",
+                         help="comma-separated roles to activate "
+                              "(default: every assigned role)")
+    explain.add_argument("--purpose", default=None,
+                         help="access purpose for privacy-extended "
+                              "policies")
+    explain.add_argument("--json", action="store_true",
+                         help="machine-readable derivation instead of "
+                              "the narrative form")
+    explain.set_defaults(fn=cmd_explain)
+
+    flightrec = sub.add_parser(
+        "flightrec", help="drive the simulated stream, dump the "
+                          "flight-recorder ring, and print the "
+                          "decision-path / fallback-reason split")
+    flightrec.add_argument("policy")
+    flightrec.add_argument("--requests", type=int, default=1000)
+    flightrec.add_argument("--seed", type=int, default=7)
+    flightrec.add_argument("--capacity", type=int, default=0,
+                           help="override the ring capacity "
+                                "(default: keep the engine's)")
+    flightrec.add_argument("--out", default=None,
+                           help="directory for the dump file "
+                                "(default: a fresh temp directory)")
+    flightrec.add_argument("--tail", type=int, default=0,
+                           help="also print the last N records")
+    flightrec.set_defaults(fn=cmd_flightrec)
+
+    obs = sub.add_parser(
+        "obs", help="observability reports over the simulated stream")
+    obs_sub = obs.add_subparsers(dest="report", required=True)
+    obs_top = obs_sub.add_parser(
+        "top", help="hottest rules by firings, slowest by p99 latency")
+    obs_top.add_argument("policy")
+    obs_top.add_argument("--requests", type=int, default=1000)
+    obs_top.add_argument("--seed", type=int, default=7)
+    obs_top.add_argument("--top", type=int, default=10)
+    obs_top.set_defaults(fn=cmd_obs)
 
     hygiene = sub.add_parser(
         "hygiene", help="staleness/redundancy report, optional "

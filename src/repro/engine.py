@@ -47,7 +47,7 @@ from repro.events.detector import EventDetector
 from repro.extensions.context import ContextProvider
 from repro.extensions.privacy import PrivacyRegistry
 from repro.kernel import KERNEL_GRANT, PolicyKernel
-from repro.obs import ObsHub
+from repro.obs import FlightRecorder, ObsHub
 from repro.policy.spec import PolicySpec, build_model
 from repro.rules.manager import RuleManager
 from repro.rules.rule import RuleOutcome
@@ -118,6 +118,11 @@ class ActiveRBACEngine(EnforcementHelpers):
         #: compiled lazily (see :meth:`kernel`), never persisted.
         self.kernel_enabled = True
         self._kernel = None
+        #: decision provenance: an always-on ring of the most recent
+        #: decisions and rule firings, auto-dumped on quarantine trips,
+        #: security lockouts and WAL recovery (see
+        #: :mod:`repro.obs.provenance` and :meth:`dump_flight`)
+        self.flight = FlightRecorder()
         self.context.attach(self.detector)
         self.privacy = PrivacyRegistry()
         self.monitor = ActiveSecurityMonitor(self)
@@ -508,7 +513,10 @@ class ActiveRBACEngine(EnforcementHelpers):
                                 virtual_budget=self.check_deadline)
         obs = self.obs
         observers = self.rules._observers
-        if (self.kernel_enabled and deadline is None
+        fallback_reason = None
+        if not self.kernel_enabled:
+            fallback_reason = "disabled"
+        elif (deadline is None
                 # full-fidelity diagnostics (trace spans, time-every-
                 # firing sampling) need the interpreted pipeline
                 and not (obs.enabled and (obs.tracer.enabled
@@ -525,11 +533,23 @@ class ActiveRBACEngine(EnforcementHelpers):
                     kernel, verdict == KERNEL_GRANT, session_id,
                     operation, obj, user)
                 return
+            fallback_reason = kernel.last_fallback
             if obs.enabled:
                 obs._kernel_fallback._value += 1
+        elif deadline is not None:
+            # pre-consult bypasses, classified for the reason taxonomy
+            fallback_reason = "deadline"
+        elif obs.enabled and (obs.tracer.enabled
+                              or obs.timing_interval == 1):
+            fallback_reason = "diagnostics"
+        else:
+            fallback_reason = "observers"
+        if obs.enabled:
+            obs.kernel_fallback(fallback_reason)
         previous = self._decision
         previous_deadline = self.rules.deadline
         granted = False
+        denial = None
         start = time.perf_counter_ns()
         try:
             # the decision slot and dispatch deadline are armed inside
@@ -554,14 +574,33 @@ class ActiveRBACEngine(EnforcementHelpers):
                     "Permission Denied (no rule granted the request)"
                 )
         except DeadlineExceeded as exc:
+            denial = exc
             self.obs.deadline_hit(exc.reason)
             self.audit.record("deadline.exceeded", operation=operation,
                               object=obj, session=session_id,
                               reason=exc.reason)
             raise
+        except ReproError as exc:
+            denial = exc  # captured for the flight-recorder entry
+            raise
         finally:
             self._decision = previous
             self.rules.deadline = previous_deadline
+            flight = self.flight
+            if flight.enabled:
+                cause = None
+                if denial is not None:
+                    cause = type(denial).__name__
+                    detail = getattr(denial, "reason", None)
+                    if detail:
+                        cause = f"{cause}:{detail}"
+                seq = flight._seq = flight._seq + 1
+                flight._buf[seq % flight.capacity] = (
+                    "decision", seq, self.clock.now, "interpreted",
+                    session_id, user, operation, obj,
+                    "grant" if granted else "deny",
+                    getattr(denial, "rule", None), fallback_reason,
+                    cause)
             self.obs.access_decision(granted,
                                      time.perf_counter_ns() - start)
 
@@ -596,6 +635,49 @@ class ActiveRBACEngine(EnforcementHelpers):
         """
         self._kernel = None
 
+    # ======================================================================
+    # decision provenance (explain API + flight recorder)
+    # ======================================================================
+
+    def explain(self, session_id: str, operation: str, obj: str,
+                purpose: str | None = None):
+        """Re-run one access decision in explanation mode (read-only).
+
+        Returns a :class:`~repro.obs.provenance.DecisionExplanation`
+        whose verdict matches what :meth:`require_access` would decide
+        right now, with the full derivation: the path that would serve
+        the request (kernel or interpreted, with the fallback-reason
+        taxonomy), the permission → role → hierarchy-edge chain
+        reconstructed from the kernel's interning tables, context
+        gates, privacy compliance, and the first deny cause in the CA
+        rule's clause order.  No events fire, no audit records are
+        written, and no decision counters move.
+        """
+        from repro.obs.provenance import explain_decision
+        return explain_decision(self, session_id, operation, obj,
+                                purpose=purpose)
+
+    def dump_flight(self, cause: str,
+                    directory: str | None = None) -> str | None:
+        """Dump the flight recorder: JSON file + audit entry.
+
+        Called automatically on quarantine trips, security lockouts
+        and WAL recovery; safe to call manually.  Returns the dump
+        path, or None when the recorder is disabled or the write
+        failed (a forensics dump must never take enforcement down).
+        """
+        flight = self.flight
+        if not flight.enabled:
+            return None
+        try:
+            path = flight.dump(cause, directory,
+                               context={"health": self.health()})
+        except OSError:
+            return None
+        self.audit.record("flightrec.dump", cause=cause, path=path,
+                          records=len(flight), seq=flight.seq)
+        return path
+
     def _commit_kernel_decision(self, kernel: "PolicyKernel", granted: bool,
                                 session_id: str, operation: str, obj: str,
                                 user: str | None) -> None:
@@ -626,6 +708,17 @@ class ActiveRBACEngine(EnforcementHelpers):
                 pair[1]._value += 1
                 obs._cascade_shallow += 1
             ca.fired_count += 1
+            flight = self.flight
+            if flight.enabled:
+                # provenance: inlined FlightRecorder.note_decision —
+                # this is the kernel hot path, bounded <3% by the
+                # smoke job's provenance budget
+                seq = flight._seq = flight._seq + 1
+                flight._buf[seq % flight.capacity] = (
+                    "decision", seq, self.clock.now, "kernel",
+                    session_id, user, operation, obj,
+                    "grant" if granted else "deny", ca.name, None,
+                    None if granted else "OperationDenied")
             if granted:
                 ca.then_count += 1
                 if obs.enabled:
@@ -793,6 +886,8 @@ class ActiveRBACEngine(EnforcementHelpers):
         wal = self.wal
         if wal is not None:
             wal.log("user.lock", user=user)
+        # a lockout is a health-degradation event: preserve the run-up
+        self.dump_flight(f"security.lockout.{user}")
 
     def unlock_user(self, user: str) -> None:
         self.locked_users.discard(user)
@@ -806,6 +901,14 @@ class ActiveRBACEngine(EnforcementHelpers):
     # ======================================================================
 
     def _record_rule_firing(self, rule, occurrence, outcome, error) -> None:
+        flight = self.flight
+        if flight.enabled:
+            seq = flight._seq = flight._seq + 1
+            flight._buf[seq % flight.capacity] = (
+                "firing", seq, self.clock.now, rule.name,
+                occurrence.event,
+                outcome.value if outcome is not None else "error",
+                type(error).__name__ if error is not None else None)
         if outcome is RuleOutcome.ELSE or error is not None:
             self.audit.record(
                 "rule.else", rule=rule.name, event=occurrence.event,
@@ -846,6 +949,7 @@ class ActiveRBACEngine(EnforcementHelpers):
                        else "cold" if self._kernel is None
                        else "fresh" if self._kernel.fresh(self)
                        else "stale"),
+            "flightrec_dumps": self.flight.dumps,
         }
 
     def stats(self) -> dict[str, int | float]:

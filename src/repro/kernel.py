@@ -56,10 +56,14 @@ KERNEL_DENY = 0
 KERNEL_FALLBACK = -1
 
 #: evaluate() reasons a decision could not be compiled away, keyed for
-#: the stats()/CLI surface (monotonic per-kernel tallies)
+#: the stats()/CLI surface (monotonic per-kernel tallies).  These are
+#: the kernel-internal subset of the full provenance taxonomy
+#: (:data:`repro.obs.provenance.FALLBACK_REASONS`), which adds the
+#: engine-level bypass reasons classified before the kernel is
+#: consulted (deadline, diagnostics, observers, disabled).
 _FALLBACK_KEYS = (
-    "coverage", "rule_state", "unknown_entity", "context_role",
-    "privacy", "stale_privacy",
+    "coverage", "quarantine", "instrumented", "unknown_entity",
+    "context_role", "privacy", "stale_privacy",
 )
 
 
@@ -80,7 +84,7 @@ class PolicyKernel:
         "role_names", "juniors_mask", "seniors_mask", "grant_masks",
         "context_roles_mask", "regulated_objects", "privacy_len",
         "ssd_conflicts", "dispatch", "static_rules", "dynamic_rules",
-        "coverage_gap", "build_ns", "fallbacks",
+        "coverage_gap", "build_ns", "fallbacks", "last_fallback",
         "_ca", "_ca_conditions", "_ca_actions", "_ca_alt_actions",
         "_node", "_sessions", "_grant_by_role",
     )
@@ -189,6 +193,10 @@ class PolicyKernel:
         self.coverage_gap = self._check_coverage(engine)
 
         self.fallbacks = dict.fromkeys(_FALLBACK_KEYS, 0)
+        #: reason of the most recent KERNEL_FALLBACK verdict; the
+        #: engine reads it right after evaluate() to label the
+        #: fallback-reason counter and the flight-recorder entry
+        self.last_fallback: str | None = None
         self.build_ns = time.perf_counter_ns() - start
 
     # -- compilation helpers ----------------------------------------------
@@ -262,17 +270,22 @@ class PolicyKernel:
         ca = self._ca
         if ca is None:
             self.fallbacks["coverage"] += 1
+            self.last_fallback = "coverage"
             return KERNEL_FALLBACK
         # Live rule state: quarantine/disable flips without a version
         # bump mid-dispatch are impossible (quarantine bumps version),
         # but the fault-injection harness *instruments* clauses by
         # reassigning the tuples — identity tells us the rule no longer
         # does what we compiled.
-        if (not ca.enabled or ca.quarantined
-                or ca.conditions is not self._ca_conditions
+        if not ca.enabled or ca.quarantined:
+            self.fallbacks["quarantine"] += 1
+            self.last_fallback = "quarantine"
+            return KERNEL_FALLBACK
+        if (ca.conditions is not self._ca_conditions
                 or ca.actions is not self._ca_actions
                 or ca.alt_actions is not self._ca_alt_actions):
-            self.fallbacks["rule_state"] += 1
+            self.fallbacks["instrumented"] += 1
+            self.last_fallback = "instrumented"
             return KERNEL_FALLBACK
 
         session = self._sessions.get(session_id)
@@ -290,6 +303,7 @@ class PolicyKernel:
             if any(p.operation == operation and p.obj == obj
                    for p in self.engine.model.permissions):
                 self.fallbacks["unknown_entity"] += 1
+                self.last_fallback = "unknown_entity"
                 return KERNEL_FALLBACK
             return KERNEL_DENY
 
@@ -303,6 +317,7 @@ class PolicyKernel:
             if mask is None:
                 # role created after compile: stale view
                 self.fallbacks["unknown_entity"] += 1
+                self.last_fallback = "unknown_entity"
                 return KERNEL_FALLBACK
             if mask & bit:
                 if ctx_mask and (1 << self.role_ids[role]) & ctx_mask:
@@ -315,16 +330,35 @@ class PolicyKernel:
         if granted:
             if len(self.engine.privacy._policies) != self.privacy_len:
                 self.fallbacks["stale_privacy"] += 1
+                self.last_fallback = "stale_privacy"
                 return KERNEL_FALLBACK
             if obj in self.regulated_objects:
                 # purpose compliance + obligations are interpreted
                 self.fallbacks["privacy"] += 1
+                self.last_fallback = "privacy"
                 return KERNEL_FALLBACK
             return KERNEL_GRANT
         if saw_dynamic:
             self.fallbacks["context_role"] += 1
+            self.last_fallback = "context_role"
             return KERNEL_FALLBACK
         return KERNEL_DENY
+
+    def probe(self, session_id: str, operation: str,
+              obj: str) -> tuple[int, str | None]:
+        """Tally-free :meth:`evaluate` for explanation mode.
+
+        Returns ``(verdict, fallback_reason)`` without perturbing the
+        per-kernel fallback tallies, so ``engine.explain`` never skews
+        the stats()/CLI surface.
+        """
+        before = dict(self.fallbacks)
+        previous = self.last_fallback
+        verdict = self.evaluate(session_id, operation, obj)
+        reason = self.last_fallback if verdict == KERNEL_FALLBACK else None
+        self.fallbacks.update(before)  # same keys: in-place restore
+        self.last_fallback = previous
+        return verdict, reason
 
     # -- static analysis / introspection -----------------------------------
 

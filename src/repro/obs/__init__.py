@@ -7,7 +7,11 @@ Three pillars (see docs/ARCHITECTURE.md, Observability):
 * :mod:`repro.obs.trace` — structured span trees over the event→rule
   cascade ("explain why this request was denied");
 * :mod:`repro.obs.profile` — a :class:`Profiler` context manager the
-  benchmarks wrap around hot loops.
+  benchmarks wrap around hot loops;
+* :mod:`repro.obs.provenance` — decision provenance: the fallback-
+  reason taxonomy, the always-on :class:`FlightRecorder` ring of
+  recent decisions/firings, and ``engine.explain``'s derivation
+  builder.
 
 :class:`~repro.obs.hub.ObsHub` bundles a registry and a tracer and is
 what the engine wires through the pipeline's hook points.
@@ -23,12 +27,21 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.profile import Profiler
+from repro.obs.provenance import (
+    FALLBACK_REASONS,
+    DecisionExplanation,
+    FlightRecorder,
+    explain_decision,
+)
 from repro.obs.trace import Span, Tracer
 
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS_NS",
     "DEPTH_BUCKETS",
+    "DecisionExplanation",
+    "FALLBACK_REASONS",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -36,4 +49,5 @@ __all__ = [
     "Profiler",
     "Span",
     "Tracer",
+    "explain_decision",
 ]

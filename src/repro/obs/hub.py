@@ -152,6 +152,12 @@ class ObsHub:
             "checkAccess decisions by kernel path "
             "(grant/deny answered compiled; fallback ran interpreted)",
             ("path",))
+        self.kernel_fallbacks = m.counter(
+            "repro_kernel_fallback_reasons_total",
+            "checkAccess decisions the compiled kernel did not answer, "
+            "by provenance taxonomy reason (kernel-internal punts plus "
+            "engine-level bypasses; see repro.obs.provenance)",
+            ("reason",))
         self.hierarchy_invalidations = m.counter(
             "repro_hierarchy_closure_invalidations_total",
             "role-hierarchy closure-cache entries dropped by targeted "
@@ -166,6 +172,7 @@ class ObsHub:
         self._timing_cache: dict = {}
         self._error_cache: dict = {}
         self._wal_append_cache: dict = {}
+        self._fallback_reason_cache: dict = {}
         self._grant_count = self.decisions.labels("grant")
         self._deny_count = self.decisions.labels("deny")
         self._grant_ns = self.decision_ns.labels("grant")
@@ -340,6 +347,18 @@ class ObsHub:
             h._counts[bisect_left(h.bounds, elapsed_ns)] += 1
             h._sum += elapsed_ns
 
+    def kernel_fallback(self, reason: str) -> None:
+        """Count one check the kernel did not answer, by taxonomy
+        reason.  Child-cached: the engine bumps this on every fallback
+        and every pre-consult bypass, which can be the per-check steady
+        state (deadline budgets, kernel disabled)."""
+        if self.enabled:
+            child = self._fallback_reason_cache.get(reason)
+            if child is None:
+                child = self._fallback_reason_cache[reason] = \
+                    self.kernel_fallbacks.labels(reason)
+            child._value += 1
+
     def kernel_built(self, reason: str, elapsed_ns: int) -> None:
         """Count one PolicyKernel compilation and its latency.  Cold
         path: builds happen once per policy epoch, not per check."""
@@ -468,4 +487,26 @@ class ObsHub:
         rows = [(rule, firings.get(rule, 0), totals[rule] / 1000)
                 for rule in totals]
         rows.sort(key=lambda row: -row[2])
+        return rows[:top]
+
+    def rule_latency_profile(self, top: int = 10,
+                             q: float = 0.99
+                             ) -> list[tuple[str, int, float, float]]:
+        """The ``top`` slowest rules by latency quantile:
+        ``(rule, samples, cond_p99_ns, action_p99_ns)`` rows, ordered
+        by the worse of the two clause quantiles (bucket-resolution
+        estimates; see :meth:`Histogram.quantile`)."""
+        per_rule: dict[str, list] = {}
+        for index, hist in ((0, self.condition_ns),
+                            (1, self.action_ns)):
+            for labels, series in hist.series():
+                if not series.count:
+                    continue
+                rule = labels.get("rule", "?")
+                entry = per_rule.setdefault(rule, [0, 0.0, 0.0])
+                entry[0] = max(entry[0], series.count)
+                entry[1 + index] = series.quantile(q)
+        rows = [(rule, entry[0], entry[1], entry[2])
+                for rule, entry in per_rule.items()]
+        rows.sort(key=lambda row: -max(row[2], row[3]))
         return rows[:top]

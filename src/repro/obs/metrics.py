@@ -252,7 +252,12 @@ class Histogram(_Metric):
 
     def quantile(self, q: float) -> float:
         """Bucket-resolution quantile estimate (upper bound of the
-        bucket holding the q-th observation); 0 when empty."""
+        bucket holding the q-th observation); 0 when empty.
+
+        When the q-th observation sits in the ``+Inf`` overflow bucket
+        the highest *finite* bound is returned — the same clamp
+        Prometheus's ``histogram_quantile`` applies, so consumers
+        ranking by p99 never compare infinities."""
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be within [0, 1]")
         count = sum(self._counts)
@@ -264,7 +269,8 @@ class Histogram(_Metric):
             running += n
             if running >= rank:
                 return bound
-        return float("inf")  # q-th observation is in the overflow bucket
+        # q-th observation is in the overflow bucket: clamp
+        return self.bounds[-1] if self.bounds else float("inf")
 
     def _reset_values(self) -> None:
         self._counts = [0] * (len(self.bounds) + 1)

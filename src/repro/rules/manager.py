@@ -292,6 +292,11 @@ class RuleManager:
         wal = getattr(self.engine, "wal", None)
         if wal is not None:
             wal.log("rule.quarantine", rule=name, reason=reason)
+        # a quarantine trip is the flight recorder's marquee trigger:
+        # dump the run-up (the faulting firings are still in the ring)
+        dump_flight = getattr(self.engine, "dump_flight", None)
+        if dump_flight is not None:
+            dump_flight(f"rule.quarantine.{name}")
         rearm_after = self.failure_policy.rearm_after
         if rearm_after is not None:
             epoch = rule.quarantine_epoch

@@ -349,6 +349,11 @@ def recover(directory: str) -> tuple[Any, dict[str, Any]]:
     if obs is not None and obs.enabled:
         obs.wal_recovered(replayed, torn=wal_report["torn"])
     engine.audit.record("wal.recover", **report)
+    # forensics: leave a flight-recorder dump next to the state it was
+    # recovered from (the ring holds only the recovery-time view, but
+    # the dump's health/report context records what replay found)
+    report["flightrec"] = engine.dump_flight("wal.recover",
+                                             directory=directory)
     return engine, report
 
 

@@ -214,6 +214,117 @@ def test_kernel_agrees_on_dynamic_features(stream_seed):
     assert traces[0] == traces[1]
 
 
+def explain_sweep(engine, spec, seed, count=40, purposes=(None,)):
+    """For random (session, operation, object, purpose) probes assert
+    ``engine.explain`` predicts exactly what the live check decides —
+    explain first (it must be read-only), live check second."""
+    rng = random.Random(seed)
+    sessions = sorted(engine.model.sessions) or ["no-such-session"]
+    perms = spec.permissions or [("op0", "obj0")]
+    for _ in range(count):
+        sid = rng.choice(sessions)
+        operation, obj = rng.choice(perms)
+        purpose = rng.choice(purposes)
+        explanation = engine.explain(sid, operation, obj,
+                                     purpose=purpose)
+        try:
+            live = engine.check_access(sid, operation, obj,
+                                       purpose=purpose)
+        except ReproError:
+            live = False
+        assert explanation.allowed == live, (
+            f"explain said {explanation.allowed} "
+            f"({explanation.deny_cause}) but the live check said "
+            f"{live} for {sid}/{operation}/{obj}/{purpose}")
+        assert (explanation.to_dict()["verdict"]
+                == ("grant" if live else "deny"))
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(shape_seed=st.integers(0, 10_000),
+       stream_seed=st.integers(0, 10_000),
+       kernel_on=st.booleans())
+def test_explain_matches_live_verdict(shape_seed, stream_seed,
+                                      kernel_on):
+    """``engine.explain`` predicts the live verdict on both serving
+    paths, across random policies and post-mutation states."""
+    spec = generate_enterprise(EnterpriseShape(
+        roles=12, users=8, tree_fanout=3, tree_depth=2,
+        operations=2, objects=6, grants_per_role=2,
+        ssd_sets=1, dsd_sets=1, seed=shape_seed))
+    engine = ActiveRBACEngine(spec)
+    engine.kernel_enabled = kernel_on
+    run_stream(engine, spec, stream_seed, length=90)
+    explain_sweep(engine, spec, stream_seed)
+    # unknown entities must also agree (deny on both sides)
+    explanation = engine.explain("no-such-session", "nope", "nothing")
+    assert not explanation.allowed
+    assert explanation.deny_cause == "unknown session"
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(stream_seed=st.integers(0, 10_000))
+def test_explain_matches_on_dynamic_features(stream_seed):
+    """Context-gated roles and privacy purposes: the explanation must
+    track the context registry and purpose tree, not just the grants."""
+    from repro.policy import parse_policy
+    spec = parse_policy("""
+    policy aware {
+      role Field; role Desk;
+      user u0; user u1;
+      assign u0 to Field; assign u1 to Desk;
+      permission read on secret; permission read on public;
+      grant read on secret to Field;
+      grant read on public to Desk;
+      context Field requires network == "secure" for access;
+      purpose ops; purpose audit under ops;
+      object_policy read on secret for ops;
+    }
+    """)
+    engine = ActiveRBACEngine(spec)
+    rng = random.Random(stream_seed)
+    sessions: list[str] = []
+    for step in range(40):
+        draw = rng.random()
+        if draw < 0.2:
+            engine.context.set("network",
+                               rng.choice(["secure", "insecure"]))
+        elif draw < 0.45 or not sessions:
+            sid = f"s{step}"
+            outcome_of(lambda: engine.create_session(
+                rng.choice(["u0", "u1"]), session_id=sid))
+            if sid in engine.model.sessions:
+                sessions.append(sid)
+        else:
+            outcome_of(lambda: engine.add_active_role(
+                rng.choice(sessions), rng.choice(["Field", "Desk"])))
+    explain_sweep(engine, spec, stream_seed,
+                  purposes=(None, "ops", "audit", "marketing"))
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(shape_seed=st.integers(0, 10_000),
+       stream_seed=st.integers(0, 10_000))
+def test_explain_matches_after_wal_recovery(shape_seed, stream_seed):
+    """A recovered engine's explanations must track its replayed state."""
+    from repro import wal as wal_mod
+
+    spec = generate_enterprise(EnterpriseShape(
+        roles=8, users=6, tree_fanout=3, tree_depth=2,
+        operations=2, objects=4, grants_per_role=2,
+        ssd_sets=1, dsd_sets=0, seed=shape_seed))
+    with tempfile.TemporaryDirectory() as directory:
+        engine = ActiveRBACEngine(spec)
+        durability = wal_mod.Durability(engine, directory)
+        run_stream(engine, spec, stream_seed, length=50)
+        durability.wal.sync()
+        recovered, _report = wal_mod.recover(directory)
+        explain_sweep(recovered, spec, stream_seed)
+
+
 @settings(max_examples=6, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(shape_seed=st.integers(0, 10_000),

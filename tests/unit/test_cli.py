@@ -177,6 +177,87 @@ class TestKernel:
         assert answered > 0
 
 
+class TestExplain:
+    def test_grant_narrative_and_exit_zero(self, policy_file, capsys):
+        code = main(["explain", policy_file(GOOD), "u", "read", "doc"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GRANT read on doc" in out
+        assert "permission via A > B" in out
+
+    def test_deny_exit_one_with_cause(self, policy_file, capsys):
+        code = main(["explain", policy_file(GOOD), "u", "read",
+                     "nothing"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "DENY read on nothing" in out
+        assert "deny cause: unknown object" in out
+
+    def test_json_payload(self, policy_file, capsys):
+        import json
+        code = main(["explain", policy_file(GOOD), "u", "read", "doc",
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "grant"
+        assert payload["path"] == "kernel"
+        assert payload["roles"][0]["hierarchy_path"] == ["A", "B"]
+
+    def test_roles_flag_limits_activation(self, policy_file, capsys):
+        # activating only B: read on doc still granted (direct grant)
+        code = main(["explain", policy_file(GOOD), "u", "read", "doc",
+                     "--roles", "B"])
+        assert code == 0
+        assert "role B" in capsys.readouterr().out
+
+    def test_unknown_user_exit_two(self, policy_file, capsys):
+        code = main(["explain", policy_file(GOOD), "ghost", "read",
+                     "doc"])
+        assert code == 2
+        assert "unknown user" in capsys.readouterr().err
+
+
+class TestFlightrec:
+    def test_drive_and_dump(self, policy_file, tmp_path, capsys):
+        import json
+        out_dir = tmp_path / "dumps"
+        code = main(["flightrec", policy_file(GOOD),
+                     "--requests", "100", "--out", str(out_dir),
+                     "--tail", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        summary = json.loads(out.split("--- last")[0])
+        assert summary["stream"]["requests"] == 100
+        assert summary["recorded"]["total_seen"] > 0
+        assert summary["dump"].startswith(str(out_dir))
+        dumped = json.loads(open(summary["dump"]).read())
+        assert dumped["cause"] == "cli.flightrec"
+        assert dumped["records"]
+
+    def test_capacity_override(self, policy_file, capsys):
+        import json
+        code = main(["flightrec", policy_file(GOOD),
+                     "--requests", "200", "--capacity", "16"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["recorded"]["capacity"] == 16
+        assert summary["recorded"]["entries"] <= 16
+        assert summary["recorded"]["total_seen"] \
+            >= summary["recorded"]["entries"]
+
+
+class TestObsTop:
+    def test_top_lists_hot_and_slow_rules(self, policy_file, capsys):
+        code = main(["obs", "top", policy_file(GOOD),
+                     "--requests", "300", "--top", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hottest rules by firings" in out
+        assert "slowest rules by p99 latency" in out
+        assert "CA.checkAccess" in out
+        assert "samples" in out
+
+
 class TestCheckTrace:
     def test_check_trace_prints_probe_spans(self, policy_file, capsys):
         assert main(["check", policy_file(GOOD), "--trace"]) == 0

@@ -89,7 +89,7 @@ class TestCompile:
         assert stats["static_rules"] >= 1
         assert stats["build_us"] > 0
         assert set(stats["fallbacks"]) == {
-            "coverage", "rule_state", "unknown_entity",
+            "coverage", "quarantine", "instrumented", "unknown_entity",
             "context_role", "privacy", "stale_privacy"}
 
 
@@ -118,7 +118,8 @@ class TestEvaluate:
         kernel._ca.quarantined = True
         try:
             assert kernel.evaluate(sid, "read", "memo") == KERNEL_FALLBACK
-            assert kernel.fallbacks["rule_state"] == 1
+            assert kernel.fallbacks["quarantine"] == 1
+            assert kernel.last_fallback == "quarantine"
         finally:
             kernel._ca.quarantined = False
 
@@ -130,7 +131,8 @@ class TestEvaluate:
         ca.actions = tuple(ca.actions)  # new object, same behavior
         try:
             assert kernel.evaluate(sid, "read", "memo") == KERNEL_FALLBACK
-            assert kernel.fallbacks["rule_state"] == 1
+            assert kernel.fallbacks["instrumented"] == 1
+            assert kernel.last_fallback == "instrumented"
         finally:
             ca.actions = saved
 

@@ -106,6 +106,53 @@ class TestHistogram:
         assert DEFAULT_LATENCY_BUCKETS_NS[0] == 1_000
         assert DEFAULT_LATENCY_BUCKETS_NS[-1] == 1_000_000_000
 
+    def test_quantile_clamps_to_highest_finite_bound(self):
+        # an overflow-bucket rank reports the highest finite bound, per
+        # Prometheus histogram_quantile convention — never inf, which
+        # would poison downstream arithmetic (p99 dashboards, ratios)
+        h = Histogram("lat_ns", buckets=(10, 100))
+        h.observe(5000)
+        h.observe(9000)
+        assert h.quantile(0.99) == 100
+        assert h.quantile(1.0) == 100
+
+
+class TestHistogramExpositionPin:
+    """Pin the wire formats exactly: cumulative le-buckets ending in
+    ``+Inf`` per Prometheus convention, in both exposition formats.  A
+    scraper-visible format change must show up as a diff here."""
+
+    def _registry(self):
+        r = MetricsRegistry()
+        h = r.histogram("rule_lat_ns", "per-rule latency", ("rule",),
+                        buckets=(10, 100))
+        child = h.labels("a")
+        for value in (5, 50, 5000):
+            child.observe(value)
+        return r
+
+    def test_prometheus_text_is_pinned(self):
+        assert self._registry().render_prometheus() == (
+            "# HELP rule_lat_ns per-rule latency\n"
+            "# TYPE rule_lat_ns histogram\n"
+            'rule_lat_ns_bucket{rule="a",le="10"} 1\n'
+            'rule_lat_ns_bucket{rule="a",le="100"} 2\n'
+            'rule_lat_ns_bucket{rule="a",le="+Inf"} 3\n'
+            'rule_lat_ns_sum{rule="a"} 5055\n'
+            'rule_lat_ns_count{rule="a"} 3\n'
+        )
+
+    def test_json_buckets_are_cumulative_with_inf(self):
+        data = json.loads(self._registry().render_json_text())
+        [series] = data["rule_lat_ns"]["series"]
+        assert series["count"] == 3
+        assert series["sum"] == 5055
+        buckets = series["buckets"]
+        # cumulative counts, monotone, closed by the +Inf bucket
+        assert [b["count"] for b in buckets] == [1, 2, 3]
+        assert [b["le"] for b in buckets][:2] == [10, 100]
+        assert buckets[-1]["le"] in ("+Inf", float("inf"), "inf")
+
 
 class TestRegistry:
     def test_get_or_create_is_idempotent(self):
