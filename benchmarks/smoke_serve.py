@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Service-plane smoke: boot, load, gate, and shut down cleanly.
+
+The CI serve-smoke job runs this script.  It exercises the real
+deployment shape end to end:
+
+1. **boot** — spawn ``repro-rbac serve`` as a subprocess on an
+   ephemeral port (``--port-file`` hands the bound port back), with a
+   2-shard / 10k-user synthetic fleet, WAL durability attached, and a
+   pinned flight-recorder dump directory;
+2. **load** — run the ``loadgen`` CLI against it: a mixed
+   check / batch / explain / metrics / health burst with a
+   control-plane grant every 25th op (mid-run epoch swaps), gated on
+   the p99 budget; the report lands in
+   ``benchmarks/results/BENCH_serve.json``;
+3. **shutdown** — SIGTERM the server and assert the graceful exit
+   contract: exit code 0, a ``shutdown:`` summary on stdout with
+   ``drained: true``, every shard's WAL flushed on disk, and one
+   flight-recorder dump per shard in the pinned directory.
+
+Budgets (override via env for known-noisy runners):
+
+* ``SERVE_P99_BUDGET_MS`` — overall p99 latency budget, default 50;
+* ``SERVE_BOOT_TIMEOUT_S`` — seconds to wait for the port file,
+  default 60.
+
+Exit status 0 when the load gate passes and the shutdown is clean.
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/smoke_serve.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = REPO / "benchmarks" / "results"
+
+SHARDS = 2
+USERS = 10_000
+ROLES = 50
+SEED = 7
+REQUESTS = int(os.environ.get("SERVE_SMOKE_REQUESTS", "3000"))
+LEVELS = os.environ.get("SERVE_SMOKE_LEVELS", "1,8,32")
+ADMIN_EVERY = 25
+P99_BUDGET_MS = float(os.environ.get("SERVE_P99_BUDGET_MS", "150"))
+BOOT_TIMEOUT_S = float(os.environ.get("SERVE_BOOT_TIMEOUT_S", "60"))
+
+
+def fail(message: str) -> "None":
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.cli import main as cli_main
+
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="repro-serve-smoke-"))
+    port_file = workdir / "port.txt"
+    flight_dir = workdir / "flightrec"
+    wal_dir = workdir / "wal"
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--synthetic", str(SHARDS), "--users", str(USERS),
+         "--roles", str(ROLES), "--seed", str(SEED),
+         "--port", "0", "--port-file", str(port_file),
+         "--wal", str(wal_dir), "--flightrec-dir", str(flight_dir),
+         "--drain-grace", "10"],
+        env=env, cwd=REPO, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True)
+    try:
+        deadline = time.monotonic() + BOOT_TIMEOUT_S
+        while not port_file.exists():
+            if server.poll() is not None:
+                print(server.stdout.read())
+                fail(f"server exited {server.returncode} before binding")
+            if time.monotonic() > deadline:
+                fail(f"server did not bind within {BOOT_TIMEOUT_S}s")
+            time.sleep(0.05)
+        port = int(port_file.read_text().strip())
+        print(f"server up on port {port} "
+              f"({SHARDS} shards, {USERS} users)")
+
+        bench_path = RESULTS / "BENCH_serve.json"
+        status = cli_main([
+            "loadgen", "--port", str(port),
+            "--shards", str(SHARDS), "--users", str(USERS),
+            "--roles", str(ROLES), "--seed", str(SEED),
+            "--requests", str(REQUESTS), "--levels", LEVELS,
+            "--admin-every", str(ADMIN_EVERY),
+            "--out", str(bench_path),
+            "--p99-budget-ms", str(P99_BUDGET_MS)])
+        if status != 0:
+            fail(f"loadgen gate failed (exit {status})")
+        report = json.loads(bench_path.read_text())
+        if report["admin_swaps"] < REQUESTS // ADMIN_EVERY // 2:
+            fail(f"expected mid-run epoch swaps, saw "
+                 f"{report['admin_swaps']}")
+
+        server.send_signal(signal.SIGTERM)
+        out, _ = server.communicate(timeout=30)
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.communicate()
+
+    print(out)
+    if server.returncode != 0:
+        fail(f"server exited {server.returncode} on SIGTERM")
+    summary_lines = [line for line in out.splitlines()
+                     if line.startswith("shutdown: ")]
+    if not summary_lines:
+        fail("no shutdown summary on stdout")
+    summary = json.loads(summary_lines[-1].removeprefix("shutdown: "))
+    if not summary["drained"]:
+        fail(f"shutdown did not drain: {summary}")
+    if summary["wal_flushed"] < 0 or len(summary["flight_dumps"]) != SHARDS:
+        fail(f"unexpected shutdown summary: {summary}")
+    dumps = summary["flight_dumps"]
+    if len(set(dumps.values())) != len(dumps):
+        fail(f"shard flight dumps collided: {dumps}")
+    for shard, dump in dumps.items():
+        if not dump or not pathlib.Path(dump).is_file():
+            fail(f"missing flight dump for {shard}: {dump}")
+        if pathlib.Path(dump).parent != flight_dir:
+            fail(f"dump for {shard} landed outside --flightrec-dir: "
+                 f"{dump}")
+    for index in range(SHARDS):
+        wal_file = wal_dir / f"shard{index:02d}" / "wal.log"
+        if not wal_file.exists():
+            fail(f"missing WAL for shard{index:02d}")
+
+    print(f"serve smoke OK: p50 {report['p50_us'] / 1000:.2f} ms, "
+          f"p99 {report['p99_us'] / 1000:.2f} ms "
+          f"(budget {P99_BUDGET_MS} ms), "
+          f"{report['requests']} requests, "
+          f"{report['admin_swaps']} epoch swaps, clean shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,9 @@ Usage (also via ``python -m repro``)::
     repro-rbac explain policy.rbac USER OPERATION OBJECT  # derivation
     repro-rbac flightrec policy.rbac        # drive + dump flight recorder
     repro-rbac obs top policy.rbac          # hottest / slowest rules
+    repro-rbac serve --shard hq=hq.rbac --shard lab=lab.rbac  # HTTP plane
+    repro-rbac serve --synthetic 2 --users 10000    # synthetic fleet
+    repro-rbac loadgen --port-file port.txt --requests 2000  # load harness
 
 ``--trace`` turns on the structured tracer and prints span trees for
 denied operations ("explain why this request was denied"); ``metrics``
@@ -447,6 +450,134 @@ def cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_specs(args: argparse.Namespace) -> dict:
+    """The shard name -> PolicySpec map both service-plane commands
+    build: explicit ``--shard NAME=FILE`` pairs win; otherwise the
+    deterministic synthetic fleet from ``(shards, users, roles, seed)``
+    — the same derivation ``loadgen`` uses, so client and server agree
+    on every name with no coordination."""
+    specs = {}
+    for item in getattr(args, "shard", None) or []:
+        name, sep, path = item.partition("=")
+        if not sep or not name:
+            print(f"error: --shard expects NAME=FILE, got {item!r}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        spec = _load(path)
+        spec.name = name
+        specs[name] = spec
+    if not specs:
+        from repro.workloads import generate_fleet
+
+        specs = generate_fleet(args.synthetic, args.users,
+                               args.roles, args.seed)
+    return specs
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the service plane: one engine (+ optional WAL) per shard
+    behind the asyncio HTTP front-end; serves until SIGTERM/SIGINT,
+    then drains, flushes every WAL, and dumps every flight recorder.
+    """
+    import asyncio
+    import os
+
+    from repro.federation import RoleMapping
+    from repro.serve import ServeApp, ShardRouter
+
+    specs = _fleet_specs(args)
+    router = ShardRouter()
+    durabilities = []
+    for name in sorted(specs):
+        engine = ActiveRBACEngine(specs[name])
+        durability = None
+        if args.wal:
+            from repro.wal import Durability
+
+            durability = Durability(engine,
+                                    os.path.join(args.wal, name))
+            durabilities.append(durability)
+        router.add_shard(name, engine, durability)
+    for item in args.map or []:
+        try:
+            home, host = item.split("=", 1)
+            home_domain, home_role = home.split(":", 1)
+            host_domain, host_role = host.split(":", 1)
+        except ValueError:
+            print(f"error: --map expects HOME:ROLE=HOST:ROLE, "
+                  f"got {item!r}", file=sys.stderr)
+            return 2
+        router.add_mapping(RoleMapping(home_domain, home_role,
+                                       host_domain, host_role))
+    flightrec_dir = (args.flightrec_dir
+                     or os.environ.get("REPRO_FLIGHTREC_DIR"))
+    app = ServeApp(router, drain_grace=args.drain_grace,
+                   flightrec_dir=flightrec_dir)
+    print(router.describe(), flush=True)
+    try:
+        asyncio.run(app.run(args.host, args.port,
+                            port_file=args.port_file))
+    finally:
+        for durability in durabilities:
+            durability.close()
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a running server with the deterministic service plan and
+    report the saturation curve; exit 1 when the p99 budget is blown
+    or any request errored."""
+    import asyncio
+    import json as _json
+
+    from repro.serve.loadgen import run_loadgen, write_bench
+    from repro.workloads import generate_fleet, generate_service_plan
+
+    port = args.port
+    if args.port_file:
+        try:
+            port = int(Path(args.port_file).read_text().strip())
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read port from {args.port_file}: "
+                  f"{exc}", file=sys.stderr)
+            return 2
+    if not port:
+        print("error: need --port or --port-file", file=sys.stderr)
+        return 2
+    fleet = generate_fleet(args.shards, args.users,
+                           args.roles, args.seed)
+    plan = generate_service_plan(fleet, args.requests,
+                                 seed=args.plan_seed,
+                                 admin_every=args.admin_every)
+    try:
+        levels = tuple(int(level) for level in args.levels.split(","))
+    except ValueError:
+        print(f"error: --levels expects N,N,..., got {args.levels!r}",
+              file=sys.stderr)
+        return 2
+    report = asyncio.run(run_loadgen(
+        args.host, port, plan, levels=levels,
+        users=sum(len(spec.users) for spec in fleet.values()),
+        shards=len(fleet)))
+    extra = {}
+    if args.p99_budget_ms is not None:
+        extra["budget_p99_ms"] = args.p99_budget_ms
+    payload = (write_bench(report, args.out, extra=extra)
+               if args.out else {**report.to_dict(), **extra})
+    print(_json.dumps(payload, indent=2, sort_keys=True))
+    failed = False
+    if (args.p99_budget_ms is not None
+            and report.overall_p99_us > args.p99_budget_ms * 1000):
+        print(f"FAIL: p99 {report.overall_p99_us / 1000:.2f} ms over "
+              f"budget {args.p99_budget_ms} ms", file=sys.stderr)
+        failed = True
+    errors = sum(level.errors for level in report.levels)
+    if errors:
+        print(f"FAIL: {errors} request error(s)", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
 def cmd_hygiene(args: argparse.Namespace) -> int:
     from repro.analysis import policy_hygiene, who_can
 
@@ -604,6 +735,84 @@ def build_parser() -> argparse.ArgumentParser:
     obs_top.add_argument("--seed", type=int, default=7)
     obs_top.add_argument("--top", type=int, default=10)
     obs_top.set_defaults(fn=cmd_obs)
+
+    serve = sub.add_parser(
+        "serve", help="boot the asyncio HTTP service plane over one "
+                      "or more tenant shards (SIGTERM drains, flushes "
+                      "WALs, dumps flight recorders)")
+    serve.add_argument("--shard", action="append", metavar="NAME=FILE",
+                       help="register a tenant shard from a policy "
+                            "file (repeatable)")
+    serve.add_argument("--synthetic", type=int, default=2,
+                       metavar="SHARDS",
+                       help="without --shard: number of synthetic "
+                            "shards to generate (default: 2)")
+    serve.add_argument("--users", type=int, default=10_000,
+                       help="synthetic fleet: total simulated users "
+                            "across shards (default: 10000)")
+    serve.add_argument("--roles", type=int, default=50,
+                       help="synthetic fleet: roles per shard "
+                            "(default: 50)")
+    serve.add_argument("--seed", type=int, default=7,
+                       help="synthetic fleet seed (default: 7)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (default: 0 = ephemeral)")
+    serve.add_argument("--port-file", default=None,
+                       help="write the bound port here (how the CI "
+                            "smoke job finds an ephemeral port)")
+    serve.add_argument("--wal", default=None, metavar="DIR",
+                       help="attach WAL durability; each shard logs "
+                            "under DIR/<shard>/")
+    serve.add_argument("--flightrec-dir", default=None,
+                       help="flight-recorder dump directory (default: "
+                            "$REPRO_FLIGHTREC_DIR, else per-engine "
+                            "temp)")
+    serve.add_argument("--map", action="append",
+                       metavar="HOME:ROLE=HOST:ROLE",
+                       help="cross-shard role mapping (repeatable)")
+    serve.add_argument("--drain-grace", type=float, default=5.0,
+                       help="seconds to wait for in-flight requests "
+                            "on shutdown (default: 5)")
+    serve.set_defaults(fn=cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="closed-loop load harness against a running "
+                        "serve instance; emits BENCH_serve.json and "
+                        "gates on a p99 budget")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=None)
+    loadgen.add_argument("--port-file", default=None,
+                         help="read the target port from this file")
+    loadgen.add_argument("--shards", type=int, default=2,
+                         help="fleet derivation: must match the "
+                              "server's --synthetic (default: 2)")
+    loadgen.add_argument("--users", type=int, default=10_000,
+                         help="fleet derivation: must match the "
+                              "server's --users (default: 10000)")
+    loadgen.add_argument("--roles", type=int, default=50,
+                         help="fleet derivation: must match the "
+                              "server's --roles (default: 50)")
+    loadgen.add_argument("--seed", type=int, default=7,
+                         help="fleet derivation: must match the "
+                              "server's --seed (default: 7)")
+    loadgen.add_argument("--plan-seed", type=int, default=23,
+                         help="op-mix seed (default: 23)")
+    loadgen.add_argument("--requests", type=int, default=2000,
+                         help="total ops across all levels "
+                              "(default: 2000)")
+    loadgen.add_argument("--levels", default="1,4,16",
+                         help="comma-separated concurrency levels for "
+                              "the saturation sweep (default: 1,4,16)")
+    loadgen.add_argument("--admin-every", type=int, default=0,
+                         help="make every Nth op a control-plane "
+                              "grant (default: 0 = none)")
+    loadgen.add_argument("--out", default=None, metavar="FILE",
+                         help="write the BENCH_serve.json report here")
+    loadgen.add_argument("--p99-budget-ms", type=float, default=None,
+                         help="fail (exit 1) when overall p99 exceeds "
+                              "this many milliseconds")
+    loadgen.set_defaults(fn=cmd_loadgen)
 
     hygiene = sub.add_parser(
         "hygiene", help="staleness/redundancy report, optional "

@@ -934,6 +934,7 @@ class ActiveRBACEngine(EnforcementHelpers):
         transient-I/O retries) so a fleet can alert on them.
         """
         quarantined = sorted(r.name for r in self.rules.quarantined_rules())
+        kernel = self._kernel
         return {
             "status": "degraded" if quarantined else "ok",
             "rules": len(self.rules),
@@ -946,10 +947,30 @@ class ActiveRBACEngine(EnforcementHelpers):
             "audit_dropped": self.audit.dropped,
             "locked_users": sorted(self.locked_users),
             "kernel": ("off" if not self.kernel_enabled
-                       else "cold" if self._kernel is None
-                       else "fresh" if self._kernel.fresh(self)
+                       else "cold" if kernel is None
+                       else "fresh" if kernel.fresh(self)
                        else "stale"),
+            # decision-plane readiness: what /healthz reports without
+            # forcing a recompile.  The staleness triple pairs each
+            # compiled version with the engine's live one, so an
+            # operator can see *which* axis drifted (policy edit, rule
+            # quarantine, detector change) before the next publish.
+            "kernel_epoch": None if kernel is None else kernel.epoch,
+            "policy_epoch": self.policy_epoch,
+            "kernel_stale_reason": (None if kernel is None
+                                    else kernel.stale_reason(self)),
+            "kernel_staleness": None if kernel is None else {
+                "epoch": {"kernel": kernel.epoch,
+                          "engine": self.policy_epoch},
+                "rules": {"kernel": kernel.rules_version,
+                          "engine": self.rules.version},
+                "detector": {"kernel": kernel.detector_version,
+                             "engine": self.detector.version},
+            },
+            "kernel_last_fallback": (None if kernel is None
+                                     else kernel.last_fallback),
             "flightrec_dumps": self.flight.dumps,
+            "flightrec_dir": self.flight.resolved_dir(),
         }
 
     def stats(self) -> dict[str, int | float]:

@@ -31,7 +31,12 @@ from typing import Iterator
 
 from repro.containment import retry_transient
 from repro.engine import ActiveRBACEngine
-from repro.errors import AdministrationError, ReproError, UnknownRoleError
+from repro.errors import (
+    AdministrationError,
+    ReproError,
+    RetryExhausted,
+    UnknownRoleError,
+)
 
 
 def guest_principal(user: str, home_domain: str) -> str:
@@ -131,23 +136,37 @@ class Federation:
         Each home-domain lookup is retried ``lookup_attempts`` times
         with bounded backoff; a home domain that stays unreachable
         raises :class:`~repro.errors.RetryExhausted` (fail closed: no
-        guess about entitlements is made).
+        guess about entitlements is made).  Exhaustion is audited on
+        the *host* domain — that is where the guest was refused, and
+        its audit trail is what the host's operators review.
         """
         home = self.domain(home_domain)
+        host = self.domain(host_domain)
         if user not in home.model.users:
             return set()
-        return {
-            m.host_role
-            for m in self.mappings_for(home_domain, host_domain)
-            if retry_transient(
-                lambda role=m.home_role:
-                self._home_is_authorized(home, user, role),
-                attempts=self.lookup_attempts,
-                base_delay=self.lookup_backoff,
-                on_retry=lambda attempt, exc:
-                home.obs.retry_attempted("federation.lookup"),
-            )
-        }
+        entitled: set[str] = set()
+        for m in self.mappings_for(home_domain, host_domain):
+            try:
+                authorized = retry_transient(
+                    lambda role=m.home_role:
+                    self._home_is_authorized(home, user, role),
+                    attempts=self.lookup_attempts,
+                    base_delay=self.lookup_backoff,
+                    on_retry=lambda attempt, exc:
+                    home.obs.retry_attempted("federation.lookup"),
+                )
+            except RetryExhausted as exc:
+                host.audit.record(
+                    "federation.lookup_exhausted",
+                    user=user, home_domain=home_domain,
+                    host_domain=host_domain, home_role=m.home_role,
+                    attempts=self.lookup_attempts,
+                    error=type(exc.__cause__).__name__
+                    if exc.__cause__ is not None else None)
+                raise
+            if authorized:
+                entitled.add(m.host_role)
+        return entitled
 
     def visit(self, home_domain: str, user: str, host_domain: str,
               roles: tuple[str, ...] = ()) -> str:

@@ -105,6 +105,15 @@ class FlightRecorder:
         ``capacity`` of them)."""
         return self._seq
 
+    def resolved_dir(self) -> str | None:
+        """Where the next dump would land: the configured ``dump_dir``
+        (constructor, attribute, or a front-end's ``--flightrec-dir``),
+        else ``$REPRO_FLIGHTREC_DIR``, else None — meaning a fresh
+        per-process temp directory gets created on first dump.
+        ``engine.health()`` surfaces this so operators can tell where
+        the forensic ring will go *before* anything goes wrong."""
+        return self.dump_dir or os.environ.get("REPRO_FLIGHTREC_DIR")
+
     # -- recording ---------------------------------------------------------
 
     def note_decision(self, clock: float, path: str, session_id: str,

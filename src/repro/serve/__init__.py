@@ -1,0 +1,41 @@
+"""The service plane: asyncio HTTP front-end over sharded engines.
+
+``repro-rbac serve`` turns the library into a long-running server —
+one :class:`~repro.engine.ActiveRBACEngine` (plus WAL and compiled
+kernel) per tenant shard, routed by home domain, read lock-free via
+RCU-style epoch swaps.  ``repro-rbac loadgen`` is the closed-loop
+client that drives it and emits ``BENCH_serve.json``.
+
+Layout:
+
+* :mod:`repro.serve.shard` — :class:`Shard` (the published-kernel RCU
+  surface) and :class:`ShardRouter` (home-domain routing over the
+  federation);
+* :mod:`repro.serve.http` — :class:`ServeApp`, the zero-dependency
+  HTTP/1.1 server with graceful drain/flush/dump shutdown;
+* :mod:`repro.serve.loadgen` — the keep-alive client, saturation
+  sweep, and bench emission.
+"""
+
+from repro.serve.http import HttpError, ServeApp
+from repro.serve.loadgen import (
+    HttpClient,
+    LoadLevel,
+    LoadReport,
+    run_loadgen,
+    write_bench,
+)
+from repro.serve.shard import ADMIN_OPS, Shard, ShardRouter
+
+__all__ = [
+    "ADMIN_OPS",
+    "HttpClient",
+    "HttpError",
+    "LoadLevel",
+    "LoadReport",
+    "ServeApp",
+    "Shard",
+    "ShardRouter",
+    "run_loadgen",
+    "write_bench",
+]

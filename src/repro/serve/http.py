@@ -1,0 +1,498 @@
+"""Zero-dependency asyncio HTTP front-end for the shard router.
+
+``repro-rbac serve`` boots a :class:`ServeApp` — a small HTTP/1.1
+server written directly on :func:`asyncio.start_server` (no external
+web framework; the whole repo stays stdlib-only):
+
+====================  ====================================================
+``POST /v1/check``    one access decision ``{user, operation, object,
+                      domain?, purpose?}`` -> ``{allowed, path, epoch}``
+``POST /v1/check_batch``  ``{checks: [...]}`` looped over single checks
+                      (the vectorized kernel path is a later PR)
+``GET  /v1/explain``  read-only derivation (query-string parameters)
+``POST /v1/admin``    control-plane mutation -> epoch swap summary
+``GET  /metrics``     server-plane Prometheus exposition; with
+                      ``?shard=NAME`` the shard engine's full registry
+``GET  /healthz``     aggregate ``engine.health()`` + kernel epoch /
+                      staleness per shard (503 when degraded)
+====================  ====================================================
+
+All request handling runs on the event loop thread: a single check is
+~tens of microseconds, so the loop *is* the concurrency model — no
+locks anywhere, and control-plane mutations interleave between
+requests, never inside one.  Readers consult each shard's published
+kernel reference (see ``serve/shard.py``); mutations recompile on the
+control plane and publish by one reference swap, so no request ever
+blocks on a recompile.
+
+**Graceful shutdown** (SIGTERM/SIGINT, or :meth:`ServeApp.shutdown`):
+stop accepting, drain in-flight requests (bounded by ``drain_grace``),
+flush every shard's WAL group-commit buffer, and dump every flight
+recorder — the forensic ring survives the exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import (
+    AccessDenied,
+    AdministrationError,
+    ReproError,
+    RetryExhausted,
+    UnknownRoleError,
+    UnknownUserError,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.shard import ShardRouter
+
+__all__ = ["ServeApp", "HttpError", "parse_request_head",
+           "response_bytes"]
+
+#: request-head size bound (request line + headers)
+MAX_HEAD_BYTES = 16 * 1024
+#: request-body size bound
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            403: "Forbidden", 405: "Method Not Allowed",
+            413: "Payload Too Large", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+#: serve-plane latency buckets in ns: 10us .. 1s
+SERVE_LATENCY_BUCKETS_NS = (
+    1e4, 2.5e4, 5e4, 1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6,
+    1e7, 2.5e7, 5e7, 1e8, 2.5e8, 5e8, 1e9,
+)
+
+
+class HttpError(Exception):
+    """A request the server answers with an error status + JSON body."""
+
+    def __init__(self, status: int, message: str,
+                 error: str = "http") -> None:
+        super().__init__(message)
+        self.status = status
+        self.error = error
+
+
+def parse_request_head(head: bytes) -> tuple[str, str, dict[str, str]]:
+    """Parse ``METHOD TARGET HTTP/1.x`` + headers from a request head.
+
+    Header names are lower-cased; duplicate headers keep the last
+    value (none of the headers this server reads repeat legally).
+    Raises :class:`HttpError` (400) on anything malformed.
+    """
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 total
+        raise HttpError(400, "undecodable request head")
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line {lines[0]!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return method.upper(), target, headers
+
+
+def response_bytes(status: int, payload: dict[str, Any] | str,
+                   close: bool = False) -> bytes:
+    """One full HTTP/1.1 response (JSON unless ``payload`` is text)."""
+    if isinstance(payload, str):
+        body = payload.encode("utf-8")
+        ctype = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        ctype = "application/json"
+    reason = _REASONS.get(status, "Unknown")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            f"\r\n")
+    return head.encode("latin-1") + body
+
+
+def _error_status(exc: ReproError) -> int:
+    """Map engine errors onto HTTP statuses: unknown entities are 404,
+    fail-closed conditions (including an unreachable home domain) and
+    denials are 403."""
+    if isinstance(exc, (UnknownUserError, UnknownRoleError)):
+        return 404
+    if isinstance(exc, AdministrationError):
+        return 404 if "unknown" in str(exc).lower() else 400
+    if isinstance(exc, (AccessDenied, RetryExhausted)):
+        return 403
+    return 400
+
+
+class ServeApp:
+    """The service plane: router + HTTP surface + server-side metrics."""
+
+    def __init__(self, router: ShardRouter, *,
+                 drain_grace: float = 5.0,
+                 flightrec_dir: str | None = None) -> None:
+        self.router = router
+        self.drain_grace = drain_grace
+        #: where shutdown flight-recorder dumps land; None keeps each
+        #: engine's own configured/auto directory
+        self.flightrec_dir = flightrec_dir
+        if flightrec_dir is not None:
+            for shard in router.shards():
+                shard.engine.flight.dump_dir = flightrec_dir
+        self._server: asyncio.base_events.Server | None = None
+        self._inflight = 0
+        self._draining = False
+        self._shutdown_summary: dict[str, Any] | None = None
+        self.port: int | None = None
+
+        # -- server-plane metrics (the shard engines keep their own
+        # registries; /metrics?shard=NAME exposes those verbatim) ------
+        m = self.metrics = MetricsRegistry()
+        self._requests = m.counter(
+            "repro_serve_requests_total",
+            "HTTP requests served, by route and status",
+            ("route", "status"))
+        self._request_ns = m.histogram(
+            "repro_serve_request_ns",
+            "request handling latency in ns, by route", ("route",),
+            buckets=SERVE_LATENCY_BUCKETS_NS)
+        self._inflight_gauge = m.gauge(
+            "repro_serve_inflight_requests",
+            "requests currently being handled")
+        self._connections = m.counter(
+            "repro_serve_connections_total",
+            "client connections accepted")
+        self._shard_epoch = m.gauge(
+            "repro_serve_shard_epoch",
+            "published kernel policy epoch, by shard", ("shard",))
+        self._shard_swaps = m.gauge(
+            "repro_serve_shard_epoch_swaps_total",
+            "kernel reference swaps published, by shard", ("shard",))
+        self._shard_checks = m.gauge(
+            "repro_serve_shard_checks_total",
+            "access checks served, by shard", ("shard",))
+        self._shard_sessions = m.gauge(
+            "repro_serve_shard_sessions",
+            "live served sessions, by shard", ("shard",))
+        self._shard_decisions = m.gauge(
+            "repro_serve_shard_decisions_total",
+            "engine checkAccess decisions, mirrored per shard",
+            ("shard", "decision"))
+        m.add_collector(self._collect_shards)
+
+    def _collect_shards(self) -> None:
+        self._inflight_gauge.set(self._inflight)
+        for shard in self.router.shards():
+            name = shard.name
+            self._shard_epoch.labels(name).set(shard.epoch)
+            self._shard_swaps.labels(name).set(shard.swaps)
+            self._shard_checks.labels(name).set(shard.checks)
+            self._shard_sessions.labels(name).set(shard.sessions())
+            decisions = shard.engine.obs.decisions
+            for outcome in ("grant", "deny"):
+                self._shard_decisions.labels(name, outcome).set(
+                    decisions.labels(outcome).value)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> asyncio.base_events.Server:
+        """Bind and start serving; ``port=0`` picks an ephemeral port
+        (read it back from :attr:`port`)."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, host, port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self._server
+
+    async def shutdown(self) -> dict[str, Any]:
+        """Drain, flush, dump — the graceful exit sequence.
+
+        Idempotent; returns (and caches) the shutdown summary:
+        ``drained`` says whether every in-flight request completed
+        inside ``drain_grace``, ``wal_flushed`` counts group-commit
+        buffers fsynced, ``flight_dumps`` maps shard -> dump path.
+        """
+        if self._shutdown_summary is not None:
+            return self._shutdown_summary
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.drain_grace
+        while self._inflight and loop.time() < deadline:
+            await asyncio.sleep(0.005)
+        wal_flushed = 0
+        flight_dumps: dict[str, str | None] = {}
+        for shard in self.router.shards():
+            if shard.durability is not None:
+                # flush the group-commit buffer: a drained request's
+                # commit must not die in an unsynced batch
+                if shard.durability.wal.sync():
+                    wal_flushed += 1
+            # the shard name is part of the dump cause: every shard's
+            # recorder keeps its own dump counter, so a shared
+            # --flightrec-dir would otherwise collide on the filename
+            flight_dumps[shard.name] = shard.engine.dump_flight(
+                f"serve.shutdown.{shard.name}",
+                directory=self.flightrec_dir)
+            shard.engine.audit.record("serve.shutdown", shard=shard.name)
+        self._shutdown_summary = {
+            "drained": self._inflight == 0,
+            "inflight": self._inflight,
+            "wal_flushed": wal_flushed,
+            "flight_dumps": flight_dumps,
+        }
+        return self._shutdown_summary
+
+    async def run(self, host: str = "127.0.0.1", port: int = 0,
+                  port_file: str | None = None,
+                  out=None) -> dict[str, Any]:
+        """Serve until SIGTERM/SIGINT, then shut down gracefully.
+
+        The daemon entry point behind ``repro-rbac serve``: binds,
+        optionally writes the bound port to ``port_file`` (ephemeral
+        ports are how the CI smoke job finds the server), installs
+        signal handlers, and blocks until a signal trips the drain.
+        """
+        out = out if out is not None else sys.stdout
+        await self.start(host, port)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        # the port file is the external readiness signal (the smoke
+        # harness SIGTERMs as soon as it appears) — write it only
+        # after the handlers are armed, or a prompt signal kills the
+        # process with the default disposition instead of draining
+        if port_file:
+            with open(port_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{self.port}\n")
+        print(f"serving {len(self.router)} shard(s) on "
+              f"http://{host}:{self.port}", file=out, flush=True)
+        await stop.wait()
+        summary = await self.shutdown()
+        print("shutdown: " + json.dumps(summary, sort_keys=True),
+              file=out, flush=True)
+        return summary
+
+    # -- connection handling -----------------------------------------------
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        self._connections._value += 1
+        try:
+            while not self._draining:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return  # client went away between requests
+                except asyncio.LimitOverrunError:
+                    writer.write(response_bytes(
+                        413, {"error": "http",
+                              "message": "request head too large"},
+                        close=True))
+                    await writer.drain()
+                    return
+                if len(head) > MAX_HEAD_BYTES:
+                    writer.write(response_bytes(
+                        413, {"error": "http",
+                              "message": "request head too large"},
+                        close=True))
+                    await writer.drain()
+                    return
+                close = await self._serve_request(head, reader, writer)
+                if close:
+                    return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _serve_request(self, head: bytes,
+                             reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> bool:
+        """Handle one request; returns True when the connection must
+        close (protocol error or drain)."""
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        route = "?"
+        self._inflight += 1
+        try:
+            try:
+                method, target, headers = parse_request_head(head)
+                parts = urlsplit(target)
+                route = parts.path
+                length = int(headers.get("content-length", "0") or "0")
+                if length > MAX_BODY_BYTES:
+                    raise HttpError(413, "request body too large")
+                body = await reader.readexactly(length) if length else b""
+                status, payload = self._dispatch(
+                    method, parts.path,
+                    {k: v[-1] for k, v in
+                     parse_qs(parts.query).items()},
+                    body)
+            except HttpError as exc:
+                status, payload = exc.status, {
+                    "error": exc.error, "message": str(exc)}
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return True
+            except ReproError as exc:
+                status = _error_status(exc)
+                payload = {"error": type(exc).__name__,
+                           "message": str(exc)}
+            except Exception as exc:  # noqa: BLE001 - the server must
+                # answer; a handler bug becomes a 500, not a dead socket
+                status, payload = 500, {"error": type(exc).__name__,
+                                        "message": str(exc)}
+            close = self._draining
+            writer.write(response_bytes(status, payload, close=close))
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                return True
+            self._requests.labels(route, str(status))._value += 1
+            hist = self._request_ns.labels(route)
+            hist.observe((loop.time() - start) * 1e9)
+            return close
+        finally:
+            self._inflight -= 1
+
+    # -- routing -----------------------------------------------------------
+
+    def _dispatch(self, method: str, path: str, query: dict[str, str],
+                  body: bytes) -> tuple[int, dict[str, Any] | str]:
+        if path == "/v1/check":
+            self._require(method, "POST")
+            return self._handle_check(self._json(body))
+        if path == "/v1/check_batch":
+            self._require(method, "POST")
+            return self._handle_check_batch(self._json(body))
+        if path == "/v1/explain":
+            self._require(method, "GET")
+            return self._handle_explain(query)
+        if path == "/v1/admin":
+            self._require(method, "POST")
+            return self._handle_admin(self._json(body))
+        if path == "/metrics":
+            self._require(method, "GET")
+            return self._handle_metrics(query)
+        if path == "/healthz":
+            self._require(method, "GET")
+            return self._handle_healthz()
+        raise HttpError(404, f"no route {path!r}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise HttpError(405, f"use {expected}")
+
+    @staticmethod
+    def _json(body: bytes) -> dict[str, Any]:
+        if not body:
+            raise HttpError(400, "missing JSON body")
+        try:
+            payload = json.loads(body)
+        except ValueError as exc:
+            raise HttpError(400, f"bad JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise HttpError(400, "JSON body must be an object")
+        return payload
+
+    @staticmethod
+    def _field(payload: dict[str, Any], name: str) -> str:
+        value = payload.get(name)
+        if not isinstance(value, str) or not value:
+            raise HttpError(400, f"missing field {name!r}")
+        return value
+
+    # -- handlers ----------------------------------------------------------
+
+    def _check_args(self, payload: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "user": self._field(payload, "user"),
+            "operation": self._field(payload, "operation"),
+            "obj": self._field(payload, "object"),
+            "domain": payload.get("domain"),
+            "purpose": payload.get("purpose"),
+        }
+
+    def _handle_check(self, payload: dict[str, Any]
+                      ) -> tuple[int, dict[str, Any]]:
+        return 200, self.router.check(**self._check_args(payload))
+
+    def _handle_check_batch(self, payload: dict[str, Any]
+                            ) -> tuple[int, dict[str, Any]]:
+        checks = payload.get("checks")
+        if not isinstance(checks, list):
+            raise HttpError(400, "field 'checks' must be a list")
+        results = []
+        for index, item in enumerate(checks):
+            if not isinstance(item, dict):
+                raise HttpError(400, f"checks[{index}] must be an object")
+            # a per-item engine error fails that item, not the batch
+            try:
+                results.append(self.router.check(**self._check_args(item)))
+            except ReproError as exc:
+                results.append({"allowed": False,
+                                "error": type(exc).__name__,
+                                "message": str(exc)})
+        return 200, {"count": len(results), "results": results}
+
+    def _handle_explain(self, query: dict[str, str]
+                        ) -> tuple[int, dict[str, Any]]:
+        for field in ("user", "operation", "object"):
+            if not query.get(field):
+                raise HttpError(400, f"missing query parameter {field!r}")
+        return 200, self.router.explain(
+            query["user"], query["operation"], query["object"],
+            domain=query.get("domain"), purpose=query.get("purpose"))
+
+    def _handle_admin(self, payload: dict[str, Any]
+                      ) -> tuple[int, dict[str, Any]]:
+        shard = self.router.shard(self._field(payload, "domain"))
+        op = self._field(payload, "op")
+        args = payload.get("args", {})
+        if not isinstance(args, dict):
+            raise HttpError(400, "field 'args' must be an object")
+        try:
+            return 200, shard.admin_op(op, args)
+        except KeyError as exc:
+            raise HttpError(400, f"admin op {op!r} missing "
+                                 f"argument {exc}") from None
+
+    def _handle_metrics(self, query: dict[str, str]
+                        ) -> tuple[int, str]:
+        name = query.get("shard")
+        if name:
+            registry = self.router.shard(name).engine.obs.metrics
+            return 200, registry.render_prometheus()
+        return 200, self.metrics.render_prometheus()
+
+    def _handle_healthz(self) -> tuple[int, dict[str, Any]]:
+        report = self.router.health()
+        report["serve"] = {
+            "inflight": self._inflight,
+            "draining": self._draining,
+            "flightrec_dir": self.flightrec_dir,
+        }
+        return (200 if report["status"] == "ok" else 503), report

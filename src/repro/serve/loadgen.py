@@ -1,0 +1,289 @@
+"""Closed-loop load harness for the service plane.
+
+``repro-rbac loadgen`` drives a running ``repro-rbac serve`` instance
+with the deterministic service plan from
+:func:`repro.workloads.generate_service_plan`: tens of thousands of
+simulated users spread across the shards, issuing a mixed
+check / batch-check / explain / metrics / health stream with periodic
+control-plane mutations (grant/revoke toggles) interleaved — the
+closed loop every ``concurrency`` worker runs is *send one request,
+await the response, record the latency, repeat*.
+
+Each concurrency level in ``levels`` replays a slice of the plan and
+yields one :class:`LoadLevel` row (throughput, p50/p99, error count);
+the whole run is summarized into ``BENCH_serve.json`` —
+:func:`write_bench` — which the CI smoke job gates on a p99 budget.
+
+The HTTP client is the same zero-dependency asyncio discipline as the
+server: one persistent keep-alive connection per worker, requests
+serialized on it (closed loop ⇒ no pipelining needed).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.workloads.generator import ServiceOp
+
+__all__ = ["HttpClient", "LoadLevel", "LoadReport", "run_level",
+           "run_loadgen", "write_bench", "percentile"]
+
+
+class HttpClient:
+    """Minimal HTTP/1.1 keep-alive client for one worker's closed loop."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def request(self, method: str, target: str,
+                      payload: dict[str, Any] | None = None
+                      ) -> tuple[int, Any]:
+        """One request/response round trip on the persistent
+        connection; reconnects once if the server closed it."""
+        if self._writer is None:
+            await self.connect()
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload,
+                              separators=(",", ":")).encode("utf-8")
+        head = (f"{method} {target} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                + (f"Content-Length: {len(body)}\r\n"
+                   f"Content-Type: application/json\r\n"
+                   if body else "")
+                + "\r\n").encode("latin-1")
+        try:
+            self._writer.write(head + body)
+            await self._writer.drain()
+            return await self._read_response()
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            # server rotated the connection (drain, restart): retry once
+            await self.close()
+            await self.connect()
+            self._writer.write(head + body)
+            await self._writer.drain()
+            return await self._read_response()
+
+    async def _read_response(self) -> tuple[int, Any]:
+        head = await self._reader.readuntil(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ")[1])
+        headers = {}
+        for line in lines[1:]:
+            name, sep, value = line.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        raw = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        if headers.get("content-type", "").startswith("application/json"):
+            return status, json.loads(raw) if raw else None
+        return status, raw.decode("utf-8", "replace")
+
+
+@dataclass
+class LoadLevel:
+    """One saturation-curve point: a plan slice at fixed concurrency."""
+
+    concurrency: int
+    requests: int = 0
+    errors: int = 0
+    allowed: int = 0
+    denied: int = 0
+    swaps: int = 0
+    elapsed_s: float = 0.0
+    by_kind: dict[str, int] = field(default_factory=dict)
+    latencies_us: list[float] = field(default_factory=list)
+
+    @property
+    def rps(self) -> float:
+        return self.requests / self.elapsed_s if self.elapsed_s else 0.0
+
+    def p(self, q: float) -> float:
+        return percentile(self.latencies_us, q)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "concurrency": self.concurrency,
+            "requests": self.requests,
+            "errors": self.errors,
+            "allowed": self.allowed,
+            "denied": self.denied,
+            "admin_swaps": self.swaps,
+            "elapsed_s": round(self.elapsed_s, 4),
+            "rps": round(self.rps, 1),
+            "p50_us": round(self.p(0.50), 1),
+            "p90_us": round(self.p(0.90), 1),
+            "p99_us": round(self.p(0.99), 1),
+            "max_us": round(max(self.latencies_us, default=0.0), 1),
+            "by_kind": dict(sorted(self.by_kind.items())),
+        }
+
+
+@dataclass
+class LoadReport:
+    """The whole run: one row per concurrency level."""
+
+    users: int
+    shards: int
+    levels: list[LoadLevel] = field(default_factory=list)
+
+    @property
+    def overall_p50_us(self) -> float:
+        return percentile(self._all_latencies(), 0.50)
+
+    @property
+    def overall_p99_us(self) -> float:
+        return percentile(self._all_latencies(), 0.99)
+
+    def _all_latencies(self) -> list[float]:
+        merged: list[float] = []
+        for level in self.levels:
+            merged.extend(level.latencies_us)
+        return merged
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "simulated_users": self.users,
+            "shards": self.shards,
+            "requests": sum(level.requests for level in self.levels),
+            "errors": sum(level.errors for level in self.levels),
+            "admin_swaps": sum(level.swaps for level in self.levels),
+            "p50_us": round(self.overall_p50_us, 1),
+            "p99_us": round(self.overall_p99_us, 1),
+            "saturation": [level.to_dict() for level in self.levels],
+        }
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty sample."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def _op_request(op: ServiceOp) -> tuple[str, str, dict[str, Any] | None]:
+    """Translate one plan op into (method, target, body)."""
+    if op.kind == "check":
+        return "POST", "/v1/check", dict(op.payload)
+    if op.kind == "check_batch":
+        return "POST", "/v1/check_batch", {"checks": list(op.payload["checks"])}
+    if op.kind == "explain":
+        args = op.payload
+        query = "&".join(f"{k}={v}" for k, v in sorted(args.items()))
+        return "GET", f"/v1/explain?{query}", None
+    if op.kind == "metrics":
+        return "GET", "/metrics", None
+    if op.kind == "health":
+        return "GET", "/healthz", None
+    if op.kind == "admin":
+        return "POST", "/v1/admin", dict(op.payload)
+    raise ValueError(f"unknown service op kind {op.kind!r}")
+
+
+async def run_level(host: str, port: int, ops: Sequence[ServiceOp],
+                    concurrency: int) -> LoadLevel:
+    """Replay ``ops`` closed-loop over ``concurrency`` connections."""
+    level = LoadLevel(concurrency=concurrency)
+    queue: asyncio.Queue[ServiceOp] = asyncio.Queue()
+    for op in ops:
+        queue.put_nowait(op)
+
+    async def worker() -> None:
+        client = HttpClient(host, port)
+        await client.connect()
+        try:
+            while True:
+                try:
+                    op = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                method, target, body = _op_request(op)
+                start = time.perf_counter()
+                try:
+                    status, payload = await client.request(
+                        method, target, body)
+                except (ConnectionError, asyncio.IncompleteReadError,
+                        OSError):
+                    level.errors += 1
+                    continue
+                level.latencies_us.append(
+                    (time.perf_counter() - start) * 1e6)
+                level.requests += 1
+                level.by_kind[op.kind] = level.by_kind.get(op.kind, 0) + 1
+                if status >= 500 or (status >= 400 and op.kind != "check"):
+                    level.errors += 1
+                elif op.kind == "check" and isinstance(payload, dict):
+                    if payload.get("allowed"):
+                        level.allowed += 1
+                    else:
+                        level.denied += 1
+                elif op.kind == "admin" and isinstance(payload, dict):
+                    if payload.get("swapped"):
+                        level.swaps += 1
+        finally:
+            await client.close()
+
+    start = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    level.elapsed_s = time.perf_counter() - start
+    return level
+
+
+async def run_loadgen(host: str, port: int, plan: Sequence[ServiceOp],
+                      levels: Sequence[int] = (1, 4, 16),
+                      users: int = 0, shards: int = 0) -> LoadReport:
+    """The full saturation sweep: the plan is split evenly across the
+    concurrency levels (each level replays a distinct slice, so session
+    warm-up cost is spread rather than all charged to level one)."""
+    report = LoadReport(users=users, shards=shards)
+    if not plan or not levels:
+        return report
+    slice_size = max(1, len(plan) // len(levels))
+    for index, concurrency in enumerate(levels):
+        lo = index * slice_size
+        hi = len(plan) if index == len(levels) - 1 else lo + slice_size
+        ops = plan[lo:hi]
+        if not ops:
+            break
+        report.levels.append(
+            await run_level(host, port, ops, concurrency))
+    return report
+
+
+def write_bench(report: LoadReport, path: str,
+                extra: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Write ``BENCH_serve.json``; returns the payload written."""
+    payload = report.to_dict()
+    if extra:
+        payload.update(extra)
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload

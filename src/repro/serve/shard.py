@@ -1,0 +1,357 @@
+"""Multi-tenant shards: one engine + WAL + published kernel per domain.
+
+The service plane serves many tenants from one process.  Each tenant
+("shard") is a full :class:`~repro.engine.ActiveRBACEngine` — its own
+policy, rule pool, WAL and compiled :class:`~repro.kernel.PolicyKernel`
+— registered as a domain of a :class:`~repro.federation.Federation`, so
+cross-tenant visits ride the existing role-mapping machinery unchanged.
+
+**RCU-style epoch swap.**  The kernel is immutable per policy epoch
+(see ``repro/kernel.py``), which makes it exactly the artifact that can
+be read lock-free behind a request loop: a :class:`Shard` holds the
+*published* kernel in one attribute, request handlers read that
+reference once per check (a single atomic load under the GIL), and the
+control plane publishes a new epoch by recompiling and then performing
+one reference assignment (:meth:`Shard.publish`).  Readers that loaded
+the old reference keep deciding against the old epoch until they
+finish — the classic read-copy-update contract — and never pay (or
+wait on) a recompile: the control plane compiles, readers only swing a
+pointer.  ``tests/integration/test_serve.py`` verifies the contract
+differentially (old reference keeps answering the old epoch while the
+router already serves the new one).
+
+Routing is keyed on **home domain**: ``wei@hq`` routes to shard ``hq``
+unless an explicit target domain says otherwise, in which case the
+federation's role mappings provision a guest principal in the host
+shard (:meth:`ShardRouter.resolve`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.engine import ActiveRBACEngine
+from repro.errors import (
+    AdministrationError,
+    OperationDenied,
+    ReproError,
+)
+from repro.federation import Federation, RoleMapping, guest_principal
+from repro.kernel import KERNEL_GRANT, PolicyKernel
+
+__all__ = ["Shard", "ShardRouter", "ADMIN_OPS"]
+
+
+#: Control-plane operations the service front-end accepts over
+#: ``POST /v1/admin``.  Each applies through the engine's audited
+#: admin API; the shard republishes the kernel afterwards, so the
+#: mutation becomes one epoch swap from the readers' point of view.
+ADMIN_OPS: dict[str, Callable[[ActiveRBACEngine, dict[str, Any]], Any]] = {
+    "grant": lambda e, a: e.grant_permission(
+        a["role"], a["operation"], a["object"]),
+    "revoke": lambda e, a: e.revoke_permission(
+        a["role"], a["operation"], a["object"]),
+    "add_permission": lambda e, a: e.add_permission(
+        a["operation"], a["object"]),
+    "add_role": lambda e, a: e.add_role(a["role"]),
+    "assign": lambda e, a: e.assign_user(a["user"], a["role"]),
+    "deassign": lambda e, a: e.deassign_user(a["user"], a["role"]),
+    "enable_role": lambda e, a: e.enable_role(a["role"]),
+    "disable_role": lambda e, a: e.disable_role(a["role"]),
+    "lock_user": lambda e, a: e.lock_user(a["user"]),
+    "unlock_user": lambda e, a: e.unlock_user(a["user"]),
+}
+
+
+class Shard:
+    """One tenant: an engine, its durability, and the published kernel."""
+
+    def __init__(self, name: str, engine: ActiveRBACEngine,
+                 durability: Any = None) -> None:
+        self.name = name
+        self.engine = engine
+        #: optional :class:`~repro.wal.Durability`; the server's
+        #: graceful shutdown flushes its group-commit buffer
+        self.durability = durability
+        #: user/principal -> live session id (lazily created)
+        self._sessions: dict[str, str] = {}
+        #: epoch swaps published (reference replacements, not compiles)
+        self.swaps = 0
+        #: checks served through this shard (both paths)
+        self.checks = 0
+        self._kernel: PolicyKernel | None = None
+        self.publish()
+
+    # -- the RCU surface ---------------------------------------------------
+
+    @property
+    def kernel(self) -> PolicyKernel | None:
+        """The published kernel — the single reference readers load."""
+        return self._kernel
+
+    @property
+    def epoch(self) -> int:
+        kernel = self._kernel
+        return -1 if kernel is None else kernel.epoch
+
+    def publish(self) -> PolicyKernel:
+        """Compile (if stale) and swap the published reference.
+
+        Compilation happens here, on the control plane; the swap itself
+        is one attribute assignment, so a reader either sees the old
+        kernel or the new one, never a half-built state.  Returns the
+        kernel now published.
+        """
+        kernel = self.engine.kernel()
+        if kernel is not self._kernel:
+            self._kernel = kernel
+            self.swaps += 1
+        return kernel
+
+    def admin(self, fn: Callable[[ActiveRBACEngine], Any]) -> Any:
+        """Apply one control-plane mutation, then republish.
+
+        The mutation and the republish run back-to-back on the control
+        plane; request handlers keep reading whichever kernel reference
+        they already hold.
+        """
+        try:
+            return fn(self.engine)
+        finally:
+            self.publish()
+
+    def admin_op(self, op: str, args: dict[str, Any]) -> dict[str, Any]:
+        """Apply a named :data:`ADMIN_OPS` mutation; returns the swap
+        summary the HTTP admin endpoint responds with."""
+        apply = ADMIN_OPS.get(op)
+        if apply is None:
+            raise AdministrationError(f"unknown admin op {op!r}")
+        before = self.epoch
+        self.admin(lambda engine: apply(engine, args))
+        return {"op": op, "shard": self.name, "epoch": self.epoch,
+                "previous_epoch": before,
+                "swapped": self.epoch != before}
+
+    # -- sessions ----------------------------------------------------------
+
+    def session_for(self, user: str) -> str:
+        """The user's live served session, created on first touch.
+
+        A served session activates every assigned role (best-effort:
+        DSD/cardinality conflicts skip the offending role rather than
+        failing the whole login), mirroring what a stateless check API
+        means by "may the user do this".  Sessions destroyed underneath
+        us (lockout, countermeasures) are transparently re-created on
+        the next request — or denied, if the rules now say so.
+        """
+        engine = self.engine
+        sid = self._sessions.get(user)
+        if sid is not None and sid in engine.model.sessions:
+            return sid
+        sid = engine.create_session(user)
+        self.activate_assigned(sid, user)
+        self._sessions[user] = sid
+        return sid
+
+    def activate_assigned(self, sid: str, user: str) -> None:
+        """Best-effort activate every assigned role in ``sid``."""
+        engine = self.engine
+        for role in sorted(engine.model.assigned_roles(user)):
+            try:
+                engine.add_active_role(sid, role)
+            except ReproError:
+                pass
+
+    def sessions(self) -> int:
+        """Live served sessions (stale cache entries excluded)."""
+        live = self.engine.model.sessions
+        return sum(1 for sid in self._sessions.values() if sid in live)
+
+    # -- the read path -----------------------------------------------------
+
+    def check(self, user: str, operation: str, obj: str,
+              purpose: str | None = None) -> dict[str, Any]:
+        """Serve one access check against the published kernel.
+
+        Loads the published reference once, answers static checks from
+        it with full side-effect parity (the engine's own commit
+        helper), and delegates anything the kernel classified dynamic —
+        or anything the engine-side parity gates exclude (tracing on,
+        extra observers, a default deadline) — to the engine's
+        interpreted pipeline, which owns the fallback-reason taxonomy.
+        """
+        engine = self.engine
+        sid = self.session_for(user)
+        self.checks += 1
+        kernel = self._kernel  # the single atomic reference read
+        obs = engine.obs
+        observers = engine.rules._observers
+        if (kernel is not None and engine.kernel_enabled
+                and engine.check_deadline is None
+                and not (obs.enabled and (obs.tracer.enabled
+                                          or obs.timing_interval == 1))
+                and len(observers) == 1
+                and observers[0] == engine._record_rule_firing):
+            verdict = kernel.evaluate(sid, operation, obj)
+            if verdict >= 0:
+                allowed = verdict == KERNEL_GRANT
+                try:
+                    engine._commit_kernel_decision(
+                        kernel, allowed, sid, operation, obj, user)
+                except OperationDenied:
+                    pass
+                return {"allowed": allowed, "path": "kernel",
+                        "shard": self.name, "session": sid,
+                        "epoch": kernel.epoch}
+        # dynamic feature, parity gate, or no kernel: the engine's own
+        # pipeline decides (and counts the fallback reason exactly once)
+        allowed = engine.check_access(sid, operation, obj, purpose=purpose)
+        return {"allowed": allowed, "path": "interpreted",
+                "shard": self.name, "session": sid, "epoch": self.epoch}
+
+    def explain(self, user: str, operation: str, obj: str,
+                purpose: str | None = None) -> dict[str, Any]:
+        """Read-only derivation for one check (``GET /v1/explain``)."""
+        sid = self.session_for(user)
+        payload = self.engine.explain(sid, operation, obj,
+                                      purpose=purpose).to_dict()
+        payload["shard"] = self.name
+        payload["epoch"] = self.epoch
+        return payload
+
+    # -- health ------------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """The engine's degradation summary plus serve-plane fields."""
+        report = self.engine.health()
+        report["serve"] = {
+            "shard": self.name,
+            "published_epoch": self.epoch,
+            "epoch_swaps": self.swaps,
+            "checks": self.checks,
+            "sessions": self.sessions(),
+            "wal_attached": self.durability is not None,
+        }
+        return report
+
+
+class ShardRouter:
+    """Route requests to tenant shards by home domain.
+
+    A thin registry over a :class:`~repro.federation.Federation`: every
+    shard is a federation domain, so the existing cross-domain role
+    mappings double as the cross-*shard* entitlement rules.  Routing:
+
+    1. an explicit ``domain`` field wins;
+    2. else a ``name@home`` user routes to their home shard;
+    3. else, with exactly one shard registered, that shard serves;
+    4. anything else is an :class:`~repro.errors.AdministrationError`.
+
+    A ``name@home`` user targeting a *different* domain is a visitor:
+    the federation's mappings provision the guest principal (and its
+    guest session) in the host shard on first touch, so every host-side
+    constraint applies to the visitor exactly as to locals.
+    """
+
+    def __init__(self, federation: Federation | None = None) -> None:
+        self.federation = federation if federation is not None \
+            else Federation()
+        self._shards: dict[str, Shard] = {}
+
+    # -- registry ----------------------------------------------------------
+
+    def add_shard(self, name: str, engine: ActiveRBACEngine,
+                  durability: Any = None) -> Shard:
+        self.federation.add_domain(name, engine)
+        shard = self._shards[name] = Shard(name, engine, durability)
+        return shard
+
+    def add_mapping(self, mapping: RoleMapping) -> None:
+        self.federation.add_mapping(mapping)
+
+    def shard(self, name: str) -> Shard:
+        try:
+            return self._shards[name]
+        except KeyError:
+            raise AdministrationError(f"unknown shard {name!r}") from None
+
+    def shards(self) -> Iterator[Shard]:
+        return iter(self._shards.values())
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    # -- routing -----------------------------------------------------------
+
+    def resolve(self, user: str,
+                domain: str | None = None) -> tuple[Shard, str]:
+        """Map ``(user, domain?)`` to ``(shard, principal)``.
+
+        The principal is the name the shard's engine knows the caller
+        by: the bare name at home, the ``name@home`` guest principal
+        when visiting.  Guest provisioning (user + mapped roles +
+        session) happens here on first touch, through
+        :meth:`Federation.visit` — fail-closed: an unreachable home
+        domain raises :class:`~repro.errors.RetryExhausted` rather than
+        guessing entitlements.
+        """
+        name, at, home = user.partition("@")
+        if not name:
+            raise AdministrationError(f"empty user in {user!r}")
+        if domain is None:
+            if at:
+                domain = home
+            elif len(self._shards) == 1:
+                domain = next(iter(self._shards))
+            else:
+                raise AdministrationError(
+                    f"cannot route {user!r}: no domain given and "
+                    f"{len(self._shards)} shards registered")
+        shard = self.shard(domain)
+        if not at or home == domain:
+            return shard, name
+        # cross-shard visit: provision the guest on first touch
+        principal = guest_principal(name, home)
+        engine = shard.engine
+        if (principal not in engine.model.users
+                or not engine.model.assigned_roles(principal)):
+            sid = self.federation.visit(home, name, domain)
+            # visit() opens the guest session with no roles active;
+            # a stateless check API means "with everything the guest
+            # is entitled to", so activate the mapped roles now
+            shard.activate_assigned(sid, principal)
+            shard._sessions[principal] = sid
+        return shard, principal
+
+    # -- request surface ---------------------------------------------------
+
+    def check(self, user: str, operation: str, obj: str,
+              domain: str | None = None,
+              purpose: str | None = None) -> dict[str, Any]:
+        shard, principal = self.resolve(user, domain)
+        return shard.check(principal, operation, obj, purpose=purpose)
+
+    def explain(self, user: str, operation: str, obj: str,
+                domain: str | None = None,
+                purpose: str | None = None) -> dict[str, Any]:
+        shard, principal = self.resolve(user, domain)
+        return shard.explain(principal, operation, obj, purpose=purpose)
+
+    def health(self) -> dict[str, Any]:
+        """Aggregate health: ``ok`` only when every shard is ``ok``."""
+        shards = {name: shard.health()
+                  for name, shard in self._shards.items()}
+        status = "ok" if all(
+            report["status"] == "ok" for report in shards.values()
+        ) else "degraded"
+        return {"status": status, "shards": shards}
+
+    def describe(self) -> str:
+        lines = [f"router: {len(self._shards)} shard(s)"]
+        for name, shard in sorted(self._shards.items()):
+            lines.append(
+                f"  {name}: epoch {shard.epoch}, "
+                f"{len(shard.engine.rules)} rules, "
+                f"{len(shard.engine.model.users)} users, "
+                f"wal={'on' if shard.durability is not None else 'off'}")
+        return "\n".join(lines)

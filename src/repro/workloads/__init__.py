@@ -10,12 +10,20 @@ each benchmark sweeps.
 
 from repro.workloads.generator import (
     EnterpriseShape,
+    ServiceOp,
+    fleet_shard_name,
     generate_enterprise,
+    generate_fleet,
     generate_request_stream,
+    generate_service_plan,
 )
 
 __all__ = [
     "EnterpriseShape",
+    "ServiceOp",
+    "fleet_shard_name",
     "generate_enterprise",
+    "generate_fleet",
     "generate_request_stream",
+    "generate_service_plan",
 ]

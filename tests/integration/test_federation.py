@@ -156,3 +156,70 @@ class TestRevocation:
         assert "2 domain(s)" in text
         assert "(1 guests)" in text
         assert "hq:Engineer -> lab:Visitor" in text
+
+
+class TestLookupFailClosed:
+    """The home-domain authorization lookup is a remote call in a real
+    deployment: transient outages retry, a dead home domain exhausts
+    the budget and FAILS CLOSED — no entitlement guess — and the
+    refusal is audited on the host domain (satellite of ISSUE 7)."""
+
+    def _chaos(self, seed=3, **arm_kwargs):
+        from repro.testing.faults import FaultInjector
+
+        chaos = FaultInjector(seed=seed)
+        chaos.patch(Federation, "_home_is_authorized",
+                    "federation.lookup")
+        chaos.arm("federation.lookup", **arm_kwargs)
+        return chaos
+
+    def test_retry_exhaustion_fails_closed_and_audits(self, federation):
+        from repro.errors import RetryExhausted
+
+        lab = federation.domain("lab")
+        chaos = self._chaos()  # default: fault on every call
+        try:
+            with pytest.raises(RetryExhausted):
+                federation.entitled_host_roles("hq", "ana", "lab")
+        finally:
+            chaos.restore()
+        # every attempt in the budget was burned before giving up
+        assert chaos.calls("federation.lookup") == \
+            federation.lookup_attempts
+        # ... and the host audited the refusal with full context
+        records = lab.audit.by_kind("federation.lookup_exhausted")
+        assert len(records) == 1
+        detail = records[0].detail
+        assert detail["user"] == "ana"
+        assert detail["home_domain"] == "hq"
+        assert detail["host_domain"] == "lab"
+        assert detail["home_role"] == "Engineer"
+        assert detail["attempts"] == federation.lookup_attempts
+        assert detail["error"] == "TransientError"
+
+    def test_exhaustion_blocks_the_visit(self, federation):
+        from repro.errors import RetryExhausted
+
+        chaos = self._chaos()
+        try:
+            with pytest.raises(RetryExhausted):
+                federation.visit("hq", "ana", "lab")
+        finally:
+            chaos.restore()
+        # fail closed: no guest principal was provisioned
+        lab = federation.domain("lab")
+        assert guest_principal("ana", "hq") not in lab.model.users
+
+    def test_transient_blip_recovers_without_audit(self, federation):
+        # fault only the first call: the retry succeeds, nothing is
+        # audited, and the retry counter surfaces the blip
+        chaos = self._chaos(at=(1,))
+        try:
+            roles = federation.entitled_host_roles("hq", "ana", "lab")
+        finally:
+            chaos.restore()
+        assert roles == {"Visitor"}
+        lab = federation.domain("lab")
+        assert lab.audit.by_kind("federation.lookup_exhausted") == []
+        hq = federation.domain("hq")
+        assert hq.obs.transient_retries.total() >= 1

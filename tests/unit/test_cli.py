@@ -317,3 +317,35 @@ class TestHygiene:
     def test_who_can_bad_format(self, policy_file, capsys):
         assert main(["hygiene", policy_file(self.CLEAN),
                      "--who-can", "nodcolon"]) == 2
+
+
+class TestServeLoadgenArgs:
+    """Argument validation for the service-plane commands (no server
+    is booted: every case exits before binding or connecting)."""
+
+    def test_loadgen_needs_a_port(self, capsys):
+        assert main(["loadgen"]) == 2
+        assert "need --port or --port-file" in capsys.readouterr().err
+
+    def test_loadgen_unreadable_port_file(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.txt")
+        assert main(["loadgen", "--port-file", missing]) == 2
+        assert "cannot read port" in capsys.readouterr().err
+
+    def test_loadgen_bad_levels(self, tmp_path, capsys):
+        port_file = tmp_path / "port.txt"
+        port_file.write_text("1\n")
+        assert main(["loadgen", "--port-file", str(port_file),
+                     "--levels", "1,banana"]) == 2
+        assert "--levels" in capsys.readouterr().err
+
+    def test_serve_bad_mapping(self, capsys):
+        assert main(["serve", "--synthetic", "1", "--users", "5",
+                     "--roles", "3", "--map", "not-a-mapping"]) == 2
+        assert "--map expects" in capsys.readouterr().err
+
+    def test_serve_bad_shard_spec(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--shard", "no-equals-sign"])
+        assert exc.value.code == 2
+        assert "--shard expects" in capsys.readouterr().err

@@ -5,8 +5,11 @@ import pytest
 from repro.policy.validator import validate_policy
 from repro.workloads import (
     EnterpriseShape,
+    fleet_shard_name,
     generate_enterprise,
+    generate_fleet,
     generate_request_stream,
+    generate_service_plan,
 )
 
 
@@ -106,3 +109,87 @@ class TestRequestStream:
                 assert request.role in spec.roles
             if request.kind == "check":
                 assert (request.operation, request.obj) in spec.permissions
+
+
+class TestFleet:
+    def test_population_split_and_naming(self):
+        fleet = generate_fleet(shards=2, users=100, roles=10, seed=7)
+        assert sorted(fleet) == [fleet_shard_name(0), fleet_shard_name(1)]
+        assert sum(len(spec.users) for spec in fleet.values()) >= 100
+        # shards are distinct tenants: differently-seeded enterprises
+        assert (fleet["shard00"].grants != fleet["shard01"].grants)
+
+    def test_deterministic_in_seed(self):
+        first = generate_fleet(shards=2, users=40, roles=10, seed=3)
+        second = generate_fleet(shards=2, users=40, roles=10, seed=3)
+        assert first["shard00"].grants == second["shard00"].grants
+        assert first["shard01"].assignments == second["shard01"].assignments
+
+    def test_needs_a_shard(self):
+        with pytest.raises(ValueError):
+            generate_fleet(shards=0)
+
+
+class TestServicePlan:
+    @pytest.fixture
+    def fleet(self):
+        return generate_fleet(shards=2, users=40, roles=10, seed=7)
+
+    def test_deterministic(self, fleet):
+        first = generate_service_plan(fleet, 100, seed=23)
+        second = generate_service_plan(fleet, 100, seed=23)
+        assert first == second
+
+    def test_kinds_and_length(self, fleet):
+        plan = generate_service_plan(fleet, 300, seed=23, admin_every=25)
+        assert len(plan) == 300
+        kinds = {op.kind for op in plan}
+        assert kinds <= {"check", "check_batch", "explain", "metrics",
+                         "health", "admin"}
+        assert "check" in kinds and "admin" in kinds
+
+    def test_users_are_shard_qualified(self, fleet):
+        plan = generate_service_plan(fleet, 200, seed=23)
+        shard_names = set(fleet)
+        for op in plan:
+            if op.kind in ("check", "explain"):
+                user, _, home = op.payload["user"].partition("@")
+                assert home in shard_names
+                assert user in fleet[home].users
+
+    def test_single_shard_uses_bare_names(self):
+        fleet = generate_fleet(shards=1, users=20, roles=10, seed=7)
+        plan = generate_service_plan(fleet, 50, seed=23)
+        for op in plan:
+            if op.kind == "check":
+                assert "@" not in op.payload["user"]
+
+    def test_admin_ops_are_fresh_grants(self, fleet):
+        plan = generate_service_plan(fleet, 200, seed=23, admin_every=10)
+        admins = [op for op in plan if op.kind == "admin"]
+        assert len(admins) == 20
+        seen = set()
+        for op in admins:
+            args = op.payload["args"]
+            shard = op.payload["domain"]
+            spec = fleet[shard]
+            triple = (args["role"], args["operation"], args["object"])
+            # never an existing grant, never repeated: replay order
+            # cannot double-grant no matter how workers interleave
+            assert triple not in spec.grants
+            assert (shard, triple) not in seen
+            seen.add((shard, triple))
+            assert args["role"] in spec.roles
+            assert (args["operation"], args["object"]) in spec.permissions
+            assert op.payload["op"] == "grant"
+
+    def test_batch_ops_carry_batches(self, fleet):
+        plan = generate_service_plan(fleet, 400, seed=23, batch_size=5)
+        batches = [op for op in plan if op.kind == "check_batch"]
+        assert batches
+        for op in batches:
+            assert len(op.payload["checks"]) == 5
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            generate_service_plan({}, 10)
