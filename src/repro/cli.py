@@ -512,7 +512,40 @@ def cmd_serve(args: argparse.Namespace) -> int:
     flightrec_dir = (args.flightrec_dir
                      or os.environ.get("REPRO_FLIGHTREC_DIR"))
     app = ServeApp(router, drain_grace=args.drain_grace,
-                   flightrec_dir=flightrec_dir)
+                   flightrec_dir=flightrec_dir,
+                   max_inflight=args.max_inflight,
+                   request_timeout=args.request_timeout_ms / 1000.0,
+                   max_head_bytes=args.max_head_bytes,
+                   max_body_bytes=args.max_body_bytes,
+                   shard_concurrency=args.shard_concurrency,
+                   breaker_threshold=args.breaker_threshold,
+                   breaker_cooldown=args.breaker_cooldown)
+    if args.chaos_check:
+        # deterministic shard-fault injection for the chaos-serve CI
+        # job: after WARM clean calls, the next FAILS checks raise
+        # TransientError (503s that trip the shard's breaker)
+        from repro.errors import TransientError
+        from repro.testing.faults import FaultInjector
+
+        try:
+            shard_name, warm_s, fails_s = args.chaos_check.split(":")
+            warm, fails = int(warm_s), int(fails_s)
+        except ValueError:
+            print(f"error: --chaos-check expects SHARD:WARM:FAILS, "
+                  f"got {args.chaos_check!r}", file=sys.stderr)
+            return 2
+        try:
+            shard = router.shard(shard_name)
+        except ReproError as exc:
+            print(f"error: --chaos-check: {exc}", file=sys.stderr)
+            return 2
+        chaos = FaultInjector(seed=args.seed)
+        point = f"serve.chaos.{shard_name}.check"
+        chaos.arm(point, error=TransientError,
+                  at=range(warm + 1, warm + 1 + fails))
+        chaos.patch(shard, "check", point)
+        print(f"chaos-check armed: shard {shard_name} fails checks "
+              f"{warm + 1}..{warm + fails}", flush=True)
     print(router.describe(), flush=True)
     try:
         asyncio.run(app.run(args.host, args.port,
@@ -526,11 +559,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
 def cmd_loadgen(args: argparse.Namespace) -> int:
     """Drive a running server with the deterministic service plan and
     report the saturation curve; exit 1 when the p99 budget is blown
-    or any request errored."""
+    or any request errored.  ``--open-loop RPS`` switches to the
+    overload harness (goodput vs. shed rate), ``--chaos SEED`` to the
+    network-fault replay — both emit into ``--out`` when given."""
     import asyncio
     import json as _json
 
-    from repro.serve.loadgen import run_loadgen, write_bench
+    from repro.serve.loadgen import (
+        run_chaos,
+        run_loadgen,
+        run_overload,
+        write_bench,
+        write_json,
+    )
     from repro.workloads import generate_fleet, generate_service_plan
 
     port = args.port
@@ -549,6 +590,43 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     plan = generate_service_plan(fleet, args.requests,
                                  seed=args.plan_seed,
                                  admin_every=args.admin_every)
+    if args.open_loop is not None:
+        overload = asyncio.run(run_overload(
+            args.host, port, plan, args.open_loop,
+            client_timeout=args.client_timeout))
+        payload = {"mode": "open_loop", **overload.to_dict()}
+        if args.out:
+            write_json(payload, args.out)
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        if overload.hung:
+            print(f"FAIL: {overload.hung} hung request(s)",
+                  file=sys.stderr)
+            return 1
+        if overload.retry_after_missing:
+            print(f"FAIL: {overload.retry_after_missing} shed 503(s) "
+                  f"without Retry-After", file=sys.stderr)
+            return 1
+        return 0
+    if args.chaos is not None:
+        from repro.testing.faults import NetFaultPlan
+
+        fault_plan = NetFaultPlan(seed=args.chaos)
+        chaos_report = asyncio.run(run_chaos(
+            args.host, port, plan, fault_plan,
+            response_timeout=args.client_timeout))
+        payload = {"mode": "chaos", "seed": args.chaos,
+                   **chaos_report.to_dict()}
+        if args.out:
+            write_json(payload, args.out)
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        if (chaos_report.hung or chaos_report.server_5xx
+                or not chaos_report.alive_after):
+            print(f"FAIL: hung={chaos_report.hung} "
+                  f"server_5xx={chaos_report.server_5xx} "
+                  f"alive_after={chaos_report.alive_after}",
+                  file=sys.stderr)
+            return 1
+        return 0
     try:
         levels = tuple(int(level) for level in args.levels.split(","))
     except ValueError:
@@ -558,7 +636,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     report = asyncio.run(run_loadgen(
         args.host, port, plan, levels=levels,
         users=sum(len(spec.users) for spec in fleet.values()),
-        shards=len(fleet)))
+        shards=len(fleet), seed=args.plan_seed))
     extra = {}
     if args.p99_budget_ms is not None:
         extra["budget_p99_ms"] = args.p99_budget_ms
@@ -774,6 +852,33 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-grace", type=float, default=5.0,
                        help="seconds to wait for in-flight requests "
                             "on shutdown (default: 5)")
+    serve.add_argument("--max-inflight", type=int, default=256,
+                       help="admission control: requests handled "
+                            "concurrently before shedding 503 "
+                            "(default: 256)")
+    serve.add_argument("--request-timeout-ms", type=float,
+                       default=1000.0,
+                       help="per-request i/o timeout and default "
+                            "deadline budget in ms (default: 1000)")
+    serve.add_argument("--max-body-bytes", type=int,
+                       default=4 * 1024 * 1024,
+                       help="request body size bound (default: 4 MiB)")
+    serve.add_argument("--max-head-bytes", type=int, default=16 * 1024,
+                       help="request head size bound (default: 16 KiB)")
+    serve.add_argument("--shard-concurrency", type=int, default=64,
+                       help="per-shard bulkhead slots (default: 64)")
+    serve.add_argument("--breaker-threshold", type=int, default=5,
+                       help="consecutive shard failures that trip its "
+                            "circuit breaker (default: 5)")
+    serve.add_argument("--breaker-cooldown", type=float, default=2.0,
+                       help="seconds an open breaker waits before its "
+                            "half-open probe (default: 2)")
+    serve.add_argument("--chaos-check", default=None,
+                       metavar="SHARD:WARM:FAILS",
+                       help="fault injection: after WARM clean checks "
+                            "on SHARD, fail the next FAILS with "
+                            "TransientError (trips the breaker "
+                            "deterministically; CI chaos harness)")
     serve.set_defaults(fn=cmd_serve)
 
     loadgen = sub.add_parser(
@@ -812,6 +917,23 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--p99-budget-ms", type=float, default=None,
                          help="fail (exit 1) when overall p99 exceeds "
                               "this many milliseconds")
+    loadgen.add_argument("--open-loop", type=float, default=None,
+                         metavar="RPS",
+                         help="open-loop overload mode: offer the plan "
+                              "at a fixed request rate and report "
+                              "goodput vs. shed rate (fails on hung "
+                              "connections or shed 503s missing "
+                              "Retry-After)")
+    loadgen.add_argument("--chaos", type=int, default=None,
+                         metavar="SEED",
+                         help="network chaos mode: replay the plan "
+                              "through the seeded fault-injecting "
+                              "transport (resets, stalls, truncated "
+                              "bodies, garbage frames)")
+    loadgen.add_argument("--client-timeout", type=float, default=5.0,
+                         help="open-loop/chaos: seconds to wait for a "
+                              "response before counting the "
+                              "connection as hung (default: 5)")
     loadgen.set_defaults(fn=cmd_loadgen)
 
     hygiene = sub.add_parser(

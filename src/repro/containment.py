@@ -12,7 +12,10 @@ module holds the policy vocabulary the rule manager enforces with:
   rule;
 * :func:`retry_transient` — bounded retry with exponential backoff for
   transient infrastructure faults (persistence writes, federation
-  lookups);
+  lookups), and :func:`retry_transient_async` — the same contract for
+  coroutine callables (the service-plane load client reconnects with
+  it), with optional seeded jitter so a fleet of retrying clients does
+  not reconnect in lockstep;
 * :func:`fsync_file` / :func:`fsync_dir` — the durability primitives
   snapshot writes and the write-ahead log build on: an ``os.replace``
   is only crash-safe once the payload is synced *before* the rename
@@ -107,6 +110,51 @@ def retry_transient(fn: Callable[[], T], *,
                 on_retry(attempt, exc)
             if sleep is not None and delay > 0:
                 sleep(delay)
+            delay = min(delay * factor if delay > 0 else base_delay,
+                        max_delay)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+async def retry_transient_async(fn, *,
+                                attempts: int = 3,
+                                base_delay: float = 0.0,
+                                factor: float = 2.0,
+                                max_delay: float = 1.0,
+                                retry_on: tuple[type[BaseException], ...] = (
+                                    TransientError, OSError),
+                                jitter: Callable[[], float] | None = None,
+                                sleep=None,
+                                on_retry: Callable[[int, BaseException], None]
+                                | None = None):
+    """:func:`retry_transient` for coroutine callables.
+
+    Same contract — bounded attempts, exponential backoff capped at
+    ``max_delay``, :class:`~repro.errors.RetryExhausted` chaining the
+    last error — with an async ``fn`` and an awaitable ``sleep``
+    (default ``asyncio.sleep``).  ``jitter`` (e.g. a seeded
+    ``random.Random(...).random``) scales each delay by ``[0, 1)`` so
+    a fleet of clients retrying against the same recovering server
+    does not reconnect in lockstep; pass None for the deterministic
+    full-delay schedule.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    if sleep is None:
+        import asyncio
+
+        sleep = asyncio.sleep
+    delay = base_delay
+    for attempt in range(1, attempts + 1):
+        try:
+            return await fn()
+        except retry_on as exc:
+            if attempt == attempts:
+                raise RetryExhausted(attempts, exc) from exc
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            if delay > 0:
+                await sleep(delay * jitter() if jitter is not None
+                            else delay)
             delay = min(delay * factor if delay > 0 else base_delay,
                         max_delay)
     raise AssertionError("unreachable")  # pragma: no cover

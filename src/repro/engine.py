@@ -557,6 +557,15 @@ class ActiveRBACEngine(EnforcementHelpers):
             # leak a stale decision/deadline into the next check
             self._decision = False
             self.rules.deadline = deadline
+            if deadline is not None:
+                # a budget exhausted before dispatch (the request sat in
+                # an overloaded server's queue) is denied without paying
+                # for the dispatch it can no longer afford
+                reason = deadline.exceeded()
+                if reason is not None:
+                    raise DeadlineExceeded(
+                        f"checkAccess {reason} deadline budget exhausted "
+                        f"before dispatch; denied", reason=reason)
             self.detector.raise_event(
                 "checkAccess", sessionId=session_id, operation=operation,
                 object=obj, purpose=purpose, user=user,

@@ -9,33 +9,54 @@ client that drives it and emits ``BENCH_serve.json``.
 Layout:
 
 * :mod:`repro.serve.shard` — :class:`Shard` (the published-kernel RCU
-  surface) and :class:`ShardRouter` (home-domain routing over the
-  federation);
+  surface, including the degraded frozen-kernel read path) and
+  :class:`ShardRouter` (home-domain routing over the federation);
+* :mod:`repro.serve.bulkhead` — per-shard overload isolation:
+  :class:`Bulkhead`, :class:`CircuitBreaker`, :class:`ShardGuard`;
 * :mod:`repro.serve.http` — :class:`ServeApp`, the zero-dependency
-  HTTP/1.1 server with graceful drain/flush/dump shutdown;
-* :mod:`repro.serve.loadgen` — the keep-alive client, saturation
-  sweep, and bench emission.
+  HTTP/1.1 server with admission control, i/o timeouts, per-request
+  deadlines, degraded-mode serving and graceful drain/flush/dump
+  shutdown;
+* :mod:`repro.serve.loadgen` — the keep-alive client (backoff
+  reconnect), closed-loop saturation sweep, open-loop overload
+  harness, chaos replay, and bench emission.
 """
 
+from repro.serve.bulkhead import Bulkhead, CircuitBreaker, ShardGuard
 from repro.serve.http import HttpError, ServeApp
 from repro.serve.loadgen import (
+    ChaosHttpClient,
+    ChaosReport,
     HttpClient,
     LoadLevel,
     LoadReport,
+    OverloadReport,
+    run_chaos,
     run_loadgen,
+    run_overload,
     write_bench,
+    write_json,
 )
 from repro.serve.shard import ADMIN_OPS, Shard, ShardRouter
 
 __all__ = [
     "ADMIN_OPS",
+    "Bulkhead",
+    "ChaosHttpClient",
+    "ChaosReport",
+    "CircuitBreaker",
     "HttpClient",
     "HttpError",
     "LoadLevel",
     "LoadReport",
+    "OverloadReport",
     "ServeApp",
     "Shard",
+    "ShardGuard",
     "ShardRouter",
+    "run_chaos",
     "run_loadgen",
+    "run_overload",
     "write_bench",
+    "write_json",
 ]

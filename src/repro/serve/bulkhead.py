@@ -1,0 +1,171 @@
+"""Per-shard overload isolation: bulkheads and circuit breakers.
+
+One saturated or faulting tenant must not take the whole service plane
+down with it.  Two small, transport-agnostic primitives enforce that
+(`serve/http.py` wires them per shard):
+
+* :class:`Bulkhead` — a bounded concurrency slot counter.  A slot
+  spans one shard-routed request from dispatch through response
+  drain, so a tenant whose clients read slowly (or whose checks fall
+  back to the slow interpreted path) saturates *its own* slots and is
+  shed with 503s while every other shard keeps its full budget.
+* :class:`CircuitBreaker` — the classic three-state machine over
+  *consecutive* shard failures (5xx responses, transport aborts).
+  ``closed`` serves normally; ``threshold`` consecutive failures trip
+  it ``open``; after ``cooldown`` seconds one request is let through
+  ``half_open`` as a probe — success closes the breaker, failure
+  re-opens it and restarts the cooldown.
+
+While a shard's breaker is open the front-end serves **degraded
+mode**: reads keep answering from the shard's last published kernel
+epoch (:meth:`repro.serve.shard.Shard.check_degraded` — a pure
+bitset read, fail-closed on anything dynamic), and control-plane
+mutations are rejected 503 fail-closed, because an admin op against a
+faulting engine could commit half a mutation.
+
+Both classes take an injectable monotonic ``now`` so tests drive the
+cooldown deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+__all__ = ["Bulkhead", "CircuitBreaker", "ShardGuard",
+           "STATE_CLOSED", "STATE_OPEN", "STATE_HALF_OPEN"]
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+#: numeric encoding for the breaker-state gauge (alert on > 0)
+STATE_CODES = {STATE_CLOSED: 0, STATE_HALF_OPEN: 1, STATE_OPEN: 2}
+
+
+class Bulkhead:
+    """A bounded pool of concurrency slots (no queue: full == shed).
+
+    ``try_acquire`` never waits — an admission-control layer must shed
+    immediately, not build a hidden queue that defeats the bound.
+    """
+
+    __slots__ = ("limit", "active", "peak", "shed")
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError("bulkhead limit must be >= 1")
+        self.limit = limit
+        self.active = 0
+        self.peak = 0
+        self.shed = 0
+
+    def try_acquire(self) -> bool:
+        if self.active >= self.limit:
+            self.shed += 1
+            return False
+        self.active += 1
+        if self.active > self.peak:
+            self.peak = self.active
+        return True
+
+    def release(self) -> None:
+        if self.active <= 0:
+            raise RuntimeError("bulkhead release without acquire")
+        self.active -= 1
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a timed half-open probe."""
+
+    __slots__ = ("threshold", "cooldown", "state", "failures", "trips",
+                 "opened_at", "_now", "_probing")
+
+    def __init__(self, threshold: int = 5, cooldown: float = 2.0,
+                 now: Callable[[], float] = time.monotonic) -> None:
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._now = now
+        self.state = STATE_CLOSED
+        self.failures = 0        # consecutive, reset on success
+        self.trips = 0           # lifetime closed/half-open -> open
+        self.opened_at: float | None = None
+        self._probing = False
+
+    def allow(self) -> str:
+        """Admission verdict for one shard-routed request.
+
+        Returns ``"serve"`` (closed: real path), ``"probe"``
+        (half-open: this request is *the* probe — its outcome decides
+        the breaker), or ``"degraded"`` (open, or a probe is already
+        in flight: answer from the frozen kernel, reject mutations).
+        """
+        if self.state == STATE_CLOSED:
+            return "serve"
+        if self.state == STATE_OPEN:
+            if self._now() - self.opened_at < self.cooldown:
+                return "degraded"
+            self.state = STATE_HALF_OPEN
+            self._probing = False
+        if self._probing:
+            return "degraded"
+        self._probing = True
+        return "probe"
+
+    def record(self, ok: bool) -> None:
+        """Record one real-path outcome (closed traffic or the probe)."""
+        if self.state == STATE_HALF_OPEN:
+            self._probing = False
+            if ok:
+                self.state = STATE_CLOSED
+                self.failures = 0
+                self.opened_at = None
+            else:
+                self._trip()
+            return
+        if ok:
+            self.failures = 0
+            return
+        self.failures += 1
+        if self.state == STATE_CLOSED and self.failures >= self.threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = STATE_OPEN
+        self.trips += 1
+        self.opened_at = self._now()
+        self.failures = 0
+
+    @property
+    def code(self) -> int:
+        """Numeric state for the metrics gauge (0/1/2)."""
+        return STATE_CODES[self.state]
+
+
+class ShardGuard:
+    """One shard's overload armor: its bulkhead plus its breaker."""
+
+    __slots__ = ("name", "bulkhead", "breaker", "degraded_served")
+
+    def __init__(self, name: str, concurrency: int,
+                 threshold: int = 5, cooldown: float = 2.0,
+                 now: Callable[[], float] = time.monotonic) -> None:
+        self.name = name
+        self.bulkhead = Bulkhead(concurrency)
+        self.breaker = CircuitBreaker(threshold, cooldown, now=now)
+        self.degraded_served = 0
+
+    def snapshot(self) -> dict[str, Any]:
+        """Operator view for ``/healthz`` per-shard reporting."""
+        return {
+            "breaker": self.breaker.state,
+            "breaker_trips": self.breaker.trips,
+            "consecutive_failures": self.breaker.failures,
+            "bulkhead_limit": self.bulkhead.limit,
+            "bulkhead_active": self.bulkhead.active,
+            "bulkhead_peak": self.bulkhead.peak,
+            "bulkhead_shed": self.bulkhead.shed,
+            "degraded_served": self.degraded_served,
+        }

@@ -14,7 +14,8 @@ web framework; the whole repo stays stdlib-only):
 ``GET  /metrics``     server-plane Prometheus exposition; with
                       ``?shard=NAME`` the shard engine's full registry
 ``GET  /healthz``     aggregate ``engine.health()`` + kernel epoch /
-                      staleness per shard (503 when degraded)
+                      breaker + bulkhead state per shard (503 when
+                      degraded)
 ====================  ====================================================
 
 All request handling runs on the event loop thread: a single check is
@@ -25,44 +26,73 @@ kernel reference (see ``serve/shard.py``); mutations recompile on the
 control plane and publish by one reference swap, so no request ever
 blocks on a recompile.
 
+**Overload resilience** (see ``docs/ARCHITECTURE.md`` §"Overload,
+backpressure & degraded mode"):
+
+* *admission control* — at most ``max_inflight`` requests are handled
+  at once; excess load is shed immediately with ``503`` +
+  ``Retry-After`` (counted in ``repro_serve_shed_total{reason}``),
+  never queued behind a hidden backlog;
+* *i/o timeouts* — reading a request head or body, and draining a
+  response, are each bounded by ``request_timeout``; a slow-loris
+  head or truncated body gets ``408`` and the connection is closed,
+  a non-reading client gets its transport aborted
+  (``repro_serve_timeouts_total{stage}``);
+* *per-request deadlines* — every request carries a
+  :class:`~repro.clock.Deadline` (``X-Deadline-Ms`` header, default
+  ``request_timeout``) threaded into the engine, so a saturated shard
+  *times out* checks fail-closed instead of queueing them forever;
+* *per-shard bulkheads + circuit breakers* — each shard has a bounded
+  concurrency slot pool and a consecutive-failure breaker
+  (``repro.serve.bulkhead``).  A tripped breaker serves **degraded
+  mode**: reads answer from the last published kernel epoch
+  (:meth:`~repro.serve.shard.Shard.check_degraded`), mutations are
+  rejected ``503`` fail-closed.
+
 **Graceful shutdown** (SIGTERM/SIGINT, or :meth:`ServeApp.shutdown`):
-stop accepting, drain in-flight requests (bounded by ``drain_grace``),
-flush every shard's WAL group-commit buffer, and dump every flight
-recorder — the forensic ring survives the exit.
+remove the port file and close the listener *first* (so no new client
+can arrive believing the server is ready), drain in-flight requests
+(bounded by ``drain_grace``), flush every shard's WAL group-commit
+buffer, and dump every flight recorder — the forensic ring survives
+the exit.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
 import sys
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
+from repro.clock import Deadline
 from repro.errors import (
     AccessDenied,
     AdministrationError,
     ReproError,
     RetryExhausted,
+    TransientError,
     UnknownRoleError,
     UnknownUserError,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.serve.bulkhead import STATE_OPEN, ShardGuard
 from repro.serve.shard import ShardRouter
 
 __all__ = ["ServeApp", "HttpError", "parse_request_head",
            "response_bytes"]
 
-#: request-head size bound (request line + headers)
+#: default request-head size bound (request line + headers)
 MAX_HEAD_BYTES = 16 * 1024
-#: request-body size bound
+#: default request-body size bound
 MAX_BODY_BYTES = 4 * 1024 * 1024
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             403: "Forbidden", 405: "Method Not Allowed",
-            413: "Payload Too Large", 500: "Internal Server Error",
-            503: "Service Unavailable"}
+            408: "Request Timeout", 413: "Payload Too Large",
+            500: "Internal Server Error", 503: "Service Unavailable"}
 
 #: serve-plane latency buckets in ns: 10us .. 1s
 SERVE_LATENCY_BUCKETS_NS = (
@@ -72,13 +102,23 @@ SERVE_LATENCY_BUCKETS_NS = (
 
 
 class HttpError(Exception):
-    """A request the server answers with an error status + JSON body."""
+    """A request the server answers with an error status + JSON body.
+
+    ``retry_after`` adds a ``Retry-After`` header (load-shed 503s set
+    it so well-behaved clients back off); ``close`` forces the
+    connection closed after the response — mandatory whenever the
+    request body was not fully read, or keep-alive would desync.
+    """
 
     def __init__(self, status: int, message: str,
-                 error: str = "http") -> None:
+                 error: str = "http",
+                 retry_after: float | None = None,
+                 close: bool = False) -> None:
         super().__init__(message)
         self.status = status
         self.error = error
+        self.retry_after = retry_after
+        self.close = close
 
 
 def parse_request_head(head: bytes) -> tuple[str, str, dict[str, str]]:
@@ -109,8 +149,12 @@ def parse_request_head(head: bytes) -> tuple[str, str, dict[str, str]]:
 
 
 def response_bytes(status: int, payload: dict[str, Any] | str,
-                   close: bool = False) -> bytes:
-    """One full HTTP/1.1 response (JSON unless ``payload`` is text)."""
+                   close: bool = False,
+                   headers: dict[str, str] | None = None) -> bytes:
+    """One full HTTP/1.1 response (JSON unless ``payload`` is text).
+
+    ``headers`` adds extra response headers (e.g. ``Retry-After``).
+    """
     if isinstance(payload, str):
         body = payload.encode("utf-8")
         ctype = "text/plain; version=0.0.4; charset=utf-8"
@@ -118,9 +162,14 @@ def response_bytes(status: int, payload: dict[str, Any] | str,
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         ctype = "application/json"
     reason = _REASONS.get(status, "Unknown")
+    extra = ""
+    if headers:
+        extra = "".join(f"{name}: {value}\r\n"
+                        for name, value in headers.items())
     head = (f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {ctype}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: {'close' if close else 'keep-alive'}\r\n"
             f"\r\n")
     return head.encode("latin-1") + body
@@ -129,13 +178,16 @@ def response_bytes(status: int, payload: dict[str, Any] | str,
 def _error_status(exc: ReproError) -> int:
     """Map engine errors onto HTTP statuses: unknown entities are 404,
     fail-closed conditions (including an unreachable home domain) and
-    denials are 403."""
+    denials are 403, transient infrastructure faults are 503 (the
+    client may retry; the breaker counts them against the shard)."""
     if isinstance(exc, (UnknownUserError, UnknownRoleError)):
         return 404
     if isinstance(exc, AdministrationError):
         return 404 if "unknown" in str(exc).lower() else 400
     if isinstance(exc, (AccessDenied, RetryExhausted)):
         return 403
+    if isinstance(exc, TransientError):
+        return 503
     return 400
 
 
@@ -144,7 +196,15 @@ class ServeApp:
 
     def __init__(self, router: ShardRouter, *,
                  drain_grace: float = 5.0,
-                 flightrec_dir: str | None = None) -> None:
+                 flightrec_dir: str | None = None,
+                 max_inflight: int = 256,
+                 request_timeout: float = 1.0,
+                 max_head_bytes: int = MAX_HEAD_BYTES,
+                 max_body_bytes: int = MAX_BODY_BYTES,
+                 retry_after: float = 1.0,
+                 shard_concurrency: int = 64,
+                 breaker_threshold: int = 5,
+                 breaker_cooldown: float = 2.0) -> None:
         self.router = router
         self.drain_grace = drain_grace
         #: where shutdown flight-recorder dumps land; None keeps each
@@ -153,11 +213,24 @@ class ServeApp:
         if flightrec_dir is not None:
             for shard in router.shards():
                 shard.engine.flight.dump_dir = flightrec_dir
+        self.max_inflight = max_inflight
+        self.request_timeout = request_timeout
+        self.max_head_bytes = max_head_bytes
+        self.max_body_bytes = max_body_bytes
+        #: Retry-After seconds advertised on every shed 503
+        self.retry_after = retry_after
+        self.shard_concurrency = shard_concurrency
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self._guards: dict[str, ShardGuard] = {}
+        for shard in router.shards():
+            self._guard(shard.name)
         self._server: asyncio.base_events.Server | None = None
         self._inflight = 0
         self._draining = False
         self._shutdown_summary: dict[str, Any] | None = None
         self.port: int | None = None
+        self._port_file: str | None = None
 
         # -- server-plane metrics (the shard engines keep their own
         # registries; /metrics?shard=NAME exposes those verbatim) ------
@@ -176,6 +249,30 @@ class ServeApp:
         self._connections = m.counter(
             "repro_serve_connections_total",
             "client connections accepted")
+        self._shed_total = m.counter(
+            "repro_serve_shed_total",
+            "requests shed by admission control, by reason",
+            ("reason",))
+        self._timeouts = m.counter(
+            "repro_serve_timeouts_total",
+            "request i/o timeouts, by stage", ("stage",))
+        self._degraded = m.counter(
+            "repro_serve_degraded_total",
+            "degraded-mode reads answered from the frozen kernel, "
+            "by shard", ("shard",))
+        self._breaker_state = m.gauge(
+            "repro_serve_breaker_state",
+            "circuit breaker state by shard "
+            "(0 closed / 1 half-open / 2 open)", ("shard",))
+        self._breaker_trips = m.gauge(
+            "repro_serve_breaker_trips_total",
+            "lifetime circuit-breaker trips, by shard", ("shard",))
+        self._bulkhead_active = m.gauge(
+            "repro_serve_bulkhead_active",
+            "bulkhead slots currently held, by shard", ("shard",))
+        self._bulkhead_shed = m.gauge(
+            "repro_serve_bulkhead_shed_total",
+            "requests shed at the shard bulkhead, by shard", ("shard",))
         self._shard_epoch = m.gauge(
             "repro_serve_shard_epoch",
             "published kernel policy epoch, by shard", ("shard",))
@@ -206,6 +303,60 @@ class ServeApp:
             for outcome in ("grant", "deny"):
                 self._shard_decisions.labels(name, outcome).set(
                     decisions.labels(outcome).value)
+        for name, guard in self._guards.items():
+            self._breaker_state.labels(name).set(guard.breaker.code)
+            self._breaker_trips.labels(name).set(guard.breaker.trips)
+            self._bulkhead_active.labels(name).set(guard.bulkhead.active)
+            self._bulkhead_shed.labels(name).set(guard.bulkhead.shed)
+
+    # -- per-shard guards ----------------------------------------------------
+
+    def _guard(self, name: str) -> ShardGuard:
+        """The shard's bulkhead + breaker, created on first touch."""
+        guard = self._guards.get(name)
+        if guard is None:
+            guard = self._guards[name] = ShardGuard(
+                name, self.shard_concurrency,
+                threshold=self.breaker_threshold,
+                cooldown=self.breaker_cooldown)
+        return guard
+
+    def _slot(self, guard: ShardGuard, ctx: dict[str, Any]) -> None:
+        """Take one bulkhead slot for this request or shed it 503.
+
+        The slot is registered in ``ctx`` and held until the response
+        has drained (released in :meth:`_serve_request`'s ``finally``),
+        so a tenant whose clients read slowly saturates its *own*
+        slots, not the global budget.
+        """
+        if not guard.bulkhead.try_acquire():
+            self._shed_total.labels("bulkhead")._value += 1
+            raise HttpError(
+                503, f"shard {guard.name!r} at concurrency limit",
+                error="shed", retry_after=self.retry_after)
+        ctx["bulkhead"] = guard.bulkhead
+
+    def _record_breaker(self, guard: ShardGuard, ok: bool) -> None:
+        """Feed one real-path outcome to the shard's breaker; on a
+        trip, dump the shard's flight recorder and audit the event so
+        the outage window has forensics."""
+        breaker = guard.breaker
+        before = breaker.trips
+        breaker.record(ok)
+        if breaker.trips > before:
+            engine = self.router.shard(guard.name).engine
+            engine.dump_flight(f"serve.breaker.open.{guard.name}",
+                               directory=self.flightrec_dir)
+            engine.audit.record(
+                "serve.breaker.open", shard=guard.name,
+                trips=breaker.trips, cooldown=breaker.cooldown)
+
+    def _degraded_check(self, shard: Any, principal: str,
+                        operation: str, obj: str) -> dict[str, Any]:
+        guard = self._guard(shard.name)
+        guard.degraded_served += 1
+        self._degraded.labels(shard.name)._value += 1
+        return shard.check_degraded(principal, operation, obj)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -221,14 +372,24 @@ class ServeApp:
     async def shutdown(self) -> dict[str, Any]:
         """Drain, flush, dump — the graceful exit sequence.
 
-        Idempotent; returns (and caches) the shutdown summary:
-        ``drained`` says whether every in-flight request completed
-        inside ``drain_grace``, ``wal_flushed`` counts group-commit
-        buffers fsynced, ``flight_dumps`` maps shard -> dump path.
+        The external readiness signals go away *first* — the port file
+        is unlinked and the listening socket closed before the drain
+        starts — so nothing can discover (or connect to) a server that
+        is already on its way out.  Idempotent; returns (and caches)
+        the shutdown summary: ``drained`` says whether every in-flight
+        request completed inside ``drain_grace``, ``wal_flushed``
+        counts group-commit buffers fsynced, ``flight_dumps`` maps
+        shard -> dump path.
         """
         if self._shutdown_summary is not None:
             return self._shutdown_summary
         self._draining = True
+        if self._port_file is not None:
+            try:
+                os.unlink(self._port_file)
+            except OSError:
+                pass
+            self._port_file = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -285,6 +446,7 @@ class ServeApp:
         if port_file:
             with open(port_file, "w", encoding="utf-8") as handle:
                 handle.write(f"{self.port}\n")
+            self._port_file = port_file
         print(f"serving {len(self.router)} shard(s) on "
               f"http://{host}:{self.port}", file=out, flush=True)
         await stop.wait()
@@ -301,73 +463,145 @@ class ServeApp:
         try:
             while not self._draining:
                 try:
-                    head = await reader.readuntil(b"\r\n\r\n")
+                    head = await asyncio.wait_for(
+                        reader.readuntil(b"\r\n\r\n"),
+                        self.request_timeout)
+                except asyncio.TimeoutError:
+                    # slow-loris (a head that never completes) and
+                    # idle keep-alive connections are both reaped;
+                    # only the former deserves a response
+                    if reader._buffer:
+                        self._timeouts.labels("head")._value += 1
+                        writer.write(response_bytes(
+                            408, {"error": "timeout",
+                                  "message": "timed out reading "
+                                             "request head"},
+                            close=True))
+                        with _suppress_net_errors():
+                            await writer.drain()
+                    else:
+                        self._timeouts.labels("idle")._value += 1
+                    return
                 except (asyncio.IncompleteReadError, ConnectionError):
                     return  # client went away between requests
                 except asyncio.LimitOverrunError:
+                    self._shed_total.labels("oversize")._value += 1
                     writer.write(response_bytes(
                         413, {"error": "http",
                               "message": "request head too large"},
                         close=True))
-                    await writer.drain()
+                    with _suppress_net_errors():
+                        await writer.drain()
                     return
-                if len(head) > MAX_HEAD_BYTES:
+                if len(head) > self.max_head_bytes:
+                    self._shed_total.labels("oversize")._value += 1
                     writer.write(response_bytes(
                         413, {"error": "http",
                               "message": "request head too large"},
                         close=True))
-                    await writer.drain()
+                    with _suppress_net_errors():
+                        await writer.drain()
                     return
                 close = await self._serve_request(head, reader, writer)
                 if close:
                     return
         finally:
             writer.close()
-            try:
+            with _suppress_net_errors():
                 await writer.wait_closed()
-            except (ConnectionError, OSError):  # pragma: no cover
-                pass
 
     async def _serve_request(self, head: bytes,
                              reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> bool:
         """Handle one request; returns True when the connection must
-        close (protocol error or drain)."""
+        close (protocol error, shed, timeout, or drain)."""
         loop = asyncio.get_running_loop()
         start = loop.time()
         route = "?"
+        status = 500
+        close = False
+        headers_out: dict[str, str] | None = None
+        ctx: dict[str, Any] = {}
         self._inflight += 1
         try:
             try:
                 method, target, headers = parse_request_head(head)
                 parts = urlsplit(target)
                 route = parts.path
-                length = int(headers.get("content-length", "0") or "0")
-                if length > MAX_BODY_BYTES:
-                    raise HttpError(413, "request body too large")
-                body = await reader.readexactly(length) if length else b""
+                # -- admission control: shed before reading the body,
+                # close after answering (the unread body would desync
+                # keep-alive framing)
+                if self._inflight > self.max_inflight:
+                    self._shed_total.labels("inflight")._value += 1
+                    raise HttpError(
+                        503,
+                        f"server at capacity "
+                        f"({self.max_inflight} in flight)",
+                        error="shed", retry_after=self.retry_after,
+                        close=True)
+                deadline = self._request_deadline(headers)
+                length = self._content_length(headers)
+                body = b""
+                if length:
+                    try:
+                        body = await asyncio.wait_for(
+                            reader.readexactly(length),
+                            self.request_timeout)
+                    except asyncio.TimeoutError:
+                        # truncated body: the client claimed more
+                        # bytes than it sent — fail closed, never wait
+                        self._timeouts.labels("body")._value += 1
+                        raise HttpError(
+                            408, "timed out reading request body",
+                            error="timeout", close=True) from None
+                if deadline.exceeded() is not None:
+                    # the budget died while the request was being
+                    # read/queued: shed it rather than dispatch work
+                    # whose answer nobody is waiting for
+                    self._shed_total.labels("deadline")._value += 1
+                    raise HttpError(
+                        503, "request deadline exhausted before "
+                             "dispatch", error="shed",
+                        retry_after=self.retry_after, close=True)
+                ctx["deadline"] = deadline
                 status, payload = self._dispatch(
                     method, parts.path,
                     {k: v[-1] for k, v in
                      parse_qs(parts.query).items()},
-                    body)
+                    body, ctx)
             except HttpError as exc:
                 status, payload = exc.status, {
                     "error": exc.error, "message": str(exc)}
+                close = close or exc.close
+                if exc.retry_after is not None:
+                    headers_out = {"Retry-After":
+                                   f"{exc.retry_after:g}"}
             except (asyncio.IncompleteReadError, ConnectionError):
                 return True
             except ReproError as exc:
                 status = _error_status(exc)
                 payload = {"error": type(exc).__name__,
                            "message": str(exc)}
+                if status == 503:
+                    headers_out = {"Retry-After":
+                                   f"{self.retry_after:g}"}
             except Exception as exc:  # noqa: BLE001 - the server must
                 # answer; a handler bug becomes a 500, not a dead socket
                 status, payload = 500, {"error": type(exc).__name__,
                                         "message": str(exc)}
-            close = self._draining
-            writer.write(response_bytes(status, payload, close=close))
+            close = close or self._draining
+            writer.write(response_bytes(status, payload, close=close,
+                                        headers=headers_out))
             try:
-                await writer.drain()
+                await asyncio.wait_for(writer.drain(),
+                                       self.request_timeout)
+            except asyncio.TimeoutError:
+                # the client is not reading its response: abort the
+                # transport rather than hold buffers (and a bulkhead
+                # slot) for a dead peer
+                self._timeouts.labels("write")._value += 1
+                writer.transport.abort()
+                return True
             except (ConnectionError, OSError):
                 return True
             self._requests.labels(route, str(status))._value += 1
@@ -376,23 +610,71 @@ class ServeApp:
             return close
         finally:
             self._inflight -= 1
+            guard = ctx.get("guard")
+            if guard is not None:
+                # a shard failure is a server-side fault or an engine
+                # timeout — never a client error or a slow reader
+                self._record_breaker(
+                    guard, status < 500 and not ctx.get("failure"))
+            bulkhead = ctx.get("bulkhead")
+            if bulkhead is not None:
+                bulkhead.release()
+
+    def _request_deadline(self, headers: dict[str, str]) -> Deadline:
+        """The request's wall-clock budget: ``X-Deadline-Ms`` when the
+        client sent one (malformed values fail closed 400), else the
+        server's default ``request_timeout``."""
+        raw = headers.get("x-deadline-ms")
+        if raw is None:
+            budget = self.request_timeout
+        else:
+            try:
+                budget = float(raw) / 1000.0
+            except ValueError:
+                raise HttpError(
+                    400, f"bad X-Deadline-Ms {raw!r}") from None
+            if not (0 < budget < float("inf")):
+                raise HttpError(
+                    400, f"X-Deadline-Ms must be a positive finite "
+                         f"number, got {raw!r}")
+        return Deadline(wall_budget=budget)
+
+    def _content_length(self, headers: dict[str, str]) -> int:
+        """Validate Content-Length fail-closed (400 on garbage, 413
+        over the body bound; both close — the body is unread)."""
+        raw = headers.get("content-length", "")
+        if not raw:
+            return 0
+        try:
+            length = int(raw)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length {raw!r}",
+                            close=True) from None
+        if length < 0:
+            raise HttpError(400, f"negative Content-Length {raw!r}",
+                            close=True)
+        if length > self.max_body_bytes:
+            raise HttpError(413, "request body too large", close=True)
+        return length
 
     # -- routing -----------------------------------------------------------
 
     def _dispatch(self, method: str, path: str, query: dict[str, str],
-                  body: bytes) -> tuple[int, dict[str, Any] | str]:
+                  body: bytes, ctx: dict[str, Any] | None = None
+                  ) -> tuple[int, dict[str, Any] | str]:
+        ctx = ctx if ctx is not None else {}
         if path == "/v1/check":
             self._require(method, "POST")
-            return self._handle_check(self._json(body))
+            return self._handle_check(self._json(body), ctx)
         if path == "/v1/check_batch":
             self._require(method, "POST")
-            return self._handle_check_batch(self._json(body))
+            return self._handle_check_batch(self._json(body), ctx)
         if path == "/v1/explain":
             self._require(method, "GET")
-            return self._handle_explain(query)
+            return self._handle_explain(query, ctx)
         if path == "/v1/admin":
             self._require(method, "POST")
-            return self._handle_admin(self._json(body))
+            return self._handle_admin(self._json(body), ctx)
         if path == "/metrics":
             self._require(method, "GET")
             return self._handle_metrics(query)
@@ -436,11 +718,30 @@ class ServeApp:
             "purpose": payload.get("purpose"),
         }
 
-    def _handle_check(self, payload: dict[str, Any]
+    def _handle_check(self, payload: dict[str, Any],
+                      ctx: dict[str, Any]
                       ) -> tuple[int, dict[str, Any]]:
-        return 200, self.router.check(**self._check_args(payload))
+        args = self._check_args(payload)
+        # pure routing first: the shard's guard decides admission
+        # before any engine work (or guest provisioning) happens
+        shard, principal = self.router.route(args["user"],
+                                             args["domain"])
+        guard = self._guard(shard.name)
+        verdict = guard.breaker.allow()
+        if verdict == "degraded":
+            return 200, self._degraded_check(
+                shard, principal, args["operation"], args["obj"])
+        if verdict == "serve":
+            self._slot(guard, ctx)
+        ctx["guard"] = guard  # outcome recorded after drain
+        result = self.router.check(deadline=ctx.get("deadline"), **args)
+        if result.get("timed_out"):
+            ctx["failure"] = True  # an engine timeout counts against
+            # the breaker even though the response is a clean deny
+        return 200, result
 
-    def _handle_check_batch(self, payload: dict[str, Any]
+    def _handle_check_batch(self, payload: dict[str, Any],
+                            ctx: dict[str, Any]
                             ) -> tuple[int, dict[str, Any]]:
         checks = payload.get("checks")
         if not isinstance(checks, list):
@@ -449,27 +750,92 @@ class ServeApp:
         for index, item in enumerate(checks):
             if not isinstance(item, dict):
                 raise HttpError(400, f"checks[{index}] must be an object")
-            # a per-item engine error fails that item, not the batch
-            try:
-                results.append(self.router.check(**self._check_args(item)))
-            except ReproError as exc:
-                results.append({"allowed": False,
-                                "error": type(exc).__name__,
-                                "message": str(exc)})
+            # a per-item engine error fails that item, not the batch;
+            # guards apply per item (items may target different shards)
+            results.append(self._batch_item(item, ctx))
         return 200, {"count": len(results), "results": results}
 
-    def _handle_explain(self, query: dict[str, str]
+    def _batch_item(self, item: dict[str, Any],
+                    ctx: dict[str, Any]) -> dict[str, Any]:
+        """One batch entry: the single-check guard flow, with the
+        bulkhead slot scoped to the item (a batch is one request; its
+        items never overlap in time, but they must still see — and
+        count against — the shard's live admission state)."""
+        try:
+            args = self._check_args(item)
+            shard, principal = self.router.route(args["user"],
+                                                 args["domain"])
+        except (HttpError, ReproError) as exc:
+            return {"allowed": False, "error": type(exc).__name__,
+                    "message": str(exc)}
+        guard = self._guard(shard.name)
+        verdict = guard.breaker.allow()
+        if verdict == "degraded":
+            return self._degraded_check(
+                shard, principal, args["operation"], args["obj"])
+        acquired = False
+        if verdict == "serve":
+            if not guard.bulkhead.try_acquire():
+                self._shed_total.labels("bulkhead")._value += 1
+                return {"allowed": False, "error": "shed",
+                        "message": f"shard {shard.name!r} at "
+                                   f"concurrency limit"}
+            acquired = True
+        try:
+            result = self.router.check(deadline=ctx.get("deadline"),
+                                       **args)
+            self._record_breaker(guard,
+                                 not result.get("timed_out"))
+            return result
+        except ReproError as exc:
+            self._record_breaker(guard, _error_status(exc) < 500)
+            return {"allowed": False, "error": type(exc).__name__,
+                    "message": str(exc)}
+        finally:
+            if acquired:
+                guard.bulkhead.release()
+
+    def _handle_explain(self, query: dict[str, str],
+                        ctx: dict[str, Any]
                         ) -> tuple[int, dict[str, Any]]:
         for field in ("user", "operation", "object"):
             if not query.get(field):
                 raise HttpError(400, f"missing query parameter {field!r}")
+        shard, _principal = self.router.route(query["user"],
+                                              query.get("domain"))
+        guard = self._guard(shard.name)
+        verdict = guard.breaker.allow()
+        if verdict == "degraded":
+            # explain needs the full interpreted derivation — there is
+            # no degraded variant, so it waits out the breaker
+            raise HttpError(
+                503, f"shard {shard.name!r} breaker open",
+                error="breaker", retry_after=self.retry_after)
+        if verdict == "serve":
+            self._slot(guard, ctx)
+        ctx["guard"] = guard
         return 200, self.router.explain(
             query["user"], query["operation"], query["object"],
             domain=query.get("domain"), purpose=query.get("purpose"))
 
-    def _handle_admin(self, payload: dict[str, Any]
+    def _handle_admin(self, payload: dict[str, Any],
+                      ctx: dict[str, Any]
                       ) -> tuple[int, dict[str, Any]]:
         shard = self.router.shard(self._field(payload, "domain"))
+        guard = self._guard(shard.name)
+        verdict = guard.breaker.allow()
+        if verdict == "degraded":
+            # fail closed: a mutation against a faulting engine could
+            # commit half of itself; reads keep flowing degraded, the
+            # control plane waits for the breaker
+            self._shed_total.labels("breaker_admin")._value += 1
+            raise HttpError(
+                503, f"shard {shard.name!r} breaker open: "
+                     f"mutations rejected fail-closed",
+                error="breaker", retry_after=self.retry_after)
+        if verdict == "serve":
+            self._slot(guard, ctx)
+        ctx["guard"] = guard
         op = self._field(payload, "op")
         args = payload.get("args", {})
         if not isinstance(args, dict):
@@ -490,9 +856,32 @@ class ServeApp:
 
     def _handle_healthz(self) -> tuple[int, dict[str, Any]]:
         report = self.router.health()
+        open_breakers = sorted(
+            name for name, guard in self._guards.items()
+            if guard.breaker.state == STATE_OPEN)
+        if open_breakers and report["status"] == "ok":
+            report["status"] = "degraded"
+        for name, guard in self._guards.items():
+            shard_report = report["shards"].get(name)
+            if shard_report is not None:
+                shard_report.setdefault("serve", {})["overload"] = \
+                    guard.snapshot()
         report["serve"] = {
             "inflight": self._inflight,
+            "max_inflight": self.max_inflight,
             "draining": self._draining,
+            "breakers_open": open_breakers,
             "flightrec_dir": self.flightrec_dir,
         }
         return (200 if report["status"] == "ok" else 503), report
+
+
+class _suppress_net_errors:
+    """``with`` guard for best-effort socket writes during teardown."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return exc_type is not None and issubclass(
+            exc_type, (ConnectionError, OSError))

@@ -30,11 +30,14 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator
 
+from repro.clock import Deadline
 from repro.engine import ActiveRBACEngine
 from repro.errors import (
     AdministrationError,
+    DeadlineExceeded,
     OperationDenied,
     ReproError,
+    RuleExecutionError,
 )
 from repro.federation import Federation, RoleMapping, guest_principal
 from repro.kernel import KERNEL_GRANT, PolicyKernel
@@ -170,7 +173,8 @@ class Shard:
     # -- the read path -----------------------------------------------------
 
     def check(self, user: str, operation: str, obj: str,
-              purpose: str | None = None) -> dict[str, Any]:
+              purpose: str | None = None,
+              deadline: Deadline | None = None) -> dict[str, Any]:
         """Serve one access check against the published kernel.
 
         Loads the published reference once, answers static checks from
@@ -179,6 +183,17 @@ class Shard:
         or anything the engine-side parity gates exclude (tracing on,
         extra observers, a default deadline) — to the engine's
         interpreted pipeline, which owns the fallback-reason taxonomy.
+
+        ``deadline`` is the per-request budget the front-end threads
+        down from the ``X-Deadline-Ms`` header / ``--request-timeout-ms``
+        default.  A budget that is still live does *not* evict a static
+        check from the kernel fast path — bitset lookups cannot stall,
+        so the budget only has to bound queueing (probed here and again
+        by the engine before dispatch) and the interpreted pipeline
+        (where it is threaded through to the rule manager's per-firing
+        probes).  An exhausted budget denies fail-closed and the
+        response carries ``timed_out`` so the front-end can separate
+        overload denials from policy denials.
         """
         engine = self.engine
         sid = self.session_for(user)
@@ -186,7 +201,9 @@ class Shard:
         kernel = self._kernel  # the single atomic reference read
         obs = engine.obs
         observers = engine.rules._observers
-        if (kernel is not None and engine.kernel_enabled
+        expired = deadline is not None and deadline.exceeded() is not None
+        if (not expired
+                and kernel is not None and engine.kernel_enabled
                 and engine.check_deadline is None
                 and not (obs.enabled and (obs.tracer.enabled
                                           or obs.timing_interval == 1))
@@ -203,11 +220,66 @@ class Shard:
                 return {"allowed": allowed, "path": "kernel",
                         "shard": self.name, "session": sid,
                         "epoch": kernel.epoch}
-        # dynamic feature, parity gate, or no kernel: the engine's own
-        # pipeline decides (and counts the fallback reason exactly once)
-        allowed = engine.check_access(sid, operation, obj, purpose=purpose)
-        return {"allowed": allowed, "path": "interpreted",
-                "shard": self.name, "session": sid, "epoch": self.epoch}
+        # dynamic feature, parity gate, exhausted budget, or no
+        # kernel: the engine's own pipeline decides (and counts the
+        # fallback reason, deadline audit and denial exactly once)
+        timed_out = False
+        try:
+            engine.require_access(sid, operation, obj, purpose,
+                                  deadline=deadline)
+            allowed = True
+        except DeadlineExceeded:
+            allowed = False
+            timed_out = True
+        except (OperationDenied, RuleExecutionError):
+            allowed = False
+        result = {"allowed": allowed, "path": "interpreted",
+                  "shard": self.name, "session": sid, "epoch": self.epoch}
+        if timed_out:
+            result["timed_out"] = True
+        return result
+
+    def check_degraded(self, user: str, operation: str,
+                       obj: str) -> dict[str, Any]:
+        """Answer one read from the frozen published kernel only.
+
+        The degraded-mode read path the front-end serves while this
+        shard's circuit breaker is open: no engine pipeline, no
+        session provisioning, no events — one pure probe against the
+        last-good published kernel epoch.  Strictly fail-closed:
+
+        * a caller with no already-live served session is denied (a
+          session cannot be provisioned without touching the faulting
+          engine);
+        * anything the kernel classifies dynamic (context-gated roles,
+          privacy-regulated objects, quarantined coverage) is denied
+          rather than delegated — there is no interpreted pipeline to
+          delegate to.
+
+        Each decision is still recorded in the engine's flight
+        recorder (path ``degraded``) so forensics cover the outage
+        window.
+        """
+        self.checks += 1
+        kernel = self._kernel
+        sid = self._sessions.get(user)
+        verdict, reason = KERNEL_GRANT + 1, "no_kernel"  # placeholder
+        allowed = False
+        if kernel is not None and sid is not None:
+            # probe() is the tally-free evaluate: no fallback counters
+            # move, so the taxonomy only ever reflects the live path
+            verdict, reason = kernel.probe(sid, operation, obj)
+            allowed = verdict == KERNEL_GRANT
+        elif sid is None:
+            reason = "no_session"
+        engine = self.engine
+        engine.flight.note_decision(
+            engine.clock.now, "degraded", sid or "-", user, operation,
+            obj, "grant" if allowed else "deny",
+            reason=reason, cause="breaker_open")
+        return {"allowed": allowed, "path": "degraded",
+                "shard": self.name, "session": sid,
+                "epoch": self.epoch, "degraded": True}
 
     def explain(self, user: str, operation: str, obj: str,
                 purpose: str | None = None) -> dict[str, Any]:
@@ -283,17 +355,16 @@ class ShardRouter:
 
     # -- routing -----------------------------------------------------------
 
-    def resolve(self, user: str,
-                domain: str | None = None) -> tuple[Shard, str]:
-        """Map ``(user, domain?)`` to ``(shard, principal)``.
+    def route(self, user: str,
+              domain: str | None = None) -> tuple[Shard, str]:
+        """Pure routing: map ``(user, domain?)`` to ``(shard, principal)``.
 
+        Side-effect free — no guest provisioning, no engine touched —
+        so the front-end can pick the target shard (and consult its
+        bulkhead/breaker guard) *before* committing any work to it.
         The principal is the name the shard's engine knows the caller
         by: the bare name at home, the ``name@home`` guest principal
-        when visiting.  Guest provisioning (user + mapped roles +
-        session) happens here on first touch, through
-        :meth:`Federation.visit` — fail-closed: an unreachable home
-        domain raises :class:`~repro.errors.RetryExhausted` rather than
-        guessing entitlements.
+        when visiting.
         """
         name, at, home = user.partition("@")
         if not name:
@@ -310,12 +381,27 @@ class ShardRouter:
         shard = self.shard(domain)
         if not at or home == domain:
             return shard, name
+        return shard, guest_principal(name, home)
+
+    def resolve(self, user: str,
+                domain: str | None = None) -> tuple[Shard, str]:
+        """:meth:`route`, plus guest provisioning on first touch.
+
+        Guest provisioning (user + mapped roles + session) happens
+        here, through :meth:`Federation.visit` — fail-closed: an
+        unreachable home domain raises
+        :class:`~repro.errors.RetryExhausted` rather than guessing
+        entitlements.
+        """
+        shard, principal = self.route(user, domain)
+        name, at, home = user.partition("@")
+        if not at or home == shard.name:
+            return shard, principal
         # cross-shard visit: provision the guest on first touch
-        principal = guest_principal(name, home)
         engine = shard.engine
         if (principal not in engine.model.users
                 or not engine.model.assigned_roles(principal)):
-            sid = self.federation.visit(home, name, domain)
+            sid = self.federation.visit(home, name, shard.name)
             # visit() opens the guest session with no roles active;
             # a stateless check API means "with everything the guest
             # is entitled to", so activate the mapped roles now
@@ -327,9 +413,11 @@ class ShardRouter:
 
     def check(self, user: str, operation: str, obj: str,
               domain: str | None = None,
-              purpose: str | None = None) -> dict[str, Any]:
+              purpose: str | None = None,
+              deadline: Deadline | None = None) -> dict[str, Any]:
         shard, principal = self.resolve(user, domain)
-        return shard.check(principal, operation, obj, purpose=purpose)
+        return shard.check(principal, operation, obj, purpose=purpose,
+                           deadline=deadline)
 
     def explain(self, user: str, operation: str, obj: str,
                 domain: str | None = None,

@@ -21,6 +21,16 @@ Fault points are plain string names.  The harness can attach them to
 A firing point either raises (``error``) or *stalls* (``stall=N``
 advances the virtual clock without firing timers — a deterministic
 model of a hung clause that deadline budgets must catch), or both.
+
+**Network chaos.**  :class:`NetFaultPlan` extends the same
+determinism discipline to the service plane's transport: it assigns
+each request *index* a :class:`NetFault` (connection reset, stall,
+partial write, garbage frame, or none) drawn from a per-index seeded
+stream, so a chaos schedule replays identically regardless of worker
+count or completion order.  The plan is transport-agnostic — it only
+*decides*; ``repro.serve.loadgen.ChaosHttpClient`` executes the
+faults against a live server and the chaos-serve CI job asserts the
+server survives them fail-closed.
 """
 
 from __future__ import annotations
@@ -232,3 +242,78 @@ class FaultInjector:
             name: {"calls": spec.calls, "fires": spec.fires}
             for name, spec in sorted(self._points.items())
         }
+
+
+# ---------------------------------------------------------------------------
+# Network chaos: deterministic per-request transport faults
+# ---------------------------------------------------------------------------
+
+#: fault kinds a :class:`NetFaultPlan` can schedule
+NET_FAULT_KINDS = ("reset", "stall", "partial", "garbage")
+
+
+@dataclass(frozen=True)
+class NetFault:
+    """One transport fault assigned to one request index.
+
+    ``kind`` is one of :data:`NET_FAULT_KINDS` or ``"none"``:
+
+    * ``reset``   — abort the connection before the request is sent
+      (the server sees a clean disconnect mid-keep-alive);
+    * ``stall``   — hold the connection ``delay_s`` seconds before
+      writing (slow-loris shaped; the server's read timeout must
+      reap it, not hang on it);
+    * ``partial`` — send the head claiming a body of N bytes, write
+      only ``fraction`` of it, then abort (truncated body: the
+      server must time the read out fail-closed, never block);
+    * ``garbage`` — send a malformed frame (bad request line /
+      non-numeric Content-Length); the server must answer 4xx and
+      keep serving.
+    """
+
+    kind: str
+    delay_s: float = 0.0
+    fraction: float = 0.5
+
+
+class NetFaultPlan:
+    """Seeded request-index -> :class:`NetFault` schedule.
+
+    Each index draws from ``random.Random(f"{seed}:net:{index}")``, so
+    the schedule is a pure function of ``(seed, rates, index)`` —
+    independent of how many workers replay it or in which order they
+    finish, mirroring :class:`FaultInjector`'s per-point streams.
+    ``rates`` maps fault kind -> probability; the remainder is fault-
+    free.  ``counts`` tallies what was actually dealt.
+    """
+
+    def __init__(self, seed: int = 0,
+                 rates: dict[str, float] | None = None,
+                 stall_s: float = 0.25,
+                 partial_fraction: float = 0.5) -> None:
+        self.seed = seed
+        self.rates = dict(rates) if rates is not None else {
+            "reset": 0.05, "stall": 0.05, "partial": 0.05,
+            "garbage": 0.05}
+        unknown = set(self.rates) - set(NET_FAULT_KINDS)
+        if unknown:
+            raise ValueError(f"unknown net fault kinds {sorted(unknown)}")
+        if sum(self.rates.values()) > 1.0:
+            raise ValueError("net fault rates must sum to <= 1")
+        self.stall_s = stall_s
+        self.partial_fraction = partial_fraction
+        self.counts: dict[str, int] = dict.fromkeys(
+            (*NET_FAULT_KINDS, "none"), 0)
+
+    def decide(self, index: int) -> NetFault:
+        """The fault dealt to request ``index`` (deterministic)."""
+        draw = random.Random(f"{self.seed}:net:{index}").random()
+        edge = 0.0
+        for kind in NET_FAULT_KINDS:
+            edge += self.rates.get(kind, 0.0)
+            if draw < edge:
+                self.counts[kind] += 1
+                return NetFault(kind, delay_s=self.stall_s,
+                                fraction=self.partial_fraction)
+        self.counts["none"] += 1
+        return NetFault("none")

@@ -398,6 +398,8 @@ class TestSigterm:
                 proc.kill()
                 proc.communicate()
         assert proc.returncode == 0, out
+        # the readiness signal must not outlive the process
+        assert not port_file.exists()
         lines = [line for line in out.splitlines()
                  if line.startswith("shutdown: ")]
         assert lines, out

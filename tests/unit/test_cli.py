@@ -349,3 +349,14 @@ class TestServeLoadgenArgs:
             main(["serve", "--shard", "no-equals-sign"])
         assert exc.value.code == 2
         assert "--shard expects" in capsys.readouterr().err
+
+    def test_serve_bad_chaos_check_format(self, capsys):
+        assert main(["serve", "--synthetic", "1", "--users", "5",
+                     "--roles", "3", "--chaos-check", "nope"]) == 2
+        assert "--chaos-check expects" in capsys.readouterr().err
+
+    def test_serve_chaos_check_unknown_shard(self, capsys):
+        assert main(["serve", "--synthetic", "1", "--users", "5",
+                     "--roles", "3",
+                     "--chaos-check", "shard99:5:2"]) == 2
+        assert "--chaos-check" in capsys.readouterr().err

@@ -130,6 +130,91 @@ class TestCheck:
         assert payload["epoch"] == router.shard("alpha").epoch
 
 
+class TestRoutePurity:
+    def test_route_is_side_effect_free(self, router):
+        """The front-end consults route() before committing work to a
+        shard, so it must not provision anything."""
+        shard, principal = router.route("ada@alpha", "beta")
+        assert shard.name == "beta"
+        assert principal == guest_principal("ada", "alpha")
+        beta = router.shard("beta").engine
+        assert principal not in beta.model.users
+        assert not shard._sessions
+
+    def test_route_resolve_agree_on_target(self, router):
+        routed = router.route("ada@alpha", "beta")
+        resolved = router.resolve("ada@alpha", "beta")
+        assert routed[0] is resolved[0]
+        assert routed[1] == resolved[1]
+
+
+class TestDeadline:
+    def test_live_deadline_keeps_the_kernel_fast_path(self, router):
+        from repro.clock import Deadline
+
+        result = router.check("ada@alpha", "edit", "doc",
+                              deadline=Deadline(wall_budget=30.0))
+        assert result["allowed"] is True
+        assert result["path"] == "kernel"
+        assert "timed_out" not in result
+
+    def test_exhausted_deadline_denies_with_timed_out(self, router):
+        from repro.clock import Deadline
+
+        clock = [100.0]
+        dead = Deadline(wall_budget=0.5, wall=lambda: clock[0])
+        clock[0] += 1.0  # budget spent while queued
+        result = router.check("ada@alpha", "edit", "doc",
+                              deadline=dead)
+        assert result["allowed"] is False
+        assert result["timed_out"] is True
+        assert result["path"] == "interpreted"
+
+
+class TestDegradedMode:
+    def test_warm_session_answers_from_frozen_kernel(self, router):
+        shard = router.shard("alpha")
+        warm = router.check("ada@alpha", "edit", "doc")
+        assert warm["allowed"] is True
+        result = shard.check_degraded("ada", "edit", "doc")
+        assert result["allowed"] is True
+        assert result["path"] == "degraded"
+        assert result["degraded"] is True
+        assert result["epoch"] == warm["epoch"]
+        assert result["session"] == warm["session"]
+
+    def test_cold_caller_denied_fail_closed(self, router):
+        shard = router.shard("alpha")
+        result = shard.check_degraded("ada", "edit", "doc")
+        assert result["allowed"] is False
+        assert result["session"] is None
+
+    def test_degraded_denies_what_the_kernel_denies(self, router):
+        shard = router.shard("alpha")
+        router.check("bob@alpha", "edit", "doc")  # warm bob
+        result = shard.check_degraded("bob", "edit", "doc")
+        assert result["allowed"] is False
+
+    def test_degraded_reads_never_touch_the_engine_pipeline(self, router):
+        shard = router.shard("alpha")
+        router.check("ada@alpha", "edit", "doc")
+        fired_before = shard.engine.obs.decisions.labels("grant").value
+        shard.check_degraded("ada", "edit", "doc")
+        assert shard.engine.obs.decisions.labels("grant").value == \
+            fired_before
+
+    def test_degraded_decisions_land_in_the_flight_recorder(self, router):
+        shard = router.shard("alpha")
+        router.check("ada@alpha", "edit", "doc")
+        shard.check_degraded("ada", "edit", "doc")
+        records = [r for r in shard.engine.flight.snapshot()
+                   if r["kind"] == "decision"
+                   and r["path"] == "degraded"]
+        assert records
+        assert records[-1]["deny_cause"] == "breaker_open"
+        assert records[-1]["decision"] == "grant"
+
+
 class TestEpochSwap:
     def test_admin_op_swaps_epoch(self, router):
         shard = router.shard("alpha")
