@@ -1,0 +1,295 @@
+#!/usr/bin/env python3
+"""Policy-lifecycle smoke: config churn under live load, the guard
+demo, and deterministic replay.
+
+Two modes:
+
+``python benchmarks/smoke_policy.py``
+    The CI policy-churn gate, in-process:
+
+    1. **churn** — one shard (seeded enterprise, WAL attached,
+       decision journal on) serves a steady check stream while
+       ``POLICY_CYCLES`` staged rollouts run end to end (stage →
+       shadow canary → auto-promote → hold → settle).  Every
+       promotion's swap pause (delta apply + eager kernel recompile +
+       RCU publish, measured by the lifecycle itself) is collected and
+       the p99 is gated on ``POLICY_SWAP_P99_BUDGET_MS``;
+    2. **guard** — a divergent candidate (a grant the live traffic
+       exercises is dropped) is staged under the same traffic; the
+       shadow canary must refuse it, the live answers must never
+       change while it is in flight (zero fail-open), and the active
+       version must stay put;
+    3. the report lands in ``benchmarks/results/BENCH_policy.json``.
+
+``python benchmarks/smoke_policy.py --replay SEED``
+    The CI replay-determinism matrix leg: drive a seeded traffic +
+    rollout session into a WAL, then (a) replay it twice under the
+    final pinned config version and require identical decision-stream
+    digests with zero mismatches against the journaled live stream,
+    and (b) re-assert the digest through the ``repro-rbac replay``
+    CLI via ``--expect-digest``.
+
+Budgets (override via env for known-noisy runners):
+
+* ``POLICY_SWAP_P99_BUDGET_MS`` — churn-mode swap-pause p99 budget,
+  default 100;
+* ``POLICY_CYCLES`` — staged rollouts in the churn leg, default 30.
+
+Exit status 0 when every gate passes.  Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/smoke_policy.py [--replay SEED]
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import pathlib
+import random
+import sys
+import tempfile
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = REPO / "benchmarks" / "results"
+
+CYCLES = int(os.environ.get("POLICY_CYCLES", "30"))
+SWAP_P99_BUDGET_MS = float(
+    os.environ.get("POLICY_SWAP_P99_BUDGET_MS", "100"))
+CANARY_MIN_SAMPLES = 20
+HOLD_CHECKS = 40
+STALL_GUARD = 200  # drive() rounds before declaring a cycle stuck
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def pct(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def build_stack(workdir: str):
+    """One shard over a seeded enterprise with WAL + decision journal,
+    rollout controller armed with the smoke budget."""
+    from repro import ActiveRBACEngine
+    from repro.config import RolloutBudget
+    from repro.serve.shard import ShardRouter
+    from repro.wal import Durability
+    from repro.workloads import EnterpriseShape, generate_enterprise
+
+    spec = generate_enterprise(EnterpriseShape(
+        roles=24, users=40, tree_fanout=3, tree_depth=2,
+        operations=3, objects=8, grants_per_role=2,
+        ssd_sets=1, dsd_sets=1, seed=7))
+    engine = ActiveRBACEngine(spec)
+    engine.decision_journal = True
+    durability = Durability(engine, workdir)
+    router = ShardRouter()
+    shard = router.add_shard("bench", engine, durability)
+    lifecycle = shard.ensure_lifecycle(budget=RolloutBudget(
+        min_samples=CANARY_MIN_SAMPLES, hold_checks=HOLD_CHECKS))
+    lifecycle.adopt(1)
+    return spec, engine, durability, shard, lifecycle
+
+
+def toggle_probe(policy):
+    """Next candidate spec: add or remove a probe role + grant that no
+    live session ever activates — a real, regeneration-bearing delta
+    whose promotion cannot change any served answer."""
+    candidate = copy.deepcopy(policy)
+    if "rollout_probe" in candidate.roles:
+        candidate.roles.pop("rollout_probe")
+        candidate.grants = [grant for grant in candidate.grants
+                            if grant[0] != "rollout_probe"]
+    else:
+        candidate.add_role("rollout_probe")
+        candidate.grants.append(("rollout_probe",
+                                 *candidate.permissions[0]))
+    return candidate
+
+
+def churn_leg() -> dict:
+    from repro.config import ConfigSet
+
+    workdir = tempfile.mkdtemp(prefix="repro-policy-churn-")
+    spec, engine, durability, shard, lifecycle = build_stack(workdir)
+    rng = random.Random(11)
+    users = sorted(spec.users)
+    perms = list(spec.permissions)
+    check_us: list[float] = []
+
+    def drive(count: int) -> None:
+        for _ in range(count):
+            user = rng.choice(users)
+            operation, obj = rng.choice(perms)
+            start = time.perf_counter()
+            shard.checked(user, operation, obj)
+            check_us.append((time.perf_counter() - start) * 1e6)
+
+    drive(50)  # warm sessions before the first stage
+
+    pauses_ms: list[float] = []
+    for cycle in range(CYCLES):
+        version = engine.config_version + 1
+        lifecycle.stage(ConfigSet.from_spec(
+            toggle_probe(engine.policy), version))
+        rounds = 0
+        while engine.config_version != version:
+            drive(10)
+            rounds += 1
+            if rounds > STALL_GUARD:
+                fail(f"cycle {cycle}: v{version} never promoted "
+                     f"(phase {lifecycle.status()['phase']})")
+        pauses_ms.append(lifecycle.last_swap_ns / 1e6)
+        while lifecycle.armed:  # drain the hold window to settled
+            drive(10)
+            rounds += 1
+            if rounds > 2 * STALL_GUARD:
+                fail(f"cycle {cycle}: hold never settled")
+    if engine.config_version != 1 + CYCLES:
+        fail(f"expected v{1 + CYCLES} active after {CYCLES} cycles, "
+             f"got v{engine.config_version}")
+
+    swap_p99_ms = pct(pauses_ms, 0.99)
+    if swap_p99_ms > SWAP_P99_BUDGET_MS:
+        fail(f"swap-pause p99 {swap_p99_ms:.2f} ms over the "
+             f"{SWAP_P99_BUDGET_MS} ms budget")
+
+    # -- guard demo: a divergent candidate must be refused ------------
+    victim_role, victim_op, victim_obj = next(
+        grant for grant in engine.policy.grants
+        if any(role == grant[0] for _u, role in
+               engine.policy.assignments))
+    victim_user = next(user for user, role in engine.policy.assignments
+                       if role == victim_role)
+    before = shard.checked(victim_user, victim_op, victim_obj)
+    if not before["allowed"]:
+        fail(f"guard: seed grant {victim_role}/{victim_op}/"
+             f"{victim_obj} did not serve a grant for {victim_user}")
+    divergent = copy.deepcopy(engine.policy)
+    divergent.grants.remove((victim_role, victim_op, victim_obj))
+    staged_version = engine.config_version + 1
+    lifecycle.stage(ConfigSet.from_spec(divergent, staged_version))
+    rounds = 0
+    while lifecycle.armed:
+        live = shard.checked(victim_user, victim_op, victim_obj)
+        if not live["allowed"]:
+            fail("guard: live decision flipped while the divergent "
+                 "candidate was only staged (fail-open)")
+        rounds += 1
+        if rounds > STALL_GUARD:
+            fail("guard: canary never concluded")
+    if engine.config_version != 1 + CYCLES:
+        fail(f"guard: divergent v{staged_version} went live")
+    if engine.config_candidate is not None:
+        fail("guard: candidate survived the refusal")
+    refused = lifecycle.status()["history"][-1]
+    if refused.get("event") != "refuse" \
+            or refused.get("version") != staged_version:
+        fail(f"guard: expected a refuse transition, got {refused}")
+
+    durability.close()
+    return {
+        "cycles": CYCLES,
+        "checks": len(check_us),
+        "final_version": engine.config_version,
+        "check_us": {"p50": round(pct(check_us, 0.50), 1),
+                     "p99": round(pct(check_us, 0.99), 1)},
+        "swap_pause_ms": {"p50": round(pct(pauses_ms, 0.50), 3),
+                          "p99": round(swap_p99_ms, 3),
+                          "max": round(max(pauses_ms), 3)},
+        "swap_p99_budget_ms": SWAP_P99_BUDGET_MS,
+        "guard": {"staged": staged_version, "refused": True,
+                  "reason": refused.get("reason"),
+                  "fail_open_decisions": 0},
+    }
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    report = churn_leg()
+    RESULTS.mkdir(exist_ok=True)
+    bench_path = RESULTS / "BENCH_policy.json"
+    bench_path.write_text(json.dumps(report, indent=2, sort_keys=True)
+                          + "\n")
+    print(f"policy smoke OK: {report['cycles']} rollouts over "
+          f"{report['checks']} live checks, swap-pause p99 "
+          f"{report['swap_pause_ms']['p99']} ms "
+          f"(budget {SWAP_P99_BUDGET_MS} ms), divergent candidate "
+          f"refused with zero fail-open; report at {bench_path}")
+    return 0
+
+
+# -- replay determinism leg ---------------------------------------------------
+
+
+def replay_main(seed: int) -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.cli import main as cli_main
+    from repro.config import ConfigSet, replay_wal
+    from repro.config.lifecycle import load_version
+
+    workdir = tempfile.mkdtemp(prefix=f"repro-policy-replay{seed}-")
+    spec, engine, durability, shard, lifecycle = build_stack(workdir)
+    rng = random.Random(seed)
+    users = sorted(spec.users)
+    perms = list(spec.permissions)
+
+    def drive(count: int) -> None:
+        for _ in range(count):
+            shard.checked(rng.choice(users), *rng.choice(perms))
+
+    drive(40)
+    for _ in range(3):  # three full rollout cycles land in the WAL
+        version = engine.config_version + 1
+        lifecycle.stage(ConfigSet.from_spec(
+            toggle_probe(engine.policy), version))
+        rounds = 0
+        while lifecycle.armed:
+            drive(10)
+            rounds += 1
+            if rounds > STALL_GUARD:
+                fail(f"replay seed {seed}: rollout v{version} stuck")
+    drive(40)
+    durability.wal.sync()
+    final = engine.config_version
+    if final != 4:
+        fail(f"replay seed {seed}: expected v4 active, got v{final}")
+
+    config = load_version(workdir, final)
+    first = replay_wal(workdir, config)
+    second = replay_wal(workdir, config)
+    if not first.digest or first.digest != second.digest:
+        fail(f"replay seed {seed}: digests diverged "
+             f"({first.digest} vs {second.digest})")
+    if first.mismatches:
+        fail(f"replay seed {seed}: {len(first.mismatches)} replayed "
+             f"decision(s) contradict the journaled live stream")
+    if first.gaps or first.torn:
+        fail(f"replay seed {seed}: gaps={first.gaps} "
+             f"torn={first.torn}")
+
+    # the CLI must reproduce the same digest from the same artifacts
+    status = cli_main(["replay", workdir,
+                       "--config-version", str(final),
+                       "--expect-digest", first.digest])
+    if status != 0:
+        fail(f"replay seed {seed}: CLI replay broke determinism "
+             f"(exit {status})")
+    print(f"policy replay OK (seed {seed}): {len(first.decisions)} "
+          f"decisions under v{final}, digest {first.digest[:16]}… "
+          f"stable across two replays and the CLI")
+    return 0
+
+
+if __name__ == "__main__":
+    if "--replay" in sys.argv[1:]:
+        index = sys.argv.index("--replay")
+        raise SystemExit(replay_main(int(sys.argv[index + 1])))
+    raise SystemExit(main())

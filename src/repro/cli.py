@@ -17,6 +17,9 @@ Usage (also via ``python -m repro``)::
     repro-rbac serve --shard hq=hq.rbac --shard lab=lab.rbac  # HTTP plane
     repro-rbac serve --synthetic 2 --users 10000    # synthetic fleet
     repro-rbac loadgen --port-file port.txt --requests 2000  # load harness
+    repro-rbac config validate deploy.yaml          # versioned config set
+    repro-rbac config diff v1.yaml v2.yaml          # staged change script
+    repro-rbac replay state-dir/ --config-version 2 # deterministic replay
 
 ``--trace`` turns on the structured tracer and prints span trees for
 denied operations ("explain why this request was denied"); ``metrics``
@@ -450,28 +453,60 @@ def cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
-def _fleet_specs(args: argparse.Namespace) -> dict:
-    """The shard name -> PolicySpec map both service-plane commands
-    build: explicit ``--shard NAME=FILE`` pairs win; otherwise the
+def _load_shard_file(path: str):
+    """One shard boot file: raw DSL (the historical form) or a
+    versioned config-set document (YAML subset / JSON) — the same
+    formats the ``reload`` lifecycle op stages later.  Returns
+    ``(spec, version)``; version is ``None`` for raw DSL, which only
+    gets a config version once a rollout stages one."""
+    from repro.config.loader import ConfigError, load_config
+
+    if not Path(path).exists():
+        print(f"error: cannot read {path}: no such file",
+              file=sys.stderr)
+        raise SystemExit(2)
+    try:
+        config = load_config(path)
+        return config.spec, config.version
+    except ConfigError as exc:
+        if "version" in str(exc):  # valid policy, no version id
+            return _load(path), None
+        print(f"error: {path}: {exc}", file=sys.stderr)
+        raise SystemExit(1)
+
+
+def _fleet_specs(args: argparse.Namespace) -> tuple[dict, dict, dict]:
+    """The shard name -> PolicySpec map the service plane boots from:
+    explicit ``--shard NAME=FILE`` pairs win; otherwise the
     deterministic synthetic fleet from ``(shards, users, roles, seed)``
     — the same derivation ``loadgen`` uses, so client and server agree
-    on every name with no coordination."""
-    specs = {}
+    on every name with no coordination.  Also returns the shard name ->
+    config file path map (empty for synthetic shards): file-backed
+    shards keep their path so SIGHUP / the ``reload`` admin op can
+    re-read and *stage* the file through the rollout lifecycle — and
+    the shard name -> declared config version map, so the booted
+    version is adopted and an unchanged re-read is a no-op."""
+    specs: dict = {}
+    paths: dict = {}
+    versions: dict = {}
     for item in getattr(args, "shard", None) or []:
         name, sep, path = item.partition("=")
         if not sep or not name:
             print(f"error: --shard expects NAME=FILE, got {item!r}",
                   file=sys.stderr)
             raise SystemExit(2)
-        spec = _load(path)
+        spec, version = _load_shard_file(path)
         spec.name = name
         specs[name] = spec
+        paths[name] = path
+        if version is not None:
+            versions[name] = version
     if not specs:
         from repro.workloads import generate_fleet
 
         specs = generate_fleet(args.synthetic, args.users,
                                args.roles, args.seed)
-    return specs
+    return specs, paths, versions
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -485,9 +520,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.federation import RoleMapping
     from repro.serve import ServeApp, ShardRouter
 
-    specs = _fleet_specs(args)
+    specs, config_paths, config_versions = _fleet_specs(args)
     router = ShardRouter()
     durabilities = []
+    if getattr(args, "decision_journal", False) and not args.wal:
+        print("error: --decision-journal requires --wal",
+              file=sys.stderr)
+        return 2
     for name in sorted(specs):
         engine = ActiveRBACEngine(specs[name])
         durability = None
@@ -497,7 +536,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
             durability = Durability(engine,
                                     os.path.join(args.wal, name))
             durabilities.append(durability)
-        router.add_shard(name, engine, durability)
+            if getattr(args, "decision_journal", False):
+                engine.decision_journal = True
+        shard = router.add_shard(name, engine, durability,
+                                 config_path=config_paths.get(name))
+        if name in config_versions:
+            # the booted file declared a version: adopt it, so a
+            # SIGHUP re-read of the unchanged file is a no-op and the
+            # first real push must advance the version
+            shard.ensure_lifecycle().adopt(config_versions[name])
     for item in args.map or []:
         try:
             home, host = item.split("=", 1)
@@ -654,6 +701,119 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         print(f"FAIL: {errors} request error(s)", file=sys.stderr)
         failed = True
     return 1 if failed else 0
+
+
+def _load_configset(path: str, version: int | None = None):
+    from repro.config import load_config
+    from repro.config.loader import ConfigError
+
+    try:
+        return load_config(path, version=version)
+    except ConfigError as exc:
+        print(f"config error: {exc}", file=sys.stderr)
+        raise SystemExit(1)
+
+
+def cmd_config(args: argparse.Namespace) -> int:
+    """Config-set tooling: ``validate`` parses + validates one
+    versioned config document (YAML/JSON/raw DSL) and verifies the
+    rule pool it would generate; ``diff`` prints the structured change
+    script between two config files — exactly the operations a staged
+    promotion would apply (exit 1 when the configs differ, mirroring
+    ``diff(1)``)."""
+    import json as _json
+
+    if args.action == "validate":
+        config = _load_configset(args.file, version=args.version)
+        engine = ActiveRBACEngine(config.spec)
+        findings = verify_rule_pool(engine)
+        report = config.describe()
+        report["rules"] = len(engine.rules)
+        report["events"] = len(engine.detector)
+        report["verification"] = [str(f) for f in findings]
+        if args.json:
+            print(_json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(f"config v{config.version} ({config.origin}): valid")
+            print(f"  checksum: {config.checksum}")
+            print(f"  roles: {len(config.spec.roles)}  "
+                  f"users: {len(config.spec.users)}  "
+                  f"rules: {len(engine.rules)}")
+            print(render_findings(findings))
+        return 1 if errors_only(findings) else 0
+    if args.action == "diff":
+        from repro.config import diff_specs
+
+        old = _load_configset(args.old, version=1)
+        new = _load_configset(args.new, version=2)
+        diff = diff_specs(old.spec, new.spec)
+        payload = diff.summary()
+        payload["model_ops"] = [
+            {"op": op, "args": [repr(item) for item in rest]}
+            for op, *rest in diff.model_ops]
+        payload["regen_seeds"] = sorted(diff.regen_seeds)
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if diff.is_empty else 1
+    print(f"error: unknown config action {args.action!r}",
+          file=sys.stderr)
+    return 2
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Deterministic WAL replay under a pinned config version.
+
+    Re-runs the decision stream of a durability directory's WAL under
+    ``--config-version N`` (a version persisted by the lifecycle under
+    ``DIR/configs/``, or an explicit ``--config FILE``); the replayed
+    stream's sha256 digest is the determinism fingerprint CI asserts
+    across seeds.  ``--compare-version M`` replays the same WAL a
+    second time and prints the per-decision divergence between the two
+    versions.  Exit: 0 clean, 1 when ``--expect-digest`` mismatches,
+    2 on a missing WAL/config.
+    """
+    import json as _json
+
+    from repro.config.lifecycle import load_version
+    from repro.config.loader import ConfigError, load_config
+    from repro.config.replay import diff_streams, replay_wal
+
+    try:
+        if args.config:
+            config = load_config(args.config,
+                                 version=args.config_version)
+        else:
+            config = load_version(args.directory, args.config_version)
+        result = replay_wal(args.directory, config)
+        payload: dict = result.summary()
+        if args.compare_version is not None:
+            other = replay_wal(
+                args.directory,
+                load_version(args.directory, args.compare_version))
+            payload = {"replay": payload, "compare": other.summary(),
+                       "diff": diff_streams(result, other)}
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"replayed {result.records} WAL record(s) under config "
+              f"v{config.version} ({len(result.decisions)} decisions, "
+              f"{len(result.mismatches)} mismatch(es), "
+              f"{len(result.gaps)} gap(s), "
+              f"{result.pinned_swaps} pinned swap(s))")
+        print(f"  digest: {result.digest}")
+        if args.compare_version is not None:
+            diff = payload["diff"]
+            print(f"  vs v{args.compare_version}: "
+                  f"{'identical' if diff['identical'] else 'diverged'} "
+                  f"({len(diff['differing'])} differing decision(s) "
+                  f"of {diff['compared']})")
+    if args.expect_digest and result.digest != args.expect_digest:
+        print(f"FAIL: digest {result.digest} != expected "
+              f"{args.expect_digest}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_hygiene(args: argparse.Namespace) -> int:
@@ -842,6 +1002,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--wal", default=None, metavar="DIR",
                        help="attach WAL durability; each shard logs "
                             "under DIR/<shard>/")
+    serve.add_argument("--decision-journal", action="store_true",
+                       help="journal every decision to the WAL so "
+                            "`repro-rbac replay` can re-run and diff "
+                            "the stream under pinned config versions "
+                            "(requires --wal)")
     serve.add_argument("--flightrec-dir", default=None,
                        help="flight-recorder dump directory (default: "
                             "$REPRO_FLIGHTREC_DIR, else per-engine "
@@ -935,6 +1100,53 @@ def build_parser() -> argparse.ArgumentParser:
                               "response before counting the "
                               "connection as hung (default: 5)")
     loadgen.set_defaults(fn=cmd_loadgen)
+
+    config = sub.add_parser(
+        "config", help="versioned config-set tooling: validate one "
+                       "document, or diff two into the staged change "
+                       "script")
+    config_sub = config.add_subparsers(dest="action", required=True)
+    config_validate = config_sub.add_parser(
+        "validate", help="parse + validate a YAML/JSON/DSL config and "
+                         "verify its generated rule pool")
+    config_validate.add_argument("file")
+    config_validate.add_argument("--version", type=int, default=None,
+                                 help="override (or, for raw DSL, "
+                                      "supply) the config version")
+    config_validate.add_argument("--json", action="store_true",
+                                 help="machine-readable report")
+    config_validate.set_defaults(fn=cmd_config)
+    config_diff = config_sub.add_parser(
+        "diff", help="structured delta between two config files — the "
+                     "operations a staged promotion would apply "
+                     "(exit 1 when they differ)")
+    config_diff.add_argument("old")
+    config_diff.add_argument("new")
+    config_diff.set_defaults(fn=cmd_config)
+
+    replay = sub.add_parser(
+        "replay", help="re-run a WAL's decision stream under a pinned "
+                       "config version; the digest is the determinism "
+                       "fingerprint")
+    replay.add_argument("directory",
+                        help="durability directory holding wal.log "
+                             "(and the lifecycle's configs/)")
+    replay.add_argument("--config-version", type=int, required=True,
+                        help="config version to replay under (loaded "
+                             "from DIR/configs/vN.rbac unless "
+                             "--config is given)")
+    replay.add_argument("--config", default=None, metavar="FILE",
+                        help="explicit config file instead of the "
+                             "persisted artifact")
+    replay.add_argument("--compare-version", type=int, default=None,
+                        help="also replay under this persisted version "
+                             "and print the decision divergence")
+    replay.add_argument("--expect-digest", default=None,
+                        help="fail (exit 1) unless the replay digest "
+                             "equals this value")
+    replay.add_argument("--json", action="store_true",
+                        help="machine-readable report")
+    replay.set_defaults(fn=cmd_replay)
 
     hygiene = sub.add_parser(
         "hygiene", help="staleness/redundancy report, optional "

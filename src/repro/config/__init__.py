@@ -1,0 +1,32 @@
+"""Policy lifecycle: versioned config sets, staged rollout, replay.
+
+Every policy change enters the engine as a **config set** — a
+validated YAML/JSON/DSL document with a monotone version id — and
+leaves through a guarded deployment pipeline instead of a raw mutation:
+
+1. :func:`~repro.config.loader.load_config` parses and validates the
+   document into a :class:`~repro.config.configset.ConfigSet`;
+2. :func:`~repro.config.differ.diff_specs` computes what actually
+   changed — and, crucially, which roles' *rules* the change touches;
+3. :class:`~repro.config.lifecycle.PolicyLifecycle` stages the version:
+   a candidate engine+kernel is compiled off to the side, live check
+   traffic is mirrored against it (shadow compare), and promotion
+   happens only under a divergence/error budget — as one atomic,
+   WAL-logged epoch swap.  Post-promotion regressions auto-roll back.
+4. :func:`~repro.config.replay.replay_wal` re-runs a recorded decision
+   stream under any pinned config version — the WAL doubles as an
+   audit instrument.
+"""
+
+from repro.config.configset import ConfigSet
+from repro.config.differ import ConfigDiff, diff_specs
+from repro.config.lifecycle import PolicyLifecycle, RolloutBudget
+from repro.config.loader import load_config, parse_config
+from repro.config.replay import ReplayResult, diff_streams, replay_wal
+
+__all__ = [
+    "ConfigSet", "ConfigDiff", "diff_specs",
+    "PolicyLifecycle", "RolloutBudget",
+    "load_config", "parse_config",
+    "ReplayResult", "diff_streams", "replay_wal",
+]

@@ -1,0 +1,67 @@
+"""ConfigSet: one immutable, versioned policy deployment unit.
+
+A config set pins four things together: a **monotone version id** (the
+lifecycle refuses to stage a version that does not advance), the parsed
+:class:`~repro.policy.spec.PolicySpec`, the **canonical source** (the
+DSL re-rendering of the spec, so two documents that mean the same
+policy canonicalise identically regardless of input format), and a
+sha256 **checksum** of that canonical source.  The checksum — not the
+input file — is what the WAL records and what replay verifies, so an
+edited-in-place config file cannot silently masquerade as the version
+that was actually deployed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.policy.spec import PolicySpec
+
+
+def policy_checksum(source: str) -> str:
+    """sha256 hex digest of a canonical policy rendering."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ConfigSet:
+    """One versioned policy configuration (immutable)."""
+
+    version: int
+    spec: PolicySpec
+    #: canonical DSL rendering of ``spec`` — the deployment artifact
+    source: str
+    checksum: str
+    #: where the document came from (file path, "inline", "adopted")
+    origin: str = "inline"
+    name: str = field(default="policy")
+
+    @classmethod
+    def from_spec(cls, spec: PolicySpec, version: int,
+                  origin: str = "inline") -> "ConfigSet":
+        """Canonicalise a spec into a config set.
+
+        The spec is cloned so later engine-side mutation of the live
+        policy can never retroactively change what this version means.
+        """
+        from repro.policy.dsl import render_policy
+        if version < 1:
+            raise ValueError(f"config version must be >= 1, got {version}")
+        frozen = spec.clone()
+        source = render_policy(frozen)
+        return cls(version=int(version), spec=frozen, source=source,
+                   checksum=policy_checksum(source), origin=origin,
+                   name=frozen.name)
+
+    def describe(self) -> dict[str, object]:
+        """Flat manifest row for status surfaces and the CLI."""
+        return {
+            "version": self.version,
+            "name": self.name,
+            "checksum": self.checksum,
+            "origin": self.origin,
+            "roles": len(self.spec.roles),
+            "users": len(self.spec.users),
+            "grants": len(self.spec.grants),
+        }

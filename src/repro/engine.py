@@ -138,6 +138,22 @@ class ActiveRBACEngine(EnforcementHelpers):
         #: (with the re-rendered policy) so recovery replays session
         #: state against the policy that was actually in force
         self.policy_epoch = 0
+        #: policy lifecycle surface (see repro/config/lifecycle.py):
+        #: the active config version id, the candidate being staged
+        #: (None outside a rollout), and the last automatic/manual
+        #: rollback summary — all reported by health()/healthz
+        self.config_version: int | None = None
+        self.config_candidate: int | None = None
+        self.config_last_rollback: dict[str, object] | None = None
+        #: decision tap: when set, called after *every* decision (both
+        #: paths) as tap(path, session_id, user, operation, obj,
+        #: granted).  Exceptions are swallowed — mirroring traffic for
+        #: a shadow-compare canary must never change a live answer.
+        self.decision_tap = None
+        #: opt-in decision journal: with a WAL attached, append one
+        #: ``decision.check`` record per decision so the log carries a
+        #: replayable decision stream (see repro/config/replay.py)
+        self.decision_journal = False
 
         self._session_seq = MonotonicSequence(1)
         self._activation_seq = MonotonicSequence(1)
@@ -610,6 +626,8 @@ class ActiveRBACEngine(EnforcementHelpers):
                     "grant" if granted else "deny",
                     getattr(denial, "rule", None), fallback_reason,
                     cause)
+            self._after_decision("interpreted", session_id, user,
+                                 operation, obj, granted, purpose)
             self.obs.access_decision(granted,
                                      time.perf_counter_ns() - start)
 
@@ -687,6 +705,31 @@ class ActiveRBACEngine(EnforcementHelpers):
                           records=len(flight), seq=flight.seq)
         return path
 
+    def _after_decision(self, path: str, session_id: str,
+                        user: str | None, operation: str, obj: str,
+                        granted: bool, purpose: str | None) -> None:
+        """Post-decision hooks shared by both serving paths.
+
+        Feeds the shadow-compare tap (swallowing anything it raises:
+        mirrored traffic must never change, delay, or fail a live
+        answer) and, when the decision journal is on, appends one
+        ``decision.check`` WAL record so the log carries a replayable
+        decision stream.  Both hooks are off (one attribute check
+        each) in the default configuration.
+        """
+        tap = self.decision_tap
+        if tap is not None:
+            try:
+                tap(path, session_id, user, operation, obj, granted)
+            except Exception:  # noqa: BLE001 - see docstring
+                pass
+        if self.decision_journal:
+            wal = self.wal
+            if wal is not None:
+                wal.log("decision.check", session=session_id, user=user,
+                        operation=operation, object=obj,
+                        purpose=purpose, granted=granted, path=path)
+
     def _commit_kernel_decision(self, kernel: "PolicyKernel", granted: bool,
                                 session_id: str, operation: str, obj: str,
                                 user: str | None) -> None:
@@ -759,6 +802,8 @@ class ActiveRBACEngine(EnforcementHelpers):
                               event="checkAccess", error="OperationDenied")
             raise error
         finally:
+            self._after_decision("kernel", session_id, user,
+                                 operation, obj, granted, None)
             self.obs.access_decision(granted,
                                      time.perf_counter_ns() - start)
 
@@ -978,6 +1023,11 @@ class ActiveRBACEngine(EnforcementHelpers):
             },
             "kernel_last_fallback": (None if kernel is None
                                      else kernel.last_fallback),
+            # policy lifecycle: which config version is live, what (if
+            # anything) is staged, and why the last rollback happened
+            "config_version": self.config_version,
+            "config_candidate": self.config_candidate,
+            "config_last_rollback": self.config_last_rollback,
             "flightrec_dumps": self.flight.dumps,
             "flightrec_dir": self.flight.resolved_dir(),
         }

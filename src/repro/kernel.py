@@ -344,6 +344,43 @@ class PolicyKernel:
             return KERNEL_FALLBACK
         return KERNEL_DENY
 
+    def evaluate_stateless(self, active_roles, operation: str,
+                           obj: str) -> tuple[int, str | None]:
+        """Decide one check from the compiled policy alone.
+
+        The shadow-compare/replay primitive: the caller supplies the
+        session's active role set (runtime state lives with the *live*
+        engine; a candidate kernel compiled off to the side has no
+        sessions of its own) and owns the runtime deny cases — missing
+        session, locked user.  Returns ``(verdict, reason)`` where a
+        :data:`KERNEL_FALLBACK` verdict means the compiled policy
+        cannot answer statically (context-gated role, privacy-
+        regulated object) and carries the reason; no tallies move.
+        Roles the compiled policy does not know simply grant nothing —
+        under a *candidate* policy an unknown role is a policy
+        difference, not staleness.
+        """
+        pid = self.perm_ids.get((operation, obj))
+        if pid is None:
+            return KERNEL_DENY, None
+        bit = 1 << pid
+        ctx_mask = self.context_roles_mask
+        grant = self._grant_by_role
+        saw_dynamic = False
+        for role in active_roles:
+            mask = grant.get(role)
+            if mask is None or not mask & bit:
+                continue
+            if ctx_mask and (1 << self.role_ids[role]) & ctx_mask:
+                saw_dynamic = True
+                continue
+            if obj in self.regulated_objects:
+                return KERNEL_FALLBACK, "privacy"
+            return KERNEL_GRANT, None
+        if saw_dynamic:
+            return KERNEL_FALLBACK, "context_role"
+        return KERNEL_DENY, None
+
     def probe(self, session_id: str, operation: str,
               obj: str) -> tuple[int, str | None]:
         """Tally-free :meth:`evaluate` for explanation mode.

@@ -102,6 +102,7 @@ def snapshot(engine: ActiveRBACEngine) -> dict[str, Any]:
             "activation_seq": engine._activation_seq.peek,
         },
         "policy_epoch": engine.policy_epoch,
+        "config_version": engine.config_version,
         "detector": engine.detector.state_snapshot(),
         "rules": engine.rules.state_snapshot(),
     }
@@ -132,6 +133,9 @@ def restore(data: dict[str, Any]) -> ActiveRBACEngine:
     engine._activation_seq = MonotonicSequence(
         int(counters.get("activation_seq", 1)))
     engine.policy_epoch = int(data.get("policy_epoch", 0))
+    raw_version = data.get("config_version")
+    engine.config_version = (None if raw_version is None
+                             else int(raw_version))
 
     # role status: snapshot values override the windows' initial guess
     for name, enabled in data.get("role_enabled", {}).items():

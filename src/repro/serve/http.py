@@ -260,6 +260,10 @@ class ServeApp:
             "repro_serve_degraded_total",
             "degraded-mode reads answered from the frozen kernel, "
             "by shard", ("shard",))
+        self._reloads = m.counter(
+            "repro_serve_config_reloads_total",
+            "SIGHUP/admin config reloads, by shard and outcome",
+            ("shard", "outcome"))
         self._breaker_state = m.gauge(
             "repro_serve_breaker_state",
             "circuit breaker state by shard "
@@ -339,17 +343,38 @@ class ServeApp:
     def _record_breaker(self, guard: ShardGuard, ok: bool) -> None:
         """Feed one real-path outcome to the shard's breaker; on a
         trip, dump the shard's flight recorder and audit the event so
-        the outage window has forensics."""
+        the outage window has forensics.  A trip during a policy
+        rollout also counts against the lifecycle's error budget — a
+        candidate that coincides with a faulting shard is refused or
+        rolled back, never promoted into an outage."""
         breaker = guard.breaker
         before = breaker.trips
         breaker.record(ok)
         if breaker.trips > before:
-            engine = self.router.shard(guard.name).engine
+            shard = self.router.shard(guard.name)
+            engine = shard.engine
             engine.dump_flight(f"serve.breaker.open.{guard.name}",
                                directory=self.flightrec_dir)
             engine.audit.record(
                 "serve.breaker.open", shard=guard.name,
                 trips=breaker.trips, cooldown=breaker.cooldown)
+            try:
+                lifecycle = shard.lifecycle
+                if lifecycle is not None and lifecycle.armed:
+                    lifecycle.note_failure(
+                        f"serve.breaker.open.{guard.name}")
+                    shard.poll_lifecycle()
+            except Exception:  # noqa: BLE001 - the breaker path must
+                pass  # never fail because the rollout bookkeeping did
+
+    def _lifecycle_tick(self, shard: Any) -> None:
+        """Best-effort control-plane poll after a served decision; a
+        transition failure must never fail the client's response (the
+        lifecycle re-polls on the next request)."""
+        try:
+            shard.poll_lifecycle()
+        except Exception:  # noqa: BLE001 - response already correct
+            pass
 
     def _degraded_check(self, shard: Any, principal: str,
                         operation: str, obj: str) -> dict[str, Any]:
@@ -359,6 +384,41 @@ class ServeApp:
         return shard.check_degraded(principal, operation, obj)
 
     # -- lifecycle ---------------------------------------------------------
+
+    def reload_configs(self, out=None) -> dict[str, Any]:
+        """SIGHUP handler: *stage* every file-backed shard's config.
+
+        Classic daemons re-read their config on SIGHUP and swap it in
+        blind; here the signal only re-reads each ``--shard NAME=FILE``
+        file and **stages** it through the shard's rollout lifecycle —
+        the published kernel keeps serving, a shadow canary mirrors the
+        live traffic against the candidate, and the swap happens only
+        once the divergence/error budget clears (see
+        ``repro/config/lifecycle.py``).  A shard with no config file,
+        or whose file fails validation / version monotonicity, is
+        skipped with the error reported — one bad tenant config never
+        blocks the others.
+        """
+        results: dict[str, Any] = {}
+        for shard in self.router.shards():
+            if shard.config_path is None:
+                continue
+            try:
+                report = shard.admin_op("reload", {})
+                self._reloads.labels(shard.name, "staged")._value += 1
+                results[shard.name] = report
+            except ReproError as exc:
+                self._reloads.labels(shard.name, "error")._value += 1
+                results[shard.name] = {"error": type(exc).__name__,
+                                       "message": str(exc)}
+                shard.engine.audit.record(
+                    "serve.reload.error", shard=shard.name,
+                    message=str(exc))
+        if out is not None:
+            print("reload: " + json.dumps(results, sort_keys=True,
+                                          default=str),
+                  file=out, flush=True)
+        return results
 
     async def start(self, host: str = "127.0.0.1",
                     port: int = 0) -> asyncio.base_events.Server:
@@ -439,6 +499,12 @@ class ServeApp:
                 loop.add_signal_handler(signum, stop.set)
             except NotImplementedError:  # pragma: no cover - non-POSIX
                 pass
+        try:
+            loop.add_signal_handler(
+                signal.SIGHUP, self.reload_configs, out)
+        except (NotImplementedError,  # pragma: no cover - non-POSIX
+                AttributeError):
+            pass
         # the port file is the external readiness signal (the smoke
         # harness SIGTERMs as soon as it appears) — write it only
         # after the handlers are armed, or a prompt signal kills the
@@ -738,6 +804,7 @@ class ServeApp:
         if result.get("timed_out"):
             ctx["failure"] = True  # an engine timeout counts against
             # the breaker even though the response is a clean deny
+        self._lifecycle_tick(shard)
         return 200, result
 
     def _handle_check_batch(self, payload: dict[str, Any],
@@ -786,6 +853,7 @@ class ServeApp:
                                        **args)
             self._record_breaker(guard,
                                  not result.get("timed_out"))
+            self._lifecycle_tick(shard)
             return result
         except ReproError as exc:
             self._record_breaker(guard, _error_status(exc) < 500)

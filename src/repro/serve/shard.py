@@ -42,7 +42,7 @@ from repro.errors import (
 from repro.federation import Federation, RoleMapping, guest_principal
 from repro.kernel import KERNEL_GRANT, PolicyKernel
 
-__all__ = ["Shard", "ShardRouter", "ADMIN_OPS"]
+__all__ = ["Shard", "ShardRouter", "ADMIN_OPS", "LIFECYCLE_OPS"]
 
 
 #: Control-plane operations the service front-end accepts over
@@ -66,16 +66,33 @@ ADMIN_OPS: dict[str, Callable[[ActiveRBACEngine, dict[str, Any]], Any]] = {
 }
 
 
+#: Policy-lifecycle operations (``repro/config/lifecycle.py``) the
+#: admin endpoint accepts alongside :data:`ADMIN_OPS`.  Unlike plain
+#: admin ops these do not mutate the live policy directly: ``reload``
+#: and ``config_stage`` start a shadow-compare canary, and the swap
+#: only happens through the lifecycle's budgeted promotion.
+LIFECYCLE_OPS = frozenset({
+    "reload", "config_stage", "config_promote", "config_rollback",
+    "config_status",
+})
+
+
 class Shard:
     """One tenant: an engine, its durability, and the published kernel."""
 
     def __init__(self, name: str, engine: ActiveRBACEngine,
-                 durability: Any = None) -> None:
+                 durability: Any = None,
+                 config_path: str | None = None) -> None:
         self.name = name
         self.engine = engine
         #: optional :class:`~repro.wal.Durability`; the server's
         #: graceful shutdown flushes its group-commit buffer
         self.durability = durability
+        #: config file SIGHUP / ``reload`` re-reads (the ``--shard
+        #: NAME=FILE`` path the shard was booted from)
+        self.config_path = config_path
+        #: staged-rollout controller, created on first lifecycle op
+        self.lifecycle: Any = None
         #: user/principal -> live session id (lazily created)
         self._sessions: dict[str, str] = {}
         #: epoch swaps published (reference replacements, not compiles)
@@ -126,6 +143,8 @@ class Shard:
     def admin_op(self, op: str, args: dict[str, Any]) -> dict[str, Any]:
         """Apply a named :data:`ADMIN_OPS` mutation; returns the swap
         summary the HTTP admin endpoint responds with."""
+        if op in LIFECYCLE_OPS:
+            return self.lifecycle_op(op, args)
         apply = ADMIN_OPS.get(op)
         if apply is None:
             raise AdministrationError(f"unknown admin op {op!r}")
@@ -134,6 +153,103 @@ class Shard:
         return {"op": op, "shard": self.name, "epoch": self.epoch,
                 "previous_epoch": before,
                 "swapped": self.epoch != before}
+
+    # -- policy lifecycle --------------------------------------------------
+
+    def ensure_lifecycle(self, budget: Any = None) -> Any:
+        """The shard's rollout controller, created on first use.
+
+        Versions and manifest persist next to the shard's WAL (its
+        Durability directory) when one is attached.
+        """
+        if self.lifecycle is None:
+            from repro.config.lifecycle import PolicyLifecycle
+            self.lifecycle = PolicyLifecycle(self.engine, budget=budget)
+        return self.lifecycle
+
+    def lifecycle_op(self, op: str, args: dict[str, Any]) -> dict[str, Any]:
+        """Apply one staged-rollout operation (``reload``,
+        ``config_stage``, ``config_promote``, ``config_rollback``,
+        ``config_status``).
+
+        ``reload`` re-reads the shard's config file (or ``args.path``)
+        and *stages* it — the hot path keeps serving the published
+        kernel; promotion happens through the canary budget (or an
+        explicit ``config_promote``).  Every op republishes, so any
+        swap the lifecycle performed becomes visible immediately.
+        """
+        from repro.config.loader import ConfigError, load_config
+        lifecycle = self.ensure_lifecycle()
+        try:
+            if op == "config_status":
+                return {"op": op, "shard": self.name,
+                        "status": lifecycle.status()}
+            if op in ("reload", "config_stage"):
+                path = args.get("path") or self.config_path
+                version = args.get("version")
+                if args.get("source") is not None:
+                    from repro.config.loader import parse_config
+                    config = parse_config(
+                        str(args["source"]), args.get("format", "yaml"),
+                        version=version)
+                elif path is not None:
+                    try:
+                        config = load_config(path, version=version)
+                    except ConfigError as exc:
+                        # raw DSL files carry no version key: a reload
+                        # of one auto-assigns the next version id
+                        if version is not None \
+                                or "version" not in str(exc):
+                            raise
+                        config = load_config(
+                            path,
+                            version=(self.engine.config_version or 1) + 1)
+                else:
+                    raise AdministrationError(
+                        f"{op}: shard {self.name!r} has no config path "
+                        "and no source was supplied")
+                active = lifecycle.active
+                if active is not None \
+                        and config.checksum == active.checksum:
+                    # repeated SIGHUPs of an unchanged file are no-ops:
+                    # same canonical policy, nothing to stage
+                    return {"op": op, "shard": self.name,
+                            "unchanged": True,
+                            "active_version": active.version,
+                            "checksum": config.checksum}
+                if lifecycle.active is None \
+                        and self.engine.config_version is None \
+                        and config.version > 1:
+                    # first rollout ever: version the running policy so
+                    # a later rollback has a concrete baseline version
+                    # (a v1 stage diffs against the live policy as-is)
+                    lifecycle.adopt(config.version - 1)
+                report = lifecycle.stage(config)
+                return {"op": op, "shard": self.name, **report}
+            if op == "config_promote":
+                report = lifecycle.promote(force=bool(args.get("force")))
+                return {"op": op, "shard": self.name, **report}
+            if op == "config_rollback":
+                report = lifecycle.rollback(
+                    str(args.get("reason", "operator")))
+                return {"op": op, "shard": self.name, **report}
+            raise AdministrationError(f"unknown lifecycle op {op!r}")
+        except ConfigError as exc:
+            raise AdministrationError(str(exc)) from None
+        finally:
+            self.publish()
+
+    def poll_lifecycle(self) -> dict[str, Any] | None:
+        """Control-plane tick: let the lifecycle apply any transition
+        its tallies justify, republishing if the policy swapped.
+        Cheap no-op (two attribute reads) when nothing is in flight."""
+        lifecycle = self.lifecycle
+        if lifecycle is None or not lifecycle.armed:
+            return None
+        transition = lifecycle.poll()
+        if transition is not None:
+            self.publish()
+        return transition
 
     # -- sessions ----------------------------------------------------------
 
@@ -239,6 +355,23 @@ class Shard:
             result["timed_out"] = True
         return result
 
+    def _after_check(self) -> None:
+        """Post-decision control-plane tick (the front-end calls this
+        outside the response path; direct callers get it via
+        :meth:`checked`)."""
+        self.poll_lifecycle()
+
+    def checked(self, user: str, operation: str, obj: str,
+                purpose: str | None = None,
+                deadline: Deadline | None = None) -> dict[str, Any]:
+        """:meth:`check` plus the lifecycle tick — the entry point for
+        embedded callers that have no serving loop to poll from."""
+        try:
+            return self.check(user, operation, obj, purpose=purpose,
+                              deadline=deadline)
+        finally:
+            self._after_check()
+
     def check_degraded(self, user: str, operation: str,
                        obj: str) -> dict[str, Any]:
         """Answer one read from the frozen published kernel only.
@@ -304,6 +437,15 @@ class Shard:
             "sessions": self.sessions(),
             "wal_attached": self.durability is not None,
         }
+        if self.lifecycle is not None:
+            status = self.lifecycle.status()
+            report["lifecycle"] = {
+                "phase": status["phase"],
+                "active_version": status["active_version"],
+                "candidate_version": status["candidate_version"],
+                "canary": status["canary"],
+                "hold": status["hold"],
+            }
         return report
 
 
@@ -333,9 +475,11 @@ class ShardRouter:
     # -- registry ----------------------------------------------------------
 
     def add_shard(self, name: str, engine: ActiveRBACEngine,
-                  durability: Any = None) -> Shard:
+                  durability: Any = None,
+                  config_path: str | None = None) -> Shard:
         self.federation.add_domain(name, engine)
-        shard = self._shards[name] = Shard(name, engine, durability)
+        shard = self._shards[name] = Shard(name, engine, durability,
+                                           config_path=config_path)
         return shard
 
     def add_mapping(self, mapping: RoleMapping) -> None:

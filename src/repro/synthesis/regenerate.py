@@ -110,6 +110,32 @@ def regenerate_roles(engine: "ActiveRBACEngine",
     return report
 
 
+def regenerate_diff(engine: "ActiveRBACEngine",
+                    diff: "ConfigDiff") -> RegenerationReport:
+    """Regenerate exactly what a config diff requires — nothing more.
+
+    Earlier callers seeded :func:`regenerate_roles` with *every* role a
+    policy change mentioned, so a push that only moved grants or
+    assignments (decision-time model state, not rule shape) still
+    churned rules — and rule churn resets the quarantine and counter
+    state riding on each :class:`~repro.rules.rule.OWTERule` object.
+    The config differ computes the **rule-relevant** role set
+    (``diff.regen_seeds``: surviving roles whose generated rule inputs
+    changed, plus brand-new roles); this entry point regenerates that
+    seed set (closed over cross-role partners as usual) and leaves
+    every other rule object untouched — identity, fault counters and
+    quarantine flags survive the deployment.
+
+    Roles the diff removed must already be retired (the lifecycle's
+    apply step removes their rules/events before static state moves);
+    an empty seed set is a no-op report, with no version churn at all.
+    """
+    seeds = diff.regen_seeds & set(engine.policy.roles)
+    if not seeds:
+        return RegenerationReport()
+    return regenerate_roles(engine, seeds)
+
+
 def full_regeneration(engine: "ActiveRBACEngine") -> RegenerationReport:
     """Rebuild the whole pool from the policy (the naive strategy)."""
     report = RegenerationReport(seed_roles=set(engine.policy.roles))

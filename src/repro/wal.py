@@ -46,6 +46,14 @@ KNOWN_OPS = frozenset({
     "role.status", "user.lock", "user.unlock",
     "context.set", "policy.epoch",
     "rule.quarantine", "rule.rearm", "clock.advance",
+    # policy lifecycle (repro/config/): stage/refuse are audit-only
+    # markers; promote/rollback swap the folded policy like
+    # policy.epoch and pin the config version the swap deployed
+    "config.stage", "config.promote", "config.rollback",
+    "config.refuse",
+    # opt-in decision journal (engine.decision_journal): not state —
+    # recovery skips it, replay (repro/config/replay.py) re-runs it
+    "decision.check",
 })
 
 
@@ -412,6 +420,17 @@ def _apply(state: dict[str, Any], record: dict[str, Any]) -> None:
         # the text the rule pool regenerates from, no diffing needed
         state["policy"] = data["policy"]
         state["policy_epoch"] = int(data["epoch"])
+    elif op in ("config.promote", "config.rollback"):
+        # a lifecycle swap is a policy.epoch with a version id: fold
+        # the deployed policy text and remember which config is live
+        state["policy"] = data["policy"]
+        state["policy_epoch"] = int(data["epoch"])
+        state["config_version"] = int(data["version"])
+    elif op in ("config.stage", "config.refuse", "decision.check"):
+        # audit/journal records: no authority state to fold (staged
+        # candidates never served; journaled decisions already
+        # committed their effects through the ops above)
+        pass
     elif op == "rule.quarantine":
         rules = {entry["name"]: entry
                  for entry in state.get("rules", ())}

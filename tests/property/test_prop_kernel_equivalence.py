@@ -329,6 +329,64 @@ def test_explain_matches_after_wal_recovery(shape_seed, stream_seed):
           suppress_health_check=[HealthCheck.too_slow])
 @given(shape_seed=st.integers(0, 10_000),
        stream_seed=st.integers(0, 10_000))
+def test_promote_then_rollback_equals_never_promoted(shape_seed,
+                                                     stream_seed):
+    """Safe-rollout property: force-promoting a config and rolling it
+    back leaves the engine indistinguishable from one that never saw
+    the candidate — even when identical concurrent administration
+    lands between the promote and the rollback.  The candidate delta
+    touches only freshly-named entities, so the concurrent stream
+    (which draws from the original spec) can never overlap it."""
+    import copy
+
+    from repro.config import ConfigSet, PolicyLifecycle, RolloutBudget
+
+    spec = generate_enterprise(EnterpriseShape(
+        roles=10, users=8, tree_fanout=3, tree_depth=2,
+        operations=2, objects=5, grants_per_role=2,
+        ssd_sets=1, dsd_sets=1, seed=shape_seed))
+    subject = ActiveRBACEngine(spec)
+    reference = ActiveRBACEngine(spec)
+    assert run_stream(subject, spec, stream_seed, length=40) \
+        == run_stream(reference, spec, stream_seed, length=40)
+
+    with tempfile.TemporaryDirectory() as state_dir:
+        lifecycle = PolicyLifecycle(
+            subject, state_dir=state_dir,
+            budget=RolloutBudget(min_samples=1, hold_checks=100_000))
+        lifecycle.adopt(1)
+        candidate = copy.deepcopy(subject.policy)
+        candidate.add_role("rollout_probe")
+        candidate.grants.append(("rollout_probe",
+                                 *candidate.permissions[0]))
+        lifecycle.stage(ConfigSet.from_spec(candidate, 2))
+        lifecycle.promote(force=True)
+        assert "rollout_probe" in subject.model.roles
+
+        # identical concurrent administration on pre-existing entities
+        assert run_stream(subject, spec, stream_seed + 1, length=40) \
+            == run_stream(reference, spec, stream_seed + 1, length=40)
+
+        lifecycle.rollback("property-probe")
+
+    assert "rollout_probe" not in subject.model.roles
+    assert subject.config_version == 1
+    assert subject.config_last_rollback["from_version"] == 2
+    fp_subject = state_fingerprint(subject)
+    fp_reference = state_fingerprint(reference)
+    # the subject's epoch moved with each swap; everything else must
+    # converge exactly
+    fp_subject.pop("epoch")
+    fp_reference.pop("epoch")
+    assert fp_subject == fp_reference
+    assert check_sweep(subject, spec, stream_seed) \
+        == check_sweep(reference, spec, stream_seed)
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(shape_seed=st.integers(0, 10_000),
+       stream_seed=st.integers(0, 10_000))
 def test_equivalence_survives_wal_recovery(shape_seed, stream_seed):
     """Crash + WAL replay, then kernel-first vs interpreted answers on
     the recovered state must agree (recover() recompiles eagerly)."""

@@ -1,0 +1,273 @@
+"""Unit tests for the staged rollout controller: budget arithmetic,
+shadow-compare tallies, stage/promote/refuse/rollback transitions and
+their persistence artifacts."""
+
+import json
+import os
+
+import pytest
+
+from repro import ActiveRBACEngine, parse_policy
+from repro.config import ConfigSet, PolicyLifecycle, RolloutBudget
+from repro.config.lifecycle import ShadowComparator, load_version
+from repro.config.loader import ConfigError
+
+BASE = """
+policy p {
+  role doctor;
+  role nurse;
+  user alice;
+  user bob;
+  permission read on chart;
+  permission write on chart;
+  grant read on chart to nurse;
+  grant write on chart to doctor;
+  assign alice to doctor;
+  assign bob to nurse;
+}
+"""
+
+
+def base_spec():
+    return parse_policy(BASE)
+
+
+def candidate_spec(extra_grant=None, drop_grant=None):
+    spec = base_spec()
+    if extra_grant:
+        spec.grants.append(extra_grant)
+    if drop_grant:
+        spec.grants.remove(drop_grant)
+    return spec
+
+
+@pytest.fixture
+def engine():
+    return ActiveRBACEngine.from_policy(base_spec())
+
+
+def serve_some_traffic(engine, sid, count=60, operation="read",
+                       obj="chart"):
+    for _ in range(count):
+        engine.check_access(sid, operation, obj)
+
+
+class TestRolloutBudget:
+    def test_defaults_require_identical_decisions(self):
+        budget = RolloutBudget()
+        assert budget.max_divergence == 0.0
+        assert budget.describe()["min_samples"] == budget.min_samples
+
+
+class TestShadowComparator:
+    def test_interpreted_path_is_indeterminate(self, engine):
+        comparator = ShadowComparator(engine, engine.kernel(),
+                                      RolloutBudget(), "t")
+        comparator.observe("interpreted", "s1", "bob", "read", "chart",
+                           True)
+        assert comparator.indeterminate == 1
+        assert comparator.samples == 0
+
+    def test_missing_session_is_indeterminate(self, engine):
+        comparator = ShadowComparator(engine, engine.kernel(),
+                                      RolloutBudget(), "t")
+        comparator.observe("kernel", "ghost", "bob", "read", "chart",
+                           True)
+        assert comparator.indeterminate == 1
+
+    def test_divergence_fails_fast_before_min_samples(self, engine):
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "nurse")
+        # shadow kernel from a candidate that revoked nurse read
+        shadow = ActiveRBACEngine.from_policy(
+            candidate_spec(drop_grant=("nurse", "read", "chart")))
+        comparator = ShadowComparator(engine, shadow.kernel(),
+                                      RolloutBudget(), "t")
+        comparator.observe("kernel", sid, "bob", "read", "chart", True)
+        assert comparator.divergences == 1
+        assert comparator.verdict() == "refuse"
+        assert "divergence" in comparator.over_budget()
+
+    def test_matching_samples_promote_after_min(self, engine):
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "nurse")
+        shadow = ActiveRBACEngine.from_policy(base_spec())
+        comparator = ShadowComparator(engine, shadow.kernel(),
+                                      RolloutBudget(min_samples=3), "t")
+        for _ in range(2):
+            comparator.observe("kernel", sid, "bob", "read", "chart",
+                               True)
+        assert comparator.verdict() == "insufficient"
+        comparator.observe("kernel", sid, "bob", "read", "chart", True)
+        assert comparator.verdict() == "promote"
+        assert comparator.divergence_rate == 0.0
+
+
+class TestTransitions:
+    def test_adopt_then_stage_monotone(self, engine, tmp_path):
+        lifecycle = PolicyLifecycle(engine, state_dir=str(tmp_path))
+        lifecycle.adopt(1)
+        assert engine.config_version == 1
+        with pytest.raises(ConfigError, match="advance"):
+            lifecycle.adopt(1)
+        config = ConfigSet.from_spec(candidate_spec(), 1)
+        with pytest.raises(ConfigError, match="advance"):
+            lifecycle.stage(config)
+
+    def test_checksum_tamper_refused_at_stage(self, engine, tmp_path):
+        lifecycle = PolicyLifecycle(engine, state_dir=str(tmp_path))
+        lifecycle.adopt(1)
+        config = ConfigSet.from_spec(candidate_spec(), 2)
+        tampered = ConfigSet(version=2, spec=config.spec,
+                             source=config.source + "\n",
+                             checksum=config.checksum)
+        with pytest.raises(ConfigError, match="checksum"):
+            lifecycle.stage(tampered)
+
+    def test_double_stage_refused(self, engine, tmp_path):
+        lifecycle = PolicyLifecycle(engine, state_dir=str(tmp_path))
+        lifecycle.adopt(1)
+        lifecycle.stage(ConfigSet.from_spec(candidate_spec(
+            extra_grant=("nurse", "write", "chart")), 2))
+        with pytest.raises(ConfigError, match="already staged"):
+            lifecycle.stage(ConfigSet.from_spec(candidate_spec(), 3))
+
+    def test_clean_canary_auto_promotes(self, engine, tmp_path):
+        lifecycle = PolicyLifecycle(
+            engine, state_dir=str(tmp_path),
+            budget=RolloutBudget(min_samples=5, hold_checks=10))
+        lifecycle.adopt(1)
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "nurse")
+        config = ConfigSet.from_spec(candidate_spec(
+            extra_grant=("doctor", "read", "chart")), 2)
+        lifecycle.stage(config)
+        assert engine.config_candidate == 2
+        assert lifecycle.status()["phase"] == "canary"
+        serve_some_traffic(engine, sid, 10)
+        transition = lifecycle.poll()
+        assert transition is not None and transition["promoted"] == 2
+        assert engine.config_version == 2
+        assert lifecycle.status()["phase"] == "hold"
+        assert ("doctor", "read", "chart") in engine.policy.grants
+        # hold passes clean, promotion settles
+        serve_some_traffic(engine, sid, 12)
+        settled = lifecycle.poll()
+        assert settled == {"settled": 2, "hold": settled["hold"]}
+        assert lifecycle.status()["phase"] == "idle"
+        assert not lifecycle.armed
+        assert engine.decision_tap is None
+
+    def test_divergent_canary_refuses_and_live_unchanged(
+            self, engine, tmp_path):
+        lifecycle = PolicyLifecycle(engine, state_dir=str(tmp_path))
+        lifecycle.adopt(1)
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "nurse")
+        config = ConfigSet.from_spec(candidate_spec(
+            drop_grant=("nurse", "read", "chart")), 2)
+        lifecycle.stage(config)
+        assert engine.check_access(sid, "read", "chart")  # still live
+        transition = lifecycle.poll()
+        assert transition is not None and transition["refused"] == 2
+        assert "divergence" in transition["reason"]
+        assert engine.config_version == 1
+        assert engine.check_access(sid, "read", "chart")
+        # the refused artifact stays loadable for audit
+        assert load_version(str(tmp_path), 2).version == 2
+        manifest = json.loads(
+            (tmp_path / "configs" / "manifest.json").read_text())
+        assert manifest["versions"]["2"]["status"] == "refused"
+
+    def test_note_failure_refuses_canary(self, engine, tmp_path):
+        lifecycle = PolicyLifecycle(engine, state_dir=str(tmp_path))
+        lifecycle.adopt(1)
+        lifecycle.stage(ConfigSet.from_spec(candidate_spec(
+            extra_grant=("nurse", "write", "chart")), 2))
+        lifecycle.note_failure("breaker")
+        transition = lifecycle.poll()
+        assert transition["refused"] == 2
+        assert transition["reason"] == "failure:breaker"
+
+    def test_forced_promote_past_failing_canary_rolls_back(
+            self, engine, tmp_path):
+        lifecycle = PolicyLifecycle(
+            engine, state_dir=str(tmp_path),
+            budget=RolloutBudget(min_samples=5, hold_checks=50))
+        lifecycle.adopt(1)
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "nurse")
+        config = ConfigSet.from_spec(candidate_spec(
+            drop_grant=("nurse", "read", "chart")), 2)
+        lifecycle.stage(config)
+        report = lifecycle.promote(force=True)
+        assert report["promoted"] == 2 and report["forced"]
+        assert not engine.check_access(sid, "read", "chart")
+        # the hold sees the live answers flip vs the previous kernel
+        transition = lifecycle.poll()
+        assert transition is not None
+        assert transition["rolled_back"] == 2
+        assert transition["restored"] == 1
+        assert engine.config_version == 1
+        assert engine.check_access(sid, "read", "chart")  # restored
+        assert engine.config_last_rollback["from_version"] == 2
+        assert lifecycle.status()["phase"] == "idle"
+
+    def test_rollback_preserves_unrelated_drift(self, engine, tmp_path):
+        lifecycle = PolicyLifecycle(
+            engine, state_dir=str(tmp_path),
+            budget=RolloutBudget(min_samples=1, hold_checks=5))
+        lifecycle.adopt(1)
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "nurse")
+        lifecycle.stage(ConfigSet.from_spec(candidate_spec(
+            extra_grant=("doctor", "read", "chart")), 2))
+        serve_some_traffic(engine, sid, 3)
+        lifecycle.promote()
+        # concurrent administration OUTSIDE the promote delta
+        engine.add_user("carol")
+        engine.assign_user("carol", "nurse")
+        lifecycle.rollback("operator")
+        # the delta is gone, the drift survives
+        assert ("doctor", "read", "chart") not in engine.policy.grants
+        assert "carol" in engine.model.users
+        assert ("carol", "nurse") in engine.policy.assignments
+
+    def test_swap_is_one_epoch_and_kernel_is_fresh(self, engine,
+                                                   tmp_path):
+        lifecycle = PolicyLifecycle(
+            engine, state_dir=str(tmp_path),
+            budget=RolloutBudget(min_samples=1, hold_checks=5))
+        lifecycle.adopt(1)
+        sid = engine.create_session("bob")
+        engine.add_active_role(sid, "nurse")
+        lifecycle.stage(ConfigSet.from_spec(candidate_spec(
+            extra_grant=("doctor", "read", "chart")), 2))
+        serve_some_traffic(engine, sid, 3)
+        epoch_before = engine.policy_epoch
+        report = lifecycle.promote()
+        swap = report["swap"]
+        assert swap["epoch"] == engine.policy_epoch
+        assert swap["kernel_rebuilt"]
+        assert swap["pause_ns"] == lifecycle.last_swap_ns > 0
+        # the promote applied 1 grant + the swap: epochs moved, but the
+        # published kernel matches the final epoch exactly
+        assert engine.policy_epoch > epoch_before
+        assert engine._kernel.epoch == engine.policy_epoch
+
+    def test_rollback_without_promotion_refused(self, engine):
+        lifecycle = PolicyLifecycle(engine)
+        with pytest.raises(ConfigError, match="no promotion"):
+            lifecycle.rollback("nope")
+
+    def test_persisted_artifacts_round_trip(self, engine, tmp_path):
+        lifecycle = PolicyLifecycle(engine, state_dir=str(tmp_path))
+        lifecycle.adopt(1)
+        lifecycle.stage(ConfigSet.from_spec(candidate_spec(
+            extra_grant=("nurse", "write", "chart")), 2))
+        stored = load_version(str(tmp_path), 2)
+        assert stored.checksum == lifecycle.candidate.checksum
+        assert os.path.exists(
+            os.path.join(str(tmp_path), "configs", "v1.rbac"))
+        with pytest.raises(ConfigError, match="no persisted config"):
+            load_version(str(tmp_path), 9)
