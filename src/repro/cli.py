@@ -361,7 +361,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
         except ReproError as exc:
             skipped.append((role.strip(), type(exc).__name__))
     explanation = engine.explain(sid, args.operation, args.object,
-                                 purpose=args.purpose)
+                                 purpose=args.purpose, scope=args.scope)
     if args.json:
         payload = explanation.to_dict()
         if skipped:
@@ -556,6 +556,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
             return 2
         router.add_mapping(RoleMapping(home_domain, home_role,
                                        host_domain, host_role))
+    # config-declared federation maps (the --map equivalents baked
+    # into each shard's policy file) reconcile after every shard and
+    # explicit mapping is registered
+    router.sync_federation()
     flightrec_dir = (args.flightrec_dir
                      or os.environ.get("REPRO_FLIGHTREC_DIR"))
     app = ServeApp(router, drain_grace=args.drain_grace,
@@ -566,7 +570,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                    max_body_bytes=args.max_body_bytes,
                    shard_concurrency=args.shard_concurrency,
                    breaker_threshold=args.breaker_threshold,
-                   breaker_cooldown=args.breaker_cooldown)
+                   breaker_cooldown=args.breaker_cooldown,
+                   watch_interval=args.watch_interval)
     if args.chaos_check:
         # deterministic shard-fault injection for the chaos-serve CI
         # job: after WARM clean calls, the next FAILS checks raise
@@ -941,6 +946,10 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--purpose", default=None,
                          help="access purpose for privacy-extended "
                               "policies")
+    explain.add_argument("--scope", default=None,
+                         help="evaluate the S-A-O-C check within this "
+                              "scope (default: the root scope, i.e. a "
+                              "flat check)")
     explain.add_argument("--json", action="store_true",
                          help="machine-readable derivation instead of "
                               "the narrative form")
@@ -1038,6 +1047,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--breaker-cooldown", type=float, default=2.0,
                        help="seconds an open breaker waits before its "
                             "half-open probe (default: 2)")
+    serve.add_argument("--watch-interval", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="poll file-backed shard configs every "
+                            "SECONDS and stage changed files without "
+                            "SIGHUP (default: 0 = off)")
     serve.add_argument("--chaos-check", default=None,
                        metavar="SHARD:WARM:FAILS",
                        help="fault injection: after WARM clean checks "

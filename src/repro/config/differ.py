@@ -88,13 +88,15 @@ class ConfigDiff:
     thresholds_changed: bool = False
     #: context constraint set moved (affects kernel context mask)
     context_changed: bool = False
+    #: federation role maps moved: serve re-syncs shard federations
+    federation_changed: bool = False
 
     @property
     def is_empty(self) -> bool:
         return not (self.added_roles or self.removed_roles
                     or self.changed_roles or self.model_ops
                     or self.privacy_changed or self.thresholds_changed
-                    or self.context_changed)
+                    or self.context_changed or self.federation_changed)
 
     @property
     def regen_seeds(self) -> set[str]:
@@ -113,6 +115,7 @@ class ConfigDiff:
             "privacy_changed": self.privacy_changed,
             "thresholds_changed": self.thresholds_changed,
             "context_changed": self.context_changed,
+            "federation_changed": self.federation_changed,
             "empty": self.is_empty,
         }
 
@@ -138,8 +141,13 @@ def diff_specs(old: PolicySpec, new: PolicySpec) -> ConfigDiff:
     # removals below would tear down)
     for user, role in sorted(set(old.assignments) - set(new.assignments)):
         ops.append(("deassign_user", user, role))
+    for user, role, scope in sorted(
+            set(old.scoped_assignments) - set(new.scoped_assignments)):
+        ops.append(("deassign_scoped", user, role, scope))
     for grant in sorted(set(old.grants) - set(new.grants)):
         ops.append(("revoke", *grant))
+    for grant in sorted(set(old.scoped_grants) - set(new.scoped_grants)):
+        ops.append(("revoke_scoped", *grant))
     for edge in sorted(set(old.hierarchy) - set(new.hierarchy)):
         ops.append(("delete_inheritance", *edge))
     for family, old_fam, new_fam in (("ssd", old.ssd, new.ssd),
@@ -151,6 +159,12 @@ def diff_specs(old: PolicySpec, new: PolicySpec) -> ConfigDiff:
         ops.append(("delete_role", role))
     for user in sorted(old_users - new_users):
         ops.append(("delete_user", user))
+    # removed scopes last (their scoped grants/bounds were revoked
+    # above); reverse declaration order deletes children before parents
+    new_scope_rows = set(new.scopes)
+    for name, parent in reversed(old.scopes):
+        if (name, parent) not in new_scope_rows:
+            ops.append(("remove_scope", name))
 
     # -- additions, dependency-ordered: entities, hierarchy, SoD,
     # permissions, grants, assignments
@@ -175,13 +189,23 @@ def diff_specs(old: PolicySpec, new: PolicySpec) -> ConfigDiff:
         fresh = _sod_rows(new_fam) - _sod_rows(old_fam)
         for name, roles, cardinality in sorted(fresh):
             ops.append((f"create_{family}", name, set(roles), cardinality))
+    # new scopes in declaration order (parents before children)
+    old_scope_rows = set(old.scopes)
+    for name, parent in new.scopes:
+        if (name, parent) not in old_scope_rows:
+            ops.append(("add_scope", name, parent))
     for pair in new.permissions:
         if pair not in old.permissions:
             ops.append(("add_permission", *pair))
     for grant in sorted(set(new.grants) - set(old.grants)):
         ops.append(("grant", *grant))
+    for grant in sorted(set(new.scoped_grants) - set(old.scoped_grants)):
+        ops.append(("grant_scoped", *grant))
     for user, role in sorted(set(new.assignments) - set(old.assignments)):
         ops.append(("assign_user", user, role))
+    for user, role, scope in sorted(
+            set(new.scoped_assignments) - set(old.scoped_assignments)):
+        ops.append(("assign_scoped", user, role, scope))
 
     # -- rule-relevant role changes (see module docstring)
     for role in sorted(survivors):
@@ -195,4 +219,6 @@ def diff_specs(old: PolicySpec, new: PolicySpec) -> ConfigDiff:
         old.threshold_policies != new.threshold_policies)
     diff.context_changed = (
         old.context_constraints != new.context_constraints)
+    diff.federation_changed = (
+        old.federation_maps != new.federation_maps)
     return diff

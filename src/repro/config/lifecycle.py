@@ -76,7 +76,7 @@ _DESCRIPTOR_ATTRS = (
     "durations", "enabling_windows", "disabling_sod",
     "prerequisites", "post_conditions", "transactions",
     "context_constraints", "purposes", "object_policies",
-    "threshold_policies",
+    "threshold_policies", "federation_maps",
 )
 
 
@@ -137,8 +137,14 @@ class ShadowComparator:
         self.details: list[dict[str, Any]] = []
 
     def observe(self, path: str, session_id: str, user: str | None,
-                operation: str, obj: str, granted: bool) -> None:
+                operation: str, obj: str, granted: bool,
+                scope: str | None = None) -> None:
         self.observed += 1
+        if scope is not None:
+            # scoped checks depend on assignment bounds the stateless
+            # shadow evaluation cannot see — not comparable
+            self.indeterminate += 1
+            return
         if path != "kernel":
             # the live answer came from the interpreted pipeline —
             # something about it was dynamic, so the static shadow
@@ -279,13 +285,14 @@ class PolicyLifecycle:
     # ------------------------------------------------------------------
 
     def _tap(self, path: str, session_id: str, user: str | None,
-             operation: str, obj: str, granted: bool) -> None:
+             operation: str, obj: str, granted: bool,
+             scope: str | None = None) -> None:
         if self.hold is not None:
             self.hold.observe(path, session_id, user, operation, obj,
-                              granted)
+                              granted, scope)
         elif self.comparator is not None:
             self.comparator.observe(path, session_id, user, operation,
-                                    obj, granted)
+                                    obj, granted, scope)
 
     def note_failure(self, kind: str) -> None:
         """Record an out-of-band failure signal (breaker trip, guard
@@ -632,6 +639,20 @@ class PolicyLifecycle:
             engine.grant_permission(*args)
         elif name == "assign_user":
             engine.assign_user(*args)
+        elif name == "add_scope":
+            engine.add_scope(*args)
+        elif name == "remove_scope":
+            engine.remove_scope(args[0])
+        elif name == "grant_scoped":
+            engine.grant_permission(args[0], args[1], args[2],
+                                    scope=args[3])
+        elif name == "revoke_scoped":
+            engine.revoke_permission(args[0], args[1], args[2],
+                                     scope=args[3])
+        elif name == "assign_scoped":
+            engine.assign_user(args[0], args[1], scope=args[2])
+        elif name == "deassign_scoped":
+            engine.deassign_scope(*args)
         else:  # differ and lifecycle grew apart — fail loudly
             raise ConfigError(f"unknown model op {name!r}")
 

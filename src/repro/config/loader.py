@@ -22,8 +22,10 @@ constraint descriptors::
     hierarchy:          # - {senior, junior}
     ssd: / dsd:         # - {name, roles: [...], cardinality}
     permissions:        # - {operation, object}
-    grants:             # - {role, operation, object}
-    assignments:        # - {user, role}
+    grants:             # - {role, operation, object, scope?}
+    assignments:        # - {user, role, scope?}
+    scopes:             # - {name, parent?} (parents first)
+    federation_maps:    # - {home_role, host_domain, host_role}
     durations:          # - {role, delta, user?}
     prerequisites:      # - {role, prerequisite}
     post_conditions:    # - {trigger_role, required_role}
@@ -213,8 +215,8 @@ def _parse_yaml(text: str) -> Any:
 
 _STRUCTURED_KEYS = (
     "roles", "users", "hierarchy", "ssd", "dsd", "permissions",
-    "grants", "assignments", "durations", "prerequisites",
-    "post_conditions", "transactions",
+    "grants", "assignments", "scopes", "federation_maps", "durations",
+    "prerequisites", "post_conditions", "transactions",
 )
 
 
@@ -294,13 +296,32 @@ def spec_from_document(doc: dict[str, Any]) -> PolicySpec:
                 str(_require(entry, "permissions", "object")))
         if pair not in spec.permissions:
             spec.permissions.append(pair)
+    for entry in _named_entries(doc, "scopes"):
+        parent = entry.get("parent")
+        spec.add_scope(str(_require(entry, "scopes", "name")),
+                       None if parent is None else str(parent))
     for entry in _named_entries(doc, "grants"):
-        spec.add_grant(str(_require(entry, "grants", "role")),
-                       str(_require(entry, "grants", "operation")),
-                       str(_require(entry, "grants", "object")))
+        role = str(_require(entry, "grants", "role"))
+        operation = str(_require(entry, "grants", "operation"))
+        obj = str(_require(entry, "grants", "object"))
+        scope = entry.get("scope")
+        if scope is None:
+            spec.add_grant(role, operation, obj)
+        else:
+            spec.add_scoped_grant(role, operation, obj, str(scope))
     for entry in _named_entries(doc, "assignments"):
-        spec.add_assignment(str(_require(entry, "assignments", "user")),
-                            str(_require(entry, "assignments", "role")))
+        user = str(_require(entry, "assignments", "user"))
+        role = str(_require(entry, "assignments", "role"))
+        scope = entry.get("scope")
+        if scope is None:
+            spec.add_assignment(user, role)
+        else:
+            spec.add_scoped_assignment(user, role, str(scope))
+    for entry in _named_entries(doc, "federation_maps"):
+        spec.add_federation_map(
+            str(_require(entry, "federation_maps", "home_role")),
+            str(_require(entry, "federation_maps", "host_domain")),
+            str(_require(entry, "federation_maps", "host_role")))
     for entry in _named_entries(doc, "durations"):
         user = entry.get("user")
         spec.durations.append(DurationConstraint(

@@ -164,15 +164,29 @@ class EnforcementHelpers:
     # -- the composite access decision (paper Rule 5 + extensions) ----------------------
 
     def access_roles_ok(self, session_id: str, operation: str,
-                        obj: str) -> bool:
+                        obj: str, scope: str | None = None) -> bool:
         """The For-ANY clause of Rule 5, context-aware: at least one
         active role of the session holds the permission *and* satisfies
-        its access-context constraints."""
-        session = self.model.sessions.get(session_id)
+        its access-context constraints.
+
+        ``scope`` is the C of the normalized S-A-O-C tuple: the serving
+        role must also hold the permission *at that scope* (flat or via
+        a scoped grant at an ancestor) and the assignment behind it
+        must cover the scope. ``scope=None`` is the flat (root) check.
+        """
+        model = self.model
+        session = model.sessions.get(session_id)
         if session is None:
             return False
+        if scope is None and not model._ua_scopes:
+            return any(
+                model.role_has_permission(role, operation, obj)
+                and self.access_context_ok(role)
+                for role in session.active_roles
+            )
         return any(
-            self.model.role_has_permission(role, operation, obj)
+            model.assignment_covers(session.user, role, scope)
+            and model.role_has_permission(role, operation, obj, scope)
             and self.access_context_ok(role)
             for role in session.active_roles
         )

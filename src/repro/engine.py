@@ -36,6 +36,7 @@ from repro.containment import FailurePolicy
 from repro.enforcement import EnforcementHelpers
 from repro.errors import (
     ActivationDenied,
+    AdministrationError,
     DeadlineExceeded,
     DeactivationDenied,
     OperationDenied,
@@ -49,6 +50,7 @@ from repro.extensions.privacy import PrivacyRegistry
 from repro.kernel import KERNEL_GRANT, PolicyKernel
 from repro.obs import FlightRecorder, ObsHub
 from repro.policy.spec import PolicySpec, build_model
+from repro.rbac.scopes import SCOPE_ROOT
 from repro.rules.manager import RuleManager
 from repro.rules.rule import RuleOutcome
 from repro.security.audit import AuditLog
@@ -147,8 +149,9 @@ class ActiveRBACEngine(EnforcementHelpers):
         self.config_last_rollback: dict[str, object] | None = None
         #: decision tap: when set, called after *every* decision (both
         #: paths) as tap(path, session_id, user, operation, obj,
-        #: granted).  Exceptions are swallowed — mirroring traffic for
-        #: a shadow-compare canary must never change a live answer.
+        #: granted, scope).  Exceptions are swallowed — mirroring
+        #: traffic for a shadow-compare canary must never change a
+        #: live answer.
         self.decision_tap = None
         #: opt-in decision journal: with a WAL attached, append one
         #: ``decision.check`` record per decision so the log carries a
@@ -252,6 +255,9 @@ class ActiveRBACEngine(EnforcementHelpers):
         self.policy.assignments = [
             (u, r) for u, r in self.policy.assignments if u != name
         ]
+        self.policy.scoped_assignments = [
+            t for t in self.policy.scoped_assignments if t[0] != name
+        ]
         self.locked_users.discard(name)
         self.audit.record("admin.delete_user", user=name)
         self._note_policy_change()
@@ -287,6 +293,15 @@ class ActiveRBACEngine(EnforcementHelpers):
             (u, r) for u, r in policy.assignments if r != name
         ]
         policy.grants = [g for g in policy.grants if g[0] != name]
+        policy.scoped_grants = [
+            g for g in policy.scoped_grants if g[0] != name
+        ]
+        policy.scoped_assignments = [
+            t for t in policy.scoped_assignments if t[1] != name
+        ]
+        policy.federation_maps = [
+            m for m in policy.federation_maps if m[0] != name
+        ]
         policy.prerequisites = [
             p for p in policy.prerequisites
             if name not in (p.role, p.prerequisite)
@@ -344,21 +359,85 @@ class ActiveRBACEngine(EnforcementHelpers):
                           object=obj)
         self._note_policy_change()
 
-    def grant_permission(self, role: str, operation: str, obj: str) -> None:
-        self.model.grant_permission(role, operation, obj)
-        self.policy.grants.append((role, operation, obj))
-        self.audit.record("admin.grant", role=role, operation=operation,
-                          object=obj)
+    def grant_permission(self, role: str, operation: str, obj: str,
+                         scope: str | None = None) -> None:
+        self.model.grant_permission(role, operation, obj, scope=scope)
+        if scope is None or scope == SCOPE_ROOT:
+            self.policy.grants.append((role, operation, obj))
+            self.audit.record("admin.grant", role=role,
+                              operation=operation, object=obj)
+        else:
+            self.policy.scoped_grants.append((role, operation, obj, scope))
+            self.audit.record("admin.grant", role=role,
+                              operation=operation, object=obj, scope=scope)
         self._note_policy_change()
 
-    def revoke_permission(self, role: str, operation: str, obj: str) -> None:
-        self.model.revoke_permission(role, operation, obj)
+    def revoke_permission(self, role: str, operation: str, obj: str,
+                          scope: str | None = None) -> None:
+        self.model.revoke_permission(role, operation, obj, scope=scope)
+        if scope is None or scope == SCOPE_ROOT:
+            try:
+                self.policy.grants.remove((role, operation, obj))
+            except ValueError:
+                pass
+            self.audit.record("admin.revoke", role=role,
+                              operation=operation, object=obj)
+        else:
+            try:
+                self.policy.scoped_grants.remove(
+                    (role, operation, obj, scope))
+            except ValueError:
+                pass
+            self.audit.record("admin.revoke", role=role,
+                              operation=operation, object=obj, scope=scope)
+        self._note_policy_change()
+
+    # -- scope administration (S-A-O-C context tree) -----------------------
+
+    def add_scope(self, name: str, parent: str | None = None) -> None:
+        """Declare a scope under ``parent`` (root when None).
+
+        Bumps the policy epoch (and the scope tree's own version),
+        so the next kernel consult recompiles the scope closure.
+        """
+        self.model.add_scope(name, parent)
+        self.policy.add_scope(name, parent)
+        self.audit.record("admin.add_scope", scope=name, parent=parent)
+        self._note_policy_change()
+
+    def remove_scope(self, name: str) -> None:
+        """Remove a leaf scope; the model refuses while any grant or
+        assignment bound still references it (fail closed)."""
+        self.model.remove_scope(name)
+        self.policy.scopes = [
+            (n, p) for n, p in self.policy.scopes if n != name
+        ]
+        self.audit.record("admin.remove_scope", scope=name)
+        self._note_policy_change()
+
+    def deassign_scope(self, user: str, role: str, scope: str) -> None:
+        """Drop one scope bound from UA(user, role).
+
+        Removing the *last* bound deassigns the pair entirely through
+        the administrative rule — a scoped assignment never silently
+        widens into an unbounded one (fail closed).
+        """
+        bounds = self.model.assignment_scopes(user, role)
+        if scope not in bounds:
+            raise AdministrationError(
+                f"assignment ({user!r}, {role!r}) is not bounded to "
+                f"scope {scope!r}"
+            )
+        if len(bounds) == 1:
+            self.deassign_user(user, role)
+            return
+        self.model.remove_assignment_scope(user, role, scope)
         try:
-            self.policy.grants.remove((role, operation, obj))
+            self.policy.scoped_assignments.remove((user, role, scope))
         except ValueError:
             pass
-        self.audit.record("admin.revoke", role=role, operation=operation,
-                          object=obj)
+        self.audit.record("admin.deassign_scope", user=user, role=role,
+                          scope=scope)
         self._note_policy_change()
 
     def _regenerate(self, roles: set[str]) -> None:
@@ -403,11 +482,35 @@ class ActiveRBACEngine(EnforcementHelpers):
         self._regenerate(set(roles))
         self._note_policy_change()
 
-    def assign_user(self, user: str, role: str) -> None:
+    def assign_user(self, user: str, role: str,
+                    scope: str | None = None) -> None:
         """User-role assignment via the globalized administrative rule
-        (paper scenario 3)."""
-        self.detector.raise_event("assignUser", user=user, role=role)
-        self.policy.add_assignment(user, role)
+        (paper scenario 3).
+
+        With ``scope`` the assignment is *bounded*: the pair only
+        serves checks inside the scope's subtree (repeat with another
+        scope to widen the bound).  Narrowing a pre-existing unbounded
+        assignment is refused — revoke-and-reassign makes the intent
+        explicit in the audit trail.
+        """
+        if scope is None or scope == SCOPE_ROOT:
+            self.detector.raise_event("assignUser", user=user, role=role)
+            self.policy.add_assignment(user, role)
+            self._note_policy_change()
+            return
+        already = self.model.is_assigned(user, role)
+        if already and not self.model.assignment_scopes(user, role):
+            raise AdministrationError(
+                f"user {user!r} already holds role {role!r} unbounded; "
+                f"deassign before narrowing to scope {scope!r}"
+            )
+        if not already:
+            self.detector.raise_event("assignUser", user=user, role=role)
+        if self.model.is_assigned(user, role):
+            self.model.limit_assignment_scope(user, role, scope)
+        self.policy.add_scoped_assignment(user, role, scope)
+        self.audit.record("admin.assign_scope", user=user, role=role,
+                          scope=scope)
         self._note_policy_change()
 
     def deassign_user(self, user: str, role: str) -> None:
@@ -416,6 +519,10 @@ class ActiveRBACEngine(EnforcementHelpers):
             self.policy.assignments.remove((user, role))
         except ValueError:
             pass
+        self.policy.scoped_assignments = [
+            t for t in self.policy.scoped_assignments
+            if (t[0], t[1]) != (user, role)
+        ]
         self._note_policy_change()
 
     # ======================================================================
@@ -485,7 +592,8 @@ class ActiveRBACEngine(EnforcementHelpers):
 
     def check_access(self, session_id: str, operation: str, obj: str,
                      purpose: str | None = None,
-                     deadline: Deadline | None = None) -> bool:
+                     deadline: Deadline | None = None,
+                     scope: str | None = None) -> bool:
         """The boolean form of paper Rule 5's checkAccess.
 
         All three deny shapes — no rule granted, a fail-closed rule
@@ -495,16 +603,24 @@ class ActiveRBACEngine(EnforcementHelpers):
         """
         try:
             self.require_access(session_id, operation, obj, purpose,
-                                deadline=deadline)
+                                deadline=deadline, scope=scope)
             return True
         except (OperationDenied, RuleExecutionError, DeadlineExceeded):
             return False
 
     def require_access(self, session_id: str, operation: str, obj: str,
                        purpose: str | None = None,
-                       deadline: Deadline | None = None) -> None:
+                       deadline: Deadline | None = None,
+                       scope: str | None = None) -> None:
         """Raise :class:`~repro.errors.OperationDenied` unless some
         active role of the session may perform the operation.
+
+        ``scope`` is the C of the normalized S-A-O-C tuple: the check
+        runs *at* that node of the scope tree, served by flat grants or
+        scoped grants at any ancestor, through assignments whose bounds
+        cover it.  ``scope=None`` is the root-scope (flat) check and is
+        byte-compatible with the pre-scope API.  Unknown scopes deny —
+        fail closed — on both serving paths.
 
         The compiled decision plane answers first when it can: a fresh
         :class:`~repro.kernel.PolicyKernel` resolves the static
@@ -543,11 +659,11 @@ class ActiveRBACEngine(EnforcementHelpers):
             kernel = self._kernel
             if kernel is None or not kernel.fresh(self):
                 kernel = self.kernel()
-            verdict = kernel.evaluate(session_id, operation, obj)
+            verdict = kernel.evaluate(session_id, operation, obj, scope)
             if verdict >= 0:
                 self._commit_kernel_decision(
                     kernel, verdict == KERNEL_GRANT, session_id,
-                    operation, obj, user)
+                    operation, obj, user, scope)
                 return
             fallback_reason = kernel.last_fallback
             if obs.enabled:
@@ -582,10 +698,18 @@ class ActiveRBACEngine(EnforcementHelpers):
                     raise DeadlineExceeded(
                         f"checkAccess {reason} deadline budget exhausted "
                         f"before dispatch; denied", reason=reason)
-            self.detector.raise_event(
-                "checkAccess", sessionId=session_id, operation=operation,
-                object=obj, purpose=purpose, user=user,
-            )
+            if scope is None:
+                self.detector.raise_event(
+                    "checkAccess", sessionId=session_id,
+                    operation=operation, object=obj, purpose=purpose,
+                    user=user,
+                )
+            else:
+                self.detector.raise_event(
+                    "checkAccess", sessionId=session_id,
+                    operation=operation, object=obj, purpose=purpose,
+                    user=user, scope=scope,
+                )
             if deadline is not None:
                 reason = deadline.exceeded()
                 if reason is not None:
@@ -625,9 +749,9 @@ class ActiveRBACEngine(EnforcementHelpers):
                     session_id, user, operation, obj,
                     "grant" if granted else "deny",
                     getattr(denial, "rule", None), fallback_reason,
-                    cause)
+                    cause, scope)
             self._after_decision("interpreted", session_id, user,
-                                 operation, obj, granted, purpose)
+                                 operation, obj, granted, purpose, scope)
             self.obs.access_decision(granted,
                                      time.perf_counter_ns() - start)
 
@@ -667,7 +791,7 @@ class ActiveRBACEngine(EnforcementHelpers):
     # ======================================================================
 
     def explain(self, session_id: str, operation: str, obj: str,
-                purpose: str | None = None):
+                purpose: str | None = None, scope: str | None = None):
         """Re-run one access decision in explanation mode (read-only).
 
         Returns a :class:`~repro.obs.provenance.DecisionExplanation`
@@ -682,7 +806,7 @@ class ActiveRBACEngine(EnforcementHelpers):
         """
         from repro.obs.provenance import explain_decision
         return explain_decision(self, session_id, operation, obj,
-                                purpose=purpose)
+                                purpose=purpose, scope=scope)
 
     def dump_flight(self, cause: str,
                     directory: str | None = None) -> str | None:
@@ -707,7 +831,8 @@ class ActiveRBACEngine(EnforcementHelpers):
 
     def _after_decision(self, path: str, session_id: str,
                         user: str | None, operation: str, obj: str,
-                        granted: bool, purpose: str | None) -> None:
+                        granted: bool, purpose: str | None,
+                        scope: str | None = None) -> None:
         """Post-decision hooks shared by both serving paths.
 
         Feeds the shadow-compare tap (swallowing anything it raises:
@@ -720,7 +845,8 @@ class ActiveRBACEngine(EnforcementHelpers):
         tap = self.decision_tap
         if tap is not None:
             try:
-                tap(path, session_id, user, operation, obj, granted)
+                tap(path, session_id, user, operation, obj, granted,
+                    scope)
             except Exception:  # noqa: BLE001 - see docstring
                 pass
         if self.decision_journal:
@@ -728,11 +854,13 @@ class ActiveRBACEngine(EnforcementHelpers):
             if wal is not None:
                 wal.log("decision.check", session=session_id, user=user,
                         operation=operation, object=obj,
-                        purpose=purpose, granted=granted, path=path)
+                        purpose=purpose, granted=granted, path=path,
+                        scope=scope)
 
     def _commit_kernel_decision(self, kernel: "PolicyKernel", granted: bool,
                                 session_id: str, operation: str, obj: str,
-                                user: str | None) -> None:
+                                user: str | None,
+                                scope: str | None = None) -> None:
         """Apply a kernel verdict with interpreted-pipeline parity.
 
         Mirrors exactly what one checkAccess dispatch through the CA
@@ -770,14 +898,19 @@ class ActiveRBACEngine(EnforcementHelpers):
                     "decision", seq, self.clock.now, "kernel",
                     session_id, user, operation, obj,
                     "grant" if granted else "deny", ca.name, None,
-                    None if granted else "OperationDenied")
+                    None if granted else "OperationDenied", scope)
             if granted:
                 ca.then_count += 1
                 if obs.enabled:
                     obs._kernel_grant._value += 1
-                self.audit.record("decision.allow", category="access",
-                                  user=user, operation=operation,
-                                  object=obj)
+                if scope is None:
+                    self.audit.record("decision.allow", category="access",
+                                      user=user, operation=operation,
+                                      object=obj)
+                else:
+                    self.audit.record("decision.allow", category="access",
+                                      user=user, operation=operation,
+                                      object=obj, scope=scope)
                 return
             ca.else_count += 1
             if obs.enabled:
@@ -786,11 +919,21 @@ class ActiveRBACEngine(EnforcementHelpers):
             # audit record and the typed error, exactly as the rule's
             # alt_actions do — a SecurityLockout countermeasure raised
             # by the cascade propagates instead of OperationDenied
-            detector.raise_event("accessDenied", user=user,
-                                 sessionId=session_id,
-                                 operation=operation, object=obj)
-            self.audit.record("decision.deny", category="access",
-                              user=user, operation=operation, object=obj)
+            if scope is None:
+                detector.raise_event("accessDenied", user=user,
+                                     sessionId=session_id,
+                                     operation=operation, object=obj)
+                self.audit.record("decision.deny", category="access",
+                                  user=user, operation=operation,
+                                  object=obj)
+            else:
+                detector.raise_event("accessDenied", user=user,
+                                     sessionId=session_id,
+                                     operation=operation, object=obj,
+                                     scope=scope)
+                self.audit.record("decision.deny", category="access",
+                                  user=user, operation=operation,
+                                  object=obj, scope=scope)
             error = OperationDenied("Permission Denied", rule=ca.name)
             if obs.enabled:
                 child = obs._error_cache.get((ca.name, OperationDenied))
@@ -803,7 +946,7 @@ class ActiveRBACEngine(EnforcementHelpers):
             raise error
         finally:
             self._after_decision("kernel", session_id, user,
-                                 operation, obj, granted, None)
+                                 operation, obj, granted, None, scope)
             self.obs.access_decision(granted,
                                      time.perf_counter_ns() - start)
 
@@ -1020,6 +1163,8 @@ class ActiveRBACEngine(EnforcementHelpers):
                           "engine": self.rules.version},
                 "detector": {"kernel": kernel.detector_version,
                              "engine": self.detector.version},
+                "scopes": {"kernel": kernel.scopes_version,
+                           "engine": self.model.scopes.version},
             },
             "kernel_last_fallback": (None if kernel is None
                                      else kernel.last_fallback),

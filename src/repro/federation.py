@@ -111,6 +111,18 @@ class Federation:
             raise UnknownRoleError(mapping.host_role)
         self._mappings.append(mapping)
 
+    def remove_mapping(self, mapping: RoleMapping) -> bool:
+        """Drop a mapping; returns whether it existed.  Entitlements
+        already extended to guests are withdrawn at the next
+        :meth:`revalidate_guests` (or eagerly on home deassignment) —
+        the same lazy-until-revalidation discipline as home-side
+        revocation."""
+        try:
+            self._mappings.remove(mapping)
+        except ValueError:
+            return False
+        return True
+
     def mappings_for(self, home_domain: str,
                      host_domain: str) -> list[RoleMapping]:
         return [m for m in self._mappings

@@ -22,6 +22,12 @@ of RBAC, specialised to the paper's active-rule engine):
   (``grant_masks``), folding the junior-closure union of
   :meth:`RBACModel.role_permissions` into a single AND at decision
   time;
+* **scope closure** — the S-A-O-C scope tree's reflexive-transitive
+  ancestor chains become one bitset per scope (``scope_anc_mask``),
+  scoped grants become per-role per-scope permission bitmasks with the
+  junior closure folded in, and assignment scope limits become
+  per-(user, role) scope bitsets — so a scoped check is the same
+  AND-of-bitsets shape as a flat one;
 * **static SoD** — pairwise SSD conflict bitmasks (an analysis
   artifact: assignment-time enforcement stays in the model);
 * **dispatch table** — the per-event rule lists, so the control plane
@@ -46,6 +52,8 @@ from __future__ import annotations
 
 import time
 from typing import TYPE_CHECKING, Any
+
+from repro.rbac.scopes import SCOPE_ROOT
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine import ActiveRBACEngine
@@ -87,6 +95,8 @@ class PolicyKernel:
         "coverage_gap", "build_ns", "fallbacks", "last_fallback",
         "_ca", "_ca_conditions", "_ca_actions", "_ca_alt_actions",
         "_node", "_sessions", "_grant_by_role",
+        "scope_ids", "scope_anc_mask", "scopes_version",
+        "_scoped_grant_by_role", "_scope_cover_by_role", "_scope_limited",
     )
 
     def __init__(self, engine: ActiveRBACEngine) -> None:
@@ -142,6 +152,79 @@ class PolicyKernel:
             self.grant_masks[i] = mask
         self._grant_by_role = {
             role: self.grant_masks[i] for role, i in rid.items()}
+
+        # -- scope tree: interning + reflexive ancestor closure -----------
+        # one bitset per scope replaces the parent-chain walk; a check
+        # at scope T is covered by a grant at S iff bit(S) is in T's
+        # ancestor mask
+        scopes = model.scopes
+        self.scopes_version = scopes.version
+        self.scope_ids = {s: i for i, s in enumerate(sorted(scopes))}
+        self.scope_anc_mask = [0] * len(self.scope_ids)
+        for name, i in self.scope_ids.items():
+            mask = 0
+            for anc in scopes.ancestors_inclusive(name):
+                mask |= 1 << self.scope_ids[anc]
+            self.scope_anc_mask[i] = mask
+
+        # scoped grants: role -> scope id -> permission bitmask, junior
+        # closure folded in at compile (mirrors grant_masks); the cover
+        # mask ORs each role's granted-scope bits so the hot loop can
+        # reject non-intersecting scopes with one AND
+        self._scoped_grant_by_role: dict[str, dict[int, int]] = {}
+        self._scope_cover_by_role: dict[str, int] = {}
+        for role in model.roles:
+            per_scope: dict[int, int] = {}
+            cover = 0
+            for member in hierarchy.juniors_inclusive(role):
+                scoped = model._pa_scoped.get(member)
+                if not scoped:
+                    continue
+                for scope_name, perms in scoped.items():
+                    sid = self.scope_ids.get(scope_name)
+                    if sid is None:
+                        continue
+                    mask = 0
+                    for perm in perms:
+                        pid = self.perm_ids.get((perm.operation, perm.obj))
+                        if pid is not None:
+                            mask |= 1 << pid
+                    if mask:
+                        per_scope[sid] = per_scope.get(sid, 0) | mask
+                        cover |= 1 << sid
+            if per_scope:
+                self._scoped_grant_by_role[role] = per_scope
+                self._scope_cover_by_role[role] = cover
+
+        # assignment scope limits: (user, activatable role) -> OR of
+        # bound scope bits, hierarchy folded: a role activated under a
+        # bounded *senior* assignment inherits the senior's bounds, and
+        # any unbounded authorizing assignment lifts the limit (matches
+        # RBACModel.assignment_covers).  Empty dict on flat policies
+        # keeps the flat path at one truthiness test.
+        self._scope_limited: dict[tuple[str, str], int] = {}
+        if model._ua_scopes:
+            bounded: dict[tuple[str, str], int] = {}
+            unbounded: set[tuple[str, str]] = set()
+            for user, assigned in model._ua.items():
+                for holder in assigned:
+                    bounds = model._ua_scopes.get((user, holder))
+                    lim = 0
+                    if bounds is not None:
+                        for bound in bounds:
+                            sid = self.scope_ids.get(bound)
+                            if sid is not None:
+                                lim |= 1 << sid
+                    for member in hierarchy.juniors_inclusive(holder):
+                        key = (user, member)
+                        if bounds is None:
+                            unbounded.add(key)
+                        else:
+                            bounded[key] = bounded.get(key, 0) | lim
+            self._scope_limited = {
+                key: lim for key, lim in bounded.items()
+                if key not in unbounded
+            }
 
         # -- dynamic-feature sets -----------------------------------------
         self.context_roles_mask = 0
@@ -244,7 +327,8 @@ class PolicyKernel:
         return (engine is self.engine
                 and self.epoch == engine.policy_epoch
                 and self.rules_version == engine.rules.version
-                and self.detector_version == engine.detector.version)
+                and self.detector_version == engine.detector.version
+                and self.scopes_version == engine.model.scopes.version)
 
     def stale_reason(self, engine: ActiveRBACEngine) -> str | None:
         if engine is not self.engine:
@@ -255,17 +339,26 @@ class PolicyKernel:
             return "rules"
         if self.detector_version != engine.detector.version:
             return "detector"
+        if self.scopes_version != engine.model.scopes.version:
+            return "scopes"
         return None
 
     # -- the decision ------------------------------------------------------
 
-    def evaluate(self, session_id: str, operation: str, obj: str) -> int:
+    def evaluate(self, session_id: str, operation: str, obj: str,
+                 scope: str | None = None) -> int:
         """Decide one checkAccess request from the compiled view.
 
         Returns :data:`KERNEL_GRANT`, :data:`KERNEL_DENY`, or
         :data:`KERNEL_FALLBACK` when the request touches anything the
         compile classified as dynamic.  Pure: no events, no audit, no
         counters — the engine wrapper owns side-effect parity.
+
+        ``scope`` is the normalized S-A-O-C context (``None`` / root =
+        flat): a serving role must hold the permission flat or via a
+        scoped grant at an ancestor of ``scope``, and a scope-limited
+        assignment only serves scopes inside its bounds (never the
+        flat check).  Unknown scopes deny — fail closed.
         """
         ca = self._ca
         if ca is None:
@@ -307,9 +400,25 @@ class PolicyKernel:
                 return KERNEL_FALLBACK
             return KERNEL_DENY
 
+        anc = 0
+        if scope is not None and scope != SCOPE_ROOT:
+            sid = self.scope_ids.get(scope)
+            if sid is None:
+                # same contract as permissions: a scope added through
+                # the admin API bumps the scope version and recompiles;
+                # one the compile never saw but the tree now holds means
+                # direct model mutation — fall back rather than guess
+                if scope in self.engine.model.scopes:
+                    self.fallbacks["unknown_entity"] += 1
+                    self.last_fallback = "unknown_entity"
+                    return KERNEL_FALLBACK
+                return KERNEL_DENY
+            anc = self.scope_anc_mask[sid]
+
         bit = 1 << pid
         ctx_mask = self.context_roles_mask
         grant = self._grant_by_role
+        limited = self._scope_limited
         saw_dynamic = False
         granted = False
         for role in session.active_roles:
@@ -319,7 +428,24 @@ class PolicyKernel:
                 self.fallbacks["unknown_entity"] += 1
                 self.last_fallback = "unknown_entity"
                 return KERNEL_FALLBACK
-            if mask & bit:
+            if limited:
+                lim = limited.get((session.user, role))
+                if lim is not None and (not anc or not lim & anc):
+                    # scope-limited assignment: covers only its bound
+                    # subtrees, never the flat/root check
+                    continue
+            holds = bool(mask & bit)
+            if not holds and anc:
+                cover = self._scope_cover_by_role.get(role, 0) & anc
+                if cover:
+                    scoped = self._scoped_grant_by_role[role]
+                    while cover:
+                        low = cover & -cover
+                        if scoped.get(low.bit_length() - 1, 0) & bit:
+                            holds = True
+                            break
+                        cover ^= low
+            if holds:
                 if ctx_mask and (1 << self.role_ids[role]) & ctx_mask:
                     # context-gated role: only the interpreted predicate
                     # can say whether the grant stands right now
@@ -345,7 +471,8 @@ class PolicyKernel:
         return KERNEL_DENY
 
     def evaluate_stateless(self, active_roles, operation: str,
-                           obj: str) -> tuple[int, str | None]:
+                           obj: str,
+                           scope: str | None = None) -> tuple[int, str | None]:
         """Decide one check from the compiled policy alone.
 
         The shadow-compare/replay primitive: the caller supplies the
@@ -358,20 +485,40 @@ class PolicyKernel:
         regulated object) and carries the reason; no tallies move.
         Roles the compiled policy does not know simply grant nothing —
         under a *candidate* policy an unknown role is a policy
-        difference, not staleness.
+        difference, not staleness.  ``scope`` applies grant scoping
+        only (there is no user here, so assignment limits cannot be
+        consulted — the shadow comparator tallies scoped decisions as
+        indeterminate before ever reaching this); unknown scopes deny.
         """
         pid = self.perm_ids.get((operation, obj))
         if pid is None:
             return KERNEL_DENY, None
+        anc = 0
+        if scope is not None and scope != SCOPE_ROOT:
+            sid = self.scope_ids.get(scope)
+            if sid is None:
+                return KERNEL_DENY, None
+            anc = self.scope_anc_mask[sid]
         bit = 1 << pid
         ctx_mask = self.context_roles_mask
         grant = self._grant_by_role
         saw_dynamic = False
         for role in active_roles:
             mask = grant.get(role)
-            if mask is None or not mask & bit:
+            holds = mask is not None and bool(mask & bit)
+            if not holds and anc:
+                cover = self._scope_cover_by_role.get(role, 0) & anc
+                while cover:
+                    low = cover & -cover
+                    if (self._scoped_grant_by_role[role]
+                            .get(low.bit_length() - 1, 0) & bit):
+                        holds = True
+                        break
+                    cover ^= low
+            if not holds:
                 continue
-            if ctx_mask and (1 << self.role_ids[role]) & ctx_mask:
+            if ctx_mask and role in self.role_ids \
+                    and (1 << self.role_ids[role]) & ctx_mask:
                 saw_dynamic = True
                 continue
             if obj in self.regulated_objects:
@@ -381,8 +528,8 @@ class PolicyKernel:
             return KERNEL_FALLBACK, "context_role"
         return KERNEL_DENY, None
 
-    def probe(self, session_id: str, operation: str,
-              obj: str) -> tuple[int, str | None]:
+    def probe(self, session_id: str, operation: str, obj: str,
+              scope: str | None = None) -> tuple[int, str | None]:
         """Tally-free :meth:`evaluate` for explanation mode.
 
         Returns ``(verdict, fallback_reason)`` without perturbing the
@@ -391,7 +538,7 @@ class PolicyKernel:
         """
         before = dict(self.fallbacks)
         previous = self.last_fallback
-        verdict = self.evaluate(session_id, operation, obj)
+        verdict = self.evaluate(session_id, operation, obj, scope)
         reason = self.last_fallback if verdict == KERNEL_FALLBACK else None
         self.fallbacks.update(before)  # same keys: in-place restore
         self.last_fallback = previous
@@ -435,6 +582,14 @@ class PolicyKernel:
             "dynamic_rules": self.dynamic_rules,
             "events_dispatched": len(self.dispatch),
             "context_gated_roles": bin(self.context_roles_mask).count("1"),
+            "scopes": len(self.scope_ids),
+            "scopes_version": self.scopes_version,
+            "scope_closure_bits": sum(
+                bin(mask).count("1") for mask in self.scope_anc_mask),
+            "scoped_grants": sum(
+                len(per_scope)
+                for per_scope in self._scoped_grant_by_role.values()),
+            "scope_limited_assignments": len(self._scope_limited),
             "regulated_objects": len(self.regulated_objects),
             "ssd_sets": len(self.ssd_conflicts),
             "ssd_conflict_pairs": len(self.ssd_conflict_pairs()),

@@ -29,7 +29,7 @@ again without giving the speed back:
 Ring-entry layout (plain tuples, kept cheap for the hot paths)::
 
     ("decision", seq, clock, path, session, user, op, obj,
-     decision, rule, fallback_reason, deny_cause)
+     decision, rule, fallback_reason, deny_cause, scope)
     ("firing", seq, clock, rule, event, outcome, error)
 """
 
@@ -120,14 +120,15 @@ class FlightRecorder:
                       user: str | None, operation: str, obj: str,
                       decision: str, rule: str | None = None,
                       reason: str | None = None,
-                      cause: str | None = None) -> None:
+                      cause: str | None = None,
+                      scope: str | None = None) -> None:
         """Record one access decision (cold-path convenience; the
         engine inlines this body at its two decision sites)."""
         if self.enabled:
             seq = self._seq = self._seq + 1
             self._buf[seq % self.capacity] = (
                 "decision", seq, clock, path, session_id, user,
-                operation, obj, decision, rule, reason, cause)
+                operation, obj, decision, rule, reason, cause, scope)
 
     def note_firing(self, clock: float, rule: str, event: str,
                     outcome: str, error: str | None = None) -> None:
@@ -144,13 +145,14 @@ class FlightRecorder:
     def _entry_dict(entry: tuple) -> dict[str, Any]:
         if entry[0] == "decision":
             (_kind, seq, clock, path, session_id, user, operation,
-             obj, decision, rule, reason, cause) = entry
+             obj, decision, rule, reason, cause, scope) = entry
             return {
                 "kind": "decision", "seq": seq, "clock": clock,
                 "path": path, "session": session_id, "user": user,
                 "operation": operation, "object": obj,
                 "decision": decision, "rule": rule,
                 "fallback_reason": reason, "deny_cause": cause,
+                "scope": scope,
             }
         _kind, seq, clock, rule, event, outcome, error = entry
         return {
@@ -226,7 +228,7 @@ class DecisionExplanation:
     """
 
     __slots__ = ("session", "user", "operation", "obj", "purpose",
-                 "allowed", "path", "fallback_reason", "rule",
+                 "scope", "allowed", "path", "fallback_reason", "rule",
                  "deny_cause", "roles", "privacy", "obligations",
                  "ssd_conflicts")
 
@@ -241,6 +243,7 @@ class DecisionExplanation:
             "operation": self.operation,
             "object": self.obj,
             "purpose": self.purpose,
+            "scope": self.scope,
             "allowed": self.allowed,
             "verdict": "grant" if self.allowed else "deny",
             "path": self.path,
@@ -257,7 +260,8 @@ class DecisionExplanation:
         verdict = "GRANT" if self.allowed else "DENY"
         lines = [
             f"{verdict} {self.operation} on {self.obj} "
-            f"for session {self.session!r} (user {self.user!r})",
+            + (f"in scope {self.scope!r} " if self.scope else "")
+            + f"for session {self.session!r} (user {self.user!r})",
             f"  served by: {self.path} path"
             + (f" (fallback: {self.fallback_reason})"
                if self.fallback_reason else ""),
@@ -274,12 +278,18 @@ class DecisionExplanation:
                                   + " > ".join(chain))
                 else:
                     detail.append("direct permission")
+                grant_scope = role.get("grant_scope")
+                if self.scope and grant_scope:
+                    detail.append(f"granted at scope {grant_scope!r}")
             else:
                 detail.append("no permission")
             if role["context_gated"]:
                 detail.append("context "
                               + ("ok" if role["context_ok"]
                                  else "BLOCKED"))
+            if self.scope and not role.get("scope_covered", True):
+                detail.append("assignment scope bounds EXCLUDE "
+                              f"{self.scope!r}")
             lines.append(f"  [{mark}] role {role['role']}: "
                          + ", ".join(detail))
         if not self.roles:
@@ -343,9 +353,30 @@ def _grant_chain(engine: "ActiveRBACEngine", kernel, role: str,
     return source, [role, source]  # closure says reachable; trust it
 
 
+def _grant_scope(model, role: str, operation: str, obj: str,
+                 scope: str) -> str | None:
+    """The nearest scope (self → root order) anchoring the grant that
+    lets ``role`` perform (operation, obj) at ``scope``; the root for
+    flat grants, None when no grant reaches the scope."""
+    from repro.rbac.model import Permission
+    from repro.rbac.scopes import SCOPE_ROOT
+
+    permission = Permission(operation, obj)
+    members = model.hierarchy.juniors_inclusive(role)
+    for anchor in model.scopes.ancestors_inclusive(scope):
+        for member in members:
+            if permission in model._pa_scoped.get(member, {}) \
+                    .get(anchor, ()):
+                return anchor
+    if permission in model.role_permissions(role):
+        return SCOPE_ROOT
+    return None
+
+
 def explain_decision(engine: "ActiveRBACEngine", session_id: str,
                      operation: str, obj: str,
-                     purpose: str | None = None) -> DecisionExplanation:
+                     purpose: str | None = None,
+                     scope: str | None = None) -> DecisionExplanation:
     """Re-run one access decision in explanation mode (read-only).
 
     Mirrors the CA rule's clause conjunction through the shared
@@ -353,8 +384,17 @@ def explain_decision(engine: "ActiveRBACEngine", session_id: str,
     on both the kernel and the interpreted path; the serving path is
     classified with the same gate ``require_access`` uses, and a
     kernel probe (tally-free) supplies the fallback reason.
+
+    With ``scope``, the derivation is scope-aware: each role reports
+    whether it holds the permission *at the scope* (and via which
+    grant anchor — "granted via role R in scope S"), and whether the
+    assignment behind it covers the scope.
     """
+    from repro.rbac.scopes import SCOPE_ROOT
+
     model = engine.model
+    if scope == SCOPE_ROOT:
+        scope = None  # the root scope IS the flat check
     session = model.sessions.get(session_id)
     user = session.user if session is not None else None
 
@@ -372,7 +412,7 @@ def explain_decision(engine: "ActiveRBACEngine", session_id: str,
           or observers[0] != engine._record_rule_firing):
         fallback_reason = "observers"
     else:
-        verdict, reason = kernel.probe(session_id, operation, obj)
+        verdict, reason = kernel.probe(session_id, operation, obj, scope)
         if verdict >= 0:
             path = "kernel"
         else:
@@ -389,21 +429,32 @@ def explain_decision(engine: "ActiveRBACEngine", session_id: str,
     any_grant = False
     active = sorted(session.active_roles) if session is not None else []
     for role in active:
-        holds = model.role_has_permission(role, operation, obj)
+        holds = model.role_has_permission(role, operation, obj, scope)
+        covered = (model.assignment_covers(user, role, scope)
+                   if user is not None else False)
         gated = any(c.role == role and c.applies_to == "access"
                     for c in engine.policy.context_constraints)
         context_ok = engine.access_context_ok(role)
         source, chain = (None, None)
+        grant_scope = None
         if holds:
             source, chain = _grant_chain(engine, kernel, role,
                                          operation, obj)
-        grants = holds and context_ok
+            grant_scope = (SCOPE_ROOT if scope is None
+                           else _grant_scope(model, role, operation,
+                                             obj, scope))
+        grants = holds and context_ok and covered
         any_grant = any_grant or grants
         roles.append({
             "role": role,
             "holds_permission": holds,
             "source_role": source,
             "hierarchy_path": chain,
+            "grant_scope": grant_scope,
+            "assignment_scopes": sorted(
+                model.assignment_scopes(user, role))
+            if user is not None else [],
+            "scope_covered": covered,
             "context_gated": gated,
             "context_ok": context_ok,
             "grants": grants,
@@ -427,14 +478,27 @@ def explain_decision(engine: "ActiveRBACEngine", session_id: str,
         deny_cause = f"unknown operation {operation!r}"
     elif obj not in model.objects:
         deny_cause = f"unknown object {obj!r}"
+    elif scope is not None and scope not in model.scopes:
+        deny_cause = f"unknown scope {scope!r}"
     elif not any_grant:
         blocked = [r["role"] for r in roles
-                   if r["holds_permission"] and not r["context_ok"]]
+                   if r["holds_permission"] and not r["context_ok"]
+                   and r["scope_covered"]]
+        uncovered = [r["role"] for r in roles
+                     if r["holds_permission"] and r["context_ok"]
+                     and not r["scope_covered"]]
         if blocked:
             deny_cause = ("context constraint not satisfied for "
                           + ", ".join(blocked))
+        elif uncovered:
+            where = (f"scope {scope!r}" if scope is not None
+                     else "the flat (root) check")
+            deny_cause = (f"assignment scope bounds exclude {where} "
+                          "for " + ", ".join(uncovered))
         else:
-            deny_cause = "no active role holds the permission"
+            deny_cause = ("no active role holds the permission"
+                          + (f" in scope {scope!r}"
+                             if scope is not None else ""))
     elif not privacy_allowed:
         deny_cause = (f"privacy policy denies purpose {purpose!r} "
                       f"for {operation} on {obj}")
@@ -449,7 +513,7 @@ def explain_decision(engine: "ActiveRBACEngine", session_id: str,
 
     return DecisionExplanation(
         session=session_id, user=user, operation=operation, obj=obj,
-        purpose=purpose, allowed=allowed, path=path,
+        purpose=purpose, scope=scope, allowed=allowed, path=path,
         fallback_reason=fallback_reason, rule=rule_name,
         deny_cause=deny_cause, roles=roles,
         privacy={"allowed": privacy_allowed,

@@ -17,8 +17,10 @@ Grammar (one statement per ``;``-terminated line, ``#`` comments)::
       ssd <name> roles A, B [, C...] [cardinality <n>] ;
       dsd <name> roles A, B [, C...] [cardinality <n>] ;
       permission <op> on <object> ;
-      grant <op> on <object> to <role> ;
-      assign <user> to <role> ;
+      grant <op> on <object> to <role> [ in <scope> ] ;
+      assign <user> to <role> [ in <scope> ] ;
+      scope <name> [ under <parent> ] ;            # S-A-O-C scope tree
+      federate <home_role> to <host_domain> as <host_role> ;
       prerequisite <role> requires <role> ;
       require <role> when enabling <role> ;        # post-condition CFD
       transaction <role> during <role> ;           # Rule 9
@@ -307,14 +309,37 @@ class _Parser:
         obj = self._ident()
         self._expect_word("to")
         role = self._ident()
-        spec.add_grant(role, operation, obj)
+        if self._eat_word("in"):
+            spec.add_scoped_grant(role, operation, obj, self._ident())
+        else:
+            spec.add_grant(role, operation, obj)
         self._semicolon()
 
     def _stmt_assign(self, spec: PolicySpec) -> None:
         user = self._ident()
         self._expect_word("to")
         role = self._ident()
-        spec.add_assignment(user, role)
+        if self._eat_word("in"):
+            spec.add_scoped_assignment(user, role, self._ident())
+        else:
+            spec.add_assignment(user, role)
+        self._semicolon()
+
+    def _stmt_scope(self, spec: PolicySpec) -> None:
+        name = self._ident()
+        parent: str | None = None
+        if self._eat_word("under"):
+            parent = self._ident()
+        spec.add_scope(name, parent)
+        self._semicolon()
+
+    def _stmt_federate(self, spec: PolicySpec) -> None:
+        home_role = self._ident()
+        self._expect_word("to")
+        host_domain = self._ident()
+        self._expect_word("as")
+        host_role = self._ident()
+        spec.add_federation_map(home_role, host_domain, host_role)
         self._semicolon()
 
     def _stmt_prerequisite(self, spec: PolicySpec) -> None:
@@ -473,6 +498,15 @@ def parse_policy(source: str) -> PolicySpec:
     return _Parser(tokenize(source)).parse()
 
 
+_BARE_WORD_RE = re.compile(r"[A-Za-z_][\w.\-]*\Z")
+
+
+def _q(name: str) -> str:
+    """Quote an identifier the lexer cannot read bare (e.g. scope
+    paths containing ``/``)."""
+    return name if _BARE_WORD_RE.fullmatch(name) else f'"{name}"'
+
+
 def render_policy(spec: PolicySpec) -> str:
     """Serialize a spec back to DSL text (round-trip tested).
 
@@ -490,6 +524,9 @@ def render_policy(spec: PolicySpec) -> str:
         extra = (f" max_active_roles {user.max_active_roles}"
                  if user.max_active_roles is not None else "")
         lines.append(f"  user {user.name}{extra};")
+    for scope, parent in spec.scopes:
+        suffix = f" under {_q(parent)}" if parent else ""
+        lines.append(f"  scope {_q(scope)}{suffix};")
     for senior, junior in spec.hierarchy:
         lines.append(f"  hierarchy {senior} > {junior};")
     for sod in spec.ssd.values():
@@ -504,8 +541,16 @@ def render_policy(spec: PolicySpec) -> str:
         lines.append(f"  permission {operation} on {obj};")
     for role, operation, obj in spec.grants:
         lines.append(f"  grant {operation} on {obj} to {role};")
+    for role, operation, obj, scope in spec.scoped_grants:
+        lines.append(
+            f"  grant {operation} on {obj} to {role} in {_q(scope)};")
     for user, role in spec.assignments:
         lines.append(f"  assign {user} to {role};")
+    for user, role, scope in spec.scoped_assignments:
+        lines.append(f"  assign {user} to {role} in {_q(scope)};")
+    for home_role, host_domain, host_role in spec.federation_maps:
+        lines.append(
+            f"  federate {home_role} to {host_domain} as {host_role};")
     for pre in spec.prerequisites:
         lines.append(f"  prerequisite {pre.role} requires "
                      f"{pre.prerequisite};")

@@ -84,6 +84,20 @@ class PolicySpec:
     grants: list[tuple[str, str, str]] = field(default_factory=list)
     #: (user, role) assignments
     assignments: list[tuple[str, str]] = field(default_factory=list)
+    #: (scope, parent-or-None) S-A-O-C scope declarations, parents first
+    scopes: list[tuple[str, str | None]] = field(default_factory=list)
+    #: (role, operation, object, scope) grants effective in the
+    #: scope's subtree only
+    scoped_grants: list[tuple[str, str, str, str]] = field(
+        default_factory=list)
+    #: (user, role, scope) assignments bounded to the scope's subtree
+    #: (the UA pair is implied; it is NOT repeated in ``assignments``)
+    scoped_assignments: list[tuple[str, str, str]] = field(
+        default_factory=list)
+    #: (home_role, host_domain, host_role) federation role maps — the
+    #: config-set form of ``Federation.add_mapping`` / CLI ``--map``
+    federation_maps: list[tuple[str, str, str]] = field(
+        default_factory=list)
     # -- extension constraints ------------------------------------------------
     prerequisites: list[PrerequisiteRole] = field(default_factory=list)
     post_conditions: list[PostConditionDependency] = field(
@@ -134,6 +148,29 @@ class PolicySpec:
 
     def add_assignment(self, user: str, role: str) -> "PolicySpec":
         self.assignments.append((user, role))
+        return self
+
+    def add_scope(self, name: str,
+                  parent: str | None = None) -> "PolicySpec":
+        """Declare a scope (parents must be declared first)."""
+        self.scopes.append((name, parent))
+        return self
+
+    def add_scoped_grant(self, role: str, operation: str, obj: str,
+                         scope: str) -> "PolicySpec":
+        if (operation, obj) not in self.permissions:
+            self.permissions.append((operation, obj))
+        self.scoped_grants.append((role, operation, obj, scope))
+        return self
+
+    def add_scoped_assignment(self, user: str, role: str,
+                              scope: str) -> "PolicySpec":
+        self.scoped_assignments.append((user, role, scope))
+        return self
+
+    def add_federation_map(self, home_role: str, host_domain: str,
+                           host_role: str) -> "PolicySpec":
+        self.federation_maps.append((home_role, host_domain, host_role))
         return self
 
     # -- per-role derived properties (the Figure 1 node flags) --------------------
@@ -188,6 +225,10 @@ class PolicySpec:
             permissions=list(self.permissions),
             grants=list(self.grants),
             assignments=list(self.assignments),
+            scopes=list(self.scopes),
+            scoped_grants=list(self.scoped_grants),
+            scoped_assignments=list(self.scoped_assignments),
+            federation_maps=list(self.federation_maps),
             prerequisites=list(self.prerequisites),
             post_conditions=list(self.post_conditions),
             transactions=list(self.transactions),
@@ -213,6 +254,8 @@ def build_model(spec: PolicySpec) -> RBACModel:
         model.add_role(role.name, role.max_active_users)
     for user in spec.users.values():
         model.add_user(user.name, user.max_active_roles)
+    for name, parent in spec.scopes:
+        model.add_scope(name, parent)
     for senior, junior in spec.hierarchy:
         model.add_inheritance(senior, junior)
     for sod in spec.ssd.values():
@@ -223,6 +266,16 @@ def build_model(spec: PolicySpec) -> RBACModel:
         model.add_permission(operation, obj)
     for role, operation, obj in spec.grants:
         model.grant_permission(role, operation, obj)
+    for role, operation, obj, scope in spec.scoped_grants:
+        model.grant_permission(role, operation, obj, scope=scope)
     for user, role in spec.assignments:
         model.assign_user(user, role)
+    # scoped assignments: the UA pair is committed flat first (SSD
+    # checks included), then immediately bounded — the pair never
+    # serves a check between the two calls since build_model runs
+    # before any session exists
+    for user, role, scope in spec.scoped_assignments:
+        if role not in model.assigned_roles(user):
+            model.assign_user(user, role)
+        model.limit_assignment_scope(user, role, scope)
     return model

@@ -158,6 +158,11 @@ def validate_policy(spec: PolicySpec,
         ok = known_user(user, "assignment") & known_role(role, "assignment")
         if ok:
             assigned[user].add(role)
+    # scoped assignments commit the UA pair too (then bound it), so
+    # they participate in the SSD feasibility check identically
+    for user, role, _scope in spec.scoped_assignments:
+        if user in users and role in roles:
+            assigned[user].add(role)
     if not cycle:
         for user, direct in assigned.items():
             authorized: set[str] = set()
@@ -180,6 +185,46 @@ def validate_policy(spec: PolicySpec,
                 f"grant to {role!r} references undeclared permission "
                 f"({operation!r}, {obj!r})"
             )
+
+    # -- scopes ---------------------------------------------------------------------
+    from repro.rbac.scopes import SCOPE_ROOT
+    declared_scopes: set[str] = set()
+    for scope, parent in spec.scopes:
+        if scope == SCOPE_ROOT:
+            issues.append(
+                f"scope declaration uses the reserved root name "
+                f"{SCOPE_ROOT!r}")
+            continue
+        if scope in declared_scopes:
+            issues.append(f"duplicate scope declaration {scope!r}")
+        if (parent is not None and parent != SCOPE_ROOT
+                and parent not in declared_scopes):
+            issues.append(
+                f"scope {scope!r} references undeclared parent "
+                f"{parent!r} (parents must be declared first)")
+        declared_scopes.add(scope)
+
+    def known_scope(scope: str, where: str) -> None:
+        if scope not in declared_scopes:
+            issues.append(
+                f"{where} references undeclared scope {scope!r}")
+
+    for role, operation, obj, scope in spec.scoped_grants:
+        known_role(role, "scoped grant")
+        known_scope(scope, f"scoped grant to {role!r}")
+        if (operation, obj) not in declared_perms:
+            issues.append(
+                f"scoped grant to {role!r} references undeclared "
+                f"permission ({operation!r}, {obj!r})"
+            )
+    for user, role, scope in spec.scoped_assignments:
+        known_user(user, "scoped assignment")
+        known_role(role, "scoped assignment")
+        known_scope(scope, f"scoped assignment of {user!r}")
+
+    # -- federation role maps ---------------------------------------------------------
+    for home_role, host_domain, host_role in spec.federation_maps:
+        known_role(home_role, f"federation map to {host_domain!r}")
 
     # -- control-flow dependencies ------------------------------------------------------
     for pre in spec.prerequisites:

@@ -36,6 +36,7 @@ from repro.errors import (
     UnknownUserError,
 )
 from repro.rbac.hierarchy import RoleHierarchy
+from repro.rbac.scopes import SCOPE_ROOT, ScopeTree, UnknownScopeError
 from repro.rbac.sod import SodRegistry
 
 
@@ -109,6 +110,14 @@ class RBACModel:
         self.hierarchy = RoleHierarchy(limited=hierarchy_limited)
         self.sod = SodRegistry()
         self.sessions: dict[str, Session] = {}
+        #: the S-A-O-C scope tree; the root is the flat (unscoped) context
+        self.scopes = ScopeTree()
+        #: scoped PA: role -> scope -> permissions granted *at* that scope
+        #: (covering the scope's whole subtree); flat PA stays in _pa
+        self._pa_scoped: dict[str, dict[str, set[Permission]]] = {}
+        #: assignment scope limits: (user, role) -> scopes the assignment
+        #: is bounded to; absent pair = unbounded (flat) assignment
+        self._ua_scopes: dict[tuple[str, str], set[str]] = {}
 
     # ======================================================================
     # administrative commands
@@ -130,6 +139,8 @@ class RBACModel:
         ]:
             del self.sessions[session_id]
         del self._ua[name]
+        for pair in [p for p in self._ua_scopes if p[0] == name]:
+            del self._ua_scopes[pair]
         del self.users[name]
 
     def add_role(self, name: str, max_active_users: int | None = None,
@@ -148,6 +159,9 @@ class RBACModel:
         for assigned in self._ua.values():
             assigned.discard(name)
         del self._pa[name]
+        self._pa_scoped.pop(name, None)
+        for pair in [p for p in self._ua_scopes if p[1] == name]:
+            del self._ua_scopes[pair]
         self.hierarchy.remove_role(name)
         self.sod.remove_role(name)
         for session in self.sessions.values():
@@ -211,6 +225,7 @@ class RBACModel:
                 f"user {user!r} is not assigned to role {role!r}"
             )
         self._ua[user].remove(role)
+        self._ua_scopes.pop((user, role), None)
         for session in self.sessions.values():
             if session.user != user:
                 continue
@@ -218,26 +233,57 @@ class RBACModel:
                 if not self.is_authorized(user, active):
                     session.active_roles.discard(active)
 
-    def grant_permission(self, role: str, operation: str, obj: str) -> None:
-        """GrantPermission: establish PA(permission, role)."""
+    def grant_permission(self, role: str, operation: str, obj: str,
+                         scope: str | None = None) -> None:
+        """GrantPermission: establish PA(permission, role).
+
+        With ``scope`` the grant is *scoped*: it authorizes the
+        permission at ``scope`` and every descendant scope, and nowhere
+        else. ``scope=None`` (or the root) is the classic flat grant.
+        """
         self._require_role(role)
         permission = Permission(operation, obj)
         if permission not in self.permissions:
             raise UnknownPermissionError(permission)
-        if permission in self._pa[role]:
+        if scope is None or scope == SCOPE_ROOT:
+            if permission in self._pa[role]:
+                raise AdministrationError(
+                    f"role {role!r} already holds permission {permission}"
+                )
+            self._pa[role].add(permission)
+            return
+        if scope not in self.scopes:
+            raise UnknownScopeError(scope)
+        held = self._pa_scoped.setdefault(role, {}).setdefault(scope, set())
+        if permission in held:
             raise AdministrationError(
-                f"role {role!r} already holds permission {permission}"
+                f"role {role!r} already holds permission {permission} "
+                f"in scope {scope!r}"
             )
-        self._pa[role].add(permission)
+        held.add(permission)
 
-    def revoke_permission(self, role: str, operation: str, obj: str) -> None:
+    def revoke_permission(self, role: str, operation: str, obj: str,
+                          scope: str | None = None) -> None:
         self._require_role(role)
         permission = Permission(operation, obj)
-        if permission not in self._pa[role]:
+        if scope is None or scope == SCOPE_ROOT:
+            if permission not in self._pa[role]:
+                raise AdministrationError(
+                    f"role {role!r} does not hold permission {permission}"
+                )
+            self._pa[role].remove(permission)
+            return
+        held = self._pa_scoped.get(role, {}).get(scope, set())
+        if permission not in held:
             raise AdministrationError(
-                f"role {role!r} does not hold permission {permission}"
+                f"role {role!r} does not hold permission {permission} "
+                f"in scope {scope!r}"
             )
-        self._pa[role].remove(permission)
+        held.remove(permission)
+        if not held:
+            del self._pa_scoped[role][scope]
+            if not self._pa_scoped[role]:
+                del self._pa_scoped[role]
 
     def add_inheritance(self, senior: str, junior: str) -> None:
         """AddInheritance: senior >> junior, preserving SSD consistency.
@@ -262,6 +308,120 @@ class RBACModel:
 
     def delete_inheritance(self, senior: str, junior: str) -> None:
         self.hierarchy.delete_inheritance(senior, junior)
+
+    # -- scope administration (S-A-O-C context tree) -----------------------
+
+    def add_scope(self, name: str, parent: str | None = None) -> None:
+        """Declare a scope under ``parent`` (root when None)."""
+        self.scopes.add_scope(name, parent)
+
+    def remove_scope(self, name: str) -> None:
+        """Remove a leaf scope; refuses while grants or assignment
+        limits still reference it (fail closed: revoke first)."""
+        holders = sorted(
+            role for role, scoped in self._pa_scoped.items()
+            if name in scoped
+        )
+        if holders:
+            raise AdministrationError(
+                f"scope {name!r} still has grant(s) to role(s) {holders}"
+            )
+        limited = sorted(
+            pair for pair, scopes in self._ua_scopes.items()
+            if name in scopes
+        )
+        if limited:
+            raise AdministrationError(
+                f"scope {name!r} still bounds assignment(s) {limited}"
+            )
+        self.scopes.remove_scope(name)
+
+    def limit_assignment_scope(self, user: str, role: str,
+                               scope: str) -> None:
+        """Bound UA(user, role) to ``scope``'s subtree (additive: each
+        call widens the bound by one more subtree).
+
+        This is the raw commit — callers decide whether narrowing a
+        pre-existing unbounded assignment is legal (the engine refuses;
+        ``build_model`` limits a pair it just created).
+        """
+        self._require_user(user)
+        self._require_role(role)
+        if role not in self._ua[user]:
+            raise AdministrationError(
+                f"user {user!r} is not assigned to role {role!r}"
+            )
+        if scope == SCOPE_ROOT:
+            raise AdministrationError(
+                "an assignment bounded to the root scope is just a flat "
+                "assignment; omit the scope instead"
+            )
+        if scope not in self.scopes:
+            raise UnknownScopeError(scope)
+        self._ua_scopes.setdefault((user, role), set()).add(scope)
+
+    def remove_assignment_scope(self, user: str, role: str,
+                                scope: str) -> None:
+        """Drop one scope bound from UA(user, role).
+
+        Refuses to drop the *last* bound — that would silently widen a
+        scoped assignment to an unbounded one. Deassign the pair
+        instead (fail closed).
+        """
+        bounds = self._ua_scopes.get((user, role))
+        if not bounds or scope not in bounds:
+            raise AdministrationError(
+                f"assignment ({user!r}, {role!r}) is not bounded to "
+                f"scope {scope!r}"
+            )
+        if len(bounds) == 1:
+            raise AdministrationError(
+                f"scope {scope!r} is the last bound on assignment "
+                f"({user!r}, {role!r}); deassign the pair instead"
+            )
+        bounds.remove(scope)
+
+    def assignment_scopes(self, user: str, role: str) -> set[str]:
+        """The scope bounds on UA(user, role); empty = unbounded."""
+        return set(self._ua_scopes.get((user, role), ()))
+
+    def assignment_covers(self, user: str, role: str,
+                          scope: str | None) -> bool:
+        """Does some assignment authorizing ``role`` for ``user`` cover
+        activity at ``scope``?
+
+        A role can be activated through a direct assignment *or* an
+        assignment to a senior role, so scope bounds follow the
+        hierarchy: the role is covered when any authorizing assignment
+        is unbounded (flat assignments cover every scope) or carries a
+        bound whose subtree contains ``scope``. A bounded assignment
+        never covers the root, so scope-limited pairs never satisfy
+        flat checks.
+        """
+        assigned = self._ua.get(user)
+        if not assigned:
+            return False
+        if role in assigned and (user, role) not in self._ua_scopes:
+            return True  # direct unbounded assignment: the fast path
+        authorizing = assigned & self.hierarchy.seniors_inclusive(role)
+        if not authorizing:
+            return False
+        flat = scope is None or scope == SCOPE_ROOT
+        ancestors: tuple[str, ...] | None = None
+        for holder in authorizing:
+            bounds = self._ua_scopes.get((user, holder))
+            if bounds is None:
+                return True
+            if flat:
+                continue
+            if ancestors is None:
+                try:
+                    ancestors = self.scopes.ancestors_inclusive(scope)
+                except UnknownScopeError:
+                    return False
+            if any(anchor in bounds for anchor in ancestors):
+                return True
+        return False
 
     # -- SoD set administration (delegates, with role validation) --------------
 
@@ -348,6 +508,7 @@ class RBACModel:
         """
         self._require_user(user)
         self._ua[user].discard(role)
+        self._ua_scopes.pop((user, role), None)
 
     def ssd_allows_assignment(self, user: str, role: str) -> bool:
         """Predicate form of the AssignUser SSD check (rule W clause)."""
@@ -528,21 +689,70 @@ class RBACModel:
             return False
         return self.sod.dsd_ok(session.active_roles, role)
 
-    def role_has_permission(self, role: str, operation: str,
-                            obj: str) -> bool:
+    def role_has_permission(self, role: str, operation: str, obj: str,
+                            scope: str | None = None) -> bool:
         """Paper condition ``checkPermissions(operation, object, role)``
-        — hierarchical: the role or any of its juniors holds it."""
-        return Permission(operation, obj) in self.role_permissions(role)
+        — hierarchical: the role or any of its juniors holds it.
+
+        With ``scope`` (S-A-O-C normalization) the permission may be
+        held flat (covers everything) or via a scoped grant at the
+        scope or any of its ancestors. Unknown scopes fail closed.
+        """
+        if scope is not None and scope != SCOPE_ROOT \
+                and scope not in self.scopes:
+            return False
+        if Permission(operation, obj) in self.role_permissions(role):
+            return True
+        if scope is None or scope == SCOPE_ROOT or not self._pa_scoped:
+            return False
+        permission = Permission(operation, obj)
+        ancestors = self.scopes.ancestors_inclusive(scope)
+        for member in self.hierarchy.juniors_inclusive(role):
+            scoped = self._pa_scoped.get(member)
+            if not scoped:
+                continue
+            for anchor in ancestors:
+                if permission in scoped.get(anchor, ()):
+                    return True
+        return False
+
+    def scoped_role_permissions(self, role: str,
+                                scope: str) -> set[Permission]:
+        """Permissions the role (with juniors) holds *specifically via
+        scoped grants* effective at ``scope`` — flat PA excluded."""
+        self._require_role(role)
+        ancestors = self.scopes.ancestors_inclusive(scope)
+        result: set[Permission] = set()
+        for member in self.hierarchy.juniors_inclusive(role):
+            scoped = self._pa_scoped.get(member)
+            if not scoped:
+                continue
+            for anchor in ancestors:
+                result |= scoped.get(anchor, set())
+        return result
 
     def session_can_perform(self, session_id: str, operation: str,
-                            obj: str) -> bool:
+                            obj: str, scope: str | None = None) -> bool:
         """The For-ANY loop of paper Rule 5: at least one active role of
-        the session holds the permission."""
+        the session holds the permission (and, scoped, the assignment
+        behind the role covers the requested scope)."""
         session = self.sessions.get(session_id)
         if session is None:
             return False
+        if scope is None or scope == SCOPE_ROOT:
+            if not self._ua_scopes:
+                return any(
+                    self.role_has_permission(role, operation, obj)
+                    for role in session.active_roles
+                )
+            return any(
+                self.assignment_covers(session.user, role, None)
+                and self.role_has_permission(role, operation, obj)
+                for role in session.active_roles
+            )
         return any(
-            self.role_has_permission(role, operation, obj)
+            self.assignment_covers(session.user, role, scope)
+            and self.role_has_permission(role, operation, obj, scope)
             for role in session.active_roles
         )
 
@@ -597,4 +807,11 @@ class RBACModel:
             "closure_invalidations": self.hierarchy.invalidations,
             "ssd_sets": sum(1 for _ in self.sod.ssd_sets()),
             "dsd_sets": sum(1 for _ in self.sod.dsd_sets()),
+            "scopes": len(self.scopes),
+            "scoped_pa_pairs": sum(
+                len(perms)
+                for scoped in self._pa_scoped.values()
+                for perms in scoped.values()
+            ),
+            "scoped_assignments": len(self._ua_scopes),
         }

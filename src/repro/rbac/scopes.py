@@ -1,0 +1,199 @@
+"""First-class scopes: the C of the normalized S-A-O-C check.
+
+The paper's model is flat — every access decision is a
+``(user, operation, object)`` triple.  Production multi-tenant
+deployments (openedx-authz ADR 0002, the healthcare RBAC study in
+PAPERS.md) need grants and checks *scoped*: an org-wide grant covers
+every collection and resource under the org, a collection-wide one
+covers its resources, and a resource-level one covers that resource
+alone.  This module provides the scope tree that normalizes every
+check to Subject-Action-Object-Context:
+
+* a single rooted tree (``platform ▸ org ▸ collection ▸ resource``)
+  whose root :data:`SCOPE_ROOT` is always present — the *flat* scope.
+  Every pre-existing unscoped call is sugar for a root-scope call,
+  which is what keeps the flat API byte-compatible;
+* reflexive ancestor/descendant closures, memoized per scope the same
+  way :class:`~repro.rbac.hierarchy.RoleHierarchy` memoizes role
+  closures, with targeted invalidation and a monotone ``version``
+  counter the :class:`~repro.kernel.PolicyKernel` staleness triple
+  reads;
+* deterministic iteration (sorted names) so interning and rendered
+  config sets are stable across runs.
+
+Containment semantics (mirrors the role hierarchy's
+seniors-inherit-juniors direction): a grant at scope S authorizes the
+permission at S **and every descendant of S**; a check at scope T is
+therefore satisfied by a grant at any scope in
+``ancestors_inclusive(T)``.  Root grants (= flat grants) cover every
+scope; a grant at a leaf covers only that leaf.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import AdministrationError, DuplicateEntityError
+
+__all__ = ["SCOPE_ROOT", "ScopeTree", "UnknownScopeError"]
+
+#: the root scope: the platform-wide context every flat (unscoped)
+#: call implicitly runs in.  ``scope=None`` and ``scope=SCOPE_ROOT``
+#: are interchangeable everywhere.
+SCOPE_ROOT = "/"
+
+
+class UnknownScopeError(AdministrationError):
+    """A scope name the tree does not contain."""
+
+    def __init__(self, scope: str) -> None:
+        super().__init__(f"unknown scope {scope!r}")
+        self.scope = scope
+
+
+class ScopeTree:
+    """A rooted tree of named scopes with memoized closures.
+
+    Mutation is administration-time only (``add_scope`` /
+    ``remove_scope``); decision-time reads (``ancestors_inclusive``)
+    hit the per-scope memo.  ``version`` advances on every mutation so
+    compiled artifacts can detect staleness without hashing the tree.
+    """
+
+    __slots__ = ("_parent", "_children", "_anc_cache", "version",
+                 "invalidations")
+
+    def __init__(self) -> None:
+        #: scope -> parent scope (root maps to None)
+        self._parent: dict[str, str | None] = {SCOPE_ROOT: None}
+        #: scope -> immediate child set
+        self._children: dict[str, set[str]] = {SCOPE_ROOT: set()}
+        #: scope -> root-terminated reflexive ancestor chain (self first)
+        self._anc_cache: dict[str, tuple[str, ...]] = {}
+        #: bumped on every structural mutation (kernel staleness axis)
+        self.version = 0
+        #: memo drops caused by mutation (stats surface)
+        self.invalidations = 0
+
+    # -- administration ----------------------------------------------------
+
+    def add_scope(self, name: str, parent: str | None = None) -> None:
+        """Add ``name`` under ``parent`` (root when ``parent`` is None).
+
+        Parents must already exist — config renderings therefore list
+        parents before children, which keeps round-trips stable.
+        """
+        if not name or not isinstance(name, str):
+            raise AdministrationError("scope name must be a non-empty "
+                                      "string")
+        if name in self._parent:
+            raise DuplicateEntityError(f"scope {name!r} already exists")
+        parent = SCOPE_ROOT if parent is None else parent
+        if parent not in self._parent:
+            raise UnknownScopeError(parent)
+        self._parent[name] = parent
+        self._children[name] = set()
+        self._children[parent].add(name)
+        self.version += 1
+
+    def remove_scope(self, name: str) -> None:
+        """Remove a leaf scope (the root and interior nodes refuse)."""
+        if name == SCOPE_ROOT:
+            raise AdministrationError("the root scope cannot be removed")
+        if name not in self._parent:
+            raise UnknownScopeError(name)
+        if self._children[name]:
+            raise AdministrationError(
+                f"scope {name!r} still has child scope(s): "
+                f"{sorted(self._children[name])}")
+        parent = self._parent.pop(name)
+        del self._children[name]
+        if parent is not None:
+            self._children[parent].discard(name)
+        if self._anc_cache.pop(name, None) is not None:
+            self.invalidations += 1
+        self.version += 1
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._parent))
+
+    def parent_of(self, name: str) -> str | None:
+        try:
+            return self._parent[name]
+        except KeyError:
+            raise UnknownScopeError(name) from None
+
+    def children_of(self, name: str) -> set[str]:
+        try:
+            return set(self._children[name])
+        except KeyError:
+            raise UnknownScopeError(name) from None
+
+    def ancestors_inclusive(self, name: str) -> tuple[str, ...]:
+        """The reflexive ancestor chain, ``name`` first, root last.
+
+        A check at ``name`` is satisfied by a grant at any scope in
+        this chain — the decision-time hot read, memoized.
+        """
+        cached = self._anc_cache.get(name)
+        if cached is not None:
+            return cached
+        if name not in self._parent:
+            raise UnknownScopeError(name)
+        chain = [name]
+        node = self._parent[name]
+        while node is not None:
+            chain.append(node)
+            node = self._parent[node]
+        result = tuple(chain)
+        self._anc_cache[name] = result
+        return result
+
+    def descendants_inclusive(self, name: str) -> set[str]:
+        """The reflexive subtree under ``name`` — everything a grant at
+        ``name`` covers."""
+        if name not in self._parent:
+            raise UnknownScopeError(name)
+        result = {name}
+        frontier = list(self._children[name])
+        while frontier:
+            node = frontier.pop()
+            if node in result:
+                continue
+            result.add(node)
+            frontier.extend(self._children[node])
+        return result
+
+    def contains(self, ancestor: str, scope: str) -> bool:
+        """Is ``scope`` within ``ancestor``'s subtree (reflexive)?"""
+        return ancestor in self.ancestors_inclusive(scope)
+
+    def depth_of(self, name: str) -> int:
+        """Edges from ``name`` up to the root (root is depth 0)."""
+        return len(self.ancestors_inclusive(name)) - 1
+
+    def edges(self) -> list[tuple[str, str]]:
+        """Sorted (parent, child) edge list (excludes the root's None)."""
+        return sorted(
+            (parent, child)
+            for child, parent in self._parent.items()
+            if parent is not None
+        )
+
+    def stats(self) -> dict[str, int]:
+        depth = max((self.depth_of(s) for s in self._parent), default=0)
+        return {
+            "scopes": len(self._parent),
+            "max_depth": depth,
+            "version": self.version,
+            "closure_memo": len(self._anc_cache),
+            "invalidations": self.invalidations,
+        }

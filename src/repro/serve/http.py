@@ -6,7 +6,8 @@ web framework; the whole repo stays stdlib-only):
 
 ====================  ====================================================
 ``POST /v1/check``    one access decision ``{user, operation, object,
-                      domain?, purpose?}`` -> ``{allowed, path, epoch}``
+                      domain?, purpose?, scope?}`` -> ``{allowed,
+                      path, epoch}``
 ``POST /v1/check_batch``  ``{checks: [...]}`` looped over single checks
                       (the vectorized kernel path is a later PR)
 ``GET  /v1/explain``  read-only derivation (query-string parameters)
@@ -204,9 +205,20 @@ class ServeApp:
                  retry_after: float = 1.0,
                  shard_concurrency: int = 64,
                  breaker_threshold: int = 5,
-                 breaker_cooldown: float = 2.0) -> None:
+                 breaker_cooldown: float = 2.0,
+                 watch_interval: float = 0.0) -> None:
         self.router = router
         self.drain_grace = drain_grace
+        #: config file watcher poll period in seconds; 0 disables.
+        #: When enabled, each file-backed shard's config is stat-polled
+        #: (mtime + size) and a changed file is *staged* through the
+        #: rollout lifecycle exactly like SIGHUP — pushing a config to
+        #: disk is enough, no signal needed.  The loader's checksum
+        #: no-op guard absorbs touch-without-change rewrites.
+        self.watch_interval = watch_interval
+        #: shard -> (mtime_ns, size) last observed by the watcher
+        self._watch_state: dict[str, tuple[int, int]] = {}
+        self._watch_task: asyncio.Task | None = None
         #: where shutdown flight-recorder dumps land; None keeps each
         #: engine's own configured/auto directory
         self.flightrec_dir = flightrec_dir
@@ -286,6 +298,10 @@ class ServeApp:
         self._shard_checks = m.gauge(
             "repro_serve_shard_checks_total",
             "access checks served, by shard", ("shard",))
+        self._shard_scoped_checks = m.gauge(
+            "repro_serve_shard_scoped_checks_total",
+            "access checks that carried an explicit scope, by shard",
+            ("shard",))
         self._shard_sessions = m.gauge(
             "repro_serve_shard_sessions",
             "live served sessions, by shard", ("shard",))
@@ -302,6 +318,8 @@ class ServeApp:
             self._shard_epoch.labels(name).set(shard.epoch)
             self._shard_swaps.labels(name).set(shard.swaps)
             self._shard_checks.labels(name).set(shard.checks)
+            self._shard_scoped_checks.labels(name).set(
+                shard.scoped_checks)
             self._shard_sessions.labels(name).set(shard.sessions())
             decisions = shard.engine.obs.decisions
             for outcome in ("grant", "deny"):
@@ -370,18 +388,23 @@ class ServeApp:
     def _lifecycle_tick(self, shard: Any) -> None:
         """Best-effort control-plane poll after a served decision; a
         transition failure must never fail the client's response (the
-        lifecycle re-polls on the next request)."""
+        lifecycle re-polls on the next request).  A transition that
+        landed (promote/rollback) re-syncs federation mappings from
+        the shards' config state."""
         try:
-            shard.poll_lifecycle()
+            if shard.poll_lifecycle() is not None:
+                self.router.sync_federation()
         except Exception:  # noqa: BLE001 - response already correct
             pass
 
     def _degraded_check(self, shard: Any, principal: str,
-                        operation: str, obj: str) -> dict[str, Any]:
+                        operation: str, obj: str,
+                        scope: str | None = None) -> dict[str, Any]:
         guard = self._guard(shard.name)
         guard.degraded_served += 1
         self._degraded.labels(shard.name)._value += 1
-        return shard.check_degraded(principal, operation, obj)
+        return shard.check_degraded(principal, operation, obj,
+                                    scope=scope)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -420,6 +443,58 @@ class ServeApp:
                   file=out, flush=True)
         return results
 
+    def poll_config_files(self) -> dict[str, Any]:
+        """One synchronous watcher pass over file-backed shards.
+
+        Stat-polls every ``--shard NAME=FILE`` config (mtime_ns +
+        size); a file that moved since the last pass is staged through
+        the shard's rollout lifecycle, exactly like one SIGHUP-ed
+        reload.  The first observation of a file only records its
+        baseline — the config the server booted from is not re-staged.
+        Factored out of the async loop so tests (and embedded callers)
+        can drive passes deterministically.
+        """
+        results: dict[str, Any] = {}
+        for shard in self.router.shards():
+            path = shard.config_path
+            if path is None:
+                continue
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue  # mid-rename or deleted: retry next pass
+            signature = (stat.st_mtime_ns, stat.st_size)
+            seen = self._watch_state.get(shard.name)
+            if seen == signature:
+                continue
+            self._watch_state[shard.name] = signature
+            if seen is None:
+                continue  # baseline: the booted config is not restaged
+            try:
+                report = shard.admin_op("reload", {})
+                outcome = ("unchanged" if report.get("unchanged")
+                           else "staged")
+                self._reloads.labels(shard.name, outcome)._value += 1
+                results[shard.name] = report
+            except ReproError as exc:
+                self._reloads.labels(shard.name, "error")._value += 1
+                results[shard.name] = {"error": type(exc).__name__,
+                                       "message": str(exc)}
+                shard.engine.audit.record(
+                    "serve.watch.error", shard=shard.name,
+                    message=str(exc))
+        return results
+
+    async def _watch_loop(self) -> None:
+        """The async config watcher: stat-poll every
+        ``watch_interval`` seconds until the server drains."""
+        while not self._draining:
+            await asyncio.sleep(self.watch_interval)
+            try:
+                self.poll_config_files()
+            except Exception:  # noqa: BLE001 - the watcher must
+                pass  # survive any one bad pass; next tick retries
+
     async def start(self, host: str = "127.0.0.1",
                     port: int = 0) -> asyncio.base_events.Server:
         """Bind and start serving; ``port=0`` picks an ephemeral port
@@ -427,6 +502,10 @@ class ServeApp:
         self._server = await asyncio.start_server(
             self._serve_connection, host, port)
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.watch_interval > 0 and self._watch_task is None:
+            self.poll_config_files()  # baseline pass before serving
+            self._watch_task = asyncio.get_running_loop().create_task(
+                self._watch_loop())
         return self._server
 
     async def shutdown(self) -> dict[str, Any]:
@@ -444,6 +523,9 @@ class ServeApp:
         if self._shutdown_summary is not None:
             return self._shutdown_summary
         self._draining = True
+        if self._watch_task is not None:
+            self._watch_task.cancel()
+            self._watch_task = None
         if self._port_file is not None:
             try:
                 os.unlink(self._port_file)
@@ -782,6 +864,7 @@ class ServeApp:
             "obj": self._field(payload, "object"),
             "domain": payload.get("domain"),
             "purpose": payload.get("purpose"),
+            "scope": payload.get("scope"),
         }
 
     def _handle_check(self, payload: dict[str, Any],
@@ -796,7 +879,8 @@ class ServeApp:
         verdict = guard.breaker.allow()
         if verdict == "degraded":
             return 200, self._degraded_check(
-                shard, principal, args["operation"], args["obj"])
+                shard, principal, args["operation"], args["obj"],
+                args["scope"])
         if verdict == "serve":
             self._slot(guard, ctx)
         ctx["guard"] = guard  # outcome recorded after drain
@@ -839,7 +923,8 @@ class ServeApp:
         verdict = guard.breaker.allow()
         if verdict == "degraded":
             return self._degraded_check(
-                shard, principal, args["operation"], args["obj"])
+                shard, principal, args["operation"], args["obj"],
+                args["scope"])
         acquired = False
         if verdict == "serve":
             if not guard.bulkhead.try_acquire():
@@ -884,7 +969,8 @@ class ServeApp:
         ctx["guard"] = guard
         return 200, self.router.explain(
             query["user"], query["operation"], query["object"],
-            domain=query.get("domain"), purpose=query.get("purpose"))
+            domain=query.get("domain"), purpose=query.get("purpose"),
+            scope=query.get("scope"))
 
     def _handle_admin(self, payload: dict[str, Any],
                       ctx: dict[str, Any]
@@ -909,10 +995,19 @@ class ServeApp:
         if not isinstance(args, dict):
             raise HttpError(400, "field 'args' must be an object")
         try:
-            return 200, shard.admin_op(op, args)
+            report = shard.admin_op(op, args)
         except KeyError as exc:
             raise HttpError(400, f"admin op {op!r} missing "
                                  f"argument {exc}") from None
+        from repro.serve.shard import LIFECYCLE_OPS
+        if op in LIFECYCLE_OPS:
+            # a promoted/rolled-back config may have moved the
+            # federation_maps declarations — reconcile best-effort
+            try:
+                self.router.sync_federation()
+            except Exception:  # noqa: BLE001 - response is correct
+                pass
+        return 200, report
 
     def _handle_metrics(self, query: dict[str, str]
                         ) -> tuple[int, str]:

@@ -51,14 +51,20 @@ __all__ = ["Shard", "ShardRouter", "ADMIN_OPS", "LIFECYCLE_OPS"]
 #: mutation becomes one epoch swap from the readers' point of view.
 ADMIN_OPS: dict[str, Callable[[ActiveRBACEngine, dict[str, Any]], Any]] = {
     "grant": lambda e, a: e.grant_permission(
-        a["role"], a["operation"], a["object"]),
+        a["role"], a["operation"], a["object"], scope=a.get("scope")),
     "revoke": lambda e, a: e.revoke_permission(
-        a["role"], a["operation"], a["object"]),
+        a["role"], a["operation"], a["object"], scope=a.get("scope")),
     "add_permission": lambda e, a: e.add_permission(
         a["operation"], a["object"]),
     "add_role": lambda e, a: e.add_role(a["role"]),
-    "assign": lambda e, a: e.assign_user(a["user"], a["role"]),
-    "deassign": lambda e, a: e.deassign_user(a["user"], a["role"]),
+    "add_scope": lambda e, a: e.add_scope(a["scope"], a.get("parent")),
+    "remove_scope": lambda e, a: e.remove_scope(a["scope"]),
+    "assign": lambda e, a: e.assign_user(
+        a["user"], a["role"], scope=a.get("scope")),
+    "deassign": lambda e, a: (
+        e.deassign_scope(a["user"], a["role"], a["scope"])
+        if a.get("scope") is not None
+        else e.deassign_user(a["user"], a["role"])),
     "enable_role": lambda e, a: e.enable_role(a["role"]),
     "disable_role": lambda e, a: e.disable_role(a["role"]),
     "lock_user": lambda e, a: e.lock_user(a["user"]),
@@ -99,6 +105,8 @@ class Shard:
         self.swaps = 0
         #: checks served through this shard (both paths)
         self.checks = 0
+        #: checks that carried an explicit scope (subset of ``checks``)
+        self.scoped_checks = 0
         self._kernel: PolicyKernel | None = None
         self.publish()
 
@@ -290,7 +298,8 @@ class Shard:
 
     def check(self, user: str, operation: str, obj: str,
               purpose: str | None = None,
-              deadline: Deadline | None = None) -> dict[str, Any]:
+              deadline: Deadline | None = None,
+              scope: str | None = None) -> dict[str, Any]:
         """Serve one access check against the published kernel.
 
         Loads the published reference once, answers static checks from
@@ -314,6 +323,8 @@ class Shard:
         engine = self.engine
         sid = self.session_for(user)
         self.checks += 1
+        if scope is not None:
+            self.scoped_checks += 1
         kernel = self._kernel  # the single atomic reference read
         obs = engine.obs
         observers = engine.rules._observers
@@ -325,12 +336,13 @@ class Shard:
                                           or obs.timing_interval == 1))
                 and len(observers) == 1
                 and observers[0] == engine._record_rule_firing):
-            verdict = kernel.evaluate(sid, operation, obj)
+            verdict = kernel.evaluate(sid, operation, obj, scope)
             if verdict >= 0:
                 allowed = verdict == KERNEL_GRANT
                 try:
                     engine._commit_kernel_decision(
-                        kernel, allowed, sid, operation, obj, user)
+                        kernel, allowed, sid, operation, obj, user,
+                        scope)
                 except OperationDenied:
                     pass
                 return {"allowed": allowed, "path": "kernel",
@@ -342,7 +354,7 @@ class Shard:
         timed_out = False
         try:
             engine.require_access(sid, operation, obj, purpose,
-                                  deadline=deadline)
+                                  deadline=deadline, scope=scope)
             allowed = True
         except DeadlineExceeded:
             allowed = False
@@ -363,17 +375,18 @@ class Shard:
 
     def checked(self, user: str, operation: str, obj: str,
                 purpose: str | None = None,
-                deadline: Deadline | None = None) -> dict[str, Any]:
+                deadline: Deadline | None = None,
+                scope: str | None = None) -> dict[str, Any]:
         """:meth:`check` plus the lifecycle tick — the entry point for
         embedded callers that have no serving loop to poll from."""
         try:
             return self.check(user, operation, obj, purpose=purpose,
-                              deadline=deadline)
+                              deadline=deadline, scope=scope)
         finally:
             self._after_check()
 
-    def check_degraded(self, user: str, operation: str,
-                       obj: str) -> dict[str, Any]:
+    def check_degraded(self, user: str, operation: str, obj: str,
+                       scope: str | None = None) -> dict[str, Any]:
         """Answer one read from the frozen published kernel only.
 
         The degraded-mode read path the front-end serves while this
@@ -394,6 +407,8 @@ class Shard:
         window.
         """
         self.checks += 1
+        if scope is not None:
+            self.scoped_checks += 1
         kernel = self._kernel
         sid = self._sessions.get(user)
         verdict, reason = KERNEL_GRANT + 1, "no_kernel"  # placeholder
@@ -401,7 +416,7 @@ class Shard:
         if kernel is not None and sid is not None:
             # probe() is the tally-free evaluate: no fallback counters
             # move, so the taxonomy only ever reflects the live path
-            verdict, reason = kernel.probe(sid, operation, obj)
+            verdict, reason = kernel.probe(sid, operation, obj, scope)
             allowed = verdict == KERNEL_GRANT
         elif sid is None:
             reason = "no_session"
@@ -415,11 +430,13 @@ class Shard:
                 "epoch": self.epoch, "degraded": True}
 
     def explain(self, user: str, operation: str, obj: str,
-                purpose: str | None = None) -> dict[str, Any]:
+                purpose: str | None = None,
+                scope: str | None = None) -> dict[str, Any]:
         """Read-only derivation for one check (``GET /v1/explain``)."""
         sid = self.session_for(user)
         payload = self.engine.explain(sid, operation, obj,
-                                      purpose=purpose).to_dict()
+                                      purpose=purpose,
+                                      scope=scope).to_dict()
         payload["shard"] = self.name
         payload["epoch"] = self.epoch
         return payload
@@ -434,6 +451,7 @@ class Shard:
             "published_epoch": self.epoch,
             "epoch_swaps": self.swaps,
             "checks": self.checks,
+            "scoped_checks": self.scoped_checks,
             "sessions": self.sessions(),
             "wal_attached": self.durability is not None,
         }
@@ -471,6 +489,9 @@ class ShardRouter:
         self.federation = federation if federation is not None \
             else Federation()
         self._shards: dict[str, Shard] = {}
+        #: mappings :meth:`sync_federation` registered from config
+        #: declarations (the only ones it will ever remove)
+        self._synced_mappings: set[RoleMapping] = set()
 
     # -- registry ----------------------------------------------------------
 
@@ -484,6 +505,49 @@ class ShardRouter:
 
     def add_mapping(self, mapping: RoleMapping) -> None:
         self.federation.add_mapping(mapping)
+
+    def sync_federation(self) -> dict[str, Any]:
+        """Reconcile federation mappings with the shards' config state.
+
+        Each shard's ``engine.policy.federation_maps`` declares the
+        mappings *originating* from that shard (``home_domain`` is the
+        shard itself) — the config-set form of the CLI's ``--map``.
+        Desired-state sync: declared-but-missing mappings are added,
+        and mappings *this sync itself registered* whose declaration
+        disappeared (a promoted config dropped them) are removed.
+        Hand-registered mappings (CLI ``--map`` / ``add_mapping``) are
+        never touched.  A declaration whose host shard or host role
+        does not (yet) exist is *skipped* fail-closed and reported —
+        nothing is guessed, and the next sync picks it up once the
+        host side exists.
+        """
+        desired: set[RoleMapping] = set()
+        for name, shard in self._shards.items():
+            for home_role, host_domain, host_role in getattr(
+                    shard.engine.policy, "federation_maps", ()):
+                if host_domain == name:
+                    continue  # RoleMapping refuses same-domain maps
+                desired.add(RoleMapping(name, home_role, host_domain,
+                                        host_role))
+        added: list[str] = []
+        removed: list[str] = []
+        skipped: list[dict[str, str]] = []
+        current = set(self.federation._mappings)
+        for mapping in sorted(desired - current,
+                              key=RoleMapping.describe):
+            try:
+                self.federation.add_mapping(mapping)
+                self._synced_mappings.add(mapping)
+                added.append(mapping.describe())
+            except ReproError as exc:
+                skipped.append({"mapping": mapping.describe(),
+                                "error": str(exc)})
+        for mapping in sorted(self._synced_mappings - desired,
+                              key=RoleMapping.describe):
+            self.federation.remove_mapping(mapping)
+            self._synced_mappings.discard(mapping)
+            removed.append(mapping.describe())
+        return {"added": added, "removed": removed, "skipped": skipped}
 
     def shard(self, name: str) -> Shard:
         try:
@@ -558,16 +622,19 @@ class ShardRouter:
     def check(self, user: str, operation: str, obj: str,
               domain: str | None = None,
               purpose: str | None = None,
-              deadline: Deadline | None = None) -> dict[str, Any]:
+              deadline: Deadline | None = None,
+              scope: str | None = None) -> dict[str, Any]:
         shard, principal = self.resolve(user, domain)
         return shard.check(principal, operation, obj, purpose=purpose,
-                           deadline=deadline)
+                           deadline=deadline, scope=scope)
 
     def explain(self, user: str, operation: str, obj: str,
                 domain: str | None = None,
-                purpose: str | None = None) -> dict[str, Any]:
+                purpose: str | None = None,
+                scope: str | None = None) -> dict[str, Any]:
         shard, principal = self.resolve(user, domain)
-        return shard.explain(principal, operation, obj, purpose=purpose)
+        return shard.explain(principal, operation, obj, purpose=purpose,
+                             scope=scope)
 
     def health(self) -> dict[str, Any]:
         """Aggregate health: ``ok`` only when every shard is ``ok``."""

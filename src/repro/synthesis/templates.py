@@ -596,10 +596,13 @@ def build_check_access_rule(engine: "ActiveRBACEngine") -> OWTERule:
         Condition("object IN objL",
                   lambda ctx: ctx.get("object") in model.objects),
         Condition("ForANY role IN getSessionRoles(sessionId): "
-                  "checkPermissions(operation, object, role) IS TRUE",
+                  "checkPermissions(operation, object, role, scope) "
+                  "IS TRUE",
+                  # ctx.get("scope") is None on flat events, so the
+                  # pre-scope behavior is unchanged byte for byte
                   lambda ctx: engine.access_roles_ok(
                       ctx.get("sessionId"), ctx.get("operation"),
-                      ctx.get("object"))),
+                      ctx.get("object"), ctx.get("scope"))),
         Condition("objectPolicy(object, operation, purpose) IS TRUE",
                   lambda ctx: engine.privacy_ok(
                       ctx.get("object"), ctx.get("operation"),
@@ -614,19 +617,42 @@ def build_check_access_rule(engine: "ActiveRBACEngine") -> OWTERule:
             engine.audit.record(
                 "obligation.owed", obligation=obligation,
                 object=ctx.get("object"), user=ctx.get("user"))
-        engine.audit.record(
-            "decision.allow", category="access", user=ctx.get("user"),
-            operation=ctx.get("operation"), object=ctx.get("object"))
+        scope = ctx.get("scope")
+        if scope is None:
+            engine.audit.record(
+                "decision.allow", category="access",
+                user=ctx.get("user"), operation=ctx.get("operation"),
+                object=ctx.get("object"))
+        else:
+            engine.audit.record(
+                "decision.allow", category="access",
+                user=ctx.get("user"), operation=ctx.get("operation"),
+                object=ctx.get("object"), scope=scope)
 
     def else_deny(ctx: RuleContext) -> None:
-        engine.detector.raise_event(
-            "accessDenied", user=ctx.get("user"),
-            sessionId=ctx.get("sessionId"),
-            operation=ctx.get("operation"), object=ctx.get("object"),
-        )
-        engine.audit.record(
-            "decision.deny", category="access", user=ctx.get("user"),
-            operation=ctx.get("operation"), object=ctx.get("object"))
+        scope = ctx.get("scope")
+        if scope is None:
+            engine.detector.raise_event(
+                "accessDenied", user=ctx.get("user"),
+                sessionId=ctx.get("sessionId"),
+                operation=ctx.get("operation"),
+                object=ctx.get("object"),
+            )
+            engine.audit.record(
+                "decision.deny", category="access",
+                user=ctx.get("user"), operation=ctx.get("operation"),
+                object=ctx.get("object"))
+        else:
+            engine.detector.raise_event(
+                "accessDenied", user=ctx.get("user"),
+                sessionId=ctx.get("sessionId"),
+                operation=ctx.get("operation"),
+                object=ctx.get("object"), scope=scope,
+            )
+            engine.audit.record(
+                "decision.deny", category="access",
+                user=ctx.get("user"), operation=ctx.get("operation"),
+                object=ctx.get("object"), scope=scope)
         raise OperationDenied("Permission Denied", rule=name)
 
     return OWTERule(

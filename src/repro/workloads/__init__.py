@@ -11,6 +11,7 @@ each benchmark sweeps.
 from repro.workloads.generator import (
     EnterpriseShape,
     ServiceOp,
+    add_scoped_layer,
     fleet_shard_name,
     generate_enterprise,
     generate_fleet,
@@ -21,6 +22,7 @@ from repro.workloads.generator import (
 __all__ = [
     "EnterpriseShape",
     "ServiceOp",
+    "add_scoped_layer",
     "fleet_shard_name",
     "generate_enterprise",
     "generate_fleet",

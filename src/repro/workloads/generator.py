@@ -169,6 +169,119 @@ def generate_enterprise(shape: EnterpriseShape) -> PolicySpec:
     return spec
 
 
+def add_scoped_layer(spec: PolicySpec, *, orgs: int = 4,
+                     collections_per_org: int = 4,
+                     resources_per_collection: int = 4,
+                     scoped_grants_per_role: int = 1,
+                     scoped_assignment_fraction: float = 0.5,
+                     extra_scoped_assignments: int = 0,
+                     seed: int = 13) -> list[str]:
+    """Layer a multi-org scope tree onto an existing enterprise spec.
+
+    Builds the ``org ▸ collection ▸ resource`` tree under the implicit
+    platform root, then scatters scoped grants over the org/collection
+    anchors and bounds a fraction of the existing user-role assignments
+    to a single org.  Because a bound (or grant) at an ancestor covers
+    every descendant, the *effective* user-scope-role triple count is
+    ``bounded_pairs x scopes_under_the_anchor`` — a few thousand scopes
+    and a few thousand bounded pairs imply millions of implicit triples
+    without materialising any of them.
+
+    Deterministic in ``seed``; returns the scope names in declaration
+    order (parents before children, as the DSL requires).
+    """
+    if orgs < 1:
+        raise ValueError("need at least one org")
+    rng = random.Random(seed)
+    scopes: list[str] = []
+    org_scopes: list[str] = []
+    anchor_scopes: list[str] = []
+    for o in range(orgs):
+        org = f"org{o:02d}"
+        spec.add_scope(org)
+        scopes.append(org)
+        org_scopes.append(org)
+        anchor_scopes.append(org)
+        for c in range(collections_per_org):
+            col = f"{org}/col{c:02d}"
+            spec.add_scope(col, org)
+            scopes.append(col)
+            anchor_scopes.append(col)
+            for r in range(resources_per_collection):
+                res = f"{col}/res{r:02d}"
+                spec.add_scope(res, col)
+                scopes.append(res)
+
+    roles = sorted(spec.roles)
+    perms = list(spec.permissions) or [("op0", "obj0000")]
+    granted = set(spec.scoped_grants)
+    for role in roles:
+        for _ in range(scoped_grants_per_role):
+            operation, obj = rng.choice(perms)
+            row = (role, operation, obj, rng.choice(anchor_scopes))
+            if row not in granted:
+                granted.add(row)
+                spec.add_scoped_grant(*row)
+
+    # bound a fraction of the existing assignments to one org: those
+    # pairs stop satisfying flat checks and only answer inside the org
+    bounded = set(
+        (user, role) for user, role, _scope in spec.scoped_assignments)
+    for user, role in spec.assignments:
+        if (user, role) in bounded:
+            continue
+        if rng.random() < scoped_assignment_fraction:
+            bounded.add((user, role))
+            spec.add_scoped_assignment(user, role, rng.choice(org_scopes))
+
+    # fresh scoped-only assignments (pairs the flat layer never made),
+    # guarded by the same hierarchical-SSD feasibility the flat
+    # generator honours so the validator still accepts the spec
+    users = sorted(spec.users)
+    flat = set(spec.assignments)
+    ssd_sets = [s.roles for s in spec.ssd.values()]
+    children_of: dict[str, list[str]] = {}
+    for senior, junior in spec.hierarchy:
+        children_of.setdefault(senior, []).append(junior)
+
+    def juniors_inclusive(role: str) -> set[str]:
+        closure = {role}
+        stack = list(children_of.get(role, ()))
+        while stack:
+            node = stack.pop()
+            if node in closure:
+                continue
+            closure.add(node)
+            stack.extend(children_of.get(node, ()))
+        return closure
+
+    roles_of: dict[str, set[str]] = {}
+    for user, role in flat | bounded:
+        roles_of.setdefault(user, set()).add(role)
+
+    def violates_ssd(user: str, candidate: str) -> bool:
+        authorized: set[str] = set()
+        for role in roles_of.get(user, set()) | {candidate}:
+            authorized |= juniors_inclusive(role)
+        return any(len(authorized & sod) >= 2 for sod in ssd_sets)
+
+    attempts = 0
+    added = 0
+    while added < extra_scoped_assignments and attempts < 20 * max(
+            1, extra_scoped_assignments):
+        attempts += 1
+        user, role = rng.choice(users), rng.choice(roles)
+        if (user, role) in flat or (user, role) in bounded:
+            continue
+        if violates_ssd(user, role):
+            continue
+        bounded.add((user, role))
+        roles_of.setdefault(user, set()).add(role)
+        spec.add_scoped_assignment(user, role, rng.choice(org_scopes))
+        added += 1
+    return scopes
+
+
 @dataclass(frozen=True)
 class Request:
     """One operation in a request stream."""

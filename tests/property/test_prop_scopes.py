@@ -1,0 +1,128 @@
+"""Properties of the S-A-O-C scope layer.
+
+Two invariants over random scope trees:
+
+* **explain fidelity** — ``engine.explain(..., scope=S)`` must report
+  exactly the verdict the live path returns, for any reachable state
+  and any scope (known, unknown, or flat);
+* **containment monotonicity** — a grant at scope S makes the kernel
+  grant at *every* descendant of S, and **never** at any scope outside
+  S's subtree (in particular never at the root: a scoped grant must
+  not leak into flat checks).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ActiveRBACEngine
+from repro.errors import ReproError
+from repro.rbac.scopes import SCOPE_ROOT
+from repro.workloads import EnterpriseShape, generate_enterprise
+
+
+def random_tree(spec, rng, size):
+    """Grow a random scope tree on the spec; returns the scope names."""
+    scopes: list[str] = []
+    for index in range(size):
+        parent = rng.choice(scopes) if scopes and rng.random() < 0.7 \
+            else None
+        name = f"s{index}" if parent is None else f"{parent}.{index}"
+        spec.add_scope(name, parent)
+        scopes.append(name)
+    return scopes
+
+
+def subtree(scopes, anchor):
+    """Descendants-inclusive by the dotted naming scheme."""
+    return {s for s in scopes
+            if s == anchor or s.startswith(anchor + ".")}
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(shape_seed=st.integers(0, 1000), walk_seed=st.integers(0, 1000))
+def test_scoped_explain_matches_live_verdict(shape_seed, walk_seed):
+    rng = random.Random(walk_seed)
+    spec = generate_enterprise(EnterpriseShape(
+        roles=10, users=8, ssd_sets=0, dsd_sets=1, seed=shape_seed))
+    scopes = random_tree(spec, rng, size=rng.randint(3, 12))
+    roles = sorted(spec.roles)
+    perms = list(spec.permissions)
+    for _ in range(rng.randint(2, 6)):
+        operation, obj = rng.choice(perms)
+        spec.add_scoped_grant(rng.choice(roles), operation, obj,
+                              rng.choice(scopes))
+    users = sorted(spec.users)
+    bounded = set((u, r) for u, r, _s in spec.scoped_assignments)
+    for _ in range(rng.randint(1, 5)):
+        user, role = rng.choice(users), rng.choice(roles)
+        if (user, role) not in bounded:
+            bounded.add((user, role))
+            spec.add_scoped_assignment(user, role, rng.choice(scopes))
+    engine = ActiveRBACEngine(spec)
+    sessions = []
+    scope_draws = scopes + [None, SCOPE_ROOT, "no-such-scope"]
+
+    for step in range(50):
+        draw = rng.random()
+        if draw < 0.2 or not sessions:
+            sid = f"s{step}"
+            try:
+                engine.create_session(rng.choice(users), session_id=sid)
+                sessions.append(sid)
+            except ReproError:
+                pass
+        elif draw < 0.5:
+            try:
+                engine.add_active_role(rng.choice(sessions),
+                                       rng.choice(roles))
+            except ReproError:
+                pass
+        else:
+            sid = rng.choice(sessions)
+            operation, obj = rng.choice(perms)
+            scope = rng.choice(scope_draws)
+            live = engine.check_access(sid, operation, obj, scope=scope)
+            explained = engine.explain(sid, operation, obj, scope=scope)
+            assert explained.allowed == live, (
+                f"explain diverged at scope {scope!r}:\n"
+                f"{explained.describe()}")
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(tree_seed=st.integers(0, 1000), anchor_seed=st.integers(0, 1000))
+def test_ancestor_grant_covers_exactly_the_subtree(tree_seed,
+                                                   anchor_seed):
+    rng = random.Random(tree_seed)
+    spec = generate_enterprise(EnterpriseShape(
+        roles=4, users=3, ssd_sets=0, dsd_sets=0,
+        grants_per_role=0, seed=tree_seed))
+    scopes = random_tree(spec, rng, size=rng.randint(4, 15))
+    anchor = random.Random(anchor_seed).choice(scopes)
+    operation, obj = spec.permissions[0] if spec.permissions \
+        else ("op", "obj")
+    spec.add_role("Probe")
+    spec.add_user("probe")
+    spec.add_scoped_grant("Probe", operation, obj, anchor)
+    spec.add_assignment("probe", "Probe")
+    engine = ActiveRBACEngine(spec)
+    sid = engine.create_session("probe")
+    engine.add_active_role(sid, "Probe")
+
+    covered = subtree(scopes, anchor)
+    for scope in scopes:
+        expected = scope in covered
+        assert engine.check_access(sid, operation, obj,
+                                   scope=scope) is expected, (
+            f"grant at {anchor!r}, check at {scope!r}: "
+            f"expected {expected}")
+    # never the reverse: the grant below the root must not satisfy the
+    # flat (root-scope) check
+    assert engine.check_access(sid, operation, obj) is False
+    assert engine.check_access(sid, operation, obj,
+                               scope=SCOPE_ROOT) is False

@@ -108,7 +108,8 @@ class TestGlobalRuleText:
     def test_check_access_for_any_clause(self, engine):
         text = rendered(engine, "CA.checkAccess")
         assert "ForANY role IN getSessionRoles(sessionId)" in text
-        assert "checkPermissions(operation, object, role) IS TRUE" in text
+        assert ("checkPermissions(operation, object, role, scope) "
+                "IS TRUE") in text
         assert 'ELSE  raise error "Permission Denied"' in text
 
     def test_assign_user_rule(self, engine):
